@@ -1,0 +1,131 @@
+//! Ablations over the design choices documented in DESIGN.md:
+//!
+//! * batched vs single-SCC Step 2 (the printed Algorithm 1 is Θ(n²) even
+//!   on independent cycles; the batched variant restores the measured
+//!   linear behaviour);
+//! * Algorithm 2 (skeptic) vs Algorithm 1 on positive networks — the cost
+//!   of constraint readiness;
+//! * lineage recording overhead;
+//! * the O(n⁴) possible-pairs analysis;
+//! * binarization of dense (clique) networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trustmap::pairs::analyze_pairs;
+use trustmap::prelude::*;
+use trustmap::workloads::{oscillators, power_law};
+
+fn scc_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scc_mode");
+    group.sample_size(10);
+    for &k in &[100usize, 400] {
+        let w = oscillators(k);
+        let btn = binarize(&w.net);
+        group.bench_with_input(BenchmarkId::new("batch", k), &btn, |b, btn| {
+            b.iter(|| {
+                resolve_with(
+                    btn,
+                    Options {
+                        mode: SccMode::BatchSources,
+                        lineage: false,
+                    },
+                )
+                .expect("resolves")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("single", k), &btn, |b, btn| {
+            b.iter(|| {
+                resolve_with(
+                    btn,
+                    Options {
+                        mode: SccMode::SingleMinimal,
+                        lineage: false,
+                    },
+                )
+                .expect("resolves")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn skeptic_vs_basic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_skeptic_vs_basic");
+    group.sample_size(10);
+    let w = power_law(5_000, 2, 4, 0.2, 77);
+    let btn = binarize(&w.net);
+    group.bench_function("algorithm_1", |b| {
+        b.iter(|| resolve(&btn).expect("resolves"));
+    });
+    group.bench_function("algorithm_2_skeptic", |b| {
+        b.iter(|| resolve_skeptic(&btn).expect("tie-free"));
+    });
+    group.finish();
+}
+
+fn lineage_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lineage");
+    group.sample_size(10);
+    let w = power_law(10_000, 2, 4, 0.2, 99);
+    let btn = binarize(&w.net);
+    group.bench_function("without_lineage", |b| {
+        b.iter(|| resolve(&btn).expect("resolves"));
+    });
+    group.bench_function("with_lineage", |b| {
+        b.iter(|| {
+            resolve_with(
+                &btn,
+                Options {
+                    lineage: true,
+                    ..Default::default()
+                },
+            )
+            .expect("resolves")
+        });
+    });
+    group.finish();
+}
+
+fn pairs_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pairs_n4");
+    group.sample_size(10);
+    for &n in &[20usize, 40, 80] {
+        let w = power_law(n, 2, 3, 0.3, 13);
+        let btn = binarize(&w.net);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &btn, |b, btn| {
+            b.iter(|| analyze_pairs(btn).expect("positive network"));
+        });
+    }
+    group.finish();
+}
+
+fn binarization_cliques(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_binarize_clique");
+    group.sample_size(10);
+    for &n in &[16usize, 48] {
+        let mut net = TrustNetwork::new();
+        let users: Vec<User> = (0..n).map(|i| net.user(&format!("u{i}"))).collect();
+        for &x in &users {
+            let mut p = 0;
+            for &z in &users {
+                if z != x {
+                    net.trust(x, z, p).expect("clique");
+                    p += 1;
+                }
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
+            b.iter(|| binarize(net));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    scc_modes,
+    skeptic_vs_basic,
+    lineage_overhead,
+    pairs_scaling,
+    binarization_cliques
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 15: the nested-SCC worst case — resolution time grows
+//! quadratically in network size because each Step-2 round unlocks only
+//! one component and re-runs Tarjan over the remaining open nodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trustmap::prelude::*;
+use trustmap::workloads::nested_sccs;
+
+fn fig15_quadratic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_quadratic");
+    group.sample_size(10);
+    for &k in &[100usize, 200, 400, 800] {
+        let w = nested_sccs(k);
+        let btn = binarize(&w.net);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(w.net.size()),
+            &btn,
+            |b, btn| {
+                b.iter(|| resolve(btn).expect("resolves"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig15_quadratic);
+criterion_main!(benches);

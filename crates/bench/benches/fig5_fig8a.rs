@@ -1,0 +1,50 @@
+//! Figure 5 + Figure 8a: oscillator networks, one object.
+//!
+//! `fig8a_resolution` sweeps the Resolution Algorithm over network sizes
+//! (linear in practice); `fig5_lp_baseline` sweeps the logic-program
+//! engine over the sizes it can still handle (exponential).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use trustmap::bridge::btn_to_lp;
+use trustmap::prelude::*;
+use trustmap::workloads::oscillators;
+use trustmap_datalog::StableSolver;
+
+fn fig8a_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8a_resolution");
+    group.sample_size(10);
+    for &size in &[800usize, 8_000, 80_000] {
+        let w = oscillators(size / 8);
+        let btn = binarize(&w.net);
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &btn, |b, btn| {
+            b.iter(|| resolve(btn).expect("resolves"));
+        });
+    }
+    group.finish();
+}
+
+fn fig5_lp_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_lp_baseline");
+    group.sample_size(10);
+    for &k in &[2usize, 4, 6, 8] {
+        let w = oscillators(k);
+        let btn = binarize(&w.net);
+        let lp = btn_to_lp(&btn);
+        let ground = lp.program.ground();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(w.net.size()),
+            &ground,
+            |b, ground| {
+                b.iter(|| {
+                    let mut solver = StableSolver::new(ground);
+                    solver.brave(None)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8a_resolution, fig5_lp_baseline);
+criterion_main!(benches);

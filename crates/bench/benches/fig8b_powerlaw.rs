@@ -1,0 +1,39 @@
+//! Figure 8b: the Resolution Algorithm on scale-free networks (the
+//! web-crawl substitute), quasi-linear scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use trustmap::prelude::*;
+use trustmap::workloads::power_law;
+
+fn fig8b_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8b_resolution");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let w = power_law(n, 2, 4, 0.2, 8 + n as u64);
+        let btn = binarize(&w.net);
+        group.throughput(Throughput::Elements(w.net.size() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(w.net.size()),
+            &btn,
+            |b, btn| {
+                b.iter(|| resolve(btn).expect("resolves"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fig8b_binarization_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8b_binarization");
+    group.sample_size(10);
+    for &n in &[10_000usize, 50_000] {
+        let w = power_law(n, 2, 4, 0.2, 8 + n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w.net, |b, net| {
+            b.iter(|| binarize(net));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8b_resolution, fig8b_binarization_cost);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 8c: bulk resolution over many objects on the fixed 7-user
+//! network — SQL schedule vs native schedule vs the per-object loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use trustmap::prelude::*;
+use trustmap::relstore::bulkexec;
+use trustmap::workloads::bulk_network;
+
+fn seeds_for(w: &trustmap::workloads::Workload, n: usize) -> Vec<SeedValues> {
+    let v0 = w.net.domain().get("v0").expect("interned");
+    let v1 = w.net.domain().get("v1").expect("interned");
+    vec![
+        SeedValues {
+            user: w.believers[0],
+            values: vec![v0; n],
+        },
+        SeedValues {
+            user: w.believers[1],
+            values: (0..n).map(|k| if k % 2 == 0 { v0 } else { v1 }).collect(),
+        },
+    ]
+}
+
+fn fig8c_bulk(c: &mut Criterion) {
+    let w = bulk_network();
+    let btn = binarize(&w.net);
+    let plan = plan_bulk(&btn).expect("positive network");
+
+    let mut group = c.benchmark_group("fig8c_bulk");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let seeds = seeds_for(&w, n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("sql", n), &seeds, |b, seeds| {
+            b.iter(|| bulkexec::execute_plan_sql(&btn, &plan, seeds, n).expect("sql"));
+        });
+        group.bench_with_input(BenchmarkId::new("native", n), &seeds, |b, seeds| {
+            b.iter(|| execute_native(&plan, seeds, n));
+        });
+        group.bench_with_input(BenchmarkId::new("per_object", n), &seeds, |b, seeds| {
+            b.iter(|| bulkexec::resolve_objects_sequential(&btn, seeds, n));
+        });
+        group.bench_with_input(BenchmarkId::new("per_object_par2", n), &seeds, |b, seeds| {
+            b.iter(|| bulkexec::resolve_objects_parallel(&btn, seeds, n, 2));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8c_bulk);
+criterion_main!(benches);

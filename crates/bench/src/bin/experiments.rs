@@ -1,0 +1,409 @@
+//! Regenerates every figure and table of the paper's evaluation as
+//! markdown series (the data behind `EXPERIMENTS.md`).
+//!
+//! ```text
+//! cargo run --release -p trustmap-bench --bin experiments [--quick] [exp …]
+//! ```
+//!
+//! Experiments: `fig5`, `fig8a`, `fig8b`, `fig8c`, `fig11`, `fig15`,
+//! `hardness`, or `all` (default). `--quick` trims the sweeps for smoke
+//! runs.
+
+use std::time::Duration;
+use trustmap::bridge::btn_to_lp;
+use trustmap::prelude::*;
+use trustmap::relstore::bulkexec;
+use trustmap::workloads::{bulk_network, nested_sccs, oscillators, power_law, random_cnf};
+use trustmap_bench::{median_time, ms, Table};
+use trustmap_datalog::StableSolver;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |name: &str| {
+        selected.is_empty() || selected.contains(&"all") || selected.contains(&name)
+    };
+
+    println!("# trustmap experiment report\n");
+    println!(
+        "host: {} cores; mode: {}\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        if quick { "quick" } else { "full" }
+    );
+
+    if want("fig5") {
+        fig5_lp_exponential(quick);
+    }
+    if want("fig8a") {
+        fig8a_oscillators(quick);
+    }
+    if want("fig8b") {
+        fig8b_powerlaw(quick);
+    }
+    if want("fig8c") {
+        fig8c_bulk(quick);
+    }
+    if want("fig11") {
+        fig11_binarization();
+    }
+    if want("fig15") {
+        fig15_quadratic(quick);
+    }
+    if want("hardness") {
+        hardness_constraints(quick);
+    }
+}
+
+/// Time budget per measured point.
+fn budget(quick: bool) -> Duration {
+    if quick {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_secs(2)
+    }
+}
+
+/// Figure 5: solving oscillator networks with the logic-program engine is
+/// exponential in network size.
+fn fig5_lp_exponential(quick: bool) {
+    println!("## Figure 5 — LP solver on oscillator networks (exponential)\n");
+    let mut table = Table::new(&[
+        "network size |U|+|E|",
+        "stable models",
+        "LP brave [ms]",
+        "ratio vs previous",
+    ]);
+    let ks: &[usize] = if quick {
+        &[1, 2, 4, 6, 8]
+    } else {
+        &[1, 2, 4, 6, 8, 10, 12, 14, 16]
+    };
+    let mut prev: Option<f64> = None;
+    for &k in ks {
+        let w = oscillators(k);
+        let btn = binarize(&w.net);
+        let lp = btn_to_lp(&btn);
+        let ground = lp.program.ground();
+        let mut models = 0usize;
+        let t = median_time(1, 5, budget(quick), || {
+            let mut solver = StableSolver::new(&ground);
+            models = solver.enumerate(None).len();
+        });
+        let t_ms = ms(t);
+        let ratio = prev
+            .map(|p| format!("{:.2}x", t_ms / p))
+            .unwrap_or_else(|| "-".into());
+        prev = Some(t_ms);
+        table.row(vec![
+            w.net.size().to_string(),
+            models.to_string(),
+            format!("{t_ms:.3}"),
+            ratio,
+        ]);
+        if t_ms > 20_000.0 {
+            break;
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Shape check: models double per oscillator; time grows ~2x per 8 \
+         size units — the exponential trend of Figure 5.\n"
+    );
+}
+
+/// Figure 8a: Resolution Algorithm vs LP engine on the many-cycles network.
+fn fig8a_oscillators(quick: bool) {
+    println!("## Figure 8a — many independent cycles, one object\n");
+    let mut table = Table::new(&[
+        "network size |U|+|E|",
+        "RA [ms]",
+        "RA us/unit",
+        "LP brave [ms]",
+    ]);
+    let sizes: &[usize] = if quick {
+        &[80, 800, 8_000, 80_000]
+    } else {
+        &[80, 800, 8_000, 80_000, 400_000, 1_000_000]
+    };
+    for &size in sizes {
+        let k = size / 8;
+        let w = oscillators(k);
+        let btn = binarize(&w.net);
+        let ra = median_time(2, 9, budget(quick), || {
+            std::hint::black_box(resolve(&btn).expect("resolves"));
+        });
+        // LP only while tractable (~100 size units ≈ 12 oscillators).
+        let lp_cell = if size <= 128 {
+            let lp = btn_to_lp(&btn);
+            let ground = lp.program.ground();
+            let t = median_time(1, 3, budget(quick), || {
+                let mut solver = StableSolver::new(&ground);
+                std::hint::black_box(solver.brave(None));
+            });
+            format!("{:.3}", ms(t))
+        } else {
+            "(intractable)".into()
+        };
+        table.row(vec![
+            size.to_string(),
+            format!("{:.3}", ms(ra)),
+            format!("{:.3}", ms(ra) * 1000.0 / size as f64),
+            lp_cell,
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Shape check: RA microseconds-per-size-unit stays flat (linear \
+         scaling) while the LP baseline leaves the chart — Figure 8a.\n"
+    );
+}
+
+/// Figure 8b: scale-free (web-like) networks.
+fn fig8b_powerlaw(quick: bool) {
+    println!("## Figure 8b — scale-free network (web-crawl substitute)\n");
+    let mut table = Table::new(&[
+        "network size |U|+|E|",
+        "RA [ms]",
+        "RA us/unit",
+        "LP brave [ms]",
+    ]);
+    let users: &[usize] = if quick {
+        &[100, 1_000, 10_000]
+    } else {
+        &[100, 1_000, 10_000, 100_000, 250_000]
+    };
+    for &n in users {
+        let w = power_law(n, 2, 4, 0.2, 8 + n as u64);
+        let btn = binarize(&w.net);
+        let size = w.net.size();
+        let ra = median_time(2, 9, budget(quick), || {
+            std::hint::black_box(resolve(&btn).expect("resolves"));
+        });
+        let lp_cell = if n <= 100 {
+            let lp = btn_to_lp(&btn);
+            let ground = lp.program.ground();
+            let t = median_time(1, 3, budget(quick), || {
+                let mut solver = StableSolver::new(&ground);
+                std::hint::black_box(solver.brave(None));
+            });
+            format!("{:.3}", ms(t))
+        } else {
+            "(intractable)".into()
+        };
+        table.row(vec![
+            size.to_string(),
+            format!("{:.3}", ms(ra)),
+            format!("{:.3}", ms(ra) * 1000.0 / size as f64),
+            lp_cell,
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Shape check: quasi-linear RA scaling on power-law graphs; the LP \
+         baseline survives longer than on oscillators (fewer cycles) but \
+         still falls off — Figure 8b.\n"
+    );
+}
+
+/// Figure 8c: bulk inserts over the fixed 7-user network.
+fn fig8c_bulk(quick: bool) {
+    println!("## Figure 8c — bulk resolution, fixed network, many objects\n");
+    let mut table = Table::new(&[
+        "objects",
+        "SQL schedule [ms]",
+        "native schedule [ms]",
+        "per-object loop [ms]",
+        "LP brave [ms]",
+        "SQL us/object",
+    ]);
+    let w = bulk_network();
+    let btn = binarize(&w.net);
+    let plan = plan_bulk(&btn).expect("positive network");
+    let v0 = w.net.domain().get("v0").expect("interned");
+    let v1 = w.net.domain().get("v1").expect("interned");
+    let counts: &[usize] = if quick {
+        &[10, 100, 1_000, 10_000]
+    } else {
+        &[10, 20, 100, 1_000, 10_000, 100_000, 1_000_000]
+    };
+    for &n in counts {
+        // Half the objects conflict, as in the paper's setup.
+        let seeds = vec![
+            SeedValues {
+                user: w.believers[0],
+                values: vec![v0; n],
+            },
+            SeedValues {
+                user: w.believers[1],
+                values: (0..n).map(|k| if k % 2 == 0 { v0 } else { v1 }).collect(),
+            },
+        ];
+        let sql = median_time(1, 5, budget(quick), || {
+            std::hint::black_box(
+                bulkexec::execute_plan_sql(&btn, &plan, &seeds, n).expect("sql ok"),
+            );
+        });
+        let native = median_time(1, 5, budget(quick), || {
+            std::hint::black_box(execute_native(&plan, &seeds, n));
+        });
+        let per_object = median_time(1, 5, budget(quick), || {
+            std::hint::black_box(bulkexec::resolve_objects_sequential(&btn, &seeds, n));
+        });
+        // The LP baseline carries one program copy per object; every
+        // conflicting object doubles the stable-model count.
+        let lp_cell = if n <= 20 {
+            let lp = trustmap::bridge::bulk_to_lp(&btn, &seeds, n);
+            let ground = lp.program.ground();
+            let t = median_time(1, 3, budget(quick), || {
+                let mut solver = StableSolver::new(&ground);
+                std::hint::black_box(solver.brave(None));
+            });
+            format!("{:.2}", ms(t))
+        } else {
+            "(intractable)".into()
+        };
+        table.row(vec![
+            n.to_string(),
+            format!("{:.2}", ms(sql)),
+            format!("{:.2}", ms(native)),
+            format!("{:.2}", ms(per_object)),
+            lp_cell,
+            format!("{:.3}", ms(sql) * 1000.0 / n as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Shape check: microseconds-per-object stays flat — cost linear in \
+         the number of objects and independent of the conflict rate, \
+         Figure 8c. (The LP baseline is exponential here: each conflicting \
+         object doubles the stable-model count.)\n"
+    );
+}
+
+/// Figure 11: binarization growth factors on n-cliques.
+fn fig11_binarization() {
+    println!("## Figure 11 — binarization growth on n-cliques\n");
+    let mut table = Table::new(&[
+        "n",
+        "|U| original",
+        "|U| binarized (= n(n-2))",
+        "|E| original",
+        "|E| binarized (= 2n(n-2))",
+        "size factor",
+    ]);
+    for n in [4usize, 8, 16, 32, 64] {
+        let mut net = TrustNetwork::new();
+        let users: Vec<User> = (0..n).map(|i| net.user(&format!("u{i}"))).collect();
+        for &x in &users {
+            let mut p = 0;
+            for &z in &users {
+                if z != x {
+                    net.trust(x, z, p).expect("clique");
+                    p += 1;
+                }
+            }
+        }
+        let btn = binarize(&net);
+        assert_eq!(btn.node_count(), n * (n - 2));
+        assert_eq!(btn.edge_count(), 2 * n * (n - 2));
+        table.row(vec![
+            n.to_string(),
+            n.to_string(),
+            btn.node_count().to_string(),
+            (n * (n - 1)).to_string(),
+            btn.edge_count().to_string(),
+            format!("{:.3}", btn.size() as f64 / net.size() as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Shape check: the size factor approaches 3 as n grows — Figure 11.\n");
+}
+
+/// Figure 15: the nested-SCC family drives RA to quadratic time.
+fn fig15_quadratic(quick: bool) {
+    println!("## Figure 15 — quadratic worst case (nested SCCs)\n");
+    let mut table = Table::new(&[
+        "network size |U|+|E|",
+        "Step-2 rounds",
+        "RA [ms]",
+        "RA ns/size^2",
+    ]);
+    let ks: &[usize] = if quick {
+        &[50, 100, 200, 400]
+    } else {
+        &[50, 100, 200, 400, 800, 1_600, 3_200]
+    };
+    for &k in ks {
+        let w = nested_sccs(k);
+        let btn = binarize(&w.net);
+        let size = w.net.size();
+        let mut rounds = 0usize;
+        let t = median_time(2, 7, budget(quick), || {
+            let r = resolve(&btn).expect("resolves");
+            rounds = r.rounds();
+        });
+        table.row(vec![
+            size.to_string(),
+            rounds.to_string(),
+            format!("{:.3}", ms(t)),
+            format!("{:.2}", t.as_nanos() as f64 / (size as f64 * size as f64)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Shape check: ns/size² converges to a constant (t ≈ c·n²) and \
+         Step-2 rounds equal the number of nested stages — Figure 15 / \
+         Appendix B.5.\n"
+    );
+}
+
+/// Theorem 3.4 in practice: enumerating stable solutions of CNF gadget
+/// networks doubles per added variable, while the Skeptic algorithm stays
+/// polynomial on the same networks.
+fn hardness_constraints(quick: bool) {
+    println!("## Theorem 3.4 — constraint paradigms: hardness in practice\n");
+    let mut table = Table::new(&[
+        "CNF vars",
+        "network nodes",
+        "agnostic enumeration [ms]",
+        "stable solutions",
+        "skeptic Algorithm 2 [ms]",
+    ]);
+    let vars: &[usize] = if quick { &[2, 3, 4] } else { &[2, 3, 4, 5, 6, 7] };
+    for &nv in vars {
+        let cnf = random_cnf(nv, nv + 1, 2.min(nv), 42);
+        let enc = trustmap::gates::encode_cnf(&cnf);
+        let btn = binarize(&enc.net);
+        let mut count = 0usize;
+        let enum_t = median_time(1, 3, budget(quick), || {
+            let sols = trustmap::stable_signed::enumerate_signed(
+                &btn,
+                Paradigm::Agnostic,
+                trustmap::stable_signed::Limits::default(),
+            )
+            .expect("within limits");
+            count = sols.len();
+        });
+        let sk_t = median_time(1, 5, budget(quick), || {
+            std::hint::black_box(resolve_skeptic(&btn).expect("tie-free"));
+        });
+        table.row(vec![
+            nv.to_string(),
+            btn.node_count().to_string(),
+            format!("{:.2}", ms(enum_t)),
+            count.to_string(),
+            format!("{:.3}", ms(sk_t)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Shape check: solution counts (and enumeration time) double per \
+         variable under Agnostic/Eclectic; Algorithm 2 stays flat — the \
+         Section 3 complexity split.\n"
+    );
+}

@@ -1,0 +1,92 @@
+#![warn(missing_docs)]
+
+//! # trustmap-bench
+//!
+//! Measurement helpers shared by the Criterion benches and the
+//! `experiments` binary that regenerates every figure and table of the
+//! paper's evaluation (Section 5, Appendix B.5).
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` repeatedly (at least `min_runs`, at most `max_runs`, stopping
+/// early after `budget`) and returns the median wall time.
+pub fn median_time(
+    min_runs: usize,
+    max_runs: usize,
+    budget: Duration,
+    mut f: impl FnMut(),
+) -> Duration {
+    let mut samples = Vec::with_capacity(max_runs);
+    let start = Instant::now();
+    for i in 0..max_runs {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed());
+        if i + 1 >= min_runs && start.elapsed() > budget {
+            break;
+        }
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Formats a duration as fractional milliseconds.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// A simple markdown table writer for the experiment reports.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders as GitHub-flavored markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.header.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_time_returns_positive() {
+        let d = median_time(3, 5, Duration::from_secs(1), || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("| a | b |"));
+        assert!(s.contains("| 1 | 2 |"));
+        assert!(s.contains("|---|---|"));
+    }
+}

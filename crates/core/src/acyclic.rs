@@ -1,0 +1,218 @@
+//! Single-pass evaluation of acyclic networks (Proposition 3.6).
+//!
+//! On a DAG every paradigm admits exactly one stable solution: visiting
+//! nodes in topological order, each belief set is determined by the
+//! paradigm-specialized preferred union of the (already computed) parents.
+//! This is the *exact* reference semantics for constraint networks without
+//! cycles — the Figure 6 walkthrough is reproduced in the tests.
+
+use crate::binary::{Btn, Parents};
+use crate::error::{Error, Result};
+use crate::paradigm::Paradigm;
+use crate::signed::BeliefSet;
+use trustmap_graph::topo_order;
+
+/// Evaluates an acyclic, tie-free BTN under `paradigm`, returning the unique
+/// stable solution as one belief set per node.
+///
+/// Errors with [`Error::CyclicNetwork`] on cycles and
+/// [`Error::TiesUnsupported`] on tied priorities (Definition 3.3 disallows
+/// ties; the tie extension of Definition B.3 is handled by the
+/// [`crate::stable_signed`] enumerator).
+pub fn evaluate_acyclic(btn: &Btn, paradigm: Paradigm) -> Result<Vec<BeliefSet>> {
+    if let Some(x) = btn
+        .nodes()
+        .find(|&x| matches!(btn.parents(x), Parents::Tied(..)))
+    {
+        let user = btn.origin(x).unwrap_or(crate::user::User(x));
+        return Err(Error::TiesUnsupported(user));
+    }
+    let graph = btn.graph();
+    let order = topo_order(&graph, |_| true).map_err(|_| Error::CyclicNetwork)?;
+
+    let mut beliefs: Vec<BeliefSet> = vec![BeliefSet::empty(); btn.node_count()];
+    for &x in &order {
+        let b0 = btn.belief(x).to_belief_set();
+        beliefs[x as usize] = match *btn.parents(x) {
+            Parents::None => paradigm.norm(&b0),
+            Parents::One(y) => paradigm.punion(&b0, &beliefs[y as usize]),
+            Parents::Pref { high, low } => {
+                let inherited = paradigm.punion(&beliefs[high as usize], &beliefs[low as usize]);
+                paradigm.punion(&b0, &inherited)
+            }
+            Parents::Tied(..) => unreachable!("rejected above"),
+        };
+    }
+    Ok(beliefs)
+}
+
+/// Builds the binary trust network of Figure 6a: a chain of derived users
+/// `x3, x5, x7, x9` whose preferred side carries constraints. Returns the
+/// network plus the users `[x1, …, x9]` in paper order.
+pub fn figure_6_network() -> (crate::network::TrustNetwork, [crate::user::User; 9]) {
+    use crate::signed::NegSet;
+    let mut net = crate::network::TrustNetwork::new();
+    let x: Vec<crate::user::User> = (1..=9).map(|i| net.user(&format!("x{i}"))).collect();
+    let a = net.value("a");
+    let b = net.value("b");
+    let c = net.value("c");
+    // Explicit beliefs: x1 {b−}, x2 {a+}, x4 {a−}, x6 {b+}, x8 {c+}.
+    net.reject(x[0], NegSet::of([b])).unwrap();
+    net.believe(x[1], a).unwrap();
+    net.reject(x[3], NegSet::of([a])).unwrap();
+    net.believe(x[5], b).unwrap();
+    net.believe(x[7], c).unwrap();
+    // Derived: x3 ← (x2 preferred, x1); x5 ← (x4 preferred, x3);
+    // x7 ← (x5 preferred, x6); x9 ← (x7 preferred, x8).
+    net.trust(x[2], x[1], 2).unwrap();
+    net.trust(x[2], x[0], 1).unwrap();
+    net.trust(x[4], x[3], 2).unwrap();
+    net.trust(x[4], x[2], 1).unwrap();
+    net.trust(x[6], x[4], 2).unwrap();
+    net.trust(x[6], x[5], 1).unwrap();
+    net.trust(x[8], x[6], 2).unwrap();
+    net.trust(x[8], x[7], 1).unwrap();
+    (net, [x[0], x[1], x[2], x[3], x[4], x[5], x[6], x[7], x[8]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::binarize;
+    use crate::network::TrustNetwork;
+    use crate::signed::NegSet;
+
+    /// Figure 6b–d: the three paradigms on the same network.
+    #[test]
+    fn figure_6_all_paradigms() {
+        let (net, x) = figure_6_network();
+        let a = net.domain().get("a").unwrap();
+        let b = net.domain().get("b").unwrap();
+        let c = net.domain().get("c").unwrap();
+        let btn = binarize(&net);
+        let node = |u: crate::user::User| btn.node_of(u);
+
+        // Agnostic (Fig 6b): x3 {a+}, x5 {a−}, x7 {b+}, x9 {b+}.
+        let ag = evaluate_acyclic(&btn, Paradigm::Agnostic).unwrap();
+        assert_eq!(ag[node(x[2]) as usize], BeliefSet::positive(a));
+        assert_eq!(
+            ag[node(x[4]) as usize],
+            BeliefSet::negative(NegSet::of([a]))
+        );
+        assert_eq!(ag[node(x[6]) as usize], BeliefSet::positive(b));
+        assert_eq!(ag[node(x[8]) as usize], BeliefSet::positive(b));
+
+        // Eclectic (Fig 6c): x3 {a+, b−}, x5 {a−, b−}, x7 {a−, b−},
+        // x9 {c+, a−, b−}.
+        let ec = evaluate_acyclic(&btn, Paradigm::Eclectic).unwrap();
+        let x3 = &ec[node(x[2]) as usize];
+        assert_eq!(x3.pos, Some(a));
+        assert!(x3.neg.contains(b) && !x3.neg.contains(c));
+        let x5 = &ec[node(x[4]) as usize];
+        assert_eq!(x5.pos, None);
+        assert!(x5.neg.contains(a) && x5.neg.contains(b) && !x5.neg.contains(c));
+        let x7 = &ec[node(x[6]) as usize];
+        assert_eq!(x7, x5);
+        let x9 = &ec[node(x[8]) as usize];
+        assert_eq!(x9.pos, Some(c));
+        assert!(x9.neg.contains(a) && x9.neg.contains(b));
+
+        // Skeptic (Fig 6d): x3 {a+,…}, x5 ⊥, x7 ⊥, x9 ⊥.
+        let sk = evaluate_acyclic(&btn, Paradigm::Skeptic).unwrap();
+        let x3 = &sk[node(x[2]) as usize];
+        assert_eq!(x3.pos, Some(a));
+        assert!(x3.neg.contains(b) && x3.neg.contains(c) && !x3.neg.contains(a));
+        assert!(sk[node(x[4]) as usize].is_bottom());
+        assert!(sk[node(x[6]) as usize].is_bottom());
+        assert!(sk[node(x[8]) as usize].is_bottom());
+    }
+
+    /// Without constraints all three paradigms produce the same positive
+    /// values, and those match Algorithm 1's certain beliefs.
+    #[test]
+    fn collapse_to_basic_semantics_on_dags() {
+        let mut net = TrustNetwork::new();
+        let x = net.user("x");
+        let y = net.user("y");
+        let r1 = net.user("r1");
+        let r2 = net.user("r2");
+        let v = net.value("v");
+        let w = net.value("w");
+        net.trust(x, r1, 2).unwrap();
+        net.trust(x, r2, 1).unwrap();
+        net.trust(y, x, 5).unwrap();
+        net.believe(r1, v).unwrap();
+        net.believe(r2, w).unwrap();
+        let btn = binarize(&net);
+        let basic = crate::resolution::resolve(&btn).unwrap();
+        for p in Paradigm::ALL {
+            let sol = evaluate_acyclic(&btn, p).unwrap();
+            for node in btn.nodes() {
+                assert_eq!(
+                    sol[node as usize].pos,
+                    basic.cert(node),
+                    "{p} at node {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut net = TrustNetwork::new();
+        let a = net.user("a");
+        let b = net.user("b");
+        net.trust(a, b, 1).unwrap();
+        net.trust(b, a, 1).unwrap();
+        let btn = binarize(&net);
+        assert_eq!(
+            evaluate_acyclic(&btn, Paradigm::Skeptic),
+            Err(Error::CyclicNetwork)
+        );
+    }
+
+    #[test]
+    fn ties_rejected() {
+        let mut net = TrustNetwork::new();
+        let x = net.user("x");
+        let a = net.user("a");
+        let b = net.user("b");
+        net.trust(x, a, 1).unwrap();
+        net.trust(x, b, 1).unwrap();
+        let v = net.value("v");
+        net.believe(a, v).unwrap();
+        net.believe(b, v).unwrap();
+        let btn = binarize(&net);
+        assert!(matches!(
+            evaluate_acyclic(&btn, Paradigm::Skeptic),
+            Err(Error::TiesUnsupported(_))
+        ));
+    }
+
+    /// A negative root's constraint reaches its descendants and filters
+    /// exactly the matching value.
+    #[test]
+    fn range_constraint_filters_values() {
+        let mut net = TrustNetwork::new();
+        let curator = net.user("curator");
+        let editor = net.user("editor");
+        let source = net.user("source");
+        let bad = net.value("bad");
+        let good = net.value("good");
+        // editor applies curator's constraint (preferred) over source data.
+        net.trust(editor, curator, 2).unwrap();
+        net.trust(editor, source, 1).unwrap();
+        net.reject(curator, NegSet::of([bad])).unwrap();
+        net.believe(source, bad).unwrap();
+        let btn = binarize(&net);
+        let ec = evaluate_acyclic(&btn, Paradigm::Eclectic).unwrap();
+        let e = &ec[btn.node_of(editor) as usize];
+        assert_eq!(e.pos, None, "bad value rejected");
+        assert!(e.neg.contains(bad));
+        // A good value would have passed.
+        net.believe(source, good).unwrap();
+        let btn = binarize(&net);
+        let ec = evaluate_acyclic(&btn, Paradigm::Eclectic).unwrap();
+        assert_eq!(ec[btn.node_of(editor) as usize].pos, Some(good));
+    }
+}

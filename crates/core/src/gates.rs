@@ -1,0 +1,366 @@
+//! Boolean-gate gadgets and the CNF → trust network reduction
+//! (Theorem 3.4, Figures 7, 16, 17, Appendix B.6).
+//!
+//! Under the Agnostic and Eclectic paradigms, priority trust networks with
+//! constraints can emulate Boolean circuits: each gate is a chain of nodes
+//! whose preferred side carries blocking constraints. Truth values change
+//! encoding at every level (Figure 17):
+//!
+//! | level | 1 (true) | 0 (false) |
+//! |-------|----------|-----------|
+//! | 1 — variables (oscillators) | `b+` | `a+` |
+//! | 2 — literals (PASS / NOT)   | `d+` | `c+` |
+//! | 3 — clauses (OR)            | `d+` | `e+` |
+//! | 4 — formula (AND)           | `f+` | `e+` |
+//!
+//! A CNF formula is satisfiable iff `f+` is a *possible* belief at the
+//! output node — which is why computing possible beliefs under Agnostic or
+//! Eclectic is NP-hard, while the Skeptic paradigm (where these gadgets
+//! break down; see the tests) stays polynomial.
+
+use crate::network::TrustNetwork;
+use crate::sat::Cnf;
+use crate::signed::NegSet;
+use crate::user::User;
+use crate::value::Value;
+
+/// The six data values `a`–`f` used by the gate encodings.
+#[derive(Debug, Clone, Copy)]
+pub struct GateValues {
+    /// Level-1 false.
+    pub a: Value,
+    /// Level-1 true.
+    pub b: Value,
+    /// Level-2 false.
+    pub c: Value,
+    /// Level-2 true.
+    pub d: Value,
+    /// Level-3/4 false.
+    pub e: Value,
+    /// Level-4 true.
+    pub f: Value,
+}
+
+/// Interns the six gate values into `net`.
+pub fn gate_values(net: &mut TrustNetwork) -> GateValues {
+    GateValues {
+        a: net.value("a"),
+        b: net.value("b"),
+        c: net.value("c"),
+        d: net.value("d"),
+        e: net.value("e"),
+        f: net.value("f"),
+    }
+}
+
+/// Priority of preferred / non-preferred gate edges.
+const PREF: i64 = 2;
+const NONPREF: i64 = 1;
+
+/// Adds a two-node combination step: a fresh node trusting `guard`
+/// (preferred) and `input` (non-preferred).
+fn step(net: &mut TrustNetwork, name: &str, guard: User, input: User) -> User {
+    let node = net.user(name);
+    net.trust(node, guard, PREF).expect("valid gate edge");
+    net.trust(node, input, NONPREF).expect("valid gate edge");
+    node
+}
+
+/// A parentless user asserting a positive value.
+fn pos_root(net: &mut TrustNetwork, name: &str, v: Value) -> User {
+    let u = net.user(name);
+    net.believe(u, v).expect("fresh root");
+    u
+}
+
+/// A parentless user asserting a constraint (negative belief).
+fn neg_root(net: &mut TrustNetwork, name: &str, v: Value) -> User {
+    let u = net.user(name);
+    net.reject(u, NegSet::of([v])).expect("fresh root");
+    u
+}
+
+/// Builds an oscillator (Figures 4b / 16a) whose output node can hold
+/// either `one` (encoding 1) or `zero` (encoding 0) — the nondeterministic
+/// variable source of the reduction.
+pub fn oscillator(net: &mut TrustNetwork, prefix: &str, one: Value, zero: Value) -> User {
+    let n1 = net.user(&format!("{prefix}.osc1"));
+    let n2 = net.user(&format!("{prefix}.osc2"));
+    let r1 = pos_root(net, &format!("{prefix}.r1"), one);
+    let r2 = pos_root(net, &format!("{prefix}.r0"), zero);
+    net.trust(n1, n2, 100).expect("oscillator edge");
+    net.trust(n2, n1, 100).expect("oscillator edge");
+    net.trust(n1, r1, 50).expect("oscillator edge");
+    net.trust(n2, r2, 50).expect("oscillator edge");
+    n1
+}
+
+/// NOT gate (Figure 16b): maps `b+/a+` (1/0) to `c+/d+` (0/1).
+pub fn not_gate(net: &mut TrustNetwork, prefix: &str, input: User, gv: GateValues) -> User {
+    let ra = neg_root(net, &format!("{prefix}.ra"), gv.a);
+    let n1 = step(net, &format!("{prefix}.n1"), ra, input);
+    let rd = pos_root(net, &format!("{prefix}.rd"), gv.d);
+    let n2 = step(net, &format!("{prefix}.n2"), n1, rd);
+    let rb = neg_root(net, &format!("{prefix}.rb"), gv.b);
+    let n3 = step(net, &format!("{prefix}.n3"), rb, n2);
+    let rc = pos_root(net, &format!("{prefix}.rc"), gv.c);
+    step(net, &format!("{prefix}.out"), n3, rc)
+}
+
+/// PASS-THROUGH gate (Figure 16c): maps `b+/a+` (1/0) to `d+/c+` (1/0) —
+/// a NOT with `c` and `d` swapped, used to re-encode positive literals.
+pub fn pass_gate(net: &mut TrustNetwork, prefix: &str, input: User, gv: GateValues) -> User {
+    let ra = neg_root(net, &format!("{prefix}.ra"), gv.a);
+    let n1 = step(net, &format!("{prefix}.n1"), ra, input);
+    let rc = pos_root(net, &format!("{prefix}.rc"), gv.c);
+    let n2 = step(net, &format!("{prefix}.n2"), n1, rc);
+    let rb = neg_root(net, &format!("{prefix}.rb"), gv.b);
+    let n3 = step(net, &format!("{prefix}.n3"), rb, n2);
+    let rd = pos_root(net, &format!("{prefix}.rd"), gv.d);
+    step(net, &format!("{prefix}.out"), n3, rd)
+}
+
+/// k-ary OR gate (Figure 16d): inputs `d+/c+` (1/0), output `d+/e+` (1/0).
+pub fn or_gate(net: &mut TrustNetwork, prefix: &str, inputs: &[User], gv: GateValues) -> User {
+    assert!(!inputs.is_empty(), "OR needs at least one input");
+    // Per input: block c+ so only a true (d+) input survives the filter.
+    let mut filtered: Vec<User> = Vec::with_capacity(inputs.len());
+    for (i, &input) in inputs.iter().enumerate() {
+        let rc = neg_root(net, &format!("{prefix}.rc{i}"), gv.c);
+        filtered.push(step(net, &format!("{prefix}.m{i}"), rc, input));
+    }
+    // Fold: any surviving d+ wins.
+    let mut acc = filtered[0];
+    for (i, &m) in filtered.iter().enumerate().skip(1) {
+        acc = step(net, &format!("{prefix}.t{i}"), acc, m);
+    }
+    // Default to e+ (false) when nothing survived.
+    let re = pos_root(net, &format!("{prefix}.re"), gv.e);
+    step(net, &format!("{prefix}.out"), acc, re)
+}
+
+/// k-ary AND gate (Figure 16e): inputs `d+/e+` (1/0), output `f+/e+` (1/0).
+pub fn and_gate(net: &mut TrustNetwork, prefix: &str, inputs: &[User], gv: GateValues) -> User {
+    assert!(!inputs.is_empty(), "AND needs at least one input");
+    // Per input: block d+ so only a false (e+) input survives the filter.
+    let mut filtered: Vec<User> = Vec::with_capacity(inputs.len());
+    for (i, &input) in inputs.iter().enumerate() {
+        let rd = neg_root(net, &format!("{prefix}.rd{i}"), gv.d);
+        filtered.push(step(net, &format!("{prefix}.m{i}"), rd, input));
+    }
+    // Fold: any surviving e+ (a false conjunct) wins.
+    let mut acc = filtered[0];
+    for (i, &m) in filtered.iter().enumerate().skip(1) {
+        acc = step(net, &format!("{prefix}.t{i}"), acc, m);
+    }
+    // Default to f+ (true) when no conjunct was false.
+    let rf = pos_root(net, &format!("{prefix}.rf"), gv.f);
+    step(net, &format!("{prefix}.out"), acc, rf)
+}
+
+/// The trust-network encoding of a CNF formula (Figure 16f).
+#[derive(Debug)]
+pub struct CnfEncoding {
+    /// The network containing oscillators, gates and roots.
+    pub net: TrustNetwork,
+    /// The formula output node `Z`: `f+` possible iff satisfiable.
+    pub output: User,
+    /// The oscillator node of each variable (level-1 encoding `b+/a+`).
+    pub vars: Vec<User>,
+    /// The six gate values.
+    pub values: GateValues,
+}
+
+/// Encodes `cnf` as a binary trust network with constraints
+/// (Theorem 3.4's reduction). Satisfiability of the formula is equivalent
+/// to `f+ ∈ poss(output)` under the Agnostic or Eclectic paradigms.
+pub fn encode_cnf(cnf: &Cnf) -> CnfEncoding {
+    let mut net = TrustNetwork::new();
+    let gv = gate_values(&mut net);
+    let vars: Vec<User> = (0..cnf.num_vars)
+        .map(|i| oscillator(&mut net, &format!("x{}", i + 1), gv.b, gv.a))
+        .collect();
+    let mut clause_outputs: Vec<User> = Vec::with_capacity(cnf.clauses.len());
+    for (ci, clause) in cnf.clauses.iter().enumerate() {
+        assert!(!clause.is_empty(), "empty clauses are unsatisfiable");
+        let mut literal_outputs: Vec<User> = Vec::with_capacity(clause.len());
+        for (li, &lit) in clause.iter().enumerate() {
+            let var = lit.unsigned_abs() as usize - 1;
+            let prefix = format!("c{ci}.l{li}");
+            let out = if lit > 0 {
+                pass_gate(&mut net, &prefix, vars[var], gv)
+            } else {
+                not_gate(&mut net, &prefix, vars[var], gv)
+            };
+            literal_outputs.push(out);
+        }
+        clause_outputs.push(or_gate(&mut net, &format!("c{ci}.or"), &literal_outputs, gv));
+    }
+    let output = and_gate(&mut net, "and", &clause_outputs, gv);
+    CnfEncoding {
+        net,
+        output,
+        vars,
+        values: gv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acyclic::evaluate_acyclic;
+    use crate::binary::binarize;
+    use crate::paradigm::Paradigm;
+    use crate::signed::BeliefSet;
+    use crate::stable_signed::{enumerate_signed, possible_positives, Limits};
+
+    /// Evaluates a single gate on fixed inputs (roots instead of
+    /// oscillators) under a paradigm; returns the output positive value.
+    fn eval_gate(
+        paradigm: Paradigm,
+        build: impl Fn(&mut TrustNetwork, User, GateValues) -> User,
+        input_value: impl Fn(GateValues) -> Value,
+    ) -> (Option<Value>, GateValues) {
+        let mut net = TrustNetwork::new();
+        let gv = gate_values(&mut net);
+        let input = pos_root(&mut net, "input", input_value(gv));
+        let out = build(&mut net, input, gv);
+        let btn = binarize(&net);
+        let sol = evaluate_acyclic(&btn, paradigm).unwrap();
+        (sol[btn.node_of(out) as usize].pos, gv)
+    }
+
+    #[test]
+    fn not_gate_truth_table() {
+        for p in [Paradigm::Agnostic, Paradigm::Eclectic] {
+            let (out, gv) = eval_gate(p, |n, i, g| not_gate(n, "not", i, g), |g| g.b);
+            assert_eq!(out, Some(gv.c), "{p}: NOT(1) = 0 (c+)");
+            let (out, gv) = eval_gate(p, |n, i, g| not_gate(n, "not", i, g), |g| g.a);
+            assert_eq!(out, Some(gv.d), "{p}: NOT(0) = 1 (d+)");
+        }
+    }
+
+    #[test]
+    fn pass_gate_truth_table() {
+        for p in [Paradigm::Agnostic, Paradigm::Eclectic] {
+            let (out, gv) = eval_gate(p, |n, i, g| pass_gate(n, "pt", i, g), |g| g.b);
+            assert_eq!(out, Some(gv.d), "{p}: PASS(1) = 1 (d+)");
+            let (out, gv) = eval_gate(p, |n, i, g| pass_gate(n, "pt", i, g), |g| g.a);
+            assert_eq!(out, Some(gv.c), "{p}: PASS(0) = 0 (c+)");
+        }
+    }
+
+    #[test]
+    fn or_gate_truth_table() {
+        for p in [Paradigm::Agnostic, Paradigm::Eclectic] {
+            for bits in 0..8u32 {
+                let mut net = TrustNetwork::new();
+                let gv = gate_values(&mut net);
+                let inputs: Vec<User> = (0..3)
+                    .map(|i| {
+                        let v = if bits & (1 << i) != 0 { gv.d } else { gv.c };
+                        pos_root(&mut net, &format!("in{i}"), v)
+                    })
+                    .collect();
+                let out = or_gate(&mut net, "or", &inputs, gv);
+                let btn = binarize(&net);
+                let sol = evaluate_acyclic(&btn, p).unwrap();
+                let expected = if bits != 0 { gv.d } else { gv.e };
+                assert_eq!(
+                    sol[btn.node_of(out) as usize].pos,
+                    Some(expected),
+                    "{p}: OR bits {bits:03b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn and_gate_truth_table() {
+        for p in [Paradigm::Agnostic, Paradigm::Eclectic] {
+            for bits in 0..8u32 {
+                let mut net = TrustNetwork::new();
+                let gv = gate_values(&mut net);
+                let inputs: Vec<User> = (0..3)
+                    .map(|i| {
+                        let v = if bits & (1 << i) != 0 { gv.d } else { gv.e };
+                        pos_root(&mut net, &format!("in{i}"), v)
+                    })
+                    .collect();
+                let out = and_gate(&mut net, "and", &inputs, gv);
+                let btn = binarize(&net);
+                let sol = evaluate_acyclic(&btn, p).unwrap();
+                let expected = if bits == 0b111 { gv.f } else { gv.e };
+                assert_eq!(
+                    sol[btn.node_of(out) as usize].pos,
+                    Some(expected),
+                    "{p}: AND bits {bits:03b}"
+                );
+            }
+        }
+    }
+
+    /// Section 3.3: the gates break under Skeptic — NOT(1) collapses to ⊥
+    /// instead of producing c+.
+    #[test]
+    fn gates_break_under_skeptic() {
+        let mut net = TrustNetwork::new();
+        let gv = gate_values(&mut net);
+        let input = pos_root(&mut net, "input", gv.b);
+        let out = not_gate(&mut net, "not", input, gv);
+        let btn = binarize(&net);
+        let sol = evaluate_acyclic(&btn, Paradigm::Skeptic).unwrap();
+        assert_eq!(sol[btn.node_of(out) as usize], BeliefSet::bottom());
+    }
+
+    /// End-to-end reduction: f+ possible at Z iff the CNF is satisfiable.
+    /// Verified against DPLL on a batch of small formulas.
+    #[test]
+    fn cnf_reduction_matches_dpll() {
+        let formulas = vec![
+            Cnf::new(1, vec![vec![1]]),
+            Cnf::new(1, vec![vec![1], vec![-1]]), // unsat
+            Cnf::new(2, vec![vec![1, 2], vec![-1, -2]]),
+            Cnf::new(2, vec![vec![1], vec![-1, 2], vec![-2]]), // unsat chain
+            Cnf::new(2, vec![vec![-1, 2], vec![1, -2]]),
+        ];
+        for cnf in formulas {
+            let sat = crate::sat::solve(&cnf).is_some();
+            let enc = encode_cnf(&cnf);
+            let btn = binarize(&enc.net);
+            for p in [Paradigm::Agnostic, Paradigm::Eclectic] {
+                let sols = enumerate_signed(&btn, p, Limits::default()).unwrap();
+                let poss = possible_positives(&sols, btn.node_count());
+                let z = btn.node_of(enc.output);
+                assert_eq!(
+                    poss[z as usize].contains(&enc.values.f),
+                    sat,
+                    "{p}: f+ possible iff satisfiable, formula {cnf:?}"
+                );
+                // The dual certainty claim: unsat iff e+ certain.
+                let cert = crate::stable_signed::certain_positives(&sols, btn.node_count());
+                assert_eq!(
+                    cert[z as usize] == Some(enc.values.e),
+                    !sat,
+                    "{p}: e+ certain iff unsatisfiable, formula {cnf:?}"
+                );
+            }
+        }
+    }
+
+    /// The paper's running example (X1 ∨ ¬X2) ∧ (X2 ∨ X3) is satisfiable
+    /// and the encoding has a satisfying stable solution under Eclectic.
+    #[test]
+    fn paper_example_formula() {
+        let cnf = Cnf::new(3, vec![vec![1, -2], vec![2, 3]]);
+        assert!(crate::sat::solve(&cnf).is_some());
+        let enc = encode_cnf(&cnf);
+        let btn = binarize(&enc.net);
+        let sols = enumerate_signed(&btn, Paradigm::Agnostic, Limits::default()).unwrap();
+        // 3 oscillators → 8 stable solutions (one per assignment).
+        assert_eq!(sols.len(), 8);
+        let poss = possible_positives(&sols, btn.node_count());
+        assert!(poss[btn.node_of(enc.output) as usize].contains(&enc.values.f));
+        assert!(poss[btn.node_of(enc.output) as usize].contains(&enc.values.e));
+    }
+}

@@ -1,0 +1,89 @@
+#![warn(missing_docs)]
+
+//! # trustmap-core
+//!
+//! A from-scratch implementation of *Data Conflict Resolution Using Trust
+//! Mappings* (Gatterbauer & Suciu, SIGMOD 2010).
+//!
+//! In a community database, users hold conflicting beliefs about the value
+//! of each object and declare **priority trust mappings** ("I accept Bob's
+//! values, priority 100"). This crate computes, for every user, a consistent
+//! snapshot of the conflicting information:
+//!
+//! * [`network`] — the trust-network model (users, values, mappings,
+//!   explicit beliefs);
+//! * [`binary`] — binarization to the two-parent normal form
+//!   (Proposition 2.8);
+//! * [`resolution`] — Algorithm 1: possible/certain beliefs in worst-case
+//!   quadratic time;
+//! * [`stable`] — the stable-solution semantics (Definition 2.4) with an
+//!   exhaustive ground-truth enumerator;
+//! * [`lineage`] — tracing each belief to the explicit assertion it stems
+//!   from;
+//! * [`pairs`] — joint possible values, agreement checking, consensus
+//!   values (Proposition 2.13);
+//! * [`signed`] / [`paradigm`] — constraints as negative beliefs and the
+//!   Agnostic / Eclectic / Skeptic paradigms (Section 3);
+//! * [`skeptic`] — Algorithm 2: PTIME resolution under Skeptic;
+//! * [`acyclic`] — single-pass evaluation on DAGs for all paradigms
+//!   (Proposition 3.6);
+//! * [`stable_signed`] — ground-truth enumeration of constraint stable
+//!   solutions (Definition 3.3 / B.3);
+//! * [`gates`] / [`sat`] — the NP-hardness gadgets of Theorem 3.4 and a
+//!   small DPLL solver to cross-check them;
+//! * [`bulk`] — the bulk-resolution schedule of Section 4, reusable by SQL
+//!   and native executors.
+//!
+//! ## Quick example (Figure 1 / Figure 2)
+//!
+//! ```
+//! use trustmap_core::network::TrustNetwork;
+//! use trustmap_core::resolution::resolve_network;
+//!
+//! let mut net = TrustNetwork::new();
+//! let alice = net.user("Alice");
+//! let bob = net.user("Bob");
+//! let charlie = net.user("Charlie");
+//! net.trust(alice, bob, 100).unwrap();
+//! net.trust(alice, charlie, 50).unwrap();
+//! net.trust(bob, alice, 80).unwrap();
+//!
+//! let fish = net.value("fish");
+//! let knot = net.value("knot");
+//! net.believe(bob, fish).unwrap();
+//! net.believe(charlie, knot).unwrap();
+//!
+//! let r = resolve_network(&net).unwrap();
+//! // Alice sees Bob's value: he has the higher priority.
+//! assert_eq!(r.cert(alice), Some(fish));
+//! ```
+
+pub mod acyclic;
+pub mod binary;
+pub mod bulk;
+pub mod bulk_skeptic;
+pub mod error;
+pub mod gates;
+pub mod lineage;
+pub mod network;
+pub mod pairs;
+pub mod paradigm;
+pub mod resolution;
+pub mod sat;
+pub mod session;
+pub mod signed;
+pub mod skeptic;
+pub mod stable;
+pub mod stable_signed;
+pub mod user;
+pub mod value;
+
+pub use binary::{binarize, Btn, Parents};
+pub use error::{Error, Result};
+pub use network::{Mapping, TrustNetwork};
+pub use paradigm::Paradigm;
+pub use resolution::{resolve, resolve_network, resolve_with, Options, Resolution, SccMode};
+pub use session::{BeliefChange, Session};
+pub use signed::{BeliefSet, ExplicitBelief, NegSet};
+pub use user::User;
+pub use value::{Domain, Value};

@@ -1,0 +1,304 @@
+//! Priority trust networks (Definitions 2.1–2.3).
+//!
+//! A [`TrustNetwork`] is the user-facing model: named users, priority trust
+//! mappings (`child` accepts values from `parent` with an integer priority),
+//! and per-user explicit beliefs. Networks are *general*: any in-degree,
+//! arbitrary priorities, ties allowed. The resolution algorithms run on the
+//! [binarized](crate::binary) form.
+//!
+//! Priorities are local to each child: they only order that child's parents
+//! (footnote 2 of the paper — priorities of mappings defined by different
+//! users are incomparable).
+
+use crate::error::{Error, Result};
+use crate::signed::{ExplicitBelief, NegSet};
+use crate::user::User;
+use crate::value::{Domain, Value};
+use std::collections::HashMap;
+use trustmap_graph::DiGraph;
+
+/// A priority trust mapping `m = (parent, priority, child)` (Definition 2.2):
+/// `child` trusts the value from `parent` with the given priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mapping {
+    /// The trusted user (value flows *from* here).
+    pub parent: User,
+    /// The trusting user (value flows *to* here).
+    pub child: User,
+    /// Larger = more trusted; ties are broken arbitrarily (Definition 2.3).
+    pub priority: i64,
+}
+
+/// A priority trust network `TN = (U, E, b0)` (Definition 2.3).
+#[derive(Debug, Clone, Default)]
+pub struct TrustNetwork {
+    domain: Domain,
+    user_names: Vec<String>,
+    user_index: HashMap<String, User>,
+    mappings: Vec<Mapping>,
+    beliefs: Vec<ExplicitBelief>,
+}
+
+impl TrustNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or finds) a user by name.
+    pub fn user(&mut self, name: &str) -> User {
+        if let Some(&u) = self.user_index.get(name) {
+            return u;
+        }
+        let u = User(self.user_names.len() as u32);
+        self.user_names.push(name.to_owned());
+        self.user_index.insert(name.to_owned(), u);
+        self.beliefs.push(ExplicitBelief::None);
+        u
+    }
+
+    /// Adds `count` anonymous users (named `u<N>`), returning the first id.
+    ///
+    /// Used by the synthetic workload generators where names don't matter.
+    pub fn add_users(&mut self, count: usize) -> User {
+        let first = self.user_names.len() as u32;
+        for i in 0..count {
+            let name = format!("u{}", first as usize + i);
+            let u = User(self.user_names.len() as u32);
+            self.user_names.push(name.clone());
+            self.user_index.insert(name, u);
+            self.beliefs.push(ExplicitBelief::None);
+        }
+        User(first)
+    }
+
+    /// Interns a data value by name.
+    pub fn value(&mut self, name: &str) -> Value {
+        self.domain.intern(name)
+    }
+
+    /// Declares that `child` trusts `parent` with `priority`
+    /// (larger = stronger).
+    pub fn trust(&mut self, child: User, parent: User, priority: i64) -> Result<()> {
+        self.check_user(child)?;
+        self.check_user(parent)?;
+        if child == parent {
+            return Err(Error::SelfTrust(child));
+        }
+        self.mappings.push(Mapping {
+            parent,
+            child,
+            priority,
+        });
+        Ok(())
+    }
+
+    /// Sets an explicit positive belief `b0(user) = value`.
+    pub fn believe(&mut self, user: User, value: Value) -> Result<()> {
+        self.check_user(user)?;
+        self.beliefs[user.index()] = ExplicitBelief::Pos(value);
+        Ok(())
+    }
+
+    /// Sets an explicit set of negative beliefs (a constraint).
+    pub fn reject(&mut self, user: User, neg: NegSet) -> Result<()> {
+        self.check_user(user)?;
+        self.beliefs[user.index()] = ExplicitBelief::Negs(neg);
+        Ok(())
+    }
+
+    /// Removes `user`'s explicit belief (a *revocation*; Example 1.2 shows
+    /// why update-order-dependent systems cannot handle these).
+    pub fn revoke(&mut self, user: User) -> Result<()> {
+        self.check_user(user)?;
+        self.beliefs[user.index()] = ExplicitBelief::None;
+        Ok(())
+    }
+
+    /// The explicit belief of `user`.
+    pub fn belief(&self, user: User) -> &ExplicitBelief {
+        &self.beliefs[user.index()]
+    }
+
+    /// Number of users (`|U|`).
+    pub fn user_count(&self) -> usize {
+        self.user_names.len()
+    }
+
+    /// Number of trust mappings (`|E|`).
+    pub fn mapping_count(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// The network size `|U| + |E|` used as the x-axis of the paper's plots.
+    pub fn size(&self) -> usize {
+        self.user_count() + self.mapping_count()
+    }
+
+    /// All mappings.
+    pub fn mappings(&self) -> &[Mapping] {
+        &self.mappings
+    }
+
+    /// All users.
+    pub fn users(&self) -> impl Iterator<Item = User> {
+        (0..self.user_count() as u32).map(User)
+    }
+
+    /// Incoming mappings of `user` (their trusted parents).
+    pub fn parents_of(&self, user: User) -> impl Iterator<Item = &Mapping> {
+        self.mappings.iter().filter(move |m| m.child == user)
+    }
+
+    /// The user's name.
+    pub fn user_name(&self, user: User) -> &str {
+        &self.user_names[user.index()]
+    }
+
+    /// Looks up a user by name.
+    pub fn find_user(&self, name: &str) -> Option<User> {
+        self.user_index.get(name).copied()
+    }
+
+    /// The value domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Mutable access to the value domain (used by workload generators).
+    pub fn domain_mut(&mut self) -> &mut Domain {
+        &mut self.domain
+    }
+
+    /// Whether any user holds negative explicit beliefs.
+    pub fn has_negative_beliefs(&self) -> bool {
+        self.beliefs.iter().any(|b| b.has_negatives())
+    }
+
+    /// The first user with negative beliefs, if any.
+    pub fn first_negative_user(&self) -> Option<User> {
+        self.beliefs
+            .iter()
+            .position(|b| b.has_negatives())
+            .map(|i| User(i as u32))
+    }
+
+    /// The mapping graph (edges parent → child), nodes indexed by user id.
+    pub fn graph(&self) -> DiGraph {
+        let mut g = DiGraph::new(self.user_count());
+        for m in &self.mappings {
+            g.add_edge(m.parent.0, m.child.0);
+        }
+        g
+    }
+
+    fn check_user(&self, u: User) -> Result<()> {
+        if u.index() < self.user_count() {
+            Ok(())
+        } else {
+            Err(Error::UnknownUser(u))
+        }
+    }
+}
+
+/// Builds the three-archaeologist network of the paper's running example
+/// (Figure 2): Alice trusts Bob (100) and Charlie (50); Bob trusts Alice
+/// (80). Used across tests, examples, and docs.
+pub fn indus_network() -> (TrustNetwork, [User; 3]) {
+    let mut net = TrustNetwork::new();
+    let alice = net.user("Alice");
+    let bob = net.user("Bob");
+    let charlie = net.user("Charlie");
+    net.trust(alice, bob, 100).expect("valid mapping");
+    net.trust(alice, charlie, 50).expect("valid mapping");
+    net.trust(bob, alice, 80).expect("valid mapping");
+    (net, [alice, bob, charlie])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_figure_2() {
+        let (mut net, [alice, bob, charlie]) = indus_network();
+        assert_eq!(net.user_count(), 3);
+        assert_eq!(net.mapping_count(), 3);
+        assert_eq!(net.size(), 6);
+        let jar = net.value("jar");
+        net.believe(charlie, jar).unwrap();
+        assert_eq!(net.belief(charlie), &ExplicitBelief::Pos(jar));
+        assert_eq!(net.belief(alice), &ExplicitBelief::None);
+        let parents: Vec<_> = net.parents_of(alice).map(|m| m.parent).collect();
+        assert_eq!(parents, vec![bob, charlie]);
+    }
+
+    #[test]
+    fn user_interning_is_stable() {
+        let mut net = TrustNetwork::new();
+        let a = net.user("a");
+        assert_eq!(net.user("a"), a);
+        assert_eq!(net.find_user("a"), Some(a));
+        assert_eq!(net.find_user("zzz"), None);
+        assert_eq!(net.user_name(a), "a");
+    }
+
+    #[test]
+    fn self_trust_rejected() {
+        let mut net = TrustNetwork::new();
+        let a = net.user("a");
+        assert_eq!(net.trust(a, a, 1), Err(Error::SelfTrust(a)));
+    }
+
+    #[test]
+    fn unknown_user_rejected() {
+        let mut net = TrustNetwork::new();
+        let a = net.user("a");
+        let ghost = User(42);
+        assert_eq!(net.trust(a, ghost, 1), Err(Error::UnknownUser(ghost)));
+        assert_eq!(net.believe(ghost, Value(0)), Err(Error::UnknownUser(ghost)));
+    }
+
+    #[test]
+    fn revoke_clears_belief() {
+        let mut net = TrustNetwork::new();
+        let a = net.user("a");
+        let v = net.value("v");
+        net.believe(a, v).unwrap();
+        net.revoke(a).unwrap();
+        assert_eq!(net.belief(a), &ExplicitBelief::None);
+    }
+
+    #[test]
+    fn negative_beliefs_flagged() {
+        let mut net = TrustNetwork::new();
+        let a = net.user("a");
+        let v = net.value("v");
+        assert!(!net.has_negative_beliefs());
+        net.reject(a, NegSet::of([v])).unwrap();
+        assert!(net.has_negative_beliefs());
+        assert_eq!(net.first_negative_user(), Some(a));
+    }
+
+    #[test]
+    fn add_users_bulk() {
+        let mut net = TrustNetwork::new();
+        let first = net.add_users(3);
+        assert_eq!(first, User(0));
+        assert_eq!(net.user_count(), 3);
+        // Names are addressable.
+        assert_eq!(net.find_user("u1"), Some(User(1)));
+    }
+
+    #[test]
+    fn graph_matches_mappings() {
+        let (net, [alice, bob, charlie]) = indus_network();
+        let g = net.graph();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        let edges: Vec<_> = g.edges().collect();
+        assert!(edges.contains(&(bob.0, alice.0)));
+        assert!(edges.contains(&(charlie.0, alice.0)));
+        assert!(edges.contains(&(alice.0, bob.0)));
+    }
+}

@@ -1,0 +1,453 @@
+//! Joint possible values `poss(x, y)` and the conflict-analysis queries
+//! built on them (Section 2.1, Proposition 2.13).
+//!
+//! `poss(x, y)` is the set of value pairs `(v, w)` such that some stable
+//! solution assigns `v` to `x` and `w` to `y` *simultaneously* — strictly
+//! more informative than `poss(x) × poss(y)` (in the oscillator of
+//! Figure 4b, `poss(x1, x2)` contains `(v,v)` and `(w,w)` but not `(v,w)`).
+//!
+//! The computation extends Algorithm 1 (Proposition 2.13):
+//!
+//! * Step 1 (preferred edge `z → x`): `poss(u, x) = poss(u, z)` for every
+//!   closed `u`, and the diagonal `poss(x, x) = {(v, v)}`.
+//! * Step 2 (minimal SCC `S` with entry edges `z_e → x_e`): for closed `u`,
+//!   `poss(u, x) = ⋃_e poss(u, z_e)` (any entering value can flood all of
+//!   `S`); for `x, y ∈ S`, a pair of *vertex-disjoint paths* `x_e → x` and
+//!   `x_f → y` inside the preferred-collapsed quotient `S'` lets `x` and `y`
+//!   hold the values of `z_e` and `z_f` at the same time. In addition, every
+//!   value `v` entering `S` can flood the whole component, so all diagonal
+//!   pairs `(v, v)` are always possible — the paper's own example
+//!   (`poss(x1, x2) ⊇ {(v,v), (w,w)}` while `S'` is a single collapsed node)
+//!   requires this case, which the printed formula leaves implicit.
+//!
+//! Complexity is O(n⁴); this is an *analysis* query intended for
+//! moderately sized networks, not the million-node resolution path.
+
+use crate::binary::Btn;
+use crate::error::Result;
+use crate::resolution::{resolve, Resolution};
+use crate::value::Value;
+use std::collections::BTreeSet;
+use trustmap_graph::{
+    flow::{vertex_disjoint_pair, DisjointPair},
+    reach::reachable_from_many,
+    tarjan_scc_filtered, Condensation, DiGraph, NodeId,
+};
+
+/// Default DFS budget for the exact disjoint-path search.
+pub const DEFAULT_DP_BUDGET: usize = 200_000;
+
+/// The result of the pairwise analysis.
+#[derive(Debug, Clone)]
+pub struct PairsAnalysis {
+    n: usize,
+    resolution: Resolution,
+    /// Flattened `n × n` table of simultaneous value pairs.
+    pairs: Vec<BTreeSet<(Value, Value)>>,
+}
+
+impl PairsAnalysis {
+    /// The per-node resolution that was computed alongside the pairs.
+    pub fn resolution(&self) -> &Resolution {
+        &self.resolution
+    }
+
+    /// The simultaneous value pairs of `x` and `y`.
+    pub fn poss_pairs(&self, x: NodeId, y: NodeId) -> &BTreeSet<(Value, Value)> {
+        &self.pairs[x as usize * self.n + y as usize]
+    }
+
+    /// Agreement checking (Section 2.1): `x` and `y` hold the same value in
+    /// every stable solution in which both are defined.
+    pub fn agree(&self, x: NodeId, y: NodeId) -> bool {
+        self.poss_pairs(x, y).iter().all(|&(v, w)| v == w)
+    }
+
+    /// Consensus values (Section 2.1): the values `v` such that in every
+    /// stable solution, `b(x) = v` iff `b(y) = v`.
+    pub fn consensus(&self, x: NodeId, y: NodeId) -> BTreeSet<Value> {
+        let pairs = self.poss_pairs(x, y);
+        let mut candidates: BTreeSet<Value> =
+            pairs.iter().flat_map(|&(v, w)| [v, w]).collect();
+        candidates.retain(|&v| pairs.iter().all(|&(a, b)| (a == v) == (b == v)));
+        candidates
+    }
+
+    /// All pairs `(x, y)` of *original users* (`x < y`) that agree in every
+    /// stable solution and can actually hold values.
+    pub fn agreeing_user_pairs(&self, btn: &Btn) -> Vec<(NodeId, NodeId)> {
+        let u = btn.user_count() as NodeId;
+        let mut out = Vec::new();
+        for x in 0..u {
+            for y in (x + 1)..u {
+                if !self.poss_pairs(x, y).is_empty() && self.agree(x, y) {
+                    out.push((x, y));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs the extended Algorithm 1 computing `poss(x, y)` for all node pairs.
+pub fn analyze_pairs(btn: &Btn) -> Result<PairsAnalysis> {
+    analyze_pairs_with_budget(btn, DEFAULT_DP_BUDGET)
+}
+
+/// As [`analyze_pairs`], with an explicit disjoint-path search budget.
+/// If the budget trips (only conceivable on adversarial dense SCCs), the
+/// affected combination is *over*-approximated from the flow pre-check:
+/// `poss(x, y)` may gain spurious pairs but never loses real ones.
+pub fn analyze_pairs_with_budget(btn: &Btn, dp_budget: usize) -> Result<PairsAnalysis> {
+    let resolution = resolve(btn)?;
+    let n = btn.node_count();
+    let graph = btn.graph();
+    let mut pairs: Vec<BTreeSet<(Value, Value)>> = vec![BTreeSet::new(); n * n];
+
+    let roots: Vec<NodeId> = btn.roots().collect();
+    let reachable = reachable_from_many(&graph, roots.iter().copied(), |_| true);
+
+    let mut closed = vec![false; n];
+    let mut closed_list: Vec<NodeId> = Vec::new();
+    let mut open_left = (0..n).filter(|&x| reachable[x]).count();
+
+    // Worklist for Step 1.
+    let mut pref_children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for x in btn.nodes() {
+        if let Some(z) = btn.preferred_parent(x) {
+            pref_children[z as usize].push(x);
+        }
+    }
+    let mut worklist: Vec<NodeId> = Vec::new();
+
+    // Sets poss(x, y) and its transpose poss(y, x) together.
+    fn put(
+        pairs: &mut [BTreeSet<(Value, Value)>],
+        n: usize,
+        x: NodeId,
+        y: NodeId,
+        set: BTreeSet<(Value, Value)>,
+    ) {
+        let t: BTreeSet<(Value, Value)> = set.iter().map(|&(v, w)| (w, v)).collect();
+        pairs[x as usize * n + y as usize] = set;
+        pairs[y as usize * n + x as usize] = t;
+    }
+
+    // Initialization: roots are closed; every pair of roots is free to
+    // combine (their beliefs are independent explicit assertions).
+    for &r in &roots {
+        let v = btn.belief(r).positive().expect("positive root belief");
+        for &u in &closed_list {
+            let vu = btn.belief(u).positive().expect("positive root belief");
+            put(&mut pairs, n, u, r, BTreeSet::from([(vu, v)]));
+        }
+        pairs[r as usize * n + r as usize] = BTreeSet::from([(v, v)]);
+        closed[r as usize] = true;
+        closed_list.push(r);
+        open_left -= 1;
+        worklist.extend(pref_children[r as usize].iter().copied());
+    }
+
+    loop {
+        // Step 1: preferred propagation.
+        while let Some(x) = worklist.pop() {
+            let xs = x as usize;
+            if closed[xs] || !reachable[xs] {
+                continue;
+            }
+            let z = btn.preferred_parent(x).expect("worklist invariant");
+            #[allow(clippy::needless_range_loop)] // `pairs` is mutated inside
+            for i in 0..closed_list.len() {
+                let u = closed_list[i];
+                let set = pairs[u as usize * n + z as usize].clone();
+                put(&mut pairs, n, u, x, set);
+            }
+            let diag: BTreeSet<(Value, Value)> =
+                resolution.poss(x).iter().map(|&v| (v, v)).collect();
+            pairs[xs * n + xs] = diag;
+            closed[xs] = true;
+            closed_list.push(x);
+            open_left -= 1;
+            worklist.extend(pref_children[xs].iter().copied());
+        }
+        if open_left == 0 {
+            break;
+        }
+
+        // Step 2: one minimal SCC at a time (the pair formulas are stated
+        // per-component).
+        let is_open = |v: NodeId| reachable[v as usize] && !closed[v as usize];
+        let scc = tarjan_scc_filtered(&graph, is_open);
+        let cond = Condensation::new(&graph, scc, is_open);
+        let c = cond.sources().next().expect("nonempty open has a source");
+        let members: Vec<NodeId> = cond.members(c).to_vec();
+        let member_set: BTreeSet<NodeId> = members.iter().copied().collect();
+
+        // Entry edges (z_e -> x_e) from closed nodes into S.
+        let mut entries: Vec<(NodeId, NodeId)> = Vec::new();
+        for &x in &members {
+            for (z, _) in graph.in_neighbors(x) {
+                if closed[*z as usize] {
+                    entries.push((*z, x));
+                }
+            }
+        }
+
+        // poss(u, x) = ⋃_e poss(u, z_e), identical for every x in S.
+        #[allow(clippy::needless_range_loop)] // `pairs` is mutated inside
+        for i in 0..closed_list.len() {
+            let u = closed_list[i];
+            let mut set: BTreeSet<(Value, Value)> = BTreeSet::new();
+            for &(z, _) in &entries {
+                set.extend(pairs[u as usize * n + z as usize].iter().copied());
+            }
+            for &x in &members {
+                put(&mut pairs, n, u, x, set.clone());
+            }
+        }
+
+        // Preferred-collapsed quotient S' (all nodes linked by preferred
+        // edges inside S must share a value in every stable solution).
+        let quotient = PreferredQuotient::new(btn, &graph, &member_set);
+
+        // Diagonal pairs: any entering value can flood all of S.
+        let flood: BTreeSet<Value> = members
+            .iter()
+            .flat_map(|&x| resolution.poss(x).iter().copied())
+            .collect();
+        let diag: BTreeSet<(Value, Value)> = flood.iter().map(|&v| (v, v)).collect();
+
+        // Pairs inside S: diagonal + disjoint-path combinations.
+        let mut inner: Vec<PendingPair> = Vec::new();
+        for (ai, &x) in members.iter().enumerate() {
+            for &y in members.iter().skip(ai) {
+                let mut set = diag.clone();
+                if x != y {
+                    for &(ze, xe) in &entries {
+                        for &(zf, xf) in &entries {
+                            if ze == zf && xe == xf {
+                                continue;
+                            }
+                            if quotient.disjoint(xe, x, xf, y, dp_budget) {
+                                set.extend(
+                                    pairs[ze as usize * n + zf as usize].iter().copied(),
+                                );
+                            }
+                        }
+                    }
+                }
+                inner.push((x, y, set));
+            }
+        }
+        for (x, y, set) in inner {
+            if x == y {
+                pairs[x as usize * n + x as usize] = set;
+            } else {
+                put(&mut pairs, n, x, y, set);
+            }
+        }
+
+        for &x in &members {
+            closed[x as usize] = true;
+            closed_list.push(x);
+            open_left -= 1;
+            worklist.extend(pref_children[x as usize].iter().copied());
+        }
+    }
+
+    Ok(PairsAnalysis {
+        n,
+        resolution,
+        pairs,
+    })
+}
+
+/// A deferred `poss(x, y)` assignment collected during Step 2.
+type PendingPair = (NodeId, NodeId, BTreeSet<(Value, Value)>);
+
+/// The quotient of an SCC by its internal preferred edges.
+struct PreferredQuotient {
+    /// Quotient node of each original node (dense ids), or `u32::MAX`.
+    group: Vec<u32>,
+    graph: DiGraph,
+}
+
+impl PreferredQuotient {
+    fn new(btn: &Btn, graph: &DiGraph, members: &BTreeSet<NodeId>) -> Self {
+        let n = btn.node_count();
+        // Union-find over preferred edges inside the component.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            let mut root = x;
+            while parent[root as usize] != root {
+                root = parent[root as usize];
+            }
+            let mut cur = x;
+            while parent[cur as usize] != root {
+                let next = parent[cur as usize];
+                parent[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        for &x in members {
+            if let Some(z) = btn.preferred_parent(x) {
+                if members.contains(&z) {
+                    let (a, b) = (find(&mut parent, x), find(&mut parent, z));
+                    if a != b {
+                        parent[a as usize] = b;
+                    }
+                }
+            }
+        }
+        // Dense quotient ids.
+        let mut group = vec![u32::MAX; n];
+        let mut next = 0u32;
+        let mut rep_id: std::collections::HashMap<u32, u32> = Default::default();
+        for &x in members {
+            let r = find(&mut parent, x);
+            let id = *rep_id.entry(r).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+            group[x as usize] = id;
+        }
+        // Quotient edges (within the component only).
+        let mut qg = DiGraph::new(next as usize);
+        for &x in members {
+            for &(w, _) in graph.out_neighbors(x) {
+                if members.contains(&w) && group[x as usize] != group[w as usize] {
+                    qg.add_edge(group[x as usize], group[w as usize]);
+                }
+            }
+        }
+        PreferredQuotient { group, graph: qg }
+    }
+
+    /// Whether vertex-disjoint quotient paths `s1 → t1` and `s2 → t2` exist.
+    /// `Budget` answers are over-approximated to `true` (documented in
+    /// [`analyze_pairs_with_budget`]).
+    fn disjoint(&self, s1: NodeId, t1: NodeId, s2: NodeId, t2: NodeId, budget: usize) -> bool {
+        let m = |x: NodeId| self.group[x as usize];
+        match vertex_disjoint_pair(&self.graph, &|_| true, m(s1), m(t1), m(s2), m(t2), budget) {
+            DisjointPair::Yes | DisjointPair::Budget => true,
+            DisjointPair::No => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::binarize;
+    use crate::network::TrustNetwork;
+    use crate::stable::BruteForce;
+    use crate::user::User;
+
+    fn oscillator() -> (TrustNetwork, [User; 4], Value, Value) {
+        let mut net = TrustNetwork::new();
+        let x1 = net.user("x1");
+        let x2 = net.user("x2");
+        let x3 = net.user("x3");
+        let x4 = net.user("x4");
+        let v = net.value("v");
+        let w = net.value("w");
+        net.trust(x1, x2, 100).unwrap();
+        net.trust(x1, x3, 80).unwrap();
+        net.trust(x2, x1, 50).unwrap();
+        net.trust(x2, x4, 40).unwrap();
+        net.believe(x3, v).unwrap();
+        net.believe(x4, w).unwrap();
+        (net, [x1, x2, x3, x4], v, w)
+    }
+
+    /// The paper's own example: poss(x1, x2) = {(v,v), (w,w)}.
+    #[test]
+    fn oscillator_pairs_match_paper() {
+        let (net, [x1, x2, x3, x4], v, w) = oscillator();
+        let btn = binarize(&net);
+        let pa = analyze_pairs(&btn).unwrap();
+        let p12 = pa.poss_pairs(btn.node_of(x1), btn.node_of(x2));
+        assert_eq!(p12, &BTreeSet::from([(v, v), (w, w)]));
+        assert!(pa.agree(btn.node_of(x1), btn.node_of(x2)));
+        // Roots combine freely.
+        let p34 = pa.poss_pairs(btn.node_of(x3), btn.node_of(x4));
+        assert_eq!(p34, &BTreeSet::from([(v, w)]));
+        assert!(!pa.agree(btn.node_of(x3), btn.node_of(x4)));
+    }
+
+    /// Pairs must match brute-force enumeration on assorted small networks.
+    #[test]
+    fn pairs_match_brute_force() {
+        let (net, users, _, _) = oscillator();
+        check_against_brute_force(&net, &users);
+
+        // A 4-cycle with two non-adjacent feeders: members can disagree.
+        let mut net = TrustNetwork::new();
+        let a = net.user("a");
+        let b = net.user("b");
+        let c = net.user("c");
+        let d = net.user("d");
+        let r1 = net.user("r1");
+        let r2 = net.user("r2");
+        let v = net.value("v");
+        let w = net.value("w");
+        // Belief flows around the cycle a -> b -> c -> d -> a; feeders into
+        // a and c. All priorities tied so nothing dominates.
+        net.trust(b, a, 1).unwrap();
+        net.trust(c, b, 1).unwrap();
+        net.trust(d, c, 1).unwrap();
+        net.trust(a, d, 1).unwrap();
+        net.trust(a, r1, 1).unwrap();
+        net.trust(c, r2, 1).unwrap();
+        net.believe(r1, v).unwrap();
+        net.believe(r2, w).unwrap();
+        check_against_brute_force(&net, &[a, b, c, d, r1, r2]);
+    }
+
+    fn check_against_brute_force(net: &TrustNetwork, users: &[User]) {
+        let btn = binarize(net);
+        let bf = BruteForce::new(net, 1 << 22).unwrap();
+        let pa = analyze_pairs(&btn).unwrap();
+        for &x in users {
+            for &y in users {
+                let expected = bf.poss_pairs(x, y);
+                let got = pa.poss_pairs(btn.node_of(x), btn.node_of(y));
+                assert_eq!(
+                    got, &expected,
+                    "poss({}, {}) mismatch",
+                    net.user_name(x),
+                    net.user_name(y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn consensus_values() {
+        let (net, [x1, x2, x3, _], v, w) = oscillator();
+        let btn = binarize(&net);
+        let pa = analyze_pairs(&btn).unwrap();
+        // x1 and x2 always hold v together or w together: both consensus.
+        assert_eq!(
+            pa.consensus(btn.node_of(x1), btn.node_of(x2)),
+            BTreeSet::from([v, w])
+        );
+        // x1 vs x3: x3 always holds v while x1 sometimes holds w instead,
+        // so v is not consensus; w likewise (x1 has it when x3 doesn't).
+        assert_eq!(
+            pa.consensus(btn.node_of(x1), btn.node_of(x3)),
+            BTreeSet::new()
+        );
+    }
+
+    #[test]
+    fn agreeing_user_pairs_lists_cycle() {
+        let (net, [x1, x2, _, _], _, _) = oscillator();
+        let btn = binarize(&net);
+        let pa = analyze_pairs(&btn).unwrap();
+        let agree = pa.agreeing_user_pairs(&btn);
+        assert!(agree.contains(&(btn.node_of(x1), btn.node_of(x2))));
+    }
+}

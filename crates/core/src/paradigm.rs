@@ -1,0 +1,191 @@
+//! The three constraint-handling paradigms (Section 3.1).
+//!
+//! A paradigm fixes which belief sets are *valid* (in normal form) and how
+//! the preferred union behaves between them:
+//!
+//! * **Agnostic** — once a user knows a value, constraints are dropped:
+//!   valid sets are singleton positives or pure negative sets.
+//! * **Eclectic** — any consistent set is valid; constraints ride along
+//!   with values.
+//! * **Skeptic** — a positive belief `v+` *means* `{v+} ∪ (⊥ − {v−})`:
+//!   accepting a value implies rejecting every other value.
+//!
+//! Agnostic and Eclectic make conflict resolution NP-hard on cyclic networks
+//! (Theorem 3.4, reproduced in [`crate::gates`]); Skeptic stays PTIME
+//! ([`crate::skeptic`]). A key structural difference the paper points out:
+//! the skeptic preferred union is associative, the other two are not (see
+//! the `associativity` tests below).
+
+use crate::signed::{BeliefSet, NegSet};
+
+/// The three constraint-handling paradigms of Section 3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Paradigm {
+    /// Keep only the positive value once known; drop constraints.
+    Agnostic,
+    /// Keep any consistent set of beliefs.
+    Eclectic,
+    /// A positive value implies rejecting all other values.
+    Skeptic,
+}
+
+impl Paradigm {
+    /// All three paradigms, for table-driven tests and experiments.
+    pub const ALL: [Paradigm; 3] = [Paradigm::Agnostic, Paradigm::Eclectic, Paradigm::Skeptic];
+
+    /// The normal form `Normσ(B)`.
+    pub fn norm(self, b: &BeliefSet) -> BeliefSet {
+        match (self, b.pos) {
+            (Paradigm::Agnostic, Some(v)) => BeliefSet::positive(v),
+            (Paradigm::Skeptic, Some(v)) => BeliefSet {
+                pos: Some(v),
+                neg: NegSet::all_but(v),
+            },
+            _ => b.clone(),
+        }
+    }
+
+    /// The paradigm-specialized preferred union
+    /// `B1 ~∪σ B2 = Normσ(Normσ(B1) ⊎ Normσ(B2))` (Equation 1).
+    pub fn punion(self, b1: &BeliefSet, b2: &BeliefSet) -> BeliefSet {
+        self.norm(&self.norm(b1).preferred_union(&self.norm(b2)))
+    }
+
+    /// Short name as used in the paper ("A", "E", "S").
+    pub fn letter(self) -> char {
+        match self {
+            Paradigm::Agnostic => 'A',
+            Paradigm::Eclectic => 'E',
+            Paradigm::Skeptic => 'S',
+        }
+    }
+}
+
+impl std::fmt::Display for Paradigm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Paradigm::Agnostic => "Agnostic",
+            Paradigm::Eclectic => "Eclectic",
+            Paradigm::Skeptic => "Skeptic",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn v(i: u32) -> Value {
+        Value(i)
+    }
+
+    fn neg(vals: &[u32]) -> BeliefSet {
+        BeliefSet::negative(NegSet::of(vals.iter().map(|&i| v(i))))
+    }
+
+    fn pos(i: u32) -> BeliefSet {
+        BeliefSet::positive(v(i))
+    }
+
+    /// The paper's worked examples below Equation 1 (a = v0, b = v1, …).
+    #[test]
+    fn paper_examples() {
+        // {a−} ~∪A {b+} = {b+}
+        let r = Paradigm::Agnostic.punion(&neg(&[0]), &pos(1));
+        assert_eq!(r, pos(1));
+        // {a−} ~∪E {b+} = {b+, a−}
+        let r = Paradigm::Eclectic.punion(&neg(&[0]), &pos(1));
+        assert_eq!(r.pos, Some(v(1)));
+        assert!(r.neg.contains(v(0)) && !r.neg.contains(v(2)));
+        // {a−} ~∪S {b+} = {b+, a−, c−, d−, …}
+        let r = Paradigm::Skeptic.punion(&neg(&[0]), &pos(1));
+        assert_eq!(r.pos, Some(v(1)));
+        assert!(r.neg.contains(v(0)) && r.neg.contains(v(7)));
+        assert!(!r.neg.contains(v(1)));
+        // {b−} ~∪S {b+} = ⊥
+        let r = Paradigm::Skeptic.punion(&neg(&[1]), &pos(1));
+        assert!(r.is_bottom());
+    }
+
+    /// Section 3.3: ~∪S is associative; ~∪A and ~∪E are not. The paper's
+    /// witness: B1 = {a−} ~∪ ({a+} ~∪ {b+}), B2 = ({a−} ~∪ {a+}) ~∪ {b+}.
+    #[test]
+    fn associativity() {
+        for p in [Paradigm::Agnostic, Paradigm::Eclectic] {
+            let b1 = p.punion(&neg(&[0]), &p.punion(&pos(0), &pos(1)));
+            let b2 = p.punion(&p.punion(&neg(&[0]), &pos(0)), &pos(1));
+            assert_ne!(b1, b2, "{p} should not be associative");
+            // B1 = {a−} for both non-skeptic paradigms.
+            assert_eq!(b1, neg(&[0]));
+            // B2 = {b+} for Agnostic, {a−, b+} for Eclectic.
+            assert_eq!(b2.pos, Some(v(1)));
+            assert_eq!(b2.neg.contains(v(0)), p == Paradigm::Eclectic);
+        }
+        let s = Paradigm::Skeptic;
+        let b1 = s.punion(&neg(&[0]), &s.punion(&pos(0), &pos(1)));
+        let b2 = s.punion(&s.punion(&neg(&[0]), &pos(0)), &pos(1));
+        assert_eq!(b1, b2, "skeptic is associative on the witness");
+        assert!(b1.is_bottom());
+    }
+
+    /// Skeptic associativity over an exhaustive pool of shapes on a small
+    /// domain.
+    #[test]
+    fn skeptic_associative_exhaustive() {
+        let mut sets: Vec<BeliefSet> = vec![BeliefSet::empty(), BeliefSet::bottom()];
+        for i in 0..3 {
+            sets.push(pos(i));
+            sets.push(neg(&[i]));
+            sets.push(BeliefSet {
+                pos: Some(v(i)),
+                neg: NegSet::all_but(v(i)),
+            });
+        }
+        sets.push(neg(&[0, 1]));
+        sets.push(neg(&[1, 2]));
+        let s = Paradigm::Skeptic;
+        for a in &sets {
+            for b in &sets {
+                for c in &sets {
+                    let left = s.punion(a, &s.punion(b, c));
+                    let right = s.punion(&s.punion(a, b), c);
+                    assert_eq!(
+                        left, right,
+                        "skeptic associativity violated on {a:?}, {b:?}, {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn norm_shapes() {
+        let mixed = BeliefSet {
+            pos: Some(v(0)),
+            neg: NegSet::of([v(1)]),
+        };
+        assert_eq!(Paradigm::Agnostic.norm(&mixed), pos(0));
+        assert_eq!(Paradigm::Eclectic.norm(&mixed), mixed);
+        let s = Paradigm::Skeptic.norm(&mixed);
+        assert_eq!(s.pos, Some(v(0)));
+        assert!(s.neg.contains(v(1)) && s.neg.contains(v(9)));
+        // Negative-only sets are fixed points of every norm.
+        let n = neg(&[2]);
+        for p in Paradigm::ALL {
+            assert_eq!(p.norm(&n), n);
+        }
+    }
+
+    /// Without constraints all three paradigms agree on positive inputs.
+    #[test]
+    fn paradigms_collapse_without_constraints() {
+        for p in Paradigm::ALL {
+            let r = p.punion(&pos(0), &pos(1));
+            assert_eq!(r.pos, Some(v(0)), "{p}: left positive wins");
+            let r = p.punion(&BeliefSet::empty(), &pos(1));
+            assert_eq!(r.pos, Some(v(1)), "{p}: right flows through empty");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! A small DPLL CNF-SAT solver.
+//!
+//! Used to cross-check the NP-hardness reduction of Theorem 3.4: a CNF
+//! formula is satisfiable iff `f+` is a possible belief at the output node
+//! of its trust-network encoding ([`crate::gates`]). The solver is also the
+//! reference for the hardness experiments that mirror the paper's DLV
+//! exponential-scaling measurements.
+
+/// A CNF formula. Literals are non-zero integers: `+i` is variable `i-1`
+/// positive, `-i` negated (DIMACS convention).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Clauses as disjunctions of literals.
+    pub clauses: Vec<Vec<i32>>,
+}
+
+impl Cnf {
+    /// Builds a formula, checking literal ranges.
+    ///
+    /// # Panics
+    /// Panics on zero literals or out-of-range variables.
+    pub fn new(num_vars: usize, clauses: Vec<Vec<i32>>) -> Self {
+        for clause in &clauses {
+            for &lit in clause {
+                assert!(lit != 0, "literal 0 is not allowed");
+                assert!(
+                    (lit.unsigned_abs() as usize) <= num_vars,
+                    "literal {lit} out of range for {num_vars} vars"
+                );
+            }
+        }
+        Cnf { num_vars, clauses }
+    }
+
+    /// Evaluates the formula under a full assignment.
+    pub fn is_satisfied_by(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars);
+        self.clauses.iter().all(|clause| {
+            clause.iter().any(|&lit| {
+                let var = lit.unsigned_abs() as usize - 1;
+                assignment[var] == (lit > 0)
+            })
+        })
+    }
+}
+
+/// Decides satisfiability; returns a model if one exists.
+pub fn solve(cnf: &Cnf) -> Option<Vec<bool>> {
+    let mut assignment: Vec<Option<bool>> = vec![None; cnf.num_vars];
+    if dpll(cnf, &mut assignment) {
+        Some(assignment.into_iter().map(|b| b.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+fn dpll(cnf: &Cnf, assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut unit: Option<i32> = None;
+        for clause in &cnf.clauses {
+            let mut unassigned: Option<i32> = None;
+            let mut satisfied = false;
+            let mut open = 0;
+            for &lit in clause {
+                let var = lit.unsigned_abs() as usize - 1;
+                match assignment[var] {
+                    Some(val) if val == (lit > 0) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        open += 1;
+                        unassigned = Some(lit);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match open {
+                0 => {
+                    // Conflict: undo and fail.
+                    for var in trail {
+                        assignment[var] = None;
+                    }
+                    return false;
+                }
+                1 => {
+                    unit = unassigned;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match unit {
+            Some(lit) => {
+                let var = lit.unsigned_abs() as usize - 1;
+                assignment[var] = Some(lit > 0);
+                trail.push(var);
+            }
+            None => break,
+        }
+    }
+
+    // Pick a branching variable.
+    match assignment.iter().position(Option::is_none) {
+        None => {
+            // Full assignment — by propagation it satisfies every clause.
+            true
+        }
+        Some(var) => {
+            for guess in [true, false] {
+                assignment[var] = Some(guess);
+                if dpll(cnf, assignment) {
+                    return true;
+                }
+                assignment[var] = None;
+            }
+            for var in trail {
+                assignment[var] = None;
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn satisfiable_simple() {
+        // (x1 ∨ ¬x2) ∧ (x2 ∨ x3) — the paper's running CNF example.
+        let cnf = Cnf::new(3, vec![vec![1, -2], vec![2, 3]]);
+        let model = solve(&cnf).expect("satisfiable");
+        assert!(cnf.is_satisfied_by(&model));
+    }
+
+    #[test]
+    fn unsatisfiable_pair() {
+        let cnf = Cnf::new(1, vec![vec![1], vec![-1]]);
+        assert_eq!(solve(&cnf), None);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let cnf = Cnf::new(0, vec![]);
+        assert_eq!(solve(&cnf), Some(vec![]));
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let cnf = Cnf::new(1, vec![vec![]]);
+        assert_eq!(solve(&cnf), None);
+    }
+
+    #[test]
+    fn unit_propagation_chains() {
+        // x1, x1→x2, x2→x3 (as clauses), then force ¬x3: unsat.
+        let cnf = Cnf::new(3, vec![vec![1], vec![-1, 2], vec![-2, 3], vec![-3]]);
+        assert_eq!(solve(&cnf), None);
+        // Without the last clause: satisfiable with all true.
+        let cnf = Cnf::new(3, vec![vec![1], vec![-1, 2], vec![-2, 3]]);
+        let model = solve(&cnf).unwrap();
+        assert_eq!(model, vec![true, true, true]);
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_unsat() {
+        // Two pigeons, one hole: p1 ∧ p2 ∧ (¬p1 ∨ ¬p2).
+        let cnf = Cnf::new(2, vec![vec![1], vec![2], vec![-1, -2]]);
+        assert_eq!(solve(&cnf), None);
+    }
+
+    #[test]
+    fn exhaustive_cross_check_on_3vars() {
+        // All 256 3-var 2-clause formulas over a fixed literal pool,
+        // verified against brute force.
+        let lits = [1, -1, 2, -2, 3, -3];
+        for &a in &lits {
+            for &b in &lits {
+                for &c in &lits {
+                    for &d in &lits {
+                        let cnf = Cnf::new(3, vec![vec![a, b], vec![c, d]]);
+                        let brute = (0..8).any(|m| {
+                            let asg = [(m & 1) != 0, (m & 2) != 0, (m & 4) != 0];
+                            cnf.is_satisfied_by(&asg)
+                        });
+                        assert_eq!(solve(&cnf).is_some(), brute, "{cnf:?}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! An incremental editing session over a trust network.
+//!
+//! The paper's headline property is *order-invariance*: the resolved
+//! snapshot depends only on the current explicit beliefs, so any edit —
+//! insert, update, revocation, new mapping — is handled by re-running
+//! resolution (Section 2.5: "if an explicit belief is updated, we simply
+//! re-run the algorithm and obtain another consistent snapshot").
+//!
+//! [`Session`] packages that workflow: it owns the network, re-binarizes
+//! and re-resolves lazily after edits, reports which users' certain beliefs
+//! changed, and answers *what-if* queries without committing.
+
+use crate::binary::{binarize, Btn};
+use crate::error::Result;
+use crate::network::TrustNetwork;
+use crate::resolution::{resolve, UserResolution};
+use crate::signed::NegSet;
+use crate::user::User;
+use crate::value::Value;
+
+/// A change in one user's certain belief between two snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BeliefChange {
+    /// The affected user.
+    pub user: User,
+    /// The certain belief before the edit (`None` = conflicted/undefined).
+    pub before: Option<Value>,
+    /// The certain belief after the edit.
+    pub after: Option<Value>,
+}
+
+/// An editable trust network with cached resolution.
+#[derive(Debug, Clone)]
+pub struct Session {
+    net: TrustNetwork,
+    cache: Option<Cached>,
+}
+
+#[derive(Debug, Clone)]
+struct Cached {
+    btn: Btn,
+    resolution: UserResolution,
+}
+
+impl Session {
+    /// Starts a session over an existing network.
+    pub fn new(net: TrustNetwork) -> Self {
+        Session { net, cache: None }
+    }
+
+    /// Read access to the underlying network.
+    pub fn network(&self) -> &TrustNetwork {
+        &self.net
+    }
+
+    /// Adds (or finds) a user.
+    pub fn user(&mut self, name: &str) -> User {
+        // User interning does not change resolution results unless edges or
+        // beliefs are added, but the BTN node tables must be rebuilt.
+        self.cache = None;
+        self.net.user(name)
+    }
+
+    /// Interns a value.
+    pub fn value(&mut self, name: &str) -> Value {
+        self.cache = None;
+        self.net.value(name)
+    }
+
+    /// Declares a trust mapping and invalidates the snapshot.
+    pub fn trust(&mut self, child: User, parent: User, priority: i64) -> Result<()> {
+        self.cache = None;
+        self.net.trust(child, parent, priority)
+    }
+
+    /// Asserts an explicit belief and invalidates the snapshot.
+    pub fn believe(&mut self, user: User, value: Value) -> Result<()> {
+        self.cache = None;
+        self.net.believe(user, value)
+    }
+
+    /// Asserts a constraint and invalidates the snapshot.
+    pub fn reject(&mut self, user: User, neg: NegSet) -> Result<()> {
+        self.cache = None;
+        self.net.reject(user, neg)
+    }
+
+    /// Revokes an explicit belief and invalidates the snapshot.
+    pub fn revoke(&mut self, user: User) -> Result<()> {
+        self.cache = None;
+        self.net.revoke(user)
+    }
+
+    /// The current snapshot (recomputed only after edits).
+    pub fn snapshot(&mut self) -> Result<&UserResolution> {
+        if self.cache.is_none() {
+            let btn = binarize(&self.net);
+            let res = resolve(&btn)?;
+            let mut poss = Vec::with_capacity(self.net.user_count());
+            let mut cert = Vec::with_capacity(self.net.user_count());
+            for u in self.net.users() {
+                let node = btn.node_of(u);
+                poss.push(res.poss(node).to_vec());
+                cert.push(res.cert(node));
+            }
+            self.cache = Some(Cached {
+                btn,
+                resolution: UserResolution { poss, cert },
+            });
+        }
+        Ok(&self.cache.as_ref().expect("just filled").resolution)
+    }
+
+    /// The binarized form backing the current snapshot.
+    pub fn btn(&mut self) -> Result<&Btn> {
+        self.snapshot()?;
+        Ok(&self.cache.as_ref().expect("just filled").btn)
+    }
+
+    /// Applies `edit` to the session and reports every user whose
+    /// *certain* belief changed — the "what changed after this update"
+    /// question a community UI asks after each edit.
+    pub fn apply(
+        &mut self,
+        edit: impl FnOnce(&mut TrustNetwork) -> Result<()>,
+    ) -> Result<Vec<BeliefChange>> {
+        let before = self.snapshot()?.cert.clone();
+        edit(&mut self.net)?;
+        self.cache = None;
+        let after = &self.snapshot()?.cert;
+        let mut changes = Vec::new();
+        for (i, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+            if b != a {
+                changes.push(BeliefChange {
+                    user: User(i as u32),
+                    before: *b,
+                    after: *a,
+                });
+            }
+        }
+        // Users created by the edit start undefined; report them if they
+        // resolved to something.
+        #[allow(clippy::needless_range_loop)] // sparse tail scan
+        for i in before.len()..after.len() {
+            if let Some(v) = after[i] {
+                changes.push(BeliefChange {
+                    user: User(i as u32),
+                    before: None,
+                    after: Some(v),
+                });
+            }
+        }
+        Ok(changes)
+    }
+
+    /// Evaluates `edit` on a copy of the network and returns the resulting
+    /// snapshot without committing anything.
+    pub fn what_if(
+        &self,
+        edit: impl FnOnce(&mut TrustNetwork) -> Result<()>,
+    ) -> Result<UserResolution> {
+        let mut copy = self.net.clone();
+        edit(&mut copy)?;
+        crate::resolution::resolve_network(&copy)
+    }
+}
+
+impl From<TrustNetwork> for Session {
+    fn from(net: TrustNetwork) -> Self {
+        Session::new(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::indus_network;
+
+    fn session() -> (Session, [User; 3], Value, Value) {
+        let (mut net, users) = indus_network();
+        let jar = net.value("jar");
+        let cow = net.value("cow");
+        (Session::new(net), users, jar, cow)
+    }
+
+    #[test]
+    fn snapshot_caches_until_edit() {
+        let (mut s, [_, _, charlie], jar, _) = session();
+        s.believe(charlie, jar).unwrap();
+        let first = s.snapshot().unwrap().cert.clone();
+        // No edit: snapshot is stable (and cheap — same cache).
+        assert_eq!(s.snapshot().unwrap().cert, first);
+    }
+
+    #[test]
+    fn apply_reports_exactly_the_changed_users() {
+        let (mut s, [alice, bob, charlie], jar, cow) = session();
+        s.believe(charlie, jar).unwrap();
+        s.snapshot().unwrap();
+        // Bob asserts cow: Alice and Bob flip to cow, Charlie unchanged.
+        let changes = s.apply(|net| net.believe(bob, cow)).unwrap();
+        let changed: Vec<User> = changes.iter().map(|c| c.user).collect();
+        assert!(changed.contains(&alice));
+        assert!(changed.contains(&bob));
+        assert!(!changed.contains(&charlie));
+        for c in &changes {
+            assert_eq!(c.after, Some(cow));
+        }
+    }
+
+    #[test]
+    fn revocation_rolls_back_dependents() {
+        let (mut s, [alice, bob, charlie], jar, cow) = session();
+        s.believe(charlie, jar).unwrap();
+        s.believe(bob, cow).unwrap();
+        assert_eq!(s.snapshot().unwrap().cert(alice), Some(cow));
+        let changes = s.apply(|net| net.revoke(bob)).unwrap();
+        assert_eq!(s.snapshot().unwrap().cert(alice), Some(jar));
+        assert!(changes.iter().any(|c| c.user == alice
+            && c.before == Some(cow)
+            && c.after == Some(jar)));
+    }
+
+    #[test]
+    fn what_if_does_not_commit() {
+        let (mut s, [alice, bob, charlie], jar, cow) = session();
+        s.believe(charlie, jar).unwrap();
+        let hypothetical = s.what_if(|net| net.believe(bob, cow)).unwrap();
+        assert_eq!(hypothetical.cert(alice), Some(cow));
+        // The session itself is untouched.
+        assert_eq!(s.snapshot().unwrap().cert(alice), Some(jar));
+    }
+
+    #[test]
+    fn new_users_in_edit_are_reported() {
+        let (mut s, [_, bob, charlie], jar, _) = session();
+        s.believe(charlie, jar).unwrap();
+        s.snapshot().unwrap();
+        let changes = s
+            .apply(|net| {
+                let dave = net.user("Dave");
+                net.trust(dave, bob, 10)
+            })
+            .unwrap();
+        // Dave resolves to jar (via Bob ← Alice ← Charlie).
+        assert!(changes
+            .iter()
+            .any(|c| c.before.is_none() && c.after == Some(jar)));
+    }
+}

@@ -1,0 +1,407 @@
+//! Signed beliefs: positive beliefs, negative beliefs (constraints), and the
+//! preferred union (Section 3).
+//!
+//! A *negative belief* `v−` states that the value of the object is not `v`.
+//! Constraints like range predicates induce (possibly infinite) sets of
+//! negative beliefs, so negative sets are represented symbolically as either
+//! a finite set or a **co-finite** set (all values except a finite exclusion
+//! list). The inconsistent constraint `⊥` — "reject every value" — is the
+//! co-finite set with an empty exclusion list.
+
+use crate::value::{Domain, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A set of negative beliefs, possibly infinite.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NegSet {
+    /// Finitely many negated values.
+    Finite(BTreeSet<Value>),
+    /// All values are negated except the listed ones. `CoFinite(∅)` is ⊥.
+    CoFinite(BTreeSet<Value>),
+}
+
+impl Default for NegSet {
+    /// The empty (finite) set.
+    fn default() -> Self {
+        NegSet::empty()
+    }
+}
+
+impl NegSet {
+    /// The empty set of negative beliefs.
+    pub fn empty() -> Self {
+        NegSet::Finite(BTreeSet::new())
+    }
+
+    /// The set of *all* negative beliefs (the paper's ⊥ when it stands
+    /// alone).
+    pub fn all() -> Self {
+        NegSet::CoFinite(BTreeSet::new())
+    }
+
+    /// A finite set of negated values.
+    pub fn of(values: impl IntoIterator<Item = Value>) -> Self {
+        NegSet::Finite(values.into_iter().collect())
+    }
+
+    /// All values negated except `keep`.
+    pub fn all_but(keep: Value) -> Self {
+        NegSet::CoFinite(std::iter::once(keep).collect())
+    }
+
+    /// Whether `v−` belongs to the set.
+    pub fn contains(&self, v: Value) -> bool {
+        match self {
+            NegSet::Finite(s) => s.contains(&v),
+            NegSet::CoFinite(e) => !e.contains(&v),
+        }
+    }
+
+    /// Whether no value is negated.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, NegSet::Finite(s) if s.is_empty())
+    }
+
+    /// Whether every value is negated (⊥ as a constraint).
+    pub fn is_all(&self) -> bool {
+        matches!(self, NegSet::CoFinite(e) if e.is_empty())
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &NegSet) -> NegSet {
+        use NegSet::*;
+        match (self, other) {
+            (Finite(a), Finite(b)) => Finite(a.union(b).copied().collect()),
+            (Finite(a), CoFinite(e)) | (CoFinite(e), Finite(a)) => {
+                CoFinite(e.iter().copied().filter(|v| !a.contains(v)).collect())
+            }
+            (CoFinite(e1), CoFinite(e2)) => {
+                CoFinite(e1.intersection(e2).copied().collect())
+            }
+        }
+    }
+
+    /// The set without `v−`.
+    pub fn without(&self, v: Value) -> NegSet {
+        match self {
+            NegSet::Finite(s) => {
+                let mut s = s.clone();
+                s.remove(&v);
+                NegSet::Finite(s)
+            }
+            NegSet::CoFinite(e) => {
+                let mut e = e.clone();
+                e.insert(v);
+                NegSet::CoFinite(e)
+            }
+        }
+    }
+
+    /// Renders against a domain, e.g. `{a−, b−}` or `⊥ − {a−}`.
+    pub fn display<'a>(&'a self, domain: &'a Domain) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a NegSet, &'a Domain);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self.0 {
+                    NegSet::Finite(s) => {
+                        write!(f, "{{")?;
+                        for (i, v) in s.iter().enumerate() {
+                            if i > 0 {
+                                write!(f, ", ")?;
+                            }
+                            write!(f, "{}−", self.1.name(*v))?;
+                        }
+                        write!(f, "}}")
+                    }
+                    NegSet::CoFinite(e) if e.is_empty() => write!(f, "⊥"),
+                    NegSet::CoFinite(e) => {
+                        write!(f, "⊥ − {{")?;
+                        for (i, v) in e.iter().enumerate() {
+                            if i > 0 {
+                                write!(f, ", ")?;
+                            }
+                            write!(f, "{}−", self.1.name(*v))?;
+                        }
+                        write!(f, "}}")
+                    }
+                }
+            }
+        }
+        D(self, domain)
+    }
+}
+
+/// A consistent set of beliefs: at most one positive belief plus negative
+/// beliefs, none of which negate the positive one (Definition 3.1).
+///
+/// The paper's ⊥ (the belief set rejecting every value) is
+/// `BeliefSet { pos: None, neg: NegSet::all() }`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BeliefSet {
+    /// The positive belief, if any.
+    pub pos: Option<Value>,
+    /// The negative beliefs.
+    pub neg: NegSet,
+}
+
+impl BeliefSet {
+    /// The empty belief set (no opinion).
+    pub fn empty() -> Self {
+        BeliefSet {
+            pos: None,
+            neg: NegSet::empty(),
+        }
+    }
+
+    /// A single positive belief `{v+}`.
+    pub fn positive(v: Value) -> Self {
+        BeliefSet {
+            pos: Some(v),
+            neg: NegSet::empty(),
+        }
+    }
+
+    /// A set of negative beliefs.
+    pub fn negative(neg: NegSet) -> Self {
+        BeliefSet { pos: None, neg }
+    }
+
+    /// The inconsistent-constraint set ⊥ rejecting every value.
+    pub fn bottom() -> Self {
+        BeliefSet {
+            pos: None,
+            neg: NegSet::all(),
+        }
+    }
+
+    /// Whether this is ⊥.
+    pub fn is_bottom(&self) -> bool {
+        self.pos.is_none() && self.neg.is_all()
+    }
+
+    /// Whether the set contains no beliefs at all.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_none() && self.neg.is_empty()
+    }
+
+    /// Checks the internal consistency invariant (Definition 3.1).
+    pub fn is_consistent(&self) -> bool {
+        match self.pos {
+            Some(v) => !self.neg.contains(v),
+            None => true,
+        }
+    }
+
+    /// The preferred union `self ⊎ other` (Definition 3.2): keep all of
+    /// `self`, add the beliefs of `other` that are consistent with *every*
+    /// belief of `self`.
+    pub fn preferred_union(&self, other: &BeliefSet) -> BeliefSet {
+        debug_assert!(self.is_consistent() && other.is_consistent());
+        // other's positive belief w+ conflicts with self's pos (if distinct)
+        // or with w− ∈ self.neg.
+        let pos = match (self.pos, other.pos) {
+            (Some(v), _) => Some(v),
+            (None, Some(w)) if !self.neg.contains(w) => Some(w),
+            (None, _) => None,
+        };
+        // other's negative belief w− conflicts only with w+ ∈ self.
+        let added_neg = match self.pos {
+            Some(v) => other.neg.without(v),
+            None => other.neg.clone(),
+        };
+        let out = BeliefSet {
+            pos,
+            neg: self.neg.union(&added_neg),
+        };
+        debug_assert!(out.is_consistent());
+        out
+    }
+
+    /// Renders against a domain, e.g. `{a+, b−}`.
+    pub fn display<'a>(&'a self, domain: &'a Domain) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a BeliefSet, &'a Domain);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match (self.0.pos, &self.0.neg) {
+                    (None, n) => write!(f, "{}", n.display(self.1)),
+                    (Some(v), n) if n.is_empty() => {
+                        write!(f, "{{{}+}}", self.1.name(v))
+                    }
+                    (Some(v), n) => {
+                        write!(f, "{{{}+}} ∪ {}", self.1.name(v), n.display(self.1))
+                    }
+                }
+            }
+        }
+        D(self, domain)
+    }
+}
+
+/// An explicit belief `B0(x)`: nothing, one positive value, or a set of
+/// negative beliefs (Definition 3.3 restricts explicit beliefs to these
+/// shapes; the basic model of Section 2 uses only `None` / `Pos`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ExplicitBelief {
+    /// No explicit opinion.
+    #[default]
+    None,
+    /// The user asserts the value is `v`.
+    Pos(Value),
+    /// The user rejects the given values.
+    Negs(NegSet),
+}
+
+impl ExplicitBelief {
+    /// Whether an opinion is present.
+    pub fn is_some(&self) -> bool {
+        !matches!(self, ExplicitBelief::None)
+    }
+
+    /// The positive value, if this is a positive belief.
+    pub fn positive(&self) -> Option<Value> {
+        match self {
+            ExplicitBelief::Pos(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether this explicit belief contains any negative value.
+    pub fn has_negatives(&self) -> bool {
+        matches!(self, ExplicitBelief::Negs(n) if !n.is_empty())
+    }
+
+    /// The belief set corresponding to this explicit belief.
+    pub fn to_belief_set(&self) -> BeliefSet {
+        match self {
+            ExplicitBelief::None => BeliefSet::empty(),
+            ExplicitBelief::Pos(v) => BeliefSet::positive(*v),
+            ExplicitBelief::Negs(n) => BeliefSet::negative(n.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Value {
+        Value(i)
+    }
+
+    #[test]
+    fn negset_union_shapes() {
+        let f = NegSet::of([v(0), v(1)]);
+        let g = NegSet::of([v(1), v(2)]);
+        let u = f.union(&g);
+        assert!(u.contains(v(0)) && u.contains(v(1)) && u.contains(v(2)));
+        assert!(!u.contains(v(3)));
+
+        let cf = NegSet::all_but(v(0));
+        let u2 = f.union(&cf); // co-finite absorbs: only values outside both
+        assert!(u2.contains(v(0))); // v0 negated by f
+        assert!(u2.contains(v(5)));
+        let u3 = NegSet::all_but(v(0)).union(&NegSet::all_but(v(1)));
+        assert!(u3.is_all()); // exclusions intersect to ∅
+    }
+
+    #[test]
+    fn negset_without() {
+        let s = NegSet::all();
+        let s2 = s.without(v(3));
+        assert!(!s2.contains(v(3)));
+        assert!(s2.contains(v(4)));
+        let f = NegSet::of([v(1)]).without(v(1));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn bottom_checks() {
+        assert!(BeliefSet::bottom().is_bottom());
+        assert!(!BeliefSet::positive(v(1)).is_bottom());
+        assert!(BeliefSet::empty().is_empty());
+    }
+
+    #[test]
+    fn preferred_union_positive_wins_left() {
+        // {a+} ⊎ {b+} = {a+}: b+ conflicts with a+.
+        let a = BeliefSet::positive(v(0));
+        let b = BeliefSet::positive(v(1));
+        assert_eq!(a.preferred_union(&b), a);
+    }
+
+    #[test]
+    fn preferred_union_neg_blocks_pos() {
+        // {b−} ⊎ {b+} = {b−}.
+        let nb = BeliefSet::negative(NegSet::of([v(1)]));
+        let pb = BeliefSet::positive(v(1));
+        assert_eq!(nb.preferred_union(&pb), nb);
+        // {a−} ⊎ {b+} = {b+, a−}.
+        let na = BeliefSet::negative(NegSet::of([v(0)]));
+        let r = na.preferred_union(&pb);
+        assert_eq!(r.pos, Some(v(1)));
+        assert!(r.neg.contains(v(0)));
+    }
+
+    #[test]
+    fn preferred_union_pos_blocks_matching_neg() {
+        // {a+} ⊎ {a−, b−} = {a+, b−}: a− conflicts with a+.
+        let a = BeliefSet::positive(v(0));
+        let n = BeliefSet::negative(NegSet::of([v(0), v(1)]));
+        let r = a.preferred_union(&n);
+        assert_eq!(r.pos, Some(v(0)));
+        assert!(!r.neg.contains(v(0)));
+        assert!(r.neg.contains(v(1)));
+        assert!(r.is_consistent());
+    }
+
+    #[test]
+    fn bottom_absorbs() {
+        let bot = BeliefSet::bottom();
+        let pb = BeliefSet::positive(v(2));
+        assert_eq!(bot.preferred_union(&pb), bot);
+    }
+
+    #[test]
+    fn cofinite_negatives_survive_union() {
+        // {b+} ∪ (⊥ − {b−}) ⊎ {c+} keeps pos = b and all negatives.
+        let skeptic_b = BeliefSet {
+            pos: Some(v(1)),
+            neg: NegSet::all_but(v(1)),
+        };
+        let c = BeliefSet::positive(v(2));
+        let r = skeptic_b.preferred_union(&c);
+        assert_eq!(r.pos, Some(v(1)));
+        assert!(r.neg.contains(v(2)));
+        assert!(r.is_consistent());
+    }
+
+    #[test]
+    fn explicit_belief_conversion() {
+        assert!(ExplicitBelief::None.to_belief_set().is_empty());
+        assert_eq!(
+            ExplicitBelief::Pos(v(3)).to_belief_set(),
+            BeliefSet::positive(v(3))
+        );
+        assert!(ExplicitBelief::Negs(NegSet::of([v(1)])).has_negatives());
+        assert!(!ExplicitBelief::Pos(v(1)).has_negatives());
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut d = Domain::new();
+        let a = d.intern("a");
+        let b = d.intern("b");
+        assert_eq!(BeliefSet::positive(a).display(&d).to_string(), "{a+}");
+        assert_eq!(BeliefSet::bottom().display(&d).to_string(), "⊥");
+        let s = BeliefSet {
+            pos: Some(a),
+            neg: NegSet::of([b]),
+        };
+        assert_eq!(s.display(&d).to_string(), "{a+} ∪ {b−}");
+        assert_eq!(
+            NegSet::all_but(a).display(&d).to_string(),
+            "⊥ − {a−}"
+        );
+    }
+}

@@ -1,0 +1,510 @@
+//! The Skeptic Resolution Algorithm (Algorithm 2, Section 3.2).
+//!
+//! Computes a *representation* `repPoss(x)` of the possible beliefs of every
+//! node under the Skeptic paradigm, in worst-case quadratic time — the PTIME
+//! counterpoint to the NP-hard Agnostic/Eclectic paradigms (Theorem 3.4).
+//!
+//! `repPoss(x)` holds explicit positive values, explicit negative values,
+//! and a `⊥` marker; Figure 18's five cases decode it into the full possible
+//! and certain belief sets ([`SkepticResolution::poss`] /
+//! [`SkepticResolution::cert`]).
+//!
+//! ### Fidelity notes (documented deviations and findings)
+//!
+//! * Following Appendix B.7, Step 1 closes a node through a preferred edge
+//!   only when the parent's `repPoss` is **Type 2** (contains a positive or
+//!   ⊥): a Type-1 (negative-only) parent cannot stop positives from arriving
+//!   later over the non-preferred edge, so the node must wait for Step 2.
+//! * Unlike the printed initialization (which seeds only positive roots),
+//!   roots with *negative* explicit beliefs are also closed, carrying their
+//!   negatives in `repPoss`. Without this, pure-constraint chains resolve to
+//!   the empty set and Figure 18's negative-only cases could never arise.
+//! * `prefNeg` tracks — exactly as printed — only *explicit* negatives
+//!   propagated along preferred chains. Negatives that become certain at a
+//!   preferred parent through its own non-preferred edge are **not**
+//!   tracked, so Algorithm 2 can over-approximate `poss` (and
+//!   under-approximate `cert`) on such networks; the unit test
+//!   `paper_blocking_approximation` pins the smallest counterexample we
+//!   found. On the paper's own examples (Figure 6) and on positive-only
+//!   networks the algorithm is exact, and the exact alternatives are
+//!   [`crate::acyclic`] (DAGs) and [`crate::stable_signed`] (ground truth).
+
+use crate::binary::Btn;
+use crate::error::{Error, Result};
+use crate::signed::{BeliefSet, ExplicitBelief, NegSet};
+use crate::value::Value;
+use std::collections::BTreeSet;
+use trustmap_graph::{reach::reachable_from_many, tarjan_scc_filtered, Condensation, NodeId};
+
+/// The representation of the possible beliefs of one node.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RepPoss {
+    /// Possible positive values.
+    pub pos: BTreeSet<Value>,
+    /// Explicitly tracked possible negative values.
+    pub neg: NegSet,
+    /// Whether the inconsistent belief set ⊥ is possible.
+    pub bottom: bool,
+}
+
+impl RepPoss {
+    fn empty() -> Self {
+        RepPoss {
+            pos: BTreeSet::new(),
+            neg: NegSet::empty(),
+            bottom: false,
+        }
+    }
+
+    /// Type 2 = contains a positive value or ⊥ (Appendix B.7); such a node
+    /// always blocks its non-preferred siblings downstream.
+    pub fn is_type2(&self) -> bool {
+        !self.pos.is_empty() || self.bottom
+    }
+
+    /// Whether nothing at all was recorded (unreachable node).
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty() && self.neg.is_empty() && !self.bottom
+    }
+}
+
+/// Decoded possible beliefs: positive values plus the negative closure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PossBeliefs {
+    /// All possible positive beliefs.
+    pub pos: BTreeSet<Value>,
+    /// All possible negative beliefs.
+    pub neg: NegSet,
+}
+
+/// Output of Algorithm 2.
+#[derive(Debug, Clone)]
+pub struct SkepticResolution {
+    rep: Vec<RepPoss>,
+    pref_neg: Vec<NegSet>,
+}
+
+impl SkepticResolution {
+    /// The raw representation for `node`.
+    pub fn rep_poss(&self, node: NodeId) -> &RepPoss {
+        &self.rep[node as usize]
+    }
+
+    /// The `prefNeg` set computed in preprocessing (explicit negatives
+    /// forced onto `node` through preferred chains).
+    pub fn pref_neg(&self, node: NodeId) -> &NegSet {
+        &self.pref_neg[node as usize]
+    }
+
+    /// Decodes the possible beliefs of `node` (the expansion rules above
+    /// Figure 18): a positive `v+` implies every other negative, ⊥ implies
+    /// every negative.
+    pub fn poss(&self, node: NodeId) -> PossBeliefs {
+        let rep = &self.rep[node as usize];
+        let mut neg = rep.neg.clone();
+        if rep.bottom {
+            neg = NegSet::all();
+        }
+        for &v in &rep.pos {
+            neg = neg.union(&NegSet::all_but(v));
+        }
+        PossBeliefs {
+            pos: rep.pos.clone(),
+            neg,
+        }
+    }
+
+    /// Decodes the certain beliefs of `node` (the five cases of Figure 18).
+    pub fn cert(&self, node: NodeId) -> BeliefSet {
+        let rep = &self.rep[node as usize];
+        match rep.pos.len() {
+            // Cases 1–2: no positive; the stored negatives (everything, if
+            // ⊥ is possible) are certain.
+            0 => BeliefSet::negative(if rep.bottom {
+                NegSet::all()
+            } else {
+                rep.neg.clone()
+            }),
+            1 => {
+                let v = *rep.pos.iter().next().expect("len checked");
+                if rep.neg.contains(v) || rep.bottom {
+                    // Case 4: v+ possible but so is a set without it; only
+                    // the complement negatives are shared.
+                    BeliefSet::negative(NegSet::all_but(v))
+                } else {
+                    // Case 3: the unique solution holds v+ and all other
+                    // negatives.
+                    BeliefSet {
+                        pos: Some(v),
+                        neg: NegSet::all_but(v),
+                    }
+                }
+            }
+            // Case 5: k ≥ 2 positives; certain are the negatives of all
+            // *other* values.
+            _ => {
+                let mut neg = NegSet::all();
+                for &v in &rep.pos {
+                    neg = neg.without(v);
+                }
+                BeliefSet::negative(neg)
+            }
+        }
+    }
+
+    /// The certain positive value, if any (the basic-model notion).
+    pub fn cert_positive(&self, node: NodeId) -> Option<Value> {
+        self.cert(node).pos
+    }
+}
+
+/// Runs Algorithm 2 on a tie-free BTN (constraints allowed).
+pub fn resolve_skeptic(btn: &Btn) -> Result<SkepticResolution> {
+    if let Some(x) = btn
+        .nodes()
+        .find(|&x| matches!(btn.parents(x), crate::binary::Parents::Tied(..)))
+    {
+        let user = btn.origin(x).unwrap_or(crate::user::User(x));
+        return Err(Error::TiesUnsupported(user));
+    }
+
+    let n = btn.node_count();
+    let graph = btn.graph();
+
+    // (P) Preprocessing: prefNeg = explicit negatives flowing along
+    // preferred chains (fixpoint; preferred cycles converge since sets only
+    // grow).
+    let mut pref_neg: Vec<NegSet> = vec![NegSet::empty(); n];
+    let mut worklist: Vec<NodeId> = Vec::new();
+    for x in btn.nodes() {
+        if let ExplicitBelief::Negs(neg) = btn.belief(x) {
+            pref_neg[x as usize] = neg.clone();
+            worklist.push(x);
+        }
+    }
+    let mut pref_children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for x in btn.nodes() {
+        if let Some(z) = btn.preferred_parent(x) {
+            pref_children[z as usize].push(x);
+        }
+    }
+    while let Some(z) = worklist.pop() {
+        for &x in &pref_children[z as usize] {
+            // In a BTN non-roots carry no explicit positive belief, so the
+            // `v+ ∉ b0(x)` guard is vacuous here.
+            let merged = pref_neg[x as usize].union(&pref_neg[z as usize]);
+            if merged != pref_neg[x as usize] {
+                pref_neg[x as usize] = merged;
+                worklist.push(x);
+            }
+        }
+    }
+
+    // (I) Initialization: close every root. Positive roots carry their
+    // value; negative roots carry their constraint (see fidelity notes).
+    let mut rep: Vec<RepPoss> = vec![RepPoss::empty(); n];
+    let mut closed = vec![false; n];
+    let roots: Vec<NodeId> = btn.roots().collect();
+    let reachable = reachable_from_many(&graph, roots.iter().copied(), |_| true);
+    let mut open_left = (0..n).filter(|&x| reachable[x]).count();
+
+    let mut s1: Vec<NodeId> = Vec::new();
+    for &r in &roots {
+        match btn.belief(r) {
+            ExplicitBelief::Pos(v) => {
+                rep[r as usize].pos.insert(*v);
+            }
+            ExplicitBelief::Negs(neg) => {
+                rep[r as usize].neg = neg.clone();
+            }
+            ExplicitBelief::None => unreachable!("roots have beliefs"),
+        }
+        closed[r as usize] = true;
+        open_left -= 1;
+        s1.extend(pref_children[r as usize].iter().copied());
+    }
+
+    // (M) Main loop.
+    loop {
+        // (S1) Preferred copies — only from Type-2 parents (Appendix B.7).
+        while let Some(x) = s1.pop() {
+            let xs = x as usize;
+            if closed[xs] || !reachable[xs] {
+                continue;
+            }
+            let z = btn.preferred_parent(x).expect("worklist invariant");
+            if !closed[z as usize] || !rep[z as usize].is_type2() {
+                continue;
+            }
+            rep[xs] = rep[z as usize].clone();
+            closed[xs] = true;
+            open_left -= 1;
+            s1.extend(pref_children[xs].iter().copied());
+        }
+        if open_left == 0 {
+            break;
+        }
+
+        // (S2) Flood source SCCs of the open subgraph.
+        let is_open = |v: NodeId| reachable[v as usize] && !closed[v as usize];
+        let scc = tarjan_scc_filtered(&graph, is_open);
+        let cond = Condensation::new(&graph, scc, is_open);
+        let sources: Vec<u32> = cond.sources().collect();
+        debug_assert!(!sources.is_empty());
+
+        for c in sources {
+            let members: Vec<NodeId> = cond.members(c).to_vec();
+            let in_s: BTreeSet<NodeId> = members.iter().copied().collect();
+            // Closed nodes with edges into S.
+            let mut entry_nodes: BTreeSet<NodeId> = BTreeSet::new();
+            for &x in &members {
+                for (z, _) in graph.in_neighbors(x) {
+                    if closed[*z as usize] {
+                        entry_nodes.insert(*z);
+                    }
+                }
+            }
+
+            // Collect updates first (rep of members must not change while
+            // other entries are still being processed).
+            let mut add_pos: Vec<BTreeSet<Value>> = vec![BTreeSet::new(); members.len()];
+            let mut add_bottom = vec![false; members.len()];
+            let mut add_neg: Vec<NegSet> = vec![NegSet::empty(); members.len()];
+
+            for &zj in &entry_nodes {
+                let zrep = rep[zj as usize].clone();
+                for &v in &zrep.pos {
+                    // S' = S minus nodes whose preferred side forces v−.
+                    let in_sprime =
+                        |x: NodeId| in_s.contains(&x) && !pref_neg[x as usize].contains(v);
+                    // Entry points of zj into S'.
+                    let entry_pts = graph
+                        .out_neighbors(zj)
+                        .iter()
+                        .map(|&(w, _)| w)
+                        .filter(|&w| in_sprime(w));
+                    let reach = reachable_from_many(&graph, entry_pts, in_sprime);
+                    for (i, &x) in members.iter().enumerate() {
+                        if reach[x as usize] {
+                            add_pos[i].insert(v);
+                        } else {
+                            add_bottom[i] = true;
+                        }
+                    }
+                }
+                for (i, _) in members.iter().enumerate() {
+                    add_neg[i] = add_neg[i].union(&zrep.neg);
+                    add_bottom[i] |= zrep.bottom;
+                }
+            }
+
+            for (i, &x) in members.iter().enumerate() {
+                let r = &mut rep[x as usize];
+                r.pos.extend(add_pos[i].iter().copied());
+                r.neg = r.neg.union(&add_neg[i]);
+                r.bottom |= add_bottom[i];
+                closed[x as usize] = true;
+                open_left -= 1;
+                s1.extend(pref_children[x as usize].iter().copied());
+            }
+        }
+    }
+
+    Ok(SkepticResolution { rep, pref_neg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acyclic::{evaluate_acyclic, figure_6_network};
+    use crate::binary::binarize;
+    use crate::network::TrustNetwork;
+    use crate::paradigm::Paradigm;
+
+    /// Figure 6d end-to-end: x3 holds a+, x5/x7/x9 collapse to ⊥.
+    #[test]
+    fn figure_6_skeptic() {
+        let (net, x) = figure_6_network();
+        let a = net.domain().get("a").unwrap();
+        let btn = binarize(&net);
+        let r = resolve_skeptic(&btn).unwrap();
+        let node = |u| btn.node_of(u);
+
+        let x3 = r.rep_poss(node(x[2]));
+        assert_eq!(x3.pos, BTreeSet::from([a]));
+        assert!(!x3.bottom);
+        assert_eq!(r.cert_positive(node(x[2])), Some(a));
+
+        for &xi in &[x[4], x[6], x[8]] {
+            let rep = r.rep_poss(node(xi));
+            assert!(rep.bottom, "{} should be ⊥", net.user_name(xi));
+            assert!(rep.pos.is_empty());
+            assert!(r.cert(node(xi)).is_bottom());
+        }
+    }
+
+    /// On positive-only networks Algorithm 2 must agree with Algorithm 1
+    /// (the paradigms collapse, Section 3.3) — including on cycles.
+    #[test]
+    fn collapses_to_basic_on_positive_networks() {
+        let mut net = TrustNetwork::new();
+        let x1 = net.user("x1");
+        let x2 = net.user("x2");
+        let x3 = net.user("x3");
+        let x4 = net.user("x4");
+        let v = net.value("v");
+        let w = net.value("w");
+        net.trust(x1, x2, 100).unwrap();
+        net.trust(x1, x3, 80).unwrap();
+        net.trust(x2, x1, 50).unwrap();
+        net.trust(x2, x4, 40).unwrap();
+        net.believe(x3, v).unwrap();
+        net.believe(x4, w).unwrap();
+        let btn = binarize(&net);
+        let basic = crate::resolution::resolve(&btn).unwrap();
+        let skeptic = resolve_skeptic(&btn).unwrap();
+        for node in btn.nodes() {
+            let expected: BTreeSet<Value> = basic.poss(node).iter().copied().collect();
+            assert_eq!(skeptic.rep_poss(node).pos, expected, "node {node}");
+            assert!(!skeptic.rep_poss(node).bottom);
+            assert_eq!(skeptic.cert_positive(node), basic.cert(node));
+        }
+    }
+
+    /// Pure-constraint chains carry negatives (Figure 18 case 1).
+    #[test]
+    fn negative_chain_case_1() {
+        use crate::signed::NegSet;
+        let mut net = TrustNetwork::new();
+        let root = net.user("root");
+        let mid = net.user("mid");
+        let leaf = net.user("leaf");
+        let a = net.value("a");
+        net.trust(mid, root, 1).unwrap();
+        net.trust(leaf, mid, 1).unwrap();
+        net.reject(root, NegSet::of([a])).unwrap();
+        let btn = binarize(&net);
+        let r = resolve_skeptic(&btn).unwrap();
+        for u in [root, mid, leaf] {
+            let rep = r.rep_poss(btn.node_of(u));
+            assert!(rep.neg.contains(a));
+            assert!(rep.pos.is_empty() && !rep.bottom);
+            let cert = r.cert(btn.node_of(u));
+            assert!(cert.neg.contains(a) && cert.pos.is_none());
+        }
+    }
+
+    /// A constraint on the preferred side plus the matching value on the
+    /// non-preferred side yields ⊥ (Figure 18 case 2).
+    #[test]
+    fn blocked_value_becomes_bottom() {
+        use crate::signed::NegSet;
+        let mut net = TrustNetwork::new();
+        let x = net.user("x");
+        let guard = net.user("guard");
+        let src = net.user("src");
+        let a = net.value("a");
+        net.trust(x, guard, 2).unwrap();
+        net.trust(x, src, 1).unwrap();
+        net.reject(guard, NegSet::of([a])).unwrap();
+        net.believe(src, a).unwrap();
+        let btn = binarize(&net);
+        let r = resolve_skeptic(&btn).unwrap();
+        let rep = r.rep_poss(btn.node_of(x));
+        assert!(rep.bottom);
+        assert!(rep.pos.is_empty());
+        assert!(r.cert(btn.node_of(x)).is_bottom());
+        // Exact reference agrees (DAG).
+        let exact = evaluate_acyclic(&btn, Paradigm::Skeptic).unwrap();
+        assert!(exact[btn.node_of(x) as usize].is_bottom());
+    }
+
+    /// Figure 18 decode spot checks on hand-built representations.
+    #[test]
+    fn fig18_decode_cases() {
+        use crate::signed::NegSet;
+        let v0 = Value(0);
+        let v1 = Value(1);
+        let mk = |rep: RepPoss| SkepticResolution {
+            rep: vec![rep],
+            pref_neg: vec![NegSet::empty()],
+        };
+        // Case 1: only negatives.
+        let r = mk(RepPoss {
+            pos: BTreeSet::new(),
+            neg: NegSet::of([v0]),
+            bottom: false,
+        });
+        assert_eq!(r.cert(0), BeliefSet::negative(NegSet::of([v0])));
+        assert_eq!(r.poss(0).neg, NegSet::of([v0]));
+        // Case 2: ⊥ plus negatives.
+        let r = mk(RepPoss {
+            pos: BTreeSet::new(),
+            neg: NegSet::of([v0]),
+            bottom: true,
+        });
+        assert!(r.cert(0).is_bottom());
+        assert!(r.poss(0).neg.is_all());
+        // Case 3: sole positive, not contradicted.
+        let r = mk(RepPoss {
+            pos: BTreeSet::from([v0]),
+            neg: NegSet::empty(),
+            bottom: false,
+        });
+        let cert = r.cert(0);
+        assert_eq!(cert.pos, Some(v0));
+        assert!(cert.neg.contains(v1) && !cert.neg.contains(v0));
+        // Case 4: positive and its own negative.
+        let r = mk(RepPoss {
+            pos: BTreeSet::from([v0]),
+            neg: NegSet::of([v0]),
+            bottom: false,
+        });
+        let cert = r.cert(0);
+        assert_eq!(cert.pos, None);
+        assert!(cert.neg.contains(v1) && !cert.neg.contains(v0));
+        let poss = r.poss(0);
+        assert!(poss.neg.is_all());
+        // Case 5: two positives.
+        let r = mk(RepPoss {
+            pos: BTreeSet::from([v0, v1]),
+            neg: NegSet::empty(),
+            bottom: false,
+        });
+        let cert = r.cert(0);
+        assert_eq!(cert.pos, None);
+        assert!(!cert.neg.contains(v0) && !cert.neg.contains(v1));
+        assert!(cert.neg.contains(Value(2)));
+    }
+
+    /// The documented fidelity gap: a negative certain at the preferred
+    /// parent but acquired over a *non-preferred* edge is not in `prefNeg`,
+    /// so the printed algorithm reports a blocked value as possible. The
+    /// exact DAG evaluator disagrees — this test pins the approximation.
+    #[test]
+    fn paper_blocking_approximation() {
+        use crate::signed::NegSet;
+        let mut net = TrustNetwork::new();
+        let q = net.user("q");
+        let z = net.user("z");
+        let w = net.user("w");
+        let y = net.user("y");
+        let x = net.user("x");
+        let a = net.value("a");
+        let c = net.value("c");
+        net.reject(q, NegSet::of([c])).unwrap();
+        net.reject(z, NegSet::of([a])).unwrap();
+        net.believe(w, a).unwrap();
+        net.trust(y, q, 2).unwrap();
+        net.trust(y, z, 1).unwrap();
+        net.trust(x, y, 2).unwrap();
+        net.trust(x, w, 1).unwrap();
+        let btn = binarize(&net);
+        // Exact: x = ⊥ (a+ is blocked by a− certain at y).
+        let exact = evaluate_acyclic(&btn, Paradigm::Skeptic).unwrap();
+        assert!(exact[btn.node_of(x) as usize].is_bottom());
+        // Algorithm 2 as printed: a+ still listed possible at x.
+        let r = resolve_skeptic(&btn).unwrap();
+        assert!(r.rep_poss(btn.node_of(x)).pos.contains(&a));
+    }
+}

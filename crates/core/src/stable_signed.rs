@@ -1,0 +1,466 @@
+//! Stable solutions with constraints (Definition 3.3 / B.3): checker and
+//! exhaustive enumerator.
+//!
+//! A stable solution with constraints assigns each node a consistent belief
+//! *set* such that (1) every node's set equals the paradigm-specialized
+//! preferred union of its explicit beliefs and its parents' sets (for tied
+//! parents, under *some* order — Definition B.3), and (2) every individual
+//! belief can be traced along a path of sets containing it back to a
+//! normalized explicit belief.
+//!
+//! Enumeration is NP-hard for Agnostic/Eclectic (Theorem 3.4) — this module
+//! is the *ground truth* oracle those hardness gadgets ([`crate::gates`])
+//! are verified against, and the reference the PTIME Skeptic algorithm
+//! ([`crate::skeptic`]) is tested on. The search guesses belief sets only on
+//! a feedback vertex set of each SCC (cycles are the only source of
+//! nondeterminism) and propagates deterministically elsewhere.
+
+use crate::binary::{Btn, Parents};
+use crate::error::{Error, Result};
+use crate::paradigm::Paradigm;
+use crate::signed::BeliefSet;
+use crate::value::Value;
+use std::collections::BTreeSet;
+use trustmap_graph::{tarjan_scc, topo_order, DiGraph, NodeId};
+
+/// A stable solution: one belief set per BTN node (empty = no beliefs).
+pub type SignedSolution = Vec<BeliefSet>;
+
+/// Search limits for [`enumerate_signed`].
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Cap on the candidate belief-set pool (closure under preferred union).
+    pub max_pool: usize,
+    /// Cap on simultaneously tracked partial solutions.
+    pub max_partials: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_pool: 4096,
+            max_partials: 200_000,
+        }
+    }
+}
+
+/// Checks condition (1) of Definition 3.3 / B.3 at every node.
+pub fn satisfies_equations(btn: &Btn, paradigm: Paradigm, b: &[BeliefSet]) -> bool {
+    btn.nodes().all(|x| node_equation_holds(btn, paradigm, b, x))
+}
+
+fn node_equation_holds(btn: &Btn, paradigm: Paradigm, b: &[BeliefSet], x: NodeId) -> bool {
+    expected_values(btn, paradigm, b, x)
+        .iter()
+        .any(|exp| *exp == b[x as usize])
+}
+
+/// The (one or two, for ties) values the equation permits at `x` given its
+/// parents' sets.
+fn expected_values(
+    btn: &Btn,
+    paradigm: Paradigm,
+    b: &[BeliefSet],
+    x: NodeId,
+) -> Vec<BeliefSet> {
+    let b0 = btn.belief(x).to_belief_set();
+    match *btn.parents(x) {
+        Parents::None => vec![paradigm.norm(&b0)],
+        Parents::One(y) => vec![paradigm.punion(&b0, &b[y as usize])],
+        Parents::Pref { high, low } => {
+            let inherited = paradigm.punion(&b[high as usize], &b[low as usize]);
+            vec![paradigm.punion(&b0, &inherited)]
+        }
+        Parents::Tied(p, q) => {
+            let first = paradigm.punion(&b0, &paradigm.punion(&b[p as usize], &b[q as usize]));
+            let second = paradigm.punion(&b0, &paradigm.punion(&b[q as usize], &b[p as usize]));
+            if first == second {
+                vec![first]
+            } else {
+                vec![first, second]
+            }
+        }
+    }
+}
+
+/// Checks condition (2): every belief in every set has a lineage path from
+/// a normalized explicit belief, through sets that contain it.
+pub fn satisfies_lineage(btn: &Btn, paradigm: Paradigm, b: &[BeliefSet]) -> bool {
+    let graph = btn.graph();
+    let domain_values: Vec<Value> = btn.domain().values().collect();
+    // Signed beliefs over the (finite) interned domain. Co-finite negative
+    // sets extend uniformly beyond it: any un-interned value behaves like a
+    // fresh representative, whose lineage mirrors an interned one.
+    let mut signed: Vec<(Value, bool)> = Vec::with_capacity(domain_values.len() * 2);
+    for &v in &domain_values {
+        signed.push((v, true));
+        signed.push((v, false));
+    }
+    for (v, positive) in signed {
+        let holds = |set: &BeliefSet| {
+            if positive {
+                set.pos == Some(v)
+            } else {
+                set.neg.contains(v)
+            }
+        };
+        let carriers: Vec<NodeId> = btn.nodes().filter(|&x| holds(&b[x as usize])).collect();
+        if carriers.is_empty() {
+            continue;
+        }
+        let mut reached = vec![false; btn.node_count()];
+        let mut queue: Vec<NodeId> = Vec::new();
+        for &x in &carriers {
+            let norm0 = paradigm.norm(&btn.belief(x).to_belief_set());
+            if holds(&norm0) {
+                reached[x as usize] = true;
+                queue.push(x);
+            }
+        }
+        while let Some(z) = queue.pop() {
+            for &(w, _) in graph.out_neighbors(z) {
+                if !reached[w as usize] && holds(&b[w as usize]) {
+                    reached[w as usize] = true;
+                    queue.push(w);
+                }
+            }
+        }
+        if carriers.iter().any(|&x| !reached[x as usize]) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Full stability check (Definition 3.3 / B.3).
+pub fn is_stable_signed(btn: &Btn, paradigm: Paradigm, b: &[BeliefSet]) -> bool {
+    satisfies_equations(btn, paradigm, b) && satisfies_lineage(btn, paradigm, b)
+}
+
+/// Enumerates all stable solutions of `btn` under `paradigm`.
+///
+/// SCCs of the network are processed in topological order; inside an SCC,
+/// belief sets are guessed (from the closure of normalized explicit beliefs
+/// under the preferred union) only on a feedback vertex set, everything else
+/// propagates deterministically. Exponential in the worst case — that is
+/// Theorem 3.4's point.
+pub fn enumerate_signed(
+    btn: &Btn,
+    paradigm: Paradigm,
+    limits: Limits,
+) -> Result<Vec<SignedSolution>> {
+    let graph = btn.graph();
+    let pool = candidate_pool(btn, paradigm, limits.max_pool)?;
+
+    // SCC condensation; process source components first (Tarjan emits
+    // reverse-topologically, so iterate components in reverse).
+    let scc = tarjan_scc(&graph);
+    let mut partials: Vec<SignedSolution> =
+        vec![vec![BeliefSet::empty(); btn.node_count()]];
+
+    for c in (0..scc.count()).rev() {
+        let members: Vec<NodeId> = scc.members[c].clone();
+        let in_scc = |v: NodeId| scc.comp[v as usize] == c as u32;
+        let cyclic = members.len() > 1;
+
+        let mut next: Vec<SignedSolution> = Vec::new();
+        for partial in &partials {
+            if !cyclic {
+                // Deterministic node (possibly with a tie fork).
+                let x = members[0];
+                for value in expected_values(btn, paradigm, partial, x) {
+                    let mut sol = partial.clone();
+                    sol[x as usize] = value;
+                    next.push(sol);
+                }
+            } else {
+                // Guess a feedback vertex set of the component, propagate
+                // the rest in topological order.
+                let fvs = feedback_vertex_set(&graph, &members);
+                let fvs_set: BTreeSet<NodeId> = fvs.iter().copied().collect();
+                let rest_order = topo_order(&graph, |v| in_scc(v) && !fvs_set.contains(&v))
+                    .expect("SCC minus FVS is acyclic");
+                let mut stack: Vec<(usize, SignedSolution)> = vec![(0, partial.clone())];
+                while let Some((i, sol)) = stack.pop() {
+                    if next.len() + stack.len() > limits.max_partials {
+                        return Err(Error::EnumerationTooLarge {
+                            log2_candidates: limits.max_partials.ilog2() + 1,
+                        });
+                    }
+                    if i == fvs.len() {
+                        // All guesses made: propagate and verify the SCC.
+                        let mut candidates = vec![sol];
+                        for &x in &rest_order {
+                            let mut grown = Vec::new();
+                            for c in candidates {
+                                for value in expected_values(btn, paradigm, &c, x) {
+                                    let mut c2 = c.clone();
+                                    c2[x as usize] = value;
+                                    grown.push(c2);
+                                }
+                            }
+                            candidates = grown;
+                        }
+                        for c in candidates {
+                            if members.iter().all(|&x| node_equation_holds(btn, paradigm, &c, x))
+                            {
+                                next.push(c);
+                            }
+                        }
+                    } else {
+                        for candidate in &pool {
+                            let mut sol2 = sol.clone();
+                            sol2[fvs[i] as usize] = candidate.clone();
+                            stack.push((i + 1, sol2));
+                        }
+                    }
+                }
+            }
+        }
+        // Cycle guesses are the only source of unsupported beliefs
+        // (deterministic propagation only moves beliefs from parents), and
+        // all ancestors of this SCC are already final — so the lineage
+        // condition can prune spurious self-supporting sets immediately,
+        // before they multiply across components. Unprocessed nodes hold
+        // empty sets and contribute no carriers, making the global check
+        // valid on the partial solution.
+        if cyclic {
+            next.retain(|sol| satisfies_lineage(btn, paradigm, sol));
+        }
+        // Deduplicate between components to keep the frontier small.
+        next.sort_unstable();
+        next.dedup();
+        partials = next;
+        if partials.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+
+    // Final filter: global lineage.
+    let mut out: Vec<SignedSolution> = partials
+        .into_iter()
+        .filter(|b| satisfies_lineage(btn, paradigm, b))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+/// Possible positive beliefs of each node across all stable solutions.
+pub fn possible_positives(solutions: &[SignedSolution], n: usize) -> Vec<BTreeSet<Value>> {
+    let mut out = vec![BTreeSet::new(); n];
+    for sol in solutions {
+        for (x, set) in sol.iter().enumerate() {
+            if let Some(v) = set.pos {
+                out[x].insert(v);
+            }
+        }
+    }
+    out
+}
+
+/// Certain positive beliefs: held in every stable solution.
+pub fn certain_positives(solutions: &[SignedSolution], n: usize) -> Vec<Option<Value>> {
+    (0..n)
+        .map(|x| {
+            let mut values = solutions.iter().map(|sol| sol[x].pos);
+            match values.next().flatten() {
+                Some(v) if solutions.iter().all(|sol| sol[x].pos == Some(v)) => Some(v),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// The closure of all normalized explicit beliefs (plus the empty set)
+/// under the paradigm's preferred union, capped at `max_pool`.
+fn candidate_pool(btn: &Btn, paradigm: Paradigm, max_pool: usize) -> Result<Vec<BeliefSet>> {
+    let mut pool: Vec<BeliefSet> = vec![BeliefSet::empty()];
+    for x in btn.nodes() {
+        let norm = paradigm.norm(&btn.belief(x).to_belief_set());
+        if !pool.contains(&norm) {
+            pool.push(norm);
+        }
+    }
+    loop {
+        let mut added = false;
+        let snapshot = pool.clone();
+        for a in &snapshot {
+            for b in &snapshot {
+                let u = paradigm.punion(a, b);
+                if !pool.contains(&u) {
+                    if pool.len() >= max_pool {
+                        return Err(Error::EnumerationTooLarge {
+                            log2_candidates: max_pool.ilog2() + 1,
+                        });
+                    }
+                    pool.push(u);
+                    added = true;
+                }
+            }
+        }
+        if !added {
+            return Ok(pool);
+        }
+    }
+}
+
+/// A (not necessarily minimal) feedback vertex set of the subgraph induced
+/// by `members`: greedily removes one node of each remaining cycle.
+fn feedback_vertex_set(graph: &DiGraph, members: &[NodeId]) -> Vec<NodeId> {
+    let mut removed: BTreeSet<NodeId> = BTreeSet::new();
+    let member_set: BTreeSet<NodeId> = members.iter().copied().collect();
+    loop {
+        let keep = |v: NodeId| member_set.contains(&v) && !removed.contains(&v);
+        if topo_order(graph, keep).is_ok() {
+            return removed.into_iter().collect();
+        }
+        // Remove the member with the largest degree inside the subgraph —
+        // a cheap heuristic that keeps FVS small on gadget networks.
+        let next = members
+            .iter()
+            .copied()
+            .filter(|&v| keep(v))
+            .max_by_key(|&v| {
+                graph
+                    .out_neighbors(v)
+                    .iter()
+                    .filter(|&&(w, _)| keep(w))
+                    .count()
+            })
+            .expect("cyclic subgraph has members");
+        removed.insert(next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acyclic::{evaluate_acyclic, figure_6_network};
+    use crate::binary::binarize;
+    use crate::network::TrustNetwork;
+    use crate::signed::NegSet;
+
+    /// On DAGs the enumerator must find exactly the acyclic solution.
+    #[test]
+    fn dag_agrees_with_acyclic_evaluator() {
+        let (net, _) = figure_6_network();
+        let btn = binarize(&net);
+        for p in Paradigm::ALL {
+            let sols = enumerate_signed(&btn, p, Limits::default()).unwrap();
+            assert_eq!(sols.len(), 1, "{p}: DAG has a unique stable solution");
+            let direct = evaluate_acyclic(&btn, p).unwrap();
+            assert_eq!(sols[0], direct, "{p}");
+        }
+    }
+
+    /// The oscillator keeps two stable solutions under every paradigm
+    /// (positive-only networks collapse, Section 3.3).
+    #[test]
+    fn oscillator_two_solutions_every_paradigm() {
+        let mut net = TrustNetwork::new();
+        let x1 = net.user("x1");
+        let x2 = net.user("x2");
+        let x3 = net.user("x3");
+        let x4 = net.user("x4");
+        let v = net.value("v");
+        let w = net.value("w");
+        net.trust(x1, x2, 100).unwrap();
+        net.trust(x1, x3, 80).unwrap();
+        net.trust(x2, x1, 50).unwrap();
+        net.trust(x2, x4, 40).unwrap();
+        net.believe(x3, v).unwrap();
+        net.believe(x4, w).unwrap();
+        let btn = binarize(&net);
+        for p in Paradigm::ALL {
+            let sols = enumerate_signed(&btn, p, Limits::default()).unwrap();
+            assert_eq!(sols.len(), 2, "{p}");
+            let poss = possible_positives(&sols, btn.node_count());
+            assert_eq!(poss[btn.node_of(x1) as usize], BTreeSet::from([v, w]), "{p}");
+            let cert = certain_positives(&sols, btn.node_count());
+            assert_eq!(cert[btn.node_of(x1) as usize], None, "{p}");
+            assert_eq!(cert[btn.node_of(x3) as usize], Some(v), "{p}");
+        }
+    }
+
+    /// Positive-only enumeration must agree with the basic (Section 2)
+    /// brute force on the positive parts.
+    #[test]
+    fn collapses_to_basic_semantics() {
+        let mut net = TrustNetwork::new();
+        let a = net.user("a");
+        let b = net.user("b");
+        let c = net.user("c");
+        let r = net.user("r");
+        let v = net.value("v");
+        let w = net.value("w");
+        net.trust(a, b, 2).unwrap();
+        net.trust(b, c, 2).unwrap();
+        net.trust(c, a, 2).unwrap();
+        net.trust(a, r, 1).unwrap();
+        net.trust(c, r, 3).unwrap();
+        net.believe(r, v).unwrap();
+        net.value("unused");
+        let _ = w;
+        let btn = binarize(&net);
+        let basic = crate::resolution::resolve(&btn).unwrap();
+        for p in Paradigm::ALL {
+            let sols = enumerate_signed(&btn, p, Limits::default()).unwrap();
+            let poss = possible_positives(&sols, btn.node_count());
+            for x in btn.nodes() {
+                let expected: BTreeSet<Value> = basic.poss(x).iter().copied().collect();
+                assert_eq!(poss[x as usize], expected, "{p} node {x}");
+            }
+        }
+    }
+
+    /// A cyclic network with a constraint: the blocked value cannot cycle.
+    #[test]
+    fn constraint_blocks_cycle_value() {
+        let mut net = TrustNetwork::new();
+        let a = net.user("a");
+        let b = net.user("b");
+        let guard = net.user("guard");
+        let src = net.user("src");
+        let bad = net.value("bad");
+        // a and b trust each other most; a filters via guard's constraint
+        // (higher priority than the cycle), b imports from src.
+        net.trust(a, guard, 200).unwrap();
+        net.trust(a, b, 100).unwrap();
+        net.trust(b, a, 100).unwrap();
+        net.trust(b, src, 50).unwrap();
+        net.reject(guard, NegSet::of([bad])).unwrap();
+        net.believe(src, bad).unwrap();
+        let btn = binarize(&net);
+        for p in Paradigm::ALL {
+            let sols = enumerate_signed(&btn, p, Limits::default()).unwrap();
+            let poss = possible_positives(&sols, btn.node_count());
+            // `bad` can reach b from src, but a always rejects it.
+            assert!(
+                !poss[btn.node_of(a) as usize].contains(&bad),
+                "{p}: a must reject bad"
+            );
+        }
+    }
+
+    #[test]
+    fn equations_and_lineage_reject_thin_air() {
+        let mut net = TrustNetwork::new();
+        let a = net.user("a");
+        let b = net.user("b");
+        let v = net.value("v");
+        net.trust(a, b, 1).unwrap();
+        net.trust(b, a, 1).unwrap();
+        let btn = binarize(&net);
+        // A self-supporting positive on the cycle satisfies the equations…
+        let thin_air: SignedSolution = vec![BeliefSet::positive(v); 2];
+        assert!(satisfies_equations(&btn, Paradigm::Eclectic, &thin_air));
+        // …but not lineage.
+        assert!(!satisfies_lineage(&btn, Paradigm::Eclectic, &thin_air));
+        assert!(!is_stable_signed(&btn, Paradigm::Eclectic, &thin_air));
+        // The empty solution is the unique stable one.
+        let sols = enumerate_signed(&btn, Paradigm::Eclectic, Limits::default()).unwrap();
+        assert_eq!(sols.len(), 1);
+        assert!(sols[0].iter().all(BeliefSet::is_empty));
+    }
+}

@@ -1,0 +1,35 @@
+//! Users of the community database.
+//!
+//! Users are the nodes of the trust network (the set `U` of the paper).
+
+use std::fmt;
+
+/// An interned user (index into a [`crate::network::TrustNetwork`]'s table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct User(pub u32);
+
+impl User {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for User {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        let u = User(7);
+        assert_eq!(u.index(), 7);
+        assert_eq!(u.to_string(), "u7");
+    }
+}

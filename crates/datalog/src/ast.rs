@@ -1,0 +1,266 @@
+//! Abstract syntax for normal logic programs.
+//!
+//! A program is a set of rules `head :- body` where the body mixes positive
+//! atoms, negated atoms (`not p(...)`), and disequality constraints
+//! (`X != Y`). Facts are rules with empty bodies. Constants start lowercase,
+//! variables uppercase (the DLV convention used throughout the paper's
+//! Appendix B.4).
+
+use std::fmt;
+
+/// A term: a constant symbol or a variable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A constant (lowercase identifier or quoted literal).
+    Const(String),
+    /// A variable (uppercase identifier).
+    Var(String),
+}
+
+impl Term {
+    /// Whether this is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A predicate applied to terms, e.g. `poss(x, X)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Predicate name.
+    pub pred: String,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(pred: impl Into<String>, args: Vec<Term>) -> Self {
+        Atom {
+            pred: pred.into(),
+            args,
+        }
+    }
+
+    /// All variables occurring in the atom.
+    pub fn variables(&self) -> impl Iterator<Item = &str> {
+        self.args.iter().filter_map(|t| match t {
+            Term::Var(v) => Some(v.as_str()),
+            Term::Const(_) => None,
+        })
+    }
+
+    /// Whether the atom is ground (variable-free).
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| !t.is_var())
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A rule `head :- pos, …, not neg, …, X != Y, …`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// Positive body atoms.
+    pub pos: Vec<Atom>,
+    /// Negated body atoms.
+    pub neg: Vec<Atom>,
+    /// Disequality constraints between terms.
+    pub neq: Vec<(Term, Term)>,
+}
+
+impl Rule {
+    /// A fact (empty body).
+    pub fn fact(head: Atom) -> Self {
+        Rule {
+            head,
+            pos: Vec::new(),
+            neg: Vec::new(),
+            neq: Vec::new(),
+        }
+    }
+
+    /// Safety (Appendix B.2): every variable of the head, of negated atoms,
+    /// and of disequalities must occur in some positive body atom.
+    pub fn is_safe(&self) -> bool {
+        let bound: std::collections::HashSet<&str> =
+            self.pos.iter().flat_map(Atom::variables).collect();
+        let head_ok = self.head.variables().all(|v| bound.contains(v));
+        let neg_ok = self
+            .neg
+            .iter()
+            .flat_map(Atom::variables)
+            .all(|v| bound.contains(v));
+        let neq_ok = self.neq.iter().all(|(a, b)| {
+            [a, b].into_iter().all(|t| match t {
+                Term::Var(v) => bound.contains(v.as_str()),
+                Term::Const(_) => true,
+            })
+        });
+        head_ok && neg_ok && neq_ok
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.pos.is_empty() || !self.neg.is_empty() || !self.neq.is_empty() {
+            write!(f, " :- ")?;
+            let mut first = true;
+            let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                Ok(())
+            };
+            for a in &self.pos {
+                sep(f)?;
+                write!(f, "{a}")?;
+            }
+            for a in &self.neg {
+                sep(f)?;
+                write!(f, "not {a}")?;
+            }
+            for (x, y) in &self.neq {
+                sep(f)?;
+                write!(f, "{x} != {y}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A normal logic program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The rules (facts included).
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a rule, asserting safety.
+    ///
+    /// # Panics
+    /// Panics on unsafe rules (unbound head/negative/disequality variables).
+    pub fn push(&mut self, rule: Rule) {
+        assert!(rule.is_safe(), "unsafe rule: {rule}");
+        self.rules.push(rule);
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the program has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(v: &str) -> Term {
+        Term::Var(v.into())
+    }
+
+    fn c(v: &str) -> Term {
+        Term::Const(v.into())
+    }
+
+    #[test]
+    fn display_roundtrip_shapes() {
+        let rule = Rule {
+            head: Atom::new("poss", vec![c("x"), var("X")]),
+            pos: vec![
+                Atom::new("poss", vec![c("z1"), var("X")]),
+                Atom::new("poss", vec![c("x"), var("Y")]),
+            ],
+            neg: vec![Atom::new("conf", vec![c("x"), c("z1"), var("X")])],
+            neq: vec![(var("Y"), var("X"))],
+        };
+        assert_eq!(
+            rule.to_string(),
+            "poss(x,X) :- poss(z1,X), poss(x,Y), not conf(x,z1,X), Y != X."
+        );
+    }
+
+    #[test]
+    fn safety_checks() {
+        // Head variable not bound: unsafe.
+        let bad = Rule {
+            head: Atom::new("p", vec![var("X")]),
+            pos: vec![],
+            neg: vec![],
+            neq: vec![],
+        };
+        assert!(!bad.is_safe());
+        // Negated-only binding: unsafe.
+        let bad2 = Rule {
+            head: Atom::new("p", vec![c("a")]),
+            pos: vec![],
+            neg: vec![Atom::new("q", vec![var("X")])],
+            neq: vec![],
+        };
+        assert!(!bad2.is_safe());
+        // Fully bound: safe.
+        let good = Rule {
+            head: Atom::new("p", vec![var("X")]),
+            pos: vec![Atom::new("q", vec![var("X")])],
+            neg: vec![Atom::new("r", vec![var("X")])],
+            neq: vec![(var("X"), c("a"))],
+        };
+        assert!(good.is_safe());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsafe rule")]
+    fn push_rejects_unsafe() {
+        let mut p = Program::new();
+        p.push(Rule {
+            head: Atom::new("p", vec![var("X")]),
+            pos: vec![],
+            neg: vec![],
+            neq: vec![],
+        });
+    }
+}

@@ -1,0 +1,448 @@
+//! Join-based grounding.
+//!
+//! Rules are instantiated only against *derivable* atoms: a semi-naive
+//! fixpoint matches positive bodies against the least model of the
+//! program's positive part (negations dropped), which over-approximates
+//! every stable model. Negative literals over atoms that are never
+//! derivable are trivially satisfied and removed.
+
+use crate::ast::{Atom, Program, Rule, Term};
+use std::collections::{HashMap, HashSet};
+
+/// A ground rule over interned atom ids.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroundRule {
+    /// Head atom id.
+    pub head: u32,
+    /// Positive body atom ids.
+    pub pos: Vec<u32>,
+    /// Negated body atom ids (only derivable atoms are kept).
+    pub neg: Vec<u32>,
+}
+
+/// A grounded normal logic program.
+#[derive(Debug, Clone, Default)]
+pub struct GroundProgram {
+    /// Display names of interned atoms, e.g. `poss(x,v)`.
+    pub atoms: Vec<String>,
+    /// Ground rules.
+    pub rules: Vec<GroundRule>,
+    atom_index: HashMap<String, u32>,
+}
+
+impl GroundProgram {
+    /// Looks up an atom id by display name (as printed by [`Atom`]).
+    pub fn atom(&self, name: &str) -> Option<u32> {
+        self.atom_index.get(name).copied()
+    }
+
+    /// Number of interned atoms.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Total size (atoms + rules), the `x`-axis of LP scaling plots.
+    pub fn size(&self) -> usize {
+        self.atoms.len() + self.rules.len()
+    }
+
+    /// Whether the ground program is **stratified**: no negative edge
+    /// occurs inside a cycle of the atom dependency graph. Stratified
+    /// programs have exactly one stable model (their perfect model), which
+    /// the solver finds without any branching — the well-founded model is
+    /// already two-valued.
+    pub fn is_stratified(&self) -> bool {
+        // Dependency graph: body atom -> head atom; remember negative pairs.
+        let n = self.atoms.len();
+        let mut graph = trustmap_graph::DiGraph::new(n);
+        let mut neg_edges: Vec<(u32, u32)> = Vec::new();
+        for rule in &self.rules {
+            for &a in &rule.pos {
+                graph.add_edge(a, rule.head);
+            }
+            for &a in &rule.neg {
+                graph.add_edge(a, rule.head);
+                neg_edges.push((a, rule.head));
+            }
+        }
+        let scc = trustmap_graph::tarjan_scc(&graph);
+        neg_edges
+            .iter()
+            .all(|&(a, h)| scc.comp[a as usize] != scc.comp[h as usize])
+    }
+
+    fn intern(&mut self, name: String) -> u32 {
+        if let Some(&id) = self.atom_index.get(&name) {
+            return id;
+        }
+        let id = self.atoms.len() as u32;
+        self.atoms.push(name.clone());
+        self.atom_index.insert(name, id);
+        id
+    }
+}
+
+impl Program {
+    /// Grounds the program (see module docs).
+    pub fn ground(&self) -> GroundProgram {
+        Grounder::new(self).run()
+    }
+}
+
+struct Grounder<'a> {
+    program: &'a Program,
+    gp: GroundProgram,
+    /// Ground argument tuples per atom id.
+    args: Vec<Vec<String>>,
+    /// Predicate of each atom id.
+    pred: Vec<String>,
+    /// Derivable atom ids per predicate.
+    by_pred: HashMap<String, Vec<u32>>,
+    derivable: Vec<bool>,
+    seen_rules: HashSet<(u32, Vec<u32>, Vec<u32>)>,
+}
+
+impl<'a> Grounder<'a> {
+    fn new(program: &'a Program) -> Self {
+        Grounder {
+            program,
+            gp: GroundProgram::default(),
+            args: Vec::new(),
+            pred: Vec::new(),
+            by_pred: HashMap::new(),
+            derivable: Vec::new(),
+            seen_rules: HashSet::new(),
+        }
+    }
+
+    fn run(mut self) -> GroundProgram {
+        // Facts and positive-body-free rules fire immediately.
+        let mut delta: Vec<u32> = Vec::new();
+        for rule in &self.program.rules {
+            if rule.pos.is_empty() {
+                // Safety guarantees the rule is ground.
+                let head = self.intern_atom(&rule.head, &HashMap::new());
+                let neg: Vec<u32> = rule
+                    .neg
+                    .iter()
+                    .map(|a| self.intern_atom(a, &HashMap::new()))
+                    .collect();
+                if self.neq_holds(rule, &HashMap::new()) {
+                    self.emit(head, Vec::new(), neg, &mut delta);
+                }
+            }
+        }
+
+        // Semi-naive rounds: each new ground-rule instance must match at
+        // least one freshly derived atom at some pivot position.
+        while !delta.is_empty() {
+            let current = std::mem::take(&mut delta);
+            let delta_set: HashSet<u32> = current.iter().copied().collect();
+            for rule in &self.program.rules {
+                for pivot in 0..rule.pos.len() {
+                    self.match_rule(rule, pivot, &delta_set, &mut delta);
+                }
+            }
+        }
+
+        // Drop never-derivable negative literals: they are always satisfied.
+        let derivable = std::mem::take(&mut self.derivable);
+        for rule in &mut self.gp.rules {
+            rule.neg.retain(|&a| derivable[a as usize]);
+        }
+        self.gp
+    }
+
+    /// Matches `rule` with its `pivot`-th positive atom restricted to the
+    /// delta set, enumerating all bindings.
+    fn match_rule(
+        &mut self,
+        rule: &Rule,
+        pivot: usize,
+        delta: &HashSet<u32>,
+        out_delta: &mut Vec<u32>,
+    ) {
+        // Order: pivot first, then the remaining positive atoms.
+        let mut order: Vec<usize> = vec![pivot];
+        order.extend((0..rule.pos.len()).filter(|&i| i != pivot));
+        let mut bindings: HashMap<String, String> = HashMap::new();
+        self.match_next(rule, &order, 0, delta, &mut bindings, out_delta);
+    }
+
+    fn match_next(
+        &mut self,
+        rule: &Rule,
+        order: &[usize],
+        depth: usize,
+        delta: &HashSet<u32>,
+        bindings: &mut HashMap<String, String>,
+        out_delta: &mut Vec<u32>,
+    ) {
+        if depth == order.len() {
+            if !self.neq_holds(rule, bindings) {
+                return;
+            }
+            let head = self.intern_atom(&rule.head, bindings);
+            let pos: Vec<u32> = rule
+                .pos
+                .iter()
+                .map(|a| self.intern_atom(a, bindings))
+                .collect();
+            let neg: Vec<u32> = rule
+                .neg
+                .iter()
+                .map(|a| self.intern_atom(a, bindings))
+                .collect();
+            self.emit(head, pos, neg, out_delta);
+            return;
+        }
+        let atom = &rule.pos[order[depth]];
+        let candidates: Vec<u32> = match self.by_pred.get(&atom.pred) {
+            Some(ids) => ids.clone(),
+            None => return,
+        };
+        for id in candidates {
+            // The pivot (depth 0) must come from the delta.
+            if depth == 0 && !delta.contains(&id) {
+                continue;
+            }
+            let mut added: Vec<String> = Vec::new();
+            if self.unify(atom, id, bindings, &mut added) {
+                self.match_next(rule, order, depth + 1, delta, bindings, out_delta);
+            }
+            for var in added {
+                bindings.remove(&var);
+            }
+        }
+    }
+
+    /// Attempts to unify `pattern` with ground atom `id`, extending
+    /// `bindings`; records freshly bound variables in `added`.
+    fn unify(
+        &self,
+        pattern: &Atom,
+        id: u32,
+        bindings: &mut HashMap<String, String>,
+        added: &mut Vec<String>,
+    ) -> bool {
+        let ground_args = &self.args[id as usize];
+        if pattern.args.len() != ground_args.len() {
+            return false;
+        }
+        for (term, actual) in pattern.args.iter().zip(ground_args) {
+            match term {
+                Term::Const(c) => {
+                    if c != actual {
+                        return false;
+                    }
+                }
+                Term::Var(v) => match bindings.get(v) {
+                    Some(bound) if bound == actual => {}
+                    Some(_) => return false,
+                    None => {
+                        bindings.insert(v.clone(), actual.clone());
+                        added.push(v.clone());
+                    }
+                },
+            }
+        }
+        true
+    }
+
+    fn neq_holds(&self, rule: &Rule, bindings: &HashMap<String, String>) -> bool {
+        rule.neq.iter().all(|(a, b)| {
+            let resolve = |t: &Term| match t {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => bindings
+                    .get(v)
+                    .cloned()
+                    .expect("safety bounds disequality variables"),
+            };
+            resolve(a) != resolve(b)
+        })
+    }
+
+    fn intern_atom(&mut self, atom: &Atom, bindings: &HashMap<String, String>) -> u32 {
+        let args: Vec<String> = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => bindings
+                    .get(v)
+                    .cloned()
+                    .expect("safety bounds all variables"),
+            })
+            .collect();
+        let name = format!("{}({})", atom.pred, args.join(","));
+        let id = self.gp.intern(name);
+        if id as usize >= self.args.len() {
+            self.args.push(args);
+            self.pred.push(atom.pred.clone());
+            self.derivable.push(false);
+        }
+        id
+    }
+
+    fn emit(&mut self, head: u32, pos: Vec<u32>, neg: Vec<u32>, delta: &mut Vec<u32>) {
+        let key = (head, pos.clone(), neg.clone());
+        if !self.seen_rules.insert(key) {
+            return;
+        }
+        self.gp.rules.push(GroundRule { head, pos, neg });
+        if !self.derivable[head as usize] {
+            self.derivable[head as usize] = true;
+            self.by_pred
+                .entry(self.pred[head as usize].clone())
+                .or_default()
+                .push(head);
+            delta.push(head);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::parser::parse_program;
+
+    #[test]
+    fn grounds_transitive_closure() {
+        let p = parse_program(
+            "edge(a,b). edge(b,c). edge(c,d).\n\
+             path(X,Y) :- edge(X,Y).\n\
+             path(X,Z) :- edge(X,Y), path(Y,Z).",
+        )
+        .unwrap();
+        let gp = p.ground();
+        for pair in ["path(a,b)", "path(a,c)", "path(a,d)", "path(b,d)"] {
+            assert!(gp.atom(pair).is_some(), "{pair} should be derivable");
+        }
+        // Non-derivable paths are never interned.
+        assert!(gp.atom("path(d,a)").is_none());
+    }
+
+    #[test]
+    fn grounds_example_b1() {
+        let p = parse_program(
+            "poss(z1,v).\n\
+             poss(z2,w).\n\
+             poss(x,X) :- poss(z2,X).\n\
+             conf(x,z1,X) :- poss(z1,X), poss(x,Y), Y!=X.\n\
+             poss(x,X) :- poss(z1,X), not conf(x,z1,X).",
+        )
+        .unwrap();
+        let gp = p.ground();
+        // conf(x,z1,v) requires poss(x,Y) with Y != v — i.e. poss(x,w).
+        assert!(gp.atom("conf(x,z1,v)").is_some());
+        assert!(gp.atom("poss(x,v)").is_some());
+        assert!(gp.atom("poss(x,w)").is_some());
+        // Disequality prunes the Y = X instantiation.
+        let conf_rules: Vec<_> = gp
+            .rules
+            .iter()
+            .filter(|r| gp.atoms[r.head as usize].starts_with("conf"))
+            .collect();
+        assert_eq!(conf_rules.len(), 1, "only Y=w pairs with X=v");
+    }
+
+    #[test]
+    fn drops_underivable_negatives() {
+        let p = parse_program("p(a).\nq(X) :- p(X), not r(X).").unwrap();
+        let gp = p.ground();
+        // r(a) can never be derived: the literal disappears.
+        let q_rule = gp
+            .rules
+            .iter()
+            .find(|r| gp.atoms[r.head as usize] == "q(a)")
+            .unwrap();
+        assert!(q_rule.neg.is_empty());
+    }
+
+    #[test]
+    fn keeps_derivable_negatives() {
+        let p = parse_program("p(a).\nr(a).\nq(X) :- p(X), not r(X).").unwrap();
+        let gp = p.ground();
+        let q_rule = gp
+            .rules
+            .iter()
+            .find(|r| gp.atoms[r.head as usize] == "q(a)")
+            .unwrap();
+        assert_eq!(q_rule.neg.len(), 1);
+        assert_eq!(gp.atoms[q_rule.neg[0] as usize], "r(a)");
+    }
+
+    #[test]
+    fn dedups_rule_instances() {
+        // Both body orders derive the same instance once.
+        let p = parse_program("p(a). p(b).\nq(X,Y) :- p(X), p(Y).").unwrap();
+        let gp = p.ground();
+        let q_rules = gp
+            .rules
+            .iter()
+            .filter(|r| gp.atoms[r.head as usize].starts_with('q'))
+            .count();
+        assert_eq!(q_rules, 4); // (a,a), (a,b), (b,a), (b,b)
+    }
+}
+
+#[cfg(test)]
+mod stratification_tests {
+    use crate::parser::parse_program;
+
+    #[test]
+    fn stratified_program_detected() {
+        let gp = parse_program(
+            "p(a). p(b).\n\
+             q(X) :- p(X), not r(X).\n\
+             r(a).",
+        )
+        .unwrap()
+        .ground();
+        assert!(gp.is_stratified());
+    }
+
+    #[test]
+    fn even_loop_is_unstratified() {
+        let gp = parse_program(
+            "t(a).\n\
+             p(X) :- t(X), not q(X).\n\
+             q(X) :- t(X), not p(X).",
+        )
+        .unwrap()
+        .ground();
+        assert!(!gp.is_stratified());
+    }
+
+    #[test]
+    fn positive_cycles_stay_stratified() {
+        let gp = parse_program(
+            "e(a,b). e(b,a).\n\
+             path(X,Y) :- e(X,Y).\n\
+             path(X,Z) :- e(X,Y), path(Y,Z).\n\
+             lonely(X) :- e(X,X), not path(X,X).",
+        )
+        .unwrap()
+        .ground();
+        // The recursion through `path` is positive; the negation only
+        // feeds `lonely`, outside the cycle.
+        assert!(gp.is_stratified());
+    }
+
+    /// A stratified program is solved without search: one leaf visited.
+    #[test]
+    fn stratified_needs_no_branching() {
+        let gp = parse_program(
+            "p(a). p(b). p(c).\n\
+             q(X) :- p(X), not r(X).\n\
+             r(a). r(b).",
+        )
+        .unwrap()
+        .ground();
+        assert!(gp.is_stratified());
+        let mut solver = crate::solver::StableSolver::new(&gp);
+        let models = solver.enumerate(None);
+        assert_eq!(models.len(), 1);
+        assert_eq!(solver.leaves_visited, 1, "well-founded model is total");
+    }
+}

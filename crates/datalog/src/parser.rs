@@ -1,0 +1,268 @@
+//! Parser for the DLV-style program syntax used in the paper.
+//!
+//! Grammar (whitespace-insensitive, `%` line comments):
+//!
+//! ```text
+//! program  := statement*
+//! statement:= rule | fact
+//! rule     := atom ":-" literal ("," literal)* "."
+//! fact     := atom "."
+//! literal  := "not" atom | atom | term "!=" term
+//! atom     := ident "(" term ("," term)* ")"
+//! term     := ident | quoted
+//! ```
+//!
+//! Identifiers starting with an uppercase letter (or `_`) are variables;
+//! everything else — including `'quoted'` literals and digits — is a
+//! constant, matching the conventions of Appendix B.4.
+
+use crate::ast::{Atom, Program, Rule, Term};
+use std::fmt;
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a full program.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut parser = Parser {
+        text: text.as_bytes(),
+        pos: 0,
+    };
+    let mut program = Program::new();
+    loop {
+        parser.skip_ws();
+        if parser.at_end() {
+            return Ok(program);
+        }
+        let rule = parser.rule()?;
+        if !rule.is_safe() {
+            return Err(ParseError {
+                offset: parser.pos,
+                message: format!("unsafe rule: {rule}"),
+            });
+        }
+        program.rules.push(rule);
+    }
+}
+
+struct Parser<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.text.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.text.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c == b'%' {
+                while let Some(c2) = self.peek() {
+                    self.pos += 1;
+                    if c2 == b'\n' {
+                        break;
+                    }
+                }
+            } else if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.text[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{token}`")))
+        }
+    }
+
+    fn try_token(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.text[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.peek() == Some(b'\'') {
+            // Quoted constant: 'v'.
+            self.pos += 1;
+            let content_start = self.pos;
+            while let Some(c) = self.peek() {
+                if c == b'\'' {
+                    let s = std::str::from_utf8(&self.text[content_start..self.pos])
+                        .expect("input was a str");
+                    self.pos += 1;
+                    return Ok(s.to_owned());
+                }
+                self.pos += 1;
+            }
+            return Err(self.error("unterminated quoted constant"));
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected identifier"));
+        }
+        Ok(std::str::from_utf8(&self.text[start..self.pos])
+            .expect("input was a str")
+            .to_owned())
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        let quoted = self.peek() == Some(b'\'');
+        let name = self.ident()?;
+        let first = name.chars().next().expect("nonempty ident");
+        if !quoted && (first.is_ascii_uppercase() || first == '_') {
+            Ok(Term::Var(name))
+        } else {
+            Ok(Term::Const(name))
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let pred = self.ident()?;
+        let first = pred.chars().next().expect("nonempty ident");
+        if first.is_ascii_uppercase() {
+            return Err(self.error("predicate names must start lowercase"));
+        }
+        self.expect("(")?;
+        let mut args = vec![self.term()?];
+        while self.try_token(",") {
+            args.push(self.term()?);
+        }
+        self.expect(")")?;
+        Ok(Atom::new(pred, args))
+    }
+
+    fn rule(&mut self) -> Result<Rule, ParseError> {
+        let head = self.atom()?;
+        let mut rule = Rule::fact(head);
+        if self.try_token(":-") {
+            loop {
+                self.skip_ws();
+                if self.try_token("not ") || self.try_token("not\t") {
+                    rule.neg.push(self.atom()?);
+                } else {
+                    // Either an atom or a disequality `term != term`.
+                    let save = self.pos;
+                    let term = self.term()?;
+                    if self.try_token("!=") {
+                        let rhs = self.term()?;
+                        rule.neq.push((term, rhs));
+                    } else {
+                        self.pos = save;
+                        rule.pos.push(self.atom()?);
+                    }
+                }
+                if !self.try_token(",") {
+                    break;
+                }
+            }
+        }
+        self.expect(".")?;
+        Ok(rule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example_b1() {
+        // Verbatim from Appendix B.4, Example B.1.
+        let text = "poss(z1,v).\n\
+                    poss(z2,w).\n\
+                    poss(x,X) :- poss(z2,X).\n\
+                    conf(x,z1,X) :- poss(z1,X), poss(x,Y), Y!=X.\n\
+                    poss(x,X) :- poss(z1,X), not conf(x,z1,X).";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.rules[0].to_string(), "poss(z1,v).");
+        assert_eq!(
+            p.rules[3].to_string(),
+            "conf(x,z1,X) :- poss(z1,X), poss(x,Y), Y != X."
+        );
+        assert_eq!(
+            p.rules[4].to_string(),
+            "poss(x,X) :- poss(z1,X), not conf(x,z1,X)."
+        );
+    }
+
+    #[test]
+    fn parses_quoted_constants() {
+        // Example 2.10 uses quoted values: U3('v') ← (lowercased here, as
+        // predicates must start lowercase).
+        let p = parse_program("u3('v').\nu1(R) :- u2(R).").unwrap();
+        assert_eq!(p.rules[0].head.args[0], Term::Const("v".into()));
+        assert_eq!(p.rules[1].head.args[0], Term::Var("R".into()));
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let p = parse_program("% header\n p(a). % trailing\n\n q(X):-p(X).").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn rejects_unsafe() {
+        let err = parse_program("p(X) :- q(a).").unwrap_err();
+        assert!(err.message.contains("unsafe"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_program("p(a)").is_err()); // missing period
+        assert!(parse_program("P(a).").is_err()); // uppercase predicate
+        assert!(parse_program("p(a) :- .").is_err());
+    }
+
+    #[test]
+    fn underscore_variables() {
+        let p = parse_program("p(a,b).\nq(X) :- p(X,_Y).").unwrap();
+        assert_eq!(p.rules[1].pos[0].args[1], Term::Var("_Y".into()));
+    }
+}

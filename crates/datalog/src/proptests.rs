@@ -1,0 +1,113 @@
+//! Property-based verification of the stable-model solver against an
+//! independent reduct checker: every enumerated model must be the least
+//! model of its own reduct (the textbook definition), and no stable model
+//! may contradict the well-founded approximation.
+
+use crate::ground::GroundProgram;
+use crate::parser::parse_program;
+use crate::solver::{StableSolver, Truth};
+use proptest::prelude::*;
+
+/// Independent implementation of the Gelfond–Lifschitz check: `model` is
+/// stable iff it equals the least model of the reduct by `model`.
+fn is_stable_model(gp: &GroundProgram, model: &dyn Fn(u32) -> bool) -> bool {
+    // Reduct: drop rules whose negated atom is in the model; strip
+    // negatives from the rest. Then a naive least-model fixpoint.
+    let rules: Vec<(u32, Vec<u32>)> = gp
+        .rules
+        .iter()
+        .filter(|r| r.neg.iter().all(|&a| !model(a)))
+        .map(|r| (r.head, r.pos.clone()))
+        .collect();
+    let mut truth = vec![false; gp.atom_count()];
+    loop {
+        let mut changed = false;
+        for (head, pos) in &rules {
+            if !truth[*head as usize] && pos.iter().all(|&a| truth[a as usize]) {
+                truth[*head as usize] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (0..gp.atom_count() as u32).all(|a| truth[a as usize] == model(a))
+}
+
+/// Random programs over unary predicates p0..p3, constants a/b, with
+/// negation — small enough to enumerate, gnarly enough to hit loops.
+fn arb_program() -> impl Strategy<Value = String> {
+    let atom = (0u8..4, 0u8..2).prop_map(|(p, c)| {
+        format!("p{}({})", p, if c == 0 { "a" } else { "b" })
+    });
+    let fact = atom.clone().prop_map(|a| format!("{a}."));
+    let rule = (atom.clone(), atom.clone(), atom.clone(), any::<bool>()).prop_map(
+        |(h, b1, b2, neg)| {
+            if neg {
+                format!("{h} :- {b1}, not {b2}.")
+            } else {
+                format!("{h} :- {b1}, {b2}.")
+            }
+        },
+    );
+    (
+        proptest::collection::vec(fact, 1..4),
+        proptest::collection::vec(rule, 0..8),
+    )
+        .prop_map(|(facts, rules)| {
+            let mut text = facts.join("\n");
+            text.push('\n');
+            text.push_str(&rules.join("\n"));
+            text
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every model the solver returns passes the Gelfond–Lifschitz check,
+    /// and models are pairwise distinct.
+    #[test]
+    fn enumerated_models_are_stable(text in arb_program()) {
+        let gp = parse_program(&text).expect("generated text parses").ground();
+        let mut solver = StableSolver::new(&gp);
+        let models = solver.enumerate(None);
+        for m in &models {
+            prop_assert!(
+                is_stable_model(&gp, &|a| m.contains_id(a)),
+                "non-stable model for:\n{text}"
+            );
+        }
+        for (i, m1) in models.iter().enumerate() {
+            for m2 in models.iter().skip(i + 1) {
+                let differ = (0..gp.atom_count() as u32)
+                    .any(|a| m1.contains_id(a) != m2.contains_id(a));
+                prop_assert!(differ, "duplicate models for:\n{text}");
+            }
+        }
+    }
+
+    /// The well-founded model brackets every stable model: WF-true atoms
+    /// appear in all models, WF-false atoms in none.
+    #[test]
+    fn well_founded_brackets_stable_models(text in arb_program()) {
+        let gp = parse_program(&text).expect("parses").ground();
+        let mut solver = StableSolver::new(&gp);
+        let wf = solver.well_founded();
+        let models = solver.enumerate(None);
+        for m in &models {
+            for a in 0..gp.atom_count() as u32 {
+                match wf[a as usize] {
+                    Truth::True => prop_assert!(m.contains_id(a)),
+                    Truth::False => prop_assert!(!m.contains_id(a)),
+                    Truth::Undefined => {}
+                }
+            }
+        }
+        // Stratified programs have exactly one model.
+        if gp.is_stratified() {
+            prop_assert_eq!(models.len(), 1, "stratified program:\n{}", text);
+        }
+    }
+}

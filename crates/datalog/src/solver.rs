@@ -1,0 +1,488 @@
+//! Stable-model solver: least models, the well-founded model, and
+//! DPLL-style stable-model enumeration with brave/cautious reasoning.
+//!
+//! The search branches only on negated atoms left *undefined* by the
+//! well-founded model, propagating through lower/upper least-model bounds
+//! after every decision — the classical architecture of
+//! smodels/DLV-generation systems. Enumerating all stable models (needed
+//! for brave and cautious consequences) is inherently exponential when the
+//! program has exponentially many models, as the paper's oscillator
+//! networks do (Figure 5).
+
+use crate::ground::GroundProgram;
+use std::collections::HashSet;
+
+/// Three-valued truth (well-founded semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// In every stable model.
+    True,
+    /// In no stable model.
+    False,
+    /// Varies between stable models (or unknown to the WF approximation).
+    Undefined,
+}
+
+/// A solver instance over a grounded program.
+pub struct StableSolver<'a> {
+    gp: &'a GroundProgram,
+    /// Rules indexed by positive body atom.
+    rules_by_pos: Vec<Vec<u32>>,
+    /// Atoms that occur in some negative body.
+    neg_atoms: Vec<u32>,
+    /// Statistics: leaves visited during the last enumeration.
+    pub leaves_visited: usize,
+}
+
+/// A set of atoms (e.g. one stable model, or brave/cautious consequences).
+#[derive(Debug, Clone)]
+pub struct AtomSet<'a> {
+    gp: &'a GroundProgram,
+    member: Vec<bool>,
+}
+
+impl AtomSet<'_> {
+    /// Membership by display name, e.g. `poss(x,v)`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.gp
+            .atom(name)
+            .map(|id| self.member[id as usize])
+            .unwrap_or(false)
+    }
+
+    /// Membership by atom id.
+    pub fn contains_id(&self, id: u32) -> bool {
+        self.member[id as usize]
+    }
+
+    /// Iterates member atom names.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.member
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| self.gp.atoms[i].as_str())
+    }
+
+    /// Number of member atoms.
+    pub fn len(&self) -> usize {
+        self.member.iter().filter(|&&m| m).count()
+    }
+
+    /// Whether no atom is a member.
+    pub fn is_empty(&self) -> bool {
+        !self.member.iter().any(|&m| m)
+    }
+}
+
+impl<'a> StableSolver<'a> {
+    /// Prepares the rule indexes.
+    pub fn new(gp: &'a GroundProgram) -> Self {
+        let mut rules_by_pos = vec![Vec::new(); gp.atom_count()];
+        let mut neg_set: HashSet<u32> = HashSet::new();
+        for (ri, rule) in gp.rules.iter().enumerate() {
+            for &a in &rule.pos {
+                rules_by_pos[a as usize].push(ri as u32);
+            }
+            neg_set.extend(rule.neg.iter().copied());
+        }
+        let mut neg_atoms: Vec<u32> = neg_set.into_iter().collect();
+        neg_atoms.sort_unstable();
+        StableSolver {
+            gp,
+            rules_by_pos,
+            neg_atoms,
+            leaves_visited: 0,
+        }
+    }
+
+    /// Least model of the reduct in which the negative literal `not a` is
+    /// considered satisfied iff `neg_sat(a)`.
+    fn least_model(&self, neg_sat: &dyn Fn(u32) -> bool) -> Vec<bool> {
+        let mut truth = vec![false; self.gp.atom_count()];
+        let mut remaining: Vec<u32> = self
+            .gp
+            .rules
+            .iter()
+            .map(|r| r.pos.len() as u32)
+            .collect();
+        let mut queue: Vec<u32> = Vec::new();
+        let usable: Vec<bool> = self
+            .gp
+            .rules
+            .iter()
+            .map(|r| r.neg.iter().all(|&a| neg_sat(a)))
+            .collect();
+        for (ri, rule) in self.gp.rules.iter().enumerate() {
+            if usable[ri] && rule.pos.is_empty() && !truth[rule.head as usize] {
+                truth[rule.head as usize] = true;
+                queue.push(rule.head);
+            }
+        }
+        while let Some(a) = queue.pop() {
+            for &ri in &self.rules_by_pos[a as usize] {
+                let ri = ri as usize;
+                remaining[ri] -= 1;
+                if usable[ri] && remaining[ri] == 0 {
+                    let head = self.gp.rules[ri].head;
+                    if !truth[head as usize] {
+                        truth[head as usize] = true;
+                        queue.push(head);
+                    }
+                }
+            }
+        }
+        truth
+    }
+
+    /// The well-founded model (alternating fixpoint).
+    pub fn well_founded(&self) -> Vec<Truth> {
+        // k = certainly-true underestimate; u = possibly-true overestimate.
+        let mut k = self.least_model(&|_| false);
+        let mut u = self.least_model(&|_| true);
+        loop {
+            let next_k = self.least_model(&|a| !u[a as usize]);
+            let next_u = self.least_model(&|a| !k[a as usize]);
+            if next_k == k && next_u == u {
+                break;
+            }
+            k = next_k;
+            u = next_u;
+        }
+        (0..self.gp.atom_count())
+            .map(|i| {
+                if k[i] {
+                    Truth::True
+                } else if !u[i] {
+                    Truth::False
+                } else {
+                    Truth::Undefined
+                }
+            })
+            .collect()
+    }
+
+    /// Enumerates stable models, up to `limit` if given.
+    pub fn enumerate(&mut self, limit: Option<usize>) -> Vec<AtomSet<'a>> {
+        self.leaves_visited = 0;
+        let wf = self.well_founded();
+        // Partial assignment over negated atoms: None = undecided.
+        let mut assign: Vec<Option<bool>> = vec![None; self.gp.atom_count()];
+        for &a in &self.neg_atoms {
+            assign[a as usize] = match wf[a as usize] {
+                Truth::True => Some(true),
+                Truth::False => Some(false),
+                Truth::Undefined => None,
+            };
+        }
+        let mut models = Vec::new();
+        self.search(&mut assign, &mut models, limit);
+        models
+    }
+
+    fn search(
+        &mut self,
+        assign: &mut Vec<Option<bool>>,
+        models: &mut Vec<AtomSet<'a>>,
+        limit: Option<usize>,
+    ) {
+        if let Some(l) = limit {
+            if models.len() >= l {
+                return;
+            }
+        }
+        // Propagate through lower/upper bounds until fixpoint.
+        let mut touched: Vec<u32> = Vec::new();
+        loop {
+            let low = self.least_model(&|a| assign[a as usize] == Some(false));
+            let high = self.least_model(&|a| assign[a as usize] != Some(true));
+            let mut changed = false;
+            for &a in &self.neg_atoms {
+                let ai = a as usize;
+                match assign[ai] {
+                    Some(true) => {
+                        if !high[ai] {
+                            // Assumed in the model but underivable: dead end.
+                            for t in touched {
+                                assign[t as usize] = None;
+                            }
+                            return;
+                        }
+                    }
+                    Some(false) => {
+                        if low[ai] {
+                            // Assumed out but forced: dead end.
+                            for t in touched {
+                                assign[t as usize] = None;
+                            }
+                            return;
+                        }
+                    }
+                    None => {
+                        if low[ai] {
+                            assign[ai] = Some(true);
+                            touched.push(a);
+                            changed = true;
+                        } else if !high[ai] {
+                            assign[ai] = Some(false);
+                            touched.push(a);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        match self.neg_atoms.iter().find(|&&a| assign[a as usize].is_none()) {
+            None => {
+                // Leaf: verify stability exactly.
+                self.leaves_visited += 1;
+                let m = self.least_model(&|a| assign[a as usize] == Some(false));
+                let consistent = self
+                    .neg_atoms
+                    .iter()
+                    .all(|&a| m[a as usize] == (assign[a as usize] == Some(true)));
+                if consistent {
+                    models.push(AtomSet {
+                        gp: self.gp,
+                        member: m,
+                    });
+                }
+            }
+            Some(&a) => {
+                for guess in [true, false] {
+                    assign[a as usize] = Some(guess);
+                    self.search(assign, models, limit);
+                    if let Some(l) = limit {
+                        if models.len() >= l {
+                            break;
+                        }
+                    }
+                }
+                assign[a as usize] = None;
+            }
+        }
+        for t in touched {
+            assign[t as usize] = None;
+        }
+    }
+
+    /// Brave consequences: atoms true in *some* stable model (the paper's
+    /// possible tuples; DLV's `-brave`).
+    pub fn brave(&mut self, limit: Option<usize>) -> AtomSet<'a> {
+        let models = self.enumerate(limit);
+        let mut member = vec![false; self.gp.atom_count()];
+        for m in &models {
+            for (i, slot) in member.iter_mut().enumerate() {
+                *slot |= m.member[i];
+            }
+        }
+        AtomSet {
+            gp: self.gp,
+            member,
+        }
+    }
+
+    /// Cautious consequences: atoms true in *every* stable model (the
+    /// certain tuples; DLV's `-cautious`). All-true if no model exists.
+    pub fn cautious(&mut self, limit: Option<usize>) -> AtomSet<'a> {
+        let models = self.enumerate(limit);
+        let mut member = vec![true; self.gp.atom_count()];
+        if models.is_empty() {
+            return AtomSet {
+                gp: self.gp,
+                member,
+            };
+        }
+        for m in &models {
+            for (i, slot) in member.iter_mut().enumerate() {
+                *slot &= m.member[i];
+            }
+        }
+        AtomSet {
+            gp: self.gp,
+            member,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn solve(text: &str) -> (crate::ground::GroundProgram, usize) {
+        let p = parse_program(text).unwrap();
+        let gp = p.ground();
+        let count = StableSolver::new(&gp).enumerate(None).len();
+        (gp, count)
+    }
+
+    #[test]
+    fn stratified_program_unique_model() {
+        let (gp, count) = solve(
+            "p(a). p(b).\n\
+             q(X) :- p(X), not r(X).\n\
+             r(a).",
+        );
+        assert_eq!(count, 1);
+        let mut solver = StableSolver::new(&gp);
+        let m = &solver.enumerate(None)[0];
+        assert!(m.contains("q(b)"));
+        assert!(!m.contains("q(a)"));
+    }
+
+    /// `p :- not p` has no stable model.
+    #[test]
+    fn odd_loop_no_model() {
+        let (_, count) = solve("t(a).\np(X) :- t(X), not p(X).");
+        assert_eq!(count, 0);
+    }
+
+    /// `p :- not q. q :- not p.` has exactly two.
+    #[test]
+    fn even_loop_two_models() {
+        let (gp, count) = solve(
+            "t(a).\n\
+             p(X) :- t(X), not q(X).\n\
+             q(X) :- t(X), not p(X).",
+        );
+        assert_eq!(count, 2);
+        let mut solver = StableSolver::new(&gp);
+        let brave = solver.brave(None);
+        assert!(brave.contains("p(a)") && brave.contains("q(a)"));
+        let cautious = solver.cautious(None);
+        assert!(!cautious.contains("p(a)") && !cautious.contains("q(a)"));
+        assert!(cautious.contains("t(a)"));
+    }
+
+    /// Example B.1, first program: unique stable model; x follows its
+    /// *preferred* parent z2 and gets w.
+    ///
+    /// Note: the paper's prose claims DLV returns `(x,v)` here, which
+    /// contradicts its own program — the rule `poss(x,X) :- poss(z2,X)`
+    /// makes z2 (with b0(z2) = w) the preferred parent, so the conflict
+    /// rule derives `conf(x,z1,v)` and blocks v. The Section 2 semantics
+    /// (preferred parent wins) confirms w; the `(x,v)` tuple appears to be
+    /// a typo (swapped z1/z2 labels in Figure 13c).
+    #[test]
+    fn example_b1_preferred() {
+        let p = parse_program(
+            "poss(z1,v).\n\
+             poss(z2,w).\n\
+             poss(x,X) :- poss(z2,X).\n\
+             conf(x,z1,X) :- poss(z1,X), poss(x,Y), Y!=X.\n\
+             poss(x,X) :- poss(z1,X), not conf(x,z1,X).",
+        )
+        .unwrap();
+        let gp = p.ground();
+        let mut solver = StableSolver::new(&gp);
+        let models = solver.enumerate(None);
+        assert_eq!(models.len(), 1);
+        let brave = solver.brave(None);
+        assert!(brave.contains("poss(z1,v)"));
+        assert!(brave.contains("poss(z2,w)"));
+        assert!(brave.contains("poss(x,w)"));
+        assert!(!brave.contains("poss(x,v)"));
+        assert!(brave.contains("conf(x,z1,v)"));
+    }
+
+    /// Example B.1, second program (tied parents): x gets both values.
+    #[test]
+    fn example_b1_tied() {
+        let p = parse_program(
+            "poss(z1,v).\n\
+             poss(z2,w).\n\
+             conf(x,z1,X) :- poss(z1,X), poss(x,Y), Y!=X.\n\
+             poss(x,X) :- poss(z1,X), not conf(x,z1,X).\n\
+             conf(x,z2,X) :- poss(z2,X), poss(x,Y), Y!=X.\n\
+             poss(x,X) :- poss(z2,X), not conf(x,z2,X).",
+        )
+        .unwrap();
+        let gp = p.ground();
+        let mut solver = StableSolver::new(&gp);
+        let models = solver.enumerate(None);
+        assert_eq!(models.len(), 2);
+        let brave = solver.brave(None);
+        assert!(brave.contains("poss(x,v)"));
+        assert!(brave.contains("poss(x,w)"));
+        let cautious = solver.cautious(None);
+        assert!(!cautious.contains("poss(x,v)"));
+        assert!(!cautious.contains("poss(x,w)"));
+    }
+
+    /// Example 2.10: the oscillator's LP has exactly the two stable models
+    /// M1 and M2 from the paper.
+    #[test]
+    fn example_2_10_oscillator() {
+        let p = parse_program(
+            "u3('v').\n\
+             u1(R) :- u2(R).\n\
+             c13(S) :- u3(S), u1(R), R!=S.\n\
+             u1(S) :- u3(S), not c13(S).\n\
+             u4('w').\n\
+             u2(R) :- u1(R).\n\
+             c24(S) :- u4(S), u2(R), R!=S.\n\
+             u2(S) :- u4(S), not c24(S).",
+        )
+        .unwrap();
+        let gp = p.ground();
+        let mut solver = StableSolver::new(&gp);
+        let models = solver.enumerate(None);
+        assert_eq!(models.len(), 2);
+        let (m_v, m_w) = if models[0].contains("u1(v)") {
+            (&models[0], &models[1])
+        } else {
+            (&models[1], &models[0])
+        };
+        // M1 = {u1(v), u2(v), u3(v), u4(w)}.
+        assert!(m_v.contains("u1(v)") && m_v.contains("u2(v)"));
+        assert!(m_v.contains("u3(v)") && m_v.contains("u4(w)"));
+        assert!(!m_v.contains("u1(w)"));
+        // M2 = {u1(w), u2(w), u3(v), u4(w)}.
+        assert!(m_w.contains("u1(w)") && m_w.contains("u2(w)"));
+        assert!(m_w.contains("u3(v)") && m_w.contains("u4(w)"));
+    }
+
+    #[test]
+    fn well_founded_three_values() {
+        let p = parse_program(
+            "t(a).\n\
+             p(X) :- t(X), not q(X).\n\
+             q(X) :- t(X), not p(X).\n\
+             sure(X) :- t(X).\n\
+             never(X) :- t(X), not t(X).",
+        )
+        .unwrap();
+        let gp = p.ground();
+        let solver = StableSolver::new(&gp);
+        let wf = solver.well_founded();
+        assert_eq!(wf[gp.atom("t(a)").unwrap() as usize], Truth::True);
+        assert_eq!(wf[gp.atom("sure(a)").unwrap() as usize], Truth::True);
+        assert_eq!(wf[gp.atom("p(a)").unwrap() as usize], Truth::Undefined);
+        assert_eq!(wf[gp.atom("q(a)").unwrap() as usize], Truth::Undefined);
+        // never(a) is false: its rule requires t(a) both true and false.
+        if let Some(id) = gp.atom("never(a)") {
+            assert_eq!(wf[id as usize], Truth::False);
+        }
+    }
+
+    #[test]
+    fn limit_truncates_enumeration() {
+        // Three independent even loops → 8 models.
+        let mut text = String::new();
+        for i in 0..3 {
+            text.push_str(&format!("t{i}(a).\n"));
+            text.push_str(&format!("p{i}(X) :- t{i}(X), not q{i}(X).\n"));
+            text.push_str(&format!("q{i}(X) :- t{i}(X), not p{i}(X).\n"));
+        }
+        let p = parse_program(&text).unwrap();
+        let gp = p.ground();
+        let mut solver = StableSolver::new(&gp);
+        assert_eq!(solver.enumerate(None).len(), 8);
+        assert_eq!(solver.enumerate(Some(3)).len(), 3);
+    }
+}

@@ -1,0 +1,144 @@
+//! Condensation (SCC quotient graph).
+//!
+//! Algorithm 1 Step 2 needs a *minimal* SCC: a component of the open subgraph
+//! with no incoming edges from other open components. The condensation makes
+//! those queries O(1) after construction.
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::scc::SccResult;
+
+/// The SCC quotient of (a filtered view of) a graph.
+///
+/// Component indices follow the underlying [`SccResult`]: reverse topological
+/// order, so component `0` is always a sink and the last component a source.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    /// The SCC labelling this condensation was built from.
+    pub scc: SccResult,
+    /// `in_degree[c]` = number of *distinct* predecessor components of `c`
+    /// (parallel inter-component edges counted once).
+    pub in_degree: Vec<u32>,
+    /// Quotient adjacency: `succs[c]` = distinct successor components.
+    pub succs: Vec<Vec<u32>>,
+}
+
+impl Condensation {
+    /// Builds the condensation of the subgraph induced by `keep`, given a
+    /// matching SCC labelling (from [`crate::scc::tarjan_scc_filtered`] with
+    /// the same filter).
+    pub fn new(g: &DiGraph, scc: SccResult, keep: impl Fn(NodeId) -> bool) -> Self {
+        let k = scc.count();
+        let mut in_degree = vec![0u32; k];
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); k];
+        // `seen` deduplicates quotient edges; reset lazily via stamping.
+        let mut stamp = vec![u32::MAX; k];
+        // Indexing keeps the borrow of `succs[c]` disjoint from `members`.
+        #[allow(clippy::needless_range_loop)]
+        for c in 0..k {
+            for &v in &scc.members[c] {
+                for &(w, _) in g.out_neighbors(v) {
+                    if !keep(w) {
+                        continue;
+                    }
+                    let cw = scc.comp[w as usize];
+                    if cw == c as u32 || cw == u32::MAX {
+                        continue;
+                    }
+                    if stamp[cw as usize] != c as u32 {
+                        stamp[cw as usize] = c as u32;
+                        succs[c].push(cw);
+                        in_degree[cw as usize] += 1;
+                    }
+                }
+            }
+        }
+        Condensation {
+            scc,
+            in_degree,
+            succs,
+        }
+    }
+
+    /// Components with no incoming quotient edges ("minimal SCCs" in the
+    /// paper's terminology: no edges from other open components).
+    pub fn sources(&self) -> impl Iterator<Item = u32> + '_ {
+        self.in_degree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(c, _)| c as u32)
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.scc.count()
+    }
+
+    /// Members of component `c`.
+    #[inline]
+    pub fn members(&self, c: u32) -> &[NodeId] {
+        &self.scc.members[c as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scc::tarjan_scc_filtered;
+
+    fn cond(n: usize, edges: &[(NodeId, NodeId)]) -> Condensation {
+        let mut g = DiGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        let scc = tarjan_scc_filtered(&g, |_| true);
+        Condensation::new(&g, scc, |_| true)
+    }
+
+    #[test]
+    fn chain_of_cycles_has_single_source() {
+        // {0,1} -> {2,3} -> {4,5}
+        let c = cond(
+            6,
+            &[(0, 1), (1, 0), (2, 3), (3, 2), (4, 5), (5, 4), (1, 2), (3, 4)],
+        );
+        assert_eq!(c.count(), 3);
+        let sources: Vec<u32> = c.sources().collect();
+        assert_eq!(sources.len(), 1);
+        let src = sources[0];
+        let mut m = c.members(src).to_vec();
+        m.sort_unstable();
+        assert_eq!(m, vec![0, 1]);
+    }
+
+    #[test]
+    fn parallel_quotient_edges_counted_once() {
+        // Two edges 0->1 and another 0->1 via parallel edge: in_degree of
+        // {1} must still be 1.
+        let c = cond(2, &[(0, 1), (0, 1)]);
+        assert_eq!(c.count(), 2);
+        let deg: Vec<u32> = c.in_degree.clone();
+        assert_eq!(deg.iter().sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn independent_components_are_all_sources() {
+        let c = cond(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        assert_eq!(c.sources().count(), 2);
+    }
+
+    #[test]
+    fn filtered_condensation_respects_keep() {
+        let mut g = DiGraph::new(4);
+        for &(u, v) in &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)] {
+            g.add_edge(u, v);
+        }
+        // Keep only {2,3}: one component, zero in-degree (edge from 1 ignored).
+        let keep = |v: NodeId| v >= 2;
+        let scc = tarjan_scc_filtered(&g, keep);
+        let c = Condensation::new(&g, scc, keep);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.in_degree[0], 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Compact adjacency-list directed graph.
+//!
+//! Nodes are dense `u32` indices so the structure can back networks with
+//! millions of nodes (Figure 8 of the paper sweeps `|U|+|E|` up to 10^6)
+//! without pointer chasing. Edges are stored in insertion order and exposed
+//! both as flat slices and per-node adjacency.
+
+/// Dense node identifier (index into the graph's node table).
+pub type NodeId = u32;
+
+/// Dense edge identifier (index into the graph's edge table).
+pub type EdgeId = u32;
+
+/// A directed graph with `u32` node ids and O(1) per-node out-adjacency.
+///
+/// In-adjacency is built lazily on demand ([`DiGraph::in_neighbors`] requires
+/// calling [`DiGraph::build_in_adjacency`] first or constructing with
+/// [`DiGraph::with_in_adjacency`]).
+#[derive(Debug, Clone, Default)]
+pub struct DiGraph {
+    /// `out[u]` = list of (target, edge id) pairs.
+    out: Vec<Vec<(NodeId, EdgeId)>>,
+    /// `inn[u]` = list of (source, edge id) pairs; empty until built.
+    inn: Vec<Vec<(NodeId, EdgeId)>>,
+    /// Flat edge table: `edges[e] = (source, target)`.
+    edges: Vec<(NodeId, NodeId)>,
+    in_built: bool,
+}
+
+impl DiGraph {
+    /// Creates an empty graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            out: vec![Vec::new(); n],
+            inn: Vec::new(),
+            edges: Vec::new(),
+            in_built: false,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.out.push(Vec::new());
+        if self.in_built {
+            self.inn.push(Vec::new());
+        }
+        (self.out.len() - 1) as NodeId
+    }
+
+    /// Adds a directed edge `u -> v` and returns its id.
+    ///
+    /// Parallel edges and self-loops are allowed (trust networks may declare
+    /// several mappings between the same pair of users with different
+    /// priorities; binarization removes duplicates where required).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> EdgeId {
+        debug_assert!((u as usize) < self.out.len() && (v as usize) < self.out.len());
+        let e = self.edges.len() as EdgeId;
+        self.edges.push((u, v));
+        self.out[u as usize].push((v, e));
+        if self.in_built {
+            self.inn[v as usize].push((u, e));
+        }
+        e
+    }
+
+    /// The `(source, target)` endpoints of edge `e`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e as usize]
+    }
+
+    /// Iterator over all edges as `(source, target)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Out-neighbors of `u` as `(target, edge id)` pairs.
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.out[u as usize]
+    }
+
+    /// Builds the reverse adjacency lists; idempotent.
+    pub fn build_in_adjacency(&mut self) {
+        if self.in_built {
+            return;
+        }
+        self.inn = vec![Vec::new(); self.out.len()];
+        for (e, &(u, v)) in self.edges.iter().enumerate() {
+            self.inn[v as usize].push((u, e as EdgeId));
+        }
+        self.in_built = true;
+    }
+
+    /// Convenience constructor building in-adjacency eagerly.
+    pub fn with_in_adjacency(n: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        let mut g = DiGraph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g.build_in_adjacency();
+        g
+    }
+
+    /// In-neighbors of `u` as `(source, edge id)` pairs.
+    ///
+    /// # Panics
+    /// Panics if in-adjacency has not been built.
+    #[inline]
+    pub fn in_neighbors(&self, u: NodeId) -> &[(NodeId, EdgeId)] {
+        assert!(self.in_built, "call build_in_adjacency() first");
+        &self.inn[u as usize]
+    }
+
+    /// Whether reverse adjacency is available.
+    #[inline]
+    pub fn has_in_adjacency(&self) -> bool {
+        self.in_built
+    }
+
+    /// All node ids, `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.node_count() as NodeId
+    }
+}
+
+impl FromIterator<(NodeId, NodeId)> for DiGraph {
+    /// Builds a graph sized to the largest mentioned node id.
+    fn from_iter<T: IntoIterator<Item = (NodeId, NodeId)>>(iter: T) -> Self {
+        let edges: Vec<(NodeId, NodeId)> = iter.into_iter().collect();
+        let n = edges
+            .iter()
+            .map(|&(u, v)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut g = DiGraph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = DiGraph::new(3);
+        let e0 = g.add_edge(0, 1);
+        let e1 = g.add_edge(1, 2);
+        let e2 = g.add_edge(2, 0);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.endpoints(e0), (0, 1));
+        assert_eq!(g.endpoints(e2), (2, 0));
+        assert_eq!(g.out_neighbors(1), &[(2, e1)]);
+    }
+
+    #[test]
+    fn in_adjacency_lazy() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        assert!(!g.has_in_adjacency());
+        g.build_in_adjacency();
+        assert_eq!(g.in_neighbors(1).len(), 1);
+        assert_eq!(g.in_neighbors(0).len(), 0);
+        // Edges added after building keep the reverse index in sync.
+        g.add_edge(1, 0);
+        assert_eq!(g.in_neighbors(0).len(), 1);
+    }
+
+    #[test]
+    fn add_node_grows() {
+        let mut g = DiGraph::new(0);
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn from_iter_sizes_to_max_id() {
+        let g: DiGraph = [(0, 5), (2, 3)].into_iter().collect();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops_allowed() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g.add_edge(1, 1);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_neighbors(0).len(), 2);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # trustmap-graph
+//!
+//! A small, dependency-free directed-graph toolkit built for the trust-network
+//! resolution algorithms of *Data Conflict Resolution Using Trust Mappings*
+//! (Gatterbauer & Suciu, SIGMOD 2010).
+//!
+//! The paper relies on three classic graph ingredients:
+//!
+//! * **Strongly connected components** via Tarjan's algorithm (used by the
+//!   resolution Algorithms 1 and 2 to find *minimal* SCCs of the open nodes);
+//! * **Reachability** inside subgraphs (used by Algorithm 2's Step 2 and by
+//!   the lineage checks of Definition 2.4);
+//! * **Max-flow / vertex-disjoint paths** (used by the possible-pairs
+//!   computation of Proposition 2.13).
+//!
+//! All algorithms are iterative (no recursion), so they scale to the
+//! million-node networks of the paper's Figure 8 experiments.
+
+pub mod condense;
+pub mod digraph;
+pub mod flow;
+pub mod reach;
+pub mod scc;
+pub mod topo;
+
+#[cfg(test)]
+mod proptests;
+
+pub use condense::Condensation;
+pub use digraph::{DiGraph, EdgeId, NodeId};
+pub use flow::{vertex_disjoint_pair, DisjointPair};
+pub use reach::{reachable_from, reachable_within};
+pub use scc::{tarjan_scc, tarjan_scc_filtered, SccResult};
+pub use topo::{is_acyclic, topo_order, TopoError};

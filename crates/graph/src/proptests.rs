@@ -1,0 +1,84 @@
+//! Property-based cross-checks of the graph algorithms against naive
+//! reference implementations.
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::reach::reachable_from;
+use crate::scc::tarjan_scc;
+use proptest::prelude::*;
+
+fn arb_graph(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = DiGraph> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..=max_edges).prop_map(
+            move |edges| {
+                let mut g = DiGraph::new(n);
+                for (u, v) in edges {
+                    g.add_edge(u, v);
+                }
+                g
+            },
+        )
+    })
+}
+
+/// Naive SCC: u,v in the same component iff mutually reachable.
+fn same_component_naive(g: &DiGraph, u: NodeId, v: NodeId) -> bool {
+    let ru = reachable_from(g, u, |_| true);
+    let rv = reachable_from(g, v, |_| true);
+    ru[v as usize] && rv[u as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tarjan_matches_mutual_reachability(g in arb_graph(9, 20)) {
+        let scc = tarjan_scc(&g);
+        for u in 0..g.node_count() as NodeId {
+            for v in 0..g.node_count() as NodeId {
+                let same = scc.component_of(u) == scc.component_of(v);
+                prop_assert_eq!(
+                    same,
+                    same_component_naive(&g, u, v),
+                    "nodes {} {}", u, v
+                );
+            }
+        }
+    }
+
+    /// Component numbering is reverse-topological: inter-component edges
+    /// always point from higher to lower ids.
+    #[test]
+    fn tarjan_order_is_reverse_topological(g in arb_graph(9, 20)) {
+        let scc = tarjan_scc(&g);
+        for (u, v) in g.edges() {
+            let cu = scc.comp[u as usize];
+            let cv = scc.comp[v as usize];
+            if cu != cv {
+                prop_assert!(cu > cv, "edge {}→{} crosses {} → {}", u, v, cu, cv);
+            }
+        }
+    }
+
+    /// Disjoint-path queries are consistent with trivial necessary and
+    /// sufficient conditions.
+    #[test]
+    fn disjoint_pairs_sanity(g in arb_graph(8, 16)) {
+        use crate::flow::{vertex_disjoint_pair, DisjointPair};
+        let n = g.node_count() as NodeId;
+        for s1 in 0..n.min(4) {
+            for t1 in 0..n.min(4) {
+                for s2 in 0..n.min(4) {
+                    for t2 in 0..n.min(4) {
+                        let r = vertex_disjoint_pair(&g, &|_| true, s1, t1, s2, t2, 100_000);
+                        if r == DisjointPair::Yes {
+                            // Necessary: both endpoints reachable at all.
+                            prop_assert!(reachable_from(&g, s1, |_| true)[t1 as usize]);
+                            prop_assert!(reachable_from(&g, s2, |_| true)[t2 as usize]);
+                            prop_assert!(s1 != s2 && t1 != t2);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

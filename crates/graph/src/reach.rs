@@ -1,0 +1,129 @@
+//! Reachability within node subsets.
+//!
+//! Used by Algorithm 2 Step 2 ("if ∃ path z_j → x_i in S′") and by the
+//! stable-solution checker's lineage condition (Definition 2.4).
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Nodes reachable from `start` (inclusive) following out-edges, restricted
+/// to nodes satisfying `keep`. Returns a dense boolean mask.
+///
+/// `start` itself is reported reachable only if `keep(start)` holds.
+pub fn reachable_from(g: &DiGraph, start: NodeId, keep: impl Fn(NodeId) -> bool) -> Vec<bool> {
+    reachable_from_many(g, std::iter::once(start), keep)
+}
+
+/// Multi-source variant of [`reachable_from`].
+pub fn reachable_from_many(
+    g: &DiGraph,
+    starts: impl IntoIterator<Item = NodeId>,
+    keep: impl Fn(NodeId) -> bool,
+) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for s in starts {
+        if keep(s) && !seen[s as usize] {
+            seen[s as usize] = true;
+            stack.push(s);
+        }
+    }
+    while let Some(v) = stack.pop() {
+        for &(w, _) in g.out_neighbors(v) {
+            if keep(w) && !seen[w as usize] {
+                seen[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// Whether `target` is reachable from `start` inside the `keep` subgraph.
+///
+/// Early-exits as soon as `target` is popped, so it is cheaper than
+/// [`reachable_from`] when only one query is needed.
+pub fn reachable_within(
+    g: &DiGraph,
+    start: NodeId,
+    target: NodeId,
+    keep: impl Fn(NodeId) -> bool,
+) -> bool {
+    if !keep(start) || !keep(target) {
+        return false;
+    }
+    if start == target {
+        return true;
+    }
+    let mut seen = vec![false; g.node_count()];
+    seen[start as usize] = true;
+    let mut stack = vec![start];
+    while let Some(v) = stack.pop() {
+        for &(w, _) in g.out_neighbors(v) {
+            if w == target {
+                return true;
+            }
+            if keep(w) && !seen[w as usize] {
+                seen[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(NodeId, NodeId)]) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    #[test]
+    fn basic_reachability() {
+        let g = graph(4, &[(0, 1), (1, 2), (3, 1)]);
+        let r = reachable_from(&g, 0, |_| true);
+        assert_eq!(r, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn filter_blocks_paths() {
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        // Node 1 removed: 2 unreachable.
+        assert!(!reachable_within(&g, 0, 2, |v| v != 1));
+        assert!(reachable_within(&g, 0, 2, |_| true));
+    }
+
+    #[test]
+    fn start_not_kept_reaches_nothing() {
+        let g = graph(2, &[(0, 1)]);
+        let r = reachable_from(&g, 0, |v| v != 0);
+        assert_eq!(r, vec![false, false]);
+        assert!(!reachable_within(&g, 0, 1, |v| v != 0));
+    }
+
+    #[test]
+    fn self_reachability() {
+        let g = graph(1, &[]);
+        assert!(reachable_within(&g, 0, 0, |_| true));
+    }
+
+    #[test]
+    fn multi_source() {
+        let g = graph(5, &[(0, 1), (2, 3)]);
+        let r = reachable_from_many(&g, [0, 2], |_| true);
+        assert_eq!(r, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn target_found_even_if_target_would_not_expand() {
+        // reachable_within checks the target on edge traversal, before the
+        // keep filter would be applied to expansion.
+        let g = graph(2, &[(0, 1)]);
+        assert!(reachable_within(&g, 0, 1, |_| true));
+    }
+}

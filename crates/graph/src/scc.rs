@@ -1,0 +1,212 @@
+//! Iterative Tarjan strongly-connected components.
+//!
+//! Algorithm 1 of the paper repeatedly computes "the SCC graph constructed
+//! from the *open* nodes", so the implementation here supports running over
+//! an arbitrary node subset (`tarjan_scc_filtered`) without materializing the
+//! induced subgraph. The traversal is fully iterative: the nested-SCC worst
+//! case of Figure 14a produces DFS paths as long as the graph, which would
+//! overflow the call stack for the 10^5-node sweeps of Figure 15.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Result of an SCC computation.
+///
+/// Components are numbered `0..count` in **reverse topological order** of the
+/// condensation (Tarjan emits a component only after all components reachable
+/// from it): if there is an edge from component `a` to component `b` (a ≠ b)
+/// then `a > b`.
+#[derive(Debug, Clone)]
+pub struct SccResult {
+    /// `comp[v]` = component index of node `v`, or `u32::MAX` for nodes that
+    /// were filtered out.
+    pub comp: Vec<u32>,
+    /// `members[c]` = nodes of component `c`.
+    pub members: Vec<Vec<NodeId>>,
+}
+
+impl SccResult {
+    /// Number of components.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Component of node `v`, if `v` participated in the computation.
+    #[inline]
+    pub fn component_of(&self, v: NodeId) -> Option<u32> {
+        let c = self.comp[v as usize];
+        (c != u32::MAX).then_some(c)
+    }
+}
+
+const UNVISITED: u32 = u32::MAX;
+
+/// Tarjan over the whole graph.
+pub fn tarjan_scc(g: &DiGraph) -> SccResult {
+    tarjan_scc_filtered(g, |_| true)
+}
+
+/// Tarjan restricted to the subgraph induced by nodes where `keep(v)` holds.
+///
+/// Edges with either endpoint outside the kept set are ignored, exactly as
+/// Algorithm 1's "SCC graph constructed from the open nodes".
+pub fn tarjan_scc_filtered(g: &DiGraph, keep: impl Fn(NodeId) -> bool) -> SccResult {
+    let n = g.node_count();
+    let mut index = vec![UNVISITED; n]; // discovery index
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![u32::MAX; n];
+    let mut stack: Vec<NodeId> = Vec::new(); // Tarjan's component stack
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    let mut next_index = 0u32;
+
+    // Explicit DFS frames: (node, position in its out-adjacency list).
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+
+    for start in 0..n as NodeId {
+        if !keep(start) || index[start as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start as usize] = next_index;
+        low[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut i)) = frames.last_mut() {
+            let vs = v as usize;
+            let out = g.out_neighbors(v);
+            if *i < out.len() {
+                let (w, _) = out[*i];
+                *i += 1;
+                let ws = w as usize;
+                if !keep(w) {
+                    continue;
+                }
+                if index[ws] == UNVISITED {
+                    index[ws] = next_index;
+                    low[ws] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[ws] = true;
+                    frames.push((w, 0));
+                } else if on_stack[ws] {
+                    low[vs] = low[vs].min(index[ws]);
+                }
+            } else {
+                // v is finished: pop the frame, maybe emit a component.
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    let ps = parent as usize;
+                    low[ps] = low[ps].min(low[vs]);
+                }
+                if low[vs] == index[vs] {
+                    let c = members.len() as u32;
+                    let mut group = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = c;
+                        group.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    members.push(group);
+                }
+            }
+        }
+    }
+
+    SccResult { comp, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(NodeId, NodeId)]) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 1);
+        assert_eq!(scc.members[0].len(), 3);
+    }
+
+    #[test]
+    fn dag_gives_singletons_in_reverse_topo_order() {
+        // 0 -> 1 -> 2
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 3);
+        // Reverse topological: sink (2) gets the smallest component index.
+        let c0 = scc.component_of(0).unwrap();
+        let c1 = scc.component_of(1).unwrap();
+        let c2 = scc.component_of(2).unwrap();
+        assert!(c0 > c1 && c1 > c2);
+    }
+
+    #[test]
+    fn two_cycles_with_bridge() {
+        // cycle {0,1}, cycle {2,3}, bridge 1 -> 2
+        let g = graph(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 2);
+        assert_eq!(scc.component_of(0), scc.component_of(1));
+        assert_eq!(scc.component_of(2), scc.component_of(3));
+        // Edge goes from {0,1}'s component to {2,3}'s: source has larger index.
+        assert!(scc.component_of(0).unwrap() > scc.component_of(2).unwrap());
+    }
+
+    #[test]
+    fn filtered_ignores_excluded_nodes() {
+        // Removing node 1 breaks the 3-cycle into singletons {0}, {2}.
+        let g = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let scc = tarjan_scc_filtered(&g, |v| v != 1);
+        assert_eq!(scc.count(), 2);
+        assert_eq!(scc.component_of(1), None);
+        assert_ne!(scc.component_of(0), scc.component_of(2));
+    }
+
+    #[test]
+    fn self_loop_is_own_component() {
+        let g = graph(2, &[(0, 0), (0, 1)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 2);
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        // A path of 200k nodes plus a back edge forming one giant cycle.
+        let n = 200_000;
+        let mut g = DiGraph::new(n);
+        for v in 0..n as NodeId - 1 {
+            g.add_edge(v, v + 1);
+        }
+        g.add_edge(n as NodeId - 1, 0);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 1);
+        assert_eq!(scc.members[0].len(), n);
+    }
+
+    #[test]
+    fn every_node_assigned_exactly_once() {
+        let g = graph(6, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (5, 0)]);
+        let scc = tarjan_scc(&g);
+        let total: usize = scc.members.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+        for v in 0..6 {
+            let c = scc.component_of(v).unwrap();
+            assert!(scc.members[c as usize].contains(&v));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Topological ordering (Kahn's algorithm).
+//!
+//! Used by the acyclic-network evaluator (Proposition 3.6: on a DAG every
+//! paradigm has a unique stable solution computable in one pass) and by the
+//! bulk-resolution planner to order schedule steps.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Error returned when the graph contains a directed cycle.
+///
+/// Carries one node that is part of some cycle, for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoError {
+    /// A node participating in a cycle.
+    pub node_in_cycle: NodeId,
+}
+
+impl std::fmt::Display for TopoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "graph contains a cycle through node {}",
+            self.node_in_cycle
+        )
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+/// Topological order of the subgraph induced by `keep`.
+///
+/// Returns the kept nodes in an order where every edge goes from an earlier
+/// to a later node, or an error naming a node on a cycle.
+pub fn topo_order(g: &DiGraph, keep: impl Fn(NodeId) -> bool) -> Result<Vec<NodeId>, TopoError> {
+    let n = g.node_count();
+    let mut in_deg = vec![0u32; n];
+    let mut kept = 0usize;
+    for v in 0..n as NodeId {
+        if !keep(v) {
+            continue;
+        }
+        kept += 1;
+        for &(w, _) in g.out_neighbors(v) {
+            if keep(w) {
+                in_deg[w as usize] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| keep(v) && in_deg[v as usize] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(kept);
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        for &(w, _) in g.out_neighbors(v) {
+            if keep(w) {
+                in_deg[w as usize] -= 1;
+                if in_deg[w as usize] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+    }
+    if order.len() < kept {
+        // Some kept node retained positive in-degree: it lies on a cycle.
+        let node_in_cycle = (0..n as NodeId)
+            .find(|&v| keep(v) && in_deg[v as usize] > 0)
+            .expect("cycle node must exist when order is incomplete");
+        return Err(TopoError { node_in_cycle });
+    }
+    Ok(order)
+}
+
+/// Whether the subgraph induced by `keep` is acyclic.
+pub fn is_acyclic(g: &DiGraph, keep: impl Fn(NodeId) -> bool) -> bool {
+    topo_order(g, keep).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(NodeId, NodeId)]) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    #[test]
+    fn orders_a_dag() {
+        let g = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let order = topo_order(&g, |_| true).unwrap();
+        let pos = |v: NodeId| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let g = graph(3, &[(0, 1), (1, 2), (2, 1)]);
+        let err = topo_order(&g, |_| true).unwrap_err();
+        assert!(err.node_in_cycle == 1 || err.node_in_cycle == 2);
+        assert!(!is_acyclic(&g, |_| true));
+    }
+
+    #[test]
+    fn filter_can_break_cycles() {
+        let g = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(!is_acyclic(&g, |_| true));
+        assert!(is_acyclic(&g, |v| v != 2));
+        let order = topo_order(&g, |v| v != 2).unwrap();
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_selection_is_fine() {
+        let g = graph(2, &[(0, 1)]);
+        assert_eq!(topo_order(&g, |_| false).unwrap(), Vec::<NodeId>::new());
+    }
+}

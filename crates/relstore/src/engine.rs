@@ -1,0 +1,533 @@
+//! The execution engine: a named-table database executing parsed
+//! statements, with index-backed access paths.
+
+use crate::expr::Expr;
+use crate::parser::{parse_statement, SqlParseError};
+use crate::relation::{Relation, Schema, SqlValue};
+use crate::stmt::{Select, Statement};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Engine errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// SQL text failed to parse.
+    Parse(SqlParseError),
+    /// Referenced table does not exist.
+    NoSuchTable(String),
+    /// Table already exists.
+    TableExists(String),
+    /// Column lookup or evaluation failure.
+    Eval(String),
+    /// Inserted row arity does not match the table.
+    ArityMismatch {
+        /// Table name.
+        table: String,
+        /// Expected column count.
+        expected: usize,
+        /// Provided column count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            EngineError::TableExists(t) => write!(f, "table already exists: {t}"),
+            EngineError::Eval(m) => write!(f, "evaluation error: {m}"),
+            EngineError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(f, "{table}: expected {expected} values, got {got}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SqlParseError> for EngineError {
+    fn from(e: SqlParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// Result rows (queries only).
+    pub rows: Vec<Vec<SqlValue>>,
+    /// Rows inserted/deleted (DML only).
+    pub affected: usize,
+}
+
+/// An in-memory database: named relations + statement execution.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: HashMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses and executes one statement of SQL text.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, EngineError> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Executes an already-parsed statement.
+    pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult, EngineError> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                let key = name.to_ascii_lowercase();
+                if self.tables.contains_key(&key) {
+                    return Err(EngineError::TableExists(name.clone()));
+                }
+                self.tables.insert(
+                    key,
+                    Relation::new(Schema {
+                        columns: columns.clone(),
+                    }),
+                );
+                Ok(QueryResult::default())
+            }
+            Statement::CreateIndex { table, column } => {
+                let rel = self.table_mut(table)?;
+                let pos = rel
+                    .schema
+                    .position(column)
+                    .ok_or_else(|| EngineError::Eval(format!("unknown column {column}")))?;
+                rel.create_index(pos);
+                Ok(QueryResult::default())
+            }
+            Statement::InsertValues { table, rows } => {
+                let rel = self.table_mut(table)?;
+                let arity = rel.schema.arity();
+                for row in rows {
+                    if row.len() != arity {
+                        return Err(EngineError::ArityMismatch {
+                            table: table.clone(),
+                            expected: arity,
+                            got: row.len(),
+                        });
+                    }
+                    rel.push(row.clone());
+                }
+                Ok(QueryResult {
+                    rows: Vec::new(),
+                    affected: rows.len(),
+                })
+            }
+            Statement::InsertSelect { table, select } => {
+                let produced = self.run_select(select)?;
+                let rel = self.table_mut(table)?;
+                let arity = rel.schema.arity();
+                let affected = produced.len();
+                for row in produced {
+                    if row.len() != arity {
+                        return Err(EngineError::ArityMismatch {
+                            table: table.clone(),
+                            expected: arity,
+                            got: row.len(),
+                        });
+                    }
+                    rel.push(row);
+                }
+                Ok(QueryResult {
+                    rows: Vec::new(),
+                    affected,
+                })
+            }
+            Statement::Query(select) => {
+                let rows = self.run_select(select)?;
+                Ok(QueryResult {
+                    affected: 0,
+                    rows,
+                })
+            }
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
+                let rel = self.table_mut(table)?;
+                let schema = rel.schema.clone();
+                let mut hits: Vec<usize> = Vec::new();
+                for (i, row) in rel.rows().iter().enumerate() {
+                    let matched = match where_clause {
+                        Some(pred) => pred
+                            .eval_bool(row, &schema, None)
+                            .map_err(EngineError::Eval)?,
+                        None => true,
+                    };
+                    if matched {
+                        hits.push(i);
+                    }
+                }
+                rel.remove_rows(&hits);
+                Ok(QueryResult {
+                    rows: Vec::new(),
+                    affected: hits.len(),
+                })
+            }
+        }
+    }
+
+    /// Direct (non-SQL) bulk append, used to seed large experiment tables
+    /// without string formatting overhead.
+    pub fn insert_rows(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Vec<SqlValue>>,
+    ) -> Result<usize, EngineError> {
+        let rel = self.table_mut(table)?;
+        let arity = rel.schema.arity();
+        let mut n = 0;
+        for row in rows {
+            if row.len() != arity {
+                return Err(EngineError::ArityMismatch {
+                    table: table.to_owned(),
+                    expected: arity,
+                    got: row.len(),
+                });
+            }
+            rel.push(row);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Read access to a table.
+    pub fn table(&self, name: &str) -> Result<&Relation, EngineError> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::NoSuchTable(name.to_owned()))
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut Relation, EngineError> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Runs a SELECT, applying the index access path when the predicate is
+    /// an equality (or OR-of-equalities) on an indexed column.
+    fn run_select(&self, select: &Select) -> Result<Vec<Vec<SqlValue>>, EngineError> {
+        let rel = self.table(&select.table)?;
+        let schema = &rel.schema;
+        let alias = select.alias.as_deref();
+
+        // Access path selection.
+        let candidate_rows: Vec<usize> = match select
+            .where_clause
+            .as_ref()
+            .and_then(|w| w.as_index_disjunction(schema, alias))
+        {
+            Some((col, values)) if rel.has_index(col) => {
+                let mut out: Vec<usize> = Vec::new();
+                let mut seen: HashSet<usize> = HashSet::new();
+                for v in values {
+                    for &i in rel.index_lookup(col, &v) {
+                        if seen.insert(i) {
+                            out.push(i);
+                        }
+                    }
+                }
+                out
+            }
+            _ => (0..rel.row_count()).collect(),
+        };
+
+        let mut out: Vec<Vec<SqlValue>> = Vec::new();
+        let mut distinct_seen: HashSet<Vec<SqlValue>> = HashSet::new();
+        // ORDER BY keys are computed per row and carried alongside.
+        let mut keys: Vec<Vec<SqlValue>> = Vec::new();
+        let mut count = 0usize;
+        for i in candidate_rows {
+            let row = &rel.rows()[i];
+            if let Some(pred) = &select.where_clause {
+                if !pred
+                    .eval_bool(row, schema, alias)
+                    .map_err(EngineError::Eval)?
+                {
+                    continue;
+                }
+            }
+            if select.count_star {
+                count += 1;
+                continue;
+            }
+            let mut projected = Vec::with_capacity(select.items.len());
+            for item in &select.items {
+                projected.push(item.expr.eval(row, schema, alias).map_err(EngineError::Eval)?);
+            }
+            if select.distinct && !distinct_seen.insert(projected.clone()) {
+                continue;
+            }
+            if !select.order_by.is_empty() {
+                let mut key = Vec::with_capacity(select.order_by.len());
+                for (expr, _) in &select.order_by {
+                    key.push(expr.eval(row, schema, alias).map_err(EngineError::Eval)?);
+                }
+                keys.push(key);
+            }
+            out.push(projected);
+            // LIMIT can only short-circuit when no sort reorders rows.
+            if select.order_by.is_empty() {
+                if let Some(l) = select.limit {
+                    if out.len() >= l {
+                        break;
+                    }
+                }
+            }
+        }
+        if select.count_star {
+            return Ok(vec![vec![SqlValue::Int(count as i64)]]);
+        }
+        if !select.order_by.is_empty() {
+            let descending: Vec<bool> = select.order_by.iter().map(|&(_, d)| d).collect();
+            let mut order: Vec<usize> = (0..out.len()).collect();
+            order.sort_by(|&a, &b| {
+                for (pos, desc) in descending.iter().enumerate() {
+                    let cmp = keys[a][pos].cmp(&keys[b][pos]);
+                    let cmp = if *desc { cmp.reverse() } else { cmp };
+                    if cmp != std::cmp::Ordering::Equal {
+                        return cmp;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            out = order.into_iter().map(|i| std::mem::take(&mut out[i])).collect();
+        }
+        if let Some(l) = select.limit {
+            out.truncate(l);
+        }
+        Ok(out)
+    }
+}
+
+/// Detects whether an expression is a plain column reference (used by
+/// projections to resolve output names; kept for API completeness).
+pub fn column_name(expr: &Expr) -> Option<&str> {
+    match expr {
+        Expr::Column { name, .. } => Some(name),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poss_db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE poss (x TEXT, k INTEGER, v TEXT)")
+            .unwrap();
+        db.execute("CREATE INDEX ON poss (x)").unwrap();
+        db.execute(
+            "INSERT INTO poss VALUES \
+             ('z1', 0, 'jar'), ('z1', 1, 'cow'), ('z2', 0, 'jar'), ('z2', 1, 'fish')",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn select_with_index_path() {
+        let mut db = poss_db();
+        let r = db
+            .execute("SELECT k, v FROM poss WHERE x = 'z1'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = db
+            .execute("SELECT k FROM poss WHERE x = 'z1' OR x = 'z2'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 4);
+    }
+
+    #[test]
+    fn insert_select_copies_rows() {
+        let mut db = poss_db();
+        let r = db
+            .execute(
+                "insert into poss select 'alice' AS x, t.k, t.v from poss t where t.x = 'z1'",
+            )
+            .unwrap();
+        assert_eq!(r.affected, 2);
+        let r = db
+            .execute("SELECT v FROM poss WHERE x = 'alice'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn insert_select_distinct_dedups() {
+        let mut db = poss_db();
+        // Both z1 and z2 have (0, 'jar'): distinct keeps one.
+        db.execute(
+            "insert into poss select distinct 'u' AS x, t.k, t.v from poss t \
+             where t.x = 'z1' or t.x = 'z2'",
+        )
+        .unwrap();
+        let r = db
+            .execute("SELECT k, v FROM poss WHERE x = 'u' AND k = 0")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let r = db.execute("SELECT k, v FROM poss WHERE x = 'u'").unwrap();
+        assert_eq!(r.rows.len(), 3); // (0,jar), (1,cow), (1,fish)
+    }
+
+    #[test]
+    fn delete_with_predicate() {
+        let mut db = poss_db();
+        let r = db.execute("DELETE FROM poss WHERE k = 0").unwrap();
+        assert_eq!(r.affected, 2);
+        let r = db.execute("SELECT x FROM poss").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        // Index still consistent after deletion.
+        let r = db.execute("SELECT v FROM poss WHERE x = 'z1'").unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let mut db = Database::new();
+        assert!(matches!(
+            db.execute("SELECT x FROM nope"),
+            Err(EngineError::NoSuchTable(_))
+        ));
+        db.execute("CREATE TABLE t (x TEXT)").unwrap();
+        assert!(matches!(
+            db.execute("CREATE TABLE t (y TEXT)"),
+            Err(EngineError::TableExists(_))
+        ));
+        assert!(matches!(
+            db.execute("INSERT INTO t VALUES ('a', 'b')"),
+            Err(EngineError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            db.execute("SELECT zzz FROM t"),
+            Err(EngineError::Eval(_)) | Ok(_)
+        ));
+    }
+
+    #[test]
+    fn unindexed_predicates_fall_back_to_scan() {
+        let mut db = poss_db();
+        let r = db
+            .execute("SELECT x FROM poss WHERE v = 'jar' AND k = 0")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = db
+            .execute("SELECT x FROM poss WHERE NOT (v = 'jar')")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn direct_bulk_insert() {
+        let mut db = poss_db();
+        let n = db
+            .insert_rows(
+                "poss",
+                (0..100).map(|k| {
+                    vec![SqlValue::text("bulk"), SqlValue::Int(k), SqlValue::text("v")]
+                }),
+            )
+            .unwrap();
+        assert_eq!(n, 100);
+        let r = db.execute("SELECT k FROM poss WHERE x = 'bulk'").unwrap();
+        assert_eq!(r.rows.len(), 100);
+    }
+}
+
+#[cfg(test)]
+mod orderby_tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (x TEXT, k INTEGER)").unwrap();
+        db.execute(
+            "INSERT INTO t VALUES ('b', 2), ('a', 3), ('c', 1), ('a', 1)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn order_by_single_key() {
+        let mut db = db();
+        let r = db.execute("SELECT x, k FROM t ORDER BY k").unwrap();
+        let ks: Vec<i64> = r
+            .rows
+            .iter()
+            .map(|row| match row[1] {
+                SqlValue::Int(i) => i,
+                _ => panic!("int"),
+            })
+            .collect();
+        assert_eq!(ks, vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn order_by_desc_and_compound() {
+        let mut db = db();
+        let r = db
+            .execute("SELECT x, k FROM t ORDER BY x ASC, k DESC")
+            .unwrap();
+        let pairs: Vec<(String, i64)> = r
+            .rows
+            .iter()
+            .map(|row| match (&row[0], &row[1]) {
+                (SqlValue::Text(s), SqlValue::Int(i)) => (s.clone(), *i),
+                _ => panic!("shape"),
+            })
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![
+                ("a".into(), 3),
+                ("a".into(), 1),
+                ("b".into(), 2),
+                ("c".into(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn limit_with_and_without_order() {
+        let mut db = db();
+        let r = db.execute("SELECT x FROM t LIMIT 2").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = db
+            .execute("SELECT x, k FROM t ORDER BY k DESC LIMIT 1")
+            .unwrap();
+        assert_eq!(r.rows[0][1], SqlValue::Int(3));
+        let r = db.execute("SELECT x FROM t LIMIT 0").unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn count_star() {
+        let mut db = db();
+        let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows, vec![vec![SqlValue::Int(4)]]);
+        let r = db
+            .execute("SELECT COUNT(*) FROM t WHERE x = 'a'")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![SqlValue::Int(2)]]);
+    }
+
+    #[test]
+    fn parser_rejects_bad_limit() {
+        let mut db = db();
+        assert!(db.execute("SELECT x FROM t LIMIT abc").is_err());
+        assert!(db.execute("SELECT COUNT( FROM t").is_err());
+    }
+}

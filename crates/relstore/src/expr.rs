@@ -1,0 +1,330 @@
+//! Scalar expressions for projections and WHERE clauses.
+
+use crate::relation::{Schema, SqlValue};
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Column reference, optionally qualified (`t.x` or `x`).
+    Column {
+        /// Optional table alias qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// A literal value.
+    Literal(SqlValue),
+    /// Comparison between two expressions.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Conjunction.
+    And(Vec<Expr>),
+    /// Disjunction.
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Resolves the expression's column position in `schema`, if this is a
+    /// column reference. Qualifiers must match `alias` when both exist.
+    pub fn column_position(&self, schema: &Schema, alias: Option<&str>) -> Option<usize> {
+        match self {
+            Expr::Column { qualifier, name } => {
+                if let (Some(q), Some(a)) = (qualifier.as_deref(), alias) {
+                    if !q.eq_ignore_ascii_case(a) {
+                        return None;
+                    }
+                }
+                schema.position(name)
+            }
+            _ => None,
+        }
+    }
+
+    /// Evaluates to a value against a row.
+    pub fn eval(
+        &self,
+        row: &[SqlValue],
+        schema: &Schema,
+        alias: Option<&str>,
+    ) -> Result<SqlValue, String> {
+        match self {
+            Expr::Column { .. } => {
+                let pos = self
+                    .column_position(schema, alias)
+                    .ok_or_else(|| format!("unknown column in {self}"))?;
+                Ok(row[pos].clone())
+            }
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Cmp { .. } | Expr::And(_) | Expr::Or(_) | Expr::Not(_) => {
+                Ok(SqlValue::Int(self.eval_bool(row, schema, alias)? as i64))
+            }
+        }
+    }
+
+    /// Evaluates to a boolean (NULL comparisons are false).
+    pub fn eval_bool(
+        &self,
+        row: &[SqlValue],
+        schema: &Schema,
+        alias: Option<&str>,
+    ) -> Result<bool, String> {
+        match self {
+            Expr::Cmp { op, left, right } => {
+                let l = left.eval(row, schema, alias)?;
+                let r = right.eval(row, schema, alias)?;
+                if matches!(l, SqlValue::Null) || matches!(r, SqlValue::Null) {
+                    return Ok(false);
+                }
+                Ok(match op {
+                    CmpOp::Eq => l == r,
+                    CmpOp::Ne => l != r,
+                    CmpOp::Lt => l < r,
+                    CmpOp::Le => l <= r,
+                    CmpOp::Gt => l > r,
+                    CmpOp::Ge => l >= r,
+                })
+            }
+            Expr::And(parts) => {
+                for p in parts {
+                    if !p.eval_bool(row, schema, alias)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Expr::Or(parts) => {
+                for p in parts {
+                    if p.eval_bool(row, schema, alias)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Expr::Not(inner) => Ok(!inner.eval_bool(row, schema, alias)?),
+            Expr::Column { .. } | Expr::Literal(_) => {
+                Err(format!("expression {self} is not a predicate"))
+            }
+        }
+    }
+
+    /// Detects the access-path pattern `col = 'c1' OR col = 'c2' OR …`
+    /// (a single equality counts): returns the column position and the
+    /// constant list, enabling index lookups instead of scans.
+    pub fn as_index_disjunction(
+        &self,
+        schema: &Schema,
+        alias: Option<&str>,
+    ) -> Option<(usize, Vec<SqlValue>)> {
+        fn leaf(
+            e: &Expr,
+            schema: &Schema,
+            alias: Option<&str>,
+        ) -> Option<(usize, SqlValue)> {
+            if let Expr::Cmp {
+                op: CmpOp::Eq,
+                left,
+                right,
+            } = e
+            {
+                match (&**left, &**right) {
+                    (col @ Expr::Column { .. }, Expr::Literal(v))
+                    | (Expr::Literal(v), col @ Expr::Column { .. }) => {
+                        Some((col.column_position(schema, alias)?, v.clone()))
+                    }
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        }
+        match self {
+            Expr::Or(parts) => {
+                let mut col: Option<usize> = None;
+                let mut values = Vec::with_capacity(parts.len());
+                for p in parts {
+                    let (c, v) = leaf(p, schema, alias)?;
+                    if *col.get_or_insert(c) != c {
+                        return None;
+                    }
+                    values.push(v);
+                }
+                col.map(|c| (c, values))
+            }
+            _ => leaf(self, schema, alias).map(|(c, v)| (c, vec![v])),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{q}.{name}"),
+                None => write!(f, "{name}"),
+            },
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Cmp { op, left, right } => {
+                let sym = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "<>",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                write!(f, "{left} {sym} {right}")
+            }
+            Expr::And(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+            Expr::Or(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+            Expr::Not(inner) => write!(f, "NOT ({inner})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::ColumnType;
+
+    fn schema() -> Schema {
+        Schema {
+            columns: vec![
+                ("x".into(), ColumnType::Text),
+                ("k".into(), ColumnType::Integer),
+            ],
+        }
+    }
+
+    fn col(name: &str) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    fn eq(l: Expr, r: Expr) -> Expr {
+        Expr::Cmp {
+            op: CmpOp::Eq,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn eval_basics() {
+        let s = schema();
+        let row = vec![SqlValue::text("a"), SqlValue::Int(5)];
+        let e = eq(col("x"), Expr::Literal(SqlValue::text("a")));
+        assert!(e.eval_bool(&row, &s, None).unwrap());
+        let e = Expr::Cmp {
+            op: CmpOp::Gt,
+            left: Box::new(col("k")),
+            right: Box::new(Expr::Literal(SqlValue::Int(3))),
+        };
+        assert!(e.eval_bool(&row, &s, None).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_false() {
+        let s = schema();
+        let row = vec![SqlValue::Null, SqlValue::Int(5)];
+        let e = eq(col("x"), Expr::Literal(SqlValue::Null));
+        assert!(!e.eval_bool(&row, &s, None).unwrap());
+    }
+
+    #[test]
+    fn qualifier_must_match_alias() {
+        let s = schema();
+        let row = vec![SqlValue::text("a"), SqlValue::Int(5)];
+        let e = Expr::Column {
+            qualifier: Some("t".into()),
+            name: "x".into(),
+        };
+        assert_eq!(e.eval(&row, &s, Some("t")).unwrap(), SqlValue::text("a"));
+        assert!(e.eval(&row, &s, Some("u")).is_err());
+    }
+
+    #[test]
+    fn index_disjunction_detection() {
+        let s = schema();
+        let e = Expr::Or(vec![
+            eq(col("x"), Expr::Literal(SqlValue::text("a"))),
+            eq(Expr::Literal(SqlValue::text("b")), col("x")),
+        ]);
+        let (c, vals) = e.as_index_disjunction(&s, None).unwrap();
+        assert_eq!(c, 0);
+        assert_eq!(vals, vec![SqlValue::text("a"), SqlValue::text("b")]);
+        // Mixed columns are not an index disjunction.
+        let e = Expr::Or(vec![
+            eq(col("x"), Expr::Literal(SqlValue::text("a"))),
+            eq(col("k"), Expr::Literal(SqlValue::Int(1))),
+        ]);
+        assert!(e.as_index_disjunction(&s, None).is_none());
+        // A single equality works too.
+        let e = eq(col("k"), Expr::Literal(SqlValue::Int(1)));
+        assert_eq!(e.as_index_disjunction(&s, None).unwrap().0, 1);
+    }
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let e = Expr::Or(vec![
+            eq(
+                Expr::Column {
+                    qualifier: Some("t".into()),
+                    name: "x".into(),
+                },
+                Expr::Literal(SqlValue::text("z1")),
+            ),
+            eq(
+                Expr::Column {
+                    qualifier: Some("t".into()),
+                    name: "x".into(),
+                },
+                Expr::Literal(SqlValue::text("z2")),
+            ),
+        ]);
+        assert_eq!(e.to_string(), "t.x = 'z1' OR t.x = 'z2'");
+    }
+}

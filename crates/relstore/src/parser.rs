@@ -1,0 +1,584 @@
+//! Tokenizer and recursive-descent parser for the SQL subset.
+
+use crate::expr::{CmpOp, Expr};
+use crate::relation::{ColumnType, SqlValue};
+use crate::stmt::{Select, SelectItem, Statement};
+use std::fmt;
+
+/// A SQL parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SqlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SqlParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Text(String),
+    Number(i64),
+    Symbol(&'static str),
+}
+
+fn tokenize(sql: &str) -> Result<Vec<Token>, SqlParseError> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == b'-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if c == b'\'' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(i) {
+                    Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                        s.push('\'');
+                        i += 2;
+                    }
+                    Some(b'\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&b) => {
+                        s.push(b as char);
+                        i += 1;
+                    }
+                    None => {
+                        return Err(SqlParseError {
+                            message: "unterminated string literal".into(),
+                        })
+                    }
+                }
+            }
+            out.push(Token::Text(s));
+        } else if c.is_ascii_digit() || (c == b'-' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) {
+            let start = i;
+            i += 1;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..i]).expect("ascii digits");
+            out.push(Token::Number(text.parse().map_err(|_| SqlParseError {
+                message: format!("bad number {text}"),
+            })?));
+        } else if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push(Token::Ident(
+                std::str::from_utf8(&bytes[start..i])
+                    .expect("ascii ident")
+                    .to_owned(),
+            ));
+        } else {
+            let two = &sql[i..(i + 2).min(sql.len())];
+            let sym = match two {
+                "<>" | "!=" => Some("<>"),
+                "<=" => Some("<="),
+                ">=" => Some(">="),
+                _ => None,
+            };
+            if let Some(s) = sym {
+                out.push(Token::Symbol(s));
+                i += 2;
+            } else {
+                let s = match c {
+                    b'(' => "(",
+                    b')' => ")",
+                    b',' => ",",
+                    b'.' => ".",
+                    b'=' => "=",
+                    b'<' => "<",
+                    b'>' => ">",
+                    b'*' => "*",
+                    b';' => ";",
+                    _ => {
+                        return Err(SqlParseError {
+                            message: format!("unexpected character `{}`", c as char),
+                        })
+                    }
+                };
+                out.push(Token::Symbol(s));
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a single SQL statement (a trailing `;` is tolerated).
+pub fn parse_statement(sql: &str) -> Result<Statement, SqlParseError> {
+    let tokens = tokenize(sql)?;
+    let mut p = P { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_symbol(";");
+    if !p.at_end() {
+        return Err(p.err("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+struct P {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl P {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn err(&self, message: &str) -> SqlParseError {
+        SqlParseError {
+            message: format!("{message} (at token {})", self.pos),
+        }
+    }
+
+    fn peek_ident(&self) -> Option<&str> {
+        match self.tokens.get(self.pos) {
+            Some(Token::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self
+            .peek_ident()
+            .is_some_and(|s| s.eq_ignore_ascii_case(kw))
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected keyword {kw}")))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.tokens.get(self.pos), Some(Token::Symbol(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<(), SqlParseError> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{sym}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlParseError> {
+        match self.tokens.get(self.pos) {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlParseError> {
+        if self.eat_keyword("create") {
+            if self.eat_keyword("table") {
+                return self.create_table();
+            }
+            if self.eat_keyword("index") {
+                self.expect_keyword("on")?;
+                let table = self.ident()?;
+                self.expect_symbol("(")?;
+                let column = self.ident()?;
+                self.expect_symbol(")")?;
+                return Ok(Statement::CreateIndex { table, column });
+            }
+            return Err(self.err("expected TABLE or INDEX after CREATE"));
+        }
+        if self.eat_keyword("insert") {
+            self.expect_keyword("into")?;
+            let table = self.ident()?;
+            if self.eat_keyword("values") {
+                let mut rows = vec![self.value_row()?];
+                while self.eat_symbol(",") {
+                    rows.push(self.value_row()?);
+                }
+                return Ok(Statement::InsertValues { table, rows });
+            }
+            let select = self.select()?;
+            return Ok(Statement::InsertSelect { table, select });
+        }
+        if self.peek_ident().is_some_and(|s| s.eq_ignore_ascii_case("select")) {
+            return Ok(Statement::Query(self.select()?));
+        }
+        if self.eat_keyword("delete") {
+            self.expect_keyword("from")?;
+            let table = self.ident()?;
+            let where_clause = if self.eat_keyword("where") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete {
+                table,
+                where_clause,
+            });
+        }
+        Err(self.err("expected CREATE, INSERT, SELECT, or DELETE"))
+    }
+
+    fn create_table(&mut self) -> Result<Statement, SqlParseError> {
+        let name = self.ident()?;
+        self.expect_symbol("(")?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?.to_ascii_lowercase();
+            let ty_name = self.ident()?;
+            let ty = match ty_name.to_ascii_uppercase().as_str() {
+                "TEXT" | "VARCHAR" | "CHAR" | "STRING" => ColumnType::Text,
+                "INT" | "INTEGER" | "BIGINT" => ColumnType::Integer,
+                other => {
+                    return Err(self.err(&format!("unsupported column type {other}")));
+                }
+            };
+            // Tolerate VARCHAR(n).
+            if self.eat_symbol("(") {
+                match self.tokens.get(self.pos) {
+                    Some(Token::Number(_)) => self.pos += 1,
+                    _ => return Err(self.err("expected length after (")),
+                }
+                self.expect_symbol(")")?;
+            }
+            columns.push((col, ty));
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        self.expect_symbol(")")?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn value_row(&mut self) -> Result<Vec<SqlValue>, SqlParseError> {
+        self.expect_symbol("(")?;
+        let mut row = vec![self.literal()?];
+        while self.eat_symbol(",") {
+            row.push(self.literal()?);
+        }
+        self.expect_symbol(")")?;
+        Ok(row)
+    }
+
+    fn literal(&mut self) -> Result<SqlValue, SqlParseError> {
+        match self.tokens.get(self.pos).cloned() {
+            Some(Token::Text(s)) => {
+                self.pos += 1;
+                Ok(SqlValue::Text(s))
+            }
+            Some(Token::Number(n)) => {
+                self.pos += 1;
+                Ok(SqlValue::Int(n))
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("null") => {
+                self.pos += 1;
+                Ok(SqlValue::Null)
+            }
+            _ => Err(self.err("expected literal")),
+        }
+    }
+
+    fn select(&mut self) -> Result<Select, SqlParseError> {
+        self.expect_keyword("select")?;
+        let distinct = self.eat_keyword("distinct");
+        let mut items = Vec::new();
+        let mut count_star = false;
+        if self.eat_keyword("count") {
+            self.expect_symbol("(")?;
+            self.expect_symbol("*")?;
+            self.expect_symbol(")")?;
+            count_star = true;
+        } else {
+            items.push(self.select_item()?);
+            while self.eat_symbol(",") {
+                items.push(self.select_item()?);
+            }
+        }
+        self.expect_keyword("from")?;
+        let table = self.ident()?;
+        // Optional alias (must not collide with clause keywords).
+        let alias = match self.peek_ident() {
+            Some(s)
+                if !["where", "order", "limit"]
+                    .iter()
+                    .any(|kw| s.eq_ignore_ascii_case(kw)) =>
+            {
+                let a = s.to_owned();
+                self.pos += 1;
+                Some(a)
+            }
+            _ => None,
+        };
+        let where_clause = if self.eat_keyword("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                let key = self.expr_atom()?;
+                let desc = if self.eat_keyword("desc") {
+                    true
+                } else {
+                    self.eat_keyword("asc");
+                    false
+                };
+                order_by.push((key, desc));
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("limit") {
+            match self.tokens.get(self.pos) {
+                Some(Token::Number(n)) if *n >= 0 => {
+                    self.pos += 1;
+                    Some(*n as usize)
+                }
+                _ => return Err(self.err("expected a non-negative LIMIT count")),
+            }
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            items,
+            count_star,
+            table,
+            alias,
+            where_clause,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlParseError> {
+        let expr = self.expr_atom()?;
+        let alias = if self.eat_keyword("as") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    /// Full boolean expression: OR of ANDs of comparisons.
+    fn expr(&mut self) -> Result<Expr, SqlParseError> {
+        let mut parts = vec![self.and_expr()?];
+        while self.eat_keyword("or") {
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Expr::Or(parts)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlParseError> {
+        let mut parts = vec![self.cmp_expr()?];
+        while self.eat_keyword("and") {
+            parts.push(self.cmp_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Expr::And(parts)
+        })
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, SqlParseError> {
+        if self.eat_keyword("not") {
+            return Ok(Expr::Not(Box::new(self.cmp_expr()?)));
+        }
+        if self.eat_symbol("(") {
+            let inner = self.expr()?;
+            self.expect_symbol(")")?;
+            return Ok(inner);
+        }
+        let left = self.expr_atom()?;
+        let op = if self.eat_symbol("=") {
+            CmpOp::Eq
+        } else if self.eat_symbol("<>") {
+            CmpOp::Ne
+        } else if self.eat_symbol("<=") {
+            CmpOp::Le
+        } else if self.eat_symbol(">=") {
+            CmpOp::Ge
+        } else if self.eat_symbol("<") {
+            CmpOp::Lt
+        } else if self.eat_symbol(">") {
+            CmpOp::Gt
+        } else {
+            return Err(self.err("expected comparison operator"));
+        };
+        let right = self.expr_atom()?;
+        Ok(Expr::Cmp {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+    }
+
+    /// A column reference or literal.
+    fn expr_atom(&mut self) -> Result<Expr, SqlParseError> {
+        match self.tokens.get(self.pos).cloned() {
+            Some(Token::Ident(first))
+                if !first.eq_ignore_ascii_case("null") =>
+            {
+                self.pos += 1;
+                if self.eat_symbol(".") {
+                    let name = self.ident()?;
+                    Ok(Expr::Column {
+                        qualifier: Some(first),
+                        name,
+                    })
+                } else {
+                    Ok(Expr::Column {
+                        qualifier: None,
+                        name: first,
+                    })
+                }
+            }
+            _ => Ok(Expr::Literal(self.literal()?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table() {
+        let s = parse_statement("CREATE TABLE poss (X TEXT, K INTEGER, V VARCHAR(32))").unwrap();
+        match s {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "poss");
+                assert_eq!(
+                    columns,
+                    vec![
+                        ("x".into(), ColumnType::Text),
+                        ("k".into(), ColumnType::Integer),
+                        ("v".into(), ColumnType::Text),
+                    ]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_step1_statement() {
+        // Verbatim shape from Section 4.
+        let s = parse_statement(
+            "insert into POSS select 'x' AS X, t.K, t.V from POSS t where t.X = 'z'",
+        )
+        .unwrap();
+        match s {
+            Statement::InsertSelect { table, select } => {
+                assert_eq!(table, "POSS");
+                assert!(!select.distinct);
+                assert_eq!(select.items.len(), 3);
+                assert_eq!(select.items[0].alias.as_deref(), Some("X"));
+                assert_eq!(select.alias.as_deref(), Some("t"));
+                assert!(select.where_clause.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_step2_statement() {
+        let s = parse_statement(
+            "insert into POSS select distinct 'xi' AS X, t.K, t.V from POSS t \
+             where t.X = 'z1' or t.X = 'z2' or t.X = 'z3'",
+        )
+        .unwrap();
+        match s {
+            Statement::InsertSelect { select, .. } => {
+                assert!(select.distinct);
+                match select.where_clause.unwrap() {
+                    Expr::Or(parts) => assert_eq!(parts.len(), 3),
+                    other => panic!("expected OR, got {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_values_multi_row() {
+        let s =
+            parse_statement("INSERT INTO t VALUES ('a', 1, NULL), ('b''s', -2, 'x')").unwrap();
+        match s {
+            Statement::InsertValues { rows, .. } => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0][2], SqlValue::Null);
+                assert_eq!(rows[1][0], SqlValue::text("b's"));
+                assert_eq!(rows[1][1], SqlValue::Int(-2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_delete_and_query() {
+        assert!(matches!(
+            parse_statement("DELETE FROM poss").unwrap(),
+            Statement::Delete { where_clause: None, .. }
+        ));
+        assert!(matches!(
+            parse_statement("SELECT x, v FROM poss WHERE k = 3 AND x <> 'a'").unwrap(),
+            Statement::Query(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_statement("SELEC x FROM t").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES ('a'").is_err());
+        assert!(parse_statement("SELECT x FROM t WHERE").is_err());
+        assert!(parse_statement("CREATE TABLE t (x BLOB)").is_err());
+    }
+
+    #[test]
+    fn comments_tolerated() {
+        let s = parse_statement("SELECT x FROM t -- trailing comment\n WHERE x = 'a'").unwrap();
+        assert!(matches!(s, Statement::Query(_)));
+    }
+}

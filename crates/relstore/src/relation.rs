@@ -1,0 +1,220 @@
+//! Values, schemas, relations, and hash indexes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A SQL value: text, integer, or NULL.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SqlValue {
+    /// A text value.
+    Text(String),
+    /// A 64-bit integer.
+    Int(i64),
+    /// NULL (absent value).
+    Null,
+}
+
+impl SqlValue {
+    /// Convenience text constructor.
+    pub fn text(s: impl Into<String>) -> Self {
+        SqlValue::Text(s.into())
+    }
+
+    /// SQL truthiness of a comparison result is handled in the expression
+    /// layer; `NULL` never equals anything, including itself.
+    pub fn sql_eq(&self, other: &SqlValue) -> bool {
+        !matches!(self, SqlValue::Null)
+            && !matches!(other, SqlValue::Null)
+            && self == other
+    }
+}
+
+impl fmt::Display for SqlValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlValue::Text(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            SqlValue::Int(i) => write!(f, "{i}"),
+            SqlValue::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// Column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// Arbitrary text (`TEXT`, `VARCHAR(n)`).
+    Text,
+    /// 64-bit integers (`INTEGER`, `INT`, `BIGINT`).
+    Integer,
+}
+
+/// An ordered list of named, typed columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Column names (lowercased) and types, in declaration order.
+    pub columns: Vec<(String, ColumnType)>,
+}
+
+impl Schema {
+    /// Position of a column by (case-insensitive) name.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|(n, _)| *n == lower)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// A table: schema, row store, and optional single-column hash indexes.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// The table schema.
+    pub schema: Schema,
+    rows: Vec<Vec<SqlValue>>,
+    /// Hash indexes: column position → value → row indices.
+    indexes: HashMap<usize, HashMap<SqlValue, Vec<usize>>>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Read access to all rows.
+    pub fn rows(&self) -> &[Vec<SqlValue>] {
+        &self.rows
+    }
+
+    /// Appends a row, maintaining indexes.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch (the engine validates before calling).
+    pub fn push(&mut self, row: Vec<SqlValue>) {
+        assert_eq!(row.len(), self.schema.arity(), "row arity mismatch");
+        let idx = self.rows.len();
+        for (&col, index) in self.indexes.iter_mut() {
+            index.entry(row[col].clone()).or_default().push(idx);
+        }
+        self.rows.push(row);
+    }
+
+    /// Creates (or rebuilds) a hash index on `column`.
+    pub fn create_index(&mut self, column: usize) {
+        let mut index: HashMap<SqlValue, Vec<usize>> = HashMap::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            index.entry(row[column].clone()).or_default().push(i);
+        }
+        self.indexes.insert(column, index);
+    }
+
+    /// Whether `column` has a hash index.
+    pub fn has_index(&self, column: usize) -> bool {
+        self.indexes.contains_key(&column)
+    }
+
+    /// Row indices matching `value` on an indexed column.
+    pub fn index_lookup(&self, column: usize, value: &SqlValue) -> &[usize] {
+        self.indexes
+            .get(&column)
+            .and_then(|ix| ix.get(value))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Removes the rows at the given (sorted, deduplicated) indices and
+    /// rebuilds the affected indexes.
+    pub fn remove_rows(&mut self, sorted_indices: &[usize]) {
+        let mut keep = vec![true; self.rows.len()];
+        for &i in sorted_indices {
+            keep[i] = false;
+        }
+        let mut iter = keep.iter();
+        self.rows.retain(|_| *iter.next().expect("mask covers rows"));
+        let columns: Vec<usize> = self.indexes.keys().copied().collect();
+        for col in columns {
+            self.create_index(col);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema {
+            columns: vec![
+                ("x".into(), ColumnType::Text),
+                ("k".into(), ColumnType::Integer),
+            ],
+        }
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut r = Relation::new(schema());
+        r.create_index(0);
+        r.push(vec![SqlValue::text("a"), SqlValue::Int(1)]);
+        r.push(vec![SqlValue::text("b"), SqlValue::Int(2)]);
+        r.push(vec![SqlValue::text("a"), SqlValue::Int(3)]);
+        assert_eq!(r.index_lookup(0, &SqlValue::text("a")), &[0, 2]);
+        assert_eq!(r.index_lookup(0, &SqlValue::text("zzz")), &[] as &[usize]);
+        assert_eq!(r.row_count(), 3);
+    }
+
+    #[test]
+    fn index_built_after_rows_exist() {
+        let mut r = Relation::new(schema());
+        r.push(vec![SqlValue::text("a"), SqlValue::Int(1)]);
+        assert!(!r.has_index(0));
+        r.create_index(0);
+        assert!(r.has_index(0));
+        assert_eq!(r.index_lookup(0, &SqlValue::text("a")), &[0]);
+    }
+
+    #[test]
+    fn remove_rows_rebuilds_index() {
+        let mut r = Relation::new(schema());
+        r.create_index(0);
+        for i in 0..4 {
+            r.push(vec![SqlValue::text("a"), SqlValue::Int(i)]);
+        }
+        r.remove_rows(&[1, 2]);
+        assert_eq!(r.row_count(), 2);
+        assert_eq!(r.index_lookup(0, &SqlValue::text("a")).len(), 2);
+    }
+
+    #[test]
+    fn null_equality_semantics() {
+        assert!(!SqlValue::Null.sql_eq(&SqlValue::Null));
+        assert!(!SqlValue::Null.sql_eq(&SqlValue::Int(1)));
+        assert!(SqlValue::Int(1).sql_eq(&SqlValue::Int(1)));
+    }
+
+    #[test]
+    fn display_quotes_text() {
+        assert_eq!(SqlValue::text("o'brien").to_string(), "'o''brien'");
+        assert_eq!(SqlValue::Int(7).to_string(), "7");
+    }
+
+    #[test]
+    fn schema_position_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.position("X"), Some(0));
+        assert_eq!(s.position("k"), Some(1));
+        assert_eq!(s.position("v"), None);
+    }
+}

@@ -1,0 +1,76 @@
+//! Statement AST for the supported SQL subset.
+
+use crate::expr::Expr;
+use crate::relation::{ColumnType, SqlValue};
+
+/// One projection item: an expression with an optional output alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectItem {
+    /// The projected expression.
+    pub expr: Expr,
+    /// Output column name (`AS alias`).
+    pub alias: Option<String>,
+}
+
+/// A single-table SELECT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Select {
+    /// Whether `DISTINCT` was requested.
+    pub distinct: bool,
+    /// Projection list (empty when `count_star` is set).
+    pub items: Vec<SelectItem>,
+    /// Whether the projection is `COUNT(*)`.
+    pub count_star: bool,
+    /// Source table name.
+    pub table: String,
+    /// Optional table alias (`FROM poss t`).
+    pub alias: Option<String>,
+    /// Optional filter.
+    pub where_clause: Option<Expr>,
+    /// `ORDER BY` keys: expression + descending flag.
+    pub order_by: Vec<(Expr, bool)>,
+    /// `LIMIT n`.
+    pub limit: Option<usize>,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col TYPE, …)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Columns in declaration order.
+        columns: Vec<(String, ColumnType)>,
+    },
+    /// `CREATE INDEX ON table (column)`.
+    CreateIndex {
+        /// Table name.
+        table: String,
+        /// Indexed column.
+        column: String,
+    },
+    /// `INSERT INTO table VALUES (…), (…)`.
+    InsertValues {
+        /// Target table.
+        table: String,
+        /// Literal rows.
+        rows: Vec<Vec<SqlValue>>,
+    },
+    /// `INSERT INTO table SELECT …` (Section 4's bulk steps).
+    InsertSelect {
+        /// Target table.
+        table: String,
+        /// Source query.
+        select: Select,
+    },
+    /// A standalone query.
+    Query(Select),
+    /// `DELETE FROM table [WHERE …]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional filter (all rows if absent).
+        where_clause: Option<Expr>,
+    },
+}

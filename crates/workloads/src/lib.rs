@@ -1,0 +1,392 @@
+#![warn(missing_docs)]
+
+//! # trustmap-workloads
+//!
+//! Seeded workload generators for every experiment in the paper
+//! (Section 5, Appendix B.5) plus the supporting gadget inputs:
+//!
+//! * [`oscillators`] — disconnected 4-node oscillator clusters
+//!   (Figures 5 and 8a): many independent cycles, half the users with
+//!   explicit beliefs;
+//! * [`power_law`] — a preferential-attachment web-graph substitute for the
+//!   paper's TLD crawl (Figure 8b): scale-free in-degree, random
+//!   priorities, sampled explicit beliefs;
+//! * [`nested_sccs`] — the serially-unlockable SCC family driving the
+//!   quadratic worst case (Figure 14a / Figure 15);
+//! * [`bulk_network`] — a 7-user / 12-mapping cyclic network with two
+//!   believers, the fixed network of the bulk experiment (Figures 8c / 19);
+//! * [`random_cnf`] — random k-CNF formulas for the hardness experiments
+//!   (Theorem 3.4);
+//! * [`random_dag`] — random acyclic constraint networks for paradigm
+//!   comparisons (Proposition 3.6).
+//!
+//! Every generator takes an explicit seed and is fully deterministic.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use trustmap_core::sat::Cnf;
+use trustmap_core::signed::NegSet;
+use trustmap_core::{TrustNetwork, User, Value};
+
+/// A generated workload: the network plus the handles experiments need.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The trust network.
+    pub net: TrustNetwork,
+    /// Users holding explicit beliefs.
+    pub believers: Vec<User>,
+    /// Users of interest for queries (e.g. oscillator members).
+    pub probes: Vec<User>,
+}
+
+/// `k` disconnected oscillator clusters (Figure 4b replicated): per cluster
+/// two root believers (values `v`, `w`) and a 2-cycle that can adopt either.
+/// Network size is `|U| + |E| = 8k`.
+pub fn oscillators(k: usize) -> Workload {
+    let mut net = TrustNetwork::new();
+    let v = net.value("v");
+    let w = net.value("w");
+    let mut believers = Vec::with_capacity(2 * k);
+    let mut probes = Vec::with_capacity(2 * k);
+    for i in 0..k {
+        let x1 = net.user(&format!("x1_{i}"));
+        let x2 = net.user(&format!("x2_{i}"));
+        let x3 = net.user(&format!("x3_{i}"));
+        let x4 = net.user(&format!("x4_{i}"));
+        net.trust(x1, x2, 100).expect("fresh users");
+        net.trust(x1, x3, 80).expect("fresh users");
+        net.trust(x2, x1, 50).expect("fresh users");
+        net.trust(x2, x4, 40).expect("fresh users");
+        net.believe(x3, v).expect("fresh users");
+        net.believe(x4, w).expect("fresh users");
+        believers.extend([x3, x4]);
+        probes.extend([x1, x2]);
+    }
+    Workload {
+        net,
+        believers,
+        probes,
+    }
+}
+
+/// A scale-free trust network via preferential attachment — the substitute
+/// for the paper's web-crawl data set (Figure 8b).
+///
+/// Each new user declares `m` trust mappings; targets are chosen
+/// proportionally to current degree (plus one), yielding the power-law
+/// in-degree distribution of real link graphs. Priorities are uniform in
+/// `1..=100`; a `believer_fraction` of users assert one of `num_values`
+/// values.
+pub fn power_law(
+    n: usize,
+    m: usize,
+    num_values: usize,
+    believer_fraction: f64,
+    seed: u64,
+) -> Workload {
+    assert!(n >= 2 && m >= 1 && num_values >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = TrustNetwork::new();
+    let values: Vec<Value> = (0..num_values)
+        .map(|i| net.value(&format!("v{i}")))
+        .collect();
+    let first = net.add_users(n);
+    let users: Vec<User> = (0..n as u32).map(|i| User(first.0 + i)).collect();
+
+    // Repeated-endpoint list implements preferential attachment in O(1).
+    let mut endpoints: Vec<usize> = vec![0];
+    let mut believers = Vec::new();
+    for (i, &child) in users.iter().enumerate().skip(1) {
+        let mut chosen: Vec<usize> = Vec::new();
+        let degree = m.min(i);
+        // Distinct priorities per child: users rank their trusted parties
+        // in a total preorder without ties (footnote 2 of the paper).
+        let mut priorities: Vec<i64> = (1..=100).collect();
+        priorities.shuffle(&mut rng);
+        for &priority in priorities.iter().take(degree) {
+            let target = loop {
+                // Mix preferential attachment with uniform choice to keep
+                // the graph from degenerating into a single star.
+                let t = if rng.gen_bool(0.8) {
+                    endpoints[rng.gen_range(0..endpoints.len())]
+                } else {
+                    rng.gen_range(0..i)
+                };
+                if t != i && !chosen.contains(&t) {
+                    break t;
+                }
+            };
+            chosen.push(target);
+            net.trust(child, users[target], priority).expect("distinct");
+            endpoints.push(target);
+            endpoints.push(i);
+        }
+    }
+    for &u in &users {
+        if rng.gen_bool(believer_fraction) {
+            let v = values[rng.gen_range(0..values.len())];
+            net.believe(u, v).expect("known user");
+            believers.push(u);
+        }
+    }
+    // Guarantee at least one explicit belief so resolution has roots.
+    if believers.is_empty() {
+        net.believe(users[0], values[0]).expect("known user");
+        believers.push(users[0]);
+    }
+    let probes = users;
+    Workload {
+        net,
+        believers,
+        probes,
+    }
+}
+
+/// The quadratic worst-case family (Figure 14a / Appendix B.5): `k` 6-node
+/// cycles chained so that exactly one SCC unlocks per Step-2 round, forcing
+/// the resolution loop to recompute the SCC graph of Ω(n) open nodes k
+/// times. Size is `|U| + |E| = 2 + 16k` (the paper's family is 10 + 16k;
+/// same asymptotics).
+pub fn nested_sccs(k: usize) -> Workload {
+    let mut net = TrustNetwork::new();
+    let v = net.value("v");
+    let w = net.value("w");
+    let z1 = net.user("z1");
+    let z2 = net.user("z2");
+    net.believe(z1, v).expect("fresh");
+    net.believe(z2, w).expect("fresh");
+    let mut prev_a = z1;
+    let mut prev_b = z2;
+    let mut probes = Vec::new();
+    for j in 0..k {
+        let c: Vec<User> = (0..6).map(|i| net.user(&format!("c{j}_{i}"))).collect();
+        // The 6-cycle: c[i+1] trusts c[i].
+        for i in 0..6 {
+            net.trust(c[(i + 1) % 6], c[i], 1).expect("fresh");
+        }
+        // Four external feeders with tied priorities (no preferred edges
+        // into the stage — it must wait for a Step-2 flood).
+        net.trust(c[0], prev_a, 1).expect("fresh");
+        net.trust(c[1], prev_a, 1).expect("fresh");
+        net.trust(c[3], prev_b, 1).expect("fresh");
+        net.trust(c[4], prev_b, 1).expect("fresh");
+        prev_a = c[2];
+        prev_b = c[5];
+        probes.push(c[0]);
+    }
+    Workload {
+        net,
+        believers: vec![z1, z2],
+        probes,
+    }
+}
+
+/// The fixed 7-user / 12-mapping bulk-experiment network (Figures 8c / 19):
+/// two believers (`x6`, `x7`) feed an oscillating 2-cycle `x1 ↔ x2`, so
+/// objects on which the believers disagree leave both possible values on
+/// the cycle and its dependents — the conflicts that make the logic-program
+/// baseline exponential in the number of objects.
+pub fn bulk_network() -> Workload {
+    let mut net = TrustNetwork::new();
+    let x: Vec<User> = (1..=7).map(|i| net.user(&format!("x{i}"))).collect();
+    let v = net.value("v0");
+    net.value("v1");
+    net.trust(x[0], x[1], 3).expect("fresh"); // x1 ← x2 (cycle, preferred)
+    net.trust(x[0], x[5], 2).expect("fresh"); // x1 ← x6
+    net.trust(x[1], x[0], 3).expect("fresh"); // x2 ← x1 (cycle, preferred)
+    net.trust(x[1], x[6], 2).expect("fresh"); // x2 ← x7
+    net.trust(x[2], x[0], 2).expect("fresh"); // x3 ← x1
+    net.trust(x[2], x[6], 1).expect("fresh"); // x3 ← x7
+    net.trust(x[3], x[1], 2).expect("fresh"); // x4 ← x2
+    net.trust(x[3], x[5], 1).expect("fresh"); // x4 ← x6
+    net.trust(x[4], x[2], 2).expect("fresh"); // x5 ← x3
+    net.trust(x[4], x[3], 1).expect("fresh"); // x5 ← x4
+    net.trust(x[5], x[6], 1).expect("fresh"); // x6 ← x7 (belief wins)
+    net.trust(x[6], x[4], 1).expect("fresh"); // x7 ← x5 (belief wins)
+    net.believe(x[5], v).expect("fresh");
+    net.believe(x[6], v).expect("fresh");
+    Workload {
+        believers: vec![x[5], x[6]],
+        probes: x,
+        net,
+    }
+}
+
+/// A random k-CNF formula with distinct variables per clause.
+pub fn random_cnf(num_vars: usize, num_clauses: usize, clause_len: usize, seed: u64) -> Cnf {
+    assert!(clause_len <= num_vars, "clause length exceeds variables");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clauses = Vec::with_capacity(num_clauses);
+    let mut vars: Vec<usize> = (0..num_vars).collect();
+    for _ in 0..num_clauses {
+        vars.shuffle(&mut rng);
+        let clause: Vec<i32> = vars[..clause_len]
+            .iter()
+            .map(|&v| {
+                let lit = (v + 1) as i32;
+                if rng.gen_bool(0.5) {
+                    lit
+                } else {
+                    -lit
+                }
+            })
+            .collect();
+        clauses.push(clause);
+    }
+    Cnf::new(num_vars, clauses)
+}
+
+/// A random acyclic constraint network: edges only from lower to higher
+/// user index, `neg_fraction` of the believers assert constraints instead
+/// of values. Tie-free (distinct priorities per child), so it is valid
+/// input for every paradigm evaluator.
+pub fn random_dag(
+    n: usize,
+    avg_parents: usize,
+    num_values: usize,
+    neg_fraction: f64,
+    seed: u64,
+) -> Workload {
+    assert!(n >= 2 && num_values >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = TrustNetwork::new();
+    let values: Vec<Value> = (0..num_values)
+        .map(|i| net.value(&format!("v{i}")))
+        .collect();
+    let first = net.add_users(n);
+    let users: Vec<User> = (0..n as u32).map(|i| User(first.0 + i)).collect();
+    let mut believers = Vec::new();
+    for (i, &child) in users.iter().enumerate() {
+        if i == 0 {
+            continue;
+        }
+        let parents = rng.gen_range(0..=avg_parents.min(i) * 2).min(i);
+        let mut pool: Vec<usize> = (0..i).collect();
+        pool.shuffle(&mut rng);
+        for (p, &parent) in pool[..parents].iter().enumerate() {
+            // Distinct priorities per child keep the network tie-free.
+            net.trust(child, users[parent], p as i64 + 1).expect("dag");
+        }
+    }
+    for &u in &users {
+        // Sources always believe; inner users sometimes do.
+        let is_source = net.parents_of(u).next().is_none();
+        if is_source || rng.gen_bool(0.2) {
+            if rng.gen_bool(neg_fraction) {
+                let v = values[rng.gen_range(0..values.len())];
+                net.reject(u, NegSet::of([v])).expect("known user");
+            } else {
+                let v = values[rng.gen_range(0..values.len())];
+                net.believe(u, v).expect("known user");
+            }
+            believers.push(u);
+        }
+    }
+    Workload {
+        net,
+        believers,
+        probes: users,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustmap_core::resolution::resolve_network;
+
+    #[test]
+    fn oscillators_shape_and_semantics() {
+        let w = oscillators(5);
+        assert_eq!(w.net.user_count(), 20);
+        assert_eq!(w.net.mapping_count(), 20);
+        assert_eq!(w.net.size(), 40);
+        let r = resolve_network(&w.net).unwrap();
+        for &p in &w.probes {
+            assert_eq!(r.poss(p).len(), 2, "cycle members see both values");
+        }
+        for &b in &w.believers {
+            assert_eq!(r.poss(b).len(), 1);
+        }
+    }
+
+    #[test]
+    fn power_law_is_deterministic_and_resolvable() {
+        let w1 = power_law(200, 3, 4, 0.3, 42);
+        let w2 = power_law(200, 3, 4, 0.3, 42);
+        assert_eq!(w1.net.mapping_count(), w2.net.mapping_count());
+        assert_eq!(w1.believers, w2.believers);
+        let w3 = power_law(200, 3, 4, 0.3, 43);
+        assert_ne!(w1.believers, w3.believers, "different seed, different draw");
+        let r = resolve_network(&w1.net).unwrap();
+        // Every believer resolves to their own value.
+        assert!(w1.believers.iter().all(|&b| r.cert(b).is_some()));
+    }
+
+    #[test]
+    fn power_law_degrees_are_skewed() {
+        let w = power_law(500, 2, 2, 0.2, 7);
+        let mut out_degree = vec![0usize; w.net.user_count()];
+        for m in w.net.mappings() {
+            out_degree[m.parent.index()] += 1;
+        }
+        out_degree.sort_unstable_by(|a, b| b.cmp(a));
+        // Scale-free-ish: the top hub dominates the median heavily.
+        assert!(out_degree[0] >= 10, "hub degree {}", out_degree[0]);
+        assert!(out_degree[w.net.user_count() / 2] <= 3);
+    }
+
+    #[test]
+    fn nested_sccs_forces_one_round_per_stage() {
+        let k = 12;
+        let w = nested_sccs(k);
+        assert_eq!(w.net.user_count(), 2 + 6 * k);
+        assert_eq!(w.net.mapping_count(), 10 * k);
+        let btn = trustmap_core::binarize(&w.net);
+        let res = trustmap_core::resolve(&btn).unwrap();
+        assert_eq!(res.rounds(), k, "one Step-2 round per stage");
+        // Every stage sees both root values.
+        for &p in &w.probes {
+            assert_eq!(res.poss(btn.node_of(p)).len(), 2);
+        }
+    }
+
+    #[test]
+    fn bulk_network_matches_figure_19_shape() {
+        let w = bulk_network();
+        assert_eq!(w.net.user_count(), 7);
+        assert_eq!(w.net.mapping_count(), 12);
+        assert_eq!(w.believers.len(), 2);
+        let r = resolve_network(&w.net).unwrap();
+        // With both believers on v0, everyone reachable agrees.
+        for &p in &w.probes {
+            assert_eq!(r.poss(p).len(), 1, "{}", w.net.user_name(p));
+        }
+    }
+
+    #[test]
+    fn random_cnf_shape() {
+        let cnf = random_cnf(10, 30, 3, 99);
+        assert_eq!(cnf.clauses.len(), 30);
+        assert!(cnf.clauses.iter().all(|c| c.len() == 3));
+        // Distinct variables within each clause.
+        for clause in &cnf.clauses {
+            let mut vars: Vec<i32> = clause.iter().map(|l| l.abs()).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3);
+        }
+        assert_eq!(random_cnf(10, 30, 3, 99).clauses, cnf.clauses);
+    }
+
+    #[test]
+    fn random_dag_is_acyclic_and_tie_free() {
+        let w = random_dag(60, 3, 4, 0.3, 5);
+        let btn = trustmap_core::binarize(&w.net);
+        assert!(!btn.has_ties());
+        // Must evaluate under every paradigm (acyclic, tie-free).
+        for p in trustmap_core::Paradigm::ALL {
+            trustmap_core::acyclic::evaluate_acyclic(&btn, p).unwrap();
+        }
+    }
+}

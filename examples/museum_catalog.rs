@@ -1,0 +1,133 @@
+//! A curated museum catalog: incremental edits, constraints, and skeptic
+//! bulk resolution working together.
+//!
+//! Scenario: two research teams assert carbon-dating periods for thousands
+//! of artifacts; a registrar's validation rule (a constraint — negative
+//! beliefs, Section 3) filters impossible periods; curators follow the
+//! teams with different priorities. The catalog resolves in bulk under the
+//! Skeptic paradigm (Appendix B.10), and the [`trustmap::Session`] API
+//! shows which exhibit labels change when a team retracts a claim.
+//!
+//! Run with: `cargo run --release --example museum_catalog`
+
+use trustmap::bulk_skeptic::{execute_skeptic_native, plan_bulk_skeptic};
+use trustmap::prelude::*;
+use trustmap::Session;
+
+fn main() -> trustmap::Result<()> {
+    // --- The trust network ------------------------------------------------
+    let mut net = TrustNetwork::new();
+    let curator = net.user("curator");
+    let registrar = net.user("registrar");
+    let team_a = net.user("team-a");
+    let team_b = net.user("team-b");
+    let exhibits = net.user("exhibits"); // the public label pipeline
+
+    let bronze = net.value("bronze-age");
+    let iron = net.value("iron-age");
+    let modern = net.value("modern"); // impossible for this collection
+
+    // The curator screens through the registrar's rule first, then trusts
+    // team A over team B; the exhibit pipeline follows the curator.
+    net.trust(curator, registrar, 300)?;
+    net.trust(curator, team_a, 200)?;
+    net.trust(curator, team_b, 100)?;
+    net.trust(exhibits, curator, 10)?;
+
+    // The registrar's validation rule: `modern` is never acceptable.
+    net.reject(registrar, NegSet::of([modern]))?;
+
+    // --- Bulk resolution over the artifact catalog ------------------------
+    let num_artifacts = 10_000;
+    // Placeholder beliefs mark the believers; per-artifact values follow.
+    net.believe(team_a, bronze)?;
+    net.believe(team_b, bronze)?;
+    let btn = binarize(&net);
+    let plan = plan_bulk_skeptic(&btn)?;
+
+    // Team A: alternating bronze/iron claims; every 10th is a `modern`
+    // data-entry error. Team B: always bronze.
+    let seeds = vec![
+        SeedValues {
+            user: team_a,
+            values: (0..num_artifacts)
+                .map(|k| {
+                    if k % 10 == 9 {
+                        modern
+                    } else if k % 2 == 0 {
+                        bronze
+                    } else {
+                        iron
+                    }
+                })
+                .collect(),
+        },
+        SeedValues {
+            user: team_b,
+            values: vec![bronze; num_artifacts],
+        },
+    ];
+    let table = execute_skeptic_native(&plan, &seeds, num_artifacts);
+
+    let curator_node = btn.node_of(curator);
+    let mut labeled = 0;
+    let mut rejected = 0;
+    for k in 0..num_artifacts {
+        if table.cert_positive(curator_node, k).is_some() {
+            labeled += 1;
+        } else if table.rep(curator_node, k).bottom {
+            rejected += 1;
+        }
+    }
+    println!(
+        "catalog: {num_artifacts} artifacts → {labeled} labeled, \
+         {rejected} blocked by the registrar's rule"
+    );
+    for k in [0usize, 1, 9] {
+        let rep = table.rep(curator_node, k);
+        let label = table
+            .cert_positive(curator_node, k)
+            .map(|v| net.domain().name(v).to_owned())
+            .unwrap_or_else(|| if rep.bottom { "⊥ (validation)".into() } else { "?".into() });
+        println!("  artifact {k}: curator label = {label}");
+    }
+
+    // --- Incremental edits on a single contested artifact ------------------
+    // Artifact 1: team A says iron, team B says bronze. Watch the label
+    // flip as claims are retracted.
+    let mut single = net.clone();
+    // The Session walkthrough uses the basic (positive-only) model, so the
+    // registrar's constraint is lifted for this part.
+    single.revoke(registrar)?;
+    single.believe(team_a, iron)?;
+    single.believe(team_b, bronze)?;
+    let mut session = Session::new(single);
+    let label = |s: &mut Session, u| {
+        let cert = s.snapshot().ok().and_then(|snap| snap.cert(u));
+        cert.map(|v| s.network().domain().name(v).to_owned())
+            .unwrap_or_else(|| "-".into())
+    };
+    println!("\nartifact 1 walkthrough (basic model):");
+    println!("  initial curator label: {}", label(&mut session, curator));
+
+    let changes = session.apply(|net| net.revoke(team_a))?;
+    println!(
+        "  after team A retracts: {} users changed labels",
+        changes.len()
+    );
+    println!("  curator now: {}", label(&mut session, curator));
+
+    // What-if without committing: would re-adding team A flip it back?
+    let hypothetical = session.what_if(|net| {
+        let iron = net.value("iron-age");
+        let a = net.find_user("team-a").expect("exists");
+        net.believe(a, iron)
+    })?;
+    let would = hypothetical
+        .cert(curator)
+        .map(|v| session.network().domain().name(v).to_owned())
+        .unwrap_or_else(|| "-".into());
+    println!("  what-if team A reasserts iron: curator would see {would} (session unchanged)");
+    let _ = exhibits;
+    Ok(())
+}

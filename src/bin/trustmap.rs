@@ -1,0 +1,195 @@
+//! The `trustmap` command-line tool: resolve trust-network files, inspect
+//! conflicts, trace lineage, and export logic programs.
+//!
+//! ```text
+//! trustmap resolve  <file>            # per-user certain/possible beliefs
+//! trustmap skeptic  <file>            # Algorithm 2 with constraints
+//! trustmap paradigm <file> <A|E|S>    # acyclic evaluation under a paradigm
+//! trustmap agree    <file>            # pairs of users who always agree
+//! trustmap lineage  <file> <user> <value>
+//! trustmap lp       <file>            # print the logic-program translation
+//! trustmap stats    <file>            # network and binarization statistics
+//! ```
+//!
+//! Files use the format of [`trustmap::format`] (see `examples/indus.tn`).
+
+use std::process::ExitCode;
+use trustmap::format::parse_network;
+use trustmap::prelude::*;
+use trustmap::TrustNetwork;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!(
+                "usage: trustmap <resolve|skeptic|paradigm|agree|lineage|lp|stats> <file> [args]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> std::result::Result<(), String> {
+    let command = args.first().ok_or("missing command")?;
+    let path = args.get(1).ok_or("missing network file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let net = parse_network(&text).map_err(|e| format!("{path}: {e}"))?;
+
+    match command.as_str() {
+        "resolve" => cmd_resolve(&net),
+        "skeptic" => cmd_skeptic(&net),
+        "paradigm" => cmd_paradigm(&net, args.get(2).map(String::as_str)),
+        "agree" => cmd_agree(&net),
+        "lineage" => cmd_lineage(
+            &net,
+            args.get(2).ok_or("lineage needs a user")?,
+            args.get(3).ok_or("lineage needs a value")?,
+        ),
+        "lp" => cmd_lp(&net),
+        "stats" => cmd_stats(&net),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn cmd_resolve(net: &TrustNetwork) -> std::result::Result<(), String> {
+    let r = resolve_network(net).map_err(|e| e.to_string())?;
+    println!("{:<16} {:<14} possible", "user", "certain");
+    for u in net.users() {
+        let cert = r
+            .cert(u)
+            .map(|v| net.domain().name(v).to_owned())
+            .unwrap_or_else(|| {
+                if r.poss(u).is_empty() {
+                    "-".into()
+                } else {
+                    "(conflict)".into()
+                }
+            });
+        let poss: Vec<&str> = r.poss(u).iter().map(|&v| net.domain().name(v)).collect();
+        println!("{:<16} {:<14} {:?}", net.user_name(u), cert, poss);
+    }
+    Ok(())
+}
+
+fn cmd_skeptic(net: &TrustNetwork) -> std::result::Result<(), String> {
+    let btn = binarize(net);
+    let sk = resolve_skeptic(&btn).map_err(|e| e.to_string())?;
+    println!("{:<16} {:<24} possible positives", "user", "certain beliefs");
+    for u in net.users() {
+        let node = btn.node_of(u);
+        let cert = sk.cert(node);
+        let pos: Vec<&str> = sk
+            .rep_poss(node)
+            .pos
+            .iter()
+            .map(|&v| net.domain().name(v))
+            .collect();
+        println!(
+            "{:<16} {:<24} {:?}",
+            net.user_name(u),
+            cert.display(net.domain()).to_string(),
+            pos
+        );
+    }
+    Ok(())
+}
+
+fn cmd_paradigm(net: &TrustNetwork, which: Option<&str>) -> std::result::Result<(), String> {
+    let paradigm = match which {
+        Some("A") | Some("agnostic") => Paradigm::Agnostic,
+        Some("E") | Some("eclectic") => Paradigm::Eclectic,
+        Some("S") | Some("skeptic") => Paradigm::Skeptic,
+        other => return Err(format!("expected A, E, or S, got {other:?}")),
+    };
+    let btn = binarize(net);
+    let sol = evaluate_acyclic(&btn, paradigm).map_err(|e| e.to_string())?;
+    println!("unique stable solution under {paradigm}:");
+    for u in net.users() {
+        let set = &sol[btn.node_of(u) as usize];
+        println!(
+            "{:<16} {}",
+            net.user_name(u),
+            set.display(net.domain())
+        );
+    }
+    Ok(())
+}
+
+fn cmd_agree(net: &TrustNetwork) -> std::result::Result<(), String> {
+    let btn = binarize(net);
+    let pairs = analyze_pairs(&btn).map_err(|e| e.to_string())?;
+    let agreeing = pairs.agreeing_user_pairs(&btn);
+    if agreeing.is_empty() {
+        println!("no user pair agrees in every stable solution");
+        return Ok(());
+    }
+    println!("pairs agreeing in every stable solution:");
+    for (x, y) in agreeing {
+        println!(
+            "  {} ↔ {}",
+            net.user_name(trustmap::User(x)),
+            net.user_name(trustmap::User(y))
+        );
+    }
+    Ok(())
+}
+
+fn cmd_lineage(net: &TrustNetwork, user: &str, value: &str) -> std::result::Result<(), String> {
+    let u = net
+        .find_user(user)
+        .ok_or_else(|| format!("unknown user `{user}`"))?;
+    let v = net
+        .domain()
+        .get(value)
+        .ok_or_else(|| format!("unknown value `{value}`"))?;
+    let btn = binarize(net);
+    let res = resolve_with(
+        &btn,
+        trustmap::Options {
+            lineage: true,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let lineage = res.lineage().expect("requested");
+    match lineage.trace(btn.node_of(u), v) {
+        Some(chain) => {
+            let names: Vec<&str> = chain.iter().map(|&n| btn.name(n)).collect();
+            println!("{}", names.join(" ← "));
+            Ok(())
+        }
+        None => Err(format!("`{value}` has no lineage at `{user}`")),
+    }
+}
+
+fn cmd_lp(net: &TrustNetwork) -> std::result::Result<(), String> {
+    let lp = network_to_lp(net);
+    print!("{}", lp.program);
+    Ok(())
+}
+
+fn cmd_stats(net: &TrustNetwork) -> std::result::Result<(), String> {
+    let btn = binarize(net);
+    let r = resolve(&btn).map_err(|e| e.to_string())?;
+    let (mut certain, mut conflicted, mut empty) = (0, 0, 0);
+    for u in net.users() {
+        match r.poss(btn.node_of(u)).len() {
+            0 => empty += 1,
+            1 => certain += 1,
+            _ => conflicted += 1,
+        }
+    }
+    println!("users:              {}", net.user_count());
+    println!("mappings:           {}", net.mapping_count());
+    println!("values:             {}", net.domain().len());
+    println!("binarized nodes:    {}", btn.node_count());
+    println!("binarized edges:    {}", btn.edge_count());
+    println!("step-2 rounds:      {}", r.rounds());
+    println!("certain users:      {certain}");
+    println!("conflicted users:   {conflicted}");
+    println!("undefined users:    {empty}");
+    Ok(())
+}

@@ -1,0 +1,463 @@
+//! Trust network ⇄ logic program bridge (Section 2.3, Appendix B.4).
+//!
+//! Theorem 2.9: the stable solutions of a binary trust network are exactly
+//! the stable models of its associated logic program. This module emits
+//! both translations printed in the paper:
+//!
+//! * [`btn_to_lp`] — the binary translation (cases (a)–(e) of the
+//!   Theorem 2.9 proof): preferred parents import unconditionally,
+//!   non-preferred parents import through `conf`-guarded negation;
+//! * [`network_to_lp`] — the direct non-binary translation of Example B.2:
+//!   each parent is blocked by every strictly-higher-priority parent, and
+//!   by the node's own value when its priority is tied.
+//!
+//! Running the result through [`trustmap_datalog`]'s brave/cautious solver
+//! reproduces possible/certain beliefs — exponentially slower than
+//! Algorithm 1, which is precisely the paper's baseline comparison
+//! (Figures 5 and 8).
+
+use std::collections::BTreeSet;
+use trustmap_core::bulk::SeedValues;
+use trustmap_core::{Btn, Parents, TrustNetwork, User, Value};
+use trustmap_datalog::{Atom, Program, Rule, StableSolver, Term};
+use trustmap_graph::NodeId;
+
+/// A trust network rendered as a logic program, with the naming scheme
+/// needed to map atoms back to (node, value) pairs.
+#[derive(Debug, Clone)]
+pub struct LpTranslation {
+    /// The logic program.
+    pub program: Program,
+    /// Number of nodes covered.
+    pub node_count: usize,
+}
+
+impl LpTranslation {
+    /// The constant used for node `x`.
+    pub fn node_const(x: NodeId) -> String {
+        format!("n{x}")
+    }
+
+    /// The constant used for value `v`.
+    pub fn value_const(v: Value) -> String {
+        format!("v{}", v.0)
+    }
+
+    /// The ground `poss` atom name for `(x, v)`, e.g. `poss(n3,v1)`.
+    pub fn poss_atom(x: NodeId, v: Value) -> String {
+        format!("poss({},{})", Self::node_const(x), Self::value_const(v))
+    }
+
+    /// Computes the possible beliefs of every node by brave reasoning over
+    /// the program's stable models — the DLV-style baseline. `domain_size`
+    /// is the number of interned values to probe.
+    pub fn possible_beliefs(&self, domain_size: usize) -> Vec<BTreeSet<Value>> {
+        let ground = self.program.ground();
+        let mut solver = StableSolver::new(&ground);
+        let brave = solver.brave(None);
+        let mut out = vec![BTreeSet::new(); self.node_count];
+        for (x, set) in out.iter_mut().enumerate() {
+            for vi in 0..domain_size {
+                let v = Value(vi as u32);
+                if brave.contains(&Self::poss_atom(x as NodeId, v)) {
+                    set.insert(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn var(name: &str) -> Term {
+    Term::Var(name.into())
+}
+
+fn node_term(x: NodeId) -> Term {
+    Term::Const(LpTranslation::node_const(x))
+}
+
+fn poss(x: NodeId, value: Term) -> Atom {
+    Atom::new("poss", vec![node_term(x), value])
+}
+
+/// `conf(x, z, X)`: value X from parent z conflicts at node x.
+fn conf(x: NodeId, z: NodeId, value: Term) -> Atom {
+    Atom::new("conf", vec![node_term(x), node_term(z), value])
+}
+
+/// Import through a non-preferred (or tied) edge `z → x`, guarded by the
+/// node's own value (rules (2a)/(2b) of Section 2.3):
+///
+/// ```text
+/// conf(x,z,X) :- poss(z,X), poss(x,Y), Y != X.
+/// poss(x,X)   :- poss(z,X), not conf(x,z,X).
+/// ```
+fn guarded_import(program: &mut Program, x: NodeId, z: NodeId) {
+    program.push(Rule {
+        head: conf(x, z, var("X")),
+        pos: vec![poss(z, var("X")), poss(x, var("Y"))],
+        neg: vec![],
+        neq: vec![(var("Y"), var("X"))],
+    });
+    program.push(Rule {
+        head: poss(x, var("X")),
+        pos: vec![poss(z, var("X"))],
+        neg: vec![conf(x, z, var("X"))],
+        neq: vec![],
+    });
+}
+
+/// The binary translation (Theorem 2.9 / Appendix B.4 cases (a)–(e)).
+pub fn btn_to_lp(btn: &Btn) -> LpTranslation {
+    let mut program = Program::new();
+    for x in btn.nodes() {
+        // Case (e): an explicit belief is a single extensional fact.
+        if let Some(v) = btn.belief(x).positive() {
+            program.push(Rule::fact(poss(x, Term::Const(LpTranslation::value_const(v)))));
+            continue;
+        }
+        match *btn.parents(x) {
+            // Case (a): no belief, no parents — no rules.
+            Parents::None => {}
+            // Case (b): single parent imports unconditionally.
+            Parents::One(y) => program.push(Rule {
+                head: poss(x, var("X")),
+                pos: vec![poss(y, var("X"))],
+                neg: vec![],
+                neq: vec![],
+            }),
+            // Case (c): preferred parent imports unconditionally, the
+            // non-preferred one through the conf guard.
+            Parents::Pref { high, low } => {
+                program.push(Rule {
+                    head: poss(x, var("X")),
+                    pos: vec![poss(high, var("X"))],
+                    neg: vec![],
+                    neq: vec![],
+                });
+                guarded_import(&mut program, x, low);
+            }
+            // Case (d): both tied parents import through guards.
+            Parents::Tied(a, b) => {
+                guarded_import(&mut program, x, a);
+                guarded_import(&mut program, x, b);
+            }
+        }
+    }
+    LpTranslation {
+        program,
+        node_count: btn.node_count(),
+    }
+}
+
+/// The *bulk* logic program of the Figure 8c baseline: one copy of the BTN
+/// rules per object (node constants `n<x>k<object>`), with per-object facts
+/// taken from the seeds. Stable models multiply across objects — every
+/// conflicting object doubles the model count, which is why the
+/// logic-program route is exponential in the number of objects while the
+/// SQL schedule stays linear.
+pub fn bulk_to_lp(btn: &Btn, seeds: &[SeedValues], num_objects: usize) -> LpTranslation {
+    let mut program = Program::new();
+    for k in 0..num_objects {
+        let name = |x: NodeId| format!("n{x}k{k}");
+        for x in btn.nodes() {
+            if btn.belief(x).positive().is_some() {
+                // Assumption (ii): every believing root is re-seeded per
+                // object.
+                let (user, _) = seeds
+                    .iter()
+                    .enumerate()
+                    .find_map(|(i, s)| {
+                        (btn.belief_root(s.user) == Some(x)).then_some((i, s.user))
+                    })
+                    .expect("every believing root has a seed");
+                let v = seeds[user].values[k];
+                program.push(Rule::fact(Atom::new(
+                    "poss",
+                    vec![
+                        Term::Const(name(x)),
+                        Term::Const(LpTranslation::value_const(v)),
+                    ],
+                )));
+                continue;
+            }
+            emit_node_rules(&mut program, btn, x, &name);
+        }
+    }
+    LpTranslation {
+        program,
+        node_count: btn.node_count() * num_objects,
+    }
+}
+
+/// Emits the derivation rules of one belief-free BTN node under a custom
+/// node-naming scheme.
+fn emit_node_rules(
+    program: &mut Program,
+    btn: &Btn,
+    x: NodeId,
+    name: &dyn Fn(NodeId) -> String,
+) {
+    let possn = |z: NodeId, value: Term| Atom::new("poss", vec![Term::Const(name(z)), value]);
+    let confn = |z: NodeId, value: Term| {
+        Atom::new(
+            "conf",
+            vec![Term::Const(name(x)), Term::Const(name(z)), value],
+        )
+    };
+    let guarded = |program: &mut Program, z: NodeId| {
+        program.push(Rule {
+            head: confn(z, var("X")),
+            pos: vec![possn(z, var("X")), possn(x, var("Y"))],
+            neg: vec![],
+            neq: vec![(var("Y"), var("X"))],
+        });
+        program.push(Rule {
+            head: possn(x, var("X")),
+            pos: vec![possn(z, var("X"))],
+            neg: vec![confn(z, var("X"))],
+            neq: vec![],
+        });
+    };
+    match *btn.parents(x) {
+        Parents::None => {}
+        Parents::One(y) => program.push(Rule {
+            head: possn(x, var("X")),
+            pos: vec![possn(y, var("X"))],
+            neg: vec![],
+            neq: vec![],
+        }),
+        Parents::Pref { high, low } => {
+            program.push(Rule {
+                head: possn(x, var("X")),
+                pos: vec![possn(high, var("X"))],
+                neg: vec![],
+                neq: vec![],
+            });
+            guarded(program, low);
+        }
+        Parents::Tied(a, b) => {
+            guarded(program, a);
+            guarded(program, b);
+        }
+    }
+}
+
+/// The direct non-binary translation (Example B.2): parent `z` of node `x`
+/// is blocked by each strictly-higher-priority parent's value, plus the
+/// node's own value when `z`'s priority is tied with another parent.
+pub fn network_to_lp(net: &TrustNetwork) -> LpTranslation {
+    let mut program = Program::new();
+    for x in net.users() {
+        let xn: NodeId = x.0;
+        if let Some(v) = net.belief(x).positive() {
+            // Explicit beliefs silence every derivation rule (case (e)).
+            program.push(Rule::fact(poss(
+                xn,
+                Term::Const(LpTranslation::value_const(v)),
+            )));
+            continue;
+        }
+        // One mapping per trusted party: parallel edges to the same parent
+        // collapse to their maximum priority. (A dominated parallel edge
+        // never contributes support nor domination under Definition 2.4,
+        // but its blocking rules would pollute the shared `conf(x,z,·)`
+        // predicate of the stronger edge.)
+        let mut strongest: std::collections::HashMap<User, i64> = Default::default();
+        for m in net.parents_of(x) {
+            let entry = strongest.entry(m.parent).or_insert(m.priority);
+            *entry = (*entry).max(m.priority);
+        }
+        let mut parents: Vec<(User, i64)> = strongest.into_iter().collect();
+        parents.sort_unstable_by_key(|&(u, _)| u);
+        for &(z, p) in &parents {
+            let zn: NodeId = z.0;
+            let stronger: Vec<User> = parents
+                .iter()
+                .filter(|&&(_, p2)| p2 > p)
+                .map(|&(z2, _)| z2)
+                .collect();
+            let tied = parents.iter().any(|&(z2, p2)| z2 != z && p2 == p);
+            if stronger.is_empty() && !tied {
+                // Unique top-priority parent: unconditional import.
+                program.push(Rule {
+                    head: poss(xn, var("X")),
+                    pos: vec![poss(zn, var("X"))],
+                    neg: vec![],
+                    neq: vec![],
+                });
+                continue;
+            }
+            // One blocking rule per dominating parent…
+            for z2 in stronger {
+                program.push(Rule {
+                    head: conf(xn, zn, var("X")),
+                    pos: vec![poss(zn, var("X")), poss(z2.0, var("Y"))],
+                    neg: vec![],
+                    neq: vec![(var("Y"), var("X"))],
+                });
+            }
+            // …plus a self-block when the priority is shared.
+            if tied {
+                program.push(Rule {
+                    head: conf(xn, zn, var("X")),
+                    pos: vec![poss(zn, var("X")), poss(xn, var("Y"))],
+                    neg: vec![],
+                    neq: vec![(var("Y"), var("X"))],
+                });
+            }
+            program.push(Rule {
+                head: poss(xn, var("X")),
+                pos: vec![poss(zn, var("X"))],
+                neg: vec![conf(xn, zn, var("X"))],
+                neq: vec![],
+            });
+        }
+    }
+    LpTranslation {
+        program,
+        node_count: net.user_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustmap_core::binarize;
+
+    /// The oscillator: LP brave semantics equals Algorithm 1's poss sets.
+    #[test]
+    fn btn_translation_matches_algorithm_1() {
+        let mut net = TrustNetwork::new();
+        let x1 = net.user("x1");
+        let x2 = net.user("x2");
+        let x3 = net.user("x3");
+        let x4 = net.user("x4");
+        let v = net.value("v");
+        let w = net.value("w");
+        net.trust(x1, x2, 100).unwrap();
+        net.trust(x1, x3, 80).unwrap();
+        net.trust(x2, x1, 50).unwrap();
+        net.trust(x2, x4, 40).unwrap();
+        net.believe(x3, v).unwrap();
+        net.believe(x4, w).unwrap();
+        let btn = binarize(&net);
+        let res = trustmap_core::resolve(&btn).unwrap();
+        let lp = btn_to_lp(&btn);
+        let poss = lp.possible_beliefs(btn.domain().len());
+        for x in btn.nodes() {
+            let expected: BTreeSet<Value> = res.poss(x).iter().copied().collect();
+            assert_eq!(poss[x as usize], expected, "node {x}");
+        }
+    }
+
+    /// Example B.2 shape: the Fig 12a network (three parents, priorities
+    /// 1 < 2 < 3) produces exactly the printed rule pattern.
+    #[test]
+    fn nonbinary_translation_matches_example_b2() {
+        let mut net = TrustNetwork::new();
+        let x = net.user("x");
+        let z1 = net.user("z1");
+        let z2 = net.user("z2");
+        let z3 = net.user("z3");
+        net.trust(x, z1, 1).unwrap();
+        net.trust(x, z2, 2).unwrap();
+        net.trust(x, z3, 3).unwrap();
+        let v = net.value("v");
+        net.believe(z1, v).unwrap();
+        net.believe(z2, v).unwrap();
+        net.believe(z3, v).unwrap();
+        let lp = network_to_lp(&net);
+        let text = lp.program.to_string();
+        // Top parent z3: one unconditional import.
+        assert!(text.contains("poss(n0,X) :- poss(n3,X)."));
+        // z2 blocked by z3 only; z1 blocked by both.
+        assert_eq!(text.matches("conf(n0,n2,X)").count(), 2); // 1 block + head of import guard? (block rule head + neg literal)
+        assert_eq!(text.matches("conf(n0,n1,X)").count(), 3); // 2 blocks + neg literal
+    }
+
+    /// The bulk LP has one stable model per conflict-free object and two
+    /// per conflicting object, and its brave atoms match the native bulk
+    /// executor.
+    #[test]
+    fn bulk_lp_matches_bulk_executor() {
+        use trustmap_core::bulk::{execute_native, plan_bulk};
+        let mut net = TrustNetwork::new();
+        let x1 = net.user("x1");
+        let x2 = net.user("x2");
+        let x3 = net.user("x3");
+        let x4 = net.user("x4");
+        let v0 = net.value("v0");
+        let v1 = net.value("v1");
+        net.trust(x1, x2, 100).unwrap();
+        net.trust(x1, x3, 80).unwrap();
+        net.trust(x2, x1, 50).unwrap();
+        net.trust(x2, x4, 40).unwrap();
+        net.believe(x3, v0).unwrap();
+        net.believe(x4, v0).unwrap();
+        let btn = binarize(&net);
+        let plan = plan_bulk(&btn).unwrap();
+        let num_objects = 4;
+        // Objects 1 and 3 conflict.
+        let seeds = vec![
+            SeedValues { user: x3, values: vec![v0, v0, v0, v1] },
+            SeedValues { user: x4, values: vec![v0, v1, v0, v0] },
+        ];
+        let table = execute_native(&plan, &seeds, num_objects);
+
+        let lp = bulk_to_lp(&btn, &seeds, num_objects);
+        let ground = lp.program.ground();
+        let mut solver = StableSolver::new(&ground);
+        let models = solver.enumerate(None);
+        assert_eq!(models.len(), 4, "2 conflicting objects → 2^2 models");
+        let brave = solver.brave(None);
+        for k in 0..num_objects {
+            for node in btn.nodes() {
+                for &v in [v0, v1].iter() {
+                    let atom = format!(
+                        "poss(n{node}k{k},{})",
+                        LpTranslation::value_const(v)
+                    );
+                    assert_eq!(
+                        brave.contains(&atom),
+                        table.poss(node, k).contains(&v),
+                        "object {k}, node {node}, value {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Both translations agree with brute-force enumeration on a tied
+    /// non-binary network.
+    #[test]
+    fn translations_agree_on_ties() {
+        let mut net = TrustNetwork::new();
+        let x = net.user("x");
+        let a = net.user("a");
+        let b = net.user("b");
+        let c = net.user("c");
+        let v = net.value("v");
+        let w = net.value("w");
+        let u = net.value("u");
+        net.trust(x, a, 2).unwrap();
+        net.trust(x, b, 1).unwrap();
+        net.trust(x, c, 1).unwrap();
+        net.believe(a, v).unwrap();
+        net.believe(b, w).unwrap();
+        net.believe(c, u).unwrap();
+
+        let direct = network_to_lp(&net).possible_beliefs(net.domain().len());
+        let btn = binarize(&net);
+        let via_btn = btn_to_lp(&btn).possible_beliefs(btn.domain().len());
+        let res = trustmap_core::resolve(&btn).unwrap();
+        for user in net.users() {
+            let node = btn.node_of(user);
+            let expected: BTreeSet<Value> = res.poss(node).iter().copied().collect();
+            assert_eq!(direct[user.index()], expected, "direct, user {user}");
+            assert_eq!(via_btn[node as usize], expected, "via btn, user {user}");
+        }
+        // x only ever takes the dominating value v.
+        assert_eq!(direct[x.index()], BTreeSet::from([v]));
+    }
+}

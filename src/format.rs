@@ -1,0 +1,234 @@
+//! A line-oriented text format for trust networks, used by the `trustmap`
+//! CLI and handy for fixtures:
+//!
+//! ```text
+//! # Figure 2 of the paper
+//! trust   Alice  Bob      100
+//! trust   Alice  Charlie  50
+//! trust   Bob    Alice    80
+//! believe Bob     fish
+//! believe Charlie knot
+//! reject  Dana    cow,horse      # constraint: negative beliefs
+//! ```
+//!
+//! Users and values are created on first mention. `parse_network` and
+//! [`render_network`] round-trip.
+
+use std::fmt;
+use trustmap_core::{ExplicitBelief, NegSet, TrustNetwork};
+
+/// A format error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Parses the text format into a network.
+pub fn parse_network(text: &str) -> Result<TrustNetwork, FormatError> {
+    let mut net = TrustNetwork::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut parts = content.split_whitespace();
+        let verb = parts.next().expect("nonempty line");
+        let err = |message: String| FormatError { line, message };
+        match verb {
+            "trust" => {
+                let (child, parent, prio) = (
+                    parts.next().ok_or_else(|| err("trust needs: child parent priority".into()))?,
+                    parts.next().ok_or_else(|| err("trust needs: child parent priority".into()))?,
+                    parts.next().ok_or_else(|| err("trust needs: child parent priority".into()))?,
+                );
+                let priority: i64 = prio
+                    .parse()
+                    .map_err(|_| err(format!("bad priority `{prio}`")))?;
+                let c = net.user(child);
+                let p = net.user(parent);
+                net.trust(c, p, priority)
+                    .map_err(|e| err(e.to_string()))?;
+            }
+            "believe" => {
+                let (user, value) = (
+                    parts.next().ok_or_else(|| err("believe needs: user value".into()))?,
+                    parts.next().ok_or_else(|| err("believe needs: user value".into()))?,
+                );
+                let u = net.user(user);
+                let v = net.value(value);
+                net.believe(u, v).map_err(|e| err(e.to_string()))?;
+            }
+            "reject" => {
+                let (user, values) = (
+                    parts.next().ok_or_else(|| err("reject needs: user v1,v2,…".into()))?,
+                    parts.next().ok_or_else(|| err("reject needs: user v1,v2,…".into()))?,
+                );
+                let u = net.user(user);
+                let vs: Vec<_> = values
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|name| net.value(name))
+                    .collect();
+                if vs.is_empty() {
+                    return Err(err("reject needs at least one value".into()));
+                }
+                net.reject(u, NegSet::of(vs)).map_err(|e| err(e.to_string()))?;
+            }
+            "value" => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err("value needs a name".into()))?;
+                net.value(name);
+            }
+            "user" => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err("user needs a name".into()))?;
+                net.user(name);
+            }
+            other => {
+                return Err(err(format!(
+                    "unknown directive `{other}` (expected trust/believe/reject/value/user)"
+                )));
+            }
+        }
+        if let Some(extra) = parts.next() {
+            return Err(FormatError {
+                line,
+                message: format!("unexpected trailing token `{extra}`"),
+            });
+        }
+    }
+    Ok(net)
+}
+
+/// Renders a network back into the text format.
+pub fn render_network(net: &TrustNetwork) -> String {
+    let mut out = String::new();
+    for u in net.users() {
+        out.push_str(&format!("user {}\n", net.user_name(u)));
+    }
+    for m in net.mappings() {
+        out.push_str(&format!(
+            "trust {} {} {}\n",
+            net.user_name(m.child),
+            net.user_name(m.parent),
+            m.priority
+        ));
+    }
+    for u in net.users() {
+        match net.belief(u) {
+            ExplicitBelief::None => {}
+            ExplicitBelief::Pos(v) => {
+                out.push_str(&format!(
+                    "believe {} {}\n",
+                    net.user_name(u),
+                    net.domain().name(*v)
+                ));
+            }
+            ExplicitBelief::Negs(neg) => {
+                let values: Vec<&str> = net
+                    .domain()
+                    .values()
+                    .filter(|&v| neg.contains(v))
+                    .map(|v| net.domain().name(v))
+                    .collect();
+                if !values.is_empty() {
+                    out.push_str(&format!(
+                        "reject {} {}\n",
+                        net.user_name(u),
+                        values.join(",")
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustmap_core::resolution::resolve_network;
+
+    const FIXTURE: &str = "
+        # Figure 2
+        trust   Alice  Bob      100
+        trust   Alice  Charlie  50
+        trust   Bob    Alice    80
+        believe Bob     fish
+        believe Charlie knot
+    ";
+
+    #[test]
+    fn parses_figure_2() {
+        let net = parse_network(FIXTURE).unwrap();
+        assert_eq!(net.user_count(), 3);
+        assert_eq!(net.mapping_count(), 3);
+        let alice = net.find_user("Alice").unwrap();
+        let r = resolve_network(&net).unwrap();
+        assert_eq!(
+            r.cert(alice).map(|v| net.domain().name(v)),
+            Some("fish")
+        );
+    }
+
+    #[test]
+    fn round_trips() {
+        let net = parse_network(FIXTURE).unwrap();
+        let text = render_network(&net);
+        let net2 = parse_network(&text).unwrap();
+        assert_eq!(net.user_count(), net2.user_count());
+        assert_eq!(net.mapping_count(), net2.mapping_count());
+        let r1 = resolve_network(&net).unwrap();
+        let r2 = resolve_network(&net2).unwrap();
+        for u in net.users() {
+            let u2 = net2.find_user(net.user_name(u)).unwrap();
+            let names = |vals: &[trustmap_core::Value], net: &TrustNetwork| {
+                vals.iter()
+                    .map(|&v| net.domain().name(v).to_owned())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(names(r1.poss(u), &net), names(r2.poss(u2), &net2));
+        }
+    }
+
+    #[test]
+    fn rejects_report_line_numbers() {
+        let err = parse_network("trust a b 1\nbogus x").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+        let err = parse_network("trust a b notanumber").unwrap_err();
+        assert!(err.message.contains("priority"));
+        let err = parse_network("trust a a 1").unwrap_err();
+        assert!(err.message.contains("cannot trust themselves"));
+    }
+
+    #[test]
+    fn constraints_round_trip() {
+        let text = "reject bob cow,horse\nbelieve alice cow\ntrust carol bob 5";
+        let net = parse_network(text).unwrap();
+        let rendered = render_network(&net);
+        assert!(rendered.contains("reject bob cow,horse"));
+        let net2 = parse_network(&rendered).unwrap();
+        assert!(net2.has_negative_beliefs());
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let net = parse_network("# only comments\n\n   \n# more").unwrap();
+        assert_eq!(net.user_count(), 0);
+    }
+}

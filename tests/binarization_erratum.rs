@@ -1,0 +1,102 @@
+//! Erratum E5 (found by property testing this reproduction): the
+//! binarization of Proposition 2.8 is **not** equivalence-preserving for
+//! cyclic networks where a *tied* parent group sits above a lower-priority
+//! parent of the same child.
+//!
+//! Minimal counterexample (4 users, 2 values):
+//!
+//! ```text
+//! u1 —3—▶ u0 ◀—3— u3          u1 believes v0 (root)
+//! u2 —1—▶ u0 —1—▶ u3          u2 believes v1 (root)
+//! ```
+//!
+//! In the original network, u1 (priority 3, value v0) dominates u2's edge
+//! (priority 1, value v1) at u0 *unconditionally*, so v1 can never acquire
+//! a lineage at u0: `poss(u0) = {v0}`.
+//!
+//! The paper's cascade (Figure 9 rules) funnels the tied group {u1, u3}
+//! through a single node `y2 = Tied(u3, u1)` and wires
+//! `u0 = Pref{high: y2, low: u2}`. When the cycle u0 → u3 → y2 → u0 carries
+//! v1, y2 holds v1 and u1's domination of u2 is forgotten — the binarized
+//! network admits the all-v1 stable solution, so Algorithm 1 (which runs on
+//! the BTN) reports `poss(u0) = {v0, v1}`.
+//!
+//! No exact binarization exists for this configuration: admitting the
+//! low-priority value requires checking it against *each* tied dominator,
+//! but a 2-in-degree node can only carry one surviving value. The proof of
+//! Proposition 2.8 (Appendix B.3, case 1(c)(i)) covers conflicts between
+//! tied members and *higher* groups but misses lineages arriving from
+//! *lower*-priority parents.
+//!
+//! Consequences for this library (documented in DESIGN.md):
+//! * tie-free networks are unaffected (all cross-engine equivalences hold);
+//! * for networks with ties, Algorithm 1 computes the semantics of the
+//!   *binarized* network, which can strictly over-approximate Definition
+//!   2.4 possible sets of the source network;
+//! * the exact engines for tied networks are the Definition 2.4 enumerator
+//!   and the direct (non-binary) logic-program translation, which agree.
+
+use std::collections::BTreeSet;
+use trustmap::bridge::network_to_lp;
+use trustmap::stable::BruteForce;
+use trustmap::{binarize, resolve, TrustNetwork};
+
+fn counterexample() -> (TrustNetwork, [trustmap::User; 4]) {
+    let mut net = TrustNetwork::new();
+    let u0 = net.user("u0");
+    let u1 = net.user("u1");
+    let u2 = net.user("u2");
+    let u3 = net.user("u3");
+    let v0 = net.value("v0");
+    let v1 = net.value("v1");
+    net.trust(u0, u3, 3).unwrap();
+    net.trust(u0, u2, 1).unwrap();
+    net.trust(u3, u0, 1).unwrap();
+    net.trust(u0, u1, 3).unwrap();
+    net.believe(u1, v0).unwrap();
+    net.believe(u2, v1).unwrap();
+    (net, [u0, u1, u2, u3])
+}
+
+#[test]
+fn proposition_2_8_counterexample() {
+    let (net, [u0, ..]) = counterexample();
+    let v0 = net.domain().get("v0").unwrap();
+    let v1 = net.domain().get("v1").unwrap();
+
+    // Definition 2.4 ground truth: v1 is never possible at u0.
+    let brute = BruteForce::new(&net, 1 << 20).unwrap();
+    assert_eq!(brute.poss(u0), BTreeSet::from([v0]));
+
+    // The direct logic-program translation (per-parent domination rules)
+    // agrees with the definition.
+    let lp = network_to_lp(&net).possible_beliefs(net.domain().len());
+    assert_eq!(lp[u0.index()], BTreeSet::from([v0]));
+
+    // The paper's binarization admits the laundered value: Algorithm 1 on
+    // the BTN (faithful to Proposition 2.8) reports both.
+    let btn = binarize(&net);
+    let res = resolve(&btn).unwrap();
+    let from_btn: BTreeSet<_> = res.poss(btn.node_of(u0)).iter().copied().collect();
+    assert_eq!(
+        from_btn,
+        BTreeSet::from([v0, v1]),
+        "if this starts returning {{v0}}, the binarization was fixed — \
+         update DESIGN.md erratum E5"
+    );
+}
+
+/// The BTN-side engines still agree with each other on the counterexample:
+/// Algorithm 1 computes exactly the stable solutions of the *binarized*
+/// network (Theorem 2.9 on the BTN level is intact).
+#[test]
+fn btn_side_consistency_on_counterexample() {
+    let (net, _) = counterexample();
+    let btn = binarize(&net);
+    let res = resolve(&btn).unwrap();
+    let lp = trustmap::bridge::btn_to_lp(&btn).possible_beliefs(btn.domain().len());
+    for node in btn.nodes() {
+        let from_alg: BTreeSet<_> = res.poss(node).iter().copied().collect();
+        assert_eq!(from_alg, lp[node as usize], "node {node}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property test: the compiled skeptic bulk schedule (Appendix B.10)
+//! equals per-object runs of Algorithm 2 on randomized sign-uniform
+//! networks — cycles, constraint guards, and mixed value patterns.
+
+use proptest::prelude::*;
+use trustmap::bulk::SeedValues;
+use trustmap::bulk_skeptic::{execute_skeptic_native, plan_bulk_skeptic};
+use trustmap::prelude::*;
+use trustmap::skeptic::resolve_skeptic;
+use trustmap::{TrustNetwork, User, Value};
+
+/// A sign-uniform random network: some users positive believers, some
+/// constraint holders (fixed constraint), plus random tie-free mappings.
+#[derive(Debug, Clone)]
+struct RawNet {
+    users: usize,
+    mappings: Vec<(usize, usize)>,
+    positive: Vec<usize>,
+    negative: Vec<(usize, u32)>,
+}
+
+fn arb_net() -> impl Strategy<Value = RawNet> {
+    (3..7usize).prop_flat_map(|users| {
+        (
+            proptest::collection::vec((0..users, 0..users), 2..10),
+            proptest::collection::vec(0..users, 1..3),
+            proptest::collection::vec((0..users, 0u32..3), 0..2),
+        )
+            .prop_map(move |(mappings, positive, negative)| RawNet {
+                users,
+                mappings,
+                positive,
+                negative,
+            })
+    })
+}
+
+fn build(raw: &RawNet) -> Option<(trustmap::Btn, Vec<User>)> {
+    let mut net = TrustNetwork::new();
+    let users: Vec<User> = (0..raw.users).map(|i| net.user(&format!("u{i}"))).collect();
+    let values: Vec<Value> = (0..3).map(|i| net.value(&format!("v{i}"))).collect();
+    // Distinct priorities per child keep the network tie-free.
+    let mut next_prio = vec![1i64; raw.users];
+    for &(c, p) in &raw.mappings {
+        if c == p {
+            continue;
+        }
+        let prio = next_prio[c];
+        next_prio[c] += 1;
+        net.trust(users[c], users[p], prio).ok()?;
+    }
+    let mut sign: Vec<Option<bool>> = vec![None; raw.users];
+    for &u in &raw.positive {
+        net.believe(users[u], values[0]).ok()?;
+        sign[u] = Some(true);
+    }
+    for &(u, v) in &raw.negative {
+        if sign[u].is_some() {
+            continue; // keep sign-uniformity: skip double assignments
+        }
+        net.reject(users[u], NegSet::of([values[v as usize]])).ok()?;
+        sign[u] = Some(false);
+    }
+    let believers = raw
+        .positive
+        .iter()
+        .map(|&u| users[u])
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    Some((binarize(&net), believers))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bulk_skeptic_matches_per_object(
+        raw in arb_net(),
+        pattern in proptest::collection::vec(0u32..3, 4),
+    ) {
+        let Some((btn, believers)) = build(&raw) else {
+            return Ok(());
+        };
+        let plan = plan_bulk_skeptic(&btn).expect("tie-free by construction");
+        let num_objects = pattern.len();
+        let seeds: Vec<SeedValues> = believers
+            .iter()
+            .enumerate()
+            .map(|(i, &user)| SeedValues {
+                user,
+                values: pattern
+                    .iter()
+                    .map(|&p| Value((p + i as u32) % 3))
+                    .collect(),
+            })
+            .collect();
+        let table = execute_skeptic_native(&plan, &seeds, num_objects);
+        for k in 0..num_objects {
+            let mut work = btn.clone();
+            for seed in &seeds {
+                let root = btn.belief_root(seed.user).expect("believer");
+                work.set_root_belief(root, ExplicitBelief::Pos(seed.values[k]));
+            }
+            let reference = resolve_skeptic(&work).expect("tie-free");
+            for node in btn.nodes() {
+                prop_assert_eq!(
+                    table.rep(node, k),
+                    reference.rep_poss(node),
+                    "object {} node {}", k, node
+                );
+            }
+        }
+    }
+}

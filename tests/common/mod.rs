@@ -1,0 +1,65 @@
+//! Shared helpers for the integration tests: seeded random trust networks
+//! covering cycles, ties, multi-parent nodes, and explicit beliefs at
+//! arbitrary positions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trustmap::{TrustNetwork, User};
+
+/// Parameters for random network generation.
+#[derive(Debug, Clone, Copy)]
+pub struct NetSpec {
+    /// Number of users.
+    pub users: usize,
+    /// Number of distinct values.
+    pub values: usize,
+    /// Mapping-creation attempts (self-loops and duplicates skipped).
+    pub mappings: usize,
+    /// Probability a user holds an explicit belief.
+    pub believer_p: f64,
+    /// Give every child distinct parent priorities. Tie-free networks are
+    /// the domain on which binarization is equivalence-preserving (see
+    /// `tests/binarization_erratum.rs` / DESIGN.md erratum E5).
+    pub tie_free: bool,
+}
+
+/// Generates a random general trust network (cycles allowed; ties only
+/// when `spec.tie_free` is false). Guarantees at least one explicit belief.
+pub fn random_network(spec: NetSpec, seed: u64) -> TrustNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = TrustNetwork::new();
+    let users: Vec<User> = (0..spec.users)
+        .map(|i| net.user(&format!("u{i}")))
+        .collect();
+    let values: Vec<_> = (0..spec.values)
+        .map(|i| net.value(&format!("v{i}")))
+        .collect();
+    let mut next_priority = vec![1i64; spec.users];
+    for _ in 0..spec.mappings {
+        let child = users[rng.gen_range(0..users.len())];
+        let parent = users[rng.gen_range(0..users.len())];
+        if child == parent {
+            continue;
+        }
+        let priority = if spec.tie_free {
+            let p = next_priority[child.index()];
+            next_priority[child.index()] += 1;
+            p
+        } else {
+            rng.gen_range(1..=3)
+        };
+        net.trust(child, parent, priority).expect("distinct users");
+    }
+    let mut any = false;
+    for &u in &users {
+        if rng.gen_bool(spec.believer_p) {
+            let v = values[rng.gen_range(0..values.len())];
+            net.believe(u, v).expect("known user");
+            any = true;
+        }
+    }
+    if !any {
+        net.believe(users[0], values[0]).expect("known user");
+    }
+    net
+}

@@ -1,0 +1,125 @@
+//! Error-path coverage: every typed failure an application can hit, with
+//! its display form (what a user actually sees).
+
+use trustmap::prelude::*;
+use trustmap::stable_signed::{enumerate_signed, Limits};
+use trustmap::{Error, TrustNetwork, User};
+
+fn constraint_network() -> (TrustNetwork, User) {
+    let mut net = TrustNetwork::new();
+    let a = net.user("a");
+    let bad = net.value("bad");
+    net.reject(a, NegSet::of([bad])).unwrap();
+    (net, a)
+}
+
+#[test]
+fn algorithm_1_rejects_constraints_with_context() {
+    let (net, a) = constraint_network();
+    let err = resolve_network(&net).unwrap_err();
+    assert_eq!(err, Error::NegativeBeliefsUnsupported(a));
+    let msg = err.to_string();
+    assert!(msg.contains("negative beliefs"), "{msg}");
+    assert!(msg.contains("skeptic"), "points at the alternative: {msg}");
+}
+
+#[test]
+fn bulk_planning_inherits_the_constraint_guard() {
+    let (net, _) = constraint_network();
+    let btn = binarize(&net);
+    assert!(matches!(
+        plan_bulk(&btn),
+        Err(Error::NegativeBeliefsUnsupported(_))
+    ));
+}
+
+#[test]
+fn pairs_analysis_inherits_the_constraint_guard() {
+    let (net, _) = constraint_network();
+    let btn = binarize(&net);
+    assert!(matches!(
+        analyze_pairs(&btn),
+        Err(Error::NegativeBeliefsUnsupported(_))
+    ));
+}
+
+#[test]
+fn skeptic_and_acyclic_reject_ties() {
+    let mut net = TrustNetwork::new();
+    let x = net.user("x");
+    let a = net.user("a");
+    let b = net.user("b");
+    let v = net.value("v");
+    net.trust(x, a, 1).unwrap();
+    net.trust(x, b, 1).unwrap();
+    net.believe(a, v).unwrap();
+    net.believe(b, v).unwrap();
+    let btn = binarize(&net);
+    for err in [
+        resolve_skeptic(&btn).map(|_| ()).unwrap_err(),
+        evaluate_acyclic(&btn, Paradigm::Skeptic).map(|_| ()).unwrap_err(),
+        trustmap::bulk_skeptic::plan_bulk_skeptic(&btn)
+            .map(|_| ())
+            .unwrap_err(),
+    ] {
+        assert!(matches!(err, Error::TiesUnsupported(_)), "{err}");
+        assert!(err.to_string().contains("tied"), "{err}");
+    }
+}
+
+#[test]
+fn acyclic_evaluator_rejects_cycles() {
+    let mut net = TrustNetwork::new();
+    let a = net.user("a");
+    let b = net.user("b");
+    net.trust(a, b, 1).unwrap();
+    net.trust(b, a, 1).unwrap();
+    let btn = binarize(&net);
+    let err = evaluate_acyclic(&btn, Paradigm::Eclectic).unwrap_err();
+    assert_eq!(err, Error::CyclicNetwork);
+    assert!(err.to_string().contains("acyclic"));
+}
+
+#[test]
+fn enumerator_reports_blowups_instead_of_hanging() {
+    // A pool explosion: many distinct constraint roots make the closure of
+    // the preferred union exceed a tiny cap.
+    let mut net = TrustNetwork::new();
+    let hub = net.user("hub");
+    for i in 0..6 {
+        let g = net.user(&format!("g{i}"));
+        let v = net.value(&format!("v{i}"));
+        net.reject(g, NegSet::of([v])).unwrap();
+        net.trust(hub, g, i as i64 + 1).unwrap();
+    }
+    let btn = binarize(&net);
+    let tiny = Limits {
+        max_pool: 8,
+        max_partials: 8,
+    };
+    let err = enumerate_signed(&btn, Paradigm::Eclectic, tiny).unwrap_err();
+    assert!(matches!(err, Error::EnumerationTooLarge { .. }), "{err}");
+    assert!(err.to_string().contains("2^"), "{err}");
+}
+
+#[test]
+fn self_trust_and_unknown_users_are_rejected_early() {
+    let mut net = TrustNetwork::new();
+    let a = net.user("a");
+    assert_eq!(net.trust(a, a, 1), Err(Error::SelfTrust(a)));
+    let ghost = User(99);
+    let v = net.value("v");
+    assert_eq!(net.believe(ghost, v), Err(Error::UnknownUser(ghost)));
+    assert!(Error::UnknownUser(ghost).to_string().contains("u99"));
+}
+
+#[test]
+fn session_surfaces_errors_without_corrupting_state() {
+    let (net, _) = constraint_network();
+    let mut session = trustmap::Session::new(net);
+    // Snapshot fails (constraints), but the session stays usable for the
+    // constraint-aware paths.
+    assert!(session.snapshot().is_err());
+    let btn = binarize(session.network());
+    assert!(resolve_skeptic(&btn).is_ok());
+}

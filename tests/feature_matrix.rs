@@ -1,0 +1,159 @@
+//! Figure 3, executed: the feature matrix the paper uses to compare
+//! Orchestra, FICSR, BeliefDB, and Youtopia. One test per column
+//! demonstrates that this implementation provides the feature.
+
+use trustmap::prelude::*;
+
+/// Conflicts: partial key violations are first-class — users hold
+/// different values for the same object and both survive resolution as
+/// possible beliefs.
+#[test]
+fn conflicts() {
+    let mut net = TrustNetwork::new();
+    let a = net.user("a");
+    let b = net.user("b");
+    let x = net.user("x");
+    let v1 = net.value("v1");
+    let v2 = net.value("v2");
+    net.believe(a, v1).unwrap();
+    net.believe(b, v2).unwrap();
+    net.trust(x, a, 1).unwrap();
+    net.trust(x, b, 1).unwrap();
+    let r = resolve_network(&net).unwrap();
+    assert_eq!(r.poss(x), &[v1, v2], "both conflicting values are retained");
+    assert_eq!(r.cert(x), None);
+}
+
+/// Trust mappings: beliefs propagate along declared mappings only.
+#[test]
+fn trust_mappings() {
+    let mut net = TrustNetwork::new();
+    let src = net.user("src");
+    let linked = net.user("linked");
+    let stranger = net.user("stranger");
+    let v = net.value("v");
+    net.believe(src, v).unwrap();
+    net.trust(linked, src, 1).unwrap();
+    let r = resolve_network(&net).unwrap();
+    assert_eq!(r.cert(linked), Some(v));
+    assert!(r.poss(stranger).is_empty(), "no mapping, no propagation");
+}
+
+/// Priorities: higher-priority parents win conflicts.
+#[test]
+fn priorities() {
+    let (mut net, [alice, bob, charlie]) = trustmap::network::indus_network();
+    let fish = net.value("fish");
+    let knot = net.value("knot");
+    net.believe(bob, fish).unwrap();
+    net.believe(charlie, knot).unwrap();
+    let r = resolve_network(&net).unwrap();
+    assert_eq!(r.cert(alice), Some(fish), "priority 100 beats 50");
+}
+
+/// Update independence: the snapshot depends only on the current explicit
+/// beliefs, never on the order updates arrived (Example 1.2's failure case
+/// for FIFO systems).
+#[test]
+fn update_independence() {
+    let build = |order: &[(&str, &str)]| {
+        let (mut net, [_, _, _]) = trustmap::network::indus_network();
+        for &(user, value) in order {
+            let u = net.find_user(user).unwrap();
+            let v = net.value(value);
+            net.believe(u, v).unwrap();
+        }
+        let r = resolve_network(&net).unwrap();
+        let alice = net.find_user("Alice").unwrap();
+        r.cert(alice).map(|v| net.domain().name(v).to_owned())
+    };
+    let forward = build(&[("Charlie", "jar"), ("Bob", "cow")]);
+    let backward = build(&[("Bob", "cow"), ("Charlie", "jar")]);
+    assert_eq!(forward, backward);
+    assert_eq!(forward.as_deref(), Some("cow"));
+}
+
+/// Revokes: removing an explicit belief cleanly reverts dependents — even
+/// across mutually-trusting cycles where lineage-free systems get stuck.
+#[test]
+fn revokes() {
+    let (mut net, [alice, bob, charlie]) = trustmap::network::indus_network();
+    let jar = net.value("jar");
+    let cow = net.value("cow");
+    net.believe(charlie, jar).unwrap();
+    net.believe(bob, cow).unwrap();
+    let r = resolve_network(&net).unwrap();
+    assert_eq!(r.cert(alice), Some(cow));
+    // Bob revokes: Alice and Bob fall back to Charlie's value, despite the
+    // Alice↔Bob mutual-trust cycle.
+    net.revoke(bob).unwrap();
+    let r = resolve_network(&net).unwrap();
+    assert_eq!(r.cert(alice), Some(jar));
+    assert_eq!(r.cert(bob), Some(jar));
+}
+
+/// Cycles: mutually-trusting groups are resolved (with multiple stable
+/// solutions surfaced as possible values), not rejected or looped over.
+#[test]
+fn cycles() {
+    let mut net = TrustNetwork::new();
+    let a = net.user("a");
+    let b = net.user("b");
+    let c = net.user("c");
+    let r1 = net.user("r1");
+    let v = net.value("v");
+    net.trust(a, b, 2).unwrap();
+    net.trust(b, c, 2).unwrap();
+    net.trust(c, a, 2).unwrap();
+    net.trust(a, r1, 1).unwrap();
+    net.believe(r1, v).unwrap();
+    let r = resolve_network(&net).unwrap();
+    for u in [a, b, c] {
+        assert_eq!(r.cert(u), Some(v), "cycle adopts the external value");
+    }
+}
+
+/// Consensus queries: agreement checking and consensus values over pairs
+/// of users (Section 2.1), beyond per-user snapshots.
+#[test]
+fn consensus_queries() {
+    let mut net = TrustNetwork::new();
+    let x1 = net.user("x1");
+    let x2 = net.user("x2");
+    let x3 = net.user("x3");
+    let x4 = net.user("x4");
+    let v = net.value("v");
+    let w = net.value("w");
+    net.trust(x1, x2, 100).unwrap();
+    net.trust(x1, x3, 80).unwrap();
+    net.trust(x2, x1, 50).unwrap();
+    net.trust(x2, x4, 40).unwrap();
+    net.believe(x3, v).unwrap();
+    net.believe(x4, w).unwrap();
+    let btn = binarize(&net);
+    let pairs = analyze_pairs(&btn).unwrap();
+    assert!(pairs.agree(btn.node_of(x1), btn.node_of(x2)));
+    assert!(!pairs.agree(btn.node_of(x3), btn.node_of(x4)));
+    assert_eq!(
+        pairs.consensus(btn.node_of(x1), btn.node_of(x2)),
+        [v, w].into_iter().collect()
+    );
+}
+
+/// Beyond the matrix: constraints (Section 3) — the feature the paper adds
+/// over all four compared systems.
+#[test]
+fn constraints() {
+    let mut net = TrustNetwork::new();
+    let editor = net.user("editor");
+    let guard = net.user("guard");
+    let src = net.user("src");
+    let bad = net.value("bad");
+    net.trust(editor, guard, 2).unwrap();
+    net.trust(editor, src, 1).unwrap();
+    net.reject(guard, NegSet::of([bad])).unwrap();
+    net.believe(src, bad).unwrap();
+    let btn = binarize(&net);
+    let sk = resolve_skeptic(&btn).unwrap();
+    assert!(sk.cert(btn.node_of(editor)).is_bottom());
+}

@@ -1,0 +1,163 @@
+//! Cross-engine consistency for the constraint semantics (Section 3).
+//!
+//! Four independent engines cover constraint networks:
+//!
+//! * the acyclic evaluator (exact on DAGs, Proposition 3.6);
+//! * the FVS enumerator over Definition 3.3/B.3 (exact everywhere,
+//!   exponential);
+//! * Algorithm 2 (PTIME, Skeptic only);
+//! * Algorithm 1 (positive-only networks).
+//!
+//! They must agree wherever their scopes overlap; the known exception —
+//! Algorithm 2's `prefNeg` approximation on non-preferred constraint
+//! arrivals — is pinned in `crates/core/src/skeptic.rs`.
+
+use std::collections::BTreeSet;
+use trustmap::prelude::*;
+use trustmap::stable_signed::{
+    certain_positives, enumerate_signed, possible_positives, Limits,
+};
+use trustmap::workloads::random_dag;
+use trustmap::Value;
+
+/// On tie-free DAGs the enumerator finds exactly the unique acyclic
+/// solution under every paradigm.
+#[test]
+fn dag_enumeration_matches_acyclic_evaluator() {
+    for seed in 0..15 {
+        let w = random_dag(12, 2, 3, 0.3, seed);
+        let btn = binarize(&w.net);
+        for p in Paradigm::ALL {
+            let direct = evaluate_acyclic(&btn, p).expect("tie-free DAG");
+            let sols = enumerate_signed(&btn, p, Limits::default()).expect("small");
+            assert_eq!(sols.len(), 1, "seed {seed}, {p}: unique solution");
+            assert_eq!(sols[0], direct, "seed {seed}, {p}");
+        }
+    }
+}
+
+/// Algorithm 2 on tie-free DAGs: exact on positive networks; on constraint
+/// networks it is *complete* for positives (its possible-positive sets
+/// contain the exact ones — the documented prefNeg over-approximation can
+/// only add, never drop).
+#[test]
+fn skeptic_algorithm_vs_exact_on_dags() {
+    for seed in 0..15 {
+        let w = random_dag(12, 2, 3, 0.3, seed);
+        let btn = binarize(&w.net);
+        let exact = evaluate_acyclic(&btn, Paradigm::Skeptic).expect("tie-free DAG");
+        let alg = resolve_skeptic(&btn).expect("tie-free");
+        for node in btn.nodes() {
+            if let Some(v) = exact[node as usize].pos {
+                assert!(
+                    alg.rep_poss(node).pos.contains(&v),
+                    "seed {seed}: node {node} must keep exact positive"
+                );
+            }
+        }
+    }
+}
+
+/// On positive-only cyclic networks, Algorithm 2's positives equal
+/// Algorithm 1's possible sets and the signed enumerator's (paradigm
+/// collapse, Section 3.3).
+#[test]
+fn positive_cyclic_networks_collapse() {
+    // Chain of oscillators with cross edges.
+    let mut net = TrustNetwork::new();
+    let v = net.value("v");
+    let w = net.value("w");
+    let mut prev = None;
+    for i in 0..3 {
+        let a = net.user(&format!("a{i}"));
+        let b = net.user(&format!("b{i}"));
+        let r1 = net.user(&format!("r{i}a"));
+        let r2 = net.user(&format!("r{i}b"));
+        net.trust(a, b, 100).unwrap();
+        net.trust(b, a, 100).unwrap();
+        net.trust(a, r1, 50).unwrap();
+        net.trust(b, r2, 40).unwrap();
+        net.believe(r1, if i % 2 == 0 { v } else { w }).unwrap();
+        net.believe(r2, w).unwrap();
+        if let Some(p) = prev {
+            net.trust(a, p, 10).unwrap();
+        }
+        prev = Some(b);
+    }
+    let btn = binarize(&net);
+    let basic = resolve(&btn).unwrap();
+    let skeptic = resolve_skeptic(&btn).unwrap();
+    let sols = enumerate_signed(&btn, Paradigm::Skeptic, Limits::default()).unwrap();
+    let enum_poss = possible_positives(&sols, btn.node_count());
+    let enum_cert = certain_positives(&sols, btn.node_count());
+    for node in btn.nodes() {
+        let expected: BTreeSet<Value> = basic.poss(node).iter().copied().collect();
+        assert_eq!(skeptic.rep_poss(node).pos, expected, "algorithm 2, node {node}");
+        assert_eq!(enum_poss[node as usize], expected, "enumerator, node {node}");
+        assert_eq!(
+            skeptic.cert_positive(node),
+            basic.cert(node),
+            "certainty, node {node}"
+        );
+        assert_eq!(enum_cert[node as usize], basic.cert(node));
+    }
+}
+
+/// Agnostic and Eclectic differ from Skeptic exactly where constraints
+/// interact with blocked values: Figure 6's x9 is the witness (c+ under
+/// Eclectic, b+ under Agnostic, ⊥ under Skeptic).
+#[test]
+fn paradigms_disagree_on_figure_6() {
+    let (net, x) = trustmap::acyclic::figure_6_network();
+    let btn = binarize(&net);
+    let b = net.domain().get("b").unwrap();
+    let c = net.domain().get("c").unwrap();
+    let node = btn.node_of(x[8]);
+    let ag = evaluate_acyclic(&btn, Paradigm::Agnostic).unwrap();
+    let ec = evaluate_acyclic(&btn, Paradigm::Eclectic).unwrap();
+    let sk = evaluate_acyclic(&btn, Paradigm::Skeptic).unwrap();
+    assert_eq!(ag[node as usize].pos, Some(b));
+    assert_eq!(ec[node as usize].pos, Some(c));
+    assert!(sk[node as usize].is_bottom());
+}
+
+/// The skeptic enumerator and Algorithm 2 agree on a *cyclic* constraint
+/// network whose constraints all travel preferred chains (within the
+/// printed algorithm's exact regime).
+#[test]
+fn skeptic_cyclic_with_preferred_constraints() {
+    let mut net = TrustNetwork::new();
+    let a = net.user("a");
+    let b = net.user("b");
+    let guard = net.user("guard");
+    let src1 = net.user("src1");
+    let src2 = net.user("src2");
+    let bad = net.value("bad");
+    let good = net.value("good");
+    // Oscillator a↔b fed by src1 (bad) and src2 (good); a's preferred side
+    // is the guard rejecting `bad`.
+    net.trust(a, guard, 200).unwrap();
+    net.trust(a, b, 100).unwrap();
+    net.trust(b, a, 100).unwrap();
+    net.trust(a, src1, 50).unwrap();
+    net.trust(b, src2, 50).unwrap();
+    net.reject(guard, NegSet::of([bad])).unwrap();
+    net.believe(src1, bad).unwrap();
+    net.believe(src2, good).unwrap();
+    let btn = binarize(&net);
+    let alg = resolve_skeptic(&btn).unwrap();
+    let sols = enumerate_signed(&btn, Paradigm::Skeptic, Limits::default()).unwrap();
+    let poss = possible_positives(&sols, btn.node_count());
+    for user in [a, b] {
+        let node = btn.node_of(user);
+        assert_eq!(
+            alg.rep_poss(node).pos,
+            poss[node as usize],
+            "user {}",
+            net.user_name(user)
+        );
+    }
+    // `bad` must never be possible at a: the guard dominates everything.
+    assert!(!alg.rep_poss(btn.node_of(a)).pos.contains(&bad));
+    assert!(!poss[btn.node_of(a) as usize].contains(&bad));
+}

@@ -1,0 +1,201 @@
+//! Property-based invariants over randomly generated trust networks.
+//!
+//! Strategies generate general networks (cycles, ties, fan-in, parallel
+//! mappings); the properties tie the efficient algorithms to the
+//! Definition 2.4 / 3.3 semantics and to each other.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use trustmap::bulk::{execute_native, plan_bulk, SeedValues};
+use trustmap::stable::{is_stable, BruteForce};
+use trustmap::{binarize, resolve, resolve_with, Options, SccMode, TrustNetwork, User, Value};
+
+/// A raw network description that proptest can generate and shrink.
+#[derive(Debug, Clone)]
+struct RawNet {
+    users: usize,
+    mappings: Vec<(usize, usize, i64)>,
+    beliefs: Vec<(usize, usize)>,
+    values: usize,
+}
+
+fn raw_net(max_users: usize, max_maps: usize) -> impl Strategy<Value = RawNet> {
+    (2..=max_users).prop_flat_map(move |users| {
+        let mapping = (0..users, 0..users, 1..4i64);
+        let belief = (0..users, 0..2usize);
+        (
+            proptest::collection::vec(mapping, 0..=max_maps),
+            proptest::collection::vec(belief, 1..=users),
+        )
+            .prop_map(move |(mappings, beliefs)| RawNet {
+                users,
+                mappings,
+                beliefs,
+                values: 2,
+            })
+    })
+}
+
+/// Builds the network. Cross-representation properties require tie-free
+/// priorities (binarization is only equivalence-preserving there — see
+/// `tests/binarization_erratum.rs`): the drawn priority becomes a band and
+/// a per-child counter breaks ties within it.
+fn build(raw: &RawNet, tie_free: bool) -> TrustNetwork {
+    let mut net = TrustNetwork::new();
+    let users: Vec<User> = (0..raw.users).map(|i| net.user(&format!("u{i}"))).collect();
+    let values: Vec<Value> = (0..raw.values)
+        .map(|i| net.value(&format!("v{i}")))
+        .collect();
+    let mut counter = vec![0i64; raw.users];
+    for &(c, p, prio) in &raw.mappings {
+        if c != p {
+            let priority = if tie_free {
+                counter[c] += 1;
+                prio * 100 + counter[c]
+            } else {
+                prio
+            };
+            net.trust(users[c], users[p], priority).expect("valid");
+        }
+    }
+    for &(u, v) in &raw.beliefs {
+        net.believe(users[u], values[v]).expect("valid");
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Algorithm 1 computes exactly the Definition 2.4 possible beliefs.
+    #[test]
+    fn algorithm_1_matches_semantics(raw in raw_net(5, 8)) {
+        let net = build(&raw, true);
+        let btn = binarize(&net);
+        let res = resolve(&btn).expect("positive network");
+        let brute = BruteForce::new(&net, 1 << 22).expect("small search space");
+        for user in net.users() {
+            let got: BTreeSet<Value> =
+                res.poss(btn.node_of(user)).iter().copied().collect();
+            prop_assert_eq!(got, brute.poss(user), "user {}", user);
+        }
+    }
+
+    /// Both SCC processing modes agree (the batched Step 2 is equivalent
+    /// to the literal single-SCC Algorithm 1).
+    #[test]
+    fn scc_modes_agree(raw in raw_net(7, 14)) {
+        let net = build(&raw, false);
+        let btn = binarize(&net);
+        let batch = resolve_with(&btn, Options { mode: SccMode::BatchSources, lineage: false })
+            .expect("resolves");
+        let single = resolve_with(&btn, Options { mode: SccMode::SingleMinimal, lineage: false })
+            .expect("resolves");
+        for node in btn.nodes() {
+            prop_assert_eq!(batch.poss(node), single.poss(node));
+        }
+    }
+
+    /// Mapping declaration order never affects the outcome (the paper's
+    /// order-invariance claim, Section 2.5).
+    #[test]
+    fn mapping_order_invariance(raw in raw_net(5, 8), rot in 0usize..8) {
+        let net = build(&raw, false);
+        let mut rotated = raw.clone();
+        if !rotated.mappings.is_empty() {
+            let k = rot % rotated.mappings.len();
+            rotated.mappings.rotate_left(k);
+        }
+        let net2 = build(&rotated, false);
+        let r1 = trustmap::resolve_network(&net).expect("resolves");
+        let r2 = trustmap::resolve_network(&net2).expect("resolves");
+        for user in net.users() {
+            prop_assert_eq!(r1.poss(user), r2.poss(user), "user {}", user);
+        }
+    }
+
+    /// Binarization stays within the Figure 11 size bound (factor 3) and
+    /// preserves per-user possible beliefs.
+    #[test]
+    fn binarization_bounds_and_fidelity(raw in raw_net(5, 10)) {
+        let net = build(&raw, true);
+        let btn = binarize(&net);
+        prop_assert!(btn.size() <= 3 * net.size().max(1),
+            "size {} vs original {}", btn.size(), net.size());
+        let brute = BruteForce::new(&net, 1 << 22).expect("small");
+        let res = resolve(&btn).expect("resolves");
+        for user in net.users() {
+            let got: BTreeSet<Value> =
+                res.poss(btn.node_of(user)).iter().copied().collect();
+            prop_assert_eq!(got, brute.poss(user));
+        }
+    }
+
+    /// Every enumerated solution passes the independent stability checker,
+    /// and resolving the certain belief implies every solution agrees.
+    #[test]
+    fn certainty_is_agreement(raw in raw_net(5, 8)) {
+        let net = build(&raw, true);
+        let brute = BruteForce::new(&net, 1 << 22).expect("small");
+        for sol in &brute.solutions {
+            prop_assert!(is_stable(&net, sol).expect("checkable"));
+        }
+        let btn = binarize(&net);
+        let res = resolve(&btn).expect("resolves");
+        for user in net.users() {
+            if let Some(v) = res.cert(btn.node_of(user)) {
+                for sol in &brute.solutions {
+                    prop_assert_eq!(sol[user.index()], Some(v));
+                }
+            }
+        }
+    }
+
+    /// With ties allowed, Algorithm 1 and the binary LP translation agree
+    /// on the binarized network — the representation both actually run on.
+    #[test]
+    fn tied_btn_engines_agree(raw in raw_net(4, 7)) {
+        let net = build(&raw, false);
+        let btn = binarize(&net);
+        let res = resolve(&btn).expect("resolves");
+        let lp = trustmap::bridge::btn_to_lp(&btn)
+            .possible_beliefs(btn.domain().len());
+        for node in btn.nodes() {
+            let got: BTreeSet<Value> = res.poss(node).iter().copied().collect();
+            prop_assert_eq!(got, lp[node as usize].clone(), "node {}", node);
+        }
+    }
+
+    /// Bulk execution over per-object seeds equals per-object resolution
+    /// (Section 4's correctness claim), for every object.
+    #[test]
+    fn bulk_equals_per_object(raw in raw_net(5, 8), flips in proptest::collection::vec(any::<bool>(), 6)) {
+        let net = build(&raw, false);
+        let btn = binarize(&net);
+        let plan = plan_bulk(&btn).expect("plannable");
+        let num_objects = flips.len();
+        // Per object: each believer keeps their value or flips to the other.
+        let seeds: Vec<SeedValues> = plan.seeds.iter().map(|&(user, _)| {
+            let base = net.belief(user).positive().expect("positive believer");
+            SeedValues {
+                user,
+                values: flips.iter().map(|&f| {
+                    if f { Value(1 - base.0.min(1)) } else { base }
+                }).collect(),
+            }
+        }).collect();
+        let table = execute_native(&plan, &seeds, num_objects);
+        for k in 0..num_objects {
+            let mut work = btn.clone();
+            for seed in &seeds {
+                let root = btn.belief_root(seed.user).expect("believer");
+                work.set_root_belief(root, trustmap::ExplicitBelief::Pos(seed.values[k]));
+            }
+            let res = resolve(&work).expect("resolves");
+            for node in btn.nodes() {
+                prop_assert_eq!(table.poss(node, k), res.poss(node),
+                    "object {} node {}", k, node);
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based algebraic laws for the signed-belief machinery
+//! (Section 3): preferred-union shapes, paradigm normal forms, and the
+//! associativity split that separates Skeptic from Agnostic/Eclectic.
+
+use proptest::prelude::*;
+use trustmap::{BeliefSet, NegSet, Paradigm, Value};
+
+/// Strategy over consistent belief sets on a small domain, covering empty,
+/// positive-only, finite-negative, co-finite (⊥-like), and mixed shapes.
+fn arb_belief_set() -> impl Strategy<Value = BeliefSet> {
+    let value = (0u32..5).prop_map(Value);
+    let finite_negs = proptest::collection::btree_set(value, 0..4);
+    (
+        proptest::option::of(0u32..5),
+        finite_negs,
+        any::<bool>(),
+    )
+        .prop_map(|(pos, negs, cofinite)| {
+            let pos = pos.map(Value);
+            let mut neg = if cofinite {
+                // Exclusion list = the drawn set (so ⊥ when empty).
+                NegSet::CoFinite(negs)
+            } else {
+                NegSet::Finite(negs)
+            };
+            if let Some(v) = pos {
+                neg = neg.without(v); // restore consistency
+            }
+            BeliefSet { pos, neg }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Preferred union preserves consistency and keeps the left side.
+    #[test]
+    fn preferred_union_shape(b1 in arb_belief_set(), b2 in arb_belief_set()) {
+        let u = b1.preferred_union(&b2);
+        prop_assert!(u.is_consistent());
+        // Everything in b1 survives.
+        prop_assert_eq!(u.pos.or(b2.pos), u.pos.or(b1.pos).or(b2.pos));
+        if let Some(v) = b1.pos {
+            prop_assert_eq!(u.pos, Some(v));
+        }
+        for i in 0..5 {
+            let v = Value(i);
+            if b1.neg.contains(v) {
+                prop_assert!(u.neg.contains(v), "b1 negative {v} lost");
+            }
+        }
+    }
+
+    /// Normal forms are idempotent and preserve the positive value.
+    #[test]
+    fn norm_idempotent(b in arb_belief_set()) {
+        for p in Paradigm::ALL {
+            let once = p.norm(&b);
+            prop_assert_eq!(p.norm(&once), once.clone(), "{} not idempotent", p);
+            prop_assert_eq!(once.pos, b.pos, "{} changed the positive", p);
+            prop_assert!(once.is_consistent());
+        }
+    }
+
+    /// The paradigm-specialized union is idempotent on normal forms:
+    /// B ~∪σ B = Normσ(B).
+    #[test]
+    fn punion_idempotent(b in arb_belief_set()) {
+        for p in Paradigm::ALL {
+            let n = p.norm(&b);
+            prop_assert_eq!(p.punion(&n, &n), n.clone(), "{}", p);
+        }
+    }
+
+    /// Skeptic's preferred union is associative on arbitrary triples —
+    /// the property Section 3.3 credits for its tractability.
+    #[test]
+    fn skeptic_associative(
+        a in arb_belief_set(),
+        b in arb_belief_set(),
+        c in arb_belief_set(),
+    ) {
+        let s = Paradigm::Skeptic;
+        prop_assert_eq!(
+            s.punion(&a, &s.punion(&b, &c)),
+            s.punion(&s.punion(&a, &b), &c)
+        );
+    }
+
+    /// ⊥ is a left zero for every paradigm, and empty is a left identity
+    /// on normal forms.
+    #[test]
+    fn units_and_zeros(b in arb_belief_set()) {
+        for p in Paradigm::ALL {
+            let bot = BeliefSet::bottom();
+            prop_assert_eq!(p.punion(&bot, &b), bot.clone(), "{}", p);
+            let n = p.norm(&b);
+            prop_assert_eq!(p.punion(&BeliefSet::empty(), &n), n.clone(), "{}", p);
+        }
+    }
+
+    /// NegSet union is commutative, associative, idempotent, and membership
+    /// behaves like a set union.
+    #[test]
+    fn negset_lattice_laws(
+        s1 in arb_belief_set(),
+        s2 in arb_belief_set(),
+        s3 in arb_belief_set(),
+    ) {
+        let (a, b, c) = (&s1.neg, &s2.neg, &s3.neg);
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.union(&b.union(c)), a.union(b).union(c));
+        prop_assert_eq!(a.union(a), a.clone());
+        for i in 0..6 {
+            let v = Value(i);
+            prop_assert_eq!(
+                a.union(b).contains(v),
+                a.contains(v) || b.contains(v)
+            );
+            prop_assert!(!a.without(v).contains(v));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Theorem 2.9 end-to-end: the stable solutions of a binary trust network
+//! are exactly the stable models of its associated logic program, so
+//!
+//! * Algorithm 1's possible beliefs,
+//! * brute-force enumeration of Definition 2.4,
+//! * and brave reasoning over the LP translation (both the binary and the
+//!   direct non-binary one)
+//!
+//! must all coincide. This is the strongest cross-subsystem test in the
+//! repository: it ties the graph algorithms, the resolution algorithm, the
+//! semantics checker, the binarization, and the datalog engine together.
+
+mod common;
+
+use common::{random_network, NetSpec};
+use std::collections::BTreeSet;
+use trustmap::bridge::{btn_to_lp, network_to_lp};
+use trustmap::stable::BruteForce;
+use trustmap::{binarize, resolve, Value};
+
+fn check_equivalence(seed: u64, spec: NetSpec) {
+    let net = random_network(spec, seed);
+    let btn = binarize(&net);
+    let algorithm = resolve(&btn).expect("positive networks resolve");
+    let brute = BruteForce::new(&net, 1 << 22).expect("within enumeration budget");
+    let lp_binary = btn_to_lp(&btn).possible_beliefs(btn.domain().len());
+    let lp_direct = network_to_lp(&net).possible_beliefs(net.domain().len());
+
+    for user in net.users() {
+        let node = btn.node_of(user);
+        let from_algorithm: BTreeSet<Value> = algorithm.poss(node).iter().copied().collect();
+        let from_brute = brute.poss(user);
+        assert_eq!(
+            from_algorithm, from_brute,
+            "seed {seed}: Algorithm 1 vs Definition 2.4 at {user}"
+        );
+        assert_eq!(
+            lp_binary[node as usize], from_brute,
+            "seed {seed}: binary LP vs Definition 2.4 at {user}"
+        );
+        assert_eq!(
+            lp_direct[user.index()], from_brute,
+            "seed {seed}: direct LP vs Definition 2.4 at {user}"
+        );
+    }
+}
+
+#[test]
+fn equivalence_on_small_random_networks() {
+    let spec = NetSpec {
+        users: 5,
+        values: 2,
+        mappings: 7,
+        believer_p: 0.4,
+        tie_free: true,
+    };
+    for seed in 0..60 {
+        check_equivalence(seed, spec);
+    }
+}
+
+#[test]
+fn equivalence_with_fanin() {
+    let spec = NetSpec {
+        users: 6,
+        values: 3,
+        mappings: 10,
+        believer_p: 0.35,
+        tie_free: true,
+    };
+    for seed in 100..130 {
+        check_equivalence(seed, spec);
+    }
+}
+
+#[test]
+fn equivalence_on_dense_cyclic_networks() {
+    let spec = NetSpec {
+        users: 4,
+        values: 2,
+        mappings: 12,
+        believer_p: 0.5,
+        tie_free: true,
+    };
+    for seed in 200..240 {
+        check_equivalence(seed, spec);
+    }
+}
+
+/// With ties, binarization may widen possible sets on cyclic networks
+/// (erratum E5), so only same-representation engines are compared exactly:
+/// the Definition 2.4 enumerator ↔ the direct LP on the source network,
+/// and Algorithm 1 ↔ the binary LP on the binarized network. Across the
+/// representations, the BTN result must contain the exact one.
+#[test]
+fn tied_networks_same_side_equivalences() {
+    let spec = NetSpec {
+        users: 5,
+        values: 2,
+        mappings: 9,
+        believer_p: 0.4,
+        tie_free: false,
+    };
+    for seed in 300..340 {
+        let net = random_network(spec, seed);
+        let brute = BruteForce::new(&net, 1 << 22).expect("budget");
+        let lp_direct = network_to_lp(&net).possible_beliefs(net.domain().len());
+        let btn = binarize(&net);
+        let algorithm = resolve(&btn).expect("resolves");
+        let lp_binary = btn_to_lp(&btn).possible_beliefs(btn.domain().len());
+        for user in net.users() {
+            let node = btn.node_of(user);
+            let exact = brute.poss(user);
+            assert_eq!(
+                lp_direct[user.index()], exact,
+                "seed {seed}: direct LP vs Definition 2.4 at {user}"
+            );
+            let from_btn: BTreeSet<Value> =
+                algorithm.poss(node).iter().copied().collect();
+            assert_eq!(
+                lp_binary[node as usize], from_btn,
+                "seed {seed}: Algorithm 1 vs binary LP at {user}"
+            );
+            assert!(
+                from_btn.is_superset(&exact),
+                "seed {seed}: binarized semantics must contain the exact                  possible set at {user} ({from_btn:?} vs {exact:?})"
+            );
+        }
+    }
+}
+
+/// Every BTN has at least one stable solution (the Forward Lemma corollary,
+/// Appendix A) — unlike general logic programs.
+#[test]
+fn stable_solution_always_exists() {
+    for seed in 400..460 {
+        let net = random_network(
+            NetSpec {
+                users: 6,
+                values: 2,
+                mappings: 9,
+                believer_p: 0.4,
+                tie_free: false,
+            },
+            seed,
+        );
+        let brute = BruteForce::new(&net, 1 << 22).expect("budget");
+        assert!(
+            !brute.solutions.is_empty(),
+            "seed {seed}: networks always have a stable solution"
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! The `edits` benchmark: per-edit cost of the incremental delta-resolution
+//! engine versus the paper's "simply re-run the algorithm" baseline
+//! (Section 2.5) on power-law networks.
+//!
+//! The machine-readable companion (`BENCH_edits.json`, tracked across PRs)
+//! is produced by `cargo run --release -p trustmap-bench --bin edits_bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use trustmap::workloads::{edit_stream, power_law, EditMix};
+use trustmap::{resolve_network, Session};
+
+fn edits_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edits_incremental");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let w = power_law(n, 2, 4, 0.2, 8 + n as u64);
+        let stream = edit_stream(&w, 1024, EditMix::default(), 99);
+        group.throughput(Throughput::Elements(stream.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &stream, |b, stream| {
+            let mut session = Session::new(w.net.clone());
+            session.snapshot().expect("positive network");
+            let mut next = 0usize;
+            b.iter(|| {
+                // One full pass over the stream per sample.
+                for _ in 0..stream.len() {
+                    let edit = stream[next % stream.len()];
+                    next += 1;
+                    session.apply_edit(edit).expect("valid edit");
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn edits_full_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edits_full_recompute");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let w = power_law(n, 2, 4, 0.2, 8 + n as u64);
+        // Re-running binarize + Algorithm 1 per edit is so much slower that
+        // one edit per iteration is plenty.
+        let stream = edit_stream(&w, 64, EditMix::default(), 99);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &stream, |b, stream| {
+            let mut net = w.net.clone();
+            let mut next = 0usize;
+            b.iter(|| {
+                let edit = stream[next % stream.len()];
+                next += 1;
+                trustmap::workloads::apply_edit(&mut net, edit);
+                resolve_network(&net).expect("positive network")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, edits_incremental, edits_full_recompute);
+criterion_main!(benches);

@@ -12,13 +12,9 @@ fn fig15_quadratic(c: &mut Criterion) {
     for &k in &[100usize, 200, 400, 800] {
         let w = nested_sccs(k);
         let btn = binarize(&w.net);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(w.net.size()),
-            &btn,
-            |b, btn| {
-                b.iter(|| resolve(btn).expect("resolves"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(w.net.size()), &btn, |b, btn| {
+            b.iter(|| resolve(btn).expect("resolves"));
+        });
     }
     group.finish();
 }

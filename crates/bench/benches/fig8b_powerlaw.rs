@@ -12,13 +12,9 @@ fn fig8b_resolution(c: &mut Criterion) {
         let w = power_law(n, 2, 4, 0.2, 8 + n as u64);
         let btn = binarize(&w.net);
         group.throughput(Throughput::Elements(w.net.size() as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(w.net.size()),
-            &btn,
-            |b, btn| {
-                b.iter(|| resolve(btn).expect("resolves"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(w.net.size()), &btn, |b, btn| {
+            b.iter(|| resolve(btn).expect("resolves"));
+        });
     }
     group.finish();
 }

@@ -40,9 +40,13 @@ fn fig8c_bulk(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("per_object", n), &seeds, |b, seeds| {
             b.iter(|| bulkexec::resolve_objects_sequential(&btn, seeds, n));
         });
-        group.bench_with_input(BenchmarkId::new("per_object_par2", n), &seeds, |b, seeds| {
-            b.iter(|| bulkexec::resolve_objects_parallel(&btn, seeds, n, 2));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("per_object_par2", n),
+            &seeds,
+            |b, seeds| {
+                b.iter(|| bulkexec::resolve_objects_parallel(&btn, seeds, n, 2));
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,153 @@
+//! Measures the incremental delta-resolution engine against full
+//! re-resolution on edit streams and writes the machine-readable
+//! `BENCH_edits.json` consumed by the cross-PR perf tracker.
+//!
+//! ```text
+//! cargo run --release -p trustmap-bench --bin edits_bench [--quick] [out.json]
+//! ```
+//!
+//! For each power-law network size the driver replays a seeded edit stream
+//! (belief-dominated, occasional revocations and new mappings) through a
+//! [`trustmap::Session`] (incremental path) and through the paper's
+//! "simply re-run the algorithm" baseline (binarize + Algorithm 1 after
+//! every edit), then records edits/sec for both and the speedup.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use trustmap::workloads::{apply_edit, edit_stream, power_law, EditMix};
+use trustmap::{resolve_network, Session};
+use trustmap_bench::Table;
+
+struct Row {
+    users: usize,
+    size: usize,
+    edits: usize,
+    inc_us_per_edit: f64,
+    full_ms_per_edit: f64,
+    mean_dirty_nodes: f64,
+    speedup: f64,
+}
+
+fn measure(users: usize, edits: usize, full_samples: usize, seed: u64) -> Row {
+    let w = power_law(users, 2, 4, 0.2, seed);
+    let size = w.net.size();
+    let stream = edit_stream(&w, edits, EditMix::default(), seed ^ 0x5EED);
+
+    // Incremental: one session, every edit through the delta path.
+    let mut session = Session::new(w.net.clone());
+    session.snapshot().expect("positive network");
+    let t = Instant::now();
+    for &e in &stream {
+        session.apply_edit(e).expect("valid edit");
+    }
+    let inc_total = t.elapsed();
+    let stats = session.stats();
+    assert_eq!(
+        stats.full_rebuilds, 1,
+        "edit stream must stay on the incremental path"
+    );
+    let mean_dirty = stats.dirty_nodes as f64 / stats.incremental_edits.max(1) as f64;
+
+    // Full baseline: binarize + Algorithm 1 after each edit (Section 2.5's
+    // "simply re-run"), sampled over a prefix — it is orders of magnitude
+    // slower, so a few edits give a stable per-edit cost.
+    let mut net = w.net.clone();
+    let t = Instant::now();
+    for &e in stream.iter().take(full_samples) {
+        apply_edit(&mut net, e);
+        std::hint::black_box(resolve_network(&net).expect("positive network"));
+    }
+    let full_total = t.elapsed();
+
+    let inc_us = inc_total.as_secs_f64() * 1e6 / stream.len() as f64;
+    let full_ms = full_total.as_secs_f64() * 1e3 / full_samples as f64;
+    Row {
+        users,
+        size,
+        edits: stream.len(),
+        inc_us_per_edit: inc_us,
+        full_ms_per_edit: full_ms,
+        mean_dirty_nodes: mean_dirty,
+        speedup: (full_ms * 1e3) / inc_us,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_edits.json".to_owned());
+
+    let configs: &[(usize, usize, usize)] = if quick {
+        // (users, stream edits, full-baseline samples)
+        &[(1_000, 256, 8), (10_000, 256, 4)]
+    } else {
+        &[(1_000, 1_024, 32), (10_000, 1_024, 16), (100_000, 1_024, 8)]
+    };
+
+    println!("# edits: incremental delta-resolution vs full re-resolution\n");
+    let mut table = Table::new(&[
+        "users",
+        "size |U|+|E|",
+        "incremental us/edit",
+        "full re-resolve ms/edit",
+        "mean dirty nodes",
+        "speedup",
+    ]);
+    let mut rows = Vec::new();
+    for &(users, edits, full_samples) in configs {
+        let row = measure(users, edits, full_samples, 8 + users as u64);
+        table.row(vec![
+            row.users.to_string(),
+            row.size.to_string(),
+            format!("{:.2}", row.inc_us_per_edit),
+            format!("{:.3}", row.full_ms_per_edit),
+            format!("{:.1}", row.mean_dirty_nodes),
+            format!("{:.0}x", row.speedup),
+        ]);
+        rows.push(row);
+    }
+    println!("{}", table.render());
+
+    let mut json = String::new();
+    json.push_str("{\n  \"benchmark\": \"edits\",\n");
+    let _ = writeln!(
+        json,
+        "  \"edit_mix\": {{\"trust_fraction\": 0.05, \"revoke_fraction\": 0.2}},"
+    );
+    json.push_str("  \"networks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"users\": {}, \"size\": {}, \"edits\": {}, \
+             \"incremental_us_per_edit\": {:.3}, \"incremental_edits_per_sec\": {:.1}, \
+             \"full_ms_per_edit\": {:.3}, \"full_edits_per_sec\": {:.3}, \
+             \"mean_dirty_nodes\": {:.2}, \"speedup\": {:.1}}}",
+            r.users,
+            r.size,
+            r.edits,
+            r.inc_us_per_edit,
+            1e6 / r.inc_us_per_edit,
+            r.full_ms_per_edit,
+            1e3 / r.full_ms_per_edit,
+            r.mean_dirty_nodes,
+            r.speedup,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_edits.json");
+    println!("wrote {out_path}");
+
+    if let Some(big) = rows.iter().rfind(|r| r.users >= 100_000) {
+        assert!(
+            big.speedup >= 10.0,
+            "acceptance: incremental must be >= 10x full re-resolution \
+             on the 10^5-node network (got {:.1}x)",
+            big.speedup
+        );
+    }
+}

@@ -25,14 +25,15 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
-    let want = |name: &str| {
-        selected.is_empty() || selected.contains(&"all") || selected.contains(&name)
-    };
+    let want =
+        |name: &str| selected.is_empty() || selected.contains(&"all") || selected.contains(&name);
 
     println!("# trustmap experiment report\n");
     println!(
         "host: {} cores; mode: {}\n",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         if quick { "quick" } else { "full" }
     );
 
@@ -374,7 +375,11 @@ fn hardness_constraints(quick: bool) {
         "stable solutions",
         "skeptic Algorithm 2 [ms]",
     ]);
-    let vars: &[usize] = if quick { &[2, 3, 4] } else { &[2, 3, 4, 5, 6, 7] };
+    let vars: &[usize] = if quick {
+        &[2, 3, 4]
+    } else {
+        &[2, 3, 4, 5, 6, 7]
+    };
     for &nv in vars {
         let cnf = random_cnf(nv, nv + 1, 2.min(nv), 42);
         let enc = trustmap::gates::encode_cnf(&cnf);

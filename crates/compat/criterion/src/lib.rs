@@ -1,0 +1,289 @@
+//! Minimal, dependency-free stand-in for the subset of the `criterion`
+//! benchmarking API used by this workspace (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `bench_with_input`, throughput
+//! annotations).
+//!
+//! The build environment has no access to crates.io. This harness measures
+//! wall-clock medians over a small, time-bounded sample set and prints one
+//! line per benchmark — no statistics, HTML reports, or comparisons. It
+//! exists so `cargo bench` runs offline and the bench sources stay faithful
+//! to the upstream API.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation attached to a group (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The top-level harness handle passed to benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Per-measurement time budget.
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(
+                std::env::var("CRITERION_BUDGET_MS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(1500),
+            ),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(self.budget, 10, &mut f);
+        report(id, None, &stats);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples (minimum 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Attaches a throughput annotation to subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let stats = run_bench(self.criterion.budget, self.sample_size, &mut f);
+        report(&format!("{}/{}", self.name, id.id), self.throughput, &stats);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let stats = run_bench(
+            self.criterion.budget,
+            self.sample_size,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        report(&format!("{}/{}", self.name, id.id), self.throughput, &stats);
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Per-sample timing collector handed to benchmark closures.
+pub struct Bencher {
+    sample: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated runs of `f` for this sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.sample = start.elapsed();
+        self.iters = 1;
+    }
+}
+
+struct Stats {
+    median: Duration,
+    samples: usize,
+}
+
+fn run_bench(budget: Duration, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) -> Stats {
+    let mut durations: Vec<Duration> = Vec::with_capacity(sample_size);
+    let start = Instant::now();
+    // One warm-up run, untimed.
+    let mut bencher = Bencher {
+        sample: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher {
+            sample: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        if bencher.iters > 0 {
+            durations.push(bencher.sample / bencher.iters as u32);
+        }
+        if start.elapsed() > budget && durations.len() >= 3 {
+            break;
+        }
+    }
+    durations.sort_unstable();
+    Stats {
+        median: durations
+            .get(durations.len() / 2)
+            .copied()
+            .unwrap_or_default(),
+        samples: durations.len(),
+    }
+}
+
+fn report(id: &str, throughput: Option<Throughput>, stats: &Stats) {
+    let t = stats.median.as_secs_f64();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if t > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / t)
+        }
+        Some(Throughput::Bytes(n)) if t > 0.0 => {
+            format!("  ({:.0} B/s)", n as f64 / t)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<48} median {:>12}{}  [{} samples]",
+        format_duration(stats.median),
+        rate,
+        stats.samples
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(50),
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(1000));
+        group.bench_with_input(BenchmarkId::new("sum", 1000), &1000u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| {
+            b.iter(|| black_box(7u64 * 6));
+        });
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+}

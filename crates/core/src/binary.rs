@@ -22,7 +22,7 @@ use crate::network::TrustNetwork;
 use crate::signed::ExplicitBelief;
 use crate::user::User;
 use crate::value::Domain;
-use trustmap_graph::{DiGraph, NodeId};
+use trustmap_graph::{Csr, DiGraph, NodeId};
 
 /// The (at most two) parents of a BTN node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +53,7 @@ impl Parents {
     }
 
     /// Both parents in arbitrary order.
-    pub fn iter(&self) -> impl Iterator<Item = NodeId> {
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + Clone {
         let (a, b) = match *self {
             Parents::None => (None, None),
             Parents::One(z) => (Some(z), None),
@@ -78,13 +78,18 @@ impl Parents {
 /// network (Proposition 2.8).
 #[derive(Debug, Clone)]
 pub struct Btn {
-    domain: Domain,
-    beliefs: Vec<ExplicitBelief>,
-    parents: Vec<Parents>,
-    origin: Vec<Option<User>>,
-    names: Vec<String>,
-    user_count: usize,
-    belief_root: Vec<Option<NodeId>>,
+    pub(crate) domain: Domain,
+    pub(crate) beliefs: Vec<ExplicitBelief>,
+    pub(crate) parents: Vec<Parents>,
+    pub(crate) origin: Vec<Option<User>>,
+    pub(crate) names: Vec<String>,
+    pub(crate) user_count: usize,
+    pub(crate) belief_root: Vec<Option<NodeId>>,
+    /// `user_node[u]` = the node representing user `u`. [`binarize`] lays
+    /// users out as nodes `0..user_count` (identity); the incremental
+    /// resolver appends late-created users after synthetic nodes, so the
+    /// indirection keeps [`Btn::node_of`] correct in both cases.
+    pub(crate) user_node: Vec<NodeId>,
 }
 
 impl Btn {
@@ -111,8 +116,7 @@ impl Btn {
 
     /// The node representing `user`.
     pub fn node_of(&self, user: User) -> NodeId {
-        debug_assert!(user.index() < self.user_count);
-        user.0
+        self.user_node[user.index()]
     }
 
     /// The original user represented by `node`, if it is not synthetic.
@@ -200,6 +204,17 @@ impl Btn {
         g.build_in_adjacency();
         g
     }
+
+    /// The edge graph (parent → child) as a flat [`Csr`] — the
+    /// representation the resolution hot loop traverses. In-adjacency needs
+    /// no companion structure: every node's (≤ 2) in-edges are its
+    /// [`Parents`].
+    pub fn csr(&self) -> Csr {
+        let n = self.node_count();
+        let edges =
+            (0..n as NodeId).flat_map(|x| self.parents[x as usize].iter().map(move |z| (z, x)));
+        Csr::from_edges(n, edges)
+    }
 }
 
 /// Binarizes a general trust network (Proposition 2.8).
@@ -224,6 +239,7 @@ pub fn binarize(net: &TrustNetwork) -> Btn {
             .collect(),
         user_count: n,
         belief_root: vec![None; n],
+        user_node: (0..n as NodeId).collect(),
     };
 
     // Per-child parent lists (parent node, priority), in declaration order so
@@ -262,14 +278,17 @@ pub fn binarize(net: &TrustNetwork) -> Btn {
             _ => {
                 // Ascending priority; stable for deterministic tie layout.
                 plist.sort_by_key(|&(_, p)| p);
-                cascade(&mut btn, x as NodeId, &plist);
+                cascade(&mut btn, x as NodeId, &plist, &mut |btn, i| {
+                    let name = format!("{}::y{}", btn.names[x], i);
+                    push_node(btn, ExplicitBelief::None, name)
+                });
             }
         }
     }
     btn
 }
 
-fn push_node(btn: &mut Btn, belief: ExplicitBelief, name: String) -> NodeId {
+pub(crate) fn push_node(btn: &mut Btn, belief: ExplicitBelief, name: String) -> NodeId {
     let id = btn.parents.len() as NodeId;
     btn.beliefs.push(belief);
     btn.parents.push(Parents::None);
@@ -281,7 +300,16 @@ fn push_node(btn: &mut Btn, belief: ExplicitBelief, name: String) -> NodeId {
 /// Expands node `x` with sorted parent list `plist` (ascending priority)
 /// into the cascade of Figure 9. Indices below are 1-based to match the
 /// paper's rules; `y[i]` is the cascade node created at step `i`.
-fn cascade(btn: &mut Btn, x: NodeId, plist: &[(NodeId, i64)]) {
+///
+/// Interior cascade nodes are obtained through `alloc(btn, i)` so callers
+/// control allocation: [`binarize`] appends fresh nodes, while the
+/// incremental resolver recycles nodes freed by earlier cascade rebuilds.
+pub(crate) fn cascade(
+    btn: &mut Btn,
+    x: NodeId,
+    plist: &[(NodeId, i64)],
+    alloc: &mut dyn FnMut(&mut Btn, usize) -> NodeId,
+) {
     let k = plist.len();
     debug_assert!(k >= 2);
     // 1-based accessors.
@@ -300,12 +328,7 @@ fn cascade(btn: &mut Btn, x: NodeId, plist: &[(NodeId, i64)]) {
     let mut y = vec![0 as NodeId; k + 1];
     y[1] = z(1);
     for i in 2..=k {
-        y[i] = if i == k {
-            x
-        } else {
-            let name = format!("{}::y{}", btn.names[x as usize], i);
-            push_node(btn, ExplicitBelief::None, name)
-        };
+        y[i] = if i == k { x } else { alloc(btn, i) };
         // x = y_k is treated as if p(k) < p(k+1): only rules (a), (d), (e).
         let pnext = (i < k).then(|| p(i + 1));
         let parents = if p(i - 1) == p(i) {
@@ -356,10 +379,7 @@ mod tests {
         assert_eq!(btn.node_count(), 3);
         assert_eq!(btn.edge_count(), 3);
         // Alice (node 0) has Bob preferred (prio 100) over Charlie (50).
-        assert_eq!(
-            btn.parents(0),
-            &Parents::Pref { high: 1, low: 2 },
-        );
+        assert_eq!(btn.parents(0), &Parents::Pref { high: 1, low: 2 },);
         assert_eq!(btn.parents(1), &Parents::One(0));
         assert!(btn.parents(2).is_root());
     }
@@ -377,10 +397,7 @@ mod tests {
         assert_eq!(btn.node_count(), 3);
         let x0 = 2;
         assert_eq!(btn.belief(x0), &ExplicitBelief::Pos(v));
-        assert_eq!(
-            btn.parents(b.0),
-            &Parents::Pref { high: x0, low: a.0 }
-        );
+        assert_eq!(btn.parents(b.0), &Parents::Pref { high: x0, low: a.0 });
         assert_eq!(btn.belief(b.0), &ExplicitBelief::None);
         assert_eq!(btn.origin(x0), None);
         assert_eq!(btn.origin(b.0), Some(b));
@@ -411,17 +428,26 @@ mod tests {
         // y5 = (d): Pref{ high: y4, low: y2 }
         assert_eq!(
             btn.parents(y(5)),
-            &Parents::Pref { high: y(4), low: y(2) }
+            &Parents::Pref {
+                high: y(4),
+                low: y(2)
+            }
         );
         // y6 = (e): Pref{ high: z6, low: y5 }
         assert_eq!(
             btn.parents(y(6)),
-            &Parents::Pref { high: zn(6), low: y(5) }
+            &Parents::Pref {
+                high: zn(6),
+                low: y(5)
+            }
         );
         // x = y7 = (e): Pref{ high: z7, low: y6 }
         assert_eq!(
             btn.parents(x.0),
-            &Parents::Pref { high: zn(7), low: y(6) }
+            &Parents::Pref {
+                high: zn(7),
+                low: y(6)
+            }
         );
     }
 
@@ -456,15 +482,24 @@ mod tests {
         let y3 = 6;
         assert_eq!(
             btn.parents(y2),
-            &Parents::Pref { high: z[1].0, low: z[0].0 }
+            &Parents::Pref {
+                high: z[1].0,
+                low: z[0].0
+            }
         );
         assert_eq!(
             btn.parents(y3),
-            &Parents::Pref { high: z[2].0, low: y2 }
+            &Parents::Pref {
+                high: z[2].0,
+                low: y2
+            }
         );
         assert_eq!(
             btn.parents(x.0),
-            &Parents::Pref { high: z[3].0, low: y3 }
+            &Parents::Pref {
+                high: z[3].0,
+                low: y3
+            }
         );
         assert!(!btn.has_ties());
     }

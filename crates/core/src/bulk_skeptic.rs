@@ -159,9 +159,7 @@ pub fn plan_bulk_skeptic(btn: &Btn) -> Result<SkepticBulkPlan> {
                     continue;
                 }
                 for &v in &domain_values {
-                    let any_blocked = members
-                        .iter()
-                        .any(|&x| pref_neg[x as usize].contains(v));
+                    let any_blocked = members.iter().any(|&x| pref_neg[x as usize].contains(v));
                     if !any_blocked {
                         continue;
                     }
@@ -259,8 +257,7 @@ pub fn execute_skeptic_native(
     seeds: &[PosSeeds],
     num_objects: usize,
 ) -> SkepticTable {
-    let mut rows: Vec<Vec<RepPoss>> =
-        vec![vec![RepPoss::default(); num_objects]; plan.node_count];
+    let mut rows: Vec<Vec<RepPoss>> = vec![vec![RepPoss::default(); num_objects]; plan.node_count];
     for &(user, node) in &plan.pos_seeds {
         let seed = seeds
             .iter()

@@ -194,7 +194,12 @@ pub fn encode_cnf(cnf: &Cnf) -> CnfEncoding {
             };
             literal_outputs.push(out);
         }
-        clause_outputs.push(or_gate(&mut net, &format!("c{ci}.or"), &literal_outputs, gv));
+        clause_outputs.push(or_gate(
+            &mut net,
+            &format!("c{ci}.or"),
+            &literal_outputs,
+            gv,
+        ));
     }
     let output = and_gate(&mut net, "and", &clause_outputs, gv);
     CnfEncoding {

@@ -22,6 +22,13 @@
 //!   from;
 //! * [`pairs`] — joint possible values, agreement checking, consensus
 //!   values (Proposition 2.13);
+//! * [`incremental`] — delta-resolution for edit streams: dirty-region
+//!   re-solving that patches the cached resolution and BTN in place
+//!   instead of re-running Algorithm 1 over the whole network (the
+//!   scalable answer to Section 2.5's "simply re-run the algorithm");
+//! * [`session`] — the editing façade over [`incremental`]: typed edits
+//!   take the delta path, arbitrary closures fall back to full
+//!   recomputation;
 //! * [`signed`] / [`paradigm`] — constraints as negative beliefs and the
 //!   Agnostic / Eclectic / Skeptic paradigms (Section 3);
 //! * [`skeptic`] — Algorithm 2: PTIME resolution under Skeptic;
@@ -64,6 +71,7 @@ pub mod bulk;
 pub mod bulk_skeptic;
 pub mod error;
 pub mod gates;
+pub mod incremental;
 pub mod lineage;
 pub mod network;
 pub mod pairs;
@@ -80,6 +88,7 @@ pub mod value;
 
 pub use binary::{binarize, Btn, Parents};
 pub use error::{Error, Result};
+pub use incremental::{DeltaStats, Edit, IncrementalResolver};
 pub use network::{Mapping, TrustNetwork};
 pub use paradigm::Paradigm;
 pub use resolution::{resolve, resolve_network, resolve_with, Options, Resolution, SccMode};

@@ -121,10 +121,20 @@ mod tests {
         net.trust(b, a, 10).unwrap();
         net.believe(root, v).unwrap();
         let btn = crate::binary::binarize(&net);
-        let res = resolve_with(&btn, Options { lineage: true, ..Default::default() }).unwrap();
+        let res = resolve_with(
+            &btn,
+            Options {
+                lineage: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let lin = res.lineage().unwrap();
         let chain = lin.trace(btn.node_of(b), v).unwrap();
-        assert_eq!(chain, vec![btn.node_of(b), btn.node_of(a), btn.node_of(root)]);
+        assert_eq!(
+            chain,
+            vec![btn.node_of(b), btn.node_of(a), btn.node_of(root)]
+        );
         // The root itself has no lineage.
         assert!(lin.trace(btn.node_of(root), v).is_none());
     }
@@ -146,7 +156,14 @@ mod tests {
         net.believe(r1, v).unwrap();
         net.believe(r2, w).unwrap();
         let btn = crate::binary::binarize(&net);
-        let res = resolve_with(&btn, Options { lineage: true, ..Default::default() }).unwrap();
+        let res = resolve_with(
+            &btn,
+            Options {
+                lineage: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let lin = res.lineage().unwrap();
         let na = btn.node_of(a);
         // a's value v came from r1 (possibly through a cascade node).
@@ -160,4 +177,3 @@ mod tests {
         assert!(peers.contains(&btn.node_of(b)) || peers.contains(&na));
     }
 }
-

@@ -67,8 +67,7 @@ impl PairsAnalysis {
     /// stable solution, `b(x) = v` iff `b(y) = v`.
     pub fn consensus(&self, x: NodeId, y: NodeId) -> BTreeSet<Value> {
         let pairs = self.poss_pairs(x, y);
-        let mut candidates: BTreeSet<Value> =
-            pairs.iter().flat_map(|&(v, w)| [v, w]).collect();
+        let mut candidates: BTreeSet<Value> = pairs.iter().flat_map(|&(v, w)| [v, w]).collect();
         candidates.retain(|&v| pairs.iter().all(|&(a, b)| (a == v) == (b == v)));
         candidates
     }
@@ -229,9 +228,7 @@ pub fn analyze_pairs_with_budget(btn: &Btn, dp_budget: usize) -> Result<PairsAna
                                 continue;
                             }
                             if quotient.disjoint(xe, x, xf, y, dp_budget) {
-                                set.extend(
-                                    pairs[ze as usize * n + zf as usize].iter().copied(),
-                                );
+                                set.extend(pairs[ze as usize * n + zf as usize].iter().copied());
                             }
                         }
                     }
@@ -415,7 +412,8 @@ mod tests {
                 let expected = bf.poss_pairs(x, y);
                 let got = pa.poss_pairs(btn.node_of(x), btn.node_of(y));
                 assert_eq!(
-                    got, &expected,
+                    got,
+                    &expected,
                     "poss({}, {}) mismatch",
                     net.user_name(x),
                     net.user_name(y)

@@ -35,7 +35,7 @@ use crate::lineage::Lineage;
 use crate::value::Value;
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use trustmap_graph::{reach::reachable_from_many, Condensation, tarjan_scc_filtered, NodeId};
+use trustmap_graph::{reach::reachable_from_many, NodeId, SccScratch};
 
 /// How Step 2 consumes the SCC condensation of the open subgraph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -104,6 +104,19 @@ impl Resolution {
     pub fn all_poss(&self) -> &[Arc<[Value]>] {
         &self.poss
     }
+
+    /// A shared handle to `node`'s possible set (O(1): bumps the refcount
+    /// instead of copying the values).
+    pub fn share_poss(&self, node: NodeId) -> Arc<[Value]> {
+        Arc::clone(&self.poss[node as usize])
+    }
+
+    /// Consumes the resolution into its per-node possible sets and
+    /// reachability mask (used by the incremental resolver to seed its
+    /// cache without cloning).
+    pub fn into_parts(self) -> (Vec<Arc<[Value]>>, Vec<bool>) {
+        (self.poss, self.reachable)
+    }
 }
 
 /// Runs Algorithm 1 with default options.
@@ -117,16 +130,16 @@ pub fn resolve(btn: &Btn) -> Result<Resolution> {
 
 /// Runs Algorithm 1 with explicit [`Options`].
 pub fn resolve_with(btn: &Btn, opts: Options) -> Result<Resolution> {
-    if let Some(x) = btn
-        .nodes()
-        .find(|&x| btn.belief(x).has_negatives())
-    {
+    if let Some(x) = btn.nodes().find(|&x| btn.belief(x).has_negatives()) {
         let user = btn.origin(x).unwrap_or(crate::user::User(x));
         return Err(Error::NegativeBeliefsUnsupported(user));
     }
 
     let n = btn.node_count();
-    let graph = btn.graph();
+    // The hot loop streams the graph as a flat CSR; in-edges need no
+    // companion structure because every node's (≤ 2) in-edges are its
+    // `Parents`.
+    let csr = btn.csr();
 
     // (I) Initialization: close the roots with their explicit beliefs.
     let mut closed = vec![false; n];
@@ -137,19 +150,24 @@ pub fn resolve_with(btn: &Btn, opts: Options) -> Result<Resolution> {
     let roots: Vec<NodeId> = btn.roots().collect();
     // Nodes unreachable from every root can never acquire a belief
     // (Section 2.2) and are excluded up front.
-    let reachable = reachable_from_many(&graph, roots.iter().copied(), |_| true);
+    let reachable = reachable_from_many(&csr, roots.iter().copied(), |_| true);
     for x in btn.nodes() {
         if reachable[x as usize] {
             open_left += 1;
         }
     }
-    // Preferred-edge child lists for the Step-1 worklist.
-    let mut pref_children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    for x in btn.nodes() {
-        if let Some(z) = btn.preferred_parent(x) {
-            pref_children[z as usize].push(x);
+
+    // Closing `z` enqueues its preferred-edge children for Step 1. Scanning
+    // `csr.neighbors(z)` at close time replaces the old per-node
+    // `Vec<Vec<_>>` child lists: each adjacency list is scanned exactly
+    // once over the whole run, with no extra allocation.
+    let push_pref_children = |z: NodeId, worklist: &mut Vec<NodeId>| {
+        for &c in csr.neighbors(z) {
+            if btn.preferred_parent(c) == Some(z) {
+                worklist.push(c);
+            }
         }
-    }
+    };
 
     let mut worklist: Vec<NodeId> = Vec::new();
     for &r in &roots {
@@ -160,10 +178,13 @@ pub fn resolve_with(btn: &Btn, opts: Options) -> Result<Resolution> {
         poss[r as usize] = Arc::from(vec![v]);
         closed[r as usize] = true;
         open_left -= 1;
-        worklist.extend(pref_children[r as usize].iter().copied());
+        push_pref_children(r, &mut worklist);
     }
 
     let mut rounds = 0usize;
+    let mut scratch = SccScratch::new();
+    let mut is_source: Vec<bool> = Vec::new();
+    let mut sources: Vec<u32> = Vec::new();
 
     // (M) Main loop.
     loop {
@@ -181,26 +202,51 @@ pub fn resolve_with(btn: &Btn, opts: Options) -> Result<Resolution> {
             if let Some(l) = lineage.as_mut() {
                 l.record_preferred(x, z, &poss[xs]);
             }
-            worklist.extend(pref_children[xs].iter().copied());
+            push_pref_children(x, &mut worklist);
         }
         if open_left == 0 {
             break;
         }
 
-        // (S2) Condense the open subgraph and flood source SCCs.
+        // (S2) Condense the open subgraph and flood source SCCs. The SCC
+        // scratch is reused across rounds, so each round costs O(open
+        // subgraph), with no fresh allocations.
         rounds += 1;
-        let is_open = |v: NodeId| reachable[v as usize] && !closed[v as usize];
-        let scc = tarjan_scc_filtered(&graph, is_open);
-        let cond = Condensation::new(&graph, scc, is_open);
-        let chosen: Vec<u32> = match opts.mode {
-            SccMode::BatchSources => cond.sources().collect(),
-            // Any source is a valid minimal SCC; take the first.
-            SccMode::SingleMinimal => cond.sources().take(1).collect(),
-        };
-        debug_assert!(!chosen.is_empty(), "open nonempty implies a source SCC");
+        scratch.run(&csr, btn.nodes(), |v| {
+            reachable[v as usize] && !closed[v as usize]
+        });
+        let comp_count = scratch.count();
+        debug_assert!(comp_count > 0, "open nonempty implies a source SCC");
 
-        for c in chosen {
-            let members = cond.members(c);
+        // A component is minimal ("source") iff none of its members has an
+        // open in-neighbor in another component — computed directly from
+        // the `Parents` in-edges, without materializing the quotient graph.
+        is_source.clear();
+        is_source.resize(comp_count, true);
+        for &x in scratch.visited() {
+            let cx = scratch.comp_of(x).expect("visited");
+            for z in btn.parents(x).iter() {
+                let zs = z as usize;
+                if reachable[zs] && !closed[zs] && scratch.comp_of(z) != Some(cx) {
+                    is_source[cx as usize] = false;
+                }
+            }
+        }
+        sources.clear();
+        sources.extend(
+            is_source
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s)
+                .map(|(c, _)| c as u32),
+        );
+        if opts.mode == SccMode::SingleMinimal {
+            // The literal Algorithm 1 floods exactly one minimal SCC.
+            sources.truncate(1);
+        }
+
+        for &c in &sources {
+            let members = scratch.members(c);
             // possS = union of the possible values of all *already closed*
             // parents, snapshotted before any member of S closes (the z_j of
             // the paper are outside S by construction). The same external
@@ -209,11 +255,11 @@ pub fn resolve_with(btn: &Btn, opts: Options) -> Result<Resolution> {
             let mut union: BTreeSet<Value> = BTreeSet::new();
             let mut external: Vec<(NodeId, Value)> = Vec::new();
             for &x in members {
-                for (z, _) in graph.in_neighbors(x) {
-                    if closed[*z as usize] {
-                        union.extend(poss[*z as usize].iter().copied());
+                for z in btn.parents(x).iter() {
+                    if closed[z as usize] {
+                        union.extend(poss[z as usize].iter().copied());
                         if lineage.is_some() {
-                            external.extend(poss[*z as usize].iter().map(|&v| (*z, v)));
+                            external.extend(poss[z as usize].iter().map(|&v| (z, v)));
                         }
                     }
                 }
@@ -226,7 +272,7 @@ pub fn resolve_with(btn: &Btn, opts: Options) -> Result<Resolution> {
                 poss[x as usize] = Arc::clone(&set);
                 closed[x as usize] = true;
                 open_left -= 1;
-                worklist.extend(pref_children[x as usize].iter().copied());
+                push_pref_children(x, &mut worklist);
             }
         }
     }
@@ -253,26 +299,39 @@ pub fn resolve_with(btn: &Btn, opts: Options) -> Result<Resolution> {
 pub fn resolve_network(net: &crate::network::TrustNetwork) -> Result<UserResolution> {
     let btn = crate::binary::binarize(net);
     let res = resolve(&btn)?;
-    let mut poss = Vec::with_capacity(net.user_count());
-    let mut cert = Vec::with_capacity(net.user_count());
-    for u in net.users() {
-        let node = btn.node_of(u);
-        poss.push(res.poss(node).to_vec());
-        cert.push(res.cert(node));
-    }
-    Ok(UserResolution { poss, cert })
+    Ok(UserResolution::from_resolution(
+        &btn,
+        &res,
+        net.user_count(),
+    ))
 }
 
 /// Per-user resolution results (possible and certain beliefs).
+///
+/// Possible sets are shared `Arc<[Value]>` slices aliasing the resolver's
+/// per-node cache, so extracting per-user results is O(users) refcount
+/// bumps rather than a deep copy of every possible set.
 #[derive(Debug, Clone)]
 pub struct UserResolution {
-    /// `poss[u]` = sorted possible beliefs of user `u`.
-    pub poss: Vec<Vec<Value>>,
+    /// `poss[u]` = sorted possible beliefs of user `u` (shared slice).
+    pub poss: Vec<Arc<[Value]>>,
     /// `cert[u]` = the certain belief of user `u`, if any.
     pub cert: Vec<Option<Value>>,
 }
 
 impl UserResolution {
+    /// Extracts per-user results from a node-level [`Resolution`].
+    pub fn from_resolution(btn: &Btn, res: &Resolution, user_count: usize) -> Self {
+        let mut poss = Vec::with_capacity(user_count);
+        let mut cert = Vec::with_capacity(user_count);
+        for u in 0..user_count as u32 {
+            let node = btn.node_of(crate::user::User(u));
+            poss.push(res.share_poss(node));
+            cert.push(res.cert(node));
+        }
+        UserResolution { poss, cert }
+    }
+
     /// The possible beliefs of `user`.
     pub fn poss(&self, user: crate::user::User) -> &[Value] {
         &self.poss[user.index()]
@@ -418,10 +477,22 @@ mod tests {
             prev = Some(b);
         }
         let btn = binarize(&net);
-        let batch = resolve_with(&btn, Options { mode: SccMode::BatchSources, lineage: false })
-            .unwrap();
-        let single = resolve_with(&btn, Options { mode: SccMode::SingleMinimal, lineage: false })
-            .unwrap();
+        let batch = resolve_with(
+            &btn,
+            Options {
+                mode: SccMode::BatchSources,
+                lineage: false,
+            },
+        )
+        .unwrap();
+        let single = resolve_with(
+            &btn,
+            Options {
+                mode: SccMode::SingleMinimal,
+                lineage: false,
+            },
+        )
+        .unwrap();
         for x in btn.nodes() {
             assert_eq!(batch.poss(x), single.poss(x), "node {x}");
         }

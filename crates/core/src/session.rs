@@ -2,50 +2,50 @@
 //!
 //! The paper's headline property is *order-invariance*: the resolved
 //! snapshot depends only on the current explicit beliefs, so any edit —
-//! insert, update, revocation, new mapping — is handled by re-running
+//! insert, update, revocation, new mapping — can be handled by re-running
 //! resolution (Section 2.5: "if an explicit belief is updated, we simply
 //! re-run the algorithm and obtain another consistent snapshot").
 //!
-//! [`Session`] packages that workflow: it owns the network, re-binarizes
-//! and re-resolves lazily after edits, reports which users' certain beliefs
-//! changed, and answers *what-if* queries without committing.
+//! [`Session`] improves on "simply re-run": edits issued through the typed
+//! API ([`Session::believe`], [`Session::trust`], [`Session::revoke`],
+//! [`Session::apply_edit`]) are queued as deltas and resolved by the
+//! [`IncrementalResolver`](crate::incremental::IncrementalResolver), which
+//! re-solves only the *dirty region* downstream of the touched user and
+//! patches the cached snapshot in place. Arbitrary closure edits
+//! ([`Session::apply`]) and constraint assertions fall back to full
+//! recomputation. [`Session::stats`] reports which path each edit took and
+//! how large the dirty regions were.
 
-use crate::binary::{binarize, Btn};
 use crate::error::Result;
+use crate::incremental::{DeltaStats, Edit, IncrementalResolver};
 use crate::network::TrustNetwork;
-use crate::resolution::{resolve, UserResolution};
+use crate::resolution::UserResolution;
 use crate::signed::NegSet;
 use crate::user::User;
 use crate::value::Value;
 
-/// A change in one user's certain belief between two snapshots.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BeliefChange {
-    /// The affected user.
-    pub user: User,
-    /// The certain belief before the edit (`None` = conflicted/undefined).
-    pub before: Option<Value>,
-    /// The certain belief after the edit.
-    pub after: Option<Value>,
-}
+pub use crate::incremental::BeliefChange;
 
-/// An editable trust network with cached resolution.
-#[derive(Debug, Clone)]
+/// An editable trust network with an incrementally maintained snapshot.
+#[derive(Debug, Clone, Default)]
 pub struct Session {
     net: TrustNetwork,
-    cache: Option<Cached>,
-}
-
-#[derive(Debug, Clone)]
-struct Cached {
-    btn: Btn,
-    resolution: UserResolution,
+    engine: Option<IncrementalResolver>,
+    snapshot: Option<UserResolution>,
+    pending: Vec<Edit>,
+    stats: DeltaStats,
 }
 
 impl Session {
     /// Starts a session over an existing network.
     pub fn new(net: TrustNetwork) -> Self {
-        Session { net, cache: None }
+        Session {
+            net,
+            engine: None,
+            snapshot: None,
+            pending: Vec::new(),
+            stats: DeltaStats::default(),
+        }
     }
 
     /// Read access to the underlying network.
@@ -53,81 +53,116 @@ impl Session {
         &self.net
     }
 
-    /// Adds (or finds) a user.
+    /// Counters for the incremental-vs-full resolution paths taken so far.
+    pub fn stats(&self) -> DeltaStats {
+        self.stats
+    }
+
+    /// Adds (or finds) a user. The engine grows lazily at the next
+    /// snapshot; no recomputation is triggered.
     pub fn user(&mut self, name: &str) -> User {
-        // User interning does not change resolution results unless edges or
-        // beliefs are added, but the BTN node tables must be rebuilt.
-        self.cache = None;
         self.net.user(name)
     }
 
     /// Interns a value.
     pub fn value(&mut self, name: &str) -> Value {
-        self.cache = None;
         self.net.value(name)
     }
 
-    /// Declares a trust mapping and invalidates the snapshot.
+    /// Declares a trust mapping; re-binarizes only `child`'s cascade at the
+    /// next snapshot.
     pub fn trust(&mut self, child: User, parent: User, priority: i64) -> Result<()> {
-        self.cache = None;
-        self.net.trust(child, parent, priority)
+        self.net.trust(child, parent, priority)?;
+        self.enqueue(Edit::Trust {
+            child,
+            parent,
+            priority,
+        });
+        Ok(())
     }
 
-    /// Asserts an explicit belief and invalidates the snapshot.
+    /// Asserts (or updates) an explicit belief; a pure value flip at the
+    /// user's persistent belief root when one exists.
     pub fn believe(&mut self, user: User, value: Value) -> Result<()> {
-        self.cache = None;
-        self.net.believe(user, value)
+        self.net.believe(user, value)?;
+        self.enqueue(Edit::Believe(user, value));
+        Ok(())
     }
 
-    /// Asserts a constraint and invalidates the snapshot.
+    /// Asserts a constraint. Constraints need the Skeptic pipeline, which
+    /// the incremental engine does not cover: the session falls back to the
+    /// full path (and [`Session::snapshot`] reports the unsupported-belief
+    /// error, matching [`crate::resolution::resolve`]).
     pub fn reject(&mut self, user: User, neg: NegSet) -> Result<()> {
-        self.cache = None;
-        self.net.reject(user, neg)
+        self.net.reject(user, neg)?;
+        self.invalidate();
+        Ok(())
     }
 
-    /// Revokes an explicit belief and invalidates the snapshot.
+    /// Revokes an explicit belief (Example 1.2); incremental.
     pub fn revoke(&mut self, user: User) -> Result<()> {
-        self.cache = None;
-        self.net.revoke(user)
+        self.net.revoke(user)?;
+        self.enqueue(Edit::Revoke(user));
+        Ok(())
     }
 
-    /// The current snapshot (recomputed only after edits).
+    /// The current snapshot. After typed edits only the dirty region is
+    /// re-solved; the first call (or the first after a closure edit)
+    /// resolves fully.
     pub fn snapshot(&mut self) -> Result<&UserResolution> {
-        if self.cache.is_none() {
-            let btn = binarize(&self.net);
-            let res = resolve(&btn)?;
-            let mut poss = Vec::with_capacity(self.net.user_count());
-            let mut cert = Vec::with_capacity(self.net.user_count());
-            for u in self.net.users() {
-                let node = btn.node_of(u);
-                poss.push(res.poss(node).to_vec());
-                cert.push(res.cert(node));
-            }
-            self.cache = Some(Cached {
-                btn,
-                resolution: UserResolution { poss, cert },
-            });
+        self.refresh()?;
+        Ok(self.snapshot.as_ref().expect("refresh filled the snapshot"))
+    }
+
+    /// The live binarized form backing the snapshot.
+    ///
+    /// Structurally equivalent to [`crate::binary::binarize`] of the
+    /// current network but laid out for in-place patching (recycled
+    /// synthetic nodes, late users appended) — always address users through
+    /// [`crate::binary::Btn::node_of`].
+    pub fn btn(&mut self) -> Result<&crate::binary::Btn> {
+        self.refresh()?;
+        Ok(self
+            .engine
+            .as_ref()
+            .expect("refresh built the engine")
+            .btn())
+    }
+
+    /// Applies one typed edit and reports every user whose *certain*
+    /// belief changed — the "what changed after this update" question a
+    /// community UI asks after each edit. Runs on the incremental path.
+    pub fn apply_edit(&mut self, edit: Edit) -> Result<Vec<BeliefChange>> {
+        // Sync first so the report reflects exactly this edit.
+        self.refresh()?;
+        match edit {
+            Edit::Believe(u, v) => self.net.believe(u, v)?,
+            Edit::Revoke(u) => self.net.revoke(u)?,
+            Edit::Trust {
+                child,
+                parent,
+                priority,
+            } => self.net.trust(child, parent, priority)?,
         }
-        Ok(&self.cache.as_ref().expect("just filled").resolution)
+        Ok(self.drain(std::slice::from_ref(&edit)))
     }
 
-    /// The binarized form backing the current snapshot.
-    pub fn btn(&mut self) -> Result<&Btn> {
-        self.snapshot()?;
-        Ok(&self.cache.as_ref().expect("just filled").btn)
-    }
-
-    /// Applies `edit` to the session and reports every user whose
-    /// *certain* belief changed — the "what changed after this update"
-    /// question a community UI asks after each edit.
+    /// Applies an arbitrary `edit` closure and reports every user whose
+    /// *certain* belief changed. The closure is opaque, so this takes the
+    /// full-recompute path ("simply re-run the algorithm"); prefer
+    /// [`Session::apply_edit`] or the typed methods on the hot path.
     pub fn apply(
         &mut self,
         edit: impl FnOnce(&mut TrustNetwork) -> Result<()>,
     ) -> Result<Vec<BeliefChange>> {
-        let before = self.snapshot()?.cert.clone();
+        self.refresh()?;
+        let before = self.snapshot.as_ref().expect("synced").cert.clone();
+        // Invalidate before running the closure: if it errors after partial
+        // mutation, the stale engine must not survive.
+        self.invalidate();
         edit(&mut self.net)?;
-        self.cache = None;
-        let after = &self.snapshot()?.cert;
+        self.refresh()?;
+        let after = &self.snapshot.as_ref().expect("refreshed").cert;
         let mut changes = Vec::new();
         for (i, (b, a)) in before.iter().zip(after.iter()).enumerate() {
             if b != a {
@@ -163,6 +198,61 @@ impl Session {
         edit(&mut copy)?;
         crate::resolution::resolve_network(&copy)
     }
+
+    /// Queues a typed edit for the incremental path. Without a live engine
+    /// there is nothing to patch — the next snapshot resolves fully anyway.
+    fn enqueue(&mut self, edit: Edit) {
+        if self.engine.is_some() {
+            self.pending.push(edit);
+        }
+    }
+
+    /// Drops all incremental state; the next snapshot resolves fully.
+    fn invalidate(&mut self) {
+        self.engine = None;
+        self.snapshot = None;
+        self.pending.clear();
+    }
+
+    /// Brings engine and snapshot in sync with the network.
+    fn refresh(&mut self) -> Result<()> {
+        match self.engine.as_ref() {
+            None => {
+                self.pending.clear();
+                let engine = IncrementalResolver::new(&self.net)?;
+                self.snapshot = Some(engine.user_resolution());
+                self.engine = Some(engine);
+                self.stats.full_rebuilds += 1;
+            }
+            Some(engine) => {
+                // Users or values created through `user()`/`value()` arrive
+                // without a pending edit; an empty drain grows the engine
+                // and the snapshot to cover them.
+                let grown = engine.user_count() < self.net.user_count()
+                    || engine.btn().domain().len() < self.net.domain().len();
+                if !self.pending.is_empty() || grown {
+                    let edits = std::mem::take(&mut self.pending);
+                    self.drain(&edits);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes `edits` through the engine and patches the cached snapshot —
+    /// the single implementation behind [`Session::apply_edit`] and the
+    /// queued-edit path of [`Session::refresh`].
+    ///
+    /// Callers must have established the engine (via `refresh`) first.
+    fn drain(&mut self, edits: &[Edit]) -> Vec<BeliefChange> {
+        let engine = self.engine.as_mut().expect("drain requires an engine");
+        let changes = engine.apply_edits(&self.net, edits);
+        self.stats.incremental_edits += edits.len() as u64;
+        self.stats.last_dirty_nodes = engine.last_dirty_len();
+        self.stats.dirty_nodes += engine.last_dirty_len() as u64;
+        engine.patch_user_resolution(self.snapshot.as_mut().expect("snapshot exists with engine"));
+        changes
+    }
 }
 
 impl From<TrustNetwork> for Session {
@@ -190,6 +280,7 @@ mod tests {
         let first = s.snapshot().unwrap().cert.clone();
         // No edit: snapshot is stable (and cheap — same cache).
         assert_eq!(s.snapshot().unwrap().cert, first);
+        assert_eq!(s.stats().full_rebuilds, 1);
     }
 
     #[test]
@@ -209,6 +300,22 @@ mod tests {
     }
 
     #[test]
+    fn apply_edit_reports_like_apply_but_incrementally() {
+        let (mut s, [alice, bob, charlie], jar, cow) = session();
+        s.believe(charlie, jar).unwrap();
+        s.snapshot().unwrap();
+        let full_rebuilds = s.stats().full_rebuilds;
+        let changes = s.apply_edit(Edit::Believe(bob, cow)).unwrap();
+        let changed: Vec<User> = changes.iter().map(|c| c.user).collect();
+        assert!(changed.contains(&alice));
+        assert!(changed.contains(&bob));
+        assert!(!changed.contains(&charlie));
+        assert_eq!(s.stats().full_rebuilds, full_rebuilds, "no full rebuild");
+        assert!(s.stats().incremental_edits >= 1);
+        assert!(s.stats().last_dirty_nodes > 0);
+    }
+
+    #[test]
     fn revocation_rolls_back_dependents() {
         let (mut s, [alice, bob, charlie], jar, cow) = session();
         s.believe(charlie, jar).unwrap();
@@ -216,9 +323,27 @@ mod tests {
         assert_eq!(s.snapshot().unwrap().cert(alice), Some(cow));
         let changes = s.apply(|net| net.revoke(bob)).unwrap();
         assert_eq!(s.snapshot().unwrap().cert(alice), Some(jar));
-        assert!(changes.iter().any(|c| c.user == alice
-            && c.before == Some(cow)
-            && c.after == Some(jar)));
+        assert!(changes
+            .iter()
+            .any(|c| c.user == alice && c.before == Some(cow) && c.after == Some(jar)));
+    }
+
+    #[test]
+    fn typed_edits_match_full_resolution() {
+        let (mut s, [alice, bob, charlie], jar, cow) = session();
+        s.believe(charlie, jar).unwrap();
+        s.snapshot().unwrap();
+        // Incremental path.
+        s.believe(bob, cow).unwrap();
+        assert_eq!(s.snapshot().unwrap().cert(alice), Some(cow));
+        s.revoke(bob).unwrap();
+        assert_eq!(s.snapshot().unwrap().cert(alice), Some(jar));
+        assert_eq!(s.stats().full_rebuilds, 1, "edits stayed incremental");
+        // Cross-check against a from-scratch resolution.
+        let full = crate::resolution::resolve_network(s.network()).unwrap();
+        for u in [alice, bob, charlie] {
+            assert_eq!(s.snapshot().unwrap().poss(u), full.poss(u));
+        }
     }
 
     #[test]
@@ -246,5 +371,40 @@ mod tests {
         assert!(changes
             .iter()
             .any(|c| c.before.is_none() && c.after == Some(jar)));
+    }
+
+    #[test]
+    fn user_creation_without_edits_grows_the_snapshot() {
+        // Regression: reading a freshly created user's entry between edits
+        // must not index past the cached snapshot's length.
+        let (mut s, [_, _, charlie], jar, _) = session();
+        s.believe(charlie, jar).unwrap();
+        s.snapshot().unwrap();
+        let dave = s.user("Dave");
+        assert_eq!(s.snapshot().unwrap().cert(dave), None);
+        assert!(s.snapshot().unwrap().poss(dave).is_empty());
+        // Values interned after the engine was built must be addressable
+        // through the live BTN's domain too.
+        let late = s.value("late-value");
+        assert_eq!(s.btn().unwrap().domain().name(late), "late-value");
+    }
+
+    #[test]
+    fn new_users_through_typed_edits() {
+        let (mut s, [_, bob, charlie], jar, _) = session();
+        s.believe(charlie, jar).unwrap();
+        s.snapshot().unwrap();
+        let dave = s.user("Dave");
+        let changes = s
+            .apply_edit(Edit::Trust {
+                child: dave,
+                parent: bob,
+                priority: 10,
+            })
+            .unwrap();
+        assert!(changes
+            .iter()
+            .any(|c| c.user == dave && c.before.is_none() && c.after == Some(jar)));
+        assert_eq!(s.snapshot().unwrap().cert(dave), Some(jar));
     }
 }

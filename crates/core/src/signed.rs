@@ -76,9 +76,7 @@ impl NegSet {
             (Finite(a), CoFinite(e)) | (CoFinite(e), Finite(a)) => {
                 CoFinite(e.iter().copied().filter(|v| !a.contains(v)).collect())
             }
-            (CoFinite(e1), CoFinite(e2)) => {
-                CoFinite(e1.intersection(e2).copied().collect())
-            }
+            (CoFinite(e1), CoFinite(e2)) => CoFinite(e1.intersection(e2).copied().collect()),
         }
     }
 
@@ -399,9 +397,6 @@ mod tests {
             neg: NegSet::of([b]),
         };
         assert_eq!(s.display(&d).to_string(), "{a+} ∪ {b−}");
-        assert_eq!(
-            NegSet::all_but(a).display(&d).to_string(),
-            "⊥ − {a−}"
-        );
+        assert_eq!(NegSet::all_but(a).display(&d).to_string(), "⊥ − {a−}");
     }
 }

@@ -94,17 +94,15 @@ pub fn is_stable(net: &TrustNetwork, b: &[Option<Value>]) -> Result<bool> {
 
 /// Whether `x` (believing `v`) has at least one supporting in-edge.
 fn has_valid_support(net: &TrustNetwork, b: &[Option<Value>], x: User, v: Value) -> bool {
-    net.parents_of(x).any(|m| {
-        b[m.parent.index()] == Some(v) && edge_undominated(net, b, m.priority, x, v)
-    })
+    net.parents_of(x)
+        .any(|m| b[m.parent.index()] == Some(v) && edge_undominated(net, b, m.priority, x, v))
 }
 
 /// Condition (3) of Definition 2.4: no in-edge of `x` with priority
 /// strictly above `p` carries a defined conflicting belief.
 fn edge_undominated(net: &TrustNetwork, b: &[Option<Value>], p: i64, x: User, v: Value) -> bool {
-    !net.parents_of(x).any(|m2| {
-        m2.priority > p && matches!(b[m2.parent.index()], Some(w) if w != v)
-    })
+    !net.parents_of(x)
+        .any(|m2| m2.priority > p && matches!(b[m2.parent.index()], Some(w) if w != v))
 }
 
 /// All stable solutions of `net`, by exhaustive search.
@@ -200,10 +198,7 @@ impl BruteForce {
 
     /// Possible beliefs of `x` across all stable solutions.
     pub fn poss(&self, x: User) -> BTreeSet<Value> {
-        self.solutions
-            .iter()
-            .filter_map(|b| b[x.index()])
-            .collect()
+        self.solutions.iter().filter_map(|b| b[x.index()]).collect()
     }
 
     /// The certain belief of `x`: held in every stable solution.
@@ -270,10 +265,7 @@ mod tests {
         assert_eq!(bf.cert(x3), Some(v));
         assert_eq!(bf.cert(x4), Some(w));
         // The two cycle nodes always agree: pairs are (v,v) and (w,w) only.
-        assert_eq!(
-            bf.poss_pairs(x1, x2),
-            BTreeSet::from([(v, v), (w, w)])
-        );
+        assert_eq!(bf.poss_pairs(x1, x2), BTreeSet::from([(v, v), (w, w)]));
         assert!(bf.agree(x1, x2));
     }
 

@@ -46,7 +46,8 @@ impl Default for Limits {
 
 /// Checks condition (1) of Definition 3.3 / B.3 at every node.
 pub fn satisfies_equations(btn: &Btn, paradigm: Paradigm, b: &[BeliefSet]) -> bool {
-    btn.nodes().all(|x| node_equation_holds(btn, paradigm, b, x))
+    btn.nodes()
+        .all(|x| node_equation_holds(btn, paradigm, b, x))
 }
 
 fn node_equation_holds(btn: &Btn, paradigm: Paradigm, b: &[BeliefSet], x: NodeId) -> bool {
@@ -57,12 +58,7 @@ fn node_equation_holds(btn: &Btn, paradigm: Paradigm, b: &[BeliefSet], x: NodeId
 
 /// The (one or two, for ties) values the equation permits at `x` given its
 /// parents' sets.
-fn expected_values(
-    btn: &Btn,
-    paradigm: Paradigm,
-    b: &[BeliefSet],
-    x: NodeId,
-) -> Vec<BeliefSet> {
+fn expected_values(btn: &Btn, paradigm: Paradigm, b: &[BeliefSet], x: NodeId) -> Vec<BeliefSet> {
     let b0 = btn.belief(x).to_belief_set();
     match *btn.parents(x) {
         Parents::None => vec![paradigm.norm(&b0)],
@@ -155,11 +151,10 @@ pub fn enumerate_signed(
     // SCC condensation; process source components first (Tarjan emits
     // reverse-topologically, so iterate components in reverse).
     let scc = tarjan_scc(&graph);
-    let mut partials: Vec<SignedSolution> =
-        vec![vec![BeliefSet::empty(); btn.node_count()]];
+    let mut partials: Vec<SignedSolution> = vec![vec![BeliefSet::empty(); btn.node_count()]];
 
     for c in (0..scc.count()).rev() {
-        let members: Vec<NodeId> = scc.members[c].clone();
+        let members: Vec<NodeId> = scc.members(c as u32).to_vec();
         let in_scc = |v: NodeId| scc.comp[v as usize] == c as u32;
         let cyclic = members.len() > 1;
 
@@ -202,7 +197,9 @@ pub fn enumerate_signed(
                             candidates = grown;
                         }
                         for c in candidates {
-                            if members.iter().all(|&x| node_equation_holds(btn, paradigm, &c, x))
+                            if members
+                                .iter()
+                                .all(|&x| node_equation_holds(btn, paradigm, &c, x))
                             {
                                 next.push(c);
                             }
@@ -376,7 +373,11 @@ mod tests {
             let sols = enumerate_signed(&btn, p, Limits::default()).unwrap();
             assert_eq!(sols.len(), 2, "{p}");
             let poss = possible_positives(&sols, btn.node_count());
-            assert_eq!(poss[btn.node_of(x1) as usize], BTreeSet::from([v, w]), "{p}");
+            assert_eq!(
+                poss[btn.node_of(x1) as usize],
+                BTreeSet::from([v, w]),
+                "{p}"
+            );
             let cert = certain_positives(&sols, btn.node_count());
             assert_eq!(cert[btn.node_of(x1) as usize], None, "{p}");
             assert_eq!(cert[btn.node_of(x3) as usize], Some(v), "{p}");

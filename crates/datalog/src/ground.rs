@@ -303,7 +303,7 @@ impl<'a> Grounder<'a> {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::parser::parse_program;
 
     #[test]

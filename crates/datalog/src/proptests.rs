@@ -38,19 +38,17 @@ fn is_stable_model(gp: &GroundProgram, model: &dyn Fn(u32) -> bool) -> bool {
 /// Random programs over unary predicates p0..p3, constants a/b, with
 /// negation — small enough to enumerate, gnarly enough to hit loops.
 fn arb_program() -> impl Strategy<Value = String> {
-    let atom = (0u8..4, 0u8..2).prop_map(|(p, c)| {
-        format!("p{}({})", p, if c == 0 { "a" } else { "b" })
-    });
+    let atom =
+        (0u8..4, 0u8..2).prop_map(|(p, c)| format!("p{}({})", p, if c == 0 { "a" } else { "b" }));
     let fact = atom.clone().prop_map(|a| format!("{a}."));
-    let rule = (atom.clone(), atom.clone(), atom.clone(), any::<bool>()).prop_map(
-        |(h, b1, b2, neg)| {
+    let rule =
+        (atom.clone(), atom.clone(), atom.clone(), any::<bool>()).prop_map(|(h, b1, b2, neg)| {
             if neg {
                 format!("{h} :- {b1}, not {b2}.")
             } else {
                 format!("{h} :- {b1}, {b2}.")
             }
-        },
-    );
+        });
     (
         proptest::collection::vec(fact, 1..4),
         proptest::collection::vec(rule, 0..8),

@@ -100,12 +100,7 @@ impl<'a> StableSolver<'a> {
     /// considered satisfied iff `neg_sat(a)`.
     fn least_model(&self, neg_sat: &dyn Fn(u32) -> bool) -> Vec<bool> {
         let mut truth = vec![false; self.gp.atom_count()];
-        let mut remaining: Vec<u32> = self
-            .gp
-            .rules
-            .iter()
-            .map(|r| r.pos.len() as u32)
-            .collect();
+        let mut remaining: Vec<u32> = self.gp.rules.iter().map(|r| r.pos.len() as u32).collect();
         let mut queue: Vec<u32> = Vec::new();
         let usable: Vec<bool> = self
             .gp
@@ -236,7 +231,11 @@ impl<'a> StableSolver<'a> {
             }
         }
 
-        match self.neg_atoms.iter().find(|&&a| assign[a as usize].is_none()) {
+        match self
+            .neg_atoms
+            .iter()
+            .find(|&&a| assign[a as usize].is_none())
+        {
             None => {
                 // Leaf: verify stability exactly.
                 self.leaves_visited += 1;

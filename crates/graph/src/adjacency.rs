@@ -1,0 +1,89 @@
+//! Abstraction over out-adjacency so the traversal algorithms (Tarjan,
+//! reachability, condensation) run unchanged on [`crate::DiGraph`]
+//! (edge-id-carrying builder representation), [`crate::Csr`] (flat
+//! offsets/targets arrays for hot paths), or ad-hoc structures such as the
+//! incremental resolver's mutable child lists.
+
+use crate::digraph::NodeId;
+
+/// Read access to a directed graph's out-neighborhood.
+///
+/// `neighbor(v, i)` must be valid for `i < degree(v)` and stable across
+/// calls while the graph is not mutated; the iterative DFS in
+/// [`crate::scc`] relies on indexed resumption.
+pub trait Adjacency {
+    /// Number of nodes (`0..node_count()` are the valid ids).
+    fn node_count(&self) -> usize;
+
+    /// Out-degree of `v`.
+    fn degree(&self, v: NodeId) -> usize;
+
+    /// The `i`-th out-neighbor of `v` (`i < degree(v)`).
+    fn neighbor(&self, v: NodeId, i: usize) -> NodeId;
+
+    /// Iterator over the out-neighbors of `v`.
+    fn neighbors(&self, v: NodeId) -> Neighbors<'_, Self> {
+        Neighbors {
+            adj: self,
+            v,
+            i: 0,
+            len: self.degree(v),
+        }
+    }
+}
+
+/// Iterator returned by [`Adjacency::neighbors`].
+pub struct Neighbors<'a, A: ?Sized> {
+    adj: &'a A,
+    v: NodeId,
+    i: usize,
+    len: usize,
+}
+
+impl<A: Adjacency + ?Sized> Iterator for Neighbors<'_, A> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        if self.i < self.len {
+            let w = self.adj.neighbor(self.v, self.i);
+            self.i += 1;
+            Some(w)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.len - self.i;
+        (rem, Some(rem))
+    }
+}
+
+impl<A: Adjacency + ?Sized> ExactSizeIterator for Neighbors<'_, A> {}
+
+impl<A: Adjacency + ?Sized> Adjacency for &A {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+    fn degree(&self, v: NodeId) -> usize {
+        (**self).degree(v)
+    }
+    fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
+        (**self).neighbor(v, i)
+    }
+}
+
+/// Out-adjacency stored as one `Vec` per node — the natural representation
+/// for graphs under local mutation (the incremental resolver's child lists).
+impl Adjacency for [Vec<NodeId>] {
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+    fn degree(&self, v: NodeId) -> usize {
+        self[v as usize].len()
+    }
+    fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
+        self[v as usize][i]
+    }
+}

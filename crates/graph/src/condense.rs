@@ -2,9 +2,11 @@
 //!
 //! Algorithm 1 Step 2 needs a *minimal* SCC: a component of the open subgraph
 //! with no incoming edges from other open components. The condensation makes
-//! those queries O(1) after construction.
+//! those queries O(1) after construction. Quotient adjacency is stored flat
+//! (CSR-style) to avoid per-component allocations in hot loops.
 
-use crate::digraph::{DiGraph, NodeId};
+use crate::adjacency::Adjacency;
+use crate::digraph::NodeId;
 use crate::scc::SccResult;
 
 /// The SCC quotient of (a filtered view of) a graph.
@@ -18,25 +20,32 @@ pub struct Condensation {
     /// `in_degree[c]` = number of *distinct* predecessor components of `c`
     /// (parallel inter-component edges counted once).
     pub in_degree: Vec<u32>,
-    /// Quotient adjacency: `succs[c]` = distinct successor components.
-    pub succs: Vec<Vec<u32>>,
+    /// Flat quotient adjacency: distinct successors of component `c` are
+    /// `succ_targets[succ_offsets[c]..succ_offsets[c + 1]]`.
+    succ_offsets: Vec<u32>,
+    succ_targets: Vec<u32>,
 }
 
 impl Condensation {
     /// Builds the condensation of the subgraph induced by `keep`, given a
     /// matching SCC labelling (from [`crate::scc::tarjan_scc_filtered`] with
     /// the same filter).
-    pub fn new(g: &DiGraph, scc: SccResult, keep: impl Fn(NodeId) -> bool) -> Self {
+    pub fn new<A: Adjacency + ?Sized>(
+        g: &A,
+        scc: SccResult,
+        keep: impl Fn(NodeId) -> bool,
+    ) -> Self {
         let k = scc.count();
         let mut in_degree = vec![0u32; k];
-        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); k];
-        // `seen` deduplicates quotient edges; reset lazily via stamping.
+        // Two passes over the quotient edges: count, then fill — the same
+        // counting-sort construction as `Csr`.
+        let mut succ_counts = vec![0u32; k];
+        // `stamp` deduplicates quotient edges; reset lazily via stamping.
         let mut stamp = vec![u32::MAX; k];
-        // Indexing keeps the borrow of `succs[c]` disjoint from `members`.
-        #[allow(clippy::needless_range_loop)]
+        #[allow(clippy::needless_range_loop)] // c indexes members() and two arrays
         for c in 0..k {
-            for &v in &scc.members[c] {
-                for &(w, _) in g.out_neighbors(v) {
+            for &v in scc.members(c as u32) {
+                for w in g.neighbors(v) {
                     if !keep(w) {
                         continue;
                     }
@@ -46,8 +55,33 @@ impl Condensation {
                     }
                     if stamp[cw as usize] != c as u32 {
                         stamp[cw as usize] = c as u32;
-                        succs[c].push(cw);
+                        succ_counts[c] += 1;
                         in_degree[cw as usize] += 1;
+                    }
+                }
+            }
+        }
+        let mut succ_offsets = vec![0u32; k + 1];
+        for c in 0..k {
+            succ_offsets[c + 1] = succ_offsets[c] + succ_counts[c];
+        }
+        let mut cursor = succ_offsets.clone();
+        let mut succ_targets = vec![0u32; succ_offsets[k] as usize];
+        stamp.iter_mut().for_each(|s| *s = u32::MAX);
+        for c in 0..k {
+            for &v in scc.members(c as u32) {
+                for w in g.neighbors(v) {
+                    if !keep(w) {
+                        continue;
+                    }
+                    let cw = scc.comp[w as usize];
+                    if cw == c as u32 || cw == u32::MAX {
+                        continue;
+                    }
+                    if stamp[cw as usize] != c as u32 {
+                        stamp[cw as usize] = c as u32;
+                        succ_targets[cursor[c] as usize] = cw;
+                        cursor[c] += 1;
                     }
                 }
             }
@@ -55,7 +89,8 @@ impl Condensation {
         Condensation {
             scc,
             in_degree,
-            succs,
+            succ_offsets,
+            succ_targets,
         }
     }
 
@@ -78,13 +113,22 @@ impl Condensation {
     /// Members of component `c`.
     #[inline]
     pub fn members(&self, c: u32) -> &[NodeId] {
-        &self.scc.members[c as usize]
+        self.scc.members(c)
+    }
+
+    /// Distinct successor components of `c`.
+    #[inline]
+    pub fn successors(&self, c: u32) -> &[u32] {
+        let lo = self.succ_offsets[c as usize] as usize;
+        let hi = self.succ_offsets[c as usize + 1] as usize;
+        &self.succ_targets[lo..hi]
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::digraph::DiGraph;
     use crate::scc::tarjan_scc_filtered;
 
     fn cond(n: usize, edges: &[(NodeId, NodeId)]) -> Condensation {
@@ -101,7 +145,16 @@ mod tests {
         // {0,1} -> {2,3} -> {4,5}
         let c = cond(
             6,
-            &[(0, 1), (1, 0), (2, 3), (3, 2), (4, 5), (5, 4), (1, 2), (3, 4)],
+            &[
+                (0, 1),
+                (1, 0),
+                (2, 3),
+                (3, 2),
+                (4, 5),
+                (5, 4),
+                (1, 2),
+                (3, 4),
+            ],
         );
         assert_eq!(c.count(), 3);
         let sources: Vec<u32> = c.sources().collect();
@@ -110,6 +163,8 @@ mod tests {
         let mut m = c.members(src).to_vec();
         m.sort_unstable();
         assert_eq!(m, vec![0, 1]);
+        // Quotient adjacency: source has exactly one successor.
+        assert_eq!(c.successors(src).len(), 1);
     }
 
     #[test]

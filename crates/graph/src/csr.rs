@@ -1,0 +1,172 @@
+//! Compressed sparse row (CSR) adjacency: flat `offsets`/`targets` arrays.
+//!
+//! The resolution hot loop (Algorithm 1 Step 2) repeatedly runs Tarjan and
+//! floods SCCs over the same graph; per-node `Vec<Vec<_>>` adjacency costs a
+//! pointer chase and a cache miss per neighbor list. `Csr` stores all edges
+//! in two contiguous arrays, so traversals stream linearly through memory —
+//! the standard layout of high-performance graph engines.
+//!
+//! A `Csr` is immutable after construction; mutable graphs build one when
+//! entering a read-heavy phase ([`Csr::from_digraph`]) or keep `Vec`-based
+//! adjacency and share the algorithms through [`crate::Adjacency`].
+
+use crate::adjacency::Adjacency;
+use crate::digraph::{DiGraph, NodeId};
+
+/// Immutable flat adjacency: `targets[offsets[v]..offsets[v+1]]` are the
+/// out-neighbors of `v`.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Builds from an edge iterator (two passes: degree count, then fill).
+    pub fn from_edges<I>(n: usize, edges: I) -> Csr
+    where
+        I: Iterator<Item = (NodeId, NodeId)> + Clone,
+    {
+        let mut offsets = vec![0u32; n + 1];
+        for (u, _) in edges.clone() {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as NodeId; offsets[n] as usize];
+        for (u, v) in edges {
+            let c = &mut cursor[u as usize];
+            targets[*c as usize] = v;
+            *c += 1;
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Builds with edge directions flipped (`v → u` for every input
+    /// `u → v`) — the reverse adjacency as a CSR.
+    pub fn reversed_from_edges<I>(n: usize, edges: I) -> Csr
+    where
+        I: Iterator<Item = (NodeId, NodeId)> + Clone,
+    {
+        Csr::from_edges(n, edges.map(|(u, v)| (v, u)))
+    }
+
+    /// The forward CSR of a [`DiGraph`].
+    pub fn from_digraph(g: &DiGraph) -> Csr {
+        let edges = (0..g.edge_count() as u32).map(|e| g.endpoints(e));
+        Csr::from_edges(g.node_count(), edges)
+    }
+
+    /// The reverse CSR of a [`DiGraph`].
+    pub fn reversed_from_digraph(g: &DiGraph) -> Csr {
+        let edges = (0..g.edge_count() as u32).map(|e| g.endpoints(e));
+        Csr::reversed_from_edges(g.node_count(), edges)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbors of `v` as a contiguous slice.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// All node ids, `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.node_count() as NodeId
+    }
+}
+
+impl Adjacency for Csr {
+    #[inline]
+    fn node_count(&self) -> usize {
+        Csr::node_count(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    #[inline]
+    fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
+        self.targets[self.offsets[v as usize] as usize + i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_digraph_adjacency() {
+        let mut g = DiGraph::new(5);
+        for &(u, v) in &[(0, 1), (0, 2), (1, 2), (3, 0), (2, 4), (0, 4)] {
+            g.add_edge(u, v);
+        }
+        let csr = Csr::from_digraph(&g);
+        assert_eq!(csr.node_count(), 5);
+        assert_eq!(csr.edge_count(), 6);
+        for v in g.nodes() {
+            let mut from_g: Vec<NodeId> = g.out_neighbors(v).iter().map(|&(w, _)| w).collect();
+            let mut from_csr = csr.neighbors(v).to_vec();
+            from_g.sort_unstable();
+            from_csr.sort_unstable();
+            assert_eq!(from_g, from_csr, "node {v}");
+        }
+    }
+
+    #[test]
+    fn reverse_flips_edges() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(2, 1);
+        let rev = Csr::reversed_from_digraph(&g);
+        let mut in1 = rev.neighbors(1).to_vec();
+        in1.sort_unstable();
+        assert_eq!(in1, vec![0, 2]);
+        assert_eq!(rev.neighbors(0), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn empty_and_isolated_nodes() {
+        let csr = Csr::from_edges(4, std::iter::empty());
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.edge_count(), 0);
+        for v in 0..4 {
+            assert!(csr.neighbors(v).is_empty());
+        }
+        let none = Csr::from_edges(0, std::iter::empty());
+        assert_eq!(none.node_count(), 0);
+    }
+
+    #[test]
+    fn adjacency_trait_access() {
+        let csr = Csr::from_edges(3, [(0u32, 1u32), (0, 2), (1, 2)].into_iter());
+        assert_eq!(Adjacency::degree(&csr, 0), 2);
+        assert_eq!(Adjacency::neighbor(&csr, 0, 1), 2);
+        let via_iter: Vec<NodeId> = Adjacency::neighbors(&csr, 0).collect();
+        assert_eq!(via_iter, csr.neighbors(0));
+    }
+
+    #[test]
+    fn parallel_edges_kept() {
+        let csr = Csr::from_edges(2, [(0u32, 1u32), (0, 1)].into_iter());
+        assert_eq!(csr.neighbors(0), &[1, 1]);
+    }
+}

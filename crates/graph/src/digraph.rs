@@ -136,6 +136,23 @@ impl DiGraph {
     }
 }
 
+impl crate::adjacency::Adjacency for DiGraph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        DiGraph::node_count(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        self.out[v as usize].len()
+    }
+
+    #[inline]
+    fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
+        self.out[v as usize][i].0
+    }
+}
+
 impl FromIterator<(NodeId, NodeId)> for DiGraph {
     /// Builds a graph sized to the largest mentioned node id.
     fn from_iter<T: IntoIterator<Item = (NodeId, NodeId)>>(iter: T) -> Self {

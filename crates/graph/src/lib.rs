@@ -17,8 +17,23 @@
 //!
 //! All algorithms are iterative (no recursion), so they scale to the
 //! million-node networks of the paper's Figure 8 experiments.
+//!
+//! Two adjacency representations share the algorithms through the
+//! [`Adjacency`] trait:
+//!
+//! * [`DiGraph`] — a growable builder with edge ids and optional reverse
+//!   adjacency;
+//! * [`Csr`] — immutable flat `offsets`/`targets` arrays for hot loops
+//!   (resolution, reachability, Tarjan), avoiding the pointer-chasing of
+//!   per-node `Vec`s.
+//!
+//! Loops that recompute SCCs over shrinking subsets (Algorithm 1 Step 2,
+//! incremental dirty regions) reuse an [`SccScratch`] so each round costs
+//! O(visited), not O(graph).
 
+pub mod adjacency;
 pub mod condense;
+pub mod csr;
 pub mod digraph;
 pub mod flow;
 pub mod reach;
@@ -28,9 +43,11 @@ pub mod topo;
 #[cfg(test)]
 mod proptests;
 
+pub use adjacency::{Adjacency, Neighbors};
 pub use condense::Condensation;
+pub use csr::Csr;
 pub use digraph::{DiGraph, EdgeId, NodeId};
 pub use flow::{vertex_disjoint_pair, DisjointPair};
 pub use reach::{reachable_from, reachable_within};
-pub use scc::{tarjan_scc, tarjan_scc_filtered, SccResult};
+pub use scc::{tarjan_scc, tarjan_scc_filtered, SccResult, SccScratch};
 pub use topo::{is_acyclic, topo_order, TopoError};

@@ -1,26 +1,49 @@
 //! Reachability within node subsets.
 //!
 //! Used by Algorithm 2 Step 2 ("if ∃ path z_j → x_i in S′") and by the
-//! stable-solution checker's lineage condition (Definition 2.4).
+//! stable-solution checker's lineage condition (Definition 2.4). Generic
+//! over [`Adjacency`] so the same traversals run on [`crate::DiGraph`],
+//! [`crate::Csr`], and mutable child lists.
 
-use crate::digraph::{DiGraph, NodeId};
+use crate::adjacency::Adjacency;
+use crate::digraph::NodeId;
 
 /// Nodes reachable from `start` (inclusive) following out-edges, restricted
 /// to nodes satisfying `keep`. Returns a dense boolean mask.
 ///
 /// `start` itself is reported reachable only if `keep(start)` holds.
-pub fn reachable_from(g: &DiGraph, start: NodeId, keep: impl Fn(NodeId) -> bool) -> Vec<bool> {
+pub fn reachable_from<A: Adjacency + ?Sized>(
+    g: &A,
+    start: NodeId,
+    keep: impl Fn(NodeId) -> bool,
+) -> Vec<bool> {
     reachable_from_many(g, std::iter::once(start), keep)
 }
 
 /// Multi-source variant of [`reachable_from`].
-pub fn reachable_from_many(
-    g: &DiGraph,
+pub fn reachable_from_many<A: Adjacency + ?Sized>(
+    g: &A,
     starts: impl IntoIterator<Item = NodeId>,
     keep: impl Fn(NodeId) -> bool,
 ) -> Vec<bool> {
     let mut seen = vec![false; g.node_count()];
     let mut stack: Vec<NodeId> = Vec::new();
+    reachable_into(g, starts, keep, &mut seen, &mut stack);
+    seen
+}
+
+/// Allocation-free core of [`reachable_from_many`]: flood-fills `seen`
+/// (which must be sized to the graph and pre-cleared for the nodes of
+/// interest) using `stack` as scratch. Newly reached nodes are marked
+/// `true`; already-`true` entries act as additional (pre-seeded) sources.
+pub fn reachable_into<A: Adjacency + ?Sized>(
+    g: &A,
+    starts: impl IntoIterator<Item = NodeId>,
+    keep: impl Fn(NodeId) -> bool,
+    seen: &mut [bool],
+    stack: &mut Vec<NodeId>,
+) {
+    stack.clear();
     for s in starts {
         if keep(s) && !seen[s as usize] {
             seen[s as usize] = true;
@@ -28,22 +51,21 @@ pub fn reachable_from_many(
         }
     }
     while let Some(v) = stack.pop() {
-        for &(w, _) in g.out_neighbors(v) {
+        for w in g.neighbors(v) {
             if keep(w) && !seen[w as usize] {
                 seen[w as usize] = true;
                 stack.push(w);
             }
         }
     }
-    seen
 }
 
 /// Whether `target` is reachable from `start` inside the `keep` subgraph.
 ///
 /// Early-exits as soon as `target` is popped, so it is cheaper than
 /// [`reachable_from`] when only one query is needed.
-pub fn reachable_within(
-    g: &DiGraph,
+pub fn reachable_within<A: Adjacency + ?Sized>(
+    g: &A,
     start: NodeId,
     target: NodeId,
     keep: impl Fn(NodeId) -> bool,
@@ -58,7 +80,7 @@ pub fn reachable_within(
     seen[start as usize] = true;
     let mut stack = vec![start];
     while let Some(v) = stack.pop() {
-        for &(w, _) in g.out_neighbors(v) {
+        for w in g.neighbors(v) {
             if w == target {
                 return true;
             }
@@ -74,6 +96,7 @@ pub fn reachable_within(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::digraph::DiGraph;
 
     fn graph(n: usize, edges: &[(NodeId, NodeId)]) -> DiGraph {
         let mut g = DiGraph::new(n);
@@ -125,5 +148,32 @@ mod tests {
         // keep filter would be applied to expansion.
         let g = graph(2, &[(0, 1)]);
         assert!(reachable_within(&g, 0, 1, |_| true));
+    }
+
+    #[test]
+    fn csr_agrees_with_digraph() {
+        let g = graph(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (4, 5)]);
+        let csr = crate::csr::Csr::from_digraph(&g);
+        for s in 0..6 {
+            assert_eq!(
+                reachable_from(&g, s, |_| true),
+                reachable_from(&csr, s, |_| true),
+                "source {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn reachable_into_preseeded_sources() {
+        let g = graph(4, &[(0, 1), (2, 3)]);
+        let mut seen = vec![false, false, true, false];
+        let mut stack = Vec::new();
+        // 2 is pre-seeded `true` but NOT expanded unless passed as a start.
+        reachable_into(&g, [0], |_| true, &mut seen, &mut stack);
+        assert_eq!(seen, vec![true, true, true, false]);
+        reachable_into(&g, [2], |_| true, &mut seen, &mut stack);
+        // 2 was already seen, so it is not re-expanded: callers seed fresh
+        // sources as unseen. This documents the contract.
+        assert_eq!(seen, vec![true, true, true, false]);
     }
 }

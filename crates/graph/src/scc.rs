@@ -3,32 +3,44 @@
 //! Algorithm 1 of the paper repeatedly computes "the SCC graph constructed
 //! from the *open* nodes", so the implementation here supports running over
 //! an arbitrary node subset (`tarjan_scc_filtered`) without materializing the
-//! induced subgraph. The traversal is fully iterative: the nested-SCC worst
-//! case of Figure 14a produces DFS paths as long as the graph, which would
-//! overflow the call stack for the 10^5-node sweeps of Figure 15.
+//! induced subgraph, and over any [`Adjacency`] representation (builder
+//! [`DiGraph`](crate::DiGraph), flat [`Csr`](crate::Csr), or mutable child
+//! lists). The traversal is fully iterative: the nested-SCC worst case of
+//! Figure 14a produces DFS paths as long as the graph, which would overflow
+//! the call stack for the 10^5-node sweeps of Figure 15.
+//!
+//! Hot loops that recompute SCCs many times over shrinking subsets (Step 2
+//! of Algorithm 1, the incremental resolver's dirty regions) reuse an
+//! [`SccScratch`]: all per-node state lives in buffers that are cleaned via
+//! a touched-node list, so a run over `k` candidate nodes costs O(k + edges)
+//! — no O(n) allocation or clearing per round.
 
-use crate::digraph::{DiGraph, NodeId};
+use crate::adjacency::Adjacency;
+use crate::digraph::NodeId;
 
-/// Result of an SCC computation.
+/// Result of a standalone SCC computation.
 ///
 /// Components are numbered `0..count` in **reverse topological order** of the
 /// condensation (Tarjan emits a component only after all components reachable
 /// from it): if there is an edge from component `a` to component `b` (a ≠ b)
-/// then `a > b`.
+/// then `a > b`. Members are stored flat (`order` grouped by `starts`), not
+/// as per-component `Vec`s.
 #[derive(Debug, Clone)]
 pub struct SccResult {
     /// `comp[v]` = component index of node `v`, or `u32::MAX` for nodes that
     /// were filtered out.
     pub comp: Vec<u32>,
-    /// `members[c]` = nodes of component `c`.
-    pub members: Vec<Vec<NodeId>>,
+    /// All assigned nodes, grouped by component.
+    order: Vec<NodeId>,
+    /// `order[starts[c]..starts[c + 1]]` = members of component `c`.
+    starts: Vec<u32>,
 }
 
 impl SccResult {
     /// Number of components.
     #[inline]
     pub fn count(&self) -> usize {
-        self.members.len()
+        self.starts.len().saturating_sub(1)
     }
 
     /// Component of node `v`, if `v` participated in the computation.
@@ -37,94 +49,216 @@ impl SccResult {
         let c = self.comp[v as usize];
         (c != u32::MAX).then_some(c)
     }
+
+    /// Members of component `c`.
+    #[inline]
+    pub fn members(&self, c: u32) -> &[NodeId] {
+        let lo = self.starts[c as usize] as usize;
+        let hi = self.starts[c as usize + 1] as usize;
+        &self.order[lo..hi]
+    }
+
+    /// Iterator over `(component, members)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[NodeId])> {
+        (0..self.count() as u32).map(move |c| (c, self.members(c)))
+    }
 }
 
 const UNVISITED: u32 = u32::MAX;
 
 /// Tarjan over the whole graph.
-pub fn tarjan_scc(g: &DiGraph) -> SccResult {
+pub fn tarjan_scc<A: Adjacency + ?Sized>(g: &A) -> SccResult {
     tarjan_scc_filtered(g, |_| true)
 }
 
 /// Tarjan restricted to the subgraph induced by nodes where `keep(v)` holds.
 ///
 /// Edges with either endpoint outside the kept set are ignored, exactly as
-/// Algorithm 1's "SCC graph constructed from the open nodes".
-pub fn tarjan_scc_filtered(g: &DiGraph, keep: impl Fn(NodeId) -> bool) -> SccResult {
+/// Algorithm 1's "SCC graph constructed from the open nodes". Allocates a
+/// fresh scratch; loops that recompute SCCs per round should hold an
+/// [`SccScratch`] and call [`SccScratch::run`] instead.
+pub fn tarjan_scc_filtered<A: Adjacency + ?Sized>(
+    g: &A,
+    keep: impl Fn(NodeId) -> bool,
+) -> SccResult {
     let n = g.node_count();
-    let mut index = vec![UNVISITED; n]; // discovery index
-    let mut low = vec![0u32; n];
-    let mut on_stack = vec![false; n];
-    let mut comp = vec![u32::MAX; n];
-    let mut stack: Vec<NodeId> = Vec::new(); // Tarjan's component stack
-    let mut members: Vec<Vec<NodeId>> = Vec::new();
-    let mut next_index = 0u32;
+    let mut scratch = SccScratch::new();
+    scratch.run(g, 0..n as NodeId, keep);
+    scratch.to_result(n)
+}
 
-    // Explicit DFS frames: (node, position in its out-adjacency list).
-    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+/// Reusable buffers for repeated SCC runs (Step 2 of Algorithm 1, dirty
+/// regions of the incremental resolver).
+///
+/// After [`run`](SccScratch::run), results are read through
+/// [`count`](SccScratch::count), [`members`](SccScratch::members), and
+/// [`comp_of`](SccScratch::comp_of) until the next run. Only nodes visited
+/// by the previous run are cleaned at the start of the next, so a run's cost
+/// is proportional to the visited subgraph, not the whole graph.
+#[derive(Debug, Clone, Default)]
+pub struct SccScratch {
+    index: Vec<u32>,
+    low: Vec<u32>,
+    on_stack: Vec<bool>,
+    comp: Vec<u32>,
+    stack: Vec<NodeId>,
+    frames: Vec<(NodeId, u32)>,
+    order: Vec<NodeId>,
+    starts: Vec<u32>,
+    touched: Vec<NodeId>,
+}
 
-    for start in 0..n as NodeId {
-        if !keep(start) || index[start as usize] != UNVISITED {
-            continue;
+impl SccScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        SccScratch::default()
+    }
+
+    /// Grows per-node buffers to cover `n` nodes.
+    fn ensure(&mut self, n: usize) {
+        if self.index.len() < n {
+            self.index.resize(n, UNVISITED);
+            self.low.resize(n, 0);
+            self.on_stack.resize(n, false);
+            self.comp.resize(n, u32::MAX);
         }
-        frames.push((start, 0));
-        index[start as usize] = next_index;
-        low[start as usize] = next_index;
-        next_index += 1;
-        stack.push(start);
-        on_stack[start as usize] = true;
+    }
 
-        while let Some(&mut (v, ref mut i)) = frames.last_mut() {
-            let vs = v as usize;
-            let out = g.out_neighbors(v);
-            if *i < out.len() {
-                let (w, _) = out[*i];
-                *i += 1;
-                let ws = w as usize;
-                if !keep(w) {
-                    continue;
-                }
-                if index[ws] == UNVISITED {
-                    index[ws] = next_index;
-                    low[ws] = next_index;
-                    next_index += 1;
-                    stack.push(w);
-                    on_stack[ws] = true;
-                    frames.push((w, 0));
-                } else if on_stack[ws] {
-                    low[vs] = low[vs].min(index[ws]);
-                }
-            } else {
-                // v is finished: pop the frame, maybe emit a component.
-                frames.pop();
-                if let Some(&(parent, _)) = frames.last() {
-                    let ps = parent as usize;
-                    low[ps] = low[ps].min(low[vs]);
-                }
-                if low[vs] == index[vs] {
-                    let c = members.len() as u32;
-                    let mut group = Vec::new();
-                    loop {
-                        let w = stack.pop().expect("tarjan stack underflow");
-                        on_stack[w as usize] = false;
-                        comp[w as usize] = c;
-                        group.push(w);
-                        if w == v {
-                            break;
-                        }
+    /// Cleans state left by the previous run (O(previous run size)).
+    fn reset(&mut self) {
+        for &v in &self.touched {
+            self.index[v as usize] = UNVISITED;
+            self.on_stack[v as usize] = false;
+            self.comp[v as usize] = u32::MAX;
+        }
+        self.touched.clear();
+        self.order.clear();
+        self.starts.clear();
+        self.stack.clear();
+        self.frames.clear();
+    }
+
+    /// Tarjan over the subgraph induced by `keep`, started from each node of
+    /// `candidates` (deduplication is automatic; nodes failing `keep` are
+    /// skipped). Components are numbered in reverse topological order.
+    pub fn run<A: Adjacency + ?Sized>(
+        &mut self,
+        g: &A,
+        candidates: impl IntoIterator<Item = NodeId>,
+        keep: impl Fn(NodeId) -> bool,
+    ) {
+        self.ensure(g.node_count());
+        self.reset();
+        self.starts.push(0);
+        let mut next_index = 0u32;
+
+        for start in candidates {
+            if !keep(start) || self.index[start as usize] != UNVISITED {
+                continue;
+            }
+            self.frames.push((start, 0));
+            self.index[start as usize] = next_index;
+            self.low[start as usize] = next_index;
+            next_index += 1;
+            self.stack.push(start);
+            self.on_stack[start as usize] = true;
+            self.touched.push(start);
+
+            while let Some(&mut (v, ref mut i)) = self.frames.last_mut() {
+                let vs = v as usize;
+                let out_len = g.degree(v);
+                if (*i as usize) < out_len {
+                    let w = g.neighbor(v, *i as usize);
+                    *i += 1;
+                    let ws = w as usize;
+                    if !keep(w) {
+                        continue;
                     }
-                    members.push(group);
+                    if self.index[ws] == UNVISITED {
+                        self.index[ws] = next_index;
+                        self.low[ws] = next_index;
+                        next_index += 1;
+                        self.stack.push(w);
+                        self.on_stack[ws] = true;
+                        self.touched.push(w);
+                        self.frames.push((w, 0));
+                    } else if self.on_stack[ws] {
+                        self.low[vs] = self.low[vs].min(self.index[ws]);
+                    }
+                } else {
+                    // v is finished: pop the frame, maybe emit a component.
+                    self.frames.pop();
+                    if let Some(&(parent, _)) = self.frames.last() {
+                        let ps = parent as usize;
+                        self.low[ps] = self.low[ps].min(self.low[vs]);
+                    }
+                    if self.low[vs] == self.index[vs] {
+                        let c = (self.starts.len() - 1) as u32;
+                        loop {
+                            let w = self.stack.pop().expect("tarjan stack underflow");
+                            self.on_stack[w as usize] = false;
+                            self.comp[w as usize] = c;
+                            self.order.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        self.starts.push(self.order.len() as u32);
+                    }
                 }
             }
         }
     }
 
-    SccResult { comp, members }
+    /// Number of components found by the last run.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.starts.len().saturating_sub(1)
+    }
+
+    /// Members of component `c` from the last run.
+    #[inline]
+    pub fn members(&self, c: u32) -> &[NodeId] {
+        let lo = self.starts[c as usize] as usize;
+        let hi = self.starts[c as usize + 1] as usize;
+        &self.order[lo..hi]
+    }
+
+    /// Component of `v` in the last run, if `v` was visited.
+    #[inline]
+    pub fn comp_of(&self, v: NodeId) -> Option<u32> {
+        if self.index.get(v as usize).copied().unwrap_or(UNVISITED) == UNVISITED {
+            None
+        } else {
+            Some(self.comp[v as usize])
+        }
+    }
+
+    /// Nodes visited by the last run, grouped by component.
+    #[inline]
+    pub fn visited(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Materializes the last run as a standalone [`SccResult`] covering a
+    /// graph of `n` nodes.
+    pub fn to_result(&self, n: usize) -> SccResult {
+        let mut comp = vec![u32::MAX; n];
+        for &v in &self.order {
+            comp[v as usize] = self.comp[v as usize];
+        }
+        SccResult {
+            comp,
+            order: self.order.clone(),
+            starts: self.starts.clone(),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::digraph::DiGraph;
 
     fn graph(n: usize, edges: &[(NodeId, NodeId)]) -> DiGraph {
         let mut g = DiGraph::new(n);
@@ -139,7 +273,7 @@ mod tests {
         let g = graph(3, &[(0, 1), (1, 2), (2, 0)]);
         let scc = tarjan_scc(&g);
         assert_eq!(scc.count(), 1);
-        assert_eq!(scc.members[0].len(), 3);
+        assert_eq!(scc.members(0).len(), 3);
     }
 
     #[test]
@@ -195,18 +329,64 @@ mod tests {
         g.add_edge(n as NodeId - 1, 0);
         let scc = tarjan_scc(&g);
         assert_eq!(scc.count(), 1);
-        assert_eq!(scc.members[0].len(), n);
+        assert_eq!(scc.members(0).len(), n);
     }
 
     #[test]
     fn every_node_assigned_exactly_once() {
         let g = graph(6, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (5, 0)]);
         let scc = tarjan_scc(&g);
-        let total: usize = scc.members.iter().map(Vec::len).sum();
+        let total: usize = scc.iter().map(|(_, m)| m.len()).sum();
         assert_eq!(total, 6);
         for v in 0..6 {
             let c = scc.component_of(v).unwrap();
-            assert!(scc.members[c as usize].contains(&v));
+            assert!(scc.members(c).contains(&v));
         }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let g = graph(
+            7,
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 2),
+                (5, 6),
+                (6, 5),
+            ],
+        );
+        let csr = crate::csr::Csr::from_digraph(&g);
+        let mut scratch = SccScratch::new();
+        // First run over everything.
+        scratch.run(&csr, 0..7, |_| true);
+        assert_eq!(scratch.count(), tarjan_scc(&g).count());
+        // Second run over a sub-region; stale state must not leak.
+        scratch.run(&csr, [2, 3, 4], |v| (2..=4).contains(&v));
+        assert_eq!(scratch.count(), 1);
+        assert_eq!(scratch.members(0).len(), 3);
+        assert_eq!(scratch.comp_of(0), None, "node 0 not in this run");
+        assert_eq!(scratch.comp_of(3), Some(0));
+        // Third run over a disjoint region.
+        scratch.run(&csr, [5, 6], |v| v >= 5);
+        assert_eq!(scratch.count(), 1);
+        assert_eq!(scratch.comp_of(2), None);
+        let result = scratch.to_result(7);
+        assert_eq!(result.count(), 1);
+        assert_eq!(result.component_of(5), result.component_of(6));
+        assert_eq!(result.component_of(0), None);
+    }
+
+    #[test]
+    fn candidate_list_restricts_starts_not_reachability() {
+        // Starting only from 0 still discovers the whole chain 0 -> 1 -> 2.
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        let mut scratch = SccScratch::new();
+        scratch.run(&g, [0], |_| true);
+        assert_eq!(scratch.count(), 3);
+        assert!(scratch.comp_of(2).is_some());
     }
 }

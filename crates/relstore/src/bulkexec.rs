@@ -146,8 +146,7 @@ pub fn resolve_objects_sequential(
     seeds: &[SeedValues],
     num_objects: usize,
 ) -> PossTable {
-    let mut rows: Vec<Vec<Vec<Value>>> =
-        vec![vec![Vec::new(); num_objects]; btn.node_count()];
+    let mut rows: Vec<Vec<Vec<Value>>> = vec![vec![Vec::new(); num_objects]; btn.node_count()];
     let mut work = btn.clone();
     // `rows[node][k]` is written per node while `k` drives the reseeding.
     #[allow(clippy::needless_range_loop)]
@@ -161,7 +160,7 @@ pub fn resolve_objects_sequential(
     PossTable { rows, num_objects }
 }
 
-/// The naive baseline fanned out over `threads` crossbeam scoped threads,
+/// The naive baseline fanned out over `threads` scoped threads,
 /// each owning a clone of the BTN and a contiguous object range.
 pub fn resolve_objects_parallel(
     btn: &Btn,
@@ -171,10 +170,9 @@ pub fn resolve_objects_parallel(
 ) -> PossTable {
     assert!(threads > 0, "need at least one thread");
     let chunk = num_objects.div_ceil(threads);
-    let mut rows: Vec<Vec<Vec<Value>>> =
-        vec![vec![Vec::new(); num_objects]; btn.node_count()];
+    let mut rows: Vec<Vec<Vec<Value>>> = vec![vec![Vec::new(); num_objects]; btn.node_count()];
 
-    let mut partials: Vec<(usize, Vec<Vec<Vec<Value>>>)> = crossbeam::thread::scope(|scope| {
+    let mut partials: Vec<(usize, Vec<Vec<Vec<Value>>>)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let start = t * chunk;
@@ -182,14 +180,13 @@ pub fn resolve_objects_parallel(
             if start >= end {
                 continue;
             }
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut work = btn.clone();
                 let mut part: Vec<Vec<Vec<Value>>> =
                     vec![vec![Vec::new(); end - start]; btn.node_count()];
                 for k in start..end {
                     seed_object(&mut work, btn, seeds, k);
-                    let res =
-                        trustmap_core::resolution::resolve(&work).expect("positive beliefs");
+                    let res = trustmap_core::resolution::resolve(&work).expect("positive beliefs");
                     for node in btn.nodes() {
                         part[node as usize][k - start] = res.poss(node).to_vec();
                     }
@@ -201,8 +198,7 @@ pub fn resolve_objects_parallel(
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
-    })
-    .expect("crossbeam scope");
+    });
 
     for (start, part) in partials.drain(..) {
         for (node, node_rows) in part.into_iter().enumerate() {
@@ -252,7 +248,9 @@ mod tests {
         let seeds = vec![
             SeedValues {
                 user: x3,
-                values: (0..num_objects).map(|k| if k % 2 == 0 { v0 } else { v1 }).collect(),
+                values: (0..num_objects)
+                    .map(|k| if k % 2 == 0 { v0 } else { v1 })
+                    .collect(),
             },
             SeedValues {
                 user: x4,

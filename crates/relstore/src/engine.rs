@@ -146,10 +146,7 @@ impl Database {
             }
             Statement::Query(select) => {
                 let rows = self.run_select(select)?;
-                Ok(QueryResult {
-                    affected: 0,
-                    rows,
-                })
+                Ok(QueryResult { affected: 0, rows })
             }
             Statement::Delete {
                 table,
@@ -264,7 +261,11 @@ impl Database {
             }
             let mut projected = Vec::with_capacity(select.items.len());
             for item in &select.items {
-                projected.push(item.expr.eval(row, schema, alias).map_err(EngineError::Eval)?);
+                projected.push(
+                    item.expr
+                        .eval(row, schema, alias)
+                        .map_err(EngineError::Eval)?,
+                );
             }
             if select.distinct && !distinct_seen.insert(projected.clone()) {
                 continue;
@@ -302,7 +303,10 @@ impl Database {
                 }
                 std::cmp::Ordering::Equal
             });
-            out = order.into_iter().map(|i| std::mem::take(&mut out[i])).collect();
+            out = order
+                .into_iter()
+                .map(|i| std::mem::take(&mut out[i]))
+                .collect();
         }
         if let Some(l) = select.limit {
             out.truncate(l);
@@ -340,9 +344,7 @@ mod tests {
     #[test]
     fn select_with_index_path() {
         let mut db = poss_db();
-        let r = db
-            .execute("SELECT k, v FROM poss WHERE x = 'z1'")
-            .unwrap();
+        let r = db.execute("SELECT k, v FROM poss WHERE x = 'z1'").unwrap();
         assert_eq!(r.rows.len(), 2);
         let r = db
             .execute("SELECT k FROM poss WHERE x = 'z1' OR x = 'z2'")
@@ -354,14 +356,10 @@ mod tests {
     fn insert_select_copies_rows() {
         let mut db = poss_db();
         let r = db
-            .execute(
-                "insert into poss select 'alice' AS x, t.k, t.v from poss t where t.x = 'z1'",
-            )
+            .execute("insert into poss select 'alice' AS x, t.k, t.v from poss t where t.x = 'z1'")
             .unwrap();
         assert_eq!(r.affected, 2);
-        let r = db
-            .execute("SELECT v FROM poss WHERE x = 'alice'")
-            .unwrap();
+        let r = db.execute("SELECT v FROM poss WHERE x = 'alice'").unwrap();
         assert_eq!(r.rows.len(), 2);
     }
 
@@ -436,7 +434,11 @@ mod tests {
             .insert_rows(
                 "poss",
                 (0..100).map(|k| {
-                    vec![SqlValue::text("bulk"), SqlValue::Int(k), SqlValue::text("v")]
+                    vec![
+                        SqlValue::text("bulk"),
+                        SqlValue::Int(k),
+                        SqlValue::text("v"),
+                    ]
                 }),
             )
             .unwrap();
@@ -453,10 +455,8 @@ mod orderby_tests {
     fn db() -> Database {
         let mut db = Database::new();
         db.execute("CREATE TABLE t (x TEXT, k INTEGER)").unwrap();
-        db.execute(
-            "INSERT INTO t VALUES ('b', 2), ('a', 3), ('c', 1), ('a', 1)",
-        )
-        .unwrap();
+        db.execute("INSERT INTO t VALUES ('b', 2), ('a', 3), ('c', 1), ('a', 1)")
+            .unwrap();
         db
     }
 
@@ -518,9 +518,7 @@ mod orderby_tests {
         let mut db = db();
         let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
         assert_eq!(r.rows, vec![vec![SqlValue::Int(4)]]);
-        let r = db
-            .execute("SELECT COUNT(*) FROM t WHERE x = 'a'")
-            .unwrap();
+        let r = db.execute("SELECT COUNT(*) FROM t WHERE x = 'a'").unwrap();
         assert_eq!(r.rows, vec![vec![SqlValue::Int(2)]]);
     }
 

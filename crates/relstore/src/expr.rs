@@ -141,11 +141,7 @@ impl Expr {
         schema: &Schema,
         alias: Option<&str>,
     ) -> Option<(usize, Vec<SqlValue>)> {
-        fn leaf(
-            e: &Expr,
-            schema: &Schema,
-            alias: Option<&str>,
-        ) -> Option<(usize, SqlValue)> {
+        fn leaf(e: &Expr, schema: &Schema, alias: Option<&str>) -> Option<(usize, SqlValue)> {
             if let Expr::Cmp {
                 op: CmpOp::Eq,
                 left,

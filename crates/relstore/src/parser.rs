@@ -65,7 +65,9 @@ fn tokenize(sql: &str) -> Result<Vec<Token>, SqlParseError> {
                 }
             }
             out.push(Token::Text(s));
-        } else if c.is_ascii_digit() || (c == b'-' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) {
+        } else if c.is_ascii_digit()
+            || (c == b'-' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit))
+        {
             let start = i;
             i += 1;
             while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -232,7 +234,10 @@ impl P {
             let select = self.select()?;
             return Ok(Statement::InsertSelect { table, select });
         }
-        if self.peek_ident().is_some_and(|s| s.eq_ignore_ascii_case("select")) {
+        if self
+            .peek_ident()
+            .is_some_and(|s| s.eq_ignore_ascii_case("select"))
+        {
             return Ok(Statement::Query(self.select()?));
         }
         if self.eat_keyword("delete") {
@@ -457,9 +462,7 @@ impl P {
     /// A column reference or literal.
     fn expr_atom(&mut self) -> Result<Expr, SqlParseError> {
         match self.tokens.get(self.pos).cloned() {
-            Some(Token::Ident(first))
-                if !first.eq_ignore_ascii_case("null") =>
-            {
+            Some(Token::Ident(first)) if !first.eq_ignore_ascii_case("null") => {
                 self.pos += 1;
                 if self.eat_symbol(".") {
                     let name = self.ident()?;
@@ -543,8 +546,7 @@ mod tests {
 
     #[test]
     fn parses_insert_values_multi_row() {
-        let s =
-            parse_statement("INSERT INTO t VALUES ('a', 1, NULL), ('b''s', -2, 'x')").unwrap();
+        let s = parse_statement("INSERT INTO t VALUES ('a', 1, NULL), ('b''s', -2, 'x')").unwrap();
         match s {
             Statement::InsertValues { rows, .. } => {
                 assert_eq!(rows.len(), 2);
@@ -560,7 +562,10 @@ mod tests {
     fn parses_delete_and_query() {
         assert!(matches!(
             parse_statement("DELETE FROM poss").unwrap(),
-            Statement::Delete { where_clause: None, .. }
+            Statement::Delete {
+                where_clause: None,
+                ..
+            }
         ));
         assert!(matches!(
             parse_statement("SELECT x, v FROM poss WHERE k = 3 AND x <> 'a'").unwrap(),

@@ -23,9 +23,7 @@ impl SqlValue {
     /// SQL truthiness of a comparison result is handled in the expression
     /// layer; `NULL` never equals anything, including itself.
     pub fn sql_eq(&self, other: &SqlValue) -> bool {
-        !matches!(self, SqlValue::Null)
-            && !matches!(other, SqlValue::Null)
-            && self == other
+        !matches!(self, SqlValue::Null) && !matches!(other, SqlValue::Null) && self == other
     }
 }
 
@@ -142,7 +140,8 @@ impl Relation {
             keep[i] = false;
         }
         let mut iter = keep.iter();
-        self.rows.retain(|_| *iter.next().expect("mask covers rows"));
+        self.rows
+            .retain(|_| *iter.next().expect("mask covers rows"));
         let columns: Vec<usize> = self.indexes.keys().copied().collect();
         for col in columns {
             self.create_index(col);

@@ -18,7 +18,10 @@
 //! * [`random_cnf`] — random k-CNF formulas for the hardness experiments
 //!   (Theorem 3.4);
 //! * [`random_dag`] — random acyclic constraint networks for paradigm
-//!   comparisons (Proposition 3.6).
+//!   comparisons (Proposition 3.6);
+//! * [`edit_stream`] — seeded believe/revoke/trust edit sequences over an
+//!   existing workload, the input of the incremental-resolution benchmark
+//!   (`edits`) and the incremental-vs-full equivalence oracle.
 //!
 //! Every generator takes an explicit seed and is fully deterministic.
 
@@ -27,7 +30,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use trustmap_core::sat::Cnf;
 use trustmap_core::signed::NegSet;
-use trustmap_core::{TrustNetwork, User, Value};
+use trustmap_core::{Edit, TrustNetwork, User, Value};
 
 /// A generated workload: the network plus the handles experiments need.
 #[derive(Debug, Clone)]
@@ -290,6 +293,78 @@ pub fn random_dag(
     }
 }
 
+/// Tuning knobs for [`edit_stream`].
+#[derive(Debug, Clone, Copy)]
+pub struct EditMix {
+    /// Probability an edit declares a new trust mapping (structural).
+    pub trust_fraction: f64,
+    /// Probability a non-structural edit is a revocation.
+    pub revoke_fraction: f64,
+}
+
+impl Default for EditMix {
+    /// The community-database default: edits are dominated by belief
+    /// updates, with occasional revocations and rare new mappings.
+    fn default() -> Self {
+        EditMix {
+            trust_fraction: 0.05,
+            revoke_fraction: 0.2,
+        }
+    }
+}
+
+/// A seeded stream of `steps` random edits over the users and values of an
+/// existing workload: mostly believe-flips, some revocations, occasional
+/// new trust mappings (per `mix`). Edits reference only users and values
+/// that already exist, so they can be applied to `w.net` (or a
+/// [`trustmap_core::Session`] over it) in order without further setup.
+pub fn edit_stream(w: &Workload, steps: usize, mix: EditMix, seed: u64) -> Vec<Edit> {
+    let users = w.net.user_count();
+    let values = w.net.domain().len();
+    assert!(users >= 2 && values >= 1, "workload too small for edits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..steps)
+        .map(|_| {
+            if rng.gen_bool(mix.trust_fraction) {
+                loop {
+                    let child = User(rng.gen_range(0..users) as u32);
+                    let parent = User(rng.gen_range(0..users) as u32);
+                    if child != parent {
+                        break Edit::Trust {
+                            child,
+                            parent,
+                            priority: rng.gen_range(1..=100),
+                        };
+                    }
+                }
+            } else {
+                let user = User(rng.gen_range(0..users) as u32);
+                if rng.gen_bool(mix.revoke_fraction) {
+                    Edit::Revoke(user)
+                } else {
+                    Edit::Believe(user, Value(rng.gen_range(0..values) as u32))
+                }
+            }
+        })
+        .collect()
+}
+
+/// Applies one generated edit to a plain network (the "simply re-run"
+/// baseline path; sessions apply the same edit incrementally).
+pub fn apply_edit(net: &mut TrustNetwork, edit: Edit) {
+    match edit {
+        Edit::Believe(u, v) => net.believe(u, v).expect("stream users exist"),
+        Edit::Revoke(u) => net.revoke(u).expect("stream users exist"),
+        Edit::Trust {
+            child,
+            parent,
+            priority,
+        } => net
+            .trust(child, parent, priority)
+            .expect("stream edges are valid"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +452,29 @@ mod tests {
             assert_eq!(vars.len(), 3);
         }
         assert_eq!(random_cnf(10, 30, 3, 99).clauses, cnf.clauses);
+    }
+
+    #[test]
+    fn edit_streams_are_deterministic_and_applicable() {
+        let w = power_law(50, 2, 3, 0.3, 11);
+        let s1 = edit_stream(&w, 40, EditMix::default(), 5);
+        let s2 = edit_stream(&w, 40, EditMix::default(), 5);
+        assert_eq!(s1, s2, "same seed, same stream");
+        let s3 = edit_stream(&w, 40, EditMix::default(), 6);
+        assert_ne!(s1, s3, "different seed, different stream");
+
+        // The stream applies cleanly and the network stays resolvable.
+        let mut net = w.net.clone();
+        for &e in &s1 {
+            apply_edit(&mut net, e);
+        }
+        resolve_network(&net).expect("edited network resolves");
+        // The default mix is belief-dominated.
+        let trusts = s1
+            .iter()
+            .filter(|e| matches!(e, Edit::Trust { .. }))
+            .count();
+        assert!(trusts <= s1.len() / 3, "trust edits should be rare");
     }
 
     #[test]

@@ -88,7 +88,13 @@ fn main() -> trustmap::Result<()> {
         let label = table
             .cert_positive(curator_node, k)
             .map(|v| net.domain().name(v).to_owned())
-            .unwrap_or_else(|| if rep.bottom { "⊥ (validation)".into() } else { "?".into() });
+            .unwrap_or_else(|| {
+                if rep.bottom {
+                    "⊥ (validation)".into()
+                } else {
+                    "?".into()
+                }
+            });
         println!("  artifact {k}: curator label = {label}");
     }
 

@@ -28,7 +28,10 @@ fn main() -> trustmap::Result<()> {
     }
 
     println!("\nUnique stable solution per paradigm (derived users):");
-    println!("{:<5} {:<18} {:<24} {:<18}", "user", "Agnostic", "Eclectic", "Skeptic");
+    println!(
+        "{:<5} {:<18} {:<24} {:<18}",
+        "user", "Agnostic", "Eclectic", "Skeptic"
+    );
     let solutions: Vec<Vec<BeliefSet>> = Paradigm::ALL
         .iter()
         .map(|&p| evaluate_acyclic(&btn, p).expect("figure 6 is an acyclic, tie-free network"))
@@ -57,7 +60,10 @@ fn main() -> trustmap::Result<()> {
         println!(
             "  {:<3} pos={:?} bottom={:<5} cert={} possible-positives={}",
             net.user_name(u),
-            rep.pos.iter().map(|&v| net.domain().name(v)).collect::<Vec<_>>(),
+            rep.pos
+                .iter()
+                .map(|&v| net.domain().name(v))
+                .collect::<Vec<_>>(),
             rep.bottom,
             cert.display(net.domain()),
             poss.pos.len(),

@@ -24,7 +24,10 @@ fn main() -> trustmap::Result<()> {
     // Figure 1a, one object per glyph. Each object is resolved separately;
     // we loop over the three glyphs with their asserted origins.
     let glyphs: [(&str, Vec<(&str, User)>); 3] = [
-        ("glyph-1", vec![("ship hull", alice), ("cow", bob), ("jar", charlie)]),
+        (
+            "glyph-1",
+            vec![("ship hull", alice), ("cow", bob), ("jar", charlie)],
+        ),
         ("glyph-2", vec![("fish", bob), ("knot", charlie)]),
         ("glyph-3", vec![("arrow", bob), ("arrow", charlie)]),
     ];

@@ -49,7 +49,11 @@ fn main() -> trustmap::Result<()> {
         );
         println!(
             "  DPLL: {:<13} f+ possible at Z: {}",
-            if dpll.is_some() { "satisfiable" } else { "unsatisfiable" },
+            if dpll.is_some() {
+                "satisfiable"
+            } else {
+                "unsatisfiable"
+            },
             f_possible
         );
         assert_eq!(dpll.is_some(), f_possible, "Theorem 3.4 equivalence");

@@ -77,7 +77,10 @@ fn cmd_resolve(net: &TrustNetwork) -> std::result::Result<(), String> {
 fn cmd_skeptic(net: &TrustNetwork) -> std::result::Result<(), String> {
     let btn = binarize(net);
     let sk = resolve_skeptic(&btn).map_err(|e| e.to_string())?;
-    println!("{:<16} {:<24} possible positives", "user", "certain beliefs");
+    println!(
+        "{:<16} {:<24} possible positives",
+        "user", "certain beliefs"
+    );
     for u in net.users() {
         let node = btn.node_of(u);
         let cert = sk.cert(node);
@@ -109,11 +112,7 @@ fn cmd_paradigm(net: &TrustNetwork, which: Option<&str>) -> std::result::Result<
     println!("unique stable solution under {paradigm}:");
     for u in net.users() {
         let set = &sol[btn.node_of(u) as usize];
-        println!(
-            "{:<16} {}",
-            net.user_name(u),
-            set.display(net.domain())
-        );
+        println!("{:<16} {}", net.user_name(u), set.display(net.domain()));
     }
     Ok(())
 }

@@ -113,7 +113,10 @@ pub fn btn_to_lp(btn: &Btn) -> LpTranslation {
     for x in btn.nodes() {
         // Case (e): an explicit belief is a single extensional fact.
         if let Some(v) = btn.belief(x).positive() {
-            program.push(Rule::fact(poss(x, Term::Const(LpTranslation::value_const(v)))));
+            program.push(Rule::fact(poss(
+                x,
+                Term::Const(LpTranslation::value_const(v)),
+            )));
             continue;
         }
         match *btn.parents(x) {
@@ -167,9 +170,7 @@ pub fn bulk_to_lp(btn: &Btn, seeds: &[SeedValues], num_objects: usize) -> LpTran
                 let (user, _) = seeds
                     .iter()
                     .enumerate()
-                    .find_map(|(i, s)| {
-                        (btn.belief_root(s.user) == Some(x)).then_some((i, s.user))
-                    })
+                    .find_map(|(i, s)| (btn.belief_root(s.user) == Some(x)).then_some((i, s.user)))
                     .expect("every believing root has a seed");
                 let v = seeds[user].values[k];
                 program.push(Rule::fact(Atom::new(
@@ -192,12 +193,7 @@ pub fn bulk_to_lp(btn: &Btn, seeds: &[SeedValues], num_objects: usize) -> LpTran
 
 /// Emits the derivation rules of one belief-free BTN node under a custom
 /// node-naming scheme.
-fn emit_node_rules(
-    program: &mut Program,
-    btn: &Btn,
-    x: NodeId,
-    name: &dyn Fn(NodeId) -> String,
-) {
+fn emit_node_rules(program: &mut Program, btn: &Btn, x: NodeId, name: &dyn Fn(NodeId) -> String) {
     let possn = |z: NodeId, value: Term| Atom::new("poss", vec![Term::Const(name(z)), value]);
     let confn = |z: NodeId, value: Term| {
         Atom::new(
@@ -400,8 +396,14 @@ mod tests {
         let num_objects = 4;
         // Objects 1 and 3 conflict.
         let seeds = vec![
-            SeedValues { user: x3, values: vec![v0, v0, v0, v1] },
-            SeedValues { user: x4, values: vec![v0, v1, v0, v0] },
+            SeedValues {
+                user: x3,
+                values: vec![v0, v0, v0, v1],
+            },
+            SeedValues {
+                user: x4,
+                values: vec![v0, v1, v0, v0],
+            },
         ];
         let table = execute_native(&plan, &seeds, num_objects);
 
@@ -414,10 +416,7 @@ mod tests {
         for k in 0..num_objects {
             for node in btn.nodes() {
                 for &v in [v0, v1].iter() {
-                    let atom = format!(
-                        "poss(n{node}k{k},{})",
-                        LpTranslation::value_const(v)
-                    );
+                    let atom = format!("poss(n{node}k{k},{})", LpTranslation::value_const(v));
                     assert_eq!(
                         brave.contains(&atom),
                         table.poss(node, k).contains(&v),

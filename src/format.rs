@@ -49,22 +49,31 @@ pub fn parse_network(text: &str) -> Result<TrustNetwork, FormatError> {
         match verb {
             "trust" => {
                 let (child, parent, prio) = (
-                    parts.next().ok_or_else(|| err("trust needs: child parent priority".into()))?,
-                    parts.next().ok_or_else(|| err("trust needs: child parent priority".into()))?,
-                    parts.next().ok_or_else(|| err("trust needs: child parent priority".into()))?,
+                    parts
+                        .next()
+                        .ok_or_else(|| err("trust needs: child parent priority".into()))?,
+                    parts
+                        .next()
+                        .ok_or_else(|| err("trust needs: child parent priority".into()))?,
+                    parts
+                        .next()
+                        .ok_or_else(|| err("trust needs: child parent priority".into()))?,
                 );
                 let priority: i64 = prio
                     .parse()
                     .map_err(|_| err(format!("bad priority `{prio}`")))?;
                 let c = net.user(child);
                 let p = net.user(parent);
-                net.trust(c, p, priority)
-                    .map_err(|e| err(e.to_string()))?;
+                net.trust(c, p, priority).map_err(|e| err(e.to_string()))?;
             }
             "believe" => {
                 let (user, value) = (
-                    parts.next().ok_or_else(|| err("believe needs: user value".into()))?,
-                    parts.next().ok_or_else(|| err("believe needs: user value".into()))?,
+                    parts
+                        .next()
+                        .ok_or_else(|| err("believe needs: user value".into()))?,
+                    parts
+                        .next()
+                        .ok_or_else(|| err("believe needs: user value".into()))?,
                 );
                 let u = net.user(user);
                 let v = net.value(value);
@@ -72,8 +81,12 @@ pub fn parse_network(text: &str) -> Result<TrustNetwork, FormatError> {
             }
             "reject" => {
                 let (user, values) = (
-                    parts.next().ok_or_else(|| err("reject needs: user v1,v2,…".into()))?,
-                    parts.next().ok_or_else(|| err("reject needs: user v1,v2,…".into()))?,
+                    parts
+                        .next()
+                        .ok_or_else(|| err("reject needs: user v1,v2,…".into()))?,
+                    parts
+                        .next()
+                        .ok_or_else(|| err("reject needs: user v1,v2,…".into()))?,
                 );
                 let u = net.user(user);
                 let vs: Vec<_> = values
@@ -84,7 +97,8 @@ pub fn parse_network(text: &str) -> Result<TrustNetwork, FormatError> {
                 if vs.is_empty() {
                     return Err(err("reject needs at least one value".into()));
                 }
-                net.reject(u, NegSet::of(vs)).map_err(|e| err(e.to_string()))?;
+                net.reject(u, NegSet::of(vs))
+                    .map_err(|e| err(e.to_string()))?;
             }
             "value" => {
                 let name = parts
@@ -179,10 +193,7 @@ mod tests {
         assert_eq!(net.mapping_count(), 3);
         let alice = net.find_user("Alice").unwrap();
         let r = resolve_network(&net).unwrap();
-        assert_eq!(
-            r.cert(alice).map(|v| net.domain().name(v)),
-            Some("fish")
-        );
+        assert_eq!(r.cert(alice).map(|v| net.domain().name(v)), Some("fish"));
     }
 
     #[test]

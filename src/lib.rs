@@ -54,13 +54,13 @@ pub mod bridge;
 pub mod format;
 
 pub use trustmap_core::{
-    acyclic, binary, bulk, bulk_skeptic, error, gates, lineage, network, pairs, paradigm, resolution, sat,
-    session, signed, skeptic, stable, stable_signed, user, value,
+    acyclic, binary, bulk, bulk_skeptic, error, gates, incremental, lineage, network, pairs,
+    paradigm, resolution, sat, session, signed, skeptic, stable, stable_signed, user, value,
 };
 pub use trustmap_core::{
-    binarize, resolve, resolve_network, resolve_with, BeliefChange, BeliefSet, Btn, Error,
-    ExplicitBelief, Mapping, NegSet, Options, Paradigm, Parents, Resolution, Result, SccMode,
-    Session, TrustNetwork, User, Value,
+    binarize, resolve, resolve_network, resolve_with, BeliefChange, BeliefSet, Btn, DeltaStats,
+    Edit, Error, ExplicitBelief, IncrementalResolver, Mapping, NegSet, Options, Paradigm, Parents,
+    Resolution, Result, SccMode, Session, TrustNetwork, User, Value,
 };
 
 pub use trustmap_datalog as datalog;
@@ -79,7 +79,7 @@ pub mod prelude {
     pub use trustmap_core::resolution::{resolve, resolve_network, resolve_with};
     pub use trustmap_core::skeptic::resolve_skeptic;
     pub use trustmap_core::{
-        binarize, BeliefSet, Btn, Error, ExplicitBelief, NegSet, Options, Paradigm, Result,
-        SccMode, TrustNetwork, User, Value,
+        binarize, BeliefSet, Btn, Edit, Error, ExplicitBelief, NegSet, Options, Paradigm, Result,
+        SccMode, Session, TrustNetwork, User, Value,
     };
 }

@@ -58,7 +58,8 @@ fn build(raw: &RawNet) -> Option<(trustmap::Btn, Vec<User>)> {
         if sign[u].is_some() {
             continue; // keep sign-uniformity: skip double assignments
         }
-        net.reject(users[u], NegSet::of([values[v as usize]])).ok()?;
+        net.reject(users[u], NegSet::of([values[v as usize]]))
+            .ok()?;
         sign[u] = Some(false);
     }
     let believers = raw

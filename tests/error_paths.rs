@@ -57,7 +57,9 @@ fn skeptic_and_acyclic_reject_ties() {
     let btn = binarize(&net);
     for err in [
         resolve_skeptic(&btn).map(|_| ()).unwrap_err(),
-        evaluate_acyclic(&btn, Paradigm::Skeptic).map(|_| ()).unwrap_err(),
+        evaluate_acyclic(&btn, Paradigm::Skeptic)
+            .map(|_| ())
+            .unwrap_err(),
         trustmap::bulk_skeptic::plan_bulk_skeptic(&btn)
             .map(|_| ())
             .unwrap_err(),

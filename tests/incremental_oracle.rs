@@ -1,0 +1,170 @@
+//! Equivalence oracle for the incremental delta-resolution engine: for
+//! random networks and random 20-step edit streams, the session's
+//! incrementally patched `poss`/`cert` must be identical to a from-scratch
+//! `resolve_network` after every single step (same spirit as
+//! `tests/proptest_invariants.rs`).
+
+use proptest::prelude::*;
+use trustmap::{resolve_network, Edit, Session, TrustNetwork, User, Value};
+
+/// A raw network description proptest can generate.
+#[derive(Debug, Clone)]
+struct RawNet {
+    users: usize,
+    mappings: Vec<(usize, usize, i64)>,
+    beliefs: Vec<(usize, usize)>,
+}
+
+/// A raw edit: `kind` selects believe/revoke/trust, the rest are indices
+/// reduced modulo the live network's users/values at application time.
+#[derive(Debug, Clone, Copy)]
+struct RawEdit {
+    kind: u8,
+    user: usize,
+    other: usize,
+    value: usize,
+    priority: i64,
+}
+
+const NUM_VALUES: usize = 3;
+
+fn raw_net(max_users: usize, max_maps: usize) -> impl Strategy<Value = RawNet> {
+    (2..=max_users).prop_flat_map(move |users| {
+        let mapping = (0..users, 0..users, 1..4i64);
+        let belief = (0..users, 0..NUM_VALUES);
+        (
+            proptest::collection::vec(mapping, 0..=max_maps),
+            proptest::collection::vec(belief, 0..=users),
+        )
+            .prop_map(move |(mappings, beliefs)| RawNet {
+                users,
+                mappings,
+                beliefs,
+            })
+    })
+}
+
+fn raw_edits(steps: usize) -> impl Strategy<Value = Vec<RawEdit>> {
+    proptest::collection::vec(
+        (0u8..10, 0usize..64, 0usize..64, 0usize..NUM_VALUES, 1..5i64).prop_map(
+            |(kind, user, other, value, priority)| RawEdit {
+                kind,
+                user,
+                other,
+                value,
+                priority,
+            },
+        ),
+        steps..=steps,
+    )
+}
+
+fn build(raw: &RawNet) -> (TrustNetwork, Vec<Value>) {
+    let mut net = TrustNetwork::new();
+    let users: Vec<User> = (0..raw.users).map(|i| net.user(&format!("u{i}"))).collect();
+    let values: Vec<Value> = (0..NUM_VALUES)
+        .map(|i| net.value(&format!("v{i}")))
+        .collect();
+    for &(c, p, prio) in &raw.mappings {
+        if c != p {
+            net.trust(users[c], users[p], prio).expect("valid");
+        }
+    }
+    for &(u, v) in &raw.beliefs {
+        net.believe(users[u], values[v]).expect("valid");
+    }
+    (net, values)
+}
+
+/// Converts a raw edit against the current network state. Trust edits that
+/// would be self-loops fall back to a believe edit so every step mutates.
+fn concretize(raw: RawEdit, users: usize, values: &[Value]) -> Edit {
+    let user = User((raw.user % users) as u32);
+    match raw.kind {
+        // 60% believe, 20% revoke, 20% trust — the community-edit mix.
+        0..=5 => Edit::Believe(user, values[raw.value % values.len()]),
+        6 | 7 => Edit::Revoke(user),
+        _ => {
+            let parent = User((raw.other % users) as u32);
+            if parent == user {
+                Edit::Believe(user, values[raw.value % values.len()])
+            } else {
+                Edit::Trust {
+                    child: user,
+                    parent,
+                    priority: raw.priority,
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// After every step of a random 20-edit stream, the incremental
+    /// session equals a from-scratch resolution of the same network.
+    #[test]
+    fn incremental_session_equals_full_resolution(
+        raw in raw_net(6, 10),
+        edits in raw_edits(20),
+    ) {
+        let (net, values) = build(&raw);
+        let mut session = Session::new(net);
+        session.snapshot().expect("positive network");
+        for (step, &raw_edit) in edits.iter().enumerate() {
+            let edit = concretize(raw_edit, raw.users, &values);
+            session.apply_edit(edit).expect("valid edit");
+            let reference = resolve_network(session.network()).expect("resolves");
+            // Cloning the snapshot is O(users) refcount bumps (Arc slices).
+            let snapshot = session.snapshot().expect("resolves").clone();
+            for u in session.network().users() {
+                prop_assert_eq!(
+                    snapshot.poss(u), reference.poss(u),
+                    "step {} ({:?}): poss diverged for user {}", step, edit, u
+                );
+                prop_assert_eq!(
+                    snapshot.cert(u), reference.cert(u),
+                    "step {} ({:?}): cert diverged for user {}", step, edit, u
+                );
+            }
+        }
+        // The whole stream must have stayed on the incremental path.
+        prop_assert_eq!(session.stats().full_rebuilds, 1);
+        prop_assert_eq!(session.stats().incremental_edits, edits.len() as u64);
+    }
+
+    /// Queued typed edits (believe/trust/revoke methods) drained in one
+    /// batch also match, including mid-stream user creation.
+    #[test]
+    fn batched_edits_equal_full_resolution(
+        raw in raw_net(5, 8),
+        edits in raw_edits(12),
+    ) {
+        let (net, values) = build(&raw);
+        let mut session = Session::new(net);
+        session.snapshot().expect("positive network");
+        // Add a fresh user mid-stream; the engine must grow lazily.
+        let extra = session.user("late-joiner");
+        for (i, &raw_edit) in edits.iter().enumerate() {
+            let users = session.network().user_count();
+            match concretize(raw_edit, users, &values) {
+                Edit::Believe(u, v) => session.believe(u, v).expect("valid"),
+                Edit::Revoke(u) => session.revoke(u).expect("valid"),
+                Edit::Trust { child, parent, priority } => {
+                    // Wire the late joiner in occasionally.
+                    let parent = if i % 4 == 0 { extra } else { parent };
+                    if parent != child {
+                        session.trust(child, parent, priority).expect("valid");
+                    }
+                }
+            }
+        }
+        let reference = resolve_network(session.network()).expect("resolves");
+        let snapshot = session.snapshot().expect("resolves").clone();
+        for u in session.network().users() {
+            prop_assert_eq!(snapshot.poss(u), reference.poss(u), "user {}", u);
+        }
+        prop_assert_eq!(session.stats().full_rebuilds, 1);
+    }
+}

@@ -14,9 +14,7 @@
 
 use std::collections::BTreeSet;
 use trustmap::prelude::*;
-use trustmap::stable_signed::{
-    certain_positives, enumerate_signed, possible_positives, Limits,
-};
+use trustmap::stable_signed::{certain_positives, enumerate_signed, possible_positives, Limits};
 use trustmap::workloads::random_dag;
 use trustmap::Value;
 
@@ -92,8 +90,15 @@ fn positive_cyclic_networks_collapse() {
     let enum_cert = certain_positives(&sols, btn.node_count());
     for node in btn.nodes() {
         let expected: BTreeSet<Value> = basic.poss(node).iter().copied().collect();
-        assert_eq!(skeptic.rep_poss(node).pos, expected, "algorithm 2, node {node}");
-        assert_eq!(enum_poss[node as usize], expected, "enumerator, node {node}");
+        assert_eq!(
+            skeptic.rep_poss(node).pos,
+            expected,
+            "algorithm 2, node {node}"
+        );
+        assert_eq!(
+            enum_poss[node as usize], expected,
+            "enumerator, node {node}"
+        );
         assert_eq!(
             skeptic.cert_positive(node),
             basic.cert(node),

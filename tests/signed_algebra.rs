@@ -10,24 +10,19 @@ use trustmap::{BeliefSet, NegSet, Paradigm, Value};
 fn arb_belief_set() -> impl Strategy<Value = BeliefSet> {
     let value = (0u32..5).prop_map(Value);
     let finite_negs = proptest::collection::btree_set(value, 0..4);
-    (
-        proptest::option::of(0u32..5),
-        finite_negs,
-        any::<bool>(),
-    )
-        .prop_map(|(pos, negs, cofinite)| {
-            let pos = pos.map(Value);
-            let mut neg = if cofinite {
-                // Exclusion list = the drawn set (so ⊥ when empty).
-                NegSet::CoFinite(negs)
-            } else {
-                NegSet::Finite(negs)
-            };
-            if let Some(v) = pos {
-                neg = neg.without(v); // restore consistency
-            }
-            BeliefSet { pos, neg }
-        })
+    (proptest::option::of(0u32..5), finite_negs, any::<bool>()).prop_map(|(pos, negs, cofinite)| {
+        let pos = pos.map(Value);
+        let mut neg = if cofinite {
+            // Exclusion list = the drawn set (so ⊥ when empty).
+            NegSet::CoFinite(negs)
+        } else {
+            NegSet::Finite(negs)
+        };
+        if let Some(v) = pos {
+            neg = neg.without(v); // restore consistency
+        }
+        BeliefSet { pos, neg }
+    })
 }
 
 proptest! {

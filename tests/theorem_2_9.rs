@@ -39,7 +39,8 @@ fn check_equivalence(seed: u64, spec: NetSpec) {
             "seed {seed}: binary LP vs Definition 2.4 at {user}"
         );
         assert_eq!(
-            lp_direct[user.index()], from_brute,
+            lp_direct[user.index()],
+            from_brute,
             "seed {seed}: direct LP vs Definition 2.4 at {user}"
         );
     }
@@ -112,11 +113,11 @@ fn tied_networks_same_side_equivalences() {
             let node = btn.node_of(user);
             let exact = brute.poss(user);
             assert_eq!(
-                lp_direct[user.index()], exact,
+                lp_direct[user.index()],
+                exact,
                 "seed {seed}: direct LP vs Definition 2.4 at {user}"
             );
-            let from_btn: BTreeSet<Value> =
-                algorithm.poss(node).iter().copied().collect();
+            let from_btn: BTreeSet<Value> = algorithm.poss(node).iter().copied().collect();
             assert_eq!(
                 lp_binary[node as usize], from_btn,
                 "seed {seed}: Algorithm 1 vs binary LP at {user}"

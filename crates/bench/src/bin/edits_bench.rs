@@ -23,9 +23,11 @@ struct Row {
     size: usize,
     edits: usize,
     inc_us_per_edit: f64,
+    batch_us_per_edit: f64,
     full_ms_per_edit: f64,
     mean_dirty_nodes: f64,
     speedup: f64,
+    batch_speedup: f64,
 }
 
 fn measure(users: usize, edits: usize, full_samples: usize, seed: u64) -> Row {
@@ -48,6 +50,26 @@ fn measure(users: usize, edits: usize, full_samples: usize, seed: u64) -> Row {
     );
     let mean_dirty = stats.dirty_nodes as f64 / stats.incremental_edits.max(1) as f64;
 
+    // Batched: the same stream drained 64 edits at a time through the
+    // explicit transaction API — one combined dirty region per commit
+    // (the ROADMAP "batch-aware session API" measurement).
+    let mut batched = Session::new(w.net.clone());
+    batched.snapshot().expect("positive network");
+    let t = Instant::now();
+    for chunk in stream.chunks(64) {
+        batched.begin_batch().expect("engine is live");
+        for &e in chunk {
+            batched.apply_edit(e).expect("valid edit");
+        }
+        batched.commit().expect("valid batch");
+    }
+    let batch_total = t.elapsed();
+    assert_eq!(
+        batched.stats().full_rebuilds,
+        1,
+        "batched stream must stay on the incremental path"
+    );
+
     // Full baseline: binarize + Algorithm 1 after each edit (Section 2.5's
     // "simply re-run"), sampled over a prefix — it is orders of magnitude
     // slower, so a few edits give a stable per-edit cost.
@@ -60,15 +82,18 @@ fn measure(users: usize, edits: usize, full_samples: usize, seed: u64) -> Row {
     let full_total = t.elapsed();
 
     let inc_us = inc_total.as_secs_f64() * 1e6 / stream.len() as f64;
+    let batch_us = batch_total.as_secs_f64() * 1e6 / stream.len() as f64;
     let full_ms = full_total.as_secs_f64() * 1e3 / full_samples as f64;
     Row {
         users,
         size,
         edits: stream.len(),
         inc_us_per_edit: inc_us,
+        batch_us_per_edit: batch_us,
         full_ms_per_edit: full_ms,
         mean_dirty_nodes: mean_dirty,
         speedup: (full_ms * 1e3) / inc_us,
+        batch_speedup: inc_us / batch_us,
     }
 }
 
@@ -93,9 +118,11 @@ fn main() {
         "users",
         "size |U|+|E|",
         "incremental us/edit",
+        "batch(64) us/edit",
         "full re-resolve ms/edit",
         "mean dirty nodes",
         "speedup",
+        "batch win",
     ]);
     let mut rows = Vec::new();
     for &(users, edits, full_samples) in configs {
@@ -104,9 +131,11 @@ fn main() {
             row.users.to_string(),
             row.size.to_string(),
             format!("{:.2}", row.inc_us_per_edit),
+            format!("{:.2}", row.batch_us_per_edit),
             format!("{:.3}", row.full_ms_per_edit),
             format!("{:.1}", row.mean_dirty_nodes),
             format!("{:.0}x", row.speedup),
+            format!("{:.2}x", row.batch_speedup),
         ]);
         rows.push(row);
     }
@@ -124,6 +153,7 @@ fn main() {
             json,
             "    {{\"users\": {}, \"size\": {}, \"edits\": {}, \
              \"incremental_us_per_edit\": {:.3}, \"incremental_edits_per_sec\": {:.1}, \
+             \"batch64_us_per_edit\": {:.3}, \"batch_speedup_vs_single\": {:.3}, \
              \"full_ms_per_edit\": {:.3}, \"full_edits_per_sec\": {:.3}, \
              \"mean_dirty_nodes\": {:.2}, \"speedup\": {:.1}}}",
             r.users,
@@ -131,6 +161,8 @@ fn main() {
             r.edits,
             r.inc_us_per_edit,
             1e6 / r.inc_us_per_edit,
+            r.batch_us_per_edit,
+            r.batch_speedup,
             r.full_ms_per_edit,
             1e3 / r.full_ms_per_edit,
             r.mean_dirty_nodes,

@@ -67,6 +67,22 @@ impl Parents {
     pub fn is_root(&self) -> bool {
         matches!(self, Parents::None)
     }
+
+    /// Number of parents (0, 1, or 2).
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Parents::None => 0,
+            Parents::One(_) => 1,
+            Parents::Pref { .. } | Parents::Tied(..) => 2,
+        }
+    }
+
+    /// Whether there are no parents (clippy-companion of [`Parents::len`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.is_root()
+    }
 }
 
 /// A binary trust network: the normal form all resolution algorithms run on.

@@ -39,6 +39,7 @@
 
 use crate::binary::{cascade, push_node, Btn, Parents};
 use crate::error::{Error, Result};
+use crate::lineage::Lineage;
 use crate::network::TrustNetwork;
 use crate::resolution::UserResolution;
 use crate::signed::ExplicitBelief;
@@ -46,7 +47,7 @@ use crate::user::User;
 use crate::value::Value;
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use trustmap_graph::{NodeId, SccScratch};
+use trustmap_graph::{NodeId, SccScratch, ShardPlan};
 
 /// One atomic edit of the trust network, in the vocabulary of Section 2.5.
 ///
@@ -81,6 +82,8 @@ pub struct DeltaStats {
     pub dirty_nodes: u64,
     /// Dirty-region size of the most recent incremental batch.
     pub last_dirty_nodes: usize,
+    /// Explicit batches committed through [`crate::Session::commit`].
+    pub batch_commits: u64,
 }
 
 /// A change in one user's certain belief produced by an edit batch.
@@ -93,6 +96,18 @@ pub struct BeliefChange {
     /// The certain belief after the edit.
     pub after: Option<Value>,
 }
+
+/// Default dirty-region size before the sharded parallel solve kicks in:
+/// below this, thread-spawn and plan-build overhead dwarfs the work.
+const DEFAULT_PAR_MIN_REGION: usize = 4096;
+
+/// Shard granularity of parallel regional solves.
+const REGION_SHARD_TARGET: usize = 4096;
+
+/// A parallel regional solve must cover at least 1/this of the BTN: the
+/// planner and workers allocate node-indexed scratch, so tiny regions on
+/// huge networks would pay O(network) setup for O(region) work.
+const PAR_REGION_DIVISOR: usize = 32;
 
 /// The incremental resolution engine: a live BTN plus its resolved state,
 /// patched in place per edit batch.
@@ -118,6 +133,13 @@ pub struct IncrementalResolver {
     /// Users whose nodes were in the last dirty region (for snapshot
     /// patching).
     last_dirty_users: Vec<User>,
+    /// Region-locally maintained lineage pointers (None = not traced).
+    lineage: Option<Lineage>,
+    /// Worker threads for large dirty regions (1 = always sequential).
+    par_threads: usize,
+    /// Minimum dirty-region size (in nodes) before the sharded parallel
+    /// path takes over from the sequential regional solve.
+    par_min_region: usize,
     // ---- reusable scratch ----
     dirty: Vec<bool>,
     dirty_list: Vec<NodeId>,
@@ -126,6 +148,7 @@ pub struct IncrementalResolver {
     is_source: Vec<bool>,
     worklist: Vec<NodeId>,
     stack: Vec<NodeId>,
+    members_buf: Vec<NodeId>,
     empty: Arc<[Value]>,
 }
 
@@ -135,6 +158,19 @@ impl IncrementalResolver {
     /// Fails like [`crate::resolution::resolve`] if the network carries
     /// constraints (negative beliefs) — those require the Skeptic pipeline.
     pub fn new(net: &TrustNetwork) -> Result<Self> {
+        IncrementalResolver::build(net, false)
+    }
+
+    /// Like [`IncrementalResolver::new`] but records lineage pointers
+    /// (Section 2.5, *Retrieving lineage*) and keeps them fresh across
+    /// edits: each regional solve clears and re-records the pointers of
+    /// dirty nodes only, so provenance queries stay O(chain) after edits
+    /// instead of requiring a from-scratch traced resolution.
+    pub fn new_traced(net: &TrustNetwork) -> Result<Self> {
+        IncrementalResolver::build(net, true)
+    }
+
+    fn build(net: &TrustNetwork, traced: bool) -> Result<Self> {
         if let Some(u) = net.first_negative_user() {
             return Err(Error::NegativeBeliefsUnsupported(u));
         }
@@ -165,6 +201,9 @@ impl IncrementalResolver {
             poss: vec![Arc::clone(&empty); n],
             reachable: vec![false; n],
             last_dirty_users: Vec::new(),
+            lineage: traced.then(|| Lineage::new(n)),
+            par_threads: 1,
+            par_min_region: DEFAULT_PAR_MIN_REGION,
             dirty: vec![false; n],
             dirty_list: Vec::new(),
             closed: vec![false; n],
@@ -172,6 +211,7 @@ impl IncrementalResolver {
             is_source: Vec::new(),
             worklist: Vec::new(),
             stack: Vec::new(),
+            members_buf: Vec::new(),
             empty,
         };
         let mut seeds = Vec::new();
@@ -213,6 +253,28 @@ impl IncrementalResolver {
     /// Users whose nodes were touched by the most recent edit batch.
     pub fn last_dirty_users(&self) -> &[User] {
         &self.last_dirty_users
+    }
+
+    /// The maintained lineage pointers, if the engine was built with
+    /// [`IncrementalResolver::new_traced`].
+    pub fn lineage(&self) -> Option<&Lineage> {
+        self.lineage.as_ref()
+    }
+
+    /// Enables the condensation-sharded parallel solve
+    /// ([`crate::parallel`]) for dirty regions of at least `min_region`
+    /// nodes, using `threads` workers. Small regions keep the sequential
+    /// path regardless (plan + spawn overhead dominates there); on top of
+    /// `min_region`, the engine also requires the region to span at least
+    /// 1/32 of the BTN, because the parallel planner and workers allocate
+    /// node-indexed scratch — a region far smaller than the network would
+    /// pay O(network) buffer setup for O(region) work, which is exactly
+    /// the trade the incremental engine exists to avoid. Lineage tracing
+    /// forces the sequential path — pointer recording is inherently
+    /// ordered — so a traced engine ignores this setting.
+    pub fn set_parallelism(&mut self, threads: usize, min_region: usize) {
+        self.par_threads = threads.max(1);
+        self.par_min_region = min_region.max(1);
     }
 
     /// Size of the most recent dirty region (in BTN nodes).
@@ -347,6 +409,9 @@ impl IncrementalResolver {
         self.reachable.resize(n, false);
         self.dirty.resize(n, false);
         self.closed.resize(n, false);
+        if let Some(l) = self.lineage.as_mut() {
+            l.ensure(n);
+        }
     }
 
     /// Adds `node` to its parents' child lists.
@@ -549,8 +614,30 @@ impl IncrementalResolver {
             }
         }
 
+        // Large regions take the condensation-sharded parallel path
+        // (lineage recording is inherently ordered, so traced engines stay
+        // sequential). The network-relative floor keeps the parallel
+        // planner's node-indexed scratch amortized — see
+        // [`IncrementalResolver::set_parallelism`].
+        let par_floor = self
+            .par_min_region
+            .max(self.btn.node_count() / PAR_REGION_DIVISOR);
+        if self.par_threads > 1 && self.lineage.is_none() && self.dirty_list.len() >= par_floor {
+            self.solve_region_parallel();
+            for &x in &self.dirty_list {
+                self.dirty[x as usize] = false;
+            }
+            return;
+        }
+
         // (I) Initialize the region: everything open and empty, then close
         // the roots with their explicit beliefs.
+        if let Some(l) = self.lineage.as_mut() {
+            l.ensure(self.btn.node_count());
+            for &x in &self.dirty_list {
+                l.clear_node(x);
+            }
+        }
         let mut open_left = 0usize;
         for &x in &self.dirty_list {
             let xs = x as usize;
@@ -600,6 +687,9 @@ impl IncrementalResolver {
                 self.poss[xs] = Arc::clone(&self.poss[z as usize]);
                 self.closed[xs] = true;
                 open_left -= 1;
+                if let Some(l) = self.lineage.as_mut() {
+                    l.record_preferred(x, z, &self.poss[xs]);
+                }
                 self.push_pref_children(x);
             }
             if open_left == 0 {
@@ -640,8 +730,10 @@ impl IncrementalResolver {
                 flooded += 1;
                 // possS = union of the cached/solved possible sets of all
                 // closed parents (boundary nodes included), snapshotted
-                // before any member closes.
+                // before any member closes. The same external pairs become
+                // every member's lineage pointers when tracing is on.
                 let mut union: BTreeSet<Value> = BTreeSet::new();
+                let mut external: Vec<(NodeId, Value)> = Vec::new();
                 for &x in self.scratch.members(c) {
                     for z in self.btn.parents[x as usize].iter() {
                         let zs = z as usize;
@@ -652,10 +744,20 @@ impl IncrementalResolver {
                         };
                         if z_closed {
                             union.extend(self.poss[zs].iter().copied());
+                            if self.lineage.is_some() {
+                                external.extend(self.poss[zs].iter().map(|&v| (z, v)));
+                            }
                         }
                     }
                 }
                 let set: Arc<[Value]> = Arc::from(union.into_iter().collect::<Vec<_>>());
+                if let Some(l) = self.lineage.as_mut() {
+                    self.members_buf.clear();
+                    self.members_buf.extend_from_slice(self.scratch.members(c));
+                    for &x in &self.members_buf {
+                        l.record_flood(x, &set, &external, &self.members_buf);
+                    }
+                }
                 for i in 0..self.scratch.members(c).len() {
                     let x = self.scratch.members(c)[i];
                     self.poss[x as usize] = Arc::clone(&set);
@@ -677,6 +779,46 @@ impl IncrementalResolver {
         for &x in &self.dirty_list {
             self.dirty[x as usize] = false;
         }
+    }
+
+    /// The condensation-sharded regional solve: plans the dirty region
+    /// with the trim-first partitioner (`trustmap_graph::shard`) and runs
+    /// [`crate::parallel::solve_shards`] over it. Clean nodes freeze at
+    /// their cached possible sets as boundary inputs — a cached set is
+    /// non-empty exactly when the node is closed-reachable, which is the
+    /// emptiness-as-closedness convention the shared solver uses.
+    fn solve_region_parallel(&mut self) {
+        let threads = self.par_threads;
+        let Self {
+            btn,
+            children,
+            dirty,
+            dirty_list,
+            reachable,
+            poss,
+            scratch,
+            empty,
+            ..
+        } = self;
+        // Dirty nodes that stay region-unreachable must read as empty.
+        for &x in dirty_list.iter() {
+            poss[x as usize] = Arc::clone(empty);
+        }
+        let children: &[Vec<NodeId>] = children;
+        let dirty: &[bool] = dirty;
+        let reachable: &[bool] = reachable;
+        let parents = &btn.parents;
+        let active = |v: NodeId| dirty[v as usize] && reachable[v as usize];
+        let plan = ShardPlan::build(
+            children,
+            |x| parents[x as usize].iter(),
+            active,
+            dirty_list.iter().copied(),
+            scratch,
+            REGION_SHARD_TARGET,
+            false,
+        );
+        crate::parallel::solve_shards(children, parents, &btn.beliefs, &plan, poss, threads);
     }
 
     /// Whether `z` counts as closed for the regional solve: solved nodes
@@ -904,5 +1046,141 @@ mod tests {
             IncrementalResolver::new(&net),
             Err(Error::NegativeBeliefsUnsupported(_))
         ));
+    }
+
+    /// Every possible value of every reachable user must trace to a root
+    /// explicitly asserting it — the soundness half of Section 2.5's
+    /// lineage property, maintained across edits.
+    fn assert_lineage_sound(engine: &IncrementalResolver) {
+        let lin = engine.lineage().expect("traced engine");
+        let btn = engine.btn();
+        for x in btn.nodes() {
+            for &v in engine.poss(x) {
+                if btn.parents(x).is_root() {
+                    continue;
+                }
+                let chain = lin
+                    .trace(x, v)
+                    .unwrap_or_else(|| panic!("({x}, {v:?}) has no lineage"));
+                let root = *chain.last().expect("nonempty chain");
+                assert_eq!(
+                    btn.belief(root).positive(),
+                    Some(v),
+                    "chain of ({x}, {v:?}) ends at a root asserting something else"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traced_engine_keeps_lineage_fresh_across_edits() {
+        let (mut net, [_, bob, charlie]) = indus_network();
+        let jar = net.value("jar");
+        let cow = net.value("cow");
+        net.believe(charlie, jar).unwrap();
+        let mut engine = IncrementalResolver::new_traced(&net).unwrap();
+        assert_lineage_sound(&engine);
+
+        net.believe(bob, cow).unwrap();
+        engine.apply_edits(&net, &[Edit::Believe(bob, cow)]);
+        assert_matches_full(&engine, &net);
+        assert_lineage_sound(&engine);
+
+        net.revoke(bob).unwrap();
+        engine.apply_edits(&net, &[Edit::Revoke(bob)]);
+        assert_lineage_sound(&engine);
+
+        // A structural edit (new cascade) keeps chains valid too.
+        let dave = net.user("Dave");
+        net.trust(dave, bob, 10).unwrap();
+        engine.apply_edits(
+            &net,
+            &[Edit::Trust {
+                child: dave,
+                parent: bob,
+                priority: 10,
+            }],
+        );
+        assert_matches_full(&engine, &net);
+        assert_lineage_sound(&engine);
+    }
+
+    #[test]
+    fn oscillator_flood_lineage_after_edit() {
+        // Figure 4b: flood lineage must point outside the SCC, also after
+        // the region is re-solved incrementally.
+        let mut net = TrustNetwork::new();
+        let x1 = net.user("x1");
+        let x2 = net.user("x2");
+        let x3 = net.user("x3");
+        let x4 = net.user("x4");
+        let v = net.value("v");
+        let w = net.value("w");
+        net.trust(x1, x2, 100).unwrap();
+        net.trust(x1, x3, 80).unwrap();
+        net.trust(x2, x1, 50).unwrap();
+        net.trust(x2, x4, 40).unwrap();
+        net.believe(x3, v).unwrap();
+        net.believe(x4, w).unwrap();
+        let mut engine = IncrementalResolver::new_traced(&net).unwrap();
+
+        net.believe(x4, v).unwrap();
+        engine.apply_edits(&net, &[Edit::Believe(x4, v)]);
+        assert_matches_full(&engine, &net);
+        assert_lineage_sound(&engine);
+        let n1 = engine.btn().node_of(x1);
+        assert!(engine.lineage().unwrap().flood_peers(n1).is_some());
+    }
+
+    #[test]
+    fn parallel_region_matches_sequential_engine() {
+        // Force the sharded path on every batch (min_region = 1) and
+        // replay a mixed edit stream: results must equal both the
+        // sequential engine and a from-scratch resolve.
+        let mut net = TrustNetwork::new();
+        let v: Vec<Value> = (0..3).map(|i| net.value(&format!("v{i}"))).collect();
+        let users: Vec<User> = (0..30).map(|i| net.user(&format!("u{i}"))).collect();
+        for i in 1..30 {
+            net.trust(users[i], users[i / 2], (i % 7) as i64 + 1)
+                .unwrap();
+            if i % 5 == 0 {
+                // Cycles so the region planner exercises the residue path.
+                net.trust(users[i / 2], users[i], 1).unwrap();
+            }
+        }
+        net.believe(users[0], v[0]).unwrap();
+        net.believe(users[7], v[1]).unwrap();
+        let mut par_engine = IncrementalResolver::new(&net).unwrap();
+        par_engine.set_parallelism(4, 1);
+        let mut seq_engine = IncrementalResolver::new(&net).unwrap();
+
+        let edits = [
+            Edit::Believe(users[3], v[2]),
+            Edit::Revoke(users[7]),
+            Edit::Believe(users[11], v[1]),
+            Edit::Trust {
+                child: users[20],
+                parent: users[3],
+                priority: 50,
+            },
+            Edit::Believe(users[0], v[2]),
+        ];
+        for edit in edits {
+            match edit {
+                Edit::Believe(u, val) => net.believe(u, val).unwrap(),
+                Edit::Revoke(u) => net.revoke(u).unwrap(),
+                Edit::Trust {
+                    child,
+                    parent,
+                    priority,
+                } => net.trust(child, parent, priority).unwrap(),
+            }
+            par_engine.apply_edits(&net, &[edit]);
+            seq_engine.apply_edits(&net, &[edit]);
+            assert_matches_full(&par_engine, &net);
+            for x in par_engine.btn().nodes() {
+                assert_eq!(par_engine.poss(x), seq_engine.poss(x), "node {x}");
+            }
+        }
     }
 }

@@ -16,6 +16,9 @@
 //!   (Proposition 2.8);
 //! * [`resolution`] — Algorithm 1: possible/certain beliefs in worst-case
 //!   quadratic time;
+//! * [`parallel`] — the condensation-sharded resolver: one Tarjan pass,
+//!   level-scheduled shards solved by work-stealing scoped threads,
+//!   bit-identical to [`resolution`] at every thread count;
 //! * [`stable`] — the stable-solution semantics (Definition 2.4) with an
 //!   exhaustive ground-truth enumerator;
 //! * [`lineage`] — tracing each belief to the explicit assertion it stems
@@ -23,12 +26,15 @@
 //! * [`pairs`] — joint possible values, agreement checking, consensus
 //!   values (Proposition 2.13);
 //! * [`incremental`] — delta-resolution for edit streams: dirty-region
-//!   re-solving that patches the cached resolution and BTN in place
-//!   instead of re-running Algorithm 1 over the whole network (the
-//!   scalable answer to Section 2.5's "simply re-run the algorithm");
+//!   re-solving that patches the cached resolution, BTN, and (when
+//!   traced) lineage pointers in place instead of re-running Algorithm 1
+//!   over the whole network (the scalable answer to Section 2.5's
+//!   "simply re-run the algorithm"); large regions re-solve through the
+//!   sharded parallel scheduler;
 //! * [`session`] — the editing façade over [`incremental`]: typed edits
-//!   take the delta path, arbitrary closures fall back to full
-//!   recomputation;
+//!   take the delta path, explicit batches (`begin_batch`/`commit`)
+//!   drain as one dirty region with a single change report, arbitrary
+//!   closures fall back to full recomputation;
 //! * [`signed`] / [`paradigm`] — constraints as negative beliefs and the
 //!   Agnostic / Eclectic / Skeptic paradigms (Section 3);
 //! * [`skeptic`] — Algorithm 2: PTIME resolution under Skeptic;
@@ -76,6 +82,7 @@ pub mod lineage;
 pub mod network;
 pub mod pairs;
 pub mod paradigm;
+pub mod parallel;
 pub mod resolution;
 pub mod sat;
 pub mod session;
@@ -91,8 +98,9 @@ pub use error::{Error, Result};
 pub use incremental::{DeltaStats, Edit, IncrementalResolver};
 pub use network::{Mapping, TrustNetwork};
 pub use paradigm::Paradigm;
+pub use parallel::{resolve_network_parallel, resolve_parallel, ParOptions, PlannedResolver};
 pub use resolution::{resolve, resolve_network, resolve_with, Options, Resolution, SccMode};
-pub use session::{BeliefChange, Session};
+pub use session::{BatchReport, BeliefChange, Session};
 pub use signed::{BeliefSet, ExplicitBelief, NegSet};
 pub use user::User;
 pub use value::{Domain, Value};

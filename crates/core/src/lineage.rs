@@ -31,6 +31,24 @@ impl Lineage {
         }
     }
 
+    /// Grows the per-node tables to cover `n` nodes (the incremental
+    /// engine appends nodes as users and cascades are created).
+    pub(crate) fn ensure(&mut self, n: usize) {
+        if self.sources.len() < n {
+            self.sources.resize_with(n, HashMap::new);
+            self.scc_peers.resize(n, None);
+        }
+    }
+
+    /// Drops all pointers recorded at `x` — the region-local reset before
+    /// a dirty node is re-solved. Clean nodes keep their entries, and
+    /// since lineage pointers always reference ancestors (which are clean
+    /// whenever `x` is clean), chains through the boundary stay intact.
+    pub(crate) fn clear_node(&mut self, x: NodeId) {
+        self.sources[x as usize].clear();
+        self.scc_peers[x as usize] = None;
+    }
+
     pub(crate) fn record_preferred(&mut self, x: NodeId, parent: NodeId, values: &[Value]) {
         let entry = &mut self.sources[x as usize];
         for &v in values {

@@ -1,0 +1,1004 @@
+//! Condensation-sharded parallel resolution.
+//!
+//! The sequential Algorithm 1 ([`crate::resolution::resolve`]) interleaves
+//! preferred-edge propagation with repeated SCC condensations of the whole
+//! open subgraph. This module restructures the same computation around one
+//! insight: a node's final possible set depends only on its **ancestors**,
+//! so the SCC condensation of the BTN is a DAG whose components can be
+//! solved independently — and in parallel — as soon as their predecessors
+//! are sealed.
+//!
+//! The pipeline:
+//!
+//! 1. [`ShardPlan::build`] computes the schedule with a trim-first peel:
+//!    the acyclic bulk levels in one Kahn pass, only the cyclic residue
+//!    runs Tarjan (see `trustmap_graph::shard`). No reachability BFS is
+//!    needed either — in this algorithm a finalized node is reachable iff
+//!    its possible set is non-empty, so emptiness doubles as the
+//!    closed-boundary test (unreachable parents contribute nothing to
+//!    Step-2 unions, exactly as in the sequential resolver).
+//! 2. `std::thread::scope` workers pull ready shards from a shared queue;
+//!    sealing a shard decrements downstream dependency counters (exact
+//!    shard edges, or per-level frontier counters on very deep plans),
+//!    enqueueing shards that hit zero. Level-synchronous in structure, but
+//!    without global barriers in exact mode: a fast worker starts on the
+//!    next level while slow shards of the previous one still run.
+//!
+//! ### Per-unit solving
+//!
+//! When a unit is processed every external parent is final: ancestors are
+//! sealed (dependency edges only point downward) and unreachable parents
+//! hold empty sets forever. Acyclic singleton units take a closed-form
+//! fast path — root belief, preferred-parent copy, or sorted ≤2-way union
+//! with content interning. Cyclic units replay Algorithm 1's Step-1/Step-2
+//! alternation restricted to their members with a per-worker
+//! [`SccScratch`].
+//!
+//! ### Determinism invariants
+//!
+//! The result is **bit-for-bit identical** to the sequential resolver at
+//! every thread count:
+//!
+//! * shard membership and work granularity come from the deterministic
+//!   [`ShardPlan`], never from thread timing;
+//! * each node is written by exactly one shard, and every cross-shard read
+//!   crosses a seal whose happens-before edge is the dependency counter
+//!   (`AcqRel` chain) plus the ready-queue mutex;
+//! * floods union values through sorted sets, so merge order inside a
+//!   step cannot influence content;
+//! * units inside a shard are solved in plan order, the same every run.
+//!
+//! `tests/parallel_oracle.rs` checks equality against [`resolve`] and the
+//! incremental engine over random networks at 1–8 threads.
+//!
+//! [`resolve`]: crate::resolution::resolve
+
+use crate::binary::{Btn, Parents};
+use crate::error::{Error, Result};
+use crate::resolution::{Resolution, UserResolution};
+use crate::signed::ExplicitBelief;
+use crate::value::Value;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use trustmap_graph::shard::DepMode;
+use trustmap_graph::{Adjacency, NodeId, SccScratch, ShardPlan};
+
+/// Tuning options for [`resolve_parallel_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParOptions {
+    /// Worker threads (clamped to at least 1 and at most the shard count).
+    pub threads: usize,
+    /// Target member nodes per shard — the work-unit granularity.
+    pub shard_target: usize,
+    /// Request exact shard-edge dependencies instead of the default level
+    /// frontier. Exact deps cost one extra pass over the region's in-edges
+    /// but let fast workers run ahead of whole-level barriers — worth it
+    /// on deep, skewed condensations with real cores to fill; the frontier
+    /// is cheaper to build on the shallow balanced plans of typical trust
+    /// networks. Results are identical either way.
+    pub exact_deps: bool,
+}
+
+impl Default for ParOptions {
+    fn default() -> Self {
+        ParOptions {
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            shard_target: 8192,
+            exact_deps: false,
+        }
+    }
+}
+
+/// Runs Algorithm 1 sharded over `threads` workers.
+///
+/// Produces a [`Resolution`] whose possible sets are identical to
+/// [`crate::resolution::resolve`] (its `rounds()` reports the number of
+/// topological levels instead of Step-2 rounds). Fails like the sequential
+/// resolver if the BTN carries constraints.
+pub fn resolve_parallel(btn: &Btn, threads: usize) -> Result<Resolution> {
+    resolve_parallel_with(
+        btn,
+        ParOptions {
+            threads,
+            ..ParOptions::default()
+        },
+    )
+}
+
+/// [`resolve_parallel`] with explicit [`ParOptions`].
+pub fn resolve_parallel_with(btn: &Btn, opts: ParOptions) -> Result<Resolution> {
+    PlannedResolver::new(btn, opts).resolve(btn, opts.threads)
+}
+
+/// A reusable shard schedule for one BTN *structure*.
+///
+/// The plan depends only on the trust edges ([`Parents`]), never on the
+/// explicit beliefs, so one plan serves any number of belief assignments
+/// over the same network — exactly Section 4's bulk setting, where the
+/// network is fixed and each object re-seeds the root beliefs. Plan once
+/// with [`PlannedResolver::new`], then call [`PlannedResolver::resolve`]
+/// per assignment; the per-call cost drops to the solve itself.
+pub struct PlannedResolver {
+    csr: trustmap_graph::Csr,
+    plan: ShardPlan,
+    nodes: usize,
+}
+
+impl PlannedResolver {
+    /// Plans the condensation shards of `btn`'s structure.
+    pub fn new(btn: &Btn, opts: ParOptions) -> PlannedResolver {
+        let n = btn.node_count();
+        let parents: &[Parents] = &btn.parents;
+        // Fused forward-CSR + in-degree construction: one counting pass
+        // over the parents table feeds both the adjacency offsets
+        // (out-degrees) and the peel's pending counters (in-degrees).
+        let mut offsets = vec![0u32; n + 1];
+        let mut in_degrees = vec![0u32; n];
+        for x in 0..n {
+            let p = &parents[x];
+            in_degrees[x] = p.len() as u32;
+            for z in p.iter() {
+                offsets[z as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as NodeId; offsets[n] as usize];
+        for x in 0..n as NodeId {
+            for z in parents[x as usize].iter() {
+                let c = &mut cursor[z as usize];
+                targets[*c as usize] = x;
+                *c += 1;
+            }
+        }
+        let csr = trustmap_graph::Csr::from_parts(offsets, targets);
+        let mut scratch = SccScratch::new();
+        let plan = ShardPlan::build_with_in_degrees(
+            &csr,
+            |x| parents[x as usize].iter(),
+            |_| true,
+            0..n as NodeId,
+            &in_degrees,
+            &mut scratch,
+            opts.shard_target,
+            opts.exact_deps,
+        );
+        PlannedResolver {
+            csr,
+            plan,
+            nodes: n,
+        }
+    }
+
+    /// Solves `btn` over this plan with `threads` workers.
+    ///
+    /// `btn` must have the same node count and trust structure the plan
+    /// was built from; only its explicit (root) beliefs may differ.
+    pub fn resolve(&self, btn: &Btn, threads: usize) -> Result<Resolution> {
+        assert_eq!(
+            btn.node_count(),
+            self.nodes,
+            "plan was built for a different BTN structure"
+        );
+        if let Some(x) = btn.nodes().find(|&x| btn.belief(x).has_negatives()) {
+            let user = btn.origin(x).unwrap_or(crate::user::User(x));
+            return Err(Error::NegativeBeliefsUnsupported(user));
+        }
+        let empty: Arc<[Value]> = Arc::from([] as [Value; 0]);
+        let mut poss = vec![empty; self.nodes];
+        solve_shards(
+            &self.csr,
+            &btn.parents,
+            &btn.beliefs,
+            &self.plan,
+            &mut poss,
+            threads,
+        );
+        let reachable = poss.iter().map(|s| !s.is_empty()).collect();
+        Ok(Resolution::from_parts(
+            poss,
+            reachable,
+            self.plan.level_count(),
+        ))
+    }
+}
+
+/// Convenience: binarize `net` and resolve in parallel, returning per-user
+/// results — the sharded counterpart of
+/// [`crate::resolution::resolve_network`].
+pub fn resolve_network_parallel(
+    net: &crate::network::TrustNetwork,
+    threads: usize,
+) -> Result<UserResolution> {
+    let btn = crate::binary::binarize(net);
+    let res = resolve_parallel(&btn, threads)?;
+    Ok(UserResolution::from_resolution(
+        &btn,
+        &res,
+        net.user_count(),
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Shared possible-set storage.
+// ---------------------------------------------------------------------------
+
+type PossSet = Arc<[Value]>;
+
+/// Raw shared view of the per-node possible sets.
+///
+/// # Safety contract (upheld by the scheduler)
+///
+/// * every node belongs to at most one shard, and only the worker holding
+///   that shard calls [`SharedPoss::write`] for it;
+/// * [`SharedPoss::read`] targets only nodes of *sealed* shards, the
+///   worker's own shard, or never-written slots (frozen boundary /
+///   unreachable nodes), with the happens-before edge provided by the
+///   dependency-counter `AcqRel` chain plus the ready-queue mutex.
+struct SharedPoss {
+    ptr: *mut PossSet,
+    len: usize,
+}
+
+// SAFETY: see the scheduler contract above — disjoint writes, reads only
+// across seals. `Arc<[Value]>` itself is Send + Sync.
+unsafe impl Send for SharedPoss {}
+unsafe impl Sync for SharedPoss {}
+
+impl SharedPoss {
+    fn new(slice: &mut [PossSet]) -> Self {
+        SharedPoss {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// Reads the possible set of `x` (see the safety contract).
+    #[inline]
+    unsafe fn read(&self, x: NodeId) -> &PossSet {
+        debug_assert!((x as usize) < self.len);
+        &*self.ptr.add(x as usize)
+    }
+
+    /// Writes the possible set of `x` (caller must own `x`'s shard).
+    #[inline]
+    unsafe fn write(&self, x: NodeId, set: PossSet) {
+        debug_assert!((x as usize) < self.len);
+        *self.ptr.add(x as usize) = set;
+    }
+
+    /// Prefetches the slot of `x` (a hint; no synchronization implied).
+    #[inline]
+    unsafe fn prefetch(&self, x: NodeId) {
+        debug_assert!((x as usize) < self.len);
+        trustmap_graph::shard::prefetch(self.ptr.add(x as usize));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker-local scratch.
+// ---------------------------------------------------------------------------
+
+/// Interning cap: beyond this many distinct sets the cache stops growing
+/// (lookups still hit; misses allocate fresh).
+const SET_CACHE_CAP: usize = 4096;
+
+/// Per-worker scratch — allocated once per worker, reused across every
+/// unit the worker solves (`SccScratch` per worker, no shared mutable
+/// state).
+struct Worker {
+    /// Membership flags of the cyclic unit currently being solved.
+    in_unit: Vec<bool>,
+    /// Closed flags, valid only inside the current cyclic unit.
+    closed: Vec<bool>,
+    scratch: SccScratch,
+    worklist: Vec<NodeId>,
+    is_source: Vec<bool>,
+    members_buf: Vec<NodeId>,
+    union_buf: Vec<Value>,
+    /// Content-interning cache: most possible sets repeat (domains are
+    /// small relative to networks), so solves reuse one allocation per
+    /// distinct set instead of allocating per node.
+    cache: HashMap<Vec<Value>, PossSet>,
+}
+
+impl Worker {
+    fn new(n: usize) -> Self {
+        Worker {
+            in_unit: vec![false; n],
+            closed: vec![false; n],
+            scratch: SccScratch::new(),
+            worklist: Vec::new(),
+            is_source: Vec::new(),
+            members_buf: Vec::new(),
+            union_buf: Vec::new(),
+            cache: HashMap::new(),
+        }
+    }
+}
+
+/// Interns `vals` (sorted, deduplicated) in the worker cache.
+fn intern(cache: &mut HashMap<Vec<Value>, PossSet>, vals: &[Value]) -> PossSet {
+    if let Some(set) = cache.get(vals) {
+        return Arc::clone(set);
+    }
+    let set: PossSet = Arc::from(vals);
+    if cache.len() < SET_CACHE_CAP {
+        cache.insert(vals.to_vec(), Arc::clone(&set));
+    }
+    set
+}
+
+// ---------------------------------------------------------------------------
+// The shard scheduler.
+// ---------------------------------------------------------------------------
+
+/// Shared solving context (immutable during the parallel phase).
+struct Ctx<'a, A: ?Sized> {
+    g: &'a A,
+    parents: &'a [Parents],
+    beliefs: &'a [ExplicitBelief],
+    plan: &'a ShardPlan,
+    poss: SharedPoss,
+}
+
+/// Per-shard readiness state shared by the workers.
+enum DepState {
+    /// Exact mode: remaining predecessor count per shard.
+    Edges(Vec<AtomicU32>),
+    /// Frontier mode: remaining unsealed shards per level.
+    Frontier(Vec<AtomicU32>),
+}
+
+struct Queue {
+    ready: Mutex<Vec<u32>>,
+    cv: Condvar,
+    deps: DepState,
+    done: AtomicUsize,
+    total: usize,
+}
+
+/// Solves every shard of `plan` over the forward adjacency `g`, writing
+/// the per-node possible sets into `poss`.
+///
+/// `poss` must hold the frozen boundary values for nodes outside the plan
+/// — non-empty exactly for closed (reachable) boundary nodes — and the
+/// empty set for every covered node (they are written exactly once). With
+/// `threads <= 1` the shards run inline on the caller's thread in id order
+/// (ids ascend with level, so that order is dependency-safe).
+pub(crate) fn solve_shards<A>(
+    g: &A,
+    parents: &[Parents],
+    beliefs: &[ExplicitBelief],
+    plan: &ShardPlan,
+    poss: &mut [PossSet],
+    threads: usize,
+) where
+    A: Adjacency + Sync + ?Sized,
+{
+    let nshards = plan.shard_count();
+    if nshards == 0 {
+        return;
+    }
+    let n = poss.len();
+    let ctx = Ctx {
+        g,
+        parents,
+        beliefs,
+        plan,
+        poss: SharedPoss::new(poss),
+    };
+    let threads = threads.clamp(1, nshards);
+
+    if threads == 1 {
+        let mut worker = Worker::new(n);
+        for s in 0..nshards as u32 {
+            solve_shard(&ctx, &mut worker, s);
+        }
+        return;
+    }
+
+    let mut ready = plan.initial_ready();
+    // Pop from the back; reversing keeps the sequential-schedule order as
+    // the default claim order (purely a scheduling nicety — results do not
+    // depend on it).
+    ready.reverse();
+    let deps = match plan.dep_mode() {
+        DepMode::Edges => DepState::Edges(
+            plan.in_counts()
+                .iter()
+                .map(|&d| AtomicU32::new(d))
+                .collect(),
+        ),
+        DepMode::Frontier => DepState::Frontier(
+            plan.level_counts()
+                .iter()
+                .map(|&d| AtomicU32::new(d))
+                .collect(),
+        ),
+    };
+    let queue = Queue {
+        ready: Mutex::new(ready),
+        cv: Condvar::new(),
+        deps,
+        done: AtomicUsize::new(0),
+        total: nshards,
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| worker_loop(&ctx, &queue, n));
+        }
+    });
+    debug_assert_eq!(queue.done.load(Ordering::Relaxed), nshards);
+}
+
+/// One worker: claim ready shards until every shard is sealed.
+fn worker_loop<A>(ctx: &Ctx<'_, A>, queue: &Queue, n: usize)
+where
+    A: Adjacency + Sync + ?Sized,
+{
+    let mut worker = Worker::new(n);
+    loop {
+        let s = {
+            let mut ready = queue.ready.lock().expect("queue poisoned");
+            loop {
+                if let Some(s) = ready.pop() {
+                    break s;
+                }
+                if queue.done.load(Ordering::Acquire) == queue.total {
+                    return;
+                }
+                ready = queue.cv.wait(ready).expect("queue poisoned");
+            }
+        };
+
+        solve_shard(ctx, &mut worker, s);
+
+        // Seal. The `AcqRel` read-modify-write chain on each counter
+        // publishes this shard's writes to whichever worker observes the
+        // count reach zero.
+        match &queue.deps {
+            DepState::Edges(counts) => {
+                for &t in ctx.plan.successors(s) {
+                    if counts[t as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        queue.ready.lock().expect("queue poisoned").push(t);
+                        queue.cv.notify_one();
+                    }
+                }
+            }
+            DepState::Frontier(remaining) => {
+                let l = ctx.plan.level_of_shard(s);
+                if remaining[l as usize].fetch_sub(1, Ordering::AcqRel) == 1
+                    && (l as usize + 1) < ctx.plan.level_count()
+                {
+                    let next: Vec<u32> = ctx.plan.level_shards(l + 1).rev().collect();
+                    let mut ready = queue.ready.lock().expect("queue poisoned");
+                    ready.extend(next);
+                    queue.cv.notify_all();
+                }
+            }
+        }
+        if queue.done.fetch_add(1, Ordering::AcqRel) + 1 == queue.total {
+            // Hold the lock so no worker can miss the final wake-up
+            // between its empty-pop and its wait.
+            let _guard = queue.ready.lock().expect("queue poisoned");
+            queue.cv.notify_all();
+        }
+    }
+}
+
+/// Solves every unit of shard `s` in plan order.
+fn solve_shard<A>(ctx: &Ctx<'_, A>, worker: &mut Worker, s: u32)
+where
+    A: Adjacency + Sync + ?Sized,
+{
+    if ctx.plan.singleton_layout() {
+        // All-singleton plan (a self-loop can never peel, so none exist
+        // here): stream the shard's node list as a two-stage software
+        // pipeline — parents are prefetched LOOKAHEAD nodes ahead, and at
+        // half that distance (when the parents line has arrived) the
+        // parents' poss slots are prefetched in turn, so both random
+        // accesses of a node are resident when it is solved.
+        const LOOKAHEAD: usize = 8;
+        use trustmap_graph::shard::prefetch;
+        let nodes = ctx.plan.shard_nodes(s);
+        for i in 0..nodes.len() {
+            if i + LOOKAHEAD < nodes.len() {
+                prefetch(&ctx.parents[nodes[i + LOOKAHEAD] as usize]);
+            }
+            if i + LOOKAHEAD / 2 < nodes.len() {
+                for z in ctx.parents[nodes[i + LOOKAHEAD / 2] as usize].iter() {
+                    unsafe { ctx.poss.prefetch(z) };
+                }
+            }
+            solve_singleton(ctx, worker, nodes[i]);
+        }
+        return;
+    }
+    for u in ctx.plan.units(s) {
+        let members = ctx.plan.unit_members(u);
+        if let [x] = *members {
+            if !ctx.parents[x as usize].iter().any(|z| z == x) {
+                solve_singleton(ctx, worker, x);
+                continue;
+            }
+        }
+        solve_cyclic(ctx, worker, u);
+    }
+}
+
+/// Closed-form solve of an acyclic singleton unit: every parent is final,
+/// so Algorithm 1's Step-1 copy or Step-2 flood collapses to one
+/// expression. An empty parent set marks an unreachable (never-closing)
+/// parent and contributes nothing, exactly as in the sequential resolver.
+fn solve_singleton<A>(ctx: &Ctx<'_, A>, worker: &mut Worker, x: NodeId)
+where
+    A: Adjacency + Sync + ?Sized,
+{
+    let parents = &ctx.parents[x as usize];
+    let set = match *parents {
+        Parents::None => match ctx.beliefs[x as usize].positive() {
+            // A believing root; beliefless roots stay empty (unreachable).
+            Some(v) => intern(&mut worker.cache, &[v]),
+            None => return,
+        },
+        _ => {
+            let preferred_closed = parents
+                .preferred()
+                .filter(|&z| !unsafe { ctx.poss.read(z) }.is_empty());
+            if let Some(z) = preferred_closed {
+                // Step 1: a closed preferred parent always wins.
+                unsafe { Arc::clone(ctx.poss.read(z)) }
+            } else {
+                // Step 2 flood of a trivial SCC: union of the (≤ 2)
+                // closed parents' sets.
+                union_parents(ctx, worker, parents)
+            }
+        }
+    };
+    unsafe { ctx.poss.write(x, set) };
+}
+
+/// Sorted union of the parents' final possible sets, reusing existing
+/// allocations whenever one side is redundant.
+fn union_parents<A>(ctx: &Ctx<'_, A>, worker: &mut Worker, parents: &Parents) -> PossSet
+where
+    A: Adjacency + Sync + ?Sized,
+{
+    let mut first: Option<&PossSet> = None;
+    let mut second: Option<&PossSet> = None;
+    for z in parents.iter() {
+        let set = unsafe { ctx.poss.read(z) };
+        if set.is_empty() {
+            continue;
+        }
+        if first.is_none() {
+            first = Some(set);
+        } else {
+            second = Some(set);
+        }
+    }
+    match (first, second) {
+        (None, _) => intern(&mut worker.cache, &[]),
+        (Some(a), None) => Arc::clone(a),
+        (Some(a), Some(b)) => {
+            if Arc::ptr_eq(a, b) {
+                return Arc::clone(a);
+            }
+            let mut buf = std::mem::take(&mut worker.union_buf);
+            merge_sorted(a, b, &mut buf);
+            let set = if buf.as_slice() == a.as_ref() {
+                Arc::clone(a)
+            } else if buf.as_slice() == b.as_ref() {
+                Arc::clone(b)
+            } else {
+                intern(&mut worker.cache, &buf)
+            };
+            worker.union_buf = buf;
+            set
+        }
+    }
+}
+
+/// Merges two sorted deduplicated slices into `out` (cleared first).
+fn merge_sorted(a: &[Value], b: &[Value], out: &mut Vec<Value>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+/// Algorithm 1's Step-1/Step-2 alternation restricted to one cyclic unit,
+/// with every external node final — the same regional semantics as the
+/// incremental resolver's dirty-region solve.
+fn solve_cyclic<A>(ctx: &Ctx<'_, A>, worker: &mut Worker, u: u32)
+where
+    A: Adjacency + Sync + ?Sized,
+{
+    let Worker {
+        in_unit,
+        closed,
+        scratch,
+        worklist,
+        is_source,
+        members_buf,
+        union_buf,
+        cache,
+    } = worker;
+    let members = ctx.plan.unit_members(u);
+    for &x in members {
+        in_unit[x as usize] = true;
+        debug_assert!(!closed[x as usize], "closed flags must start clean");
+    }
+    let mut open_left = members.len();
+
+    // Seed Step 1: members whose preferred parent is external and closed
+    // (all members start open, so internal preferred parents cannot seed).
+    worklist.clear();
+    for &x in members {
+        if let Some(z) = ctx.parents[x as usize].preferred() {
+            if !in_unit[z as usize] && !unsafe { ctx.poss.read(z) }.is_empty() {
+                worklist.push(x);
+            }
+        }
+    }
+
+    while open_left > 0 {
+        // (S1) Preferred-edge propagation inside the unit.
+        while let Some(x) = worklist.pop() {
+            let xs = x as usize;
+            if closed[xs] {
+                continue;
+            }
+            let z = ctx.parents[xs]
+                .preferred()
+                .expect("worklist nodes have one");
+            let set = unsafe { Arc::clone(ctx.poss.read(z)) };
+            unsafe { ctx.poss.write(x, set) };
+            closed[xs] = true;
+            open_left -= 1;
+            for w in ctx.g.neighbors(x) {
+                if in_unit[w as usize]
+                    && !closed[w as usize]
+                    && ctx.parents[w as usize].preferred() == Some(x)
+                {
+                    worklist.push(w);
+                }
+            }
+        }
+        if open_left == 0 {
+            break;
+        }
+
+        // (S2) Condense the open members and flood the source sub-SCCs.
+        scratch.run(ctx.g, members.iter().copied(), |v| {
+            in_unit[v as usize] && !closed[v as usize]
+        });
+        let comp_count = scratch.count();
+        is_source.clear();
+        is_source.resize(comp_count, true);
+        for &x in scratch.visited() {
+            let cx = scratch.comp_of(x).expect("visited");
+            for z in ctx.parents[x as usize].iter() {
+                if in_unit[z as usize] && !closed[z as usize] && scratch.comp_of(z) != Some(cx) {
+                    is_source[cx as usize] = false;
+                }
+            }
+        }
+
+        let mut flooded = 0usize;
+        for sub in 0..comp_count as u32 {
+            if !is_source[sub as usize] {
+                continue;
+            }
+            flooded += 1;
+            members_buf.clear();
+            members_buf.extend_from_slice(scratch.members(sub));
+            // possS = union of all closed parents' sets, snapshotted
+            // before any member closes. Open members hold empty sets and
+            // unreachable externals stay empty forever, so the plain union
+            // over every parent is exactly the union over closed ones.
+            let mut union: BTreeSet<Value> = BTreeSet::new();
+            for &x in members_buf.iter() {
+                for z in ctx.parents[x as usize].iter() {
+                    union.extend(unsafe { ctx.poss.read(z) }.iter().copied());
+                }
+            }
+            union_buf.clear();
+            union_buf.extend(union);
+            let set = intern(cache, union_buf);
+            for &x in members_buf.iter() {
+                unsafe { ctx.poss.write(x, Arc::clone(&set)) };
+                closed[x as usize] = true;
+                open_left -= 1;
+            }
+            for &x in members_buf.iter() {
+                for w in ctx.g.neighbors(x) {
+                    if in_unit[w as usize]
+                        && !closed[w as usize]
+                        && ctx.parents[w as usize].preferred() == Some(x)
+                    {
+                        worklist.push(w);
+                    }
+                }
+            }
+        }
+        // A finite open subgraph always has a source SCC.
+        assert!(flooded > 0, "no source sub-SCC in open cyclic unit");
+    }
+
+    // Restore the all-clean flag invariant for the next unit.
+    for &x in members {
+        in_unit[x as usize] = false;
+        closed[x as usize] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::binarize;
+    use crate::network::TrustNetwork;
+    use crate::resolution::resolve;
+
+    fn assert_equiv(net: &TrustNetwork, threads: usize) {
+        let btn = binarize(net);
+        let seq = resolve(&btn).expect("sequential resolves");
+        let par = resolve_parallel(&btn, threads).expect("parallel resolves");
+        for x in btn.nodes() {
+            assert_eq!(seq.poss(x), par.poss(x), "node {x} at {threads} threads");
+            assert_eq!(
+                seq.is_reachable(x),
+                par.is_reachable(x),
+                "reachability of {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn oscillator_matches_sequential() {
+        let mut net = TrustNetwork::new();
+        let x1 = net.user("x1");
+        let x2 = net.user("x2");
+        let x3 = net.user("x3");
+        let x4 = net.user("x4");
+        let v = net.value("v");
+        let w = net.value("w");
+        net.trust(x1, x2, 100).unwrap();
+        net.trust(x1, x3, 80).unwrap();
+        net.trust(x2, x1, 50).unwrap();
+        net.trust(x2, x4, 40).unwrap();
+        net.believe(x3, v).unwrap();
+        net.believe(x4, w).unwrap();
+        for threads in 1..=4 {
+            assert_equiv(&net, threads);
+        }
+        let r = resolve_network_parallel(&net, 2).unwrap();
+        assert_eq!(r.poss(x1), &[v, w]);
+        assert_eq!(r.cert(x3), Some(v));
+    }
+
+    #[test]
+    fn preferred_edge_breaks_cycle_inside_unit() {
+        // x1's preferred parent is the external root r: Step 1 must close
+        // x1 before the {x1, x2} cycle floods, exactly as sequentially.
+        let mut net = TrustNetwork::new();
+        let x1 = net.user("x1");
+        let x2 = net.user("x2");
+        let r = net.user("r");
+        let s = net.user("s");
+        let v = net.value("v");
+        let w = net.value("w");
+        net.trust(x1, r, 100).unwrap();
+        net.trust(x1, x2, 50).unwrap();
+        net.trust(x2, x1, 100).unwrap();
+        net.trust(x2, s, 50).unwrap();
+        net.believe(r, v).unwrap();
+        net.believe(s, w).unwrap();
+        for threads in 1..=4 {
+            assert_equiv(&net, threads);
+        }
+        let res = resolve_network_parallel(&net, 3).unwrap();
+        assert_eq!(res.cert(x1), Some(v));
+        assert_eq!(res.cert(x2), Some(v));
+    }
+
+    #[test]
+    fn unreachable_preferred_parent_falls_back_to_union() {
+        // x's preferred parent dangles (no belief anywhere upstream); its
+        // low-priority parent must still supply the value.
+        let mut net = TrustNetwork::new();
+        let x = net.user("x");
+        let dead = net.user("dead");
+        let live = net.user("live");
+        let v = net.value("v");
+        net.trust(x, dead, 100).unwrap();
+        net.trust(x, live, 1).unwrap();
+        net.believe(live, v).unwrap();
+        for threads in 1..=4 {
+            assert_equiv(&net, threads);
+        }
+        let r = resolve_network_parallel(&net, 2).unwrap();
+        assert_eq!(r.cert(x), Some(v));
+        assert!(r.poss(dead).is_empty());
+    }
+
+    #[test]
+    fn tied_parents_and_unreachable_nodes() {
+        let mut net = TrustNetwork::new();
+        let x = net.user("x");
+        let a = net.user("a");
+        let b = net.user("b");
+        let lonely = net.user("lonely");
+        let v = net.value("v");
+        let w = net.value("w");
+        net.trust(x, a, 5).unwrap();
+        net.trust(x, b, 5).unwrap();
+        net.believe(a, v).unwrap();
+        net.believe(b, w).unwrap();
+        let _ = lonely;
+        for threads in 1..=4 {
+            assert_equiv(&net, threads);
+        }
+        let r = resolve_network_parallel(&net, 2).unwrap();
+        assert_eq!(r.poss(x), &[v, w]);
+        assert!(r.poss(lonely).is_empty());
+    }
+
+    #[test]
+    fn nested_scc_chain_matches() {
+        // Chained 2-cycles: multi-level plans with cyclic units.
+        let mut net = TrustNetwork::new();
+        let v = net.value("v");
+        let w = net.value("w");
+        let r1 = net.user("r1");
+        let r2 = net.user("r2");
+        net.believe(r1, v).unwrap();
+        net.believe(r2, w).unwrap();
+        let mut prev = r1;
+        for i in 0..8 {
+            let a = net.user(&format!("a{i}"));
+            let b = net.user(&format!("b{i}"));
+            net.trust(a, b, 10).unwrap();
+            net.trust(b, a, 10).unwrap();
+            net.trust(a, prev, 5).unwrap();
+            net.trust(b, r2, 1).unwrap();
+            prev = b;
+        }
+        for threads in [1, 2, 3, 8] {
+            assert_equiv(&net, threads);
+        }
+    }
+
+    #[test]
+    fn beliefless_cycle_stays_empty() {
+        // A 2-cycle with no external beliefs must stay undefined
+        // (Example 2.6's "no lineage" case).
+        let mut net = TrustNetwork::new();
+        let a = net.user("a");
+        let b = net.user("b");
+        net.trust(a, b, 1).unwrap();
+        net.trust(b, a, 1).unwrap();
+        net.value("u");
+        for threads in 1..=4 {
+            assert_equiv(&net, threads);
+        }
+        let r = resolve_network_parallel(&net, 2).unwrap();
+        assert!(r.poss(a).is_empty());
+        assert!(r.poss(b).is_empty());
+    }
+
+    #[test]
+    fn empty_and_beliefless_networks() {
+        let net = TrustNetwork::new();
+        assert_equiv(&net, 4);
+        let mut net = TrustNetwork::new();
+        let a = net.user("a");
+        let b = net.user("b");
+        net.trust(a, b, 1).unwrap();
+        assert_equiv(&net, 4);
+    }
+
+    #[test]
+    fn negative_beliefs_rejected() {
+        use crate::signed::NegSet;
+        let mut net = TrustNetwork::new();
+        let a = net.user("a");
+        let v = net.value("v");
+        net.reject(a, NegSet::of([v])).unwrap();
+        let btn = binarize(&net);
+        assert!(matches!(
+            resolve_parallel(&btn, 2),
+            Err(Error::NegativeBeliefsUnsupported(_))
+        ));
+    }
+
+    #[test]
+    fn planned_resolver_reuses_one_plan_across_beliefs() {
+        // Section 4's bulk shape: fixed structure, reseeded root beliefs.
+        let mut net = TrustNetwork::new();
+        let x = net.user("x");
+        let a = net.user("a");
+        let b = net.user("b");
+        let v = net.value("v");
+        let w = net.value("w");
+        net.trust(x, a, 10).unwrap();
+        net.trust(x, b, 5).unwrap();
+        net.believe(a, v).unwrap();
+        net.believe(b, w).unwrap();
+        let btn = binarize(&net);
+        let planned = PlannedResolver::new(&btn, ParOptions::default());
+
+        let mut work = btn.clone();
+        let first = planned.resolve(&work, 2).unwrap();
+        assert_eq!(
+            first.poss(btn.node_of(x)),
+            resolve(&btn).unwrap().poss(btn.node_of(x))
+        );
+
+        // Reseed: a now asserts w — same plan, new fixpoint.
+        let root = btn.belief_root(a).expect("a believes");
+        work.set_root_belief(root, crate::signed::ExplicitBelief::Pos(w));
+        let second = planned.resolve(&work, 2).unwrap();
+        assert_eq!(second.poss(btn.node_of(x)), &[w]);
+        assert_eq!(
+            second.poss(btn.node_of(x)),
+            resolve(&work).unwrap().poss(btn.node_of(x))
+        );
+    }
+
+    #[test]
+    fn tiny_shards_force_cross_shard_dependencies() {
+        // Shard target 1 puts every unit in its own shard: the scheduler
+        // must still produce identical results, in both dep modes' reach.
+        let mut net = TrustNetwork::new();
+        let v = net.value("v");
+        let root = net.user("root");
+        net.believe(root, v).unwrap();
+        let mut prev = root;
+        for i in 0..20 {
+            let u = net.user(&format!("u{i}"));
+            net.trust(u, prev, 1).unwrap();
+            prev = u;
+        }
+        let btn = binarize(&net);
+        let seq = resolve(&btn).unwrap();
+        for threads in [1, 2, 4] {
+            for exact_deps in [false, true] {
+                let par = resolve_parallel_with(
+                    &btn,
+                    ParOptions {
+                        threads,
+                        shard_target: 1,
+                        exact_deps,
+                    },
+                )
+                .unwrap();
+                for x in btn.nodes() {
+                    assert_eq!(seq.poss(x), par.poss(x), "node {x} exact={exact_deps}");
+                }
+            }
+        }
+    }
+}

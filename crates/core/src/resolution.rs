@@ -28,6 +28,12 @@
 //! linear on the Figure 8 workloads, while still Θ(n²) on the nested-SCC
 //! family of Figure 14. [`SccMode::SingleMinimal`] is the literal paper
 //! algorithm, kept for the ablation benchmarks.
+//!
+//! Even batched, every Step-2 round re-condenses the whole remaining open
+//! subgraph, so networks whose SCCs unlock serially pay many passes. The
+//! [`crate::parallel`] module removes that multiplier entirely: one
+//! trim-first condensation pass yields a level-sharded schedule solved by
+//! worker threads, bit-identical to this resolver at every thread count.
 
 use crate::binary::Btn;
 use crate::error::{Error, Result};
@@ -116,6 +122,22 @@ impl Resolution {
     /// cache without cloning).
     pub fn into_parts(self) -> (Vec<Arc<[Value]>>, Vec<bool>) {
         (self.poss, self.reachable)
+    }
+
+    /// Assembles a resolution from externally computed parts — the exit of
+    /// the sharded parallel resolver ([`crate::parallel`]), whose `rounds`
+    /// counts topological levels rather than Step-2 rounds. No lineage.
+    pub(crate) fn from_parts(
+        poss: Vec<Arc<[Value]>>,
+        reachable: Vec<bool>,
+        rounds: usize,
+    ) -> Resolution {
+        Resolution {
+            poss,
+            reachable,
+            lineage: None,
+            rounds,
+        }
     }
 }
 

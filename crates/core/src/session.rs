@@ -18,6 +18,7 @@
 
 use crate::error::Result;
 use crate::incremental::{DeltaStats, Edit, IncrementalResolver};
+use crate::lineage::Lineage;
 use crate::network::TrustNetwork;
 use crate::resolution::UserResolution;
 use crate::signed::NegSet;
@@ -25,6 +26,21 @@ use crate::user::User;
 use crate::value::Value;
 
 pub use crate::incremental::BeliefChange;
+
+/// The change report of one committed edit batch
+/// ([`Session::begin_batch`] / [`Session::commit`]).
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Users whose *certain* belief changed over the whole batch.
+    pub changes: Vec<BeliefChange>,
+    /// Number of edits the batch drained.
+    pub edits: usize,
+    /// Size of the single combined dirty region (in BTN nodes).
+    pub dirty_nodes: usize,
+    /// Whether the commit had to build the engine from scratch (first
+    /// snapshot; per-user change reporting is unavailable then).
+    pub full_rebuild: bool,
+}
 
 /// An editable trust network with an incrementally maintained snapshot.
 #[derive(Debug, Clone, Default)]
@@ -34,6 +50,10 @@ pub struct Session {
     snapshot: Option<UserResolution>,
     pending: Vec<Edit>,
     stats: DeltaStats,
+    batching: bool,
+    traced: bool,
+    par_threads: usize,
+    par_min_region: usize,
 }
 
 impl Session {
@@ -45,6 +65,10 @@ impl Session {
             snapshot: None,
             pending: Vec::new(),
             stats: DeltaStats::default(),
+            batching: false,
+            traced: false,
+            par_threads: 1,
+            par_min_region: usize::MAX,
         }
     }
 
@@ -56,6 +80,91 @@ impl Session {
     /// Counters for the incremental-vs-full resolution paths taken so far.
     pub fn stats(&self) -> DeltaStats {
         self.stats
+    }
+
+    /// Opens an explicit edit batch (a lightweight transaction): typed
+    /// edits issued until [`Session::commit`] are queued and drained as
+    /// **one** combined dirty region, amortizing regional-solve overhead
+    /// across the whole batch. Reads inside the batch ([`Session::snapshot`],
+    /// [`Session::btn`]) see the pre-batch state — users created mid-batch
+    /// read as undefined until commit. Flushes any already-pending edits
+    /// first so the commit report covers exactly this batch. A closure
+    /// edit ([`Session::apply`]) or constraint assertion inside a batch
+    /// takes the full-recompute path and collapses the batch with it.
+    ///
+    /// Re-entrant: calling `begin_batch` while a batch is already open is
+    /// a no-op — the open batch simply continues (there is no nesting;
+    /// the next [`Session::commit`] reports everything since the first
+    /// `begin_batch`).
+    pub fn begin_batch(&mut self) -> Result<()> {
+        if self.batching {
+            return Ok(());
+        }
+        self.refresh()?;
+        self.batching = true;
+        Ok(())
+    }
+
+    /// Whether an explicit batch is open.
+    pub fn in_batch(&self) -> bool {
+        self.batching
+    }
+
+    /// Closes the current batch, re-solves the combined dirty region once,
+    /// and returns the single change report. Without an open batch this
+    /// just flushes whatever is pending (an empty report if nothing is).
+    pub fn commit(&mut self) -> Result<BatchReport> {
+        self.batching = false;
+        if self.engine.is_none() {
+            // Nothing existed before the batch: the first snapshot is a
+            // full build and there is no "before" to diff against.
+            self.refresh()?;
+            return Ok(BatchReport {
+                changes: Vec::new(),
+                edits: 0,
+                dirty_nodes: 0,
+                full_rebuild: true,
+            });
+        }
+        let edits = std::mem::take(&mut self.pending);
+        let changes = self.drain(&edits);
+        self.stats.batch_commits += 1;
+        Ok(BatchReport {
+            changes,
+            edits: edits.len(),
+            dirty_nodes: self.stats.last_dirty_nodes,
+            full_rebuild: false,
+        })
+    }
+
+    /// Enables lineage tracing (Section 2.5, *Retrieving lineage*): the
+    /// next snapshot builds a traced engine whose pointers are patched
+    /// region-locally on every edit. Costs one full rebuild now and keeps
+    /// provenance queries O(chain) afterwards.
+    pub fn enable_lineage(&mut self) {
+        if !self.traced {
+            self.traced = true;
+            self.invalidate();
+        }
+    }
+
+    /// The maintained lineage pointers (`None` until
+    /// [`Session::enable_lineage`] was called). Syncs the engine first.
+    pub fn lineage(&mut self) -> Result<Option<&Lineage>> {
+        self.refresh()?;
+        Ok(self.engine.as_ref().and_then(|e| e.lineage()))
+    }
+
+    /// Routes dirty regions of at least `min_region` nodes through the
+    /// condensation-sharded parallel solver with `threads` workers (see
+    /// [`IncrementalResolver::set_parallelism`]). Applies to the live
+    /// engine and to any future rebuild.
+    pub fn set_parallelism(&mut self, threads: usize, min_region: usize) {
+        self.par_threads = threads.max(1);
+        self.par_min_region = min_region.max(1);
+        if let Some(engine) = self.engine.as_mut() {
+            engine.set_parallelism(self.par_threads, self.par_min_region);
+        }
     }
 
     /// Adds (or finds) a user. The engine grows lazily at the next
@@ -133,7 +242,8 @@ impl Session {
     /// belief changed — the "what changed after this update" question a
     /// community UI asks after each edit. Runs on the incremental path.
     pub fn apply_edit(&mut self, edit: Edit) -> Result<Vec<BeliefChange>> {
-        // Sync first so the report reflects exactly this edit.
+        // Sync first so the report reflects exactly this edit (inside a
+        // batch this only grows the engine; queued edits stay queued).
         self.refresh()?;
         match edit {
             Edit::Believe(u, v) => self.net.believe(u, v)?,
@@ -143,6 +253,11 @@ impl Session {
                 parent,
                 priority,
             } => self.net.trust(child, parent, priority)?,
+        }
+        if self.batching {
+            // Deferred: the combined change report arrives at commit().
+            self.enqueue(edit);
+            return Ok(Vec::new());
         }
         Ok(self.drain(std::slice::from_ref(&edit)))
     }
@@ -214,12 +329,19 @@ impl Session {
         self.pending.clear();
     }
 
-    /// Brings engine and snapshot in sync with the network.
+    /// Brings engine and snapshot in sync with the network. Inside an
+    /// explicit batch, queued edits stay queued (reads are isolated at the
+    /// pre-batch state); only engine growth for new users/values happens.
     fn refresh(&mut self) -> Result<()> {
         match self.engine.as_ref() {
             None => {
                 self.pending.clear();
-                let engine = IncrementalResolver::new(&self.net)?;
+                let mut engine = if self.traced {
+                    IncrementalResolver::new_traced(&self.net)?
+                } else {
+                    IncrementalResolver::new(&self.net)?
+                };
+                engine.set_parallelism(self.par_threads, self.par_min_region);
                 self.snapshot = Some(engine.user_resolution());
                 self.engine = Some(engine);
                 self.stats.full_rebuilds += 1;
@@ -230,7 +352,11 @@ impl Session {
                 // and the snapshot to cover them.
                 let grown = engine.user_count() < self.net.user_count()
                     || engine.btn().domain().len() < self.net.domain().len();
-                if !self.pending.is_empty() || grown {
+                if self.batching {
+                    if grown {
+                        self.drain(&[]);
+                    }
+                } else if !self.pending.is_empty() || grown {
                     let edits = std::mem::take(&mut self.pending);
                     self.drain(&edits);
                 }
@@ -387,6 +513,119 @@ mod tests {
         // through the live BTN's domain too.
         let late = s.value("late-value");
         assert_eq!(s.btn().unwrap().domain().name(late), "late-value");
+    }
+
+    #[test]
+    fn batch_commit_reports_net_changes_once() {
+        let (mut s, [alice, bob, charlie], jar, cow) = session();
+        s.believe(charlie, jar).unwrap();
+        s.snapshot().unwrap();
+
+        s.begin_batch().unwrap();
+        s.believe(bob, cow).unwrap();
+        s.believe(bob, jar).unwrap(); // overwritten within the same batch
+        s.revoke(charlie).unwrap();
+        assert!(s.in_batch());
+        // Mid-batch reads see the pre-batch state.
+        assert_eq!(s.snapshot().unwrap().cert(alice), Some(jar));
+
+        let report = s.commit().unwrap();
+        assert!(!s.in_batch());
+        assert!(!report.full_rebuild);
+        assert_eq!(report.edits, 3);
+        assert!(report.dirty_nodes > 0);
+        // Net effect: bob asserts jar, charlie revoked — alice still jar,
+        // charlie loses their certain value.
+        assert!(report
+            .changes
+            .iter()
+            .any(|c| c.user == charlie && c.after.is_none()));
+        assert!(!report.changes.iter().any(|c| c.user == alice));
+        assert_eq!(s.snapshot().unwrap().cert(alice), Some(jar));
+        assert_eq!(s.stats().batch_commits, 1);
+        assert_eq!(s.stats().full_rebuilds, 1, "batch stayed incremental");
+
+        // Matches a from-scratch resolution.
+        let full = crate::resolution::resolve_network(s.network()).unwrap();
+        for u in [alice, bob, charlie] {
+            assert_eq!(s.snapshot().unwrap().poss(u), full.poss(u));
+        }
+    }
+
+    #[test]
+    fn batch_with_new_users_and_apply_edit() {
+        let (mut s, [_, bob, charlie], jar, _) = session();
+        s.believe(charlie, jar).unwrap();
+        s.snapshot().unwrap();
+
+        s.begin_batch().unwrap();
+        let dave = s.user("Dave");
+        // apply_edit defers inside a batch and reports nothing yet.
+        let immediate = s
+            .apply_edit(Edit::Trust {
+                child: dave,
+                parent: bob,
+                priority: 10,
+            })
+            .unwrap();
+        assert!(immediate.is_empty());
+        // Mid-batch, the new user reads as undefined.
+        assert_eq!(s.snapshot().unwrap().cert(dave), None);
+        let report = s.commit().unwrap();
+        assert!(report
+            .changes
+            .iter()
+            .any(|c| c.user == dave && c.after == Some(jar)));
+        assert_eq!(s.snapshot().unwrap().cert(dave), Some(jar));
+    }
+
+    #[test]
+    fn begin_batch_is_reentrant() {
+        let (mut s, [_, bob, charlie], jar, cow) = session();
+        s.believe(charlie, jar).unwrap();
+        s.snapshot().unwrap();
+        s.begin_batch().unwrap();
+        s.believe(bob, cow).unwrap();
+        // A second begin_batch mid-batch is a no-op: the edit above stays
+        // queued and the eventual report covers everything since the
+        // first begin_batch.
+        s.begin_batch().unwrap();
+        assert!(s.in_batch());
+        s.believe(bob, jar).unwrap();
+        let report = s.commit().unwrap();
+        assert_eq!(report.edits, 2);
+    }
+
+    #[test]
+    fn commit_without_batch_or_engine() {
+        let (mut s, [_, _, charlie], jar, _) = session();
+        s.believe(charlie, jar).unwrap();
+        // No engine yet: commit performs the initial full build.
+        let report = s.commit().unwrap();
+        assert!(report.full_rebuild);
+        assert!(report.changes.is_empty());
+        // A later commit with nothing pending is a no-op report.
+        let report = s.commit().unwrap();
+        assert!(!report.full_rebuild);
+        assert_eq!(report.edits, 0);
+    }
+
+    #[test]
+    fn session_lineage_stays_queryable_across_edits() {
+        let (mut s, [alice, bob, charlie], jar, cow) = session();
+        s.believe(charlie, jar).unwrap();
+        s.enable_lineage();
+        assert!(s.lineage().unwrap().is_some());
+        s.believe(bob, cow).unwrap();
+        assert_eq!(s.snapshot().unwrap().cert(alice), Some(cow));
+        let btn_alice = {
+            let btn = s.btn().unwrap();
+            btn.node_of(alice)
+        };
+        let lin = s.lineage().unwrap().expect("traced");
+        let chain = lin.trace(btn_alice, cow).expect("alice's cow has lineage");
+        assert!(chain.len() >= 2, "chain reaches past alice");
+        assert_eq!(s.stats().full_rebuilds, 1, "tracing from the start");
     }
 
     #[test]

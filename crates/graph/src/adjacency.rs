@@ -30,6 +30,15 @@ pub trait Adjacency {
             len: self.degree(v),
         }
     }
+
+    /// Hints the CPU to pull `v`'s adjacency metadata into cache (no-op by
+    /// default). Traversals that know they will expand `v` soon — e.g. the
+    /// shard peel pushing `v` onto its stack — call this to hide the
+    /// row-lookup miss behind useful work.
+    #[inline]
+    fn prefetch_neighbors(&self, v: NodeId) {
+        let _ = v;
+    }
 }
 
 /// Iterator returned by [`Adjacency::neighbors`].

@@ -65,6 +65,19 @@ impl Csr {
         Csr::reversed_from_edges(g.node_count(), edges)
     }
 
+    /// Assembles a CSR from prebuilt arrays — for callers that fuse the
+    /// counting pass with other per-edge work (e.g. in-degree tallies).
+    ///
+    /// `offsets` must be monotone with `offsets[0] == 0` and
+    /// `offsets.last() == targets.len()`; `targets` holds the
+    /// out-neighbors of `v` at `targets[offsets[v]..offsets[v+1]]`.
+    pub fn from_parts(offsets: Vec<u32>, targets: Vec<NodeId>) -> Csr {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(*offsets.last().expect("nonempty") as usize, targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Csr { offsets, targets }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
@@ -105,6 +118,11 @@ impl Adjacency for Csr {
     #[inline]
     fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
         self.targets[self.offsets[v as usize] as usize + i]
+    }
+
+    #[inline]
+    fn prefetch_neighbors(&self, v: NodeId) {
+        crate::shard::prefetch(&self.offsets[v as usize]);
     }
 }
 

@@ -30,6 +30,11 @@
 //! Loops that recompute SCCs over shrinking subsets (Algorithm 1 Step 2,
 //! incremental dirty regions) reuse an [`SccScratch`] so each round costs
 //! O(visited), not O(graph).
+//!
+//! For parallel resolution, [`ShardPlan`] turns an SCC labelling into a
+//! level-indexed shard schedule: components grouped into worker-sized
+//! shards per topological level, with flat dependency counts so a shard
+//! becomes ready exactly when all upstream shards are sealed.
 
 pub mod adjacency;
 pub mod condense;
@@ -38,6 +43,7 @@ pub mod digraph;
 pub mod flow;
 pub mod reach;
 pub mod scc;
+pub mod shard;
 pub mod topo;
 
 #[cfg(test)]
@@ -50,4 +56,5 @@ pub use digraph::{DiGraph, EdgeId, NodeId};
 pub use flow::{vertex_disjoint_pair, DisjointPair};
 pub use reach::{reachable_from, reachable_within};
 pub use scc::{tarjan_scc, tarjan_scc_filtered, SccResult, SccScratch};
+pub use shard::ShardPlan;
 pub use topo::{is_acyclic, topo_order, TopoError};

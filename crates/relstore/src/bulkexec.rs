@@ -160,8 +160,15 @@ pub fn resolve_objects_sequential(
     PossTable { rows, num_objects }
 }
 
-/// The naive baseline fanned out over `threads` scoped threads,
-/// each owning a clone of the BTN and a contiguous object range.
+/// The naive baseline fanned out over `threads` scoped threads.
+///
+/// With at least one object per thread, each worker owns a clone of the
+/// BTN and a contiguous object range (object-level parallelism). With
+/// *fewer* objects than threads — the "single huge object" regime —
+/// per-object ranges cannot use the hardware, so the work is routed
+/// through the condensation-sharded resolver instead: objects resolve one
+/// after another, each spreading its trust network across all `threads`
+/// workers ([`trustmap_core::parallel::resolve_parallel`]).
 pub fn resolve_objects_parallel(
     btn: &Btn,
     seeds: &[SeedValues],
@@ -169,6 +176,26 @@ pub fn resolve_objects_parallel(
     threads: usize,
 ) -> PossTable {
     assert!(threads > 0, "need at least one thread");
+    if threads > 1 && num_objects < threads {
+        let mut rows: Vec<Vec<Vec<Value>>> = vec![vec![Vec::new(); num_objects]; btn.node_count()];
+        let mut work = btn.clone();
+        // The trust structure is identical across objects — only the root
+        // beliefs change — so the shard schedule is planned once and
+        // reused for every reseed.
+        let planned = trustmap_core::parallel::PlannedResolver::new(btn, Default::default());
+        // `rows[node][k]` is written per node while `k` drives reseeding.
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..num_objects {
+            seed_object(&mut work, btn, seeds, k);
+            let res = planned
+                .resolve(&work, threads)
+                .expect("positive beliefs only");
+            for node in btn.nodes() {
+                rows[node as usize][k] = res.poss(node).to_vec();
+            }
+        }
+        return PossTable { rows, num_objects };
+    }
     let chunk = num_objects.div_ceil(threads);
     let mut rows: Vec<Vec<Vec<Value>>> = vec![vec![Vec::new(); num_objects]; btn.node_count()];
 
@@ -276,6 +303,21 @@ mod tests {
         let seq = resolve_objects_sequential(&btn, &seeds, 12);
         assert_eq!(sql, seq);
         let par = resolve_objects_parallel(&btn, &seeds, 12, 3);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn few_objects_route_through_sharded_resolver() {
+        // 2 objects on 4 threads: the intra-object sharded path must give
+        // byte-identical tables to the sequential baseline.
+        let (btn, _, seeds) = setup(2);
+        let seq = resolve_objects_sequential(&btn, &seeds, 2);
+        let par = resolve_objects_parallel(&btn, &seeds, 2, 4);
+        assert_eq!(seq, par);
+        // Degenerate single object.
+        let (btn, _, seeds) = setup(1);
+        let seq = resolve_objects_sequential(&btn, &seeds, 1);
+        let par = resolve_objects_parallel(&btn, &seeds, 1, 8);
         assert_eq!(seq, par);
     }
 

@@ -16,7 +16,8 @@
 //! equivalence-preserving — the binarized network can admit values the
 //! source network forbids, because the lower parent is dominated by the
 //! tie's single surviving value instead of every tied member. Tie-free
-//! networks are unaffected.
+//! networks are unaffected. This and every other documented deviation is
+//! collected in `docs/FIDELITY.md` at the repository root.
 
 use crate::network::TrustNetwork;
 use crate::signed::ExplicitBelief;

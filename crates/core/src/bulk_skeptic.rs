@@ -330,6 +330,96 @@ pub fn execute_skeptic_native(
     SkepticTable { rows, num_objects }
 }
 
+/// Resolves `num_objects` objects under the Skeptic paradigm with
+/// `threads` workers — the signed counterpart of
+/// [`trustmap_relstore`-style](crate::bulk) per-object parallel execution.
+///
+/// With at least one object per thread, each worker owns a clone of the
+/// BTN and a contiguous object range (object-level parallelism, sequential
+/// Algorithm 2 per object). With *fewer* objects than threads — the
+/// "single huge object" regime — per-object ranges cannot use the
+/// hardware, so each object instead resolves through the
+/// condensation-sharded [`crate::skeptic::SkepticPlannedResolver`]: the
+/// plan is built once
+/// (it depends only on the trust structure) and every reseeded object
+/// spreads its network across all `threads` workers.
+///
+/// # Panics
+/// Panics if a positive believer lacks seed values.
+pub fn execute_skeptic_parallel(
+    btn: &Btn,
+    seeds: &[PosSeeds],
+    num_objects: usize,
+    threads: usize,
+) -> Result<SkepticTable> {
+    assert!(threads > 0, "need at least one thread");
+    let mut rows: Vec<Vec<RepPoss>> = vec![vec![RepPoss::default(); num_objects]; btn.node_count()];
+
+    if threads > 1 && num_objects < threads {
+        let planned = crate::skeptic::SkepticPlannedResolver::new(btn, Default::default())?;
+        let mut work = btn.clone();
+        // `rows[node][k]` is written per node while `k` drives reseeding.
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..num_objects {
+            seed_object(&mut work, btn, seeds, k);
+            let res = planned.resolve(&work, threads)?;
+            for node in btn.nodes() {
+                rows[node as usize][k] = res.rep_poss(node).clone();
+            }
+        }
+        return Ok(SkepticTable { rows, num_objects });
+    }
+
+    let chunk = num_objects.div_ceil(threads);
+    let partials: Vec<Result<(usize, Vec<Vec<RepPoss>>)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(num_objects);
+            if start >= end {
+                continue;
+            }
+            handles.push(scope.spawn(move || {
+                let mut work = btn.clone();
+                let mut part: Vec<Vec<RepPoss>> =
+                    vec![vec![RepPoss::default(); end - start]; btn.node_count()];
+                for k in start..end {
+                    seed_object(&mut work, btn, seeds, k);
+                    let res = crate::skeptic::resolve_skeptic(&work)?;
+                    for node in btn.nodes() {
+                        part[node as usize][k - start] = res.rep_poss(node).clone();
+                    }
+                }
+                Ok((start, part))
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    for partial in partials {
+        let (start, part) = partial?;
+        for (node, node_rows) in part.into_iter().enumerate() {
+            for (off, rep) in node_rows.into_iter().enumerate() {
+                rows[node][start + off] = rep;
+            }
+        }
+    }
+    Ok(SkepticTable { rows, num_objects })
+}
+
+/// Re-seeds the working BTN with object `k`'s explicit positive beliefs.
+fn seed_object(work: &mut Btn, btn: &Btn, seeds: &[PosSeeds], k: usize) {
+    for seed in seeds {
+        let node = btn
+            .belief_root(seed.user)
+            .expect("seed user holds a belief");
+        work.set_root_belief(node, ExplicitBelief::Pos(seed.values[k]));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,6 +502,43 @@ mod tests {
         }
         let plan2 = plan_bulk_skeptic(&btn2).unwrap();
         assert_eq!(plan1.steps, plan2.steps);
+    }
+
+    /// The parallel executor equals the per-object reference in both
+    /// regimes: object-level fan-out and the few-objects sharded path.
+    #[test]
+    fn parallel_skeptic_bulk_matches_native() {
+        let (btn, believers, vals) = setup();
+        let plan = plan_bulk_skeptic(&btn).unwrap();
+        let num_objects = 6;
+        let seeds = vec![
+            SeedValues {
+                user: believers[0],
+                values: (0..num_objects).map(|k| vals[k % vals.len()]).collect(),
+            },
+            SeedValues {
+                user: believers[1],
+                values: (0..num_objects)
+                    .map(|k| vals[(k / 2) % vals.len()])
+                    .collect(),
+            },
+        ];
+        let reference = execute_skeptic_native(&plan, &seeds, num_objects);
+        // Object-level fan-out (objects >= threads).
+        let fanned = execute_skeptic_parallel(&btn, &seeds, num_objects, 3).unwrap();
+        assert_eq!(reference, fanned);
+        // Few-objects regime: each object runs through the sharded
+        // resolver.
+        let few_seeds: Vec<SeedValues> = seeds
+            .iter()
+            .map(|s| SeedValues {
+                user: s.user,
+                values: s.values[..2].to_vec(),
+            })
+            .collect();
+        let few_ref = execute_skeptic_native(&plan, &few_seeds, 2);
+        let few_par = execute_skeptic_parallel(&btn, &few_seeds, 2, 4).unwrap();
+        assert_eq!(few_ref, few_par);
     }
 
     /// Blocked objects materialize ⊥ for the guarded user, clean objects a

@@ -1,0 +1,258 @@
+//! The live, patchable BTN behind the incremental engines.
+//!
+//! Both delta-resolution engines — [`crate::incremental`] (Algorithm 1)
+//! and [`crate::skeptic_incremental`] (Algorithm 2) — maintain the same
+//! structural state: a [`Btn`] kept equivalent to the evolving network,
+//! per-user parent lists, a forward child adjacency, and a free list that
+//! recycles the synthetic cascade nodes of Figure 9 across rebuilds. This
+//! module owns that machinery once; the engines layer their cached
+//! solutions (possible sets / `repPoss`) on top through the
+//! [`NodeSideTables`] hook.
+//!
+//! The key properties the engines rely on:
+//!
+//! * **Persistent belief roots** — a user's synthetic `x0` root survives
+//!   belief-value flips and revocations, so those edits are non-structural
+//!   (only the explicit belief at one existing node changes).
+//! * **Targeted re-binarization** — a new trust mapping rebuilds only the
+//!   edited user's cascade, recycling its freed interior nodes; the rest
+//!   of the BTN is untouched.
+//! * **Seed reporting** — every node whose structure or belief changed is
+//!   pushed onto the caller's seed list, which the engines forward-close
+//!   into their dirty regions.
+
+use crate::binary::{cascade, push_node, Btn, Parents};
+use crate::network::TrustNetwork;
+use crate::signed::ExplicitBelief;
+use crate::user::User;
+use trustmap_graph::NodeId;
+
+/// Engine-owned node-indexed side tables that must track the BTN's node
+/// count and forget the state of recycled nodes.
+pub(crate) trait NodeSideTables {
+    /// The BTN grew to `n` nodes; side arrays must cover `0..n`.
+    fn grow(&mut self, n: usize);
+    /// Node `x` was freed (recycled into the allocator); clear any cached
+    /// solution state so its next incarnation starts blank.
+    fn reset(&mut self, x: NodeId);
+}
+
+/// The live BTN plus the structural side state needed to patch it.
+#[derive(Debug, Clone)]
+pub(crate) struct DeltaBtn {
+    /// The binarized network being maintained. Structurally equivalent to
+    /// [`crate::binary::binarize`] of the current network but with its own
+    /// node layout (recycled synthetic nodes, late users appended) —
+    /// always address users through [`Btn::node_of`].
+    pub btn: Btn,
+    /// Per-user parent lists `(parent node, priority)` in declaration
+    /// order — the engine-side mirror of the network's mappings, so edits
+    /// never rescan the global mapping table.
+    pub plists: Vec<Vec<(NodeId, i64)>>,
+    /// Forward adjacency (parent → children), kept in sync with `btn`'s
+    /// `Parents` under cascade rebuilds.
+    pub children: Vec<Vec<NodeId>>,
+    /// Per-user interior cascade nodes (the `y_i` of Figure 9), owned so a
+    /// rebuild knows exactly which nodes to recycle.
+    cascade_nodes: Vec<Vec<NodeId>>,
+    /// Recycled synthetic node ids.
+    free: Vec<NodeId>,
+}
+
+impl DeltaBtn {
+    /// Builds the structural skeleton for `net`: user nodes only, no
+    /// beliefs or cascades yet — callers must [`DeltaBtn::reconcile_user`]
+    /// every user once (which is also how the engines seed their initial
+    /// full solve).
+    pub fn new(net: &TrustNetwork) -> DeltaBtn {
+        let n = net.user_count();
+        let btn = Btn {
+            domain: net.domain().clone(),
+            beliefs: vec![ExplicitBelief::None; n],
+            parents: vec![Parents::None; n],
+            origin: (0..n as u32).map(|u| Some(User(u))).collect(),
+            names: (0..n as u32)
+                .map(|u| net.user_name(User(u)).to_owned())
+                .collect(),
+            user_count: n,
+            belief_root: vec![None; n],
+            user_node: (0..n as NodeId).collect(),
+        };
+        let mut plists: Vec<Vec<(NodeId, i64)>> = vec![Vec::new(); n];
+        for m in net.mappings() {
+            plists[m.child.index()].push((m.parent.0, m.priority));
+        }
+        DeltaBtn {
+            btn,
+            plists,
+            children: vec![Vec::new(); n],
+            cascade_nodes: vec![Vec::new(); n],
+            free: Vec::new(),
+        }
+    }
+
+    /// Appends nodes for users created in `net` since the last sync and
+    /// refreshes the shared value domain.
+    pub fn grow_users(&mut self, net: &TrustNetwork, side: &mut dyn NodeSideTables) {
+        for u in self.btn.user_count..net.user_count() {
+            let user = User(u as u32);
+            let id = push_node(
+                &mut self.btn,
+                ExplicitBelief::None,
+                net.user_name(user).to_owned(),
+            );
+            self.btn.origin[id as usize] = Some(user);
+            self.btn.user_node.push(id);
+            self.btn.belief_root.push(None);
+            self.btn.user_count += 1;
+            self.plists.push(Vec::new());
+            self.cascade_nodes.push(Vec::new());
+            let n = self.btn.node_count();
+            self.children.resize_with(n, Vec::new);
+            side.grow(n);
+        }
+        // New values may have been interned too.
+        if self.btn.domain.len() != net.domain().len() {
+            self.btn.domain = net.domain().clone();
+        }
+    }
+
+    /// Adds `node` to its parents' child lists.
+    fn link(&mut self, node: NodeId) {
+        for z in self.btn.parents[node as usize].iter() {
+            self.children[z as usize].push(node);
+        }
+    }
+
+    /// Removes `node` from its parents' child lists.
+    fn unlink(&mut self, node: NodeId) {
+        for z in self.btn.parents[node as usize].iter() {
+            let list = &mut self.children[z as usize];
+            if let Some(pos) = list.iter().position(|&c| c == node) {
+                list.swap_remove(pos);
+            }
+        }
+    }
+
+    /// Frees a synthetic node back into the allocator, resetting its
+    /// structural and engine-side state.
+    fn recycle(&mut self, node: NodeId, side: &mut dyn NodeSideTables) {
+        self.btn.parents[node as usize] = Parents::None;
+        self.btn.beliefs[node as usize] = ExplicitBelief::None;
+        self.children[node as usize].clear();
+        side.reset(node);
+        self.free.push(node);
+    }
+
+    /// Allocates (or recycles) a synthetic node.
+    fn alloc_node(&mut self, name: String, side: &mut dyn NodeSideTables) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            self.btn.names[id as usize] = name;
+            id
+        } else {
+            let id = push_node(&mut self.btn, ExplicitBelief::None, name);
+            let n = self.btn.node_count();
+            self.children.resize_with(n, Vec::new);
+            side.grow(n);
+            id
+        }
+    }
+
+    /// Rebuilds user `u`'s belief root and cascade from the stored parent
+    /// list — the targeted re-binarization of one user's neighborhood.
+    /// Every node whose structure or belief changed is pushed onto
+    /// `seeds`.
+    pub fn reconcile_user(
+        &mut self,
+        net: &TrustNetwork,
+        u: User,
+        seeds: &mut Vec<NodeId>,
+        side: &mut dyn NodeSideTables,
+    ) {
+        let x = self.btn.node_of(u);
+        // Detach the old structure, recycling interior cascade nodes.
+        self.unlink(x);
+        let old_interiors = std::mem::take(&mut self.cascade_nodes[u.index()]);
+        for y in old_interiors {
+            self.unlink(y);
+            self.recycle(y, side);
+        }
+
+        let mut plist = self.plists[u.index()].clone();
+        let b0 = net.belief(u).clone();
+        if b0.is_some() {
+            if plist.is_empty() {
+                // Parentless believers stay roots (binarize step 1).
+                self.btn.belief_root[u.index()] = Some(x);
+                self.btn.beliefs[x as usize] = b0;
+            } else {
+                // The belief moves to a persistent highest-priority root x0.
+                let x0 = match self.btn.belief_root[u.index()] {
+                    Some(r) if r != x => r,
+                    _ => {
+                        let name = format!("{}::b0", self.btn.names[x as usize]);
+                        let id = self.alloc_node(name, side);
+                        self.btn.belief_root[u.index()] = Some(id);
+                        id
+                    }
+                };
+                self.btn.beliefs[x0 as usize] = b0;
+                self.btn.beliefs[x as usize] = ExplicitBelief::None;
+                self.btn.parents[x0 as usize] = Parents::None;
+                let top = plist.iter().map(|&(_, p)| p).max().expect("nonempty");
+                plist.push((x0, top.saturating_add(1)));
+                seeds.push(x0);
+            }
+        } else {
+            match self.btn.belief_root[u.index()] {
+                Some(r) if r != x => {
+                    // Free the synthetic root entirely.
+                    self.recycle(r, side);
+                }
+                Some(_) => {
+                    self.btn.beliefs[x as usize] = ExplicitBelief::None;
+                }
+                None => {}
+            }
+            self.btn.belief_root[u.index()] = None;
+        }
+
+        // Rebuild the cascade (Figure 9) for the new parent list.
+        match plist.len() {
+            0 => self.btn.parents[x as usize] = Parents::None,
+            1 => self.btn.parents[x as usize] = Parents::One(plist[0].0),
+            _ => {
+                plist.sort_by_key(|&(_, p)| p);
+                // Split borrows: `cascade` mutates `btn` while the
+                // allocator updates the structural side tables.
+                let free = &mut self.free;
+                let cascade_u = &mut self.cascade_nodes[u.index()];
+                let children = &mut self.children;
+                cascade(&mut self.btn, x, &plist, &mut |btn, i| {
+                    let name = format!("{}::y{}", btn.names[x as usize], i);
+                    let id = if let Some(id) = free.pop() {
+                        btn.names[id as usize] = name;
+                        id
+                    } else {
+                        let id = push_node(btn, ExplicitBelief::None, name);
+                        children.push(Vec::new());
+                        side.grow(btn.node_count());
+                        id
+                    };
+                    cascade_u.push(id);
+                    id
+                });
+            }
+        }
+
+        // Reattach the rebuilt structure.
+        self.link(x);
+        let interiors = std::mem::take(&mut self.cascade_nodes[u.index()]);
+        for &y in &interiors {
+            self.link(y);
+            seeds.push(y);
+        }
+        self.cascade_nodes[u.index()] = interiors;
+        seeds.push(x);
+    }
+}

@@ -37,7 +37,8 @@
 //!
 //! [`resolve_network`]: crate::resolution::resolve_network
 
-use crate::binary::{cascade, push_node, Btn, Parents};
+use crate::binary::Btn;
+use crate::deltabtn::{DeltaBtn, NodeSideTables};
 use crate::error::{Error, Result};
 use crate::lineage::Lineage;
 use crate::network::TrustNetwork;
@@ -109,23 +110,41 @@ const REGION_SHARD_TARGET: usize = 4096;
 /// huge networks would pay O(network) setup for O(region) work.
 const PAR_REGION_DIVISOR: usize = 32;
 
+/// Engine-side node tables the [`DeltaBtn`] keeps in sync with its node
+/// count and free list.
+struct BasicSide<'a> {
+    poss: &'a mut Vec<Arc<[Value]>>,
+    reachable: &'a mut Vec<bool>,
+    dirty: &'a mut Vec<bool>,
+    closed: &'a mut Vec<bool>,
+    lineage: Option<&'a mut Lineage>,
+    empty: &'a Arc<[Value]>,
+}
+
+impl NodeSideTables for BasicSide<'_> {
+    fn grow(&mut self, n: usize) {
+        self.poss.resize(n, Arc::clone(self.empty));
+        self.reachable.resize(n, false);
+        self.dirty.resize(n, false);
+        self.closed.resize(n, false);
+        if let Some(l) = self.lineage.as_deref_mut() {
+            l.ensure(n);
+        }
+    }
+
+    fn reset(&mut self, x: NodeId) {
+        self.poss[x as usize] = Arc::clone(self.empty);
+        self.reachable[x as usize] = false;
+    }
+}
+
 /// The incremental resolution engine: a live BTN plus its resolved state,
 /// patched in place per edit batch.
 #[derive(Debug, Clone)]
 pub struct IncrementalResolver {
-    btn: Btn,
-    /// Per-user parent lists `(parent node, priority)` in declaration order
-    /// — the engine-side mirror of the network's mappings, so edits never
-    /// rescan the global mapping table.
-    plists: Vec<Vec<(NodeId, i64)>>,
-    /// Forward adjacency (parent → children), kept in sync with `btn`'s
-    /// `Parents` under cascade rebuilds.
-    children: Vec<Vec<NodeId>>,
-    /// Per-user interior cascade nodes (the `y_i` of Figure 9), owned so a
-    /// rebuild knows exactly which nodes to recycle.
-    cascade_nodes: Vec<Vec<NodeId>>,
-    /// Recycled synthetic node ids.
-    free: Vec<NodeId>,
+    /// The live BTN and its structural maintenance (shared with the
+    /// skeptic engine through [`crate::deltabtn`]).
+    delta: DeltaBtn,
     /// Cached per-node possible sets (the resolution being maintained).
     poss: Vec<Arc<[Value]>>,
     /// Cached reachability from belief roots.
@@ -175,29 +194,9 @@ impl IncrementalResolver {
             return Err(Error::NegativeBeliefsUnsupported(u));
         }
         let n = net.user_count();
-        let btn = Btn {
-            domain: net.domain().clone(),
-            beliefs: vec![ExplicitBelief::None; n],
-            parents: vec![Parents::None; n],
-            origin: (0..n as u32).map(|u| Some(User(u))).collect(),
-            names: (0..n as u32)
-                .map(|u| net.user_name(User(u)).to_owned())
-                .collect(),
-            user_count: n,
-            belief_root: vec![None; n],
-            user_node: (0..n as NodeId).collect(),
-        };
-        let mut plists: Vec<Vec<(NodeId, i64)>> = vec![Vec::new(); n];
-        for m in net.mappings() {
-            plists[m.child.index()].push((m.parent.0, m.priority));
-        }
         let empty: Arc<[Value]> = Arc::from([] as [Value; 0]);
         let mut engine = IncrementalResolver {
-            btn,
-            plists,
-            children: vec![Vec::new(); n],
-            cascade_nodes: vec![Vec::new(); n],
-            free: Vec::new(),
+            delta: DeltaBtn::new(net),
             poss: vec![Arc::clone(&empty); n],
             reachable: vec![false; n],
             last_dirty_users: Vec::new(),
@@ -220,13 +219,27 @@ impl IncrementalResolver {
         }
         // Initial solve: everything is dirty.
         engine.dirty_list.clear();
-        for x in 0..engine.btn.node_count() as NodeId {
+        for x in 0..engine.delta.btn.node_count() as NodeId {
             engine.dirty[x as usize] = true;
             engine.dirty_list.push(x);
         }
         engine.solve_region();
         engine.last_dirty_users = (0..n as u32).map(User).collect();
         Ok(engine)
+    }
+
+    /// Routes a structural reconcile through the shared [`DeltaBtn`],
+    /// keeping this engine's node tables in sync.
+    fn reconcile_user(&mut self, net: &TrustNetwork, u: User, seeds: &mut Vec<NodeId>) {
+        let mut side = BasicSide {
+            poss: &mut self.poss,
+            reachable: &mut self.reachable,
+            dirty: &mut self.dirty,
+            closed: &mut self.closed,
+            lineage: self.lineage.as_mut(),
+            empty: &self.empty,
+        };
+        self.delta.reconcile_user(net, u, seeds, &mut side);
     }
 
     /// The live BTN backing the cached resolution.
@@ -236,7 +249,7 @@ impl IncrementalResolver {
     /// recycled across cascade rebuilds and late-created users sit after
     /// them, so always address users through [`Btn::node_of`].
     pub fn btn(&self) -> &Btn {
-        &self.btn
+        &self.delta.btn
     }
 
     /// The cached possible set of `node`.
@@ -247,7 +260,7 @@ impl IncrementalResolver {
     /// Number of users the engine currently covers (its network view may
     /// trail the live network until the next edit batch grows it).
     pub fn user_count(&self) -> usize {
-        self.btn.user_count
+        self.delta.btn.user_count
     }
 
     /// Users whose nodes were touched by the most recent edit batch.
@@ -284,11 +297,11 @@ impl IncrementalResolver {
 
     /// Extracts a full per-user snapshot (O(users) refcount bumps).
     pub fn user_resolution(&self) -> UserResolution {
-        let users = self.btn.user_count;
+        let users = self.delta.btn.user_count;
         let mut poss = Vec::with_capacity(users);
         let mut cert = Vec::with_capacity(users);
         for u in 0..users as u32 {
-            let node = self.btn.node_of(User(u));
+            let node = self.delta.btn.node_of(User(u));
             let set = Arc::clone(&self.poss[node as usize]);
             cert.push(if set.len() == 1 { Some(set[0]) } else { None });
             poss.push(set);
@@ -300,12 +313,12 @@ impl IncrementalResolver {
     /// created since it was built and overwrites entries of users whose
     /// nodes were in the last dirty region.
     pub fn patch_user_resolution(&self, res: &mut UserResolution) {
-        while res.poss.len() < self.btn.user_count {
+        while res.poss.len() < self.delta.btn.user_count {
             res.poss.push(Arc::clone(&self.empty));
             res.cert.push(None);
         }
         for &u in &self.last_dirty_users {
-            let node = self.btn.node_of(u);
+            let node = self.delta.btn.node_of(u);
             let set = Arc::clone(&self.poss[node as usize]);
             res.cert[u.index()] = if set.len() == 1 { Some(set[0]) } else { None };
             res.poss[u.index()] = set;
@@ -320,22 +333,22 @@ impl IncrementalResolver {
         let mut seeds: Vec<NodeId> = Vec::new();
         for edit in edits {
             match *edit {
-                Edit::Believe(u, v) => match self.btn.belief_root[u.index()] {
+                Edit::Believe(u, v) => match self.delta.btn.belief_root[u.index()] {
                     // Fast path: the user's belief root persists across
                     // value flips — a purely non-structural edit.
                     Some(root) => {
-                        self.btn.beliefs[root as usize] = ExplicitBelief::Pos(v);
+                        self.delta.btn.beliefs[root as usize] = ExplicitBelief::Pos(v);
                         seeds.push(root);
                     }
                     None => self.reconcile_user(net, u, &mut seeds),
                 },
                 Edit::Revoke(u) => {
-                    if let Some(root) = self.btn.belief_root[u.index()] {
+                    if let Some(root) = self.delta.btn.belief_root[u.index()] {
                         // Keep the (now beliefless) root in place: it goes
                         // unreachable, Step 2 falls back to the lower
                         // parents, and a later re-assertion is again
                         // non-structural.
-                        self.btn.beliefs[root as usize] = ExplicitBelief::None;
+                        self.delta.btn.beliefs[root as usize] = ExplicitBelief::None;
                         seeds.push(root);
                     }
                 }
@@ -344,8 +357,8 @@ impl IncrementalResolver {
                     parent,
                     priority,
                 } => {
-                    let parent_node = self.btn.node_of(parent);
-                    self.plists[child.index()].push((parent_node, priority));
+                    let parent_node = self.delta.btn.node_of(parent);
+                    self.delta.plists[child.index()].push((parent_node, priority));
                     self.reconcile_user(net, child, &mut seeds);
                 }
             }
@@ -355,7 +368,7 @@ impl IncrementalResolver {
         // Capture pre-solve certain beliefs of every user in the region.
         let mut before: Vec<(User, Option<Value>)> = Vec::new();
         for &x in &self.dirty_list {
-            if let Some(u) = self.btn.origin[x as usize] {
+            if let Some(u) = self.delta.btn.origin[x as usize] {
                 let set = &self.poss[x as usize];
                 before.push((u, if set.len() == 1 { Some(set[0]) } else { None }));
             }
@@ -365,7 +378,7 @@ impl IncrementalResolver {
         let mut changes = Vec::new();
         for (u, old) in before {
             self.last_dirty_users.push(u);
-            let set = &self.poss[self.btn.node_of(u) as usize];
+            let set = &self.poss[self.delta.btn.node_of(u) as usize];
             let new = if set.len() == 1 { Some(set[0]) } else { None };
             if old != new {
                 changes.push(BeliefChange {
@@ -380,176 +393,15 @@ impl IncrementalResolver {
 
     /// Appends nodes for users created in `net` since the engine was built.
     fn grow_users(&mut self, net: &TrustNetwork) {
-        for u in self.btn.user_count..net.user_count() {
-            let user = User(u as u32);
-            let id = push_node(
-                &mut self.btn,
-                ExplicitBelief::None,
-                net.user_name(user).to_owned(),
-            );
-            self.btn.origin[id as usize] = Some(user);
-            self.btn.user_node.push(id);
-            self.btn.belief_root.push(None);
-            self.btn.user_count += 1;
-            self.plists.push(Vec::new());
-            self.cascade_nodes.push(Vec::new());
-            self.grow_node_arrays();
-        }
-        // New values may have been interned too.
-        if self.btn.domain.len() != net.domain().len() {
-            self.btn.domain = net.domain().clone();
-        }
-    }
-
-    /// Grows per-node side arrays to match `btn.node_count()`.
-    fn grow_node_arrays(&mut self) {
-        let n = self.btn.node_count();
-        self.children.resize_with(n, Vec::new);
-        self.poss.resize(n, Arc::clone(&self.empty));
-        self.reachable.resize(n, false);
-        self.dirty.resize(n, false);
-        self.closed.resize(n, false);
-        if let Some(l) = self.lineage.as_mut() {
-            l.ensure(n);
-        }
-    }
-
-    /// Adds `node` to its parents' child lists.
-    fn link(&mut self, node: NodeId) {
-        for z in self.btn.parents[node as usize].iter() {
-            self.children[z as usize].push(node);
-        }
-    }
-
-    /// Removes `node` from its parents' child lists.
-    fn unlink(&mut self, node: NodeId) {
-        for z in self.btn.parents[node as usize].iter() {
-            let list = &mut self.children[z as usize];
-            if let Some(pos) = list.iter().position(|&c| c == node) {
-                list.swap_remove(pos);
-            }
-        }
-    }
-
-    /// Rebuilds user `u`'s belief root and cascade from the engine's parent
-    /// list — the targeted re-binarization of one user's neighborhood.
-    /// Every node whose structure changed is pushed onto `seeds`.
-    fn reconcile_user(&mut self, net: &TrustNetwork, u: User, seeds: &mut Vec<NodeId>) {
-        let x = self.btn.node_of(u);
-        // Detach the old structure, recycling interior cascade nodes.
-        self.unlink(x);
-        let old_interiors = std::mem::take(&mut self.cascade_nodes[u.index()]);
-        for y in old_interiors {
-            self.unlink(y);
-            self.btn.parents[y as usize] = Parents::None;
-            self.btn.beliefs[y as usize] = ExplicitBelief::None;
-            self.children[y as usize].clear();
-            self.poss[y as usize] = Arc::clone(&self.empty);
-            self.reachable[y as usize] = false;
-            self.free.push(y);
-        }
-
-        let mut plist = self.plists[u.index()].clone();
-        let b0 = net.belief(u).clone();
-        if b0.is_some() {
-            if plist.is_empty() {
-                // Parentless believers stay roots (binarize step 1).
-                self.btn.belief_root[u.index()] = Some(x);
-                self.btn.beliefs[x as usize] = b0;
-            } else {
-                // The belief moves to a persistent highest-priority root x0.
-                let x0 = match self.btn.belief_root[u.index()] {
-                    Some(r) if r != x => r,
-                    _ => {
-                        let name = format!("{}::b0", self.btn.names[x as usize]);
-                        let id = self.alloc_node(name);
-                        self.btn.belief_root[u.index()] = Some(id);
-                        id
-                    }
-                };
-                self.btn.beliefs[x0 as usize] = b0;
-                self.btn.beliefs[x as usize] = ExplicitBelief::None;
-                self.btn.parents[x0 as usize] = Parents::None;
-                let top = plist.iter().map(|&(_, p)| p).max().expect("nonempty");
-                plist.push((x0, top.saturating_add(1)));
-                seeds.push(x0);
-            }
-        } else {
-            match self.btn.belief_root[u.index()] {
-                Some(r) if r != x => {
-                    // Free the synthetic root entirely.
-                    self.btn.beliefs[r as usize] = ExplicitBelief::None;
-                    self.btn.parents[r as usize] = Parents::None;
-                    self.children[r as usize].clear();
-                    self.poss[r as usize] = Arc::clone(&self.empty);
-                    self.reachable[r as usize] = false;
-                    self.free.push(r);
-                }
-                Some(_) => {
-                    self.btn.beliefs[x as usize] = ExplicitBelief::None;
-                }
-                None => {}
-            }
-            self.btn.belief_root[u.index()] = None;
-        }
-
-        // Rebuild the cascade (Figure 9) for the new parent list.
-        match plist.len() {
-            0 => self.btn.parents[x as usize] = Parents::None,
-            1 => self.btn.parents[x as usize] = Parents::One(plist[0].0),
-            _ => {
-                plist.sort_by_key(|&(_, p)| p);
-                // Split borrows: `cascade` mutates `btn` while the
-                // allocator updates the engine's side tables.
-                let free = &mut self.free;
-                let cascade_u = &mut self.cascade_nodes[u.index()];
-                let children = &mut self.children;
-                let poss = &mut self.poss;
-                let reachable = &mut self.reachable;
-                let dirty = &mut self.dirty;
-                let closed = &mut self.closed;
-                let empty = &self.empty;
-                cascade(&mut self.btn, x, &plist, &mut |btn, i| {
-                    let name = format!("{}::y{}", btn.names[x as usize], i);
-                    let id = if let Some(id) = free.pop() {
-                        btn.names[id as usize] = name;
-                        id
-                    } else {
-                        let id = push_node(btn, ExplicitBelief::None, name);
-                        children.push(Vec::new());
-                        poss.push(Arc::clone(empty));
-                        reachable.push(false);
-                        dirty.push(false);
-                        closed.push(false);
-                        id
-                    };
-                    cascade_u.push(id);
-                    id
-                });
-            }
-        }
-
-        // Reattach the rebuilt structure.
-        self.link(x);
-        let interiors = std::mem::take(&mut self.cascade_nodes[u.index()]);
-        for &y in &interiors {
-            self.link(y);
-            seeds.push(y);
-        }
-        self.cascade_nodes[u.index()] = interiors;
-        seeds.push(x);
-    }
-
-    /// Allocates (or recycles) a synthetic node.
-    fn alloc_node(&mut self, name: String) -> NodeId {
-        if let Some(id) = self.free.pop() {
-            self.btn.names[id as usize] = name;
-            id
-        } else {
-            let id = push_node(&mut self.btn, ExplicitBelief::None, name);
-            self.grow_node_arrays();
-            id
-        }
+        let mut side = BasicSide {
+            poss: &mut self.poss,
+            reachable: &mut self.reachable,
+            dirty: &mut self.dirty,
+            closed: &mut self.closed,
+            lineage: self.lineage.as_mut(),
+            empty: &self.empty,
+        };
+        self.delta.grow_users(net, &mut side);
     }
 
     /// Marks the forward closure of `seeds` over trust edges as dirty —
@@ -565,8 +417,8 @@ impl IncrementalResolver {
             }
         }
         while let Some(v) = self.stack.pop() {
-            for i in 0..self.children[v as usize].len() {
-                let c = self.children[v as usize][i];
+            for i in 0..self.delta.children[v as usize].len() {
+                let c = self.delta.children[v as usize][i];
                 if !self.dirty[c as usize] {
                     self.dirty[c as usize] = true;
                     self.dirty_list.push(c);
@@ -594,8 +446,9 @@ impl IncrementalResolver {
             if self.reachable[xs] {
                 continue;
             }
-            let is_root = self.btn.parents[xs].is_root() && self.btn.beliefs[xs].is_some();
-            let from_boundary = self.btn.parents[xs]
+            let is_root =
+                self.delta.btn.parents[xs].is_root() && self.delta.btn.beliefs[xs].is_some();
+            let from_boundary = self.delta.btn.parents[xs]
                 .iter()
                 .any(|z| !self.dirty[z as usize] && self.reachable[z as usize]);
             if is_root || from_boundary {
@@ -604,8 +457,8 @@ impl IncrementalResolver {
             }
         }
         while let Some(v) = self.stack.pop() {
-            for i in 0..self.children[v as usize].len() {
-                let c = self.children[v as usize][i];
+            for i in 0..self.delta.children[v as usize].len() {
+                let c = self.delta.children[v as usize][i];
                 let cs = c as usize;
                 if self.dirty[cs] && !self.reachable[cs] {
                     self.reachable[cs] = true;
@@ -621,7 +474,7 @@ impl IncrementalResolver {
         // [`IncrementalResolver::set_parallelism`].
         let par_floor = self
             .par_min_region
-            .max(self.btn.node_count() / PAR_REGION_DIVISOR);
+            .max(self.delta.btn.node_count() / PAR_REGION_DIVISOR);
         if self.par_threads > 1 && self.lineage.is_none() && self.dirty_list.len() >= par_floor {
             self.solve_region_parallel();
             for &x in &self.dirty_list {
@@ -633,7 +486,7 @@ impl IncrementalResolver {
         // (I) Initialize the region: everything open and empty, then close
         // the roots with their explicit beliefs.
         if let Some(l) = self.lineage.as_mut() {
-            l.ensure(self.btn.node_count());
+            l.ensure(self.delta.btn.node_count());
             for &x in &self.dirty_list {
                 l.clear_node(x);
             }
@@ -650,10 +503,10 @@ impl IncrementalResolver {
         for &x in &self.dirty_list {
             let xs = x as usize;
             if self.reachable[xs]
-                && self.btn.parents[xs].is_root()
-                && self.btn.beliefs[xs].is_some()
+                && self.delta.btn.parents[xs].is_root()
+                && self.delta.btn.beliefs[xs].is_some()
             {
-                let v = self.btn.beliefs[xs]
+                let v = self.delta.btn.beliefs[xs]
                     .positive()
                     .expect("engine rejects negative beliefs");
                 self.poss[xs] = Arc::from(vec![v]);
@@ -667,7 +520,7 @@ impl IncrementalResolver {
         for &x in &self.dirty_list {
             let xs = x as usize;
             if self.reachable[xs] && !self.closed[xs] {
-                if let Some(z) = self.btn.parents[xs].preferred() {
+                if let Some(z) = self.delta.btn.parents[xs].preferred() {
                     if self.closed_at(z) {
                         self.worklist.push(x);
                     }
@@ -682,7 +535,9 @@ impl IncrementalResolver {
                 if self.closed[xs] || !self.reachable[xs] {
                     continue;
                 }
-                let z = self.btn.parents[xs].preferred().expect("worklist node");
+                let z = self.delta.btn.parents[xs]
+                    .preferred()
+                    .expect("worklist node");
                 debug_assert!(self.closed_at(z));
                 self.poss[xs] = Arc::clone(&self.poss[z as usize]);
                 self.closed[xs] = true;
@@ -699,11 +554,11 @@ impl IncrementalResolver {
             // Step 2 on the open part of the region: reusable-scratch
             // Tarjan over the dirty candidates only.
             let (btn, dirty, reachable, closed, children) = (
-                &self.btn,
+                &self.delta.btn,
                 &self.dirty,
                 &self.reachable,
                 &self.closed,
-                &self.children,
+                &self.delta.children,
             );
             let keep =
                 |v: NodeId| dirty[v as usize] && reachable[v as usize] && !closed[v as usize];
@@ -735,7 +590,7 @@ impl IncrementalResolver {
                 let mut union: BTreeSet<Value> = BTreeSet::new();
                 let mut external: Vec<(NodeId, Value)> = Vec::new();
                 for &x in self.scratch.members(c) {
-                    for z in self.btn.parents[x as usize].iter() {
+                    for z in self.delta.btn.parents[x as usize].iter() {
                         let zs = z as usize;
                         let z_closed = if self.dirty[zs] {
                             self.closed[zs]
@@ -790,8 +645,7 @@ impl IncrementalResolver {
     fn solve_region_parallel(&mut self) {
         let threads = self.par_threads;
         let Self {
-            btn,
-            children,
+            delta,
             dirty,
             dirty_list,
             reachable,
@@ -800,11 +654,12 @@ impl IncrementalResolver {
             empty,
             ..
         } = self;
+        let btn = &delta.btn;
         // Dirty nodes that stay region-unreachable must read as empty.
         for &x in dirty_list.iter() {
             poss[x as usize] = Arc::clone(empty);
         }
-        let children: &[Vec<NodeId>] = children;
+        let children: &[Vec<NodeId>] = &delta.children;
         let dirty: &[bool] = dirty;
         let reachable: &[bool] = reachable;
         let parents = &btn.parents;
@@ -834,9 +689,9 @@ impl IncrementalResolver {
 
     /// Enqueues the dirty preferred-edge children of a freshly closed node.
     fn push_pref_children(&mut self, z: NodeId) {
-        for i in 0..self.children[z as usize].len() {
-            let c = self.children[z as usize][i];
-            if self.dirty[c as usize] && self.btn.parents[c as usize].preferred() == Some(z) {
+        for i in 0..self.delta.children[z as usize].len() {
+            let c = self.delta.children[z as usize][i];
+            if self.dirty[c as usize] && self.delta.btn.parents[c as usize].preferred() == Some(z) {
                 self.worklist.push(c);
             }
         }

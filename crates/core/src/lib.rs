@@ -37,15 +37,28 @@
 //!   closures fall back to full recomputation;
 //! * [`signed`] / [`paradigm`] — constraints as negative beliefs and the
 //!   Agnostic / Eclectic / Skeptic paradigms (Section 3);
-//! * [`skeptic`] — Algorithm 2: PTIME resolution under Skeptic;
+//! * [`skeptic`] — Algorithm 2: PTIME resolution under Skeptic, as the
+//!   sequential reference ([`skeptic::resolve_skeptic`]) *and* in
+//!   plan/solve form ([`skeptic::SkepticPlannedResolver`]) riding the same
+//!   condensation-sharded scheduler as [`parallel`];
+//! * [`skeptic_incremental`] — the signed counterpart of [`incremental`]:
+//!   dirty-region re-solving of Algorithm 2, with constraint edits as
+//!   first-class deltas (both engines share the live-BTN maintenance of
+//!   the internal `deltabtn` module);
 //! * [`acyclic`] — single-pass evaluation on DAGs for all paradigms
 //!   (Proposition 3.6);
 //! * [`stable_signed`] — ground-truth enumeration of constraint stable
 //!   solutions (Definition 3.3 / B.3);
 //! * [`gates`] / [`sat`] — the NP-hardness gadgets of Theorem 3.4 and a
 //!   small DPLL solver to cross-check them;
-//! * [`bulk`] — the bulk-resolution schedule of Section 4, reusable by SQL
-//!   and native executors.
+//! * [`bulk`] / [`bulk_skeptic`] — the bulk-resolution schedules of
+//!   Section 4 (Appendix B.10 for the signed variant), reusable by SQL and
+//!   native executors.
+//!
+//! A subsystem walkthrough with request lifecycles lives in
+//! `docs/ARCHITECTURE.md` at the repository root; the documented
+//! deviations from the printed algorithms are collected in
+//! `docs/FIDELITY.md`.
 //!
 //! ## Quick example (Figure 1 / Figure 2)
 //!
@@ -75,6 +88,7 @@ pub mod acyclic;
 pub mod binary;
 pub mod bulk;
 pub mod bulk_skeptic;
+pub(crate) mod deltabtn;
 pub mod error;
 pub mod gates;
 pub mod incremental;
@@ -88,6 +102,7 @@ pub mod sat;
 pub mod session;
 pub mod signed;
 pub mod skeptic;
+pub mod skeptic_incremental;
 pub mod stable;
 pub mod stable_signed;
 pub mod user;
@@ -102,5 +117,10 @@ pub use parallel::{resolve_network_parallel, resolve_parallel, ParOptions, Plann
 pub use resolution::{resolve, resolve_network, resolve_with, Options, Resolution, SccMode};
 pub use session::{BatchReport, BeliefChange, Session};
 pub use signed::{BeliefSet, ExplicitBelief, NegSet};
+pub use skeptic::{
+    resolve_skeptic, resolve_skeptic_parallel, SkepticPlannedResolver, SkepticResolution,
+    SkepticUserResolution,
+};
+pub use skeptic_incremental::{SignedEdit, SkepticIncremental};
 pub use user::User;
 pub use value::{Domain, Value};

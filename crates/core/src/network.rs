@@ -37,6 +37,10 @@ pub struct TrustNetwork {
     user_index: HashMap<String, User>,
     mappings: Vec<Mapping>,
     beliefs: Vec<ExplicitBelief>,
+    /// Number of users whose explicit belief is a constraint (`Negs`),
+    /// maintained O(1) per belief write so the sign-state checks on the
+    /// per-edit hot path ([`TrustNetwork::has_constraints`]) never scan.
+    constraint_count: usize,
 }
 
 impl TrustNetwork {
@@ -96,14 +100,14 @@ impl TrustNetwork {
     /// Sets an explicit positive belief `b0(user) = value`.
     pub fn believe(&mut self, user: User, value: Value) -> Result<()> {
         self.check_user(user)?;
-        self.beliefs[user.index()] = ExplicitBelief::Pos(value);
+        self.set_belief(user, ExplicitBelief::Pos(value));
         Ok(())
     }
 
     /// Sets an explicit set of negative beliefs (a constraint).
     pub fn reject(&mut self, user: User, neg: NegSet) -> Result<()> {
         self.check_user(user)?;
-        self.beliefs[user.index()] = ExplicitBelief::Negs(neg);
+        self.set_belief(user, ExplicitBelief::Negs(neg));
         Ok(())
     }
 
@@ -111,8 +115,16 @@ impl TrustNetwork {
     /// why update-order-dependent systems cannot handle these).
     pub fn revoke(&mut self, user: User) -> Result<()> {
         self.check_user(user)?;
-        self.beliefs[user.index()] = ExplicitBelief::None;
+        self.set_belief(user, ExplicitBelief::None);
         Ok(())
+    }
+
+    /// Writes one belief slot, keeping the constraint counter in sync.
+    fn set_belief(&mut self, user: User, belief: ExplicitBelief) {
+        let slot = &mut self.beliefs[user.index()];
+        self.constraint_count -= matches!(slot, ExplicitBelief::Negs(_)) as usize;
+        self.constraint_count += matches!(belief, ExplicitBelief::Negs(_)) as usize;
+        *slot = belief;
     }
 
     /// The explicit belief of `user`.
@@ -180,6 +192,22 @@ impl TrustNetwork {
         self.beliefs
             .iter()
             .position(|b| b.has_negatives())
+            .map(|i| User(i as u32))
+    }
+
+    /// Whether any user asserts a constraint (a negative explicit belief,
+    /// including the degenerate empty one). Constraint-carrying networks
+    /// resolve through the Skeptic pipeline. O(1) — checked per edit by
+    /// [`crate::Session`].
+    pub fn has_constraints(&self) -> bool {
+        self.constraint_count > 0
+    }
+
+    /// The first user asserting a constraint, if any.
+    pub fn first_constraint_user(&self) -> Option<User> {
+        self.beliefs
+            .iter()
+            .position(|b| matches!(b, ExplicitBelief::Negs(_)))
             .map(|i| User(i as u32))
     }
 
@@ -278,6 +306,33 @@ mod tests {
         net.reject(a, NegSet::of([v])).unwrap();
         assert!(net.has_negative_beliefs());
         assert_eq!(net.first_negative_user(), Some(a));
+    }
+
+    #[test]
+    fn constraint_counter_tracks_belief_writes() {
+        let mut net = TrustNetwork::new();
+        let a = net.user("a");
+        let b = net.user("b");
+        let v = net.value("v");
+        assert!(!net.has_constraints());
+        // Negs(empty) counts as a constraint (degenerate, still Skeptic).
+        net.reject(a, NegSet::empty()).unwrap();
+        assert!(net.has_constraints());
+        assert_eq!(net.first_constraint_user(), Some(a));
+        net.reject(b, NegSet::of([v])).unwrap();
+        // Overwriting a constraint with another keeps the count right.
+        net.reject(a, NegSet::of([v])).unwrap();
+        assert!(net.has_constraints());
+        // Positive overwrite and revoke both decrement.
+        net.believe(a, v).unwrap();
+        assert!(net.has_constraints());
+        net.revoke(b).unwrap();
+        assert!(!net.has_constraints());
+        assert_eq!(net.first_constraint_user(), None);
+        // Re-believing / re-revoking a non-constraint never underflows.
+        net.revoke(a).unwrap();
+        net.revoke(a).unwrap();
+        assert!(!net.has_constraints());
     }
 
     #[test]

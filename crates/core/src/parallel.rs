@@ -228,51 +228,63 @@ pub fn resolve_network_parallel(
 
 type PossSet = Arc<[Value]>;
 
-/// Raw shared view of the per-node possible sets.
+/// Raw shared view of a per-node result slab (`Arc<[Value]>` possible sets
+/// here, [`crate::skeptic::RepPoss`] representations in the skeptic
+/// pipeline).
 ///
 /// # Safety contract (upheld by the scheduler)
 ///
 /// * every node belongs to at most one shard, and only the worker holding
-///   that shard calls [`SharedPoss::write`] for it;
-/// * [`SharedPoss::read`] targets only nodes of *sealed* shards, the
+///   that shard calls [`SharedSlab::write`] / [`SharedSlab::get_mut`] for
+///   it;
+/// * [`SharedSlab::read`] targets only nodes of *sealed* shards, the
 ///   worker's own shard, or never-written slots (frozen boundary /
 ///   unreachable nodes), with the happens-before edge provided by the
 ///   dependency-counter `AcqRel` chain plus the ready-queue mutex.
-struct SharedPoss {
-    ptr: *mut PossSet,
+pub(crate) struct SharedSlab<T> {
+    ptr: *mut T,
     len: usize,
 }
 
 // SAFETY: see the scheduler contract above — disjoint writes, reads only
-// across seals. `Arc<[Value]>` itself is Send + Sync.
-unsafe impl Send for SharedPoss {}
-unsafe impl Sync for SharedPoss {}
+// across seals. The payload must itself be safe to move/share across the
+// worker threads.
+unsafe impl<T: Send + Sync> Send for SharedSlab<T> {}
+unsafe impl<T: Send + Sync> Sync for SharedSlab<T> {}
 
-impl SharedPoss {
-    fn new(slice: &mut [PossSet]) -> Self {
-        SharedPoss {
+impl<T> SharedSlab<T> {
+    pub(crate) fn new(slice: &mut [T]) -> Self {
+        SharedSlab {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
         }
     }
 
-    /// Reads the possible set of `x` (see the safety contract).
+    /// Reads the slot of `x` (see the safety contract).
     #[inline]
-    unsafe fn read(&self, x: NodeId) -> &PossSet {
+    pub(crate) unsafe fn read(&self, x: NodeId) -> &T {
         debug_assert!((x as usize) < self.len);
         &*self.ptr.add(x as usize)
     }
 
-    /// Writes the possible set of `x` (caller must own `x`'s shard).
+    /// Writes the slot of `x` (caller must own `x`'s shard).
     #[inline]
-    unsafe fn write(&self, x: NodeId, set: PossSet) {
+    pub(crate) unsafe fn write(&self, x: NodeId, value: T) {
         debug_assert!((x as usize) < self.len);
-        *self.ptr.add(x as usize) = set;
+        *self.ptr.add(x as usize) = value;
+    }
+
+    /// Mutable access to the slot of `x` (caller must own `x`'s shard).
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // the slab is a cell; see safety contract
+    pub(crate) unsafe fn get_mut(&self, x: NodeId) -> &mut T {
+        debug_assert!((x as usize) < self.len);
+        &mut *self.ptr.add(x as usize)
     }
 
     /// Prefetches the slot of `x` (a hint; no synchronization implied).
     #[inline]
-    unsafe fn prefetch(&self, x: NodeId) {
+    pub(crate) unsafe fn prefetch(&self, x: NodeId) {
         debug_assert!((x as usize) < self.len);
         trustmap_graph::shard::prefetch(self.ptr.add(x as usize));
     }
@@ -342,7 +354,29 @@ struct Ctx<'a, A: ?Sized> {
     parents: &'a [Parents],
     beliefs: &'a [ExplicitBelief],
     plan: &'a ShardPlan,
-    poss: SharedPoss,
+    poss: SharedSlab<PossSet>,
+}
+
+/// A shard-solving backend the generic scheduler can drive.
+///
+/// Implementors own the shared result storage (through a [`SharedSlab`])
+/// and the per-unit solving semantics; the scheduler owns claiming,
+/// sealing, and the dependency-counter happens-before chain. Algorithm 1
+/// ([`Ctx`]) and Algorithm 2 ([`crate::skeptic`]'s planned resolver) are
+/// the two backends.
+pub(crate) trait ShardSolver: Sync {
+    /// Worker-local scratch, allocated once per worker thread.
+    type Worker;
+
+    /// Allocates a fresh worker scratch.
+    fn new_worker(&self) -> Self::Worker;
+
+    /// Solves every unit of shard `s`. May read the results of nodes in
+    /// sealed shards and must write each of its own nodes exactly once.
+    fn solve_shard(&self, worker: &mut Self::Worker, s: u32);
+
+    /// The plan being executed (drives the scheduler).
+    fn plan(&self) -> &ShardPlan;
 }
 
 /// Per-shard readiness state shared by the workers.
@@ -379,24 +413,34 @@ pub(crate) fn solve_shards<A>(
 ) where
     A: Adjacency + Sync + ?Sized,
 {
-    let nshards = plan.shard_count();
-    if nshards == 0 {
-        return;
-    }
-    let n = poss.len();
     let ctx = Ctx {
         g,
         parents,
         beliefs,
         plan,
-        poss: SharedPoss::new(poss),
+        poss: SharedSlab::new(poss),
     };
+    run_shards(&ctx, threads);
+}
+
+/// Drives every shard of `solver.plan()` to completion over `threads`
+/// workers — the generic scheduler behind both the Algorithm-1 and the
+/// Algorithm-2 (skeptic) parallel resolvers.
+///
+/// With `threads <= 1` the shards run inline on the caller's thread in id
+/// order (ids ascend with level, so that order is dependency-safe).
+pub(crate) fn run_shards<S: ShardSolver>(solver: &S, threads: usize) {
+    let plan = solver.plan();
+    let nshards = plan.shard_count();
+    if nshards == 0 {
+        return;
+    }
     let threads = threads.clamp(1, nshards);
 
     if threads == 1 {
-        let mut worker = Worker::new(n);
+        let mut worker = solver.new_worker();
         for s in 0..nshards as u32 {
-            solve_shard(&ctx, &mut worker, s);
+            solver.solve_shard(&mut worker, s);
         }
         return;
     }
@@ -430,18 +474,16 @@ pub(crate) fn solve_shards<A>(
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| worker_loop(&ctx, &queue, n));
+            scope.spawn(|| worker_loop(solver, &queue));
         }
     });
     debug_assert_eq!(queue.done.load(Ordering::Relaxed), nshards);
 }
 
 /// One worker: claim ready shards until every shard is sealed.
-fn worker_loop<A>(ctx: &Ctx<'_, A>, queue: &Queue, n: usize)
-where
-    A: Adjacency + Sync + ?Sized,
-{
-    let mut worker = Worker::new(n);
+fn worker_loop<S: ShardSolver>(solver: &S, queue: &Queue) {
+    let plan = solver.plan();
+    let mut worker = solver.new_worker();
     loop {
         let s = {
             let mut ready = queue.ready.lock().expect("queue poisoned");
@@ -456,14 +498,14 @@ where
             }
         };
 
-        solve_shard(ctx, &mut worker, s);
+        solver.solve_shard(&mut worker, s);
 
         // Seal. The `AcqRel` read-modify-write chain on each counter
         // publishes this shard's writes to whichever worker observes the
         // count reach zero.
         match &queue.deps {
             DepState::Edges(counts) => {
-                for &t in ctx.plan.successors(s) {
+                for &t in plan.successors(s) {
                     if counts[t as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                         queue.ready.lock().expect("queue poisoned").push(t);
                         queue.cv.notify_one();
@@ -471,11 +513,11 @@ where
                 }
             }
             DepState::Frontier(remaining) => {
-                let l = ctx.plan.level_of_shard(s);
+                let l = plan.level_of_shard(s);
                 if remaining[l as usize].fetch_sub(1, Ordering::AcqRel) == 1
-                    && (l as usize + 1) < ctx.plan.level_count()
+                    && (l as usize + 1) < plan.level_count()
                 {
-                    let next: Vec<u32> = ctx.plan.level_shards(l + 1).rev().collect();
+                    let next: Vec<u32> = plan.level_shards(l + 1).rev().collect();
                     let mut ready = queue.ready.lock().expect("queue poisoned");
                     ready.extend(next);
                     queue.cv.notify_all();
@@ -488,6 +530,25 @@ where
             let _guard = queue.ready.lock().expect("queue poisoned");
             queue.cv.notify_all();
         }
+    }
+}
+
+impl<A> ShardSolver for Ctx<'_, A>
+where
+    A: Adjacency + Sync + ?Sized,
+{
+    type Worker = Worker;
+
+    fn new_worker(&self) -> Worker {
+        Worker::new(self.poss.len)
+    }
+
+    fn solve_shard(&self, worker: &mut Worker, s: u32) {
+        solve_shard(self, worker, s);
+    }
+
+    fn plan(&self) -> &ShardPlan {
+        self.plan
     }
 }
 

@@ -8,20 +8,41 @@
 //!
 //! [`Session`] improves on "simply re-run": edits issued through the typed
 //! API ([`Session::believe`], [`Session::trust`], [`Session::revoke`],
-//! [`Session::apply_edit`]) are queued as deltas and resolved by the
-//! [`IncrementalResolver`](crate::incremental::IncrementalResolver), which
-//! re-solves only the *dirty region* downstream of the touched user and
-//! patches the cached snapshot in place. Arbitrary closure edits
-//! ([`Session::apply`]) and constraint assertions fall back to full
-//! recomputation. [`Session::stats`] reports which path each edit took and
-//! how large the dirty regions were.
+//! [`Session::reject`], [`Session::apply_edit`]) are queued as deltas and
+//! resolved incrementally — the dirty region downstream of the touched
+//! user is re-solved and the cached snapshot patched in place. Arbitrary
+//! closure edits ([`Session::apply`]) fall back to full recomputation.
+//! [`Session::stats`] reports which path each edit took and how large the
+//! dirty regions were.
+//!
+//! ### The two pipelines
+//!
+//! The session picks its engine by the network's *sign state*:
+//!
+//! * **Positive networks** run the basic model on the
+//!   [`crate::incremental::IncrementalResolver`]
+//!   (Algorithm 1); read through [`Session::snapshot`].
+//! * **Constraint-carrying networks** (any user with negative explicit
+//!   beliefs) run the Skeptic paradigm on the
+//!   [`crate::skeptic_incremental::SkepticIncremental`]
+//!   engine (Algorithm 2) — constraint assertions are ordinary incremental
+//!   edits, not full recomputations; read through
+//!   [`Session::skeptic_snapshot`] / [`Session::skeptic_cert`]
+//!   ([`Session::snapshot`] keeps the basic-model contract and errors).
+//!
+//! Crossing the sign boundary (first constraint asserted, or the last one
+//! revoked) rebuilds the engine once; within a regime every typed edit
+//! stays on the delta path with the same [`DeltaStats`] / `BatchReport`
+//! accounting.
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::incremental::{DeltaStats, Edit, IncrementalResolver};
 use crate::lineage::Lineage;
 use crate::network::TrustNetwork;
 use crate::resolution::UserResolution;
-use crate::signed::NegSet;
+use crate::signed::{BeliefSet, NegSet};
+use crate::skeptic::{RepPoss, SkepticUserResolution};
+use crate::skeptic_incremental::{SignedEdit, SkepticIncremental};
 use crate::user::User;
 use crate::value::Value;
 
@@ -42,13 +63,54 @@ pub struct BatchReport {
     pub full_rebuild: bool,
 }
 
+/// The live engine behind a session: one of the two incremental pipelines.
+///
+/// Both variants are large (engines embed their node-indexed scratch), but
+/// a session holds exactly one engine directly — never collections of them
+/// — so boxing would only add pointer chasing to every snapshot read.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum LiveEngine {
+    /// Algorithm 1 (positive networks).
+    Basic(IncrementalResolver),
+    /// Algorithm 2 (constraint-carrying networks).
+    Skeptic(SkepticIncremental),
+}
+
+impl LiveEngine {
+    fn btn(&self) -> &crate::binary::Btn {
+        match self {
+            LiveEngine::Basic(e) => e.btn(),
+            LiveEngine::Skeptic(e) => e.btn(),
+        }
+    }
+
+    fn user_count(&self) -> usize {
+        match self {
+            LiveEngine::Basic(e) => e.user_count(),
+            LiveEngine::Skeptic(e) => e.user_count(),
+        }
+    }
+
+    fn set_parallelism(&mut self, threads: usize, min_region: usize) {
+        match self {
+            LiveEngine::Basic(e) => e.set_parallelism(threads, min_region),
+            LiveEngine::Skeptic(e) => e.set_parallelism(threads, min_region),
+        }
+    }
+}
+
 /// An editable trust network with an incrementally maintained snapshot.
 #[derive(Debug, Clone, Default)]
 pub struct Session {
     net: TrustNetwork,
-    engine: Option<IncrementalResolver>,
+    engine: Option<LiveEngine>,
+    /// Basic-mode snapshot (patched per batch); `None` in skeptic mode.
     snapshot: Option<UserResolution>,
-    pending: Vec<Edit>,
+    /// Skeptic-mode snapshot (patched per batch); in basic mode a lazily
+    /// synthesized view, dropped on every edit.
+    sk_snapshot: Option<SkepticUserResolution>,
+    pending: Vec<SignedEdit>,
     stats: DeltaStats,
     batching: bool,
     traced: bool,
@@ -63,6 +125,7 @@ impl Session {
             net,
             engine: None,
             snapshot: None,
+            sk_snapshot: None,
             pending: Vec::new(),
             stats: DeltaStats::default(),
             batching: false,
@@ -89,8 +152,11 @@ impl Session {
     /// [`Session::btn`]) see the pre-batch state — users created mid-batch
     /// read as undefined until commit. Flushes any already-pending edits
     /// first so the commit report covers exactly this batch. A closure
-    /// edit ([`Session::apply`]) or constraint assertion inside a batch
-    /// takes the full-recompute path and collapses the batch with it.
+    /// edit ([`Session::apply`]) collapses the batch with a full
+    /// recompute; constraint edits stay on the delta path when the
+    /// session is already in skeptic mode, while a batch that *crosses*
+    /// the sign boundary (first constraint in, last constraint out)
+    /// commits as one engine rebuild on the other pipeline.
     ///
     /// Re-entrant: calling `begin_batch` while a batch is already open is
     /// a no-op — the open batch simply continues (there is no nesting;
@@ -127,7 +193,21 @@ impl Session {
             });
         }
         let edits = std::mem::take(&mut self.pending);
-        let changes = self.drain(&edits);
+        // A batch that crossed the sign boundary cannot drain through the
+        // old engine; rebuild on the right pipeline and diff around it.
+        if self.net.has_constraints() != matches!(self.engine, Some(LiveEngine::Skeptic(_))) {
+            let before = self.cert_positive_vec();
+            self.invalidate();
+            self.refresh()?;
+            self.stats.batch_commits += 1;
+            return Ok(BatchReport {
+                changes: self.diff_certs(&before),
+                edits: edits.len(),
+                dirty_nodes: 0,
+                full_rebuild: true,
+            });
+        }
+        let changes = self.drain(&edits)?;
         self.stats.batch_commits += 1;
         Ok(BatchReport {
             changes,
@@ -140,7 +220,9 @@ impl Session {
     /// Enables lineage tracing (Section 2.5, *Retrieving lineage*): the
     /// next snapshot builds a traced engine whose pointers are patched
     /// region-locally on every edit. Costs one full rebuild now and keeps
-    /// provenance queries O(chain) afterwards.
+    /// provenance queries O(chain) afterwards. Only the basic (positive)
+    /// pipeline records lineage; in skeptic mode [`Session::lineage`]
+    /// returns `None`.
     pub fn enable_lineage(&mut self) {
         if !self.traced {
             self.traced = true;
@@ -149,10 +231,14 @@ impl Session {
     }
 
     /// The maintained lineage pointers (`None` until
-    /// [`Session::enable_lineage`] was called). Syncs the engine first.
+    /// [`Session::enable_lineage`] was called, and in skeptic mode).
+    /// Syncs the engine first.
     pub fn lineage(&mut self) -> Result<Option<&Lineage>> {
         self.refresh()?;
-        Ok(self.engine.as_ref().and_then(|e| e.lineage()))
+        Ok(match self.engine.as_ref() {
+            Some(LiveEngine::Basic(e)) => e.lineage(),
+            _ => None,
+        })
     }
 
     /// Routes dirty regions of at least `min_region` nodes through the
@@ -165,6 +251,12 @@ impl Session {
         if let Some(engine) = self.engine.as_mut() {
             engine.set_parallelism(self.par_threads, self.par_min_region);
         }
+    }
+
+    /// Whether the session currently runs the Skeptic pipeline (the
+    /// network carries constraints).
+    pub fn is_skeptic(&self) -> bool {
+        self.net.has_constraints()
     }
 
     /// Adds (or finds) a user. The engine grows lazily at the next
@@ -182,7 +274,7 @@ impl Session {
     /// next snapshot.
     pub fn trust(&mut self, child: User, parent: User, priority: i64) -> Result<()> {
         self.net.trust(child, parent, priority)?;
-        self.enqueue(Edit::Trust {
+        self.enqueue(SignedEdit::Trust {
             child,
             parent,
             priority,
@@ -194,33 +286,81 @@ impl Session {
     /// user's persistent belief root when one exists.
     pub fn believe(&mut self, user: User, value: Value) -> Result<()> {
         self.net.believe(user, value)?;
-        self.enqueue(Edit::Believe(user, value));
+        self.enqueue(SignedEdit::Believe(user, value));
         Ok(())
     }
 
-    /// Asserts a constraint. Constraints need the Skeptic pipeline, which
-    /// the incremental engine does not cover: the session falls back to the
-    /// full path (and [`Session::snapshot`] reports the unsupported-belief
-    /// error, matching [`crate::resolution::resolve`]).
+    /// Asserts a constraint (a negative explicit belief). An ordinary
+    /// incremental edit on the Skeptic pipeline: the first constraint
+    /// switches the session's engine (one rebuild), subsequent constraint
+    /// edits re-solve only the dirty region downstream of `user`.
     pub fn reject(&mut self, user: User, neg: NegSet) -> Result<()> {
-        self.net.reject(user, neg)?;
-        self.invalidate();
+        self.net.reject(user, neg.clone())?;
+        self.enqueue(SignedEdit::Reject(user, neg));
         Ok(())
     }
 
     /// Revokes an explicit belief (Example 1.2); incremental.
     pub fn revoke(&mut self, user: User) -> Result<()> {
         self.net.revoke(user)?;
-        self.enqueue(Edit::Revoke(user));
+        self.enqueue(SignedEdit::Revoke(user));
         Ok(())
     }
 
-    /// The current snapshot. After typed edits only the dirty region is
-    /// re-solved; the first call (or the first after a closure edit)
-    /// resolves fully.
+    /// The current basic-model snapshot. After typed edits only the dirty
+    /// region is re-solved; the first call (or the first after a closure
+    /// edit) resolves fully.
+    ///
+    /// On constraint-carrying networks this errors like
+    /// [`crate::resolution::resolve`] — possible sets of positive values
+    /// cannot represent signed results; read those through
+    /// [`Session::skeptic_snapshot`] instead.
     pub fn snapshot(&mut self) -> Result<&UserResolution> {
         self.refresh()?;
-        Ok(self.snapshot.as_ref().expect("refresh filled the snapshot"))
+        match self.snapshot {
+            Some(ref snap) => Ok(snap),
+            None => Err(Error::NegativeBeliefsUnsupported(
+                self.net
+                    .first_constraint_user()
+                    .expect("skeptic mode implies a constraint"),
+            )),
+        }
+    }
+
+    /// The current snapshot under the Skeptic paradigm, per user. In
+    /// skeptic mode this is the incrementally patched cache; on positive
+    /// networks it is synthesized from the basic snapshot (the paradigms
+    /// coincide there, Section 3.3) and rebuilt lazily after edits.
+    pub fn skeptic_snapshot(&mut self) -> Result<&SkepticUserResolution> {
+        self.refresh()?;
+        if self.sk_snapshot.is_none() {
+            let snap = self
+                .snapshot
+                .as_ref()
+                .expect("refresh always fills one of the snapshots");
+            let rep = snap
+                .poss
+                .iter()
+                .map(|set| RepPoss {
+                    pos: set.iter().copied().collect(),
+                    neg: NegSet::empty(),
+                    bottom: false,
+                })
+                .collect();
+            self.sk_snapshot = Some(SkepticUserResolution { rep });
+        }
+        Ok(self.sk_snapshot.as_ref().expect("filled above"))
+    }
+
+    /// The certain beliefs of one user under the Skeptic paradigm
+    /// (Figure 18 decode) — works on positive and signed networks alike.
+    pub fn skeptic_cert(&mut self, user: User) -> Result<BeliefSet> {
+        let snap = self.skeptic_snapshot()?;
+        Ok(if user.index() < snap.user_count() {
+            snap.cert(user)
+        } else {
+            BeliefSet::empty()
+        })
     }
 
     /// The live binarized form backing the snapshot.
@@ -242,24 +382,43 @@ impl Session {
     /// belief changed — the "what changed after this update" question a
     /// community UI asks after each edit. Runs on the incremental path.
     pub fn apply_edit(&mut self, edit: Edit) -> Result<Vec<BeliefChange>> {
+        self.apply_signed_edit(SignedEdit::from(edit))
+    }
+
+    /// Applies one typed *signed* edit (the [`Edit`] vocabulary plus
+    /// constraint assertion) and reports every user whose certain positive
+    /// value changed. Edits that keep the network on its current pipeline
+    /// run incrementally; an edit that crosses the sign boundary (first
+    /// constraint in, last constraint out) costs one engine rebuild and
+    /// diffs the snapshots around it.
+    pub fn apply_signed_edit(&mut self, edit: SignedEdit) -> Result<Vec<BeliefChange>> {
         // Sync first so the report reflects exactly this edit (inside a
         // batch this only grows the engine; queued edits stay queued).
         self.refresh()?;
-        match edit {
-            Edit::Believe(u, v) => self.net.believe(u, v)?,
-            Edit::Revoke(u) => self.net.revoke(u)?,
-            Edit::Trust {
+        match &edit {
+            SignedEdit::Believe(u, v) => self.net.believe(*u, *v)?,
+            SignedEdit::Revoke(u) => self.net.revoke(*u)?,
+            SignedEdit::Trust {
                 child,
                 parent,
                 priority,
-            } => self.net.trust(child, parent, priority)?,
+            } => self.net.trust(*child, *parent, *priority)?,
+            SignedEdit::Reject(u, neg) => self.net.reject(*u, neg.clone())?,
         }
         if self.batching {
             // Deferred: the combined change report arrives at commit().
             self.enqueue(edit);
             return Ok(Vec::new());
         }
-        Ok(self.drain(std::slice::from_ref(&edit)))
+        let crosses =
+            self.net.has_constraints() != matches!(self.engine, Some(LiveEngine::Skeptic(_)));
+        if crosses {
+            let before = self.cert_positive_vec();
+            self.invalidate();
+            self.refresh()?;
+            return Ok(self.diff_certs(&before));
+        }
+        self.drain(std::slice::from_ref(&edit))
     }
 
     /// Applies an arbitrary `edit` closure and reports every user whose
@@ -271,36 +430,48 @@ impl Session {
         edit: impl FnOnce(&mut TrustNetwork) -> Result<()>,
     ) -> Result<Vec<BeliefChange>> {
         self.refresh()?;
-        let before = self.snapshot.as_ref().expect("synced").cert.clone();
+        let before = self.cert_positive_vec();
         // Invalidate before running the closure: if it errors after partial
         // mutation, the stale engine must not survive.
         self.invalidate();
         edit(&mut self.net)?;
         self.refresh()?;
-        let after = &self.snapshot.as_ref().expect("refreshed").cert;
+        Ok(self.diff_certs(&before))
+    }
+
+    /// The certain positive value of every user, from whichever snapshot
+    /// the live engine maintains.
+    fn cert_positive_vec(&self) -> Vec<Option<Value>> {
+        match &self.engine {
+            Some(LiveEngine::Basic(_)) => self
+                .snapshot
+                .as_ref()
+                .expect("basic engine keeps a snapshot")
+                .cert
+                .clone(),
+            Some(LiveEngine::Skeptic(e)) => (0..e.user_count() as u32)
+                .map(|u| e.rep_poss(e.btn().node_of(User(u))).cert_positive())
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Diffs the current certain positives against `before`, reporting
+    /// changed users (users created since `before` report when defined).
+    fn diff_certs(&self, before: &[Option<Value>]) -> Vec<BeliefChange> {
+        let after = self.cert_positive_vec();
         let mut changes = Vec::new();
-        for (i, (b, a)) in before.iter().zip(after.iter()).enumerate() {
-            if b != a {
+        for (i, a) in after.iter().enumerate() {
+            let b = before.get(i).copied().flatten();
+            if b != *a {
                 changes.push(BeliefChange {
                     user: User(i as u32),
-                    before: *b,
+                    before: b,
                     after: *a,
                 });
             }
         }
-        // Users created by the edit start undefined; report them if they
-        // resolved to something.
-        #[allow(clippy::needless_range_loop)] // sparse tail scan
-        for i in before.len()..after.len() {
-            if let Some(v) = after[i] {
-                changes.push(BeliefChange {
-                    user: User(i as u32),
-                    before: None,
-                    after: Some(v),
-                });
-            }
-        }
-        Ok(changes)
+        changes
     }
 
     /// Evaluates `edit` on a copy of the network and returns the resulting
@@ -316,7 +487,7 @@ impl Session {
 
     /// Queues a typed edit for the incremental path. Without a live engine
     /// there is nothing to patch — the next snapshot resolves fully anyway.
-    fn enqueue(&mut self, edit: Edit) {
+    fn enqueue(&mut self, edit: SignedEdit) {
         if self.engine.is_some() {
             self.pending.push(edit);
         }
@@ -326,6 +497,7 @@ impl Session {
     fn invalidate(&mut self) {
         self.engine = None;
         self.snapshot = None;
+        self.sk_snapshot = None;
         self.pending.clear();
     }
 
@@ -333,17 +505,40 @@ impl Session {
     /// explicit batch, queued edits stay queued (reads are isolated at the
     /// pre-batch state); only engine growth for new users/values happens.
     fn refresh(&mut self) -> Result<()> {
+        // The engine must match the network's sign state; crossing the
+        // boundary rebuilds on the other pipeline (the queued edits are
+        // subsumed by the from-scratch build). Inside an open batch the
+        // check is deferred to commit — mid-batch reads stay isolated at
+        // the pre-batch state on the pre-batch engine.
+        let want_skeptic = self.net.has_constraints();
+        if !self.batching
+            && matches!(
+                (&self.engine, want_skeptic),
+                (Some(LiveEngine::Basic(_)), true) | (Some(LiveEngine::Skeptic(_)), false)
+            )
+        {
+            self.invalidate();
+        }
         match self.engine.as_ref() {
             None => {
                 self.pending.clear();
-                let mut engine = if self.traced {
-                    IncrementalResolver::new_traced(&self.net)?
+                if want_skeptic {
+                    let mut engine = SkepticIncremental::new(&self.net)?;
+                    engine.set_parallelism(self.par_threads, self.par_min_region);
+                    self.sk_snapshot = Some(engine.user_resolution());
+                    self.snapshot = None;
+                    self.engine = Some(LiveEngine::Skeptic(engine));
                 } else {
-                    IncrementalResolver::new(&self.net)?
-                };
-                engine.set_parallelism(self.par_threads, self.par_min_region);
-                self.snapshot = Some(engine.user_resolution());
-                self.engine = Some(engine);
+                    let mut engine = if self.traced {
+                        IncrementalResolver::new_traced(&self.net)?
+                    } else {
+                        IncrementalResolver::new(&self.net)?
+                    };
+                    engine.set_parallelism(self.par_threads, self.par_min_region);
+                    self.snapshot = Some(engine.user_resolution());
+                    self.sk_snapshot = None;
+                    self.engine = Some(LiveEngine::Basic(engine));
+                }
                 self.stats.full_rebuilds += 1;
             }
             Some(engine) => {
@@ -354,30 +549,96 @@ impl Session {
                     || engine.btn().domain().len() < self.net.domain().len();
                 if self.batching {
                     if grown {
-                        self.drain(&[]);
+                        self.drain(&[])?;
                     }
                 } else if !self.pending.is_empty() || grown {
                     let edits = std::mem::take(&mut self.pending);
-                    self.drain(&edits);
+                    self.drain(&edits)?;
                 }
             }
         }
         Ok(())
     }
 
-    /// Routes `edits` through the engine and patches the cached snapshot —
-    /// the single implementation behind [`Session::apply_edit`] and the
-    /// queued-edit path of [`Session::refresh`].
+    /// Routes `edits` through the live engine and patches the cached
+    /// snapshot — the single implementation behind
+    /// [`Session::apply_edit`] and the queued-edit path of
+    /// [`Session::refresh`].
     ///
-    /// Callers must have established the engine (via `refresh`) first.
-    fn drain(&mut self, edits: &[Edit]) -> Vec<BeliefChange> {
-        let engine = self.engine.as_mut().expect("drain requires an engine");
-        let changes = engine.apply_edits(&self.net, edits);
-        self.stats.incremental_edits += edits.len() as u64;
-        self.stats.last_dirty_nodes = engine.last_dirty_len();
-        self.stats.dirty_nodes += engine.last_dirty_len() as u64;
-        engine.patch_user_resolution(self.snapshot.as_mut().expect("snapshot exists with engine"));
-        changes
+    /// Callers must have established the engine (via `refresh`) first. On
+    /// an engine error (e.g. a trust edit introduced tied priorities in
+    /// skeptic mode) the stale engine is dropped and the next snapshot
+    /// rebuilds from scratch.
+    fn drain(&mut self, edits: &[SignedEdit]) -> Result<Vec<BeliefChange>> {
+        let result = match self.engine.as_mut().expect("drain requires an engine") {
+            LiveEngine::Basic(engine) => {
+                let converted: Vec<Edit> = edits
+                    .iter()
+                    .map(|edit| match edit {
+                        SignedEdit::Believe(u, v) => Edit::Believe(*u, *v),
+                        SignedEdit::Revoke(u) => Edit::Revoke(*u),
+                        SignedEdit::Trust {
+                            child,
+                            parent,
+                            priority,
+                        } => Edit::Trust {
+                            child: *child,
+                            parent: *parent,
+                            priority: *priority,
+                        },
+                        // A queued Reject while the session is (still) in
+                        // basic mode is always superseded by a later edit
+                        // at the same user — otherwise the network would
+                        // carry the constraint and refresh would have
+                        // rebuilt on the skeptic pipeline — so clearing
+                        // the belief is equivalent here.
+                        SignedEdit::Reject(u, _) => Edit::Revoke(*u),
+                    })
+                    .collect();
+                let changes = engine.apply_edits(&self.net, &converted);
+                self.stats.last_dirty_nodes = engine.last_dirty_len();
+                engine.patch_user_resolution(
+                    self.snapshot.as_mut().expect("snapshot exists with engine"),
+                );
+                // Keep any synthesized skeptic view fresh region-locally
+                // too (positive networks: rep = possible positives), so a
+                // reader interleaving edits with `skeptic_cert` never pays
+                // an O(users) resynthesis per edit.
+                if let Some(sk) = self.sk_snapshot.as_mut() {
+                    let snap = self.snapshot.as_ref().expect("patched above");
+                    sk.rep.resize(snap.poss.len(), RepPoss::default());
+                    for &u in engine.last_dirty_users() {
+                        sk.rep[u.index()] = RepPoss {
+                            pos: snap.poss[u.index()].iter().copied().collect(),
+                            neg: NegSet::empty(),
+                            bottom: false,
+                        };
+                    }
+                }
+                Ok(changes)
+            }
+            LiveEngine::Skeptic(engine) => match engine.apply_edits(&self.net, edits) {
+                Ok(changes) => {
+                    self.stats.last_dirty_nodes = engine.last_dirty_len();
+                    if let Some(snap) = self.sk_snapshot.as_mut() {
+                        engine.patch_user_resolution(snap);
+                    }
+                    Ok(changes)
+                }
+                Err(err) => Err(err),
+            },
+        };
+        match result {
+            Ok(changes) => {
+                self.stats.incremental_edits += edits.len() as u64;
+                self.stats.dirty_nodes += self.stats.last_dirty_nodes as u64;
+                Ok(changes)
+            }
+            Err(err) => {
+                self.invalidate();
+                Err(err)
+            }
+        }
     }
 }
 
@@ -626,6 +887,156 @@ mod tests {
         let chain = lin.trace(btn_alice, cow).expect("alice's cow has lineage");
         assert!(chain.len() >= 2, "chain reaches past alice");
         assert_eq!(s.stats().full_rebuilds, 1, "tracing from the start");
+    }
+
+    #[test]
+    fn reject_routes_through_the_skeptic_engine() {
+        let (mut s, [alice, bob, charlie], jar, cow) = session();
+        s.believe(charlie, jar).unwrap();
+        s.snapshot().unwrap();
+        assert!(!s.is_skeptic());
+
+        // First constraint: one rebuild onto the skeptic pipeline.
+        s.reject(bob, NegSet::of([jar])).unwrap();
+        assert!(s.is_skeptic());
+        assert!(matches!(
+            s.snapshot(),
+            Err(Error::NegativeBeliefsUnsupported(_))
+        ));
+        let cert = s.skeptic_cert(alice).unwrap();
+        assert!(cert.pos.is_none() && cert.neg.is_all(), "alice is ⊥");
+        assert_eq!(s.stats().full_rebuilds, 2, "one rebuild at the boundary");
+
+        // Further constraint edits stay incremental.
+        s.reject(bob, NegSet::of([cow])).unwrap();
+        assert_eq!(s.skeptic_cert(alice).unwrap().pos, Some(jar));
+        assert_eq!(s.stats().full_rebuilds, 2, "constraint flip was a delta");
+        assert!(s.stats().incremental_edits >= 1);
+
+        // Matches a from-scratch Algorithm 2 run.
+        let btn = crate::binary::binarize(s.network());
+        let reference = crate::skeptic::resolve_skeptic(&btn).unwrap();
+        let snap = s.skeptic_snapshot().unwrap();
+        for u in [alice, bob, charlie] {
+            assert_eq!(snap.rep_poss(u), reference.rep_poss(btn.node_of(u)));
+        }
+    }
+
+    #[test]
+    fn revoking_the_last_constraint_returns_to_basic() {
+        let (mut s, [alice, bob, charlie], jar, _) = session();
+        s.believe(charlie, jar).unwrap();
+        s.reject(bob, NegSet::of([jar])).unwrap();
+        s.skeptic_snapshot().unwrap();
+        assert!(s.is_skeptic());
+
+        let changes = s.apply_signed_edit(SignedEdit::Revoke(bob)).unwrap();
+        assert!(!s.is_skeptic());
+        assert_eq!(s.snapshot().unwrap().cert(alice), Some(jar));
+        assert!(changes
+            .iter()
+            .any(|c| c.user == alice && c.after == Some(jar)));
+    }
+
+    #[test]
+    fn signed_batch_commits_as_one_region() {
+        let (mut s, [alice, bob, charlie], jar, cow) = session();
+        s.believe(charlie, jar).unwrap();
+        s.reject(bob, NegSet::of([cow])).unwrap();
+        s.skeptic_snapshot().unwrap();
+        let rebuilds = s.stats().full_rebuilds;
+
+        s.begin_batch().unwrap();
+        s.believe(charlie, cow).unwrap(); // blocked at bob's guard
+        s.reject(bob, NegSet::of([jar])).unwrap();
+        let report = s.commit().unwrap();
+        assert!(!report.full_rebuild);
+        assert_eq!(report.edits, 2);
+        assert!(report.dirty_nodes > 0);
+        assert_eq!(s.stats().full_rebuilds, rebuilds, "batch stayed on delta");
+        assert_eq!(s.skeptic_cert(alice).unwrap().pos, Some(cow));
+
+        let btn = crate::binary::binarize(s.network());
+        let reference = crate::skeptic::resolve_skeptic(&btn).unwrap();
+        let snap = s.skeptic_snapshot().unwrap();
+        for u in [alice, bob, charlie] {
+            assert_eq!(snap.rep_poss(u), reference.rep_poss(btn.node_of(u)));
+        }
+    }
+
+    #[test]
+    fn batch_crossing_the_sign_boundary_rebuilds_at_commit() {
+        let (mut s, [alice, bob, charlie], jar, _) = session();
+        s.believe(charlie, jar).unwrap();
+        s.snapshot().unwrap();
+
+        s.begin_batch().unwrap();
+        s.reject(bob, NegSet::of([jar])).unwrap();
+        // Mid-batch reads stay isolated on the pre-batch (basic) engine.
+        assert_eq!(s.snapshot().unwrap().cert(alice), Some(jar));
+        let report = s.commit().unwrap();
+        assert!(report.full_rebuild, "boundary crossing rebuilds");
+        assert_eq!(report.edits, 1);
+        assert!(report
+            .changes
+            .iter()
+            .any(|c| c.user == alice && c.before == Some(jar) && c.after.is_none()));
+        assert!(s.skeptic_cert(alice).unwrap().is_bottom());
+    }
+
+    #[test]
+    fn skeptic_snapshot_on_positive_network_collapses_to_basic() {
+        let (mut s, [alice, _, charlie], jar, _) = session();
+        s.believe(charlie, jar).unwrap();
+        let cert = s.skeptic_cert(alice).unwrap();
+        assert_eq!(cert.pos, Some(jar));
+        let snap = s.skeptic_snapshot().unwrap();
+        assert_eq!(
+            snap.rep_poss(alice).pos.iter().copied().collect::<Vec<_>>(),
+            s.snapshot().unwrap().poss(alice)
+        );
+    }
+
+    #[test]
+    fn synthesized_skeptic_view_stays_fresh_across_edits() {
+        // Interleave basic-mode edits with skeptic reads: the view must
+        // track the edits without falling back to full resynthesis.
+        let (mut s, [alice, bob, charlie], jar, cow) = session();
+        s.believe(charlie, jar).unwrap();
+        assert_eq!(s.skeptic_cert(alice).unwrap().pos, Some(jar));
+        s.believe(bob, cow).unwrap();
+        assert_eq!(s.skeptic_cert(alice).unwrap().pos, Some(cow));
+        s.revoke(bob).unwrap();
+        assert_eq!(s.skeptic_cert(alice).unwrap().pos, Some(jar));
+        // A user created between edits reads as empty, not out-of-bounds.
+        let dave = s.user("Dave");
+        s.believe(charlie, cow).unwrap();
+        assert!(s.skeptic_cert(dave).unwrap().is_empty());
+        assert_eq!(s.skeptic_cert(alice).unwrap().pos, Some(cow));
+        assert_eq!(s.stats().full_rebuilds, 1, "all reads stayed on deltas");
+    }
+
+    #[test]
+    fn tie_in_skeptic_mode_surfaces_and_recovers() {
+        let (mut s, [alice, bob, charlie], jar, _) = session();
+        s.believe(charlie, jar).unwrap();
+        s.reject(bob, NegSet::of([jar])).unwrap();
+        s.skeptic_snapshot().unwrap();
+
+        // Alice already trusts Bob at 100; an equal-priority rival ties.
+        let rival = s.user("rival");
+        let err = s.apply_signed_edit(SignedEdit::Trust {
+            child: alice,
+            parent: rival,
+            priority: 100,
+        });
+        assert!(matches!(err, Err(Error::TiesUnsupported(_))));
+        // The engine was dropped; the next read rebuilds and reports the
+        // tie again (resolve_skeptic cannot handle it either).
+        assert!(matches!(
+            s.skeptic_snapshot(),
+            Err(Error::TiesUnsupported(_))
+        ));
     }
 
     #[test]

@@ -28,13 +28,38 @@
 //!   found. On the paper's own examples (Figure 6) and on positive-only
 //!   networks the algorithm is exact, and the exact alternatives are
 //!   [`crate::acyclic`] (DAGs) and [`crate::stable_signed`] (ground truth).
+//!
+//! The full dossier of these deviations — with the counterexample networks
+//! drawn out — lives in `docs/FIDELITY.md` at the repository root.
+//!
+//! ### Plan/solve form
+//!
+//! [`resolve_skeptic`] is the sequential reference. Like Algorithm 1, a
+//! node's `repPoss` depends only on its ancestors (plus the `prefNeg` of
+//! its own SCC mates, which are ancestors too), so Algorithm 2 admits the
+//! same condensation sharding as [`crate::parallel`]:
+//! [`SkepticPlannedResolver`] plans the BTN structure once with
+//! `trustmap_graph::shard::ShardPlan` and solves the shards through the
+//! shared scheduler — acyclic singleton units take closed-form fast paths
+//! (root seeding, Type-2 preferred copy, ≤ 2-way blocked flood), cyclic
+//! units replay the Step-1/Step-2 alternation regionally. Results are
+//! equal to [`resolve_skeptic`] at every thread count
+//! (`tests/skeptic_oracle.rs`), and one trim-first condensation pass
+//! replaces the per-round Tarjan of the sequential main loop. The same
+//! regional replay drives [`crate::skeptic_incremental`]'s dirty-region
+//! re-solves.
 
-use crate::binary::Btn;
+use crate::binary::{Btn, Parents};
 use crate::error::{Error, Result};
+use crate::parallel::{run_shards, ParOptions, ShardSolver, SharedSlab};
 use crate::signed::{BeliefSet, ExplicitBelief, NegSet};
+use crate::user::User;
 use crate::value::Value;
 use std::collections::BTreeSet;
-use trustmap_graph::{reach::reachable_from_many, tarjan_scc_filtered, Condensation, NodeId};
+use trustmap_graph::{
+    reach::reachable_from_many, tarjan_scc_filtered, Adjacency, Condensation, Csr, NodeId,
+    SccScratch, ShardPlan,
+};
 
 /// The representation of the possible beliefs of one node.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -65,6 +90,66 @@ impl RepPoss {
     /// Whether nothing at all was recorded (unreachable node).
     pub fn is_empty(&self) -> bool {
         self.pos.is_empty() && self.neg.is_empty() && !self.bottom
+    }
+
+    /// Decodes the possible beliefs this representation stands for (the
+    /// expansion rules above Figure 18): a positive `v+` implies every
+    /// other negative, ⊥ implies every negative.
+    pub fn decode_poss(&self) -> PossBeliefs {
+        let mut neg = self.neg.clone();
+        if self.bottom {
+            neg = NegSet::all();
+        }
+        for &v in &self.pos {
+            neg = neg.union(&NegSet::all_but(v));
+        }
+        PossBeliefs {
+            pos: self.pos.clone(),
+            neg,
+        }
+    }
+
+    /// Decodes the certain beliefs (the five cases of Figure 18).
+    pub fn decode_cert(&self) -> BeliefSet {
+        match self.pos.len() {
+            // Cases 1–2: no positive; the stored negatives (everything, if
+            // ⊥ is possible) are certain.
+            0 => BeliefSet::negative(if self.bottom {
+                NegSet::all()
+            } else {
+                self.neg.clone()
+            }),
+            1 => {
+                let v = *self.pos.iter().next().expect("len checked");
+                if self.neg.contains(v) || self.bottom {
+                    // Case 4: v+ possible but so is a set without it; only
+                    // the complement negatives are shared.
+                    BeliefSet::negative(NegSet::all_but(v))
+                } else {
+                    // Case 3: the unique solution holds v+ and all other
+                    // negatives.
+                    BeliefSet {
+                        pos: Some(v),
+                        neg: NegSet::all_but(v),
+                    }
+                }
+            }
+            // Case 5: k ≥ 2 positives; certain are the negatives of all
+            // *other* values.
+            _ => {
+                let mut neg = NegSet::all();
+                for &v in &self.pos {
+                    neg = neg.without(v);
+                }
+                BeliefSet::negative(neg)
+            }
+        }
+    }
+
+    /// The certain positive value, if any (Figure 18 case 3 — the
+    /// basic-model notion of certainty).
+    pub fn cert_positive(&self) -> Option<Value> {
+        self.decode_cert().pos
     }
 }
 
@@ -97,65 +182,105 @@ impl SkepticResolution {
     }
 
     /// Decodes the possible beliefs of `node` (the expansion rules above
-    /// Figure 18): a positive `v+` implies every other negative, ⊥ implies
-    /// every negative.
+    /// Figure 18; see [`RepPoss::decode_poss`]).
     pub fn poss(&self, node: NodeId) -> PossBeliefs {
-        let rep = &self.rep[node as usize];
-        let mut neg = rep.neg.clone();
-        if rep.bottom {
-            neg = NegSet::all();
-        }
-        for &v in &rep.pos {
-            neg = neg.union(&NegSet::all_but(v));
-        }
-        PossBeliefs {
-            pos: rep.pos.clone(),
-            neg,
-        }
+        self.rep[node as usize].decode_poss()
     }
 
-    /// Decodes the certain beliefs of `node` (the five cases of Figure 18).
+    /// Decodes the certain beliefs of `node` (the five cases of Figure 18;
+    /// see [`RepPoss::decode_cert`]).
     pub fn cert(&self, node: NodeId) -> BeliefSet {
-        let rep = &self.rep[node as usize];
-        match rep.pos.len() {
-            // Cases 1–2: no positive; the stored negatives (everything, if
-            // ⊥ is possible) are certain.
-            0 => BeliefSet::negative(if rep.bottom {
-                NegSet::all()
-            } else {
-                rep.neg.clone()
-            }),
-            1 => {
-                let v = *rep.pos.iter().next().expect("len checked");
-                if rep.neg.contains(v) || rep.bottom {
-                    // Case 4: v+ possible but so is a set without it; only
-                    // the complement negatives are shared.
-                    BeliefSet::negative(NegSet::all_but(v))
-                } else {
-                    // Case 3: the unique solution holds v+ and all other
-                    // negatives.
-                    BeliefSet {
-                        pos: Some(v),
-                        neg: NegSet::all_but(v),
-                    }
-                }
-            }
-            // Case 5: k ≥ 2 positives; certain are the negatives of all
-            // *other* values.
-            _ => {
-                let mut neg = NegSet::all();
-                for &v in &rep.pos {
-                    neg = neg.without(v);
-                }
-                BeliefSet::negative(neg)
-            }
-        }
+        self.rep[node as usize].decode_cert()
     }
 
     /// The certain positive value, if any (the basic-model notion).
     pub fn cert_positive(&self, node: NodeId) -> Option<Value> {
-        self.cert(node).pos
+        self.rep[node as usize].cert_positive()
     }
+}
+
+/// Per-user skeptic results — the decoded, user-indexed counterpart of
+/// [`SkepticResolution`] maintained by [`crate::skeptic_incremental`] and
+/// served through [`crate::Session`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SkepticUserResolution {
+    pub(crate) rep: Vec<RepPoss>,
+}
+
+impl SkepticUserResolution {
+    /// Number of users covered.
+    pub fn user_count(&self) -> usize {
+        self.rep.len()
+    }
+
+    /// The raw representation of `user`'s possible beliefs.
+    pub fn rep_poss(&self, user: User) -> &RepPoss {
+        &self.rep[user.index()]
+    }
+
+    /// The possible beliefs of `user` (see [`RepPoss::decode_poss`]).
+    pub fn poss(&self, user: User) -> PossBeliefs {
+        self.rep[user.index()].decode_poss()
+    }
+
+    /// The certain beliefs of `user` (see [`RepPoss::decode_cert`]).
+    pub fn cert(&self, user: User) -> BeliefSet {
+        self.rep[user.index()].decode_cert()
+    }
+
+    /// The certain positive value of `user`, if any.
+    pub fn cert_positive(&self, user: User) -> Option<Value> {
+        self.rep[user.index()].cert_positive()
+    }
+}
+
+/// (P) Preprocessing shared by the sequential and the planned resolvers:
+/// the `prefNeg` preferred-chain fixpoint (explicit negatives only — see
+/// the fidelity notes; sets only grow, so preferred cycles converge) and
+/// static reachability from belief-carrying roots, both over any forward
+/// adjacency of the BTN.
+pub(crate) fn skeptic_preprocess<A>(g: &A, btn: &Btn) -> (Vec<NegSet>, Vec<bool>)
+where
+    A: Adjacency + ?Sized,
+{
+    let n = btn.node_count();
+    let mut pref_neg: Vec<NegSet> = vec![NegSet::empty(); n];
+    let mut worklist: Vec<NodeId> = Vec::new();
+    for x in btn.nodes() {
+        if let ExplicitBelief::Negs(neg) = btn.belief(x) {
+            pref_neg[x as usize] = neg.clone();
+            worklist.push(x);
+        }
+    }
+    while let Some(z) = worklist.pop() {
+        for w in g.neighbors(z) {
+            if btn.parents(w).preferred() != Some(z) {
+                continue;
+            }
+            // In a BTN non-roots carry no explicit positive belief, so the
+            // `v+ ∉ b0(x)` guard is vacuous here.
+            let merged = pref_neg[w as usize].union(&pref_neg[z as usize]);
+            if merged != pref_neg[w as usize] {
+                pref_neg[w as usize] = merged;
+                worklist.push(w);
+            }
+        }
+    }
+
+    let mut reachable = vec![false; n];
+    let mut stack: Vec<NodeId> = btn.roots().collect();
+    for &r in &stack {
+        reachable[r as usize] = true;
+    }
+    while let Some(z) = stack.pop() {
+        for w in g.neighbors(z) {
+            if !reachable[w as usize] {
+                reachable[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    (pref_neg, reachable)
 }
 
 /// Runs Algorithm 2 on a tie-free BTN (constraints allowed).
@@ -171,32 +296,11 @@ pub fn resolve_skeptic(btn: &Btn) -> Result<SkepticResolution> {
     let n = btn.node_count();
     let graph = btn.graph();
 
-    // (P) Preprocessing: prefNeg = explicit negatives flowing along
-    // preferred chains (fixpoint; preferred cycles converge since sets only
-    // grow).
-    let mut pref_neg: Vec<NegSet> = vec![NegSet::empty(); n];
-    let mut worklist: Vec<NodeId> = Vec::new();
-    for x in btn.nodes() {
-        if let ExplicitBelief::Negs(neg) = btn.belief(x) {
-            pref_neg[x as usize] = neg.clone();
-            worklist.push(x);
-        }
-    }
+    let (pref_neg, reachable) = skeptic_preprocess(&graph, btn);
     let mut pref_children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     for x in btn.nodes() {
         if let Some(z) = btn.preferred_parent(x) {
             pref_children[z as usize].push(x);
-        }
-    }
-    while let Some(z) = worklist.pop() {
-        for &x in &pref_children[z as usize] {
-            // In a BTN non-roots carry no explicit positive belief, so the
-            // `v+ ∉ b0(x)` guard is vacuous here.
-            let merged = pref_neg[x as usize].union(&pref_neg[z as usize]);
-            if merged != pref_neg[x as usize] {
-                pref_neg[x as usize] = merged;
-                worklist.push(x);
-            }
         }
     }
 
@@ -205,7 +309,6 @@ pub fn resolve_skeptic(btn: &Btn) -> Result<SkepticResolution> {
     let mut rep: Vec<RepPoss> = vec![RepPoss::empty(); n];
     let mut closed = vec![false; n];
     let roots: Vec<NodeId> = btn.roots().collect();
-    let reachable = reachable_from_many(&graph, roots.iter().copied(), |_| true);
     let mut open_left = (0..n).filter(|&x| reachable[x]).count();
 
     let mut s1: Vec<NodeId> = Vec::new();
@@ -311,6 +414,663 @@ pub fn resolve_skeptic(btn: &Btn) -> Result<SkepticResolution> {
     }
 
     Ok(SkepticResolution { rep, pref_neg })
+}
+
+// ---------------------------------------------------------------------------
+// Shared regional machinery: the Step-1/Step-2 replay both the sharded and
+// the incremental skeptic engines run on a node region whose external
+// ancestors are final.
+// ---------------------------------------------------------------------------
+
+/// Immutable network view the skeptic solvers share: forward adjacency,
+/// parent structure, explicit beliefs, the preprocessing `prefNeg`, and
+/// static reachability from belief roots.
+pub(crate) struct SkepticNet<'a, A: ?Sized> {
+    /// Forward adjacency (edges parent → child).
+    pub g: &'a A,
+    /// Per-node (≤ 2) parents.
+    pub parents: &'a [Parents],
+    /// Per-node explicit beliefs (non-`None` only at roots).
+    pub beliefs: &'a [ExplicitBelief],
+    /// Explicit negatives forced through preferred chains (preprocessing).
+    pub pref_neg: &'a [NegSet],
+    /// Reachability from belief-carrying roots. A *final* node counts as
+    /// closed exactly when it is reachable (unreachable nodes never close
+    /// and keep an empty representation forever).
+    pub reachable: &'a [bool],
+}
+
+/// Read/write access to the per-node `repPoss` slab — a plain mutable
+/// slice for the incremental engine, the [`SharedSlab`] for the parallel
+/// workers.
+pub(crate) trait RepStore {
+    /// The representation of `x`.
+    fn rep(&self, x: NodeId) -> &RepPoss;
+    /// Mutable representation of `x` (the caller must own `x`'s region).
+    fn rep_mut(&mut self, x: NodeId) -> &mut RepPoss;
+}
+
+/// [`RepStore`] over an exclusively borrowed slice.
+pub(crate) struct VecStore<'a>(pub &'a mut [RepPoss]);
+
+impl RepStore for VecStore<'_> {
+    #[inline]
+    fn rep(&self, x: NodeId) -> &RepPoss {
+        &self.0[x as usize]
+    }
+    #[inline]
+    fn rep_mut(&mut self, x: NodeId) -> &mut RepPoss {
+        &mut self.0[x as usize]
+    }
+}
+
+/// [`RepStore`] over the parallel workers' shared slab.
+///
+/// Safety: the scheduler guarantees each node is written by exactly one
+/// worker, and reads target sealed shards or the worker's own region (see
+/// [`SharedSlab`]).
+struct SlabStore<'a>(&'a SharedSlab<RepPoss>);
+
+impl RepStore for SlabStore<'_> {
+    #[inline]
+    fn rep(&self, x: NodeId) -> &RepPoss {
+        // SAFETY: scheduler contract (sealed ancestors / own region).
+        unsafe { self.0.read(x) }
+    }
+    #[inline]
+    fn rep_mut(&mut self, x: NodeId) -> &mut RepPoss {
+        // SAFETY: the worker owns every node of the region it solves.
+        unsafe { self.0.get_mut(x) }
+    }
+}
+
+/// Reusable node-indexed scratch for regional skeptic solves — allocated
+/// once per worker (or once per incremental engine) and reused across
+/// every region it solves.
+#[derive(Debug, Clone)]
+pub(crate) struct SkepticScratch {
+    /// Membership flags of the region currently being solved.
+    in_region: Vec<bool>,
+    /// Closed flags, valid only inside the current region.
+    closed: Vec<bool>,
+    /// Epoch-stamped visited marks of the per-(entry, value) S′ floods.
+    mark: Vec<u32>,
+    /// Epoch-stamped membership of the component currently flooding.
+    in_comp: Vec<u32>,
+    /// Current epoch for `mark` / `in_comp` (0 = never stamped).
+    epoch: u32,
+    scc: SccScratch,
+    worklist: Vec<NodeId>,
+    queue: Vec<NodeId>,
+    is_source: Vec<bool>,
+    members_buf: Vec<NodeId>,
+    entries_buf: Vec<NodeId>,
+    adds: Vec<RepPoss>,
+}
+
+impl SkepticScratch {
+    /// Scratch for a graph of `n` nodes.
+    pub(crate) fn new(n: usize) -> Self {
+        SkepticScratch {
+            in_region: vec![false; n],
+            closed: vec![false; n],
+            mark: vec![0; n],
+            in_comp: vec![0; n],
+            epoch: 0,
+            scc: SccScratch::new(),
+            worklist: Vec::new(),
+            queue: Vec::new(),
+            is_source: Vec::new(),
+            members_buf: Vec::new(),
+            entries_buf: Vec::new(),
+            adds: Vec::new(),
+        }
+    }
+
+    /// Grows the node-indexed arrays to cover `n` nodes.
+    pub(crate) fn grow(&mut self, n: usize) {
+        self.in_region.resize(n, false);
+        self.closed.resize(n, false);
+        self.mark.resize(n, 0);
+        self.in_comp.resize(n, 0);
+    }
+}
+
+/// Bumps the epoch counter, clearing the stamp arrays on (astronomically
+/// rare) wrap-around so stale stamps can never collide.
+fn next_epoch(epoch: &mut u32, mark: &mut [u32], in_comp: &mut [u32]) -> u32 {
+    *epoch = epoch.wrapping_add(1);
+    if *epoch == 0 {
+        mark.fill(0);
+        in_comp.fill(0);
+        *epoch = 1;
+    }
+    *epoch
+}
+
+/// Algorithm 2's Step-1/Step-2 alternation restricted to `members`, with
+/// every external node final: a final node is closed iff it is reachable,
+/// and its representation never changes once written. This is the shared
+/// regional semantics of the parallel cyclic units (externals are sealed
+/// ancestor units) and of the incremental dirty regions (externals are
+/// frozen clean nodes at their cached representations).
+///
+/// Representations of all members are reset first, then re-derived; on
+/// return every reachable member is closed and the scratch flags are
+/// restored clean.
+pub(crate) fn solve_skeptic_region<A, R>(
+    net: &SkepticNet<'_, A>,
+    store: &mut R,
+    scratch: &mut SkepticScratch,
+    members: &[NodeId],
+) where
+    A: Adjacency + ?Sized,
+    R: RepStore,
+{
+    let SkepticScratch {
+        in_region,
+        closed,
+        mark,
+        in_comp,
+        epoch,
+        scc,
+        worklist,
+        queue,
+        is_source,
+        members_buf,
+        entries_buf,
+        adds,
+    } = scratch;
+
+    // (I) Region init: reset representations, count the nodes that will
+    // close, and close member roots with their explicit beliefs.
+    let mut open_left = 0usize;
+    for &x in members {
+        let xs = x as usize;
+        in_region[xs] = true;
+        debug_assert!(!closed[xs], "closed flags must start clean");
+        *store.rep_mut(x) = RepPoss::empty();
+        if net.reachable[xs] {
+            open_left += 1;
+        }
+    }
+    for &x in members {
+        let xs = x as usize;
+        if !net.reachable[xs] || !net.parents[xs].is_root() {
+            continue;
+        }
+        let rep = store.rep_mut(x);
+        match &net.beliefs[xs] {
+            ExplicitBelief::Pos(v) => {
+                rep.pos.insert(*v);
+            }
+            ExplicitBelief::Negs(neg) => {
+                rep.neg = neg.clone();
+            }
+            ExplicitBelief::None => unreachable!("reachable roots carry beliefs"),
+        }
+        closed[xs] = true;
+        open_left -= 1;
+    }
+
+    // Seed Step 1: open members whose preferred parent is already closed
+    // (an external final, or a member root closed above).
+    worklist.clear();
+    for &x in members {
+        let xs = x as usize;
+        if !net.reachable[xs] || closed[xs] {
+            continue;
+        }
+        if let Some(z) = net.parents[xs].preferred() {
+            let zs = z as usize;
+            let z_closed = if in_region[zs] {
+                closed[zs]
+            } else {
+                net.reachable[zs]
+            };
+            if z_closed {
+                worklist.push(x);
+            }
+        }
+    }
+
+    // (M) Main loop.
+    while open_left > 0 {
+        // (S1) Preferred copies — only from Type-2 parents (Appendix B.7);
+        // a Type-1 parent leaves the node open for Step 2.
+        while let Some(x) = worklist.pop() {
+            let xs = x as usize;
+            if closed[xs] || !net.reachable[xs] {
+                continue;
+            }
+            let z = net.parents[xs].preferred().expect("worklist invariant");
+            let zs = z as usize;
+            let z_closed = if in_region[zs] {
+                closed[zs]
+            } else {
+                net.reachable[zs]
+            };
+            if !z_closed || !store.rep(z).is_type2() {
+                continue;
+            }
+            let copied = store.rep(z).clone();
+            *store.rep_mut(x) = copied;
+            closed[xs] = true;
+            open_left -= 1;
+            for w in net.g.neighbors(x) {
+                let ws = w as usize;
+                if in_region[ws] && !closed[ws] && net.parents[ws].preferred() == Some(x) {
+                    worklist.push(w);
+                }
+            }
+        }
+        if open_left == 0 {
+            break;
+        }
+
+        // (S2) Condense the open members and flood the source sub-SCCs.
+        scc.run(net.g, members.iter().copied(), |v| {
+            in_region[v as usize] && net.reachable[v as usize] && !closed[v as usize]
+        });
+        let comp_count = scc.count();
+        is_source.clear();
+        is_source.resize(comp_count, true);
+        for &x in scc.visited() {
+            let cx = scc.comp_of(x).expect("visited");
+            for z in net.parents[x as usize].iter() {
+                let zs = z as usize;
+                let z_open = in_region[zs] && net.reachable[zs] && !closed[zs];
+                if z_open && scc.comp_of(z) != Some(cx) {
+                    is_source[cx as usize] = false;
+                }
+            }
+        }
+
+        let mut flooded = 0usize;
+        for c in 0..comp_count as u32 {
+            if !is_source[c as usize] {
+                continue;
+            }
+            flooded += 1;
+            members_buf.clear();
+            members_buf.extend_from_slice(scc.members(c));
+            let comp_stamp = next_epoch(epoch, mark, in_comp);
+            for &x in members_buf.iter() {
+                in_comp[x as usize] = comp_stamp;
+            }
+
+            // Closed nodes with edges into S (internal earlier closures
+            // cannot occur — S would not have been a source — so these are
+            // external finals and members closed in previous rounds).
+            entries_buf.clear();
+            for &x in members_buf.iter() {
+                for z in net.parents[x as usize].iter() {
+                    let zs = z as usize;
+                    let z_closed = if in_region[zs] {
+                        closed[zs]
+                    } else {
+                        net.reachable[zs]
+                    };
+                    if z_closed {
+                        entries_buf.push(z);
+                    }
+                }
+            }
+            entries_buf.sort_unstable();
+            entries_buf.dedup();
+
+            // Collect updates first (representations of members must not
+            // change while other entries are still being processed).
+            adds.clear();
+            adds.resize(members_buf.len(), RepPoss::default());
+            for &zj in entries_buf.iter() {
+                let zrep = store.rep(zj).clone();
+                for &v in &zrep.pos {
+                    // S′ = S minus nodes whose preferred side forces v−.
+                    // If nothing in S blocks v, the flood is total and the
+                    // reachability BFS is skipped.
+                    let any_blocked = members_buf
+                        .iter()
+                        .any(|&x| net.pref_neg[x as usize].contains(v));
+                    if !any_blocked {
+                        for a in adds.iter_mut() {
+                            a.pos.insert(v);
+                        }
+                        continue;
+                    }
+                    let bfs = next_epoch(epoch, mark, in_comp);
+                    queue.clear();
+                    for w in net.g.neighbors(zj) {
+                        let ws = w as usize;
+                        if in_comp[ws] == comp_stamp
+                            && !net.pref_neg[ws].contains(v)
+                            && mark[ws] != bfs
+                        {
+                            mark[ws] = bfs;
+                            queue.push(w);
+                        }
+                    }
+                    while let Some(u) = queue.pop() {
+                        for w in net.g.neighbors(u) {
+                            let ws = w as usize;
+                            if in_comp[ws] == comp_stamp
+                                && !net.pref_neg[ws].contains(v)
+                                && mark[ws] != bfs
+                            {
+                                mark[ws] = bfs;
+                                queue.push(w);
+                            }
+                        }
+                    }
+                    for (i, &x) in members_buf.iter().enumerate() {
+                        if mark[x as usize] == bfs {
+                            adds[i].pos.insert(v);
+                        } else {
+                            adds[i].bottom = true;
+                        }
+                    }
+                }
+                for a in adds.iter_mut() {
+                    a.neg = a.neg.union(&zrep.neg);
+                    a.bottom |= zrep.bottom;
+                }
+            }
+
+            for (i, &x) in members_buf.iter().enumerate() {
+                let r = store.rep_mut(x);
+                r.pos.extend(adds[i].pos.iter().copied());
+                r.neg = r.neg.union(&adds[i].neg);
+                r.bottom |= adds[i].bottom;
+                closed[x as usize] = true;
+                open_left -= 1;
+            }
+            for &x in members_buf.iter() {
+                for w in net.g.neighbors(x) {
+                    let ws = w as usize;
+                    if in_region[ws] && !closed[ws] && net.parents[ws].preferred() == Some(x) {
+                        worklist.push(w);
+                    }
+                }
+            }
+        }
+        // A finite open region always has a source SCC.
+        assert!(flooded > 0, "no source sub-SCC in open skeptic region");
+    }
+
+    // Restore the all-clean flag invariant for the next region.
+    for &x in members {
+        in_region[x as usize] = false;
+        closed[x as usize] = false;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The condensation-sharded parallel skeptic resolver.
+// ---------------------------------------------------------------------------
+
+/// A reusable shard schedule for Algorithm 2 over one BTN *structure* —
+/// the skeptic counterpart of [`crate::parallel::PlannedResolver`].
+///
+/// The plan depends only on the trust edges, never on the explicit
+/// beliefs, so one plan serves any number of (sign-compatible) belief
+/// assignments over the same network; [`crate::bulk_skeptic`] exploits
+/// this for few-objects signed bulk workloads. Plan once with
+/// [`SkepticPlannedResolver::new`], then call
+/// [`SkepticPlannedResolver::resolve`] per assignment.
+pub struct SkepticPlannedResolver {
+    csr: Csr,
+    plan: ShardPlan,
+    nodes: usize,
+}
+
+impl SkepticPlannedResolver {
+    /// Plans the condensation shards of `btn`'s structure. Fails like
+    /// [`resolve_skeptic`] on tied priorities.
+    pub fn new(btn: &Btn, opts: ParOptions) -> Result<SkepticPlannedResolver> {
+        if let Some(x) = btn
+            .nodes()
+            .find(|&x| matches!(btn.parents(x), Parents::Tied(..)))
+        {
+            let user = btn.origin(x).unwrap_or(User(x));
+            return Err(Error::TiesUnsupported(user));
+        }
+        let n = btn.node_count();
+        let parents: &[Parents] = &btn.parents;
+        // Fused forward-CSR + in-degree construction (one counting pass
+        // feeds both the adjacency offsets and the peel's counters).
+        let mut offsets = vec![0u32; n + 1];
+        let mut in_degrees = vec![0u32; n];
+        for x in 0..n {
+            let p = &parents[x];
+            in_degrees[x] = p.len() as u32;
+            for z in p.iter() {
+                offsets[z as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as NodeId; offsets[n] as usize];
+        for x in 0..n as NodeId {
+            for z in parents[x as usize].iter() {
+                let c = &mut cursor[z as usize];
+                targets[*c as usize] = x;
+                *c += 1;
+            }
+        }
+        let csr = Csr::from_parts(offsets, targets);
+        let mut scratch = SccScratch::new();
+        let plan = ShardPlan::build_with_in_degrees(
+            &csr,
+            |x| parents[x as usize].iter(),
+            |_| true,
+            0..n as NodeId,
+            &in_degrees,
+            &mut scratch,
+            opts.shard_target,
+            opts.exact_deps,
+        );
+        Ok(SkepticPlannedResolver {
+            csr,
+            plan,
+            nodes: n,
+        })
+    }
+
+    /// Runs Algorithm 2 over this plan with `threads` workers.
+    ///
+    /// `btn` must have the same node count and trust structure the plan
+    /// was built from; only its explicit (root) beliefs may differ. The
+    /// result equals [`resolve_skeptic`] on every node.
+    pub fn resolve(&self, btn: &Btn, threads: usize) -> Result<SkepticResolution> {
+        assert_eq!(
+            btn.node_count(),
+            self.nodes,
+            "plan was built for a different BTN structure"
+        );
+        let n = self.nodes;
+
+        // (P) prefNeg fixpoint + reachability (the closedness oracle for
+        // final nodes), shared with the sequential resolver.
+        let (pref_neg, reachable) = skeptic_preprocess(&self.csr, btn);
+
+        let mut rep: Vec<RepPoss> = vec![RepPoss::empty(); n];
+        solve_skeptic_shards(
+            &self.csr,
+            &btn.parents,
+            &btn.beliefs,
+            &pref_neg,
+            &reachable,
+            &self.plan,
+            &mut rep,
+            threads,
+        );
+        Ok(SkepticResolution { rep, pref_neg })
+    }
+}
+
+/// Solves every shard of `plan` under Algorithm 2's semantics, writing the
+/// per-node representations into `rep`.
+///
+/// `rep` must hold the frozen boundary representations for nodes outside
+/// the plan (final, and closed exactly when `reachable`) and any value for
+/// covered nodes (they are reset and rewritten). Shared by the planned
+/// resolver (whole-BTN plans) and the incremental engine (dirty-region
+/// plans).
+#[allow(clippy::too_many_arguments)] // one internal funnel, mirrors solve_shards
+pub(crate) fn solve_skeptic_shards<A>(
+    g: &A,
+    parents: &[Parents],
+    beliefs: &[ExplicitBelief],
+    pref_neg: &[NegSet],
+    reachable: &[bool],
+    plan: &ShardPlan,
+    rep: &mut [RepPoss],
+    threads: usize,
+) where
+    A: Adjacency + Sync + ?Sized,
+{
+    let nodes = rep.len();
+    let ctx = SkepticShardCtx {
+        g,
+        parents,
+        beliefs,
+        pref_neg,
+        reachable,
+        plan,
+        rep: SharedSlab::new(rep),
+        nodes,
+    };
+    run_shards(&ctx, threads);
+}
+
+/// Runs Algorithm 2 sharded over `threads` workers (one-shot convenience
+/// over [`SkepticPlannedResolver`]).
+pub fn resolve_skeptic_parallel(btn: &Btn, threads: usize) -> Result<SkepticResolution> {
+    let planned = SkepticPlannedResolver::new(
+        btn,
+        ParOptions {
+            threads,
+            ..ParOptions::default()
+        },
+    )?;
+    planned.resolve(btn, threads)
+}
+
+/// Shared solving context of the parallel skeptic workers.
+struct SkepticShardCtx<'a, A: ?Sized> {
+    g: &'a A,
+    parents: &'a [Parents],
+    beliefs: &'a [ExplicitBelief],
+    pref_neg: &'a [NegSet],
+    reachable: &'a [bool],
+    plan: &'a ShardPlan,
+    rep: SharedSlab<RepPoss>,
+    nodes: usize,
+}
+
+impl<A> SkepticShardCtx<'_, A>
+where
+    A: Adjacency + Sync + ?Sized,
+{
+    /// Closed-form solve of an acyclic singleton unit: every parent is
+    /// final, so Algorithm 2's Step-1 copy or Step-2 singleton flood
+    /// collapses to one expression.
+    fn solve_singleton(&self, x: NodeId) {
+        let xs = x as usize;
+        if !self.reachable[xs] {
+            return; // stays empty (never closes)
+        }
+        let parents = &self.parents[xs];
+        let mut rep = RepPoss::empty();
+        match *parents {
+            Parents::None => match &self.beliefs[xs] {
+                ExplicitBelief::Pos(v) => {
+                    rep.pos.insert(*v);
+                }
+                ExplicitBelief::Negs(neg) => {
+                    rep.neg = neg.clone();
+                }
+                ExplicitBelief::None => unreachable!("reachable roots carry beliefs"),
+            },
+            _ => {
+                // Step 1: a closed Type-2 preferred parent always wins.
+                let copied = parents
+                    .preferred()
+                    .filter(|&z| self.reachable[z as usize])
+                    .and_then(|z| {
+                        // SAFETY: z is an ancestor — its shard is sealed.
+                        let zrep = unsafe { self.rep.read(z) };
+                        zrep.is_type2().then(|| zrep.clone())
+                    });
+                match copied {
+                    Some(c) => rep = c,
+                    None => {
+                        // Step 2 flood of the trivial SCC {x}: every closed
+                        // parent is an entry; a positive blocked by x's own
+                        // prefNeg becomes ⊥ (S′ excludes x).
+                        for z in parents.iter() {
+                            let zs = z as usize;
+                            if !self.reachable[zs] {
+                                continue;
+                            }
+                            // SAFETY: ancestor shard is sealed.
+                            let zrep = unsafe { self.rep.read(z) };
+                            for &v in &zrep.pos {
+                                if self.pref_neg[xs].contains(v) {
+                                    rep.bottom = true;
+                                } else {
+                                    rep.pos.insert(v);
+                                }
+                            }
+                            rep.neg = rep.neg.union(&zrep.neg);
+                            rep.bottom |= zrep.bottom;
+                        }
+                    }
+                }
+            }
+        }
+        // SAFETY: this worker owns x's shard.
+        unsafe { self.rep.write(x, rep) };
+    }
+}
+
+impl<A> ShardSolver for SkepticShardCtx<'_, A>
+where
+    A: Adjacency + Sync + ?Sized,
+{
+    type Worker = SkepticScratch;
+
+    fn new_worker(&self) -> SkepticScratch {
+        SkepticScratch::new(self.nodes)
+    }
+
+    fn solve_shard(&self, worker: &mut SkepticScratch, s: u32) {
+        for u in self.plan.units(s) {
+            let members = self.plan.unit_members(u);
+            if let [x] = *members {
+                if !self.parents[x as usize].iter().any(|z| z == x) {
+                    self.solve_singleton(x);
+                    continue;
+                }
+            }
+            // Cyclic unit (or defensive self-loop): regional replay.
+            let net = SkepticNet {
+                g: self.g,
+                parents: self.parents,
+                beliefs: self.beliefs,
+                pref_neg: self.pref_neg,
+                reachable: self.reachable,
+            };
+            let mut store = SlabStore(&self.rep);
+            solve_skeptic_region(&net, &mut store, worker, members);
+        }
+    }
+
+    fn plan(&self) -> &ShardPlan {
+        self.plan
+    }
 }
 
 #[cfg(test)]
@@ -475,6 +1235,134 @@ mod tests {
         assert_eq!(cert.pos, None);
         assert!(!cert.neg.contains(v0) && !cert.neg.contains(v1));
         assert!(cert.neg.contains(Value(2)));
+    }
+
+    /// The sharded resolver equals the sequential Algorithm 2 on every
+    /// node at every thread count (including forced tiny shards).
+    fn assert_parallel_equiv(net: &TrustNetwork) {
+        let btn = binarize(net);
+        let seq = resolve_skeptic(&btn).expect("sequential resolves");
+        for threads in [1usize, 2, 3, 8] {
+            for (shard_target, exact_deps) in [(8192, false), (1, true)] {
+                let planned = SkepticPlannedResolver::new(
+                    &btn,
+                    crate::parallel::ParOptions {
+                        threads,
+                        shard_target,
+                        exact_deps,
+                    },
+                )
+                .expect("tie-free");
+                let par = planned.resolve(&btn, threads).expect("resolves");
+                for x in btn.nodes() {
+                    assert_eq!(
+                        seq.rep_poss(x),
+                        par.rep_poss(x),
+                        "node {x} ({}) at {threads} threads, target {shard_target}",
+                        btn.name(x)
+                    );
+                    assert_eq!(seq.pref_neg(x), par.pref_neg(x), "prefNeg of {x}");
+                }
+            }
+        }
+    }
+
+    /// Figure 6 plus the unit-test networks, sharded: cycles with guards,
+    /// negative chains, blocked values.
+    #[test]
+    fn parallel_skeptic_matches_sequential() {
+        let (net, _) = figure_6_network();
+        assert_parallel_equiv(&net);
+
+        // Constraint guard over an oscillating 2-cycle with blocked value.
+        use crate::signed::NegSet;
+        let mut net = TrustNetwork::new();
+        let a = net.user("a");
+        let b = net.user("b");
+        let guard = net.user("guard");
+        let s1 = net.user("s1");
+        let s2 = net.user("s2");
+        let tail = net.user("tail");
+        let v0 = net.value("v0");
+        net.value("v1");
+        net.trust(a, guard, 200).unwrap();
+        net.trust(a, b, 100).unwrap();
+        net.trust(b, a, 100).unwrap();
+        net.trust(a, s1, 50).unwrap();
+        net.trust(b, s2, 50).unwrap();
+        net.trust(tail, b, 10).unwrap();
+        net.reject(guard, NegSet::of([v0])).unwrap();
+        net.believe(s1, v0).unwrap();
+        net.believe(s2, v0).unwrap();
+        assert_parallel_equiv(&net);
+
+        // Pure-negative chain with an unreachable side branch.
+        let mut net = TrustNetwork::new();
+        let root = net.user("root");
+        let mid = net.user("mid");
+        let leaf = net.user("leaf");
+        let dead = net.user("dead");
+        let a = net.value("a");
+        net.trust(mid, root, 1).unwrap();
+        net.trust(leaf, mid, 1).unwrap();
+        net.trust(leaf, dead, 2).unwrap();
+        net.reject(root, NegSet::of([a])).unwrap();
+        assert_parallel_equiv(&net);
+    }
+
+    /// One plan, re-seeded root beliefs (the bulk shape): the skeptic plan
+    /// is reusable across sign-compatible assignments.
+    #[test]
+    fn skeptic_plan_reuse_across_beliefs() {
+        use crate::signed::NegSet;
+        let mut net = TrustNetwork::new();
+        let x = net.user("x");
+        let guard = net.user("guard");
+        let src = net.user("src");
+        let a = net.value("a");
+        let b = net.value("b");
+        net.trust(x, guard, 2).unwrap();
+        net.trust(x, src, 1).unwrap();
+        net.reject(guard, NegSet::of([a])).unwrap();
+        net.believe(src, a).unwrap();
+        let btn = binarize(&net);
+        let planned =
+            SkepticPlannedResolver::new(&btn, crate::parallel::ParOptions::default()).unwrap();
+
+        let first = planned.resolve(&btn, 2).unwrap();
+        assert!(first.rep_poss(btn.node_of(x)).bottom);
+
+        // Re-seed: src now asserts b (not blocked) — same plan, new result.
+        let mut work = btn.clone();
+        let root = btn.belief_root(src).expect("src believes");
+        work.set_root_belief(root, ExplicitBelief::Pos(b));
+        let second = planned.resolve(&work, 2).unwrap();
+        assert_eq!(second.cert_positive(btn.node_of(x)), Some(b));
+        let reference = resolve_skeptic(&work).unwrap();
+        for node in btn.nodes() {
+            assert_eq!(
+                second.rep_poss(node),
+                reference.rep_poss(node),
+                "node {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_skeptic_rejects_ties() {
+        let mut net = TrustNetwork::new();
+        let x = net.user("x");
+        let a = net.user("a");
+        let b = net.user("b");
+        let v = net.value("v");
+        net.trust(x, a, 5).unwrap();
+        net.trust(x, b, 5).unwrap();
+        net.believe(a, v).unwrap();
+        let btn = binarize(&net);
+        assert!(matches!(
+            resolve_skeptic_parallel(&btn, 2),
+            Err(Error::TiesUnsupported(_))
+        ));
     }
 
     /// The documented fidelity gap: a negative certain at the preferred

@@ -237,6 +237,25 @@ pub fn resolve_objects_parallel(
     PossTable { rows, num_objects }
 }
 
+/// Bulk resolution of *signed* workloads (constraint-carrying networks)
+/// under the Skeptic paradigm, fanned out over `threads`.
+///
+/// The relational `POSS` table cannot represent negative beliefs, so
+/// signed bulk work bypasses the SQL path and produces the dense
+/// [`trustmap_core::bulk_skeptic::SkepticTable`] directly. Routing matches
+/// [`resolve_objects_parallel`]: object-level fan-out when objects ≥
+/// threads, and the condensation-sharded Algorithm 2
+/// ([`trustmap_core::skeptic::SkepticPlannedResolver`]) per object in the
+/// few-objects/many-threads regime.
+pub fn resolve_objects_skeptic(
+    btn: &Btn,
+    seeds: &[SeedValues],
+    num_objects: usize,
+    threads: usize,
+) -> Result<trustmap_core::bulk_skeptic::SkepticTable, trustmap_core::Error> {
+    trustmap_core::bulk_skeptic::execute_skeptic_parallel(btn, seeds, num_objects, threads)
+}
+
 /// Re-seeds the working BTN with object `k`'s explicit beliefs.
 fn seed_object(work: &mut Btn, btn: &Btn, seeds: &[SeedValues], k: usize) {
     for seed in seeds {
@@ -319,6 +338,50 @@ mod tests {
         let seq = resolve_objects_sequential(&btn, &seeds, 1);
         let par = resolve_objects_parallel(&btn, &seeds, 1, 8);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn signed_bulk_routes_through_skeptic_pipeline() {
+        use trustmap_core::signed::NegSet;
+        // Constraint-carrying network: a guard rejects v0 over an
+        // oscillating pair fed by two believers.
+        let mut net = TrustNetwork::new();
+        let x = net.user("x");
+        let guard = net.user("guard");
+        let s1 = net.user("s1");
+        let v0 = net.value("v0");
+        let v1 = net.value("v1");
+        net.trust(x, guard, 2).unwrap();
+        net.trust(x, s1, 1).unwrap();
+        net.reject(guard, NegSet::of([v0])).unwrap();
+        net.believe(s1, v0).unwrap();
+        let btn = trustmap_core::binarize(&net);
+        let seeds = vec![SeedValues {
+            user: s1,
+            values: vec![v0, v1, v0, v1],
+        }];
+        // Few objects on many threads: the sharded skeptic path.
+        let few = resolve_objects_skeptic(&btn, &seeds[..1], 2, 4).unwrap();
+        // Object fan-out.
+        let fanned = resolve_objects_skeptic(&btn, &seeds, 4, 2).unwrap();
+        // Both match the per-object sequential reference.
+        let mut work = btn.clone();
+        for k in 0..4 {
+            work.set_root_belief(
+                btn.belief_root(s1).unwrap(),
+                trustmap_core::ExplicitBelief::Pos(seeds[0].values[k]),
+            );
+            let reference = trustmap_core::skeptic::resolve_skeptic(&work).unwrap();
+            for node in btn.nodes() {
+                assert_eq!(fanned.rep(node, k), reference.rep_poss(node), "node {node}");
+                if k < 2 {
+                    assert_eq!(few.rep(node, k), reference.rep_poss(node), "node {node}");
+                }
+            }
+        }
+        // Blocked objects collapse the guarded user to ⊥.
+        assert!(fanned.rep(btn.node_of(x), 0).bottom);
+        assert_eq!(fanned.cert_positive(btn.node_of(x), 1), Some(v1));
     }
 
     #[test]

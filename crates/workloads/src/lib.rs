@@ -21,7 +21,11 @@
 //!   comparisons (Proposition 3.6);
 //! * [`edit_stream`] — seeded believe/revoke/trust edit sequences over an
 //!   existing workload, the input of the incremental-resolution benchmark
-//!   (`edits`) and the incremental-vs-full equivalence oracle.
+//!   (`edits`) and the incremental-vs-full equivalence oracle;
+//! * [`power_law_signed`] / [`signed_edit_stream`] — the constraint-laden
+//!   variants: a fraction of believers assert negative beliefs, and edit
+//!   streams mix in constraint assertions — the inputs of the
+//!   `skeptic_bench` benchmark and the skeptic oracle.
 //!
 //! Every generator takes an explicit seed and is fully deterministic.
 
@@ -30,7 +34,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use trustmap_core::sat::Cnf;
 use trustmap_core::signed::NegSet;
-use trustmap_core::{Edit, TrustNetwork, User, Value};
+use trustmap_core::{Edit, SignedEdit, TrustNetwork, User, Value};
 
 /// A generated workload: the network plus the handles experiments need.
 #[derive(Debug, Clone)]
@@ -349,6 +353,124 @@ pub fn edit_stream(w: &Workload, steps: usize, mix: EditMix, seed: u64) -> Vec<E
         .collect()
 }
 
+/// A scale-free *signed* trust network: [`power_law`] structure, but a
+/// `constraint_fraction` of the believers assert a one-value constraint
+/// (`v−`) instead of a positive value — the range-check / reference-list
+/// filters of Section 3 sprinkled over the web-of-trust crawl. The
+/// returned `believers` list covers both signs.
+pub fn power_law_signed(
+    n: usize,
+    m: usize,
+    num_values: usize,
+    believer_fraction: f64,
+    constraint_fraction: f64,
+    seed: u64,
+) -> Workload {
+    let mut w = power_law(n, m, num_values, believer_fraction, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51_6E_ED);
+    let values: Vec<Value> = w.net.domain().values().collect();
+    for i in 0..w.believers.len() {
+        if rng.gen_bool(constraint_fraction) {
+            let u = w.believers[i];
+            let v = values[rng.gen_range(0..values.len())];
+            w.net.reject(u, NegSet::of([v])).expect("known user");
+        }
+    }
+    w
+}
+
+/// Tuning knobs for [`signed_edit_stream`].
+#[derive(Debug, Clone, Copy)]
+pub struct SignedEditMix {
+    /// Probability an edit declares a new trust mapping (structural).
+    pub trust_fraction: f64,
+    /// Probability a non-structural edit is a revocation.
+    pub revoke_fraction: f64,
+    /// Probability a belief-assertion edit is a constraint (`Reject`)
+    /// instead of a positive value.
+    pub constraint_fraction: f64,
+}
+
+impl Default for SignedEditMix {
+    /// Belief-flip dominated, with occasional revocations, constraint
+    /// updates (range checks being tightened/loosened), and rare new
+    /// mappings.
+    fn default() -> Self {
+        SignedEditMix {
+            trust_fraction: 0.05,
+            revoke_fraction: 0.15,
+            constraint_fraction: 0.25,
+        }
+    }
+}
+
+/// A seeded stream of `steps` random *signed* edits over the users and
+/// values of an existing workload: believe-flips, constraint assertions,
+/// revocations, and occasional new trust mappings (per `mix`). The
+/// constraint edits are what previously forced full Algorithm-2 re-runs —
+/// the hot path of the incremental skeptic engine.
+pub fn signed_edit_stream(
+    w: &Workload,
+    steps: usize,
+    mix: SignedEditMix,
+    seed: u64,
+) -> Vec<SignedEdit> {
+    let users = w.net.user_count();
+    let values = w.net.domain().len();
+    assert!(users >= 2 && values >= 1, "workload too small for edits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..steps)
+        .map(|i| {
+            if rng.gen_bool(mix.trust_fraction) {
+                loop {
+                    let child = User(rng.gen_range(0..users) as u32);
+                    let parent = User(rng.gen_range(0..users) as u32);
+                    if child != parent {
+                        break SignedEdit::Trust {
+                            child,
+                            parent,
+                            // Above the generators' 1..=100 range and
+                            // strictly increasing per stream, so Algorithm
+                            // 2's tie-free requirement is never violated.
+                            priority: 101 + i as i64,
+                        };
+                    }
+                }
+            } else {
+                let user = User(rng.gen_range(0..users) as u32);
+                if rng.gen_bool(mix.revoke_fraction) {
+                    SignedEdit::Revoke(user)
+                } else {
+                    let v = Value(rng.gen_range(0..values) as u32);
+                    if rng.gen_bool(mix.constraint_fraction) {
+                        SignedEdit::Reject(user, NegSet::of([v]))
+                    } else {
+                        SignedEdit::Believe(user, v)
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Applies one generated signed edit to a plain network (the "simply
+/// re-run Algorithm 2" baseline path; [`trustmap_core::SkepticIncremental`]
+/// applies the same edit incrementally).
+pub fn apply_signed_edit(net: &mut TrustNetwork, edit: &SignedEdit) {
+    match edit {
+        SignedEdit::Believe(u, v) => net.believe(*u, *v).expect("stream users exist"),
+        SignedEdit::Revoke(u) => net.revoke(*u).expect("stream users exist"),
+        SignedEdit::Reject(u, neg) => net.reject(*u, neg.clone()).expect("stream users exist"),
+        SignedEdit::Trust {
+            child,
+            parent,
+            priority,
+        } => net
+            .trust(*child, *parent, *priority)
+            .expect("stream edges are valid"),
+    }
+}
+
 /// Applies one generated edit to a plain network (the "simply re-run"
 /// baseline path; sessions apply the same edit incrementally).
 pub fn apply_edit(net: &mut TrustNetwork, edit: Edit) {
@@ -475,6 +597,42 @@ mod tests {
             .filter(|e| matches!(e, Edit::Trust { .. }))
             .count();
         assert!(trusts <= s1.len() / 3, "trust edits should be rare");
+    }
+
+    #[test]
+    fn signed_power_law_mixes_signs_and_stays_tie_free() {
+        let w = power_law_signed(300, 2, 3, 0.3, 0.4, 9);
+        let w2 = power_law_signed(300, 2, 3, 0.3, 0.4, 9);
+        assert_eq!(w.believers, w2.believers, "deterministic");
+        assert!(w.net.has_constraints(), "some believers flip to negative");
+        assert!(
+            w.believers
+                .iter()
+                .any(|&b| w.net.belief(b).positive().is_some()),
+            "some believers stay positive"
+        );
+        let btn = trustmap_core::binarize(&w.net);
+        assert!(!btn.has_ties());
+        trustmap_core::skeptic::resolve_skeptic(&btn).expect("skeptic-resolvable");
+    }
+
+    #[test]
+    fn signed_edit_streams_apply_and_stay_skeptic_resolvable() {
+        let w = power_law_signed(60, 2, 3, 0.3, 0.3, 11);
+        let s1 = signed_edit_stream(&w, 40, SignedEditMix::default(), 5);
+        let s2 = signed_edit_stream(&w, 40, SignedEditMix::default(), 5);
+        assert_eq!(s1, s2, "same seed, same stream");
+        assert!(
+            s1.iter().any(|e| matches!(e, SignedEdit::Reject(..))),
+            "constraint edits present"
+        );
+        let mut net = w.net.clone();
+        for e in &s1 {
+            apply_signed_edit(&mut net, e);
+        }
+        let btn = trustmap_core::binarize(&net);
+        assert!(!btn.has_ties(), "streams never introduce ties");
+        trustmap_core::skeptic::resolve_skeptic(&btn).expect("edited network resolves");
     }
 
     #[test]

@@ -55,12 +55,14 @@ pub mod format;
 
 pub use trustmap_core::{
     acyclic, binary, bulk, bulk_skeptic, error, gates, incremental, lineage, network, pairs,
-    paradigm, resolution, sat, session, signed, skeptic, stable, stable_signed, user, value,
+    paradigm, resolution, sat, session, signed, skeptic, skeptic_incremental, stable,
+    stable_signed, user, value,
 };
 pub use trustmap_core::{
     binarize, resolve, resolve_network, resolve_with, BeliefChange, BeliefSet, Btn, DeltaStats,
     Edit, Error, ExplicitBelief, IncrementalResolver, Mapping, NegSet, Options, Paradigm, Parents,
-    Resolution, Result, SccMode, Session, TrustNetwork, User, Value,
+    Resolution, Result, SccMode, Session, SignedEdit, SkepticIncremental, SkepticPlannedResolver,
+    SkepticResolution, SkepticUserResolution, TrustNetwork, User, Value,
 };
 
 pub use trustmap_datalog as datalog;
@@ -77,7 +79,7 @@ pub mod prelude {
     pub use trustmap_core::network::indus_network;
     pub use trustmap_core::pairs::analyze_pairs;
     pub use trustmap_core::resolution::{resolve, resolve_network, resolve_with};
-    pub use trustmap_core::skeptic::resolve_skeptic;
+    pub use trustmap_core::skeptic::{resolve_skeptic, resolve_skeptic_parallel};
     pub use trustmap_core::{
         binarize, BeliefSet, Btn, Edit, Error, ExplicitBelief, NegSet, Options, Paradigm, Result,
         SccMode, Session, TrustNetwork, User, Value,

@@ -1,0 +1,274 @@
+//! Equivalence oracle for the skeptic (Algorithm 2) fast paths: on random
+//! *signed* networks, the condensation-sharded
+//! [`SkepticPlannedResolver`] must produce identical `repPoss`
+//! representations to the sequential `resolve_skeptic` at every thread
+//! count, and the [`SkepticIncremental`] engine must stay equivalent to a
+//! from-scratch Algorithm 2 run after every step of a random signed edit
+//! stream (believe/revoke/constraint/trust mixes), sequentially and with
+//! forced-parallel dirty regions.
+
+use proptest::prelude::*;
+use trustmap::skeptic::resolve_skeptic;
+use trustmap::{NegSet, SignedEdit, SkepticIncremental, TrustNetwork, User, Value};
+use trustmap_core::parallel::ParOptions;
+use trustmap_core::SkepticPlannedResolver;
+
+/// A raw signed network description proptest can generate. Priorities are
+/// assigned per child in declaration order (strictly increasing), so the
+/// network is always tie-free — Algorithm 2's requirement.
+#[derive(Debug, Clone)]
+struct RawNet {
+    users: usize,
+    mappings: Vec<(usize, usize)>,
+    /// `(user, value, negative?)` — negative entries assert `{v−}`.
+    beliefs: Vec<(usize, usize, bool)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RawEdit {
+    kind: u8,
+    user: usize,
+    other: usize,
+    value: usize,
+}
+
+const NUM_VALUES: usize = 3;
+
+fn raw_net(max_users: usize, max_maps: usize) -> impl Strategy<Value = RawNet> {
+    (2..=max_users).prop_flat_map(move |users| {
+        let mapping = (0..users, 0..users);
+        let belief = (0..users, 0..NUM_VALUES, 0usize..2);
+        (
+            proptest::collection::vec(mapping, 0..=max_maps),
+            proptest::collection::vec(belief, 0..=users),
+        )
+            .prop_map(move |(mappings, beliefs)| RawNet {
+                users,
+                mappings,
+                beliefs: beliefs
+                    .into_iter()
+                    .map(|(u, v, sign)| (u, v, sign == 1))
+                    .collect(),
+            })
+    })
+}
+
+fn raw_edits(steps: usize) -> impl Strategy<Value = Vec<RawEdit>> {
+    proptest::collection::vec(
+        (0u8..10, 0usize..64, 0usize..64, 0usize..NUM_VALUES).prop_map(
+            |(kind, user, other, value)| RawEdit {
+                kind,
+                user,
+                other,
+                value,
+            },
+        ),
+        steps..=steps,
+    )
+}
+
+fn build(raw: &RawNet) -> (TrustNetwork, Vec<Value>) {
+    let mut net = TrustNetwork::new();
+    let users: Vec<User> = (0..raw.users).map(|i| net.user(&format!("u{i}"))).collect();
+    let values: Vec<Value> = (0..NUM_VALUES)
+        .map(|i| net.value(&format!("v{i}")))
+        .collect();
+    let mut next_priority = vec![1i64; raw.users];
+    for &(c, p) in &raw.mappings {
+        if c != p {
+            let prio = next_priority[c];
+            next_priority[c] += 1;
+            net.trust(users[c], users[p], prio).expect("valid");
+        }
+    }
+    for &(u, v, negative) in &raw.beliefs {
+        if negative {
+            net.reject(users[u], NegSet::of([values[v]]))
+                .expect("valid");
+        } else {
+            net.believe(users[u], values[v]).expect("valid");
+        }
+    }
+    (net, values)
+}
+
+/// Converts a raw edit against the current network state; trust edits get
+/// strictly increasing priorities above everything issued before, so ties
+/// can never arise. The mix: ~40% believe, ~20% reject, ~20% revoke,
+/// ~20% trust.
+fn concretize(raw: RawEdit, step: usize, users: usize, values: &[Value]) -> SignedEdit {
+    let user = User((raw.user % users) as u32);
+    let value = values[raw.value % values.len()];
+    match raw.kind {
+        0..=3 => SignedEdit::Believe(user, value),
+        4 | 5 => SignedEdit::Reject(user, NegSet::of([value])),
+        6 | 7 => SignedEdit::Revoke(user),
+        _ => {
+            let parent = User((raw.other % users) as u32);
+            if parent == user {
+                SignedEdit::Believe(user, value)
+            } else {
+                SignedEdit::Trust {
+                    child: user,
+                    parent,
+                    priority: 1_000 + step as i64,
+                }
+            }
+        }
+    }
+}
+
+fn apply_to_net(net: &mut TrustNetwork, edit: &SignedEdit) {
+    match edit {
+        SignedEdit::Believe(u, v) => net.believe(*u, *v).expect("valid"),
+        SignedEdit::Revoke(u) => net.revoke(*u).expect("valid"),
+        SignedEdit::Reject(u, neg) => net.reject(*u, neg.clone()).expect("valid"),
+        SignedEdit::Trust {
+            child,
+            parent,
+            priority,
+        } => net.trust(*child, *parent, *priority).expect("valid"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Identical representations at 1–8 threads, in both dependency modes
+    /// and at a shard granularity small enough to force real cross-shard
+    /// scheduling.
+    #[test]
+    fn sharded_skeptic_equals_sequential(raw in raw_net(12, 24)) {
+        let (net, _) = build(&raw);
+        let btn = trustmap_core::binarize(&net);
+        let seq = resolve_skeptic(&btn).expect("tie-free by construction");
+        for threads in [1usize, 2, 3, 8] {
+            for exact_deps in [false, true] {
+                let planned = SkepticPlannedResolver::new(
+                    &btn,
+                    ParOptions { threads, shard_target: 2, exact_deps },
+                )
+                .expect("tie-free");
+                let par = planned.resolve(&btn, threads).expect("resolves");
+                for x in btn.nodes() {
+                    prop_assert_eq!(
+                        seq.rep_poss(x), par.rep_poss(x),
+                        "node {} at {} threads (exact={})", x, threads, exact_deps
+                    );
+                }
+            }
+        }
+    }
+
+    /// The incremental skeptic engine equals a from-scratch Algorithm 2
+    /// run after every step of a random signed edit stream.
+    #[test]
+    fn incremental_skeptic_equals_full_resolution(
+        raw in raw_net(6, 10),
+        edits in raw_edits(16),
+    ) {
+        let (mut net, values) = build(&raw);
+        let mut engine = SkepticIncremental::new(&net).expect("tie-free");
+        for (step, &raw_edit) in edits.iter().enumerate() {
+            let edit = concretize(raw_edit, step, raw.users, &values);
+            apply_to_net(&mut net, &edit);
+            engine
+                .apply_edits(&net, std::slice::from_ref(&edit))
+                .expect("tie-free stream");
+            let btn = trustmap_core::binarize(&net);
+            let reference = resolve_skeptic(&btn).expect("resolves");
+            for u in net.users() {
+                prop_assert_eq!(
+                    engine.rep_poss(engine.btn().node_of(u)),
+                    reference.rep_poss(btn.node_of(u)),
+                    "step {} ({:?}): repPoss diverged for user {}", step, edit, u
+                );
+            }
+        }
+    }
+
+    /// The same stream with the sharded regional path forced on (parallel
+    /// dirty regions at min_region = 1) stays equivalent too.
+    #[test]
+    fn parallel_incremental_skeptic_equals_full_resolution(
+        raw in raw_net(6, 10),
+        edits in raw_edits(12),
+        threads in 2usize..=6,
+    ) {
+        let (mut net, values) = build(&raw);
+        let mut engine = SkepticIncremental::new(&net).expect("tie-free");
+        engine.set_parallelism(threads, 1);
+        for (step, &raw_edit) in edits.iter().enumerate() {
+            let edit = concretize(raw_edit, step, raw.users, &values);
+            apply_to_net(&mut net, &edit);
+            engine
+                .apply_edits(&net, std::slice::from_ref(&edit))
+                .expect("tie-free stream");
+            let btn = trustmap_core::binarize(&net);
+            let reference = resolve_skeptic(&btn).expect("resolves");
+            for u in net.users() {
+                prop_assert_eq!(
+                    engine.rep_poss(engine.btn().node_of(u)),
+                    reference.rep_poss(btn.node_of(u)),
+                    "step {} ({:?}): repPoss diverged for user {}", step, edit, u
+                );
+            }
+        }
+    }
+}
+
+/// Fixed-seed regression on the benchmark workloads: the exact signed
+/// power-law networks `skeptic_bench` runs must agree across thread
+/// counts, shard targets, and dependency modes, and the incremental engine
+/// must track a seeded signed edit stream.
+#[test]
+fn fixed_seed_signed_regression() {
+    use trustmap::workloads::{power_law_signed, signed_edit_stream, SignedEditMix};
+
+    let w = power_law_signed(3_000, 3, 4, 0.08, 0.3, 42);
+    let btn = trustmap_core::binarize(&w.net);
+    let seq = resolve_skeptic(&btn).expect("tie-free generator");
+    for threads in [2usize, 4, 8] {
+        for (shard_target, exact_deps) in [(7, false), (7, true), (4096, false)] {
+            let planned = SkepticPlannedResolver::new(
+                &btn,
+                ParOptions {
+                    threads,
+                    shard_target,
+                    exact_deps,
+                },
+            )
+            .expect("tie-free");
+            let par = planned.resolve(&btn, threads).expect("resolves");
+            for x in btn.nodes() {
+                assert_eq!(
+                    seq.rep_poss(x),
+                    par.rep_poss(x),
+                    "node {x}, {threads} threads, target {shard_target}"
+                );
+            }
+        }
+    }
+
+    // Incremental vs full over the benchmark's edit mix.
+    let mut net = w.net.clone();
+    let mut engine = SkepticIncremental::new(&net).expect("tie-free");
+    let stream = signed_edit_stream(&w, 60, SignedEditMix::default(), 7);
+    for (step, edit) in stream.iter().enumerate() {
+        trustmap::workloads::apply_signed_edit(&mut net, edit);
+        engine
+            .apply_edits(&net, std::slice::from_ref(edit))
+            .expect("tie-free");
+        if step % 20 == 19 {
+            let check_btn = trustmap_core::binarize(&net);
+            let reference = resolve_skeptic(&check_btn).expect("resolves");
+            for u in net.users() {
+                assert_eq!(
+                    engine.rep_poss(engine.btn().node_of(u)),
+                    reference.rep_poss(check_btn.node_of(u)),
+                    "step {step}, user {u}"
+                );
+            }
+        }
+    }
+}

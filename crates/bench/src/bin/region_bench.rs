@@ -1,0 +1,261 @@
+//! Measures the region-compact parallel solve path and writes the
+//! machine-readable `BENCH_region.json` consumed by the cross-PR perf
+//! tracker.
+//!
+//! ```text
+//! cargo run --release -p trustmap-bench --bin region_bench [--quick] [out.json]
+//! ```
+//!
+//! The question this answers: what does one edit's *parallel regional
+//! solve* cost as the network grows? A fixed-size probe chain is attached
+//! to each power-law network and its root believer's value is flipped per
+//! edit, so the dirty region is identical (≈ 64 nodes) at 10⁴, 10⁵, and
+//! 10⁶ users — any cost growth is network-driven overhead. Before the
+//! region-compact layer, the sharded path allocated node-indexed scratch
+//! over the whole BTN (and therefore refused regions below 1/32 of the
+//! network outright); now planning, solving, and all pooled scratch are
+//! O(region), which the driver asserts directly:
+//!
+//! * **identical results** — the compact-forced engine must match a
+//!   sequential engine on every node after the stream;
+//! * **O(region) setup** — pooled scratch bytes must stay within a small
+//!   per-region-node budget and far below one byte per BTN node at
+//!   10⁵+ users (the single-core-safe acceptance signal; wall-clock
+//!   speedups are unreliable on the 1-core bench container).
+//!
+//! The JSON records per-edit times for the sequential and compact-parallel
+//! regional solves, the pooled scratch bytes ("after"), and the bytes the
+//! old whole-BTN-indexed setup would have touched ("before").
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use trustmap::workloads::power_law;
+use trustmap_bench::Table;
+use trustmap_core::{Edit, IncrementalResolver, ParallelPolicy, TrustNetwork, User, Value};
+
+struct Config {
+    users: usize,
+    /// Whether this row carries the acceptance assertions.
+    acceptance: bool,
+}
+
+struct Row {
+    users: usize,
+    nodes: usize,
+    region: usize,
+    seq_us: f64,
+    par_us: f64,
+    scratch_bytes: usize,
+    network_equiv_bytes: usize,
+}
+
+/// Worker threads of the compact-parallel engine (the container may have
+/// a single core; the scratch accounting, not the speedup, is the gate).
+const THREADS: usize = 4;
+
+/// Probe-chain length: the dirty region every measured edit re-solves.
+const CHAIN: usize = 64;
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+/// Builds the workload network plus the probe chain; returns the net and
+/// the chain's (root, v0, v1) flip handles.
+fn build_net(users: usize) -> (TrustNetwork, User, Value, Value) {
+    let w = power_law(users, 2, 4, 0.2, 8 + users as u64);
+    let mut net = w.net;
+    let v0 = net.value("probe-v0");
+    let v1 = net.value("probe-v1");
+    let root = net.user("probe-root");
+    net.believe(root, v0).expect("fresh user");
+    let mut prev = root;
+    for i in 0..CHAIN {
+        let u = net.user(&format!("probe-{i}"));
+        net.trust(u, prev, 1).expect("fresh users");
+        prev = u;
+    }
+    (net, root, v0, v1)
+}
+
+/// Median per-edit microseconds of flipping the probe root through
+/// `engine`, plus the engine's final region size.
+fn time_flips(
+    engine: &mut IncrementalResolver,
+    net: &mut TrustNetwork,
+    root: User,
+    v0: Value,
+    v1: Value,
+    edits: usize,
+) -> (f64, usize) {
+    let mut samples = Vec::with_capacity(edits);
+    let mut region = 0;
+    for step in 0..edits {
+        let v = if step % 2 == 0 { v1 } else { v0 };
+        net.believe(root, v).expect("valid");
+        let t = Instant::now();
+        engine.apply_edits(net, &[Edit::Believe(root, v)]);
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+        region = region.max(engine.last_dirty_len());
+    }
+    (median(samples), region)
+}
+
+fn measure(cfg: &Config, edits: usize) -> Row {
+    let (net, root, v0, v1) = build_net(cfg.users);
+
+    // Sequential regional solves (the non-parallel reference).
+    let mut seq_net = net.clone();
+    let mut seq = IncrementalResolver::new(&seq_net).expect("positive network");
+    let (seq_us, seq_region) = time_flips(&mut seq, &mut seq_net, root, v0, v1, edits);
+
+    // Compact-parallel regional solves, forced on for every region.
+    let mut par_net = net.clone();
+    let mut par = IncrementalResolver::new(&par_net).expect("positive network");
+    par.set_parallel_policy(ParallelPolicy {
+        threads: THREADS,
+        min_region: 1,
+        shard_target: 4096,
+    });
+    let (par_us, par_region) = time_flips(&mut par, &mut par_net, root, v0, v1, edits);
+    assert_eq!(seq_region, par_region, "engines disagree on the region");
+
+    // Byte-identical results after the stream.
+    for x in par.btn().nodes() {
+        assert_eq!(
+            par.poss(x),
+            seq.poss(x),
+            "compact and sequential engines diverged at node {x}"
+        );
+    }
+
+    let nodes = par.btn().node_count();
+    // What the pre-compaction path allocated per parallel regional solve:
+    // 4-byte peel words over every BTN node in the planner, plus 2 bytes
+    // of unit/closed flags per node in each worker.
+    let network_equiv_bytes = nodes * 4 + THREADS * nodes * 2;
+    Row {
+        users: cfg.users,
+        nodes,
+        region: par_region,
+        seq_us,
+        par_us,
+        scratch_bytes: par.region_scratch_bytes(),
+        network_equiv_bytes,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_region.json".to_owned());
+
+    let edits = if quick { 11 } else { 31 };
+    let configs: Vec<Config> = if quick {
+        vec![Config {
+            users: 20_000,
+            acceptance: true,
+        }]
+    } else {
+        vec![
+            Config {
+                users: 10_000,
+                acceptance: false,
+            },
+            Config {
+                users: 100_000,
+                acceptance: true,
+            },
+            Config {
+                users: 1_000_000,
+                acceptance: true,
+            },
+        ]
+    };
+
+    println!("# region: compact parallel regional solves, fixed ~{CHAIN}-node dirty region\n");
+    let mut table = Table::new(&[
+        "users",
+        "nodes",
+        "region",
+        "seq region µs",
+        "par region µs",
+        "scratch B (after)",
+        "O(network) B (before)",
+        "setup win",
+    ]);
+
+    let mut rows = Vec::new();
+    for cfg in &configs {
+        let row = measure(cfg, edits);
+        table.row(vec![
+            row.users.to_string(),
+            row.nodes.to_string(),
+            row.region.to_string(),
+            format!("{:.1}", row.seq_us),
+            format!("{:.1}", row.par_us),
+            row.scratch_bytes.to_string(),
+            row.network_equiv_bytes.to_string(),
+            format!(
+                "{:.0}x",
+                row.network_equiv_bytes as f64 / row.scratch_bytes.max(1) as f64
+            ),
+        ]);
+        rows.push(row);
+    }
+    println!("{}", table.render());
+
+    let mut json = String::new();
+    json.push_str("{\n  \"benchmark\": \"region\",\n  \"networks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"users\": {}, \"nodes\": {}, \"region_nodes\": {}, \"threads\": {}, \
+             \"seq_region_us\": {:.3}, \"par_region_us\": {:.3}, \
+             \"region_scratch_bytes\": {}, \"network_equiv_bytes\": {}, \
+             \"identical_to_sequential\": true}}",
+            r.users,
+            r.nodes,
+            r.region,
+            THREADS,
+            r.seq_us,
+            r.par_us,
+            r.scratch_bytes,
+            r.network_equiv_bytes,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_region.json");
+    println!("wrote {out_path}");
+
+    for (cfg, r) in configs.iter().zip(&rows) {
+        if !cfg.acceptance {
+            continue;
+        }
+        // O(region) setup: a generous per-region-node budget, and far
+        // below one byte per BTN node (the old path paid ≥ 6 per node).
+        let budget = 512 * r.region + 8192;
+        assert!(
+            r.scratch_bytes <= budget,
+            "acceptance: pooled scratch {}B exceeds O(region) budget {}B \
+             (region {} of {} nodes)",
+            r.scratch_bytes,
+            budget,
+            r.region,
+            r.nodes
+        );
+        assert!(
+            r.scratch_bytes < r.nodes,
+            "acceptance: pooled scratch {}B rivals the {}-node BTN — setup is \
+             not region-bound",
+            r.scratch_bytes,
+            r.nodes
+        );
+    }
+}

@@ -42,13 +42,15 @@ use crate::deltabtn::{DeltaBtn, NodeSideTables};
 use crate::error::{Error, Result};
 use crate::lineage::Lineage;
 use crate::network::TrustNetwork;
+use crate::parallel::{solve_region_compact, BasicRegionPool};
+use crate::policy::ParallelPolicy;
 use crate::resolution::UserResolution;
 use crate::signed::ExplicitBelief;
 use crate::user::User;
 use crate::value::Value;
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use trustmap_graph::{NodeId, SccScratch, ShardPlan};
+use trustmap_graph::{NodeId, SccScratch};
 
 /// One atomic edit of the trust network, in the vocabulary of Section 2.5.
 ///
@@ -98,18 +100,6 @@ pub struct BeliefChange {
     pub after: Option<Value>,
 }
 
-/// Default dirty-region size before the sharded parallel solve kicks in:
-/// below this, thread-spawn and plan-build overhead dwarfs the work.
-const DEFAULT_PAR_MIN_REGION: usize = 4096;
-
-/// Shard granularity of parallel regional solves.
-const REGION_SHARD_TARGET: usize = 4096;
-
-/// A parallel regional solve must cover at least 1/this of the BTN: the
-/// planner and workers allocate node-indexed scratch, so tiny regions on
-/// huge networks would pay O(network) setup for O(region) work.
-const PAR_REGION_DIVISOR: usize = 32;
-
 /// Engine-side node tables the [`DeltaBtn`] keeps in sync with its node
 /// count and free list.
 struct BasicSide<'a> {
@@ -154,11 +144,12 @@ pub struct IncrementalResolver {
     last_dirty_users: Vec<User>,
     /// Region-locally maintained lineage pointers (None = not traced).
     lineage: Option<Lineage>,
-    /// Worker threads for large dirty regions (1 = always sequential).
-    par_threads: usize,
-    /// Minimum dirty-region size (in nodes) before the sharded parallel
-    /// path takes over from the sequential regional solve.
-    par_min_region: usize,
+    /// When dirty regions take the sharded parallel path (shared
+    /// configuration type; see [`ParallelPolicy`]).
+    policy: ParallelPolicy,
+    /// Pooled region-compact solve buffers (compaction, planning, local
+    /// slab, scheduler, workers) — all O(region), reused across batches.
+    pool: BasicRegionPool,
     // ---- reusable scratch ----
     dirty: Vec<bool>,
     dirty_list: Vec<NodeId>,
@@ -201,8 +192,8 @@ impl IncrementalResolver {
             reachable: vec![false; n],
             last_dirty_users: Vec::new(),
             lineage: traced.then(|| Lineage::new(n)),
-            par_threads: 1,
-            par_min_region: DEFAULT_PAR_MIN_REGION,
+            policy: ParallelPolicy::default(),
+            pool: BasicRegionPool::default(),
             dirty: vec![false; n],
             dirty_list: Vec::new(),
             closed: vec![false; n],
@@ -276,18 +267,34 @@ impl IncrementalResolver {
 
     /// Enables the condensation-sharded parallel solve
     /// ([`crate::parallel`]) for dirty regions of at least `min_region`
-    /// nodes, using `threads` workers. Small regions keep the sequential
-    /// path regardless (plan + spawn overhead dominates there); on top of
-    /// `min_region`, the engine also requires the region to span at least
-    /// 1/32 of the BTN, because the parallel planner and workers allocate
-    /// node-indexed scratch — a region far smaller than the network would
-    /// pay O(network) buffer setup for O(region) work, which is exactly
-    /// the trade the incremental engine exists to avoid. Lineage tracing
-    /// forces the sequential path — pointer recording is inherently
-    /// ordered — so a traced engine ignores this setting.
+    /// nodes, using `threads` workers. The threshold is purely work-based:
+    /// regions are compacted to dense local ids first
+    /// (`trustmap_graph::region`), so planner and worker scratch scale
+    /// with the region and even a region far smaller than the network pays
+    /// only O(region) setup (the old 1/32-of-the-BTN floor is gone).
+    /// Small regions still keep the sequential path — plan + spawn
+    /// overhead dominates there. Lineage tracing forces the sequential
+    /// path — pointer recording is inherently ordered — so a traced
+    /// engine ignores this setting.
     pub fn set_parallelism(&mut self, threads: usize, min_region: usize) {
-        self.par_threads = threads.max(1);
-        self.par_min_region = min_region.max(1);
+        self.policy = ParallelPolicy::new(threads, min_region);
+    }
+
+    /// Like [`IncrementalResolver::set_parallelism`] but with the full
+    /// shared [`ParallelPolicy`] (thread count, work threshold, shard
+    /// granularity).
+    pub fn set_parallel_policy(&mut self, policy: ParallelPolicy) {
+        self.policy = policy;
+    }
+
+    /// Bytes of region-scaled scratch currently pooled by the compact
+    /// parallel solve path (compaction maps, local CSR, translated
+    /// parents, plan peel words, local result slab, scheduler queues,
+    /// worker flags). Grows with the largest region solved so far — never
+    /// with the network — which makes it the acceptance signal the
+    /// `region_bench` binary and the scratch-scaling unit test assert on.
+    pub fn region_scratch_bytes(&self) -> usize {
+        self.pool.region_scratch_bytes()
     }
 
     /// Size of the most recent dirty region (in BTN nodes).
@@ -469,13 +476,10 @@ impl IncrementalResolver {
 
         // Large regions take the condensation-sharded parallel path
         // (lineage recording is inherently ordered, so traced engines stay
-        // sequential). The network-relative floor keeps the parallel
-        // planner's node-indexed scratch amortized — see
-        // [`IncrementalResolver::set_parallelism`].
-        let par_floor = self
-            .par_min_region
-            .max(self.delta.btn.node_count() / PAR_REGION_DIVISOR);
-        if self.par_threads > 1 && self.lineage.is_none() && self.dirty_list.len() >= par_floor {
+        // sequential). The threshold is pure work: region compaction made
+        // planner and worker scratch O(region), so no network-relative
+        // floor is needed — see [`IncrementalResolver::set_parallelism`].
+        if self.policy.wants_parallel(self.dirty_list.len()) && self.lineage.is_none() {
             self.solve_region_parallel();
             for &x in &self.dirty_list {
                 self.dirty[x as usize] = false;
@@ -636,44 +640,45 @@ impl IncrementalResolver {
         }
     }
 
-    /// The condensation-sharded regional solve: plans the dirty region
-    /// with the trim-first partitioner (`trustmap_graph::shard`) and runs
-    /// [`crate::parallel::solve_shards`] over it. Clean nodes freeze at
-    /// their cached possible sets as boundary inputs — a cached set is
-    /// non-empty exactly when the node is closed-reachable, which is the
-    /// emptiness-as-closedness convention the shared solver uses.
+    /// The condensation-sharded regional solve in compact local id space:
+    /// the region (its reachable dirty nodes) is renumbered to dense local
+    /// ids, planned with the trim-first partitioner, and solved by
+    /// [`crate::parallel::solve_region_compact`] over pooled O(region)
+    /// scratch. Clean nodes freeze at their cached possible sets as
+    /// boundary inputs — a cached set is non-empty exactly when the node
+    /// is closed-reachable, which is the emptiness-as-closedness
+    /// convention the shared solver uses.
     fn solve_region_parallel(&mut self) {
-        let threads = self.par_threads;
         let Self {
             delta,
-            dirty,
             dirty_list,
             reachable,
             poss,
-            scratch,
+            pool,
             empty,
+            policy,
             ..
         } = self;
         let btn = &delta.btn;
-        // Dirty nodes that stay region-unreachable must read as empty.
+        let region = pool.region_mut();
+        region.clear();
         for &x in dirty_list.iter() {
-            poss[x as usize] = Arc::clone(empty);
+            if reachable[x as usize] {
+                region.push(x);
+            } else {
+                // Region-unreachable dirty nodes must read as empty.
+                poss[x as usize] = Arc::clone(empty);
+            }
         }
-        let children: &[Vec<NodeId>] = &delta.children;
-        let dirty: &[bool] = dirty;
-        let reachable: &[bool] = reachable;
-        let parents = &btn.parents;
-        let active = |v: NodeId| dirty[v as usize] && reachable[v as usize];
-        let plan = ShardPlan::build(
-            children,
-            |x| parents[x as usize].iter(),
-            active,
-            dirty_list.iter().copied(),
-            scratch,
-            REGION_SHARD_TARGET,
-            false,
+        solve_region_compact(
+            pool,
+            &btn.parents,
+            &btn.beliefs,
+            poss,
+            empty,
+            policy.threads,
+            policy.shard_target,
         );
-        crate::parallel::solve_shards(children, parents, &btn.beliefs, &plan, poss, threads);
     }
 
     /// Whether `z` counts as closed for the regional solve: solved nodes

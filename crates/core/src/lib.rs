@@ -18,7 +18,12 @@
 //!   quadratic time;
 //! * [`parallel`] — the condensation-sharded resolver: one Tarjan pass,
 //!   level-scheduled shards solved by work-stealing scoped threads,
-//!   bit-identical to [`resolution`] at every thread count;
+//!   bit-identical to [`resolution`] at every thread count; plans ride
+//!   the region-compact layer (`trustmap_graph::region` + the internal
+//!   `compact` module), whole networks being the degenerate identity
+//!   view;
+//! * [`policy`] — [`ParallelPolicy`], the shared when-to-parallelize
+//!   configuration of both incremental engines and [`session`];
 //! * [`stable`] — the stable-solution semantics (Definition 2.4) with an
 //!   exhaustive ground-truth enumerator;
 //! * [`lineage`] — tracing each belief to the explicit assertion it stems
@@ -88,6 +93,7 @@ pub mod acyclic;
 pub mod binary;
 pub mod bulk;
 pub mod bulk_skeptic;
+pub(crate) mod compact;
 pub(crate) mod deltabtn;
 pub mod error;
 pub mod gates;
@@ -97,6 +103,7 @@ pub mod network;
 pub mod pairs;
 pub mod paradigm;
 pub mod parallel;
+pub mod policy;
 pub mod resolution;
 pub mod sat;
 pub mod session;
@@ -114,6 +121,7 @@ pub use incremental::{DeltaStats, Edit, IncrementalResolver};
 pub use network::{Mapping, TrustNetwork};
 pub use paradigm::Paradigm;
 pub use parallel::{resolve_network_parallel, resolve_parallel, ParOptions, PlannedResolver};
+pub use policy::ParallelPolicy;
 pub use resolution::{resolve, resolve_network, resolve_with, Options, Resolution, SccMode};
 pub use session::{BatchReport, BeliefChange, Session};
 pub use signed::{BeliefSet, ExplicitBelief, NegSet};

@@ -54,6 +54,7 @@
 //! [`resolve`]: crate::resolution::resolve
 
 use crate::binary::{Btn, Parents};
+use crate::compact::{plan_region, plan_whole, RegionPool};
 use crate::error::{Error, Result};
 use crate::resolution::{Resolution, UserResolution};
 use crate::signed::ExplicitBelief;
@@ -61,8 +62,8 @@ use crate::value::Value;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use trustmap_graph::shard::DepMode;
-use trustmap_graph::{Adjacency, NodeId, SccScratch, ShardPlan};
+use trustmap_graph::shard::{DepMode, PlanScratch};
+use trustmap_graph::{Adjacency, NodeId, RegionCompactor, SccScratch, ShardPlan};
 
 /// Tuning options for [`resolve_parallel_with`].
 #[derive(Debug, Clone, Copy)]
@@ -119,8 +120,12 @@ pub fn resolve_parallel_with(btn: &Btn, opts: ParOptions) -> Result<Resolution> 
 /// network is fixed and each object re-seeds the root beliefs. Plan once
 /// with [`PlannedResolver::new`], then call [`PlannedResolver::resolve`]
 /// per assignment; the per-call cost drops to the solve itself.
+///
+/// The whole-network plan is the degenerate identity case of the
+/// region-compact layer (`trustmap_graph::region`), so it shares the one
+/// planning entry point with the incremental engines' dirty-region solves.
 pub struct PlannedResolver {
-    csr: trustmap_graph::Csr,
+    view: RegionCompactor,
     plan: ShardPlan,
     nodes: usize,
 }
@@ -129,45 +134,17 @@ impl PlannedResolver {
     /// Plans the condensation shards of `btn`'s structure.
     pub fn new(btn: &Btn, opts: ParOptions) -> PlannedResolver {
         let n = btn.node_count();
-        let parents: &[Parents] = &btn.parents;
-        // Fused forward-CSR + in-degree construction: one counting pass
-        // over the parents table feeds both the adjacency offsets
-        // (out-degrees) and the peel's pending counters (in-degrees).
-        let mut offsets = vec![0u32; n + 1];
-        let mut in_degrees = vec![0u32; n];
-        for x in 0..n {
-            let p = &parents[x];
-            in_degrees[x] = p.len() as u32;
-            for z in p.iter() {
-                offsets[z as usize + 1] += 1;
-            }
-        }
-        for i in 0..n {
-            offsets[i + 1] += offsets[i];
-        }
-        let mut cursor = offsets.clone();
-        let mut targets = vec![0 as NodeId; offsets[n] as usize];
-        for x in 0..n as NodeId {
-            for z in parents[x as usize].iter() {
-                let c = &mut cursor[z as usize];
-                targets[*c as usize] = x;
-                *c += 1;
-            }
-        }
-        let csr = trustmap_graph::Csr::from_parts(offsets, targets);
-        let mut scratch = SccScratch::new();
-        let plan = ShardPlan::build_with_in_degrees(
-            &csr,
-            |x| parents[x as usize].iter(),
-            |_| true,
-            0..n as NodeId,
-            &in_degrees,
-            &mut scratch,
+        let mut view = RegionCompactor::new();
+        let plan = plan_whole(
+            &mut view,
+            &btn.parents,
+            &mut SccScratch::new(),
+            &mut PlanScratch::default(),
             opts.shard_target,
             opts.exact_deps,
         );
         PlannedResolver {
-            csr,
+            view,
             plan,
             nodes: n,
         }
@@ -189,14 +166,15 @@ impl PlannedResolver {
         }
         let empty: Arc<[Value]> = Arc::from([] as [Value; 0]);
         let mut poss = vec![empty; self.nodes];
-        solve_shards(
-            &self.csr,
-            &btn.parents,
-            &btn.beliefs,
-            &self.plan,
-            &mut poss,
-            threads,
-        );
+        let ctx = Ctx {
+            g: &self.view,
+            parents: &btn.parents,
+            beliefs: &btn.beliefs,
+            globals: None,
+            plan: &self.plan,
+            poss: SharedSlab::new(&mut poss),
+        };
+        run_shards(&ctx, threads, None);
         let reachable = poss.iter().map(|s| !s.is_empty()).collect();
         Ok(Resolution::from_parts(
             poss,
@@ -300,7 +278,10 @@ const SET_CACHE_CAP: usize = 4096;
 
 /// Per-worker scratch — allocated once per worker, reused across every
 /// unit the worker solves (`SccScratch` per worker, no shared mutable
-/// state).
+/// state). Pooled across solves through [`SchedPool`], so steady-state
+/// regional solves reuse both the node-indexed flags and the interning
+/// cache.
+#[derive(Debug)]
 struct Worker {
     /// Membership flags of the cyclic unit currently being solved.
     in_unit: Vec<bool>,
@@ -330,6 +311,15 @@ impl Worker {
             cache: HashMap::new(),
         }
     }
+
+    /// Grows the node-indexed flags to cover `n` nodes (pooled workers
+    /// from a smaller solve; the all-clean invariant is preserved).
+    fn ensure(&mut self, n: usize) {
+        if self.in_unit.len() < n {
+            self.in_unit.resize(n, false);
+            self.closed.resize(n, false);
+        }
+    }
 }
 
 /// Interns `vals` (sorted, deduplicated) in the worker cache.
@@ -349,12 +339,30 @@ fn intern(cache: &mut HashMap<Vec<Value>, PossSet>, vals: &[Value]) -> PossSet {
 // ---------------------------------------------------------------------------
 
 /// Shared solving context (immutable during the parallel phase).
+///
+/// `g`, `parents`, the plan, and the `poss` slab all live in *local* id
+/// space (the compacted region, or the identity view for whole-network
+/// solves); `beliefs` stays globally indexed and is translated through
+/// `globals` on the rare root reads.
 struct Ctx<'a, A: ?Sized> {
     g: &'a A,
     parents: &'a [Parents],
     beliefs: &'a [ExplicitBelief],
+    /// Local → global id map (`None` = identity, whole-network solve).
+    globals: Option<&'a [NodeId]>,
     plan: &'a ShardPlan,
     poss: SharedSlab<PossSet>,
+}
+
+impl<A: ?Sized> Ctx<'_, A> {
+    /// The global id behind local node `x` (for globally indexed tables).
+    #[inline]
+    fn gid(&self, x: NodeId) -> usize {
+        match self.globals {
+            Some(map) => map[x as usize] as usize,
+            None => x as usize,
+        }
+    }
 }
 
 /// A shard-solving backend the generic scheduler can drive.
@@ -365,11 +373,17 @@ struct Ctx<'a, A: ?Sized> {
 /// ([`Ctx`]) and Algorithm 2 ([`crate::skeptic`]'s planned resolver) are
 /// the two backends.
 pub(crate) trait ShardSolver: Sync {
-    /// Worker-local scratch, allocated once per worker thread.
-    type Worker;
+    /// Worker-local scratch, allocated once per worker thread (`Send` so
+    /// pooled workers can be handed to scoped worker threads).
+    type Worker: Send;
 
     /// Allocates a fresh worker scratch.
     fn new_worker(&self) -> Self::Worker;
+
+    /// Prepares a pooled worker from an earlier solve for this solver's
+    /// node space (node-indexed buffers grow; content-keyed caches and
+    /// the all-clean flag invariant persist).
+    fn recycle_worker(&self, worker: &mut Self::Worker);
 
     /// Solves every unit of shard `s`. May read the results of nodes in
     /// sealed shards and must write each of its own nodes exactly once.
@@ -379,90 +393,125 @@ pub(crate) trait ShardSolver: Sync {
     fn plan(&self) -> &ShardPlan;
 }
 
-/// Per-shard readiness state shared by the workers.
-enum DepState {
+/// Per-shard readiness state shared by the workers (counter storage is
+/// borrowed from the pool when one is supplied).
+enum DepState<'a> {
     /// Exact mode: remaining predecessor count per shard.
-    Edges(Vec<AtomicU32>),
+    Edges(&'a [AtomicU32]),
     /// Frontier mode: remaining unsealed shards per level.
-    Frontier(Vec<AtomicU32>),
+    Frontier(&'a [AtomicU32]),
 }
 
-struct Queue {
+struct Queue<'a, W> {
     ready: Mutex<Vec<u32>>,
     cv: Condvar,
-    deps: DepState,
+    deps: DepState<'a>,
     done: AtomicUsize,
     total: usize,
+    /// Idle pooled workers; threads check one out on entry and return it
+    /// on exit, so worker scratch survives across solves.
+    bank: Mutex<Vec<W>>,
 }
 
-/// Solves every shard of `plan` over the forward adjacency `g`, writing
-/// the per-node possible sets into `poss`.
-///
-/// `poss` must hold the frozen boundary values for nodes outside the plan
-/// — non-empty exactly for closed (reachable) boundary nodes — and the
-/// empty set for every covered node (they are written exactly once). With
-/// `threads <= 1` the shards run inline on the caller's thread in id order
-/// (ids ascend with level, so that order is dependency-safe).
-pub(crate) fn solve_shards<A>(
-    g: &A,
-    parents: &[Parents],
-    beliefs: &[ExplicitBelief],
-    plan: &ShardPlan,
-    poss: &mut [PossSet],
-    threads: usize,
-) where
-    A: Adjacency + Sync + ?Sized,
-{
-    let ctx = Ctx {
-        g,
-        parents,
-        beliefs,
-        plan,
-        poss: SharedSlab::new(poss),
-    };
-    run_shards(&ctx, threads);
+/// Pooled scheduler state — dependency counters, the ready queue, and the
+/// per-worker scratches (node flags, SCC scratch, interning caches) —
+/// reused across [`run_shards`] calls so steady-state regional solves
+/// allocate none of it anew.
+#[derive(Debug)]
+pub(crate) struct SchedPool<W> {
+    workers: Vec<W>,
+    ready: Vec<u32>,
+    counters: Vec<AtomicU32>,
+}
+
+impl<W> Default for SchedPool<W> {
+    fn default() -> Self {
+        SchedPool {
+            workers: Vec::new(),
+            ready: Vec::new(),
+            counters: Vec::new(),
+        }
+    }
+}
+
+impl<W> SchedPool<W> {
+    /// Bytes retained by the queue/counter buffers (excludes the workers,
+    /// whose footprint is solver-specific).
+    pub(crate) fn queue_bytes(&self) -> usize {
+        self.ready.capacity() * std::mem::size_of::<u32>()
+            + self.counters.capacity() * std::mem::size_of::<AtomicU32>()
+    }
+
+    /// The idle pooled workers (for solver-specific scratch accounting).
+    pub(crate) fn workers(&self) -> &[W] {
+        &self.workers
+    }
+}
+
+/// Checks a worker out of `bank`, recycling a pooled one when available.
+fn checkout<S: ShardSolver>(solver: &S, bank: &mut Vec<S::Worker>) -> S::Worker {
+    match bank.pop() {
+        Some(mut w) => {
+            solver.recycle_worker(&mut w);
+            w
+        }
+        None => solver.new_worker(),
+    }
 }
 
 /// Drives every shard of `solver.plan()` to completion over `threads`
 /// workers — the generic scheduler behind both the Algorithm-1 and the
-/// Algorithm-2 (skeptic) parallel resolvers.
+/// Algorithm-2 (skeptic) parallel resolvers. With a [`SchedPool`] the
+/// ready queue, dependency counters, and worker scratches are drawn from
+/// (and returned to) the pool instead of being allocated per call.
 ///
 /// With `threads <= 1` the shards run inline on the caller's thread in id
 /// order (ids ascend with level, so that order is dependency-safe).
-pub(crate) fn run_shards<S: ShardSolver>(solver: &S, threads: usize) {
+pub(crate) fn run_shards<S: ShardSolver>(
+    solver: &S,
+    threads: usize,
+    pool: Option<&mut SchedPool<S::Worker>>,
+) {
     let plan = solver.plan();
     let nshards = plan.shard_count();
     if nshards == 0 {
         return;
     }
     let threads = threads.clamp(1, nshards);
+    let mut local = None;
+    let pool = match pool {
+        Some(p) => p,
+        None => local.insert(SchedPool::default()),
+    };
 
     if threads == 1 {
-        let mut worker = solver.new_worker();
+        let mut worker = checkout(solver, &mut pool.workers);
         for s in 0..nshards as u32 {
             solver.solve_shard(&mut worker, s);
         }
+        pool.workers.push(worker);
         return;
     }
 
-    let mut ready = plan.initial_ready();
+    let mut ready = std::mem::take(&mut pool.ready);
+    plan.initial_ready_into(&mut ready);
     // Pop from the back; reversing keeps the sequential-schedule order as
     // the default claim order (purely a scheduling nicety — results do not
     // depend on it).
     ready.reverse();
+    let counts: &[u32] = match plan.dep_mode() {
+        DepMode::Edges => plan.in_counts(),
+        DepMode::Frontier => plan.level_counts(),
+    };
+    pool.counters.truncate(counts.len());
+    pool.counters
+        .resize_with(counts.len(), || AtomicU32::new(0));
+    for (slot, &c) in pool.counters.iter().zip(counts) {
+        slot.store(c, Ordering::Relaxed);
+    }
     let deps = match plan.dep_mode() {
-        DepMode::Edges => DepState::Edges(
-            plan.in_counts()
-                .iter()
-                .map(|&d| AtomicU32::new(d))
-                .collect(),
-        ),
-        DepMode::Frontier => DepState::Frontier(
-            plan.level_counts()
-                .iter()
-                .map(|&d| AtomicU32::new(d))
-                .collect(),
-        ),
+        DepMode::Edges => DepState::Edges(&pool.counters),
+        DepMode::Frontier => DepState::Frontier(&pool.counters),
     };
     let queue = Queue {
         ready: Mutex::new(ready),
@@ -470,6 +519,7 @@ pub(crate) fn run_shards<S: ShardSolver>(solver: &S, threads: usize) {
         deps,
         done: AtomicUsize::new(0),
         total: nshards,
+        bank: Mutex::new(std::mem::take(&mut pool.workers)),
     };
 
     std::thread::scope(|scope| {
@@ -478,13 +528,15 @@ pub(crate) fn run_shards<S: ShardSolver>(solver: &S, threads: usize) {
         }
     });
     debug_assert_eq!(queue.done.load(Ordering::Relaxed), nshards);
+    pool.workers = queue.bank.into_inner().expect("bank poisoned");
+    pool.ready = queue.ready.into_inner().expect("queue poisoned");
 }
 
 /// One worker: claim ready shards until every shard is sealed.
-fn worker_loop<S: ShardSolver>(solver: &S, queue: &Queue) {
+fn worker_loop<S: ShardSolver>(solver: &S, queue: &Queue<'_, S::Worker>) {
     let plan = solver.plan();
-    let mut worker = solver.new_worker();
-    loop {
+    let mut worker = checkout(solver, &mut queue.bank.lock().expect("bank poisoned"));
+    'claims: loop {
         let s = {
             let mut ready = queue.ready.lock().expect("queue poisoned");
             loop {
@@ -492,7 +544,7 @@ fn worker_loop<S: ShardSolver>(solver: &S, queue: &Queue) {
                     break s;
                 }
                 if queue.done.load(Ordering::Acquire) == queue.total {
-                    return;
+                    break 'claims;
                 }
                 ready = queue.cv.wait(ready).expect("queue poisoned");
             }
@@ -531,6 +583,7 @@ fn worker_loop<S: ShardSolver>(solver: &S, queue: &Queue) {
             queue.cv.notify_all();
         }
     }
+    queue.bank.lock().expect("bank poisoned").push(worker);
 }
 
 impl<A> ShardSolver for Ctx<'_, A>
@@ -543,12 +596,116 @@ where
         Worker::new(self.poss.len)
     }
 
+    fn recycle_worker(&self, worker: &mut Worker) {
+        worker.ensure(self.poss.len);
+    }
+
     fn solve_shard(&self, worker: &mut Worker, s: u32) {
         solve_shard(self, worker, s);
     }
 
     fn plan(&self) -> &ShardPlan {
         self.plan
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compact regional solves (the incremental engine's parallel path).
+// ---------------------------------------------------------------------------
+
+/// Engine-owned pool for region-compact solves of Algorithm 1: the shared
+/// compaction/planning buffers plus the local result slab and the pooled
+/// scheduler state. Everything scales with the regions actually solved,
+/// never with the network; a clone starts with fresh (empty) pools.
+#[derive(Debug, Default)]
+pub(crate) struct BasicRegionPool {
+    /// Compaction + planning buffers (shared layer).
+    pub(crate) shared: RegionPool,
+    /// Local-id result slab (region first, frozen boundary after).
+    poss_local: Vec<PossSet>,
+    /// Pooled workers, ready queue, and dependency counters.
+    sched: SchedPool<Worker>,
+}
+
+impl Clone for BasicRegionPool {
+    /// Pools carry no engine state — a cloned engine starts cold.
+    fn clone(&self) -> Self {
+        BasicRegionPool::default()
+    }
+}
+
+impl BasicRegionPool {
+    /// Bytes currently retained by region-scaled scratch (compaction,
+    /// planning, local slab, scheduler queues). Worker scratches are
+    /// counted by their node-flag arrays.
+    pub(crate) fn region_scratch_bytes(&self) -> usize {
+        self.shared.region_scratch_bytes()
+            + self.poss_local.capacity() * std::mem::size_of::<PossSet>()
+            + self.sched.queue_bytes()
+            + self
+                .sched
+                .workers()
+                .iter()
+                .map(|w| w.in_unit.capacity() + w.closed.capacity())
+                .sum::<usize>()
+    }
+
+    /// The region list the next [`solve_region_compact`] call will solve
+    /// (callers clear and fill it with the solvable dirty nodes).
+    pub(crate) fn region_mut(&mut self) -> &mut Vec<NodeId> {
+        &mut self.shared.region
+    }
+}
+
+/// Solves the dirty region `pool.region_mut()` of an `n`-node BTN in
+/// compact local id space and patches the results back into the global
+/// `poss` slab.
+///
+/// The region must contain only solvable nodes (dirty *and* reachable, no
+/// duplicates); every other node is frozen at its current `poss` value —
+/// non-empty exactly when closed-reachable, the usual emptiness-as-
+/// closedness convention. All scratch (compacted view, translated parents,
+/// plan, local slab, workers) is O(region) and pooled.
+pub(crate) fn solve_region_compact(
+    pool: &mut BasicRegionPool,
+    parents: &[Parents],
+    beliefs: &[ExplicitBelief],
+    poss: &mut [PossSet],
+    empty: &PossSet,
+    threads: usize,
+    shard_target: usize,
+) {
+    if pool.shared.region.is_empty() {
+        return;
+    }
+    let plan = plan_region(&mut pool.shared, parents, poss.len(), shard_target);
+    let comp = &pool.shared.comp;
+    let k = comp.region_len();
+    let total = comp.len();
+
+    // Local slab: open (empty) region slots, frozen boundary copies.
+    pool.poss_local.clear();
+    pool.poss_local.resize(total, Arc::clone(empty));
+    for l in k..total {
+        pool.poss_local[l] = Arc::clone(&poss[comp.global_of(l as u32) as usize]);
+    }
+
+    let ctx = Ctx {
+        g: comp,
+        parents: &pool.shared.parents,
+        beliefs,
+        globals: Some(comp.globals()),
+        plan: &plan,
+        poss: SharedSlab::new(&mut pool.poss_local),
+    };
+    run_shards(&ctx, threads, Some(&mut pool.sched));
+
+    // Move the region results out (boundary copies just drop); the
+    // vector's capacity stays pooled.
+    for (l, set) in pool.poss_local.drain(..).enumerate() {
+        if l < k {
+            poss[comp.global_of(l as u32) as usize] = set;
+        }
     }
 }
 
@@ -602,7 +759,7 @@ where
 {
     let parents = &ctx.parents[x as usize];
     let set = match *parents {
-        Parents::None => match ctx.beliefs[x as usize].positive() {
+        Parents::None => match ctx.beliefs[ctx.gid(x)].positive() {
             // A believing root; beliefless roots stay empty (unreachable).
             Some(v) => intern(&mut worker.cache, &[v]),
             None => return,

@@ -1,0 +1,90 @@
+//! Shared parallelism configuration for the incremental engines.
+//!
+//! Both delta engines ([`crate::incremental`], [`crate::skeptic_incremental`])
+//! and the editing [`crate::Session`] route large dirty regions through the
+//! condensation-sharded parallel solver. The knobs deciding *when* and *how*
+//! used to be copy-pasted constants in each engine; [`ParallelPolicy`] is
+//! the one shared type.
+//!
+//! The threshold is a **pure work threshold**: since the region-compact
+//! layer (`trustmap_graph::region`) renumbers dirty regions into dense
+//! local ids, the parallel planner and workers allocate scratch
+//! proportional to the region — the old requirement that a region also
+//! span at least 1/32 of the whole BTN (which existed solely because
+//! node-indexed scratch was sized by the network) is gone.
+
+/// When and how an incremental engine hands a dirty region to the
+/// condensation-sharded parallel solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelPolicy {
+    /// Worker threads (1 = always sequential).
+    pub threads: usize,
+    /// Minimum dirty-region size (in BTN nodes) before the sharded path
+    /// takes over from the sequential regional solve: below this,
+    /// plan-build and thread-spawn overhead dwarfs the work. Purely
+    /// work-based — no network-relative floor.
+    pub min_region: usize,
+    /// Target member nodes per shard — the work-unit granularity of
+    /// regional plans.
+    pub shard_target: usize,
+}
+
+impl ParallelPolicy {
+    /// Default minimum region size before parallelizing.
+    pub const DEFAULT_MIN_REGION: usize = 4096;
+    /// Default shard granularity of regional plans.
+    pub const DEFAULT_SHARD_TARGET: usize = 4096;
+
+    /// A policy with explicit `threads` and `min_region` (both clamped to
+    /// at least 1) and the default shard granularity — the tuple the
+    /// engines' `set_parallelism` methods accept.
+    pub fn new(threads: usize, min_region: usize) -> ParallelPolicy {
+        ParallelPolicy {
+            threads: threads.max(1),
+            min_region: min_region.max(1),
+            ..ParallelPolicy::default()
+        }
+    }
+
+    /// Whether a dirty region of `region_len` nodes should take the
+    /// parallel path under this policy.
+    #[inline]
+    pub fn wants_parallel(&self, region_len: usize) -> bool {
+        self.threads > 1 && region_len >= self.min_region
+    }
+}
+
+impl Default for ParallelPolicy {
+    /// Sequential: one thread, default thresholds.
+    fn default() -> ParallelPolicy {
+        ParallelPolicy {
+            threads: 1,
+            min_region: ParallelPolicy::DEFAULT_MIN_REGION,
+            shard_target: ParallelPolicy::DEFAULT_SHARD_TARGET,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_is_pure_work_based() {
+        let p = ParallelPolicy::new(4, 16);
+        assert!(!p.wants_parallel(15));
+        assert!(p.wants_parallel(16));
+        // No network-relative floor: tiny regions parallelize if asked.
+        assert!(ParallelPolicy::new(2, 1).wants_parallel(1));
+        // One thread never parallelizes.
+        assert!(!ParallelPolicy::new(1, 1).wants_parallel(usize::MAX));
+    }
+
+    #[test]
+    fn clamps_to_sane_minimums() {
+        let p = ParallelPolicy::new(0, 0);
+        assert_eq!(p.threads, 1);
+        assert_eq!(p.min_region, 1);
+        assert_eq!(p.shard_target, ParallelPolicy::DEFAULT_SHARD_TARGET);
+    }
+}

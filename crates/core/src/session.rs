@@ -39,6 +39,7 @@ use crate::error::{Error, Result};
 use crate::incremental::{DeltaStats, Edit, IncrementalResolver};
 use crate::lineage::Lineage;
 use crate::network::TrustNetwork;
+use crate::policy::ParallelPolicy;
 use crate::resolution::UserResolution;
 use crate::signed::{BeliefSet, NegSet};
 use crate::skeptic::{RepPoss, SkepticUserResolution};
@@ -92,10 +93,10 @@ impl LiveEngine {
         }
     }
 
-    fn set_parallelism(&mut self, threads: usize, min_region: usize) {
+    fn set_parallel_policy(&mut self, policy: ParallelPolicy) {
         match self {
-            LiveEngine::Basic(e) => e.set_parallelism(threads, min_region),
-            LiveEngine::Skeptic(e) => e.set_parallelism(threads, min_region),
+            LiveEngine::Basic(e) => e.set_parallel_policy(policy),
+            LiveEngine::Skeptic(e) => e.set_parallel_policy(policy),
         }
     }
 }
@@ -114,8 +115,9 @@ pub struct Session {
     stats: DeltaStats,
     batching: bool,
     traced: bool,
-    par_threads: usize,
-    par_min_region: usize,
+    /// Shared parallelism configuration applied to whichever engine is
+    /// (or becomes) live.
+    policy: ParallelPolicy,
 }
 
 impl Session {
@@ -130,8 +132,7 @@ impl Session {
             stats: DeltaStats::default(),
             batching: false,
             traced: false,
-            par_threads: 1,
-            par_min_region: usize::MAX,
+            policy: ParallelPolicy::default(),
         }
     }
 
@@ -246,11 +247,22 @@ impl Session {
     /// [`IncrementalResolver::set_parallelism`]). Applies to the live
     /// engine and to any future rebuild.
     pub fn set_parallelism(&mut self, threads: usize, min_region: usize) {
-        self.par_threads = threads.max(1);
-        self.par_min_region = min_region.max(1);
+        self.set_parallel_policy(ParallelPolicy::new(threads, min_region));
+    }
+
+    /// Like [`Session::set_parallelism`] but with the full shared
+    /// [`ParallelPolicy`] (thread count, work threshold, shard
+    /// granularity) — one configuration type for both pipelines.
+    pub fn set_parallel_policy(&mut self, policy: ParallelPolicy) {
+        self.policy = policy;
         if let Some(engine) = self.engine.as_mut() {
-            engine.set_parallelism(self.par_threads, self.par_min_region);
+            engine.set_parallel_policy(policy);
         }
+    }
+
+    /// The session's current [`ParallelPolicy`].
+    pub fn parallel_policy(&self) -> ParallelPolicy {
+        self.policy
     }
 
     /// Whether the session currently runs the Skeptic pipeline (the
@@ -524,7 +536,7 @@ impl Session {
                 self.pending.clear();
                 if want_skeptic {
                     let mut engine = SkepticIncremental::new(&self.net)?;
-                    engine.set_parallelism(self.par_threads, self.par_min_region);
+                    engine.set_parallel_policy(self.policy);
                     self.sk_snapshot = Some(engine.user_resolution());
                     self.snapshot = None;
                     self.engine = Some(LiveEngine::Skeptic(engine));
@@ -534,7 +546,7 @@ impl Session {
                     } else {
                         IncrementalResolver::new(&self.net)?
                     };
-                    engine.set_parallelism(self.par_threads, self.par_min_region);
+                    engine.set_parallel_policy(self.policy);
                     self.snapshot = Some(engine.user_resolution());
                     self.sk_snapshot = None;
                     self.engine = Some(LiveEngine::Basic(engine));

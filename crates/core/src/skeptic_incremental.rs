@@ -34,14 +34,15 @@ use crate::deltabtn::{DeltaBtn, NodeSideTables};
 use crate::error::{Error, Result};
 use crate::incremental::{BeliefChange, Edit};
 use crate::network::TrustNetwork;
+use crate::policy::ParallelPolicy;
 use crate::signed::{ExplicitBelief, NegSet};
 use crate::skeptic::{
-    solve_skeptic_region, solve_skeptic_shards, RepPoss, SkepticNet, SkepticScratch,
-    SkepticUserResolution, VecStore,
+    solve_skeptic_region, solve_skeptic_region_compact, RepPoss, SkepticNet, SkepticRegionPool,
+    SkepticScratch, SkepticUserResolution, VecStore,
 };
 use crate::user::User;
 use crate::value::Value;
-use trustmap_graph::{NodeId, SccScratch, ShardPlan};
+use trustmap_graph::NodeId;
 
 /// One atomic edit of a *signed* trust network: the positive-model
 /// [`Edit`]s plus constraint assertion. The vocabulary of
@@ -86,17 +87,6 @@ impl From<Edit> for SignedEdit {
     }
 }
 
-/// Default dirty-region size before the sharded parallel solve kicks in
-/// (mirrors [`crate::incremental`]).
-const DEFAULT_PAR_MIN_REGION: usize = 4096;
-
-/// Shard granularity of parallel regional solves.
-const REGION_SHARD_TARGET: usize = 4096;
-
-/// A parallel regional solve must cover at least 1/this of the BTN (the
-/// planner and workers allocate node-indexed scratch).
-const PAR_REGION_DIVISOR: usize = 32;
-
 /// Engine-side node tables the [`DeltaBtn`] keeps in sync.
 struct SkepticSide<'a> {
     rep: &'a mut Vec<RepPoss>,
@@ -139,15 +129,16 @@ pub struct SkepticIncremental {
     /// Users whose nodes were in the last dirty region (for snapshot
     /// patching).
     last_dirty_users: Vec<User>,
-    /// Worker threads for large dirty regions (1 = always sequential).
-    par_threads: usize,
-    /// Minimum dirty-region size before the sharded path takes over.
-    par_min_region: usize,
+    /// When dirty regions take the sharded parallel path (shared
+    /// configuration type; see [`ParallelPolicy`]).
+    policy: ParallelPolicy,
+    /// Pooled region-compact solve buffers — all O(region), reused across
+    /// batches (mirrors the basic engine).
+    pool: SkepticRegionPool,
     // ---- reusable scratch ----
     dirty: Vec<bool>,
     dirty_list: Vec<NodeId>,
     region: SkepticScratch,
-    plan_scratch: SccScratch,
     stack: Vec<NodeId>,
 }
 
@@ -164,12 +155,11 @@ impl SkepticIncremental {
             pref_neg: vec![NegSet::empty(); n],
             reachable: vec![false; n],
             last_dirty_users: Vec::new(),
-            par_threads: 1,
-            par_min_region: DEFAULT_PAR_MIN_REGION,
+            policy: ParallelPolicy::default(),
+            pool: SkepticRegionPool::default(),
             dirty: vec![false; n],
             dirty_list: Vec::new(),
             region: SkepticScratch::new(n),
-            plan_scratch: SccScratch::new(),
             stack: Vec::new(),
         };
         let mut seeds = Vec::new();
@@ -220,12 +210,25 @@ impl SkepticIncremental {
     }
 
     /// Enables the condensation-sharded parallel solve for dirty regions
-    /// of at least `min_region` nodes (plus the same 1/32-of-the-BTN floor
-    /// as [`crate::incremental::IncrementalResolver::set_parallelism`],
-    /// for the same node-indexed-scratch reason).
+    /// of at least `min_region` nodes — a pure work threshold, exactly as
+    /// in [`crate::incremental::IncrementalResolver::set_parallelism`]
+    /// (regions compact to dense local ids, so parallel scratch is
+    /// O(region) and no network-relative floor applies).
     pub fn set_parallelism(&mut self, threads: usize, min_region: usize) {
-        self.par_threads = threads.max(1);
-        self.par_min_region = min_region.max(1);
+        self.policy = ParallelPolicy::new(threads, min_region);
+    }
+
+    /// Like [`SkepticIncremental::set_parallelism`] but with the full
+    /// shared [`ParallelPolicy`].
+    pub fn set_parallel_policy(&mut self, policy: ParallelPolicy) {
+        self.policy = policy;
+    }
+
+    /// Bytes of region-scaled scratch currently pooled by the compact
+    /// parallel solve path (see
+    /// [`crate::incremental::IncrementalResolver::region_scratch_bytes`]).
+    pub fn region_scratch_bytes(&self) -> usize {
+        self.pool.region_scratch_bytes()
     }
 
     /// Extracts a full per-user snapshot (deep-clones the per-user
@@ -481,10 +484,9 @@ impl SkepticIncremental {
         self.update_reachability();
         self.update_pref_neg();
 
-        let par_floor = self
-            .par_min_region
-            .max(self.delta.btn.node_count() / PAR_REGION_DIVISOR);
-        if self.par_threads > 1 && self.dirty_list.len() >= par_floor {
+        // Pure work threshold — region compaction removed the old
+        // network-relative floor (see `set_parallelism`).
+        if self.policy.wants_parallel(self.dirty_list.len()) {
             self.solve_region_parallel();
         } else {
             let net = SkepticNet {
@@ -493,6 +495,7 @@ impl SkepticIncremental {
                 beliefs: &self.delta.btn.beliefs,
                 pref_neg: &self.pref_neg,
                 reachable: &self.reachable,
+                globals: None,
             };
             let mut store = VecStore(&mut self.rep);
             solve_skeptic_region(&net, &mut store, &mut self.region, &self.dirty_list);
@@ -503,49 +506,42 @@ impl SkepticIncremental {
         }
     }
 
-    /// The condensation-sharded regional solve: plans the dirty region
-    /// with the trim-first partitioner and runs the shared skeptic shard
-    /// solver over it, clean nodes frozen as boundary inputs.
+    /// The condensation-sharded regional solve in compact local id space:
+    /// the reachable dirty nodes are renumbered to dense local ids,
+    /// planned with the trim-first partitioner, and solved by
+    /// [`solve_skeptic_region_compact`] over pooled O(region) scratch,
+    /// clean nodes frozen as boundary inputs.
     fn solve_region_parallel(&mut self) {
-        let threads = self.par_threads;
         let Self {
             delta,
-            dirty,
             dirty_list,
             reachable,
             rep,
             pref_neg,
-            plan_scratch,
+            pool,
+            policy,
             ..
         } = self;
         let btn = &delta.btn;
-        let children: &[Vec<NodeId>] = &delta.children;
-        // Dirty nodes that stay region-unreachable must read as empty.
+        let region = pool.region_mut();
+        region.clear();
         for &x in dirty_list.iter() {
-            rep[x as usize] = RepPoss::default();
+            if reachable[x as usize] {
+                region.push(x);
+            } else {
+                // Region-unreachable dirty nodes must read as empty.
+                rep[x as usize] = RepPoss::default();
+            }
         }
-        let dirty: &[bool] = dirty;
-        let reachable: &[bool] = reachable;
-        let parents = &btn.parents;
-        let active = |v: NodeId| dirty[v as usize] && reachable[v as usize];
-        let plan = ShardPlan::build(
-            children,
-            |x| parents[x as usize].iter(),
-            active,
-            dirty_list.iter().copied(),
-            plan_scratch,
-            REGION_SHARD_TARGET,
-            false,
-        );
-        solve_skeptic_shards(
-            children,
-            parents,
+        solve_skeptic_region_compact(
+            pool,
+            &btn.parents,
             &btn.beliefs,
             pref_neg,
             reachable,
-            &plan,
             rep,
-            threads,
+            policy.threads,
+            policy.shard_target,
         );
     }
 }

@@ -35,6 +35,12 @@
 //! level-indexed shard schedule: components grouped into worker-sized
 //! shards per topological level, with flat dependency counts so a shard
 //! becomes ready exactly when all upstream shards are sealed.
+//!
+//! Subgraph solves (incremental dirty regions) first renumber the region
+//! into dense local ids through [`RegionCompactor`], so planning and
+//! solving allocate scratch proportional to the region instead of the
+//! whole graph; the whole-graph case is the degenerate identity view of
+//! the same layer.
 
 pub mod adjacency;
 pub mod condense;
@@ -42,6 +48,7 @@ pub mod csr;
 pub mod digraph;
 pub mod flow;
 pub mod reach;
+pub mod region;
 pub mod scc;
 pub mod shard;
 pub mod topo;
@@ -55,6 +62,7 @@ pub use csr::Csr;
 pub use digraph::{DiGraph, EdgeId, NodeId};
 pub use flow::{vertex_disjoint_pair, DisjointPair};
 pub use reach::{reachable_from, reachable_within};
+pub use region::RegionCompactor;
 pub use scc::{tarjan_scc, tarjan_scc_filtered, SccResult, SccScratch};
-pub use shard::ShardPlan;
+pub use shard::{PlanScratch, ShardPlan};
 pub use topo::{is_acyclic, topo_order, TopoError};

@@ -1,0 +1,386 @@
+//! Region compaction: dense local ids for subgraph solves.
+//!
+//! The incremental resolution engines re-solve only a *dirty region* of the
+//! network per edit, but a solver that addresses nodes by their global ids
+//! needs node-indexed scratch over the whole graph — O(network) setup for
+//! O(region) work, which is exactly the trade incremental processing exists
+//! to avoid. [`RegionCompactor`] renumbers a region into dense local ids
+//! `0..k`, builds a local CSR over its intra-region edges, and appends one
+//! *boundary* id per distinct external parent (a frozen input node), so
+//! every downstream buffer — peel words, shard maps, result slabs, worker
+//! flags — is sized by the region, not the network. This is the standard
+//! subgraph-extraction step of incremental graph systems (delta-based
+//! dataflow engines do the same renumbering before handing a delta to a
+//! dense kernel).
+//!
+//! The compactor is a **pool**: its buffers are reused across calls, and
+//! the global→local map is epoch-stamped so re-compaction never clears or
+//! reallocates anything proportional to the network (the two node-indexed
+//! stamp arrays are grown once per network size and amortize to zero).
+//! [`RegionCompactor::compact_all`] produces the degenerate whole-graph
+//! view (identity ids, no boundary), so full-network planning and
+//! dirty-region planning share one code path.
+
+use crate::adjacency::Adjacency;
+use crate::digraph::NodeId;
+
+/// Renumbers graph regions into dense local ids with a local CSR and a
+/// boundary map; reusable (all buffers pooled across calls).
+///
+/// After [`RegionCompactor::compact`]:
+///
+/// * locals `0..region_len()` are the region nodes, in the order the
+///   caller listed them;
+/// * locals `region_len()..len()` are the *boundary*: distinct external
+///   parents of region nodes, in first-encounter order;
+/// * the local forward adjacency ([`Adjacency`] on this type) contains
+///   every edge `parent → child` whose child is a region node (boundary
+///   nodes have out-edges into the region and nothing else);
+/// * [`RegionCompactor::in_degrees`] counts each region node's *region*
+///   parents — the active in-degrees a trim peel over the region needs.
+#[derive(Debug, Default)]
+pub struct RegionCompactor {
+    /// Epoch stamp per global node (`local_of` valid iff stamp == epoch).
+    stamp: Vec<u32>,
+    /// Global → local id, valid where stamped this epoch.
+    local_of: Vec<u32>,
+    epoch: u32,
+    /// Local → global id (empty in identity mode).
+    globals: Vec<NodeId>,
+    /// Number of region locals (boundary ids start here).
+    region_len: usize,
+    /// Total locals (region + boundary).
+    total: usize,
+    /// Whether the current view is the identity (whole-graph) compaction.
+    identity: bool,
+    /// Local CSR: out-neighbors of local `v` are
+    /// `targets[offsets[v]..offsets[v+1]]`.
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+    /// Pooled fill cursor for CSR construction (avoids the classic
+    /// `offsets.clone()` per build).
+    cursor: Vec<u32>,
+    /// Region-parent count per region local (peel seed degrees).
+    in_degrees: Vec<u32>,
+}
+
+impl RegionCompactor {
+    /// A fresh compactor with empty pools.
+    pub fn new() -> RegionCompactor {
+        RegionCompactor::default()
+    }
+
+    /// Compacts the subgraph induced by `region` (global node ids, no
+    /// duplicates) of a graph with `n` nodes whose in-edges are enumerated
+    /// by `in_edges` (called twice per region node; must yield the same
+    /// multiset both times). External parents become boundary locals.
+    pub fn compact<I, It>(&mut self, n: usize, in_edges: I, region: &[NodeId])
+    where
+        I: Fn(NodeId) -> It,
+        It: Iterator<Item = NodeId>,
+    {
+        self.identity = false;
+        self.region_len = region.len();
+        // One-time growth to the network's node count; steady-state edits
+        // never touch more than the region's slots again.
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.local_of.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+
+        self.globals.clear();
+        self.globals.extend_from_slice(region);
+        for (i, &x) in region.iter().enumerate() {
+            self.stamp[x as usize] = epoch;
+            self.local_of[x as usize] = i as u32;
+        }
+
+        // Pass 1: discover boundary parents, count local out-degrees.
+        self.offsets.clear();
+        self.offsets.resize(region.len() + 1, 0);
+        let mut edges = 0usize;
+        for &x in region {
+            for z in in_edges(x) {
+                let zs = z as usize;
+                let lz = if self.stamp[zs] == epoch {
+                    self.local_of[zs]
+                } else {
+                    let l = self.globals.len() as u32;
+                    self.stamp[zs] = epoch;
+                    self.local_of[zs] = l;
+                    self.globals.push(z);
+                    self.offsets.push(0);
+                    l
+                };
+                self.offsets[lz as usize + 1] += 1;
+                edges += 1;
+            }
+        }
+        self.total = self.globals.len();
+        for i in 0..self.total {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+
+        // Pass 2: fill targets (cursor drawn from the pool, not cloned),
+        // and count region in-degrees on the way.
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.offsets);
+        self.targets.clear();
+        self.targets.resize(edges, 0);
+        self.in_degrees.clear();
+        self.in_degrees.resize(region.len(), 0);
+        for (lx, &x) in region.iter().enumerate() {
+            let mut active_parents = 0u32;
+            for z in in_edges(x) {
+                let lz = self.local_of[z as usize];
+                let c = &mut self.cursor[lz as usize];
+                self.targets[*c as usize] = lx as NodeId;
+                *c += 1;
+                if (lz as usize) < region.len() {
+                    active_parents += 1;
+                }
+            }
+            self.in_degrees[lx] = active_parents;
+        }
+    }
+
+    /// The degenerate whole-graph view: identity ids over `0..n`, no
+    /// boundary. Full-network planning goes through the same downstream
+    /// path as dirty-region planning.
+    pub fn compact_all<I, It>(&mut self, n: usize, in_edges: I)
+    where
+        I: Fn(NodeId) -> It,
+        It: Iterator<Item = NodeId>,
+    {
+        self.identity = true;
+        self.region_len = n;
+        self.total = n;
+        self.globals.clear();
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        self.in_degrees.clear();
+        self.in_degrees.resize(n, 0);
+        let mut edges = 0usize;
+        for x in 0..n as NodeId {
+            for z in in_edges(x) {
+                self.offsets[z as usize + 1] += 1;
+                self.in_degrees[x as usize] += 1;
+                edges += 1;
+            }
+        }
+        for i in 0..n {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.offsets);
+        self.targets.clear();
+        self.targets.resize(edges, 0);
+        for x in 0..n as NodeId {
+            for z in in_edges(x) {
+                let c = &mut self.cursor[z as usize];
+                self.targets[*c as usize] = x;
+                *c += 1;
+            }
+        }
+    }
+
+    /// Total locals (region + boundary).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the current view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of region locals; boundary ids are `region_len()..len()`.
+    #[inline]
+    pub fn region_len(&self) -> usize {
+        self.region_len
+    }
+
+    /// Whether the current view is the identity (whole-graph) compaction.
+    #[inline]
+    pub fn is_identity(&self) -> bool {
+        self.identity
+    }
+
+    /// Local → global map over all locals (region first, then boundary).
+    /// Empty in identity mode — ids need no translation there.
+    #[inline]
+    pub fn globals(&self) -> &[NodeId] {
+        &self.globals
+    }
+
+    /// The global id behind local `l`.
+    #[inline]
+    pub fn global_of(&self, l: u32) -> NodeId {
+        if self.identity {
+            l
+        } else {
+            self.globals[l as usize]
+        }
+    }
+
+    /// The local id of global node `x` in the current view, if it was
+    /// compacted (region or boundary).
+    #[inline]
+    pub fn local_of(&self, x: NodeId) -> Option<u32> {
+        if self.identity {
+            return ((x as usize) < self.total).then_some(x);
+        }
+        let xs = x as usize;
+        (self.stamp.get(xs) == Some(&self.epoch)).then(|| self.local_of[xs])
+    }
+
+    /// Region-parent count per region local — the active in-degrees a
+    /// trim peel over the compacted view starts from.
+    #[inline]
+    pub fn in_degrees(&self) -> &[u32] {
+        &self.in_degrees
+    }
+
+    /// Bytes currently retained by the region-scaled buffers (local maps,
+    /// CSR, cursor, degrees). Excludes the two node-indexed stamp arrays,
+    /// which are allocated once per network size ([`RegionCompactor::resident_bytes`]).
+    pub fn region_scratch_bytes(&self) -> usize {
+        self.globals.capacity() * std::mem::size_of::<NodeId>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.targets.capacity() * std::mem::size_of::<NodeId>()
+            + self.cursor.capacity() * std::mem::size_of::<u32>()
+            + self.in_degrees.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Bytes of the once-per-network node-indexed stamp arrays.
+    pub fn resident_bytes(&self) -> usize {
+        (self.stamp.capacity() + self.local_of.capacity()) * std::mem::size_of::<u32>()
+    }
+}
+
+impl Adjacency for RegionCompactor {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.total
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    #[inline]
+    fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
+        self.targets[self.offsets[v as usize] as usize + i]
+    }
+
+    #[inline]
+    fn prefetch_neighbors(&self, v: NodeId) {
+        crate::shard::prefetch(&self.offsets[v as usize]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// In-edge closure over a parent table (≤ any arity).
+    fn in_edges(parents: &[Vec<NodeId>]) -> impl Fn(NodeId) -> std::vec::IntoIter<NodeId> + '_ {
+        |x| parents[x as usize].clone().into_iter()
+    }
+
+    #[test]
+    fn compacts_region_with_boundary() {
+        // Global graph: 0 -> 2, 1 -> 2, 2 -> 3, 3 -> 4. Region {2, 3}:
+        // boundary {0, 1}, intra edge 2 -> 3 only (4 is outside and a
+        // child, so its edge is not part of the region's in-edges).
+        let parents: Vec<Vec<NodeId>> = vec![vec![], vec![], vec![0, 1], vec![2], vec![3]];
+        let mut comp = RegionCompactor::new();
+        comp.compact(5, in_edges(&parents), &[2, 3]);
+
+        assert_eq!(comp.region_len(), 2);
+        assert_eq!(comp.len(), 4); // 2 region + 2 boundary
+        assert_eq!(comp.globals(), &[2, 3, 0, 1]);
+        assert_eq!(comp.local_of(2), Some(0));
+        assert_eq!(comp.local_of(3), Some(1));
+        assert_eq!(comp.local_of(0), Some(2));
+        assert_eq!(comp.local_of(4), None, "children outside stay unmapped");
+        // Local 0 (= global 2) has one region parent count of 0 region
+        // parents; local 1 (= global 3) has one (global 2 = local 0).
+        assert_eq!(comp.in_degrees(), &[0, 1]);
+        // Adjacency: boundary locals 2, 3 each point at local 0; local 0
+        // points at local 1.
+        let n: Vec<NodeId> = comp.neighbors(0).collect();
+        assert_eq!(n, vec![1]);
+        let n2: Vec<NodeId> = comp.neighbors(2).collect();
+        assert_eq!(n2, vec![0]);
+        let n3: Vec<NodeId> = comp.neighbors(3).collect();
+        assert_eq!(n3, vec![0]);
+        assert_eq!(comp.degree(1), 0);
+    }
+
+    #[test]
+    fn recompaction_reuses_buffers_and_stamps() {
+        let parents: Vec<Vec<NodeId>> = vec![vec![], vec![0], vec![1], vec![2]];
+        let mut comp = RegionCompactor::new();
+        comp.compact(4, in_edges(&parents), &[1, 2]);
+        assert_eq!(comp.local_of(3), None);
+        let bytes_first = comp.region_scratch_bytes();
+
+        // A different region: old stamps must not leak in.
+        comp.compact(4, in_edges(&parents), &[3]);
+        assert_eq!(comp.region_len(), 1);
+        assert_eq!(comp.local_of(1), None, "stale stamp leaked");
+        assert_eq!(comp.local_of(3), Some(0));
+        assert_eq!(comp.local_of(2), Some(1), "parent of 3 is boundary");
+        assert!(
+            comp.region_scratch_bytes() <= bytes_first,
+            "smaller region must not grow the pooled buffers"
+        );
+    }
+
+    #[test]
+    fn identity_view_matches_whole_graph() {
+        let parents: Vec<Vec<NodeId>> = vec![vec![], vec![0], vec![0, 1]];
+        let mut comp = RegionCompactor::new();
+        comp.compact_all(3, in_edges(&parents));
+        assert!(comp.is_identity());
+        assert_eq!(comp.len(), 3);
+        assert_eq!(comp.region_len(), 3);
+        assert_eq!(comp.local_of(2), Some(2));
+        assert_eq!(comp.global_of(1), 1);
+        assert_eq!(comp.in_degrees(), &[0, 1, 2]);
+        let n0: Vec<NodeId> = comp.neighbors(0).collect();
+        assert_eq!(n0, vec![1, 2]);
+    }
+
+    #[test]
+    fn parallel_edges_are_kept() {
+        // Duplicate parent edges must survive (the peel counts multiset
+        // degrees).
+        let parents: Vec<Vec<NodeId>> = vec![vec![], vec![0, 0]];
+        let mut comp = RegionCompactor::new();
+        comp.compact(2, in_edges(&parents), &[0, 1]);
+        assert_eq!(comp.in_degrees(), &[0, 2]);
+        let n0: Vec<NodeId> = comp.neighbors(0).collect();
+        assert_eq!(n0, vec![1, 1]);
+    }
+
+    #[test]
+    fn empty_region() {
+        let parents: Vec<Vec<NodeId>> = vec![vec![]];
+        let mut comp = RegionCompactor::new();
+        comp.compact(1, in_edges(&parents), &[]);
+        assert_eq!(comp.len(), 0);
+        assert!(comp.is_empty());
+        assert_eq!(comp.region_len(), 0);
+    }
+}

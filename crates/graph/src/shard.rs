@@ -83,7 +83,7 @@ trait PeelState: Copy + Default {
 /// Narrow state: 8-bit pending (255 = peeled), 24-bit level. Fits any
 /// graph with in-degrees ≤ 254 and fewer than 2²⁴ nodes — in particular
 /// every binarized trust network (in-degree ≤ 2).
-#[derive(Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 struct P32(u32);
 
 impl PeelState for P32 {
@@ -115,7 +115,7 @@ impl PeelState for P32 {
 }
 
 /// Wide state: 32-bit pending (`u32::MAX` = peeled), 32-bit level.
-#[derive(Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 struct P64(u64);
 
 impl PeelState for P64 {
@@ -149,6 +149,28 @@ impl PeelState for P64 {
 /// Exact dependencies are refused above this many shards (the bitset costs
 /// shards² bits); such plans fall back to frontier scheduling.
 pub const EXACT_DEPS_LIMIT: usize = 4096;
+
+/// Reusable [`ShardPlan`] construction buffers: the peel's packed
+/// (pending, level) state words and its traversal stack — the only
+/// build-internal allocations proportional to the planned node space.
+/// Engines that replan per dirty region pool one of these so steady-state
+/// planning reallocates nothing beyond the plan's own (region-sized)
+/// vectors.
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    state32: Vec<P32>,
+    state64: Vec<P64>,
+    stack: Vec<NodeId>,
+}
+
+impl PlanScratch {
+    /// Bytes currently retained by the pooled peel buffers.
+    pub fn scratch_bytes(&self) -> usize {
+        self.state32.capacity() * std::mem::size_of::<P32>()
+            + self.state64.capacity() * std::mem::size_of::<P64>()
+            + self.stack.capacity() * std::mem::size_of::<NodeId>()
+    }
+}
 
 /// How shard readiness is tracked.
 #[derive(Debug, Clone)]
@@ -231,13 +253,14 @@ impl ShardPlan {
         It: Iterator<Item = NodeId>,
         K: Fn(NodeId) -> bool,
     {
-        ShardPlan::build_impl(
+        ShardPlan::build_pooled(
             g,
             in_edges,
             active,
             candidates,
             None,
             scratch,
+            &mut PlanScratch::default(),
             target_nodes,
             exact_deps,
         )
@@ -265,26 +288,34 @@ impl ShardPlan {
         It: Iterator<Item = NodeId>,
         K: Fn(NodeId) -> bool,
     {
-        ShardPlan::build_impl(
+        ShardPlan::build_pooled(
             g,
             in_edges,
             active,
             candidates,
             Some(in_degrees),
             scratch,
+            &mut PlanScratch::default(),
             target_nodes,
             exact_deps,
         )
     }
 
-    #[allow(clippy::too_many_arguments)] // single internal funnel
-    fn build_impl<A, I, It, K>(
+    /// The fully pooled build: like [`ShardPlan::build_with_in_degrees`]
+    /// (with the degree table optional) but drawing the peel's node-space
+    /// buffers from a caller-owned [`PlanScratch`], so replanning a region
+    /// allocates nothing proportional to the planned node count beyond the
+    /// returned plan itself. This is the funnel every other build entry
+    /// wraps.
+    #[allow(clippy::too_many_arguments)] // mirrors build() plus the scratch pools
+    pub fn build_pooled<A, I, It, K>(
         g: &A,
         in_edges: I,
         active: K,
         candidates: impl Iterator<Item = NodeId> + Clone,
         in_degrees: Option<&[u32]>,
         scratch: &mut SccScratch,
+        plan_scratch: &mut PlanScratch,
         target_nodes: usize,
         exact_deps: bool,
     ) -> ShardPlan
@@ -299,6 +330,7 @@ impl ShardPlan {
         // graph allows: u32 when degrees and node count fit (halving the
         // state footprint doubles its cache residency), u64 otherwise.
         if g.node_count() < (1 << P32_LEVEL_BITS) {
+            let PlanScratch { state32, stack, .. } = plan_scratch;
             if let Some(plan) = ShardPlan::build_core::<P32, _, _, _, _>(
                 g,
                 &in_edges,
@@ -306,12 +338,15 @@ impl ShardPlan {
                 candidates.clone(),
                 in_degrees,
                 scratch,
+                state32,
+                stack,
                 target_nodes,
                 exact_deps,
             ) {
                 return plan;
             }
         }
+        let PlanScratch { state64, stack, .. } = plan_scratch;
         ShardPlan::build_core::<P64, _, _, _, _>(
             g,
             &in_edges,
@@ -319,6 +354,8 @@ impl ShardPlan {
             candidates,
             in_degrees,
             scratch,
+            state64,
+            stack,
             target_nodes,
             exact_deps,
         )
@@ -336,6 +373,8 @@ impl ShardPlan {
         candidates: impl Iterator<Item = NodeId> + Clone,
         in_degrees: Option<&[u32]>,
         scratch: &mut SccScratch,
+        state: &mut Vec<W>,
+        stack: &mut Vec<NodeId>,
         target_nodes: usize,
         exact_deps: bool,
     ) -> Option<ShardPlan>
@@ -351,11 +390,13 @@ impl ShardPlan {
 
         // (1) Trim peel. `state[x]` packs the node's unfinished-active-
         // parent count and its level into one word — one cache line per
-        // touched node. Zero-pending nodes peel immediately, each peel
-        // decrements its children and propagates `level + 1`; unit counts
-        // per level accumulate during the peel itself.
-        let mut state = vec![W::default(); n];
-        let mut stack: Vec<NodeId> = Vec::new();
+        // touched node; the word array comes from the caller's pool.
+        // Zero-pending nodes peel immediately, each peel decrements its
+        // children and propagates `level + 1`; unit counts per level
+        // accumulate during the peel itself.
+        state.clear();
+        state.resize(n, W::default());
+        stack.clear();
         let mut active_total = 0usize;
         for x in candidates.clone() {
             if !active(x) {
@@ -776,18 +817,26 @@ impl ShardPlan {
     /// Shards ready before any sealing: exact mode returns zero-in-count
     /// shards, frontier mode the level-0 shards. Ascending order.
     pub fn initial_ready(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.initial_ready_into(&mut out);
+        out
+    }
+
+    /// [`ShardPlan::initial_ready`] into a caller-pooled vector (cleared
+    /// first).
+    pub fn initial_ready_into(&self, out: &mut Vec<u32>) {
+        out.clear();
         match &self.deps {
-            Deps::Edges { in_counts, .. } => in_counts
-                .iter()
-                .enumerate()
-                .filter(|(_, &d)| d == 0)
-                .map(|(s, _)| s as u32)
-                .collect(),
+            Deps::Edges { in_counts, .. } => out.extend(
+                in_counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &d)| d == 0)
+                    .map(|(s, _)| s as u32),
+            ),
             Deps::Frontier { .. } => {
-                if self.levels == 0 {
-                    Vec::new()
-                } else {
-                    self.level_shards(0).collect()
+                if self.levels > 0 {
+                    out.extend(self.level_shards(0));
                 }
             }
         }

@@ -55,14 +55,14 @@ pub mod format;
 
 pub use trustmap_core::{
     acyclic, binary, bulk, bulk_skeptic, error, gates, incremental, lineage, network, pairs,
-    paradigm, resolution, sat, session, signed, skeptic, skeptic_incremental, stable,
+    paradigm, policy, resolution, sat, session, signed, skeptic, skeptic_incremental, stable,
     stable_signed, user, value,
 };
 pub use trustmap_core::{
     binarize, resolve, resolve_network, resolve_with, BeliefChange, BeliefSet, Btn, DeltaStats,
-    Edit, Error, ExplicitBelief, IncrementalResolver, Mapping, NegSet, Options, Paradigm, Parents,
-    Resolution, Result, SccMode, Session, SignedEdit, SkepticIncremental, SkepticPlannedResolver,
-    SkepticResolution, SkepticUserResolution, TrustNetwork, User, Value,
+    Edit, Error, ExplicitBelief, IncrementalResolver, Mapping, NegSet, Options, Paradigm,
+    ParallelPolicy, Parents, Resolution, Result, SccMode, Session, SignedEdit, SkepticIncremental,
+    SkepticPlannedResolver, SkepticResolution, SkepticUserResolution, TrustNetwork, User, Value,
 };
 
 pub use trustmap_datalog as datalog;

@@ -1,0 +1,321 @@
+//! Oracle for the region-compact parallel solve path.
+//!
+//! With `min_region` forced to 1 every dirty region — however tiny — is
+//! renumbered into dense local ids, planned, and solved through the
+//! sharded scheduler, so these tests exercise the compaction layer
+//! (`trustmap_graph::region`) on exactly the regions the old
+//! 1/32-of-the-BTN floor used to exclude:
+//!
+//! * proptest streams (signed and unsigned) where a forced-compact engine
+//!   must stay byte-identical to a from-scratch resolve *and* to a
+//!   sequential engine after every step, at a shard target small enough to
+//!   force real cross-shard scheduling;
+//! * the scratch-scaling acceptance signal: the bytes of pooled
+//!   region-solve scratch must track the dirty region, not the BTN — the
+//!   single-core-safe stand-in for wall-clock speedups.
+
+use proptest::prelude::*;
+use trustmap::workloads::{flip_stream, power_law};
+use trustmap_core::signed::NegSet;
+use trustmap_core::skeptic::resolve_skeptic;
+use trustmap_core::{
+    binarize, resolve_network, Edit, IncrementalResolver, ParallelPolicy, SignedEdit,
+    SkepticIncremental, TrustNetwork, User, Value,
+};
+
+const NUM_VALUES: usize = 3;
+
+/// A raw network description proptest can generate.
+#[derive(Debug, Clone)]
+struct RawNet {
+    users: usize,
+    mappings: Vec<(usize, usize, i64)>,
+    beliefs: Vec<(usize, usize)>,
+}
+
+fn raw_net(max_users: usize, max_maps: usize) -> impl Strategy<Value = RawNet> {
+    (2..=max_users).prop_flat_map(move |users| {
+        let mapping = (0..users, 0..users, 1..4i64);
+        let belief = (0..users, 0..NUM_VALUES);
+        (
+            proptest::collection::vec(mapping, 0..=max_maps),
+            proptest::collection::vec(belief, 0..=users),
+        )
+            .prop_map(move |(mappings, beliefs)| RawNet {
+                users,
+                mappings,
+                beliefs,
+            })
+    })
+}
+
+fn build(raw: &RawNet) -> (TrustNetwork, Vec<Value>) {
+    let mut net = TrustNetwork::new();
+    let users: Vec<User> = (0..raw.users).map(|i| net.user(&format!("u{i}"))).collect();
+    let values: Vec<Value> = (0..NUM_VALUES)
+        .map(|i| net.value(&format!("v{i}")))
+        .collect();
+    for &(c, p, prio) in &raw.mappings {
+        if c != p {
+            net.trust(users[c], users[p], prio).expect("valid");
+        }
+    }
+    for &(u, v) in &raw.beliefs {
+        net.believe(users[u], values[v]).expect("valid");
+    }
+    (net, values)
+}
+
+/// A compact-forcing policy: every region parallelizes, and the tiny shard
+/// target forces multi-shard plans even on a handful of nodes.
+fn forced_compact(threads: usize) -> ParallelPolicy {
+    ParallelPolicy {
+        threads,
+        min_region: 1,
+        shard_target: 2,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RawEdit {
+    kind: u8,
+    user: usize,
+    other: usize,
+    value: usize,
+    priority: i64,
+}
+
+fn raw_edits(steps: usize) -> impl Strategy<Value = Vec<RawEdit>> {
+    proptest::collection::vec(
+        (0u8..10, 0usize..64, 0usize..64, 0usize..NUM_VALUES, 1..5i64).prop_map(
+            |(kind, user, other, value, priority)| RawEdit {
+                kind,
+                user,
+                other,
+                value,
+                priority,
+            },
+        ),
+        steps..=steps,
+    )
+}
+
+fn concretize(raw: RawEdit, users: usize, values: &[Value]) -> Edit {
+    let user = User((raw.user % users) as u32);
+    match raw.kind {
+        0..=5 => Edit::Believe(user, values[raw.value % values.len()]),
+        6 | 7 => Edit::Revoke(user),
+        _ => {
+            let parent = User((raw.other % users) as u32);
+            if parent == user {
+                Edit::Believe(user, values[raw.value % values.len()])
+            } else {
+                Edit::Trust {
+                    child: user,
+                    parent,
+                    priority: raw.priority,
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Basic model: a compact-forced parallel engine equals both a
+    /// sequential engine and a from-scratch resolve after every step of a
+    /// random edit stream.
+    #[test]
+    fn compact_parallel_engine_equals_sequential(
+        raw in raw_net(8, 14),
+        edits in raw_edits(12),
+        threads in 2usize..=4,
+    ) {
+        let (mut net, values) = build(&raw);
+        let mut par = IncrementalResolver::new(&net).expect("positive network");
+        par.set_parallel_policy(forced_compact(threads));
+        let mut seq = IncrementalResolver::new(&net).expect("positive network");
+        for (step, &raw_edit) in edits.iter().enumerate() {
+            let edit = concretize(raw_edit, raw.users, &values);
+            match edit {
+                Edit::Believe(u, v) => net.believe(u, v).expect("valid"),
+                Edit::Revoke(u) => net.revoke(u).expect("valid"),
+                Edit::Trust { child, parent, priority } => {
+                    net.trust(child, parent, priority).expect("valid")
+                }
+            }
+            par.apply_edits(&net, &[edit]);
+            seq.apply_edits(&net, &[edit]);
+            let reference = resolve_network(&net).expect("resolves");
+            for u in net.users() {
+                let node = par.btn().node_of(u);
+                prop_assert_eq!(
+                    par.poss(node), reference.poss(u),
+                    "step {} ({:?}): poss diverged from full resolve for {}", step, edit, u
+                );
+            }
+            for x in par.btn().nodes() {
+                prop_assert_eq!(
+                    par.poss(x), seq.poss(x),
+                    "step {} ({:?}): compact and sequential engines diverged at node {}",
+                    step, edit, x
+                );
+            }
+        }
+    }
+
+    /// Skeptic model: the compact-forced parallel engine tracks a
+    /// from-scratch Algorithm 2 over random *signed* streams (constraint
+    /// edits included).
+    #[test]
+    fn compact_parallel_skeptic_equals_full(
+        raw in raw_net(7, 12),
+        edits in raw_edits(10),
+        threads in 2usize..=4,
+    ) {
+        let (mut net, values) = build(&raw);
+        let Ok(mut engine) = SkepticIncremental::new(&net) else {
+            return Ok(()); // tied priorities: out of Algorithm 2's domain
+        };
+        engine.set_parallel_policy(forced_compact(threads));
+        for (step, &raw_edit) in edits.iter().enumerate() {
+            // Re-route a slice of the raw stream into constraint edits so
+            // the compact skeptic path sees negative beliefs too.
+            let edit = if raw_edit.kind == 4 {
+                let u = User((raw_edit.user % raw.users) as u32);
+                SignedEdit::Reject(u, NegSet::of([values[raw_edit.value % values.len()]]))
+            } else {
+                SignedEdit::from(concretize(raw_edit, raw.users, &values))
+            };
+            match &edit {
+                SignedEdit::Believe(u, v) => net.believe(*u, *v).expect("valid"),
+                SignedEdit::Revoke(u) => net.revoke(*u).expect("valid"),
+                SignedEdit::Reject(u, neg) => net.reject(*u, neg.clone()).expect("valid"),
+                SignedEdit::Trust { child, parent, priority } => {
+                    net.trust(*child, *parent, *priority).expect("valid")
+                }
+            }
+            if engine.apply_edits(&net, std::slice::from_ref(&edit)).is_err() {
+                return Ok(()); // a trust edit created a tie: engine contract ends
+            }
+            let btn = binarize(&net);
+            let reference = resolve_skeptic(&btn).expect("tie-free");
+            for u in net.users() {
+                prop_assert_eq!(
+                    engine.rep_poss(engine.btn().node_of(u)),
+                    reference.rep_poss(btn.node_of(u)),
+                    "step {} ({:?}): repPoss diverged for {}", step, edit, u
+                );
+            }
+        }
+    }
+}
+
+/// The acceptance signal for O(region) setup on a timing-hostile 1-core
+/// container: pooled region-solve scratch bytes must track the dirty
+/// region, not the BTN. Two power-law networks an order of magnitude
+/// apart, the same per-edit flip stream forced onto the compact parallel
+/// path — the big network's scratch must stay within a small factor of
+/// the small network's, and far under one byte per BTN node scaled.
+#[test]
+fn scratch_bytes_scale_with_region_not_network() {
+    /// Max pooled scratch bytes over a flip stream whose dirty region is a
+    /// fixed-size probe chain attached to a `users`-node power-law network
+    /// (same region in every network, so any growth is network-driven).
+    fn max_scratch(users: usize) -> (usize, usize, usize) {
+        let w = power_law(users, 2, 4, 0.2, 8 + users as u64);
+        let mut net = w.net.clone();
+        let v0 = net.value("probe-v0");
+        let v1 = net.value("probe-v1");
+        let root = net.user("probe-root");
+        net.believe(root, v0).expect("fresh user");
+        let mut prev = root;
+        for i in 0..32 {
+            let u = net.user(&format!("probe-{i}"));
+            net.trust(u, prev, 1).expect("fresh users");
+            prev = u;
+        }
+        // Build sequentially (everything is dirty once at build time),
+        // then force every subsequent region through the compact path.
+        let mut engine = IncrementalResolver::new(&net).expect("positive network");
+        engine.set_parallel_policy(ParallelPolicy {
+            threads: 2,
+            min_region: 1,
+            shard_target: 4096,
+        });
+        let mut max_bytes = 0;
+        let mut max_region = 0;
+        for step in 0..20 {
+            let v = if step % 2 == 0 { v1 } else { v0 };
+            net.believe(root, v).expect("valid");
+            engine.apply_edits(&net, &[Edit::Believe(root, v)]);
+            max_bytes = max_bytes.max(engine.region_scratch_bytes());
+            max_region = max_region.max(engine.last_dirty_len());
+        }
+        (max_bytes, max_region, engine.btn().node_count())
+    }
+
+    let (small_bytes, small_region, small_nodes) = max_scratch(2_000);
+    let (big_bytes, big_region, big_nodes) = max_scratch(20_000);
+    assert!(
+        big_nodes >= 9 * small_nodes,
+        "networks must differ by ~10x ({small_nodes} vs {big_nodes})"
+    );
+    assert_eq!(
+        small_region, big_region,
+        "the probe chain must dirty the same region in both networks"
+    );
+    assert!(big_region > 0 && big_region <= 40, "region is the chain");
+
+    // O(region): a generous constant per region node, and far below even
+    // one byte per BTN node.
+    let per_region_budget = 512 * big_region + 4096;
+    assert!(
+        big_bytes <= per_region_budget,
+        "scratch {big_bytes}B exceeds O(region) budget {per_region_budget}B \
+         (region {big_region} of {big_nodes} nodes)"
+    );
+    assert!(
+        big_bytes < big_nodes,
+        "scratch {big_bytes}B is not region-bound: it rivals the BTN itself ({big_nodes} nodes)"
+    );
+    // Same region, 10x network: scratch must not grow with the network.
+    assert!(
+        big_bytes <= small_bytes + 1024,
+        "scratch grew with the network: {small_bytes}B -> {big_bytes}B for \
+         an identical {big_region}-node region"
+    );
+}
+
+/// Fixed-seed determinism: on the benchmark workload, the compact-forced
+/// parallel engine and the sequential engine replay the same flip stream
+/// to byte-identical possible sets at every thread count.
+#[test]
+fn fixed_seed_compact_region_regression() {
+    let w = power_law(3_000, 3, 4, 0.1, 42);
+    for threads in [2usize, 4] {
+        let mut net = w.net.clone();
+        let mut par = IncrementalResolver::new(&net).expect("positive network");
+        par.set_parallel_policy(forced_compact(threads));
+        let mut seq = IncrementalResolver::new(&net).expect("positive network");
+        for edit in flip_stream(&w, 30, 13) {
+            if let Edit::Believe(u, v) = edit {
+                net.believe(u, v).expect("valid");
+            }
+            par.apply_edits(&net, &[edit]);
+            seq.apply_edits(&net, &[edit]);
+        }
+        for x in par.btn().nodes() {
+            assert_eq!(par.poss(x), seq.poss(x), "node {x} at {threads} threads");
+        }
+        let reference = resolve_network(&net).expect("resolves");
+        for u in net.users() {
+            assert_eq!(
+                par.poss(par.btn().node_of(u)),
+                reference.poss(u),
+                "user {u}"
+            );
+        }
+    }
+}

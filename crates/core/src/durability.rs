@@ -1,0 +1,236 @@
+//! Durability hooks: the write-ahead-logging seam of [`crate::Session`].
+//!
+//! The paper targets massively collaborative databases whose trust
+//! mappings and beliefs evolve continuously; a serving deployment needs
+//! the session to survive a crash. [`crate::Session`] therefore accepts an
+//! optional [`Durability`] sink ([`crate::Session::set_durability`]) and
+//! streams its edit history into it:
+//!
+//! * every *new* user or value interned through the session
+//!   ([`Durability::record_user`] / [`Durability::record_value`] — WAL
+//!   records address users and values by id, so the name tables must be
+//!   replayable too);
+//! * every typed edit that was successfully applied to the network
+//!   ([`Durability::record_edit`], covering `believe` / `revoke` / `trust`
+//!   / `reject` and the [`crate::Session::apply_signed_edit`] path);
+//! * every opaque closure edit as a full network image
+//!   ([`Durability::record_rewrite`] — closures cannot be captured as
+//!   deltas);
+//! * a commit boundary at the end of every atomic unit
+//!   ([`Durability::commit`]): each non-batched typed edit is its own
+//!   unit, an explicit [`crate::Session::begin_batch`] /
+//!   [`crate::Session::commit`] batch is one unit.
+//!
+//! The record methods are *buffering* operations and cannot fail; all I/O
+//! (and the torn-tail atomicity it implies) happens in
+//! [`Durability::commit`], so a batch amortizes one append + fsync across
+//! all of its edits. An empty unit must not produce a commit frame —
+//! [`crate::Session::commit`] on an empty batch is a no-op end to end.
+//!
+//! The production sink is `trustmap_store::Store` (the `trustmap-store`
+//! crate), which appends CRC-framed records to an append-only log and
+//! recovers a byte-identical session via snapshot + tail replay. Keeping
+//! the trait here (and the store crate downstream) means the session never
+//! depends on any file format.
+
+use crate::error::Result;
+use crate::network::TrustNetwork;
+use crate::skeptic_incremental::SignedEdit;
+
+/// A write-ahead sink for the session's edit history.
+///
+/// Implementations buffer the `record_*` calls and make them durable in
+/// [`Durability::commit`]; see the [module docs](self) for the exact
+/// stream the session produces.
+pub trait Durability: std::fmt::Debug + Send {
+    /// A new user was interned (by [`crate::Session::user`] or during a
+    /// typed edit on a fresh name). Emitted before any edit referencing
+    /// the user's id.
+    fn record_user(&mut self, name: &str);
+
+    /// A new value was interned. Emitted before any edit referencing the
+    /// value's id.
+    fn record_value(&mut self, name: &str);
+
+    /// A typed edit was applied to the network (validation already
+    /// passed).
+    fn record_edit(&mut self, edit: &SignedEdit);
+
+    /// An opaque closure edit ran; `net` is the complete post-edit
+    /// network and supersedes everything recorded before it in the
+    /// current unit.
+    fn record_rewrite(&mut self, net: &TrustNetwork);
+
+    /// Makes everything recorded since the last commit durable as one
+    /// atomic unit and returns the unit's log sequence number. With
+    /// nothing buffered this is a no-op returning the last committed LSN
+    /// (no empty frames).
+    fn commit(&mut self) -> Result<u64>;
+
+    /// The LSN of the last committed unit (0 before any commit).
+    fn last_committed_lsn(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::indus_network;
+    use crate::session::Session;
+    use crate::signed::NegSet;
+
+    /// An in-memory sink recording the event stream, for asserting what
+    /// the session emits (the store crate tests the file format).
+    #[derive(Debug, Default)]
+    struct Tape {
+        events: std::sync::Arc<std::sync::Mutex<Vec<String>>>,
+        buffered: usize,
+        committed: u64,
+    }
+
+    impl Tape {
+        fn push(&mut self, s: String) {
+            self.events.lock().unwrap().push(s);
+        }
+    }
+
+    impl Durability for Tape {
+        fn record_user(&mut self, name: &str) {
+            self.buffered += 1;
+            self.push(format!("user {name}"));
+        }
+        fn record_value(&mut self, name: &str) {
+            self.buffered += 1;
+            self.push(format!("value {name}"));
+        }
+        fn record_edit(&mut self, edit: &SignedEdit) {
+            self.buffered += 1;
+            self.push(format!("edit {edit:?}"));
+        }
+        fn record_rewrite(&mut self, net: &TrustNetwork) {
+            self.buffered += 1;
+            self.push(format!("rewrite {} users", net.user_count()));
+        }
+        fn commit(&mut self) -> Result<u64> {
+            if self.buffered == 0 {
+                return Ok(self.committed);
+            }
+            self.buffered = 0;
+            self.committed += 1;
+            let lsn = self.committed;
+            self.push(format!("commit {lsn}"));
+            Ok(lsn)
+        }
+        fn last_committed_lsn(&self) -> u64 {
+            self.committed
+        }
+    }
+
+    fn tape_session() -> (Session, std::sync::Arc<std::sync::Mutex<Vec<String>>>) {
+        let (net, _) = indus_network();
+        let mut s = Session::new(net);
+        let tape = Tape::default();
+        let events = tape.events.clone();
+        s.set_durability(Box::new(tape));
+        (s, events)
+    }
+
+    #[test]
+    fn typed_edits_commit_one_unit_each() {
+        let (mut s, events) = tape_session();
+        let charlie = s.user("Charlie"); // pre-existing: no record
+        let jar = s.value("jar"); // new: recorded, rides the next unit
+        s.believe(charlie, jar).unwrap();
+        s.revoke(charlie).unwrap();
+        let log = events.lock().unwrap().clone();
+        assert_eq!(
+            log,
+            vec![
+                "value jar".to_string(),
+                format!("edit {:?}", SignedEdit::Believe(charlie, jar)),
+                "commit 1".to_string(),
+                format!("edit {:?}", SignedEdit::Revoke(charlie)),
+                "commit 2".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn batches_commit_as_one_unit_and_empty_batches_not_at_all() {
+        let (mut s, events) = tape_session();
+        let charlie = s.user("Charlie");
+        let bob = s.user("Bob");
+        let jar = s.value("jar");
+        events.lock().unwrap().clear();
+
+        s.begin_batch().unwrap();
+        s.believe(charlie, jar).unwrap();
+        s.reject(bob, NegSet::of([jar])).unwrap();
+        s.commit().unwrap();
+        let log = events.lock().unwrap().clone();
+        assert_eq!(log.iter().filter(|e| e.starts_with("commit")).count(), 1);
+        assert!(log.last().unwrap().starts_with("commit"));
+
+        // An empty batch writes no frame at all (satellite fix: commit on
+        // an empty batch is a no-op end to end).
+        events.lock().unwrap().clear();
+        s.begin_batch().unwrap();
+        let report = s.commit().unwrap();
+        assert_eq!(report.edits, 0);
+        assert!(events.lock().unwrap().is_empty(), "no empty commit frames");
+    }
+
+    #[test]
+    fn closure_edits_record_a_rewrite() {
+        let (mut s, events) = tape_session();
+        let bob = s.user("Bob");
+        let jar = s.value("jar");
+        s.apply(|net| net.believe(bob, jar)).unwrap();
+        let log = events.lock().unwrap().clone();
+        assert!(log.iter().any(|e| e.starts_with("rewrite ")));
+        assert!(log.last().unwrap().starts_with("commit"));
+    }
+
+    #[test]
+    fn closure_inside_a_batch_does_not_seal_the_unit_early() {
+        // Regression: a closure edit mid-batch used to commit a durable
+        // unit immediately, breaking the batch's all-or-nothing contract
+        // (a crash before commit() would recover half the batch).
+        let (mut s, events) = tape_session();
+        let bob = s.user("Bob");
+        let jar = s.value("jar");
+        events.lock().unwrap().clear();
+        s.begin_batch().unwrap();
+        s.believe(bob, jar).unwrap();
+        s.apply(|net| {
+            let dave = net.user("Dave");
+            net.believe(dave, jar)
+        })
+        .unwrap();
+        assert!(
+            !events
+                .lock()
+                .unwrap()
+                .iter()
+                .any(|e| e.starts_with("commit")),
+            "nothing seals before Session::commit"
+        );
+        s.commit().unwrap();
+        let log = events.lock().unwrap().clone();
+        assert_eq!(log.iter().filter(|e| e.starts_with("commit")).count(), 1);
+        assert!(log.iter().any(|e| e.starts_with("rewrite ")));
+    }
+
+    #[test]
+    fn clones_do_not_share_the_sink() {
+        let (mut s, events) = tape_session();
+        let charlie = s.user("Charlie");
+        let jar = s.value("jar");
+        events.lock().unwrap().clear();
+        let mut copy = s.clone();
+        copy.believe(charlie, jar).unwrap();
+        assert!(
+            events.lock().unwrap().is_empty(),
+            "the clone must not write through the original's WAL"
+        );
+    }
+}

@@ -24,6 +24,9 @@ pub enum Error {
         /// Estimated log2 of the number of candidate assignments.
         log2_candidates: u32,
     },
+    /// A durability sink failed to persist or recover session state (the
+    /// message carries the underlying I/O or corruption detail).
+    Io(String),
 }
 
 impl fmt::Display for Error {
@@ -46,6 +49,7 @@ impl fmt::Display for Error {
                 f,
                 "exhaustive enumeration would explore ~2^{log2_candidates} assignments"
             ),
+            Error::Io(message) => write!(f, "durability: {message}"),
         }
     }
 }

@@ -12,10 +12,15 @@
 //! ```
 //!
 //! Users and values are created on first mention. `parse_network` and
-//! [`render_network`] round-trip.
+//! [`render_network`] round-trip *id-exactly*: the renderer declares every
+//! user and value in interning order before any edge or belief, so the
+//! re-parsed network assigns identical [`crate::User`] / [`crate::Value`]
+//! ids — the property the `trustmap-store` snapshot text flavor relies on
+//! (WAL records reference users and values by id).
 
+use crate::network::TrustNetwork;
+use crate::signed::{ExplicitBelief, NegSet};
 use std::fmt;
-use trustmap_core::{ExplicitBelief, NegSet, TrustNetwork};
 
 /// A format error with line information.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -129,10 +134,24 @@ pub fn parse_network(text: &str) -> Result<TrustNetwork, FormatError> {
 }
 
 /// Renders a network back into the text format.
+///
+/// Users and values are declared first, in interning order, so parsing the
+/// output reproduces the exact id assignment of `net` (not just an
+/// isomorphic network).
+///
+/// The text format is **not total**: names containing whitespace, `#`, or
+/// `,` do not survive tokenization, and co-finite constraint sets render
+/// as the finite list of currently-interned rejected values (losing the
+/// "and every future value" semantics). Durable storage therefore uses
+/// the binary network codec of `trustmap-store` and only writes this
+/// rendering as a debug artifact when it is faithful.
 pub fn render_network(net: &TrustNetwork) -> String {
     let mut out = String::new();
     for u in net.users() {
         out.push_str(&format!("user {}\n", net.user_name(u)));
+    }
+    for v in net.domain().values() {
+        out.push_str(&format!("value {}\n", net.domain().name(v)));
     }
     for m in net.mappings() {
         out.push_str(&format!(
@@ -175,7 +194,7 @@ pub fn render_network(net: &TrustNetwork) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trustmap_core::resolution::resolve_network;
+    use crate::resolution::resolve_network;
 
     const FIXTURE: &str = "
         # Figure 2
@@ -207,7 +226,7 @@ mod tests {
         let r2 = resolve_network(&net2).unwrap();
         for u in net.users() {
             let u2 = net2.find_user(net.user_name(u)).unwrap();
-            let names = |vals: &[trustmap_core::Value], net: &TrustNetwork| {
+            let names = |vals: &[crate::value::Value], net: &TrustNetwork| {
                 vals.iter()
                     .map(|&v| net.domain().name(v).to_owned())
                     .collect::<Vec<_>>()
@@ -235,6 +254,27 @@ mod tests {
         assert!(rendered.contains("reject bob cow,horse"));
         let net2 = parse_network(&rendered).unwrap();
         assert!(net2.has_negative_beliefs());
+    }
+
+    #[test]
+    fn round_trips_are_id_exact() {
+        // Interleave creations so interning order differs from first
+        // mention in edges/beliefs; the rendered form must still assign
+        // identical ids on re-parse (the snapshot text flavor depends on
+        // this — WAL records address users and values by id).
+        let mut net = TrustNetwork::new();
+        let spare = net.value("spare"); // never referenced by a belief
+        let b = net.user("b");
+        let a = net.user("a");
+        let v = net.value("v");
+        net.trust(a, b, 3).unwrap();
+        net.believe(b, v).unwrap();
+        let net2 = parse_network(&render_network(&net)).unwrap();
+        assert_eq!(net2.find_user("a"), Some(a));
+        assert_eq!(net2.find_user("b"), Some(b));
+        assert_eq!(net2.domain().get("spare"), Some(spare));
+        assert_eq!(net2.domain().get("v"), Some(v));
+        assert_eq!(render_network(&net), render_network(&net2));
     }
 
     #[test]

@@ -40,6 +40,13 @@
 //!   take the delta path, explicit batches (`begin_batch`/`commit`)
 //!   drain as one dirty region with a single change report, arbitrary
 //!   closures fall back to full recomputation;
+//! * [`durability`] — the write-ahead-logging hook [`session`] drives:
+//!   an attached [`Durability`] sink sees every typed edit and commit
+//!   boundary, so a persistence layer (the `trustmap-store` crate) can
+//!   recover a byte-identical session after a crash;
+//! * [`mod@format`] — the line-oriented text format for networks (id-exact
+//!   round trips), shared by the CLI, fixtures, and the snapshot text
+//!   flavor;
 //! * [`signed`] / [`paradigm`] — constraints as negative beliefs and the
 //!   Agnostic / Eclectic / Skeptic paradigms (Section 3);
 //! * [`skeptic`] — Algorithm 2: PTIME resolution under Skeptic, as the
@@ -95,7 +102,9 @@ pub mod bulk;
 pub mod bulk_skeptic;
 pub(crate) mod compact;
 pub(crate) mod deltabtn;
+pub mod durability;
 pub mod error;
+pub mod format;
 pub mod gates;
 pub mod incremental;
 pub mod lineage;
@@ -116,7 +125,9 @@ pub mod user;
 pub mod value;
 
 pub use binary::{binarize, Btn, Parents};
+pub use durability::Durability;
 pub use error::{Error, Result};
+pub use format::{parse_network, render_network, FormatError};
 pub use incremental::{DeltaStats, Edit, IncrementalResolver};
 pub use network::{Mapping, TrustNetwork};
 pub use paradigm::Paradigm;

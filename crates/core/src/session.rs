@@ -34,7 +34,18 @@
 //! revoked) rebuilds the engine once; within a regime every typed edit
 //! stays on the delta path with the same [`DeltaStats`] / `BatchReport`
 //! accounting.
+//!
+//! ### Durability
+//!
+//! A session can stream its edit history into an attached
+//! [`Durability`] sink ([`Session::set_durability`]): each non-batched
+//! typed edit commits as its own atomic unit, an explicit batch commits
+//! once in [`Session::commit`], and closure edits are captured as full
+//! network rewrites. The `trustmap-store` crate implements the sink as a
+//! CRC-framed write-ahead log with snapshots and recovers a byte-identical
+//! session after a crash.
 
+use crate::durability::Durability;
 use crate::error::{Error, Result};
 use crate::incremental::{DeltaStats, Edit, IncrementalResolver};
 use crate::lineage::Lineage;
@@ -102,7 +113,7 @@ impl LiveEngine {
 }
 
 /// An editable trust network with an incrementally maintained snapshot.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Session {
     net: TrustNetwork,
     engine: Option<LiveEngine>,
@@ -118,6 +129,28 @@ pub struct Session {
     /// Shared parallelism configuration applied to whichever engine is
     /// (or becomes) live.
     policy: ParallelPolicy,
+    /// Optional write-ahead sink; see [`crate::durability`]. Not cloned.
+    durability: Option<Box<dyn Durability>>,
+}
+
+impl Clone for Session {
+    /// Clones the in-memory state only: the durability sink stays with the
+    /// original (`None` in the copy), because two sessions interleaving
+    /// commits in one write-ahead log would corrupt the edit history.
+    fn clone(&self) -> Self {
+        Session {
+            net: self.net.clone(),
+            engine: self.engine.clone(),
+            snapshot: self.snapshot.clone(),
+            sk_snapshot: self.sk_snapshot.clone(),
+            pending: self.pending.clone(),
+            stats: self.stats,
+            batching: self.batching,
+            traced: self.traced,
+            policy: self.policy,
+            durability: None,
+        }
+    }
 }
 
 impl Session {
@@ -133,6 +166,60 @@ impl Session {
             batching: false,
             traced: false,
             policy: ParallelPolicy::default(),
+            durability: None,
+        }
+    }
+
+    /// Attaches a durability sink: from now on every typed edit, closure
+    /// rewrite, and commit boundary is streamed into `hook` (see
+    /// [`crate::durability`] for the exact protocol). The usual way to get
+    /// a durable session is `trustmap_store::Store::open`, which recovers
+    /// the session from disk and attaches the store in one step; attaching
+    /// mid-life starts logging *from the current state* — the sink is
+    /// responsible for having captured a baseline (a snapshot or rewrite
+    /// record) first.
+    pub fn set_durability(&mut self, hook: Box<dyn Durability>) {
+        self.durability = Some(hook);
+    }
+
+    /// Detaches and returns the durability sink, leaving the session
+    /// in-memory only.
+    pub fn take_durability(&mut self) -> Option<Box<dyn Durability>> {
+        self.durability.take()
+    }
+
+    /// Read access to the attached durability sink, if any.
+    pub fn durability(&self) -> Option<&dyn Durability> {
+        self.durability.as_deref()
+    }
+
+    /// Records one applied edit with the durability sink; outside a batch
+    /// the edit commits immediately as its own atomic unit (batches commit
+    /// once, in [`Session::commit`]).
+    ///
+    /// Callers apply the edit to the in-memory state *before* consulting
+    /// the result: a durability failure means "applied but not durable",
+    /// never a session whose engine silently diverges from its network.
+    fn log_edit(&mut self, edit: &SignedEdit) -> Result<()> {
+        if let Some(hook) = self.durability.as_mut() {
+            hook.record_edit(edit);
+            if !self.batching {
+                hook.commit()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the live engine lags the network's user or value tables
+    /// (users/values interned since the engine was built) and must grow
+    /// before serving reads.
+    fn engine_grown(&self) -> bool {
+        match self.engine.as_ref() {
+            Some(engine) => {
+                engine.user_count() < self.net.user_count()
+                    || engine.btn().domain().len() < self.net.domain().len()
+            }
+            None => false,
         }
     }
 
@@ -182,6 +269,12 @@ impl Session {
     /// just flushes whatever is pending (an empty report if nothing is).
     pub fn commit(&mut self) -> Result<BatchReport> {
         self.batching = false;
+        // WAL-first: everything the batch buffered with the durability
+        // sink becomes one durable unit before any engine work (an empty
+        // buffer writes no frame).
+        if let Some(hook) = self.durability.as_mut() {
+            hook.commit()?;
+        }
         if self.engine.is_none() {
             // Nothing existed before the batch: the first snapshot is a
             // full build and there is no "before" to diff against.
@@ -207,6 +300,12 @@ impl Session {
                 dirty_nodes: 0,
                 full_rebuild: true,
             });
+        }
+        // An empty batch is a no-op end to end: no engine planning pass,
+        // no change report bookkeeping — unless users or values were
+        // created mid-batch, which the engine must still grow to cover.
+        if edits.is_empty() && !self.engine_grown() {
+            return Ok(BatchReport::default());
         }
         let changes = self.drain(&edits)?;
         self.stats.batch_commits += 1;
@@ -272,13 +371,26 @@ impl Session {
     }
 
     /// Adds (or finds) a user. The engine grows lazily at the next
-    /// snapshot; no recomputation is triggered.
+    /// snapshot; no recomputation is triggered. A *new* user is recorded
+    /// with the durability sink (riding the next commit unit — WAL edit
+    /// records address users by id, so the name table must replay too).
     pub fn user(&mut self, name: &str) -> User {
+        if self.net.find_user(name).is_none() {
+            if let Some(hook) = self.durability.as_mut() {
+                hook.record_user(name);
+            }
+        }
         self.net.user(name)
     }
 
-    /// Interns a value.
+    /// Interns a value; a *new* value is recorded with the durability sink
+    /// like a new user.
     pub fn value(&mut self, name: &str) -> Value {
+        if self.net.domain().get(name).is_none() {
+            if let Some(hook) = self.durability.as_mut() {
+                hook.record_value(name);
+            }
+        }
         self.net.value(name)
     }
 
@@ -286,20 +398,22 @@ impl Session {
     /// next snapshot.
     pub fn trust(&mut self, child: User, parent: User, priority: i64) -> Result<()> {
         self.net.trust(child, parent, priority)?;
-        self.enqueue(SignedEdit::Trust {
+        let edit = SignedEdit::Trust {
             child,
             parent,
             priority,
-        });
-        Ok(())
+        };
+        self.enqueue(edit.clone());
+        self.log_edit(&edit)
     }
 
     /// Asserts (or updates) an explicit belief; a pure value flip at the
     /// user's persistent belief root when one exists.
     pub fn believe(&mut self, user: User, value: Value) -> Result<()> {
         self.net.believe(user, value)?;
-        self.enqueue(SignedEdit::Believe(user, value));
-        Ok(())
+        let edit = SignedEdit::Believe(user, value);
+        self.enqueue(edit.clone());
+        self.log_edit(&edit)
     }
 
     /// Asserts a constraint (a negative explicit belief). An ordinary
@@ -308,15 +422,17 @@ impl Session {
     /// edits re-solve only the dirty region downstream of `user`.
     pub fn reject(&mut self, user: User, neg: NegSet) -> Result<()> {
         self.net.reject(user, neg.clone())?;
-        self.enqueue(SignedEdit::Reject(user, neg));
-        Ok(())
+        let edit = SignedEdit::Reject(user, neg);
+        self.enqueue(edit.clone());
+        self.log_edit(&edit)
     }
 
     /// Revokes an explicit belief (Example 1.2); incremental.
     pub fn revoke(&mut self, user: User) -> Result<()> {
         self.net.revoke(user)?;
-        self.enqueue(SignedEdit::Revoke(user));
-        Ok(())
+        let edit = SignedEdit::Revoke(user);
+        self.enqueue(edit.clone());
+        self.log_edit(&edit)
     }
 
     /// The current basic-model snapshot. After typed edits only the dirty
@@ -417,20 +533,28 @@ impl Session {
             } => self.net.trust(*child, *parent, *priority)?,
             SignedEdit::Reject(u, neg) => self.net.reject(*u, neg.clone())?,
         }
+        // The edit is applied to the in-memory state regardless of the
+        // durability outcome; a failing sink reports "applied but not
+        // durable" *after* engines and snapshot are consistent again.
+        let durable = self.log_edit(&edit);
         if self.batching {
             // Deferred: the combined change report arrives at commit().
             self.enqueue(edit);
+            durable?;
             return Ok(Vec::new());
         }
         let crosses =
             self.net.has_constraints() != matches!(self.engine, Some(LiveEngine::Skeptic(_)));
-        if crosses {
+        let changes = if crosses {
             let before = self.cert_positive_vec();
             self.invalidate();
             self.refresh()?;
-            return Ok(self.diff_certs(&before));
-        }
-        self.drain(std::slice::from_ref(&edit))
+            self.diff_certs(&before)
+        } else {
+            self.drain(std::slice::from_ref(&edit))?
+        };
+        durable?;
+        Ok(changes)
     }
 
     /// Applies an arbitrary `edit` closure and reports every user whose
@@ -446,7 +570,28 @@ impl Session {
         // Invalidate before running the closure: if it errors after partial
         // mutation, the stale engine must not survive.
         self.invalidate();
-        edit(&mut self.net)?;
+        let outcome = edit(&mut self.net);
+        // The closure is opaque, so durability captures the whole post-edit
+        // network — even on error, since a failing closure may have
+        // partially mutated it and the log must stay faithful. Inside an
+        // open batch the rewrite only buffers (superseding the batch's
+        // earlier records at replay) and the unit seals at
+        // [`Session::commit`], keeping the batch atomic on disk.
+        let durable = match self.durability.as_mut() {
+            Some(hook) => {
+                hook.record_rewrite(&self.net);
+                if self.batching {
+                    Ok(0)
+                } else {
+                    hook.commit()
+                }
+            }
+            None => Ok(0),
+        };
+        // The closure's own error is the actionable one; a durability
+        // failure surfaces only when the edit itself succeeded.
+        outcome?;
+        durable?;
         self.refresh()?;
         Ok(self.diff_certs(&before))
     }
@@ -553,12 +698,11 @@ impl Session {
                 }
                 self.stats.full_rebuilds += 1;
             }
-            Some(engine) => {
+            Some(_) => {
                 // Users or values created through `user()`/`value()` arrive
                 // without a pending edit; an empty drain grows the engine
                 // and the snapshot to cover them.
-                let grown = engine.user_count() < self.net.user_count()
-                    || engine.btn().domain().len() < self.net.domain().len();
+                let grown = self.engine_grown();
                 if self.batching {
                     if grown {
                         self.drain(&[])?;
@@ -881,6 +1025,30 @@ mod tests {
         let report = s.commit().unwrap();
         assert!(!report.full_rebuild);
         assert_eq!(report.edits, 0);
+    }
+
+    #[test]
+    fn empty_batch_commit_is_a_noop() {
+        let (mut s, [_, _, charlie], jar, _) = session();
+        s.believe(charlie, jar).unwrap();
+        s.snapshot().unwrap();
+        let before = s.stats();
+        s.begin_batch().unwrap();
+        let report = s.commit().unwrap();
+        assert!(!report.full_rebuild);
+        assert_eq!(report.edits, 0);
+        assert!(report.changes.is_empty());
+        assert_eq!(report.dirty_nodes, 0);
+        // Regression: the empty commit must skip the engines' planning
+        // path entirely — no batch accounting, no stale dirty-region
+        // carry-over.
+        assert_eq!(s.stats().batch_commits, before.batch_commits);
+        assert_eq!(s.stats().dirty_nodes, before.dirty_nodes);
+        // But a batch that only created users still grows the engine.
+        s.begin_batch().unwrap();
+        let dave = s.user("Dave");
+        s.commit().unwrap();
+        assert_eq!(s.snapshot().unwrap().cert(dave), None);
     }
 
     #[test]

@@ -1,0 +1,596 @@
+#![warn(missing_docs)]
+
+//! # trustmap-store
+//!
+//! Durable sessions for trustmap: an append-only **write-ahead log** of
+//! typed edits, **snapshots**, and **crash recovery** back to a
+//! byte-identical [`Session`].
+//!
+//! The paper's setting is a massively collaborative database whose trust
+//! mappings and beliefs evolve continuously (Section 2.5 treats updates as
+//! first-class); a serving deployment therefore needs the session to
+//! survive restarts and crashes. This crate supplies the persistence layer
+//! the in-memory engines were designed to sit on:
+//!
+//! * [`record`] — length-prefixed binary records with per-record CRC32
+//!   and a monotonic LSN; batches are framed by commit records, so a torn
+//!   tail rolls back to the last committed batch;
+//! * [`wal`] — the scanner grouping records back into committed units;
+//! * [`snapshot`] — a full network image (binary + debuggable text
+//!   flavors) carrying the LSN watermark and the WAL byte offset recovery
+//!   resumes from, so recovery cost is O(snapshot + tail), never
+//!   O(history);
+//! * [`Store`] — the directory handle tying it together. It implements
+//!   [`Durability`], so attaching it to a [`Session`] streams every typed
+//!   edit into the log (fsync-batched per commit unit), and
+//!   [`Store::open`] recovers: load the latest snapshot, replay the WAL
+//!   tail *through the incremental engines*, truncate any torn tail.
+//!
+//! ## Layout of a store directory
+//!
+//! ```text
+//! dir/
+//! ├── wal.log                      append-only record log
+//! ├── snapshot-<lsn>.bin           compact binary snapshot
+//! └── snapshot-<lsn>.tn            its debuggable text twin
+//! ```
+//!
+//! ## Quickstart
+//!
+//! ```
+//! # let dir = std::env::temp_dir().join(format!("tmstore-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! use trustmap_store::Store;
+//!
+//! // A fresh directory recovers to an empty session, already durable.
+//! let mut recovered = Store::open(&dir)?;
+//! let alice = recovered.session.user("alice");
+//! let bob = recovered.session.user("bob");
+//! let v = recovered.session.value("vase");
+//! recovered.session.trust(alice, bob, 10)?;
+//! recovered.session.believe(bob, v)?;      // each edit = one durable unit
+//! drop(recovered);
+//!
+//! // A crash later, the session comes back byte-identical.
+//! let mut back = Store::open(&dir)?;
+//! let alice = back.session.user("alice");
+//! assert_eq!(back.session.snapshot()?.cert(alice), Some(v));
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! # Ok::<(), trustmap_core::Error>(())
+//! ```
+
+pub mod record;
+pub mod snapshot;
+pub mod wal;
+
+use record::{encode_into, Payload, Record};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use trustmap_core::{Durability, Error, Result, Session, SignedEdit, TrustNetwork};
+
+/// File name of the write-ahead log inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+fn io_err(context: &str, e: std::io::Error) -> Error {
+    Error::Io(format!("{context}: {e}"))
+}
+
+/// Makes directory-entry changes under `dir` (file creation, rename)
+/// durable — standard WAL practice after creating the log or renaming a
+/// snapshot into place.
+pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err(&format!("fsync directory {}", dir.display()), e))
+}
+
+#[derive(Debug)]
+struct Inner {
+    dir: PathBuf,
+    wal: File,
+    /// Current committed end of the log (everything before is framed).
+    wal_len: u64,
+    /// LSN the next record will take.
+    next_lsn: u64,
+    /// LSN of the last commit frame made durable.
+    last_committed: u64,
+    /// Encoded records of the unit in flight (buffered, not yet written).
+    buf: Vec<u8>,
+    /// Operation records in `buf`.
+    buf_records: u32,
+    /// A buffered record was rejected (e.g. oversized); the unit's commit
+    /// must fail instead of acknowledging a unit the scanner would drop.
+    unit_error: Option<String>,
+    /// The log can no longer represent the session's history — a unit was
+    /// lost (failed append, rejected record) or the file state is unknown
+    /// (rollback failed too). The in-memory session is ahead of the log,
+    /// so acknowledging any further commit would produce a WAL whose
+    /// records reference state it never captured (an unrecoverable
+    /// store); every further commit is refused until a fresh
+    /// [`Store::open`] re-anchors on what actually reached disk.
+    poisoned: Option<String>,
+}
+
+/// A durable store directory: WAL + snapshots.
+///
+/// `Store` is a cheap clonable handle (the clones share one file and LSN
+/// counter); the copy attached to a [`Session`] as its [`Durability`] sink
+/// and the copy the application keeps for [`Store::snapshot_now`] /
+/// [`Store::last_committed_lsn`] stay consistent.
+#[derive(Debug, Clone)]
+pub struct Store {
+    inner: Arc<Mutex<Inner>>,
+}
+
+/// What [`Store::open`] recovered.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The recovered session, with the store already attached as its
+    /// durability sink — edits are durable from the first call.
+    pub session: Session,
+    /// The store handle (shared with the session's sink).
+    pub store: Store,
+    /// How recovery went.
+    pub stats: RecoveryStats,
+}
+
+/// Accounting of one recovery ([`Store::open`]).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryStats {
+    /// LSN of the snapshot recovery started from (0 = genesis).
+    pub snapshot_lsn: u64,
+    /// The commit point recovery landed on.
+    pub last_lsn: u64,
+    /// Committed WAL units replayed on top of the snapshot.
+    pub replayed_units: usize,
+    /// Typed edits among the replayed records.
+    pub replayed_edits: usize,
+    /// Bytes dropped past the last commit frame (torn tail + unsealed
+    /// batch), 0 on a clean shutdown.
+    pub dropped_bytes: u64,
+    /// Microseconds spent locating and decoding the snapshot.
+    pub snapshot_load_us: f64,
+    /// Microseconds spent replaying the WAL tail through the session.
+    pub replay_us: f64,
+    /// Damaged files skipped (older snapshots take over) and other
+    /// non-fatal findings.
+    pub warnings: Vec<String>,
+}
+
+impl Store {
+    /// Opens (creating if necessary) the store at `dir` and recovers its
+    /// session: load the newest loadable snapshot, replay the committed
+    /// WAL tail through the incremental engines, truncate anything past
+    /// the last commit frame. Never serves a half batch: a torn or
+    /// bit-flipped tail lands the session exactly on the last committed
+    /// LSN.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Recovered> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| io_err(&format!("create {}", dir.display()), e))?;
+
+        let t0 = Instant::now();
+        let (snap, mut warnings) = snapshot::load_latest(dir);
+        let (net, snapshot_lsn, wal_offset) = match snap {
+            Some(s) => (s.net, s.lsn, s.wal_offset),
+            None => (TrustNetwork::new(), 0, 0),
+        };
+        let snapshot_load_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        let wal_path = dir.join(WAL_FILE);
+        let scan = wal::scan_file(&wal_path, wal_offset)
+            .map_err(|e| io_err(&format!("scan {}", wal_path.display()), e))?;
+        if let Some(reason) = scan.stop {
+            warnings.push(format!(
+                "wal: {reason}; rolled back to committed lsn {}",
+                scan.last_lsn.max(snapshot_lsn)
+            ));
+        }
+
+        let t1 = Instant::now();
+        let mut session = Session::new(net);
+        let mut replayed_units = 0;
+        let mut replayed_edits = 0;
+        for unit in &scan.units {
+            if unit.lsn <= snapshot_lsn {
+                continue; // already folded into the snapshot
+            }
+            replayed_edits += replay_unit(&mut session, unit)?;
+            replayed_units += 1;
+        }
+        let replay_us = t1.elapsed().as_secs_f64() * 1e6;
+
+        // Take ownership of the log for appending; drop everything past
+        // the last commit frame so the next append starts on a clean
+        // boundary.
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)
+            .map_err(|e| io_err(&format!("open {}", wal_path.display()), e))?;
+        // The wal.log *entry* must be durable before any commit is
+        // acknowledged, or a power loss could drop the whole file on a
+        // journaled FS even though its contents were fsynced.
+        sync_dir(dir)?;
+        let dropped_bytes = scan.tail_bytes();
+        if dropped_bytes > 0 {
+            wal.set_len(scan.end_offset)
+                .map_err(|e| io_err("truncate torn tail", e))?;
+            wal.sync_data().map_err(|e| io_err("sync truncation", e))?;
+        }
+
+        let last_lsn = scan.last_lsn.max(snapshot_lsn);
+        let store = Store {
+            inner: Arc::new(Mutex::new(Inner {
+                dir: dir.to_path_buf(),
+                wal,
+                wal_len: scan.end_offset,
+                next_lsn: last_lsn + 1,
+                last_committed: last_lsn,
+                buf: Vec::new(),
+                buf_records: 0,
+                unit_error: None,
+                poisoned: None,
+            })),
+        };
+        // The log physically ends before the snapshot's watermark only if
+        // someone truncated it out from under us; re-anchor with a fresh
+        // snapshot so future appends stay recoverable.
+        if scan.end_offset < wal_offset {
+            warnings.push(format!(
+                "wal shorter than snapshot watermark ({} < {wal_offset}); re-anchored",
+                scan.end_offset
+            ));
+            snapshot::write(dir, session.network(), last_lsn, scan.end_offset)?;
+        }
+        session.set_durability(Box::new(store.clone()));
+        Ok(Recovered {
+            session,
+            store,
+            stats: RecoveryStats {
+                snapshot_lsn,
+                last_lsn,
+                replayed_units,
+                replayed_edits,
+                dropped_bytes,
+                snapshot_load_us,
+                replay_us,
+                warnings,
+            },
+        })
+    }
+
+    /// Writes a snapshot of `session`'s current (fully committed) state at
+    /// the store's last committed LSN, bounding future recoveries to
+    /// O(snapshot + tail-since-now). Returns the snapshot LSN.
+    ///
+    /// Must be called between commit units — inside an open batch the
+    /// network is ahead of the log and the call errors.
+    pub fn snapshot_now(&self, session: &Session) -> Result<u64> {
+        if session.in_batch() {
+            return Err(Error::Io(
+                "cannot snapshot inside an open batch (network is ahead of the log)".into(),
+            ));
+        }
+        let g = self.inner.lock().expect("store mutex");
+        snapshot::write(&g.dir, session.network(), g.last_committed, g.wal_len)?;
+        Ok(g.last_committed)
+    }
+
+    /// The LSN of the last durable commit frame (0 before any commit).
+    pub fn last_committed_lsn(&self) -> u64 {
+        self.inner.lock().expect("store mutex").last_committed
+    }
+
+    /// Bytes of committed log (the recovery replay upper bound before the
+    /// next snapshot).
+    pub fn wal_len(&self) -> u64 {
+        self.inner.lock().expect("store mutex").wal_len
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> PathBuf {
+        self.inner.lock().expect("store mutex").dir.clone()
+    }
+
+    fn buffer(&self, payload: &Payload) {
+        let mut g = self.inner.lock().expect("store mutex");
+        if g.poisoned.is_some() {
+            // Nothing buffered here can ever reach disk; accumulating it
+            // (rewrite records are whole network images) would only grow
+            // memory without bound on a long-running session.
+            return;
+        }
+        let lsn = g.next_lsn;
+        g.next_lsn += 1;
+        let mut buf = std::mem::take(&mut g.buf);
+        let before = buf.len();
+        encode_into(&mut buf, lsn, payload);
+        // A record the scanner would reject as oversized must never be
+        // acknowledged: drop it from the unit now and fail the unit's
+        // commit instead (the file stays untouched either way).
+        if buf.len() - before > record::MAX_RECORD + record::FRAME_HEADER {
+            buf.truncate(before);
+            g.unit_error = Some(format!(
+                "record at lsn {lsn} exceeds MAX_RECORD ({} bytes)",
+                record::MAX_RECORD
+            ));
+        } else {
+            g.buf_records += 1;
+        }
+        g.buf = buf;
+    }
+}
+
+impl Durability for Store {
+    fn record_user(&mut self, name: &str) {
+        self.buffer(&Payload::NewUser(name.to_owned()));
+    }
+
+    fn record_value(&mut self, name: &str) {
+        self.buffer(&Payload::NewValue(name.to_owned()));
+    }
+
+    fn record_edit(&mut self, edit: &SignedEdit) {
+        self.buffer(&Payload::Edit(edit.clone()));
+    }
+
+    fn record_rewrite(&mut self, net: &TrustNetwork) {
+        // Binary network image: total over every legal network (arbitrary
+        // names, co-finite constraints), unlike the text format.
+        let mut image = Vec::with_capacity(64 + 32 * net.user_count());
+        snapshot::encode_net_into(&mut image, net);
+        self.buffer(&Payload::Rewrite(image));
+    }
+
+    fn commit(&mut self) -> Result<u64> {
+        let mut g = self.inner.lock().expect("store mutex");
+        if let Some(why) = g.poisoned.clone() {
+            g.buf.clear();
+            g.buf_records = 0;
+            return Err(Error::Io(format!("store is poisoned: {why}")));
+        }
+        if let Some(why) = g.unit_error.take() {
+            // The unit is lost but its effects live on in the session, so
+            // later units would build on unlogged state: poison.
+            g.buf.clear();
+            g.buf_records = 0;
+            g.poisoned = Some(why.clone());
+            return Err(Error::Io(why));
+        }
+        if g.buf_records == 0 {
+            return Ok(g.last_committed); // no empty commit frames
+        }
+        let lsn = g.next_lsn;
+        g.next_lsn += 1;
+        let records = g.buf_records;
+        let mut buf = std::mem::take(&mut g.buf);
+        g.buf_records = 0;
+        encode_into(&mut buf, lsn, &Payload::Commit { records });
+        // One append + one fsync per unit, torn tails roll back whole:
+        // either the commit frame lands (unit durable) or it does not
+        // (unit rolls back at recovery).
+        let outcome = g
+            .wal
+            .write_all(&buf)
+            .and_then(|()| g.wal.sync_data())
+            .map_err(|e| io_err("append to wal", e));
+        match outcome {
+            Ok(()) => {
+                g.wal_len += buf.len() as u64;
+                g.last_committed = lsn;
+                Ok(lsn)
+            }
+            Err(e) => {
+                // A partial append may have left garbage at the physical
+                // EOF; roll the file back to the last committed boundary
+                // so nothing can ever land after it. Either way the unit
+                // is lost while its effects live on in the session, so
+                // the store poisons: a later acknowledged commit would
+                // reference state the log never captured and make the
+                // store unrecoverable.
+                let rolled = g.wal.set_len(g.wal_len).and_then(|()| g.wal.sync_data());
+                g.poisoned = Some(match rolled {
+                    Ok(()) => format!("append failed ({e}); the session is ahead of the log"),
+                    Err(trunc) => format!(
+                        "append failed ({e}) and rollback to byte {} failed ({trunc})",
+                        g.wal_len
+                    ),
+                });
+                Err(e)
+            }
+        }
+    }
+
+    fn last_committed_lsn(&self) -> u64 {
+        Store::last_committed_lsn(self)
+    }
+}
+
+/// Replays one committed unit into `session` through the typed (delta)
+/// session APIs, so the incremental engines do region-sized work per unit
+/// instead of full re-resolutions. Returns the number of typed edits
+/// applied.
+///
+/// Engine-level errors (e.g. a trust edit that introduced tied priorities
+/// under the skeptic pipeline) are *not* failures here: the original
+/// session kept the edit in its network and surfaced the error on read,
+/// and replay reproduces exactly that state. Network-level failures, on
+/// the other hand, mean the log is inconsistent and abort recovery.
+fn replay_unit(session: &mut Session, unit: &wal::Unit) -> Result<usize> {
+    let (rewrite, ops) = split_rewrite(unit)?;
+    if let Some(net) = rewrite {
+        *session = Session::new(net);
+    }
+    if ops.is_empty() {
+        return Ok(0);
+    }
+    // Engine errors leave the session consistent at the network level;
+    // reads surface them again exactly like the original session did.
+    let _ = session.begin_batch();
+    let mut edits = 0;
+    for op in ops {
+        let applied: Result<()> = match &op.payload {
+            Payload::NewUser(name) => {
+                session.user(name);
+                Ok(())
+            }
+            Payload::NewValue(name) => {
+                session.value(name);
+                Ok(())
+            }
+            Payload::Edit(edit) => {
+                edits += 1;
+                match edit {
+                    SignedEdit::Believe(u, v) => session.believe(*u, *v),
+                    SignedEdit::Revoke(u) => session.revoke(*u),
+                    SignedEdit::Trust {
+                        child,
+                        parent,
+                        priority,
+                    } => session.trust(*child, *parent, *priority),
+                    SignedEdit::Reject(u, neg) => session.reject(*u, neg.clone()),
+                }
+            }
+            // Rewrites were split off above; commit frames never appear
+            // inside a unit's ops.
+            Payload::Rewrite(_) | Payload::Commit { .. } => Ok(()),
+        };
+        applied.map_err(|e| Error::Io(format!("lsn {}: replay failed: {e}", op.lsn)))?;
+    }
+    let _ = session.commit();
+    Ok(edits)
+}
+
+/// Decodes a rewrite record's binary network image (must consume it
+/// exactly).
+fn decode_rewrite(image: &[u8]) -> Option<TrustNetwork> {
+    let mut r = record::Reader::new(image);
+    let net = snapshot::decode_net(&mut r)?;
+    r.done().then_some(net)
+}
+
+/// Splits a unit at its last rewrite record — which supersedes everything
+/// before it — returning the decoded superseding network (if any) and the
+/// records that follow. The single definition of the rule, shared by
+/// session replay and [`cold_replay`].
+fn split_rewrite(unit: &wal::Unit) -> Result<(Option<TrustNetwork>, &[Record])> {
+    match unit
+        .ops
+        .iter()
+        .rposition(|r| matches!(r.payload, Payload::Rewrite(_)))
+    {
+        Some(i) => {
+            let Payload::Rewrite(image) = &unit.ops[i].payload else {
+                unreachable!("rposition matched a rewrite");
+            };
+            let net = decode_rewrite(image).ok_or_else(|| {
+                Error::Io(format!("lsn {}: corrupt rewrite image", unit.ops[i].lsn))
+            })?;
+            Ok((Some(net), &unit.ops[i + 1..]))
+        }
+        None => Ok((None, &unit.ops[..])),
+    }
+}
+
+/// Convenience for tooling: scans the whole WAL of `dir` from offset 0
+/// (ignoring snapshots), returning every committed unit plus tail status.
+pub fn scan_store_wal(dir: impl AsRef<Path>) -> Result<wal::WalScan> {
+    let path = dir.as_ref().join(WAL_FILE);
+    wal::scan_file(&path, 0).map_err(|e| io_err(&format!("scan {}", path.display()), e))
+}
+
+/// Rebuilds the network cold — replaying the *entire* WAL from genesis
+/// into a bare [`TrustNetwork`] (no snapshot, no incremental engines).
+/// This is the "re-run from history" baseline `recovery_bench` compares
+/// recovery against, and a handy integrity check for tooling.
+pub fn cold_replay(dir: impl AsRef<Path>) -> Result<(TrustNetwork, u64)> {
+    let scan = scan_store_wal(&dir)?;
+    let mut net = TrustNetwork::new();
+    for unit in &scan.units {
+        let (rewrite, ops) = split_rewrite(unit)?;
+        if let Some(image) = rewrite {
+            net = image;
+        }
+        for op in ops {
+            apply_to_net(&mut net, op)
+                .map_err(|e| Error::Io(format!("lsn {}: cold replay failed: {e}", op.lsn)))?;
+        }
+    }
+    Ok((net, scan.last_lsn))
+}
+
+fn apply_to_net(net: &mut TrustNetwork, op: &Record) -> Result<()> {
+    match &op.payload {
+        Payload::NewUser(name) => {
+            net.user(name);
+            Ok(())
+        }
+        Payload::NewValue(name) => {
+            net.value(name);
+            Ok(())
+        }
+        Payload::Edit(SignedEdit::Believe(u, v)) => net.believe(*u, *v),
+        Payload::Edit(SignedEdit::Revoke(u)) => net.revoke(*u),
+        Payload::Edit(SignedEdit::Trust {
+            child,
+            parent,
+            priority,
+        }) => net.trust(*child, *parent, *priority),
+        Payload::Edit(SignedEdit::Reject(u, neg)) => net.reject(*u, neg.clone()),
+        Payload::Rewrite(_) | Payload::Commit { .. } => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("trustmap-store-lib-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A unit that can never reach the log (oversized record) must fail
+    /// its commit AND poison the store: the session is ahead of the log,
+    /// so acknowledging any later commit would leave an unrecoverable
+    /// WAL. A fresh open re-anchors on what actually reached disk.
+    #[test]
+    fn lost_units_poison_the_store_until_reopen() {
+        let dir = fresh_dir("poison");
+        let mut r = Store::open(&dir).expect("open empty");
+        let alice = r.session.user("alice");
+        let v = r.session.value("v");
+        r.session.believe(alice, v).expect("durable edit");
+        let committed = r.store.last_committed_lsn();
+
+        // An interned name so large its record exceeds MAX_RECORD.
+        let huge = "x".repeat(record::MAX_RECORD + 1);
+        r.session.user(&huge);
+        let err = r.session.believe(alice, v);
+        assert!(
+            matches!(err, Err(Error::Io(ref m)) if m.contains("MAX_RECORD")),
+            "oversized unit must fail its commit, got {err:?}"
+        );
+        // Every further commit is refused — no acknowledgement can build
+        // on the lost unit.
+        let err = r.session.believe(alice, v);
+        assert!(
+            matches!(err, Err(Error::Io(ref m)) if m.contains("poisoned")),
+            "store must stay poisoned, got {err:?}"
+        );
+        assert_eq!(r.store.last_committed_lsn(), committed);
+        drop(r);
+
+        // Reopen: the log is clean up to the last acknowledged commit.
+        let back = Store::open(&dir).expect("recovers");
+        assert_eq!(back.stats.last_lsn, committed);
+        assert!(back.session.network().find_user(&huge).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

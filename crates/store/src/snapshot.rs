@@ -1,0 +1,383 @@
+//! Snapshots: a full network image plus the LSN watermark and WAL offset
+//! recovery resumes from.
+//!
+//! Every snapshot is written in two flavors side by side:
+//!
+//! * `snapshot-<lsn>.bin` — the compact binary form (magic, watermark,
+//!   interning tables, mappings, beliefs, trailing CRC32). This is what
+//!   recovery loads: a linear decode with no per-record framing overhead.
+//! * `snapshot-<lsn>.tn` — the debuggable text twin: two `#!` header
+//!   lines (watermark + WAL offset) followed by the id-exact
+//!   `trustmap_core::format` rendering. `trustmap log`-style tooling and
+//!   humans read this one; recovery falls back to it when the binary
+//!   flavor is damaged.
+//!
+//! Both flavors rebuild the *exact* id assignment (users and values in
+//! interning order), which WAL tail records rely on. A snapshot is only
+//! ever taken at a commit boundary, so `lsn` is always a committed LSN
+//! and `wal_offset` points just past that commit frame.
+
+use crate::record::{crc32, put_i64, put_negset, put_str, put_u32, put_u64, Reader};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use trustmap_core::signed::ExplicitBelief;
+use trustmap_core::{format, Error, Result, TrustNetwork, User};
+
+/// Magic bytes opening the binary flavor (the trailing byte is a format
+/// version).
+pub const MAGIC: &[u8; 8] = b"TMSNAP\x00\x01";
+
+/// First line of the text flavor.
+pub const TEXT_HEADER: &str = "#!trustmap-snapshot v1";
+
+/// A loaded snapshot.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The network image.
+    pub net: TrustNetwork,
+    /// The committed LSN the image reflects.
+    pub lsn: u64,
+    /// Byte offset into the WAL just past that commit frame — recovery
+    /// replays from here.
+    pub wal_offset: u64,
+}
+
+fn bin_path(dir: &Path, lsn: u64) -> PathBuf {
+    dir.join(format!("snapshot-{lsn:020}.bin"))
+}
+
+fn tn_path(dir: &Path, lsn: u64) -> PathBuf {
+    dir.join(format!("snapshot-{lsn:020}.tn"))
+}
+
+fn io_err(context: &str, e: std::io::Error) -> Error {
+    Error::Io(format!("{context}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Encodes the complete network (interning tables in id order, mappings
+/// in declaration order, beliefs with exact `NegSet`s, a sign-state check
+/// byte) — **total** over every legal network, unlike the text format.
+/// Also the payload of WAL rewrite records.
+pub(crate) fn encode_net_into(buf: &mut Vec<u8>, net: &TrustNetwork) {
+    buf.push(net.has_constraints() as u8); // the sign state, as a check byte
+    put_u32(buf, net.user_count() as u32);
+    for u in net.users() {
+        put_str(buf, net.user_name(u));
+    }
+    put_u32(buf, net.domain().len() as u32);
+    for v in net.domain().values() {
+        put_str(buf, net.domain().name(v));
+    }
+    put_u32(buf, net.mapping_count() as u32);
+    for m in net.mappings() {
+        put_u32(buf, m.child.0);
+        put_u32(buf, m.parent.0);
+        put_i64(buf, m.priority);
+    }
+    for u in net.users() {
+        match net.belief(u) {
+            ExplicitBelief::None => buf.push(0),
+            ExplicitBelief::Pos(v) => {
+                buf.push(1);
+                put_u32(buf, v.0);
+            }
+            ExplicitBelief::Negs(neg) => {
+                buf.push(2);
+                put_negset(buf, neg);
+            }
+        }
+    }
+}
+
+/// Decodes an [`encode_net_into`] image; `None` on any structural
+/// violation (including a sign-state check-byte mismatch).
+pub(crate) fn decode_net(r: &mut Reader<'_>) -> Option<TrustNetwork> {
+    let has_constraints = r.u8()? != 0;
+    let mut net = TrustNetwork::new();
+    let users = r.u32()? as usize;
+    for _ in 0..users {
+        net.user(&r.str()?);
+    }
+    let values = r.u32()? as usize;
+    for _ in 0..values {
+        net.value(&r.str()?);
+    }
+    let mappings = r.u32()? as usize;
+    for _ in 0..mappings {
+        let child = User(r.u32()?);
+        let parent = User(r.u32()?);
+        let priority = r.i64()?;
+        net.trust(child, parent, priority).ok()?;
+    }
+    for i in 0..users {
+        let u = User(i as u32);
+        match r.u8()? {
+            0 => {}
+            1 => net.believe(u, trustmap_core::Value(r.u32()?)).ok()?,
+            2 => net.reject(u, r.negset()?).ok()?,
+            _ => return None,
+        }
+    }
+    if net.has_constraints() != has_constraints {
+        return None;
+    }
+    Some(net)
+}
+
+fn encode(net: &TrustNetwork, lsn: u64, wal_offset: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + 32 * net.user_count());
+    buf.extend_from_slice(MAGIC);
+    put_u64(&mut buf, lsn);
+    put_u64(&mut buf, wal_offset);
+    encode_net_into(&mut buf, net);
+    let crc = crc32(&buf[MAGIC.len()..]);
+    put_u32(&mut buf, crc);
+    buf
+}
+
+fn decode(bytes: &[u8]) -> Option<Snapshot> {
+    let body = bytes.strip_prefix(MAGIC.as_slice())?;
+    if body.len() < 4 {
+        return None;
+    }
+    let (body, crc_bytes) = body.split_at(body.len() - 4);
+    let crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != crc {
+        return None;
+    }
+    let mut r = Reader::new(body);
+    let lsn = r.u64()?;
+    let wal_offset = r.u64()?;
+    let net = decode_net(&mut r)?;
+    if !r.done() {
+        return None;
+    }
+    Some(Snapshot {
+        net,
+        lsn,
+        wal_offset,
+    })
+}
+
+/// Whether the text format represents `net` losslessly: every name must
+/// survive whitespace tokenization, and constraints must be finite (the
+/// text `reject` line enumerates values, so co-finite sets cannot round
+/// trip). The binary flavor is always total; the text twin is only
+/// written when it would be faithful.
+pub(crate) fn text_faithful(net: &TrustNetwork) -> bool {
+    let ok_name = |s: &str| {
+        !s.is_empty() && !s.contains(char::is_whitespace) && !s.contains('#') && !s.contains(',')
+    };
+    net.users().all(|u| ok_name(net.user_name(u)))
+        && net.domain().values().all(|v| ok_name(net.domain().name(v)))
+        && net
+            .users()
+            .all(|u| !matches!(net.belief(u), ExplicitBelief::Negs(neg) if matches!(neg, trustmap_core::NegSet::CoFinite(_))))
+}
+
+fn encode_text(net: &TrustNetwork, lsn: u64, wal_offset: u64) -> String {
+    format!(
+        "{TEXT_HEADER}\n#!lsn {lsn}\n#!wal-offset {wal_offset}\n{}",
+        format::render_network(net)
+    )
+}
+
+fn decode_text(text: &str) -> Option<Snapshot> {
+    let mut lines = text.lines();
+    if lines.next()? != TEXT_HEADER {
+        return None;
+    }
+    let lsn = lines.next()?.strip_prefix("#!lsn ")?.parse().ok()?;
+    let wal_offset = lines.next()?.strip_prefix("#!wal-offset ")?.parse().ok()?;
+    let body_start = text.match_indices('\n').nth(2)?.0 + 1;
+    let net = format::parse_network(&text[body_start..]).ok()?;
+    Some(Snapshot {
+        net,
+        lsn,
+        wal_offset,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// File I/O
+// ---------------------------------------------------------------------------
+
+/// Writes the snapshot for `net` at the committed `lsn` / `wal_offset`
+/// watermark; returns the binary path. The debuggable text twin is
+/// written alongside only when the text format represents the network
+/// losslessly (`text_faithful` — exotic names or co-finite constraints
+/// make it binary-only, never a semantically drifted fallback). Files are
+/// written to a temporary name and renamed into place, so a crash
+/// mid-write never leaves a half snapshot under a valid name.
+pub fn write(dir: &Path, net: &TrustNetwork, lsn: u64, wal_offset: u64) -> Result<PathBuf> {
+    let write_one = |path: &Path, bytes: &[u8]| -> Result<()> {
+        let tmp = path.with_extension("tmp");
+        let mut f =
+            fs::File::create(&tmp).map_err(|e| io_err(&format!("create {}", tmp.display()), e))?;
+        f.write_all(bytes)
+            .map_err(|e| io_err(&format!("write {}", tmp.display()), e))?;
+        f.sync_data()
+            .map_err(|e| io_err(&format!("sync {}", tmp.display()), e))?;
+        drop(f);
+        fs::rename(&tmp, path)
+            .map_err(|e| io_err(&format!("rename into {}", path.display()), e))?;
+        Ok(())
+    };
+    let bin = bin_path(dir, lsn);
+    write_one(&bin, &encode(net, lsn, wal_offset))?;
+    let tn = tn_path(dir, lsn);
+    if text_faithful(net) {
+        write_one(&tn, encode_text(net, lsn, wal_offset).as_bytes())?;
+    } else {
+        // Never leave a stale twin from an earlier faithful state at the
+        // same lsn behind as a plausible-looking fallback.
+        let _ = fs::remove_file(&tn);
+    }
+    // The renames must survive a power loss along with the file contents.
+    crate::sync_dir(dir)?;
+    Ok(bin)
+}
+
+/// All snapshot LSNs present in `dir` (either flavor), descending.
+pub fn list(dir: &Path) -> Vec<u64> {
+    let mut lsns: Vec<u64> = match fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name();
+                let name = name.to_str()?;
+                let rest = name.strip_prefix("snapshot-")?;
+                let lsn = rest.strip_suffix(".bin").or(rest.strip_suffix(".tn"))?;
+                lsn.parse().ok()
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    lsns.sort_unstable();
+    lsns.dedup();
+    lsns.reverse();
+    lsns
+}
+
+/// Loads the newest loadable snapshot in `dir`: binary flavor first, its
+/// text twin if the binary is damaged, then older snapshots. Returns the
+/// snapshot (if any survived) and a warning per damaged file skipped on
+/// the way — corruption degrades recovery to an older commit point, it
+/// never fails it.
+pub fn load_latest(dir: &Path) -> (Option<Snapshot>, Vec<String>) {
+    let mut warnings = Vec::new();
+    for lsn in list(dir) {
+        for (path, is_bin) in [(bin_path(dir, lsn), true), (tn_path(dir, lsn), false)] {
+            match fs::read(&path) {
+                Ok(bytes) => {
+                    let snap = if is_bin {
+                        decode(&bytes)
+                    } else {
+                        String::from_utf8(bytes)
+                            .ok()
+                            .as_deref()
+                            .and_then(decode_text)
+                    };
+                    match snap {
+                        Some(s) => return (Some(s), warnings),
+                        None => {
+                            warnings.push(format!("{}: corrupt snapshot, skipped", path.display()))
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => warnings.push(format!("{}: {e}", path.display())),
+            }
+        }
+    }
+    (None, warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustmap_core::network::indus_network;
+    use trustmap_core::NegSet;
+
+    fn sample() -> TrustNetwork {
+        let (mut net, [_, bob, charlie]) = indus_network();
+        let jar = net.value("jar");
+        let spare = net.value("spare"); // unreferenced: interning must survive
+        let _ = spare;
+        net.believe(charlie, jar).unwrap();
+        net.reject(bob, NegSet::of([jar])).unwrap();
+        net
+    }
+
+    #[test]
+    fn binary_flavor_round_trips_id_exactly() {
+        let net = sample();
+        let bytes = encode(&net, 17, 4242);
+        let snap = decode(&bytes).expect("decodes");
+        assert_eq!(snap.lsn, 17);
+        assert_eq!(snap.wal_offset, 4242);
+        assert_eq!(
+            format::render_network(&snap.net),
+            format::render_network(&net)
+        );
+        assert_eq!(snap.net.domain().get("spare"), net.domain().get("spare"));
+    }
+
+    #[test]
+    fn text_flavor_round_trips() {
+        let net = sample();
+        let text = encode_text(&net, 9, 100);
+        let snap = decode_text(&text).expect("decodes");
+        assert_eq!((snap.lsn, snap.wal_offset), (9, 100));
+        assert_eq!(
+            format::render_network(&snap.net),
+            format::render_network(&net)
+        );
+    }
+
+    #[test]
+    fn every_binary_bit_flip_is_rejected_or_equivalent() {
+        let net = sample();
+        let bytes = encode(&net, 3, 77);
+        for byte in 0..bytes.len() {
+            let mut copy = bytes.clone();
+            copy[byte] ^= 0x10;
+            if let Some(snap) = decode(&copy) {
+                panic!("flip at byte {byte} still decoded (lsn {})", snap.lsn);
+            }
+        }
+    }
+
+    #[test]
+    fn write_list_load() {
+        let dir = std::env::temp_dir().join(format!(
+            "trustmap-snap-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        let net = sample();
+        write(&dir, &net, 5, 10).unwrap();
+        write(&dir, &net, 9, 20).unwrap();
+        assert_eq!(list(&dir), vec![9, 5]);
+        let (snap, warnings) = load_latest(&dir);
+        assert!(warnings.is_empty());
+        assert_eq!(snap.unwrap().lsn, 9);
+        // Damage the newest binary flavor: the text twin takes over.
+        fs::write(bin_path(&dir, 9), b"garbage").unwrap();
+        let (snap, warnings) = load_latest(&dir);
+        assert_eq!(snap.unwrap().lsn, 9);
+        assert_eq!(warnings.len(), 1);
+        // Damage the twin too: recovery degrades to the older snapshot.
+        fs::write(tn_path(&dir, 9), b"garbage").unwrap();
+        let (snap, warnings) = load_latest(&dir);
+        assert_eq!(snap.unwrap().lsn, 5);
+        assert_eq!(warnings.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

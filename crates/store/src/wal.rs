@@ -1,0 +1,187 @@
+//! Scanning the append-only log back into committed units.
+//!
+//! The scanner walks frames from a byte offset (0, or the WAL watermark a
+//! snapshot recorded) and groups operation records into [`Unit`]s closed
+//! by commit frames. It stops at the first structurally invalid frame —
+//! torn tail, CRC mismatch, oversized length — and reports everything
+//! after the last commit frame as *uncommitted*: recovery truncates that
+//! tail and lands on the last committed LSN, never serving half a batch.
+
+use crate::record::{decode_frame, Framed, Payload, Record};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+/// One committed batch: the operation records between the previous commit
+/// frame and `lsn`'s.
+#[derive(Debug, Clone)]
+pub struct Unit {
+    /// LSN of the commit frame that sealed this unit.
+    pub lsn: u64,
+    /// Byte offset just past the commit frame.
+    pub end_offset: u64,
+    /// The operation records (the commit frame itself is not included).
+    pub ops: Vec<Record>,
+}
+
+/// The result of scanning a WAL (or a suffix of one).
+#[derive(Debug, Clone, Default)]
+pub struct WalScan {
+    /// Committed units, in log order.
+    pub units: Vec<Unit>,
+    /// LSN of the last commit frame (0 if none was found).
+    pub last_lsn: u64,
+    /// Byte offset just past the last commit frame — the recovery
+    /// truncation point (equals the scan start when nothing committed).
+    pub end_offset: u64,
+    /// Total bytes available to the scan (scan start + bytes read).
+    pub file_len: u64,
+    /// Valid operation records found after the last commit frame (an
+    /// unsealed batch in flight when the process died).
+    pub uncommitted: usize,
+    /// Why the scan stopped before the end of the bytes, if it did.
+    pub stop: Option<&'static str>,
+}
+
+impl WalScan {
+    /// Bytes past the last commit frame (torn tail + unsealed records)
+    /// that recovery drops.
+    pub fn tail_bytes(&self) -> u64 {
+        self.file_len - self.end_offset
+    }
+}
+
+/// Scans `bytes`, which start at absolute file offset `base`.
+pub fn scan_bytes(bytes: &[u8], base: u64) -> WalScan {
+    let mut scan = WalScan {
+        end_offset: base,
+        file_len: base + bytes.len() as u64,
+        ..WalScan::default()
+    };
+    let mut pending: Vec<Record> = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        match decode_frame(bytes, pos) {
+            Framed::Ok { record, end } => {
+                pos = end;
+                match record.payload {
+                    Payload::Commit { .. } => {
+                        scan.last_lsn = record.lsn;
+                        scan.end_offset = base + end as u64;
+                        scan.units.push(Unit {
+                            lsn: record.lsn,
+                            end_offset: base + end as u64,
+                            ops: std::mem::take(&mut pending),
+                        });
+                    }
+                    _ => pending.push(record),
+                }
+            }
+            Framed::Truncated => {
+                if pos < bytes.len() {
+                    scan.stop = Some("torn record at end of log");
+                }
+                break;
+            }
+            Framed::Corrupt(reason) => {
+                scan.stop = Some(reason);
+                break;
+            }
+        }
+    }
+    scan.uncommitted = pending.len();
+    scan
+}
+
+/// Scans the WAL file at `path` from byte offset `from`. A missing file
+/// scans as empty; `from` beyond the end scans as empty with
+/// `end_offset` clamped to the real length.
+pub fn scan_file(path: &Path, from: u64) -> std::io::Result<WalScan> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalScan::default());
+        }
+        Err(e) => return Err(e),
+    };
+    let len = file.metadata()?.len();
+    if from >= len {
+        return Ok(WalScan {
+            end_offset: len,
+            file_len: len,
+            stop: if from > len {
+                Some("snapshot watermark beyond the end of the log")
+            } else {
+                None
+            },
+            ..WalScan::default()
+        });
+    }
+    file.seek(SeekFrom::Start(from))?;
+    let mut bytes = Vec::with_capacity((len - from) as usize);
+    file.read_to_end(&mut bytes)?;
+    Ok(scan_bytes(&bytes, from))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::encode_into;
+    use trustmap_core::{SignedEdit, User, Value};
+
+    fn edit(lsn: u64) -> (u64, Payload) {
+        (lsn, Payload::Edit(SignedEdit::Believe(User(0), Value(0))))
+    }
+
+    fn wal(records: &[(u64, Payload)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (lsn, payload) in records {
+            encode_into(&mut out, *lsn, payload);
+        }
+        out
+    }
+
+    #[test]
+    fn groups_units_at_commit_frames() {
+        let bytes = wal(&[
+            (1, Payload::NewUser("a".into())),
+            edit(2),
+            (3, Payload::Commit { records: 2 }),
+            edit(4),
+            (5, Payload::Commit { records: 1 }),
+        ]);
+        let scan = scan_bytes(&bytes, 0);
+        assert_eq!(scan.units.len(), 2);
+        assert_eq!(scan.units[0].ops.len(), 2);
+        assert_eq!(scan.units[1].ops.len(), 1);
+        assert_eq!(scan.last_lsn, 5);
+        assert_eq!(scan.end_offset, bytes.len() as u64);
+        assert_eq!(scan.uncommitted, 0);
+        assert!(scan.stop.is_none());
+    }
+
+    #[test]
+    fn unsealed_batches_and_torn_tails_do_not_commit() {
+        let mut bytes = wal(&[edit(1), (2, Payload::Commit { records: 1 }), edit(3)]);
+        let sealed = wal(&[edit(1), (2, Payload::Commit { records: 1 })]).len() as u64;
+        let scan = scan_bytes(&bytes, 0);
+        assert_eq!(scan.units.len(), 1);
+        assert_eq!(scan.uncommitted, 1);
+        assert_eq!(scan.end_offset, sealed);
+        // Tear the unsealed record: the committed prefix is unaffected.
+        bytes.truncate(bytes.len() - 3);
+        let scan = scan_bytes(&bytes, 0);
+        assert_eq!(scan.units.len(), 1);
+        assert_eq!(scan.last_lsn, 2);
+        assert_eq!(scan.end_offset, sealed);
+        assert_eq!(scan.stop, Some("torn record at end of log"));
+    }
+
+    #[test]
+    fn base_offset_is_carried_through() {
+        let bytes = wal(&[edit(10), (11, Payload::Commit { records: 1 })]);
+        let scan = scan_bytes(&bytes, 1000);
+        assert_eq!(scan.units[0].end_offset, 1000 + bytes.len() as u64);
+        assert_eq!(scan.file_len, 1000 + bytes.len() as u64);
+    }
+}

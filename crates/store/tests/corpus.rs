@@ -1,0 +1,344 @@
+//! The crash-recovery corpus gate (run by the `wal-corpus` CI job).
+//!
+//! Builds a small corpus of store directories through the real durable
+//! `Session` API — positive-only histories, signed histories with a
+//! mid-stream snapshot, closure rewrites — then attacks each WAL:
+//!
+//! * **truncation at every byte offset**, and
+//! * **a bit flip at every byte offset**,
+//!
+//! asserting that recovery (a) never panics, (b) lands exactly on the
+//! last committed LSN reachable from the damaged file, and (c) serves the
+//! byte-identical network state recorded at that commit point — never a
+//! half batch.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use trustmap_core::{format, NegSet, Session};
+use trustmap_store::record::{decode_frame, Framed};
+use trustmap_store::{snapshot, Store, WAL_FILE};
+
+static DIRS: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "trustmap-corpus-{}-{tag}-{}",
+        std::process::id(),
+        DIRS.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// One corpus entry: the clean files plus the ground truth per commit
+/// point.
+struct Fixture {
+    name: &'static str,
+    wal: Vec<u8>,
+    /// Snapshot files (name → bytes) present in the clean store.
+    snapshots: Vec<(String, Vec<u8>)>,
+    /// Rendered network per committed LSN (0 = genesis).
+    recorded: BTreeMap<u64, String>,
+    /// `(end_offset, lsn)` of every commit frame, ascending.
+    frames: Vec<(u64, u64)>,
+    /// `(start, end)` byte span of every record in the WAL.
+    spans: Vec<(u64, u64)>,
+    /// Watermark of the newest snapshot (`(lsn, wal_offset)`, zeros if
+    /// none).
+    watermark: (u64, u64),
+}
+
+/// Records the current commit point of `session` into `recorded`.
+fn checkpoint(store: &Store, session: &Session, recorded: &mut BTreeMap<u64, String>) {
+    recorded.insert(
+        store.last_committed_lsn(),
+        format::render_network(session.network()),
+    );
+}
+
+fn seal(name: &'static str, dir: &Path, recorded: BTreeMap<u64, String>) -> Fixture {
+    let wal = fs::read(dir.join(WAL_FILE)).expect("wal exists");
+    let mut snapshots = Vec::new();
+    for entry in fs::read_dir(dir).expect("store dir") {
+        let entry = entry.expect("dir entry");
+        let file = entry.file_name().to_string_lossy().into_owned();
+        if file.starts_with("snapshot-") {
+            snapshots.push((file, fs::read(entry.path()).expect("snapshot bytes")));
+        }
+    }
+    let scan = trustmap_store::scan_store_wal(dir).expect("clean scan");
+    assert!(scan.stop.is_none(), "{name}: corpus fixture must be clean");
+    assert_eq!(scan.uncommitted, 0, "{name}: fixture ends on a commit");
+    let frames = scan.units.iter().map(|u| (u.end_offset, u.lsn)).collect();
+    let mut spans = Vec::new();
+    let mut pos = 0usize;
+    while let Framed::Ok { end, .. } = decode_frame(&wal, pos) {
+        spans.push((pos as u64, end as u64));
+        pos = end;
+    }
+    assert_eq!(pos, wal.len(), "{name}: span walk covers the whole WAL");
+    let watermark = match snapshot::load_latest(dir) {
+        (Some(s), _) => (s.lsn, s.wal_offset),
+        (None, _) => (0, 0),
+    };
+    let _ = fs::remove_dir_all(dir);
+    Fixture {
+        name,
+        wal,
+        snapshots,
+        recorded,
+        frames,
+        spans,
+        watermark,
+    }
+}
+
+/// Positive-only history: single edits and one explicit batch.
+fn fixture_positive() -> Fixture {
+    let dir = fresh_dir("positive");
+    let mut r = Store::open(&dir).expect("open empty");
+    let s = &mut r.session;
+    let mut recorded = BTreeMap::new();
+    recorded.insert(0, String::new());
+    let alice = s.user("alice");
+    let bob = s.user("bob");
+    let carol = s.user("carol");
+    let v1 = s.value("v1");
+    let v2 = s.value("v2");
+    s.trust(alice, bob, 100).unwrap();
+    checkpoint(&r.store, s, &mut recorded);
+    s.trust(alice, carol, 50).unwrap();
+    checkpoint(&r.store, s, &mut recorded);
+    s.believe(bob, v1).unwrap();
+    checkpoint(&r.store, s, &mut recorded);
+    s.begin_batch().unwrap();
+    s.believe(carol, v2).unwrap();
+    s.trust(bob, carol, 10).unwrap();
+    s.revoke(bob).unwrap();
+    s.commit().unwrap();
+    checkpoint(&r.store, s, &mut recorded);
+    s.believe(bob, v2).unwrap();
+    checkpoint(&r.store, s, &mut recorded);
+    drop(r);
+    seal("positive", &dir, recorded)
+}
+
+/// Signed history crossing the sign boundary, with a snapshot midway —
+/// so damage before and after the watermark exercises both recovery
+/// paths.
+fn fixture_signed_with_snapshot() -> Fixture {
+    let dir = fresh_dir("signed");
+    let mut r = Store::open(&dir).expect("open empty");
+    let s = &mut r.session;
+    let mut recorded = BTreeMap::new();
+    recorded.insert(0, String::new());
+    let alice = s.user("alice");
+    let bob = s.user("bob");
+    let v1 = s.value("v1");
+    let v2 = s.value("v2");
+    s.trust(alice, bob, 7).unwrap();
+    checkpoint(&r.store, s, &mut recorded);
+    s.believe(bob, v1).unwrap();
+    checkpoint(&r.store, s, &mut recorded);
+    s.reject(alice, NegSet::of([v1])).unwrap();
+    checkpoint(&r.store, s, &mut recorded);
+    r.store.snapshot_now(s).expect("snapshot between commits");
+    s.begin_batch().unwrap();
+    s.reject(alice, NegSet::of([v2])).unwrap();
+    s.believe(bob, v2).unwrap();
+    s.commit().unwrap();
+    checkpoint(&r.store, s, &mut recorded);
+    s.revoke(alice).unwrap(); // back to a positive network
+    checkpoint(&r.store, s, &mut recorded);
+    drop(r);
+    seal("signed", &dir, recorded)
+}
+
+/// A closure edit (rewrite record) sandwiched between typed edits.
+fn fixture_rewrite() -> Fixture {
+    let dir = fresh_dir("rewrite");
+    let mut r = Store::open(&dir).expect("open empty");
+    let s = &mut r.session;
+    let mut recorded = BTreeMap::new();
+    recorded.insert(0, String::new());
+    let alice = s.user("alice");
+    let v1 = s.value("v1");
+    s.believe(alice, v1).unwrap();
+    checkpoint(&r.store, s, &mut recorded);
+    s.apply(|net| {
+        let dana = net.user("dana");
+        let erin = net.user("erin");
+        let v3 = net.value("v3");
+        net.trust(dana, erin, 5)?;
+        net.believe(erin, v3)
+    })
+    .unwrap();
+    checkpoint(&r.store, s, &mut recorded);
+    let dana = s.user("dana");
+    s.believe(dana, v1).unwrap();
+    checkpoint(&r.store, s, &mut recorded);
+    drop(r);
+    seal("rewrite", &dir, recorded)
+}
+
+impl Fixture {
+    /// The commit point a scan of `wal[..cut]` must land on.
+    fn expected_after_cut(&self, cut: u64) -> u64 {
+        let from_frames = self
+            .frames
+            .iter()
+            .filter(|&&(end, _)| end <= cut)
+            .map(|&(_, lsn)| lsn)
+            .max()
+            .unwrap_or(0);
+        from_frames.max(self.watermark.0)
+    }
+
+    /// The commit point recovery must land on when the byte at `offset`
+    /// is flipped: damage below the snapshot's WAL offset is invisible
+    /// (recovery reads from the watermark), otherwise everything from the
+    /// record containing `offset` onward is lost.
+    fn expected_after_flip(&self, offset: u64) -> u64 {
+        if offset < self.watermark.1 {
+            return *self.recorded.keys().last().expect("nonempty");
+        }
+        let record_start = self
+            .spans
+            .iter()
+            .find(|&&(start, end)| start <= offset && offset < end)
+            .map(|&(start, _)| start)
+            .expect("offset inside some record");
+        self.expected_after_cut(record_start)
+    }
+
+    /// Materializes a damaged copy and checks recovery against the ground
+    /// truth.
+    fn check(&self, wal: &[u8], expected_lsn: u64, what: &str) {
+        let dir = fresh_dir("trial");
+        for (file, bytes) in &self.snapshots {
+            fs::write(dir.join(file), bytes).expect("copy snapshot");
+        }
+        fs::write(dir.join(WAL_FILE), wal).expect("write damaged wal");
+        let mut recovered = Store::open(&dir)
+            .unwrap_or_else(|e| panic!("{}: {what}: recovery errored: {e}", self.name));
+        assert_eq!(
+            recovered.stats.last_lsn, expected_lsn,
+            "{}: {what}: wrong commit point",
+            self.name
+        );
+        let expected_net = &self.recorded[&expected_lsn];
+        assert_eq!(
+            &format::render_network(recovered.session.network()),
+            expected_net,
+            "{}: {what}: state is not the lsn-{expected_lsn} commit image",
+            self.name
+        );
+        // Serving must work (and never panic) on the recovered state.
+        for u in recovered.session.network().users().collect::<Vec<_>>() {
+            recovered
+                .session
+                .skeptic_cert(u)
+                .unwrap_or_else(|e| panic!("{}: {what}: read failed: {e}", self.name));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+fn corpus() -> Vec<Fixture> {
+    vec![
+        fixture_positive(),
+        fixture_signed_with_snapshot(),
+        fixture_rewrite(),
+    ]
+}
+
+#[test]
+fn truncation_at_every_byte_offset_recovers_to_last_commit() {
+    for fix in corpus() {
+        for cut in 0..=fix.wal.len() {
+            let expected = fix.expected_after_cut(cut as u64);
+            fix.check(&fix.wal[..cut], expected, &format!("truncated at {cut}"));
+        }
+    }
+}
+
+#[test]
+fn bit_flip_at_every_byte_offset_recovers_to_a_commit_point() {
+    for fix in corpus() {
+        for offset in 0..fix.wal.len() {
+            let mut damaged = fix.wal.clone();
+            damaged[offset] ^= 1 << (offset % 8);
+            let expected = fix.expected_after_flip(offset as u64);
+            fix.check(&damaged, expected, &format!("bit flip at {offset}"));
+        }
+    }
+}
+
+#[test]
+fn rewrites_survive_exotic_names_and_cofinite_constraints() {
+    // Regression: rewrite records were once text-rendered, which cannot
+    // represent names with whitespace/'#'/',' or co-finite NegSets — a
+    // closure edit on such a network made the store unrecoverable (and
+    // text snapshots silently changed constraint semantics).
+    let dir = fresh_dir("exotic");
+    let mut r = Store::open(&dir).expect("open empty");
+    r.session
+        .apply(|net| {
+            let spaced = net.user("Bob Smith # yes, really");
+            let plain = net.user("carol");
+            let v = net.value("weird, value");
+            net.trust(spaced, plain, 4)?;
+            net.believe(plain, v)?;
+            net.reject(spaced, NegSet::all_but(v))
+        })
+        .expect("closure edit");
+    r.store.snapshot_now(&r.session).expect("snapshot");
+    let expect = format::render_network(r.session.network());
+    drop(r);
+
+    // Only the binary snapshot flavor may exist: the text twin would be
+    // semantically lossy here.
+    assert!(
+        fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .all(|e| !e.file_name().to_string_lossy().ends_with(".tn")),
+        "no lossy text twin for a text-unfaithful network"
+    );
+
+    let mut back = Store::open(&dir).expect("recovers from the rewrite record");
+    assert_eq!(format::render_network(back.session.network()), expect);
+    let spaced = back.session.user("Bob Smith # yes, really");
+    let w = back.session.value("brand new value");
+    let cert = back.session.skeptic_cert(spaced).expect("signed read");
+    assert!(
+        cert.neg.contains(w),
+        "co-finite reject must still cover values interned after recovery"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_after_a_torn_tail_keeps_accepting_edits() {
+    let fix = fixture_positive();
+    // Tear the last record in half.
+    let (last_start, last_end) = *fix.spans.last().expect("records");
+    let cut = ((last_start + last_end) / 2) as usize;
+    let dir = fresh_dir("continue");
+    fs::write(dir.join(WAL_FILE), &fix.wal[..cut]).expect("torn wal");
+    let mut r = Store::open(&dir).expect("recovers");
+    assert!(r.stats.dropped_bytes > 0, "the torn tail was truncated");
+    // New edits append cleanly after the truncation point…
+    let alice = r.session.user("alice");
+    let v9 = r.session.value("v9");
+    r.session.believe(alice, v9).expect("durable edit");
+    let expect = format::render_network(r.session.network());
+    drop(r);
+    // …and a second recovery sees them.
+    let r2 = Store::open(&dir).expect("recovers again");
+    assert_eq!(format::render_network(r2.session.network()), expect);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -9,13 +9,21 @@
 //! trustmap lineage  <file> <user> <value>
 //! trustmap lp       <file>            # print the logic-program translation
 //! trustmap stats    <file>            # network and binarization statistics
+//!
+//! trustmap log      <dir>             # dump a store's write-ahead log
+//! trustmap snapshot <dir> [file]      # write a snapshot (optionally after
+//!                                     # importing <file> as the network)
+//! trustmap recover  <dir>             # recover the store, print how it went
 //! ```
 //!
-//! Files use the format of [`trustmap::format`] (see `examples/indus.tn`).
+//! Files use the format of [`trustmap::format`] (see `examples/indus.tn`);
+//! `<dir>` is a durable store directory as managed by
+//! [`trustmap::store::Store`] (WAL + snapshots).
 
 use std::process::ExitCode;
 use trustmap::format::parse_network;
 use trustmap::prelude::*;
+use trustmap::store::{record::Payload, scan_store_wal, Store};
 use trustmap::TrustNetwork;
 
 fn main() -> ExitCode {
@@ -25,7 +33,8 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: trustmap <resolve|skeptic|paradigm|agree|lineage|lp|stats> <file> [args]"
+                "usage: trustmap <resolve|skeptic|paradigm|agree|lineage|lp|stats> <file> [args]\n\
+                 \x20      trustmap <log|snapshot|recover> <store-dir> [args]"
             );
             ExitCode::FAILURE
         }
@@ -34,6 +43,20 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> std::result::Result<(), String> {
     let command = args.first().ok_or("missing command")?;
+
+    // Store commands take a directory, not a network file.
+    match command.as_str() {
+        "log" => return cmd_log(args.get(1).ok_or("log needs a store directory")?),
+        "snapshot" => {
+            return cmd_snapshot(
+                args.get(1).ok_or("snapshot needs a store directory")?,
+                args.get(2).map(String::as_str),
+            )
+        }
+        "recover" => return cmd_recover(args.get(1).ok_or("recover needs a store directory")?),
+        _ => {}
+    }
+
     let path = args.get(1).ok_or("missing network file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let net = parse_network(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -52,6 +75,121 @@ fn run(args: &[String]) -> std::result::Result<(), String> {
         "stats" => cmd_stats(&net),
         other => Err(format!("unknown command `{other}`")),
     }
+}
+
+fn cmd_log(dir: &str) -> std::result::Result<(), String> {
+    let scan = scan_store_wal(dir).map_err(|e| e.to_string())?;
+    for unit in &scan.units {
+        for record in &unit.ops {
+            println!(
+                "{:>8}  {:<8} {}",
+                record.lsn,
+                record.payload.tag(),
+                describe(&record.payload)
+            );
+        }
+        println!(
+            "{:>8}  commit   {} record(s), ends at byte {}",
+            unit.lsn,
+            unit.ops.len(),
+            unit.end_offset
+        );
+    }
+    println!(
+        "last committed lsn {}, {} byte(s) of log",
+        scan.last_lsn, scan.end_offset
+    );
+    if scan.uncommitted > 0 {
+        println!(
+            "warning: {} unsealed record(s) past the last commit",
+            scan.uncommitted
+        );
+    }
+    if let Some(reason) = scan.stop {
+        println!(
+            "warning: scan stopped early ({reason}); {} byte(s) unreadable",
+            scan.tail_bytes()
+        );
+    }
+    Ok(())
+}
+
+fn describe(payload: &Payload) -> String {
+    match payload {
+        Payload::NewUser(name) => format!("intern user `{name}`"),
+        Payload::NewValue(name) => format!("intern value `{name}`"),
+        Payload::Edit(edit) => format!("{edit:?}"),
+        Payload::Rewrite(text) => format!("full network image ({} bytes)", text.len()),
+        Payload::Commit { records } => format!("{records} record(s)"),
+    }
+}
+
+fn cmd_snapshot(dir: &str, import: Option<&str>) -> std::result::Result<(), String> {
+    let mut recovered = Store::open(dir).map_err(|e| e.to_string())?;
+    if let Some(path) = import {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let imported = parse_network(&text).map_err(|e| format!("{path}: {e}"))?;
+        recovered
+            .session
+            .apply(move |net| {
+                *net = imported;
+                Ok(())
+            })
+            .map_err(|e| e.to_string())?;
+        println!("imported {path} as the store's network (one rewrite unit)");
+    }
+    let lsn = recovered
+        .store
+        .snapshot_now(&recovered.session)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "snapshot at lsn {lsn} written to {dir} ({} users, {} mappings)",
+        recovered.session.network().user_count(),
+        recovered.session.network().mapping_count()
+    );
+    Ok(())
+}
+
+fn cmd_recover(dir: &str) -> std::result::Result<(), String> {
+    let mut recovered = Store::open(dir).map_err(|e| e.to_string())?;
+    let stats = &recovered.stats;
+    println!("recovered to lsn:   {}", stats.last_lsn);
+    println!(
+        "snapshot used:      {}",
+        if stats.snapshot_lsn > 0 {
+            format!("lsn {}", stats.snapshot_lsn)
+        } else {
+            "none (genesis replay)".into()
+        }
+    );
+    println!(
+        "tail replayed:      {} unit(s), {} edit(s)",
+        stats.replayed_units, stats.replayed_edits
+    );
+    println!("torn tail dropped:  {} byte(s)", stats.dropped_bytes);
+    for warning in &stats.warnings {
+        println!("warning:            {warning}");
+    }
+    let users: Vec<trustmap::User> = recovered.session.network().users().collect();
+    let (mut certain, mut bottom, mut open) = (0usize, 0usize, 0usize);
+    for &u in &users {
+        let cert = recovered
+            .session
+            .skeptic_cert(u)
+            .map_err(|e| e.to_string())?;
+        if cert.pos.is_some() {
+            certain += 1;
+        } else if cert.is_bottom() {
+            bottom += 1;
+        } else {
+            open += 1;
+        }
+    }
+    println!(
+        "state:              {} user(s): {certain} certain, {open} open, {bottom} inconsistent",
+        users.len()
+    );
+    Ok(())
 }
 
 fn cmd_resolve(net: &TrustNetwork) -> std::result::Result<(), String> {

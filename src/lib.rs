@@ -24,6 +24,8 @@
 //! * `trustmap_datalog` — normal logic programs under stable model
 //!   semantics;
 //! * `trustmap_relstore` — the in-memory SQL engine and bulk executors;
+//! * `trustmap_store` — durable sessions: the append-only write-ahead
+//!   log, snapshots, and crash recovery (re-exported as [`store`]);
 //! * `trustmap_workloads` — seeded experiment generators;
 //! * `trustmap_graph` — SCC/reachability/flow substrate.
 //!
@@ -51,19 +53,22 @@
 //! ```
 
 pub mod bridge;
-pub mod format;
 
+pub use trustmap_core::format;
 pub use trustmap_core::{
-    acyclic, binary, bulk, bulk_skeptic, error, gates, incremental, lineage, network, pairs,
-    paradigm, policy, resolution, sat, session, signed, skeptic, skeptic_incremental, stable,
-    stable_signed, user, value,
+    acyclic, binary, bulk, bulk_skeptic, durability, error, gates, incremental, lineage, network,
+    pairs, paradigm, policy, resolution, sat, session, signed, skeptic, skeptic_incremental,
+    stable, stable_signed, user, value,
 };
 pub use trustmap_core::{
     binarize, resolve, resolve_network, resolve_with, BeliefChange, BeliefSet, Btn, DeltaStats,
-    Edit, Error, ExplicitBelief, IncrementalResolver, Mapping, NegSet, Options, Paradigm,
-    ParallelPolicy, Parents, Resolution, Result, SccMode, Session, SignedEdit, SkepticIncremental,
-    SkepticPlannedResolver, SkepticResolution, SkepticUserResolution, TrustNetwork, User, Value,
+    Durability, Edit, Error, ExplicitBelief, IncrementalResolver, Mapping, NegSet, Options,
+    Paradigm, ParallelPolicy, Parents, Resolution, Result, SccMode, Session, SignedEdit,
+    SkepticIncremental, SkepticPlannedResolver, SkepticResolution, SkepticUserResolution,
+    TrustNetwork, User, Value,
 };
+
+pub use trustmap_store as store;
 
 pub use trustmap_datalog as datalog;
 pub use trustmap_graph as graph;

@@ -1,0 +1,610 @@
+//! Epoch snapshots: immutable published views for concurrent serving.
+//!
+//! The paper's resolution semantics are deterministic per network state
+//! (order-invariance, Section 2.5), which makes every committed state a
+//! perfect immutable read unit: once a batch of edits has been resolved,
+//! the resulting snapshot never changes — only a *newer* snapshot can
+//! supersede it. This module turns that property into an MVCC read path:
+//!
+//! * [`EpochView`] — one committed resolution, frozen: the possible-set
+//!   slabs (already `Arc`-shared per user, so freezing is a pointer copy,
+//!   not a deep copy), the certain beliefs, the skeptic representation
+//!   when the network carries constraints, the name tables needed to
+//!   answer point queries, and the durable commit LSN the state reflects.
+//! * [`EpochSlot`] — the publication point. The writer swaps in a new
+//!   `Arc<EpochView>` after each commit; readers clone the current handle
+//!   without ever touching the writer's session. A monotonic epoch
+//!   counter lets readers *skip even the slot's own read-lock* when
+//!   nothing was published since their last read (see [`EpochReader`]).
+//! * [`EpochReader`] — a per-thread cursor caching the last handle; the
+//!   hot path (unchanged epoch) is one atomic load and no locks at all.
+//!
+//! Readers therefore never block on writes and never observe a torn
+//! mid-batch state: a view is built from a fully committed resolution and
+//! published as one pointer swap. Writers serialize through
+//! [`crate::Session`]; [`crate::Session::epoch`] builds and publishes the
+//! view (reusing the published handle when no edits intervened, so
+//! repeated publication of a quiet session is O(1)).
+//!
+//! The `trustmap-store` crate's group-commit hub drives this from a
+//! dedicated writer thread: one durable WAL unit per edit group, one
+//! epoch publication per group, thousands of concurrent readers riding
+//! the slot.
+
+use crate::network::TrustNetwork;
+use crate::resolution::UserResolution;
+use crate::signed::BeliefSet;
+use crate::skeptic::SkepticUserResolution;
+use crate::user::User;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Frozen name tables of one epoch: user/value id lookups for point
+/// queries without the writer's network.
+///
+/// Interning is append-only (ids never change meaning), so the session
+/// reuses one `Arc<EpochNames>` across epochs until a *new* user or value
+/// is created — publishing an epoch after pure belief/trust churn shares
+/// the table instead of re-rendering it.
+#[derive(Debug, Default)]
+pub struct EpochNames {
+    users: HashMap<String, User>,
+    values: HashMap<String, Value>,
+    user_names: Vec<String>,
+    value_names: Vec<String>,
+}
+
+impl EpochNames {
+    /// Renders the name tables of `net`.
+    pub fn of(net: &TrustNetwork) -> Self {
+        let user_names: Vec<String> = net.users().map(|u| net.user_name(u).to_owned()).collect();
+        let value_names: Vec<String> = net
+            .domain()
+            .values()
+            .map(|v| net.domain().name(v).to_owned())
+            .collect();
+        let users = user_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), User(i as u32)))
+            .collect();
+        let values = value_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), Value(i as u32)))
+            .collect();
+        EpochNames {
+            users,
+            values,
+            user_names,
+            value_names,
+        }
+    }
+
+    /// Number of users known to this epoch.
+    pub fn user_count(&self) -> usize {
+        self.user_names.len()
+    }
+
+    /// Number of values known to this epoch.
+    pub fn value_count(&self) -> usize {
+        self.value_names.len()
+    }
+
+    /// Looks a user up by name.
+    pub fn find_user(&self, name: &str) -> Option<User> {
+        self.users.get(name).copied()
+    }
+
+    /// Looks a value up by name.
+    pub fn find_value(&self, name: &str) -> Option<Value> {
+        self.values.get(name).copied()
+    }
+
+    /// The name of `user`, if this epoch knows it.
+    pub fn user_name(&self, user: User) -> Option<&str> {
+        self.user_names.get(user.index()).map(String::as_str)
+    }
+
+    /// The name of `value`, if this epoch knows it.
+    pub fn value_name(&self, value: Value) -> Option<&str> {
+        self.value_names.get(value.index()).map(String::as_str)
+    }
+}
+
+/// The resolved state carried by an epoch: one of the two pipelines'
+/// snapshot shapes (mirroring [`crate::Session`]'s sign-state routing).
+#[derive(Debug)]
+enum EpochState {
+    /// Basic model (positive network): possible sets + certain beliefs.
+    Basic(UserResolution),
+    /// Skeptic paradigm (constraint-carrying network).
+    Skeptic(SkepticUserResolution),
+}
+
+/// One committed resolution, frozen for lock-free concurrent reads.
+///
+/// An `EpochView` is immutable by construction; cloning the `Arc` handle
+/// is the only sharing mechanism. Freezing is cheap: the per-user
+/// possible sets are `Arc<[Value]>` slabs shared with the live engine, so
+/// a view costs O(users) pointer copies, not O(users × values) deep
+/// copies — and group commit amortizes even that over the whole edit
+/// window.
+#[derive(Debug)]
+pub struct EpochView {
+    epoch: u64,
+    lsn: u64,
+    state: EpochState,
+    names: Arc<EpochNames>,
+}
+
+impl EpochView {
+    /// Builds a basic-model view. `lsn` is the durable commit LSN the
+    /// state reflects (0 for an in-memory-only session).
+    pub(crate) fn basic(
+        epoch: u64,
+        lsn: u64,
+        snap: &UserResolution,
+        names: Arc<EpochNames>,
+    ) -> Self {
+        EpochView {
+            epoch,
+            lsn,
+            state: EpochState::Basic(UserResolution {
+                poss: snap.poss.clone(),
+                cert: snap.cert.clone(),
+            }),
+            names,
+        }
+    }
+
+    /// Builds a skeptic-paradigm view.
+    pub(crate) fn skeptic(
+        epoch: u64,
+        lsn: u64,
+        snap: &SkepticUserResolution,
+        names: Arc<EpochNames>,
+    ) -> Self {
+        EpochView {
+            epoch,
+            lsn,
+            state: EpochState::Skeptic(snap.clone()),
+            names,
+        }
+    }
+
+    /// The publication sequence number (monotonic per [`EpochSlot`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The durable commit LSN this epoch reflects (0 if the session has
+    /// no durability sink or nothing was committed yet).
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// Whether this epoch was resolved under the Skeptic paradigm (the
+    /// network carried constraints at publication time).
+    pub fn is_skeptic(&self) -> bool {
+        matches!(self.state, EpochState::Skeptic(_))
+    }
+
+    /// Number of users covered by the view.
+    pub fn user_count(&self) -> usize {
+        match &self.state {
+            EpochState::Basic(r) => r.cert.len(),
+            EpochState::Skeptic(r) => r.user_count(),
+        }
+    }
+
+    /// The frozen name tables.
+    pub fn names(&self) -> &EpochNames {
+        &self.names
+    }
+
+    /// The certain positive value of `user` (both pipelines decode to
+    /// this; users beyond the view read as undefined).
+    pub fn cert(&self, user: User) -> Option<Value> {
+        match &self.state {
+            EpochState::Basic(r) => r.cert.get(user.index()).copied().flatten(),
+            EpochState::Skeptic(r) => {
+                if user.index() < r.user_count() {
+                    r.rep_poss(user).cert_positive()
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The possible positive values of `user`, sorted.
+    pub fn poss(&self, user: User) -> Vec<Value> {
+        match &self.state {
+            EpochState::Basic(r) => r
+                .poss
+                .get(user.index())
+                .map(|s| s.to_vec())
+                .unwrap_or_default(),
+            EpochState::Skeptic(r) => {
+                if user.index() < r.user_count() {
+                    r.rep_poss(user).pos.iter().copied().collect()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// The full certain belief set of `user` (Figure 18 decode in skeptic
+    /// mode; on positive networks the certain positive value, if any).
+    pub fn cert_beliefs(&self, user: User) -> BeliefSet {
+        match &self.state {
+            EpochState::Basic(_) => match self.cert(user) {
+                Some(v) => BeliefSet {
+                    pos: Some(v),
+                    neg: crate::signed::NegSet::empty(),
+                },
+                None => BeliefSet::empty(),
+            },
+            EpochState::Skeptic(r) => {
+                if user.index() < r.user_count() {
+                    r.cert(user)
+                } else {
+                    BeliefSet::empty()
+                }
+            }
+        }
+    }
+
+    /// The basic-model resolution, when this epoch runs the basic
+    /// pipeline (`None` under skeptic).
+    pub fn basic_resolution(&self) -> Option<&UserResolution> {
+        match &self.state {
+            EpochState::Basic(r) => Some(r),
+            EpochState::Skeptic(_) => None,
+        }
+    }
+
+    /// The skeptic resolution, when this epoch runs the skeptic pipeline.
+    pub fn skeptic_resolution(&self) -> Option<&SkepticUserResolution> {
+        match &self.state {
+            EpochState::Skeptic(r) => Some(r),
+            EpochState::Basic(_) => None,
+        }
+    }
+}
+
+/// Genesis view: epoch 0 over an empty network (what readers see before
+/// the first publication).
+fn genesis() -> Arc<EpochView> {
+    Arc::new(EpochView {
+        epoch: 0,
+        lsn: 0,
+        state: EpochState::Basic(UserResolution {
+            poss: Vec::new(),
+            cert: Vec::new(),
+        }),
+        names: Arc::new(EpochNames::default()),
+    })
+}
+
+/// The publication point readers attach to.
+///
+/// One writer swaps views in ([`EpochSlot::publish`]); any number of
+/// readers clone the current handle out ([`EpochSlot::load`]). Readers
+/// never take the writer's session lock — the slot is a self-contained
+/// `RwLock<Arc<_>>` held only for the pointer clone, and the atomic
+/// epoch counter lets [`EpochReader`] skip even that when nothing new was
+/// published. A condvar supports LSN-token waits (read-your-writes).
+#[derive(Debug)]
+pub struct EpochSlot {
+    current: RwLock<Arc<EpochView>>,
+    /// Epoch number of `current`, readable without the lock.
+    epoch: AtomicU64,
+    /// Commit LSN of `current`, readable without the lock.
+    lsn: AtomicU64,
+    wait: Mutex<()>,
+    advanced: Condvar,
+}
+
+impl Default for EpochSlot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EpochSlot {
+    /// An empty slot holding the genesis view (epoch 0, empty network).
+    pub fn new() -> Self {
+        EpochSlot {
+            current: RwLock::new(genesis()),
+            epoch: AtomicU64::new(0),
+            lsn: AtomicU64::new(0),
+            wait: Mutex::new(()),
+            advanced: Condvar::new(),
+        }
+    }
+
+    /// The current view (one brief read-lock for the pointer clone; use
+    /// an [`EpochReader`] on hot read paths to skip it entirely).
+    pub fn load(&self) -> Arc<EpochView> {
+        self.current.read().expect("epoch slot lock").clone()
+    }
+
+    /// The epoch number of the current view, lock-free.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The commit LSN of the current view, lock-free.
+    pub fn lsn(&self) -> u64 {
+        self.lsn.load(Ordering::Acquire)
+    }
+
+    /// Publishes `view` as the current epoch. Called by the (single)
+    /// writer after each committed state change; `view.epoch()` must be
+    /// greater than the current epoch.
+    pub fn publish(&self, view: Arc<EpochView>) {
+        let epoch = view.epoch();
+        let lsn = view.lsn();
+        debug_assert!(epoch > self.epoch(), "epochs advance monotonically");
+        *self.current.write().expect("epoch slot lock") = view;
+        self.lsn.store(lsn, Ordering::Release);
+        self.epoch.store(epoch, Ordering::Release);
+        // Wake LSN-token waiters; the wait mutex orders the check-then-wait
+        // against this notification.
+        let _held = self.wait.lock().expect("epoch wait lock");
+        self.advanced.notify_all();
+    }
+
+    /// Read-your-writes: blocks until the published epoch's commit LSN
+    /// reaches `lsn` (the token from a write acknowledgement), returning
+    /// that view, or `None` on timeout. Returns immediately when the
+    /// current epoch already covers the token.
+    pub fn wait_for_lsn(&self, lsn: u64, timeout: Duration) -> Option<Arc<EpochView>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.lsn() >= lsn {
+                return Some(self.load());
+            }
+            let guard = self.wait.lock().expect("epoch wait lock");
+            // Re-check under the wait lock: a publish between the check
+            // above and this lock would otherwise be missed.
+            if self.lsn() >= lsn {
+                return Some(self.load());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (_g, timed_out) = self
+                .advanced
+                .wait_timeout(guard, deadline - now)
+                .expect("epoch wait lock");
+            if timed_out.timed_out() && self.lsn() < lsn {
+                return None;
+            }
+        }
+    }
+
+    /// A per-thread reading cursor over this slot.
+    pub fn reader(self: &Arc<Self>) -> EpochReader {
+        EpochReader {
+            slot: Arc::clone(self),
+            cached: self.load(),
+            fast_loads: 0,
+            slow_loads: 1,
+        }
+    }
+}
+
+/// A per-thread read cursor: caches the last loaded view and refreshes it
+/// only when the slot's atomic epoch counter says something newer was
+/// published. The steady-state read path (epoch unchanged) is one atomic
+/// load — no locks, no allocation, no contention with the writer.
+#[derive(Debug)]
+pub struct EpochReader {
+    slot: Arc<EpochSlot>,
+    cached: Arc<EpochView>,
+    fast_loads: u64,
+    slow_loads: u64,
+}
+
+impl EpochReader {
+    /// The freshest published view (refreshing the cache if needed).
+    pub fn current(&mut self) -> &Arc<EpochView> {
+        if self.slot.epoch() != self.cached.epoch() {
+            self.cached = self.slot.load();
+            self.slow_loads += 1;
+        } else {
+            self.fast_loads += 1;
+        }
+        &self.cached
+    }
+
+    /// The view this reader last loaded, without checking for newer ones
+    /// (pin a multi-query transaction to one epoch with this).
+    pub fn pinned(&self) -> &Arc<EpochView> {
+        &self.cached
+    }
+
+    /// Read-your-writes helper: waits until `lsn` is covered (see
+    /// [`EpochSlot::wait_for_lsn`]) and caches the resulting view.
+    pub fn wait_for_lsn(&mut self, lsn: u64, timeout: Duration) -> Option<&Arc<EpochView>> {
+        if self.cached.lsn() < lsn {
+            self.cached = self.slot.wait_for_lsn(lsn, timeout)?;
+            self.slow_loads += 1;
+        }
+        Some(&self.cached)
+    }
+
+    /// `(fast, slow)` load counters: reads served from the cache without
+    /// touching the slot's lock vs. reads that refreshed through it.
+    pub fn load_stats(&self) -> (u64, u64) {
+        (self.fast_loads, self.slow_loads)
+    }
+
+    /// The slot this reader follows.
+    pub fn slot(&self) -> &Arc<EpochSlot> {
+        &self.slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::indus_network;
+    use crate::session::Session;
+    use crate::signed::NegSet;
+
+    #[test]
+    fn genesis_slot_serves_an_empty_view() {
+        let slot = Arc::new(EpochSlot::new());
+        let view = slot.load();
+        assert_eq!(view.epoch(), 0);
+        assert_eq!(view.lsn(), 0);
+        assert_eq!(view.user_count(), 0);
+        assert_eq!(view.cert(User(3)), None);
+        assert!(view.poss(User(3)).is_empty());
+    }
+
+    #[test]
+    fn session_publishes_and_reuses_epochs() {
+        let (net, [alice, _, charlie]) = indus_network();
+        let mut s = Session::new(net);
+        let jar = s.value("jar");
+        s.believe(charlie, jar).unwrap();
+
+        let first = s.epoch().unwrap();
+        assert_eq!(first.cert(alice), Some(jar));
+        // No edits intervened: the published handle is reused, not
+        // re-rendered (the satellite fix).
+        let again = s.epoch().unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "quiet publish is O(1)");
+
+        let cow = s.value("cow");
+        s.believe(charlie, cow).unwrap();
+        let second = s.epoch().unwrap();
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert!(second.epoch() > first.epoch());
+        assert_eq!(second.cert(alice), Some(cow));
+        // The superseded epoch is immutable: still the old state.
+        assert_eq!(first.cert(alice), Some(jar));
+    }
+
+    #[test]
+    fn epoch_names_answer_point_lookups() {
+        let (net, [alice, _, _]) = indus_network();
+        let mut s = Session::new(net);
+        let jar = s.value("jar");
+        let view = s.epoch().unwrap();
+        assert_eq!(view.names().find_user("Alice"), Some(alice));
+        assert_eq!(view.names().find_value("jar"), Some(jar));
+        assert_eq!(view.names().user_name(alice), Some("Alice"));
+        assert_eq!(view.names().value_name(jar), Some("jar"));
+        assert_eq!(view.names().find_user("nobody"), None);
+        // Belief churn shares the name table across epochs.
+        let charlie = view.names().find_user("Charlie").unwrap();
+        s.believe(charlie, jar).unwrap();
+        let next = s.epoch().unwrap();
+        assert!(Arc::ptr_eq(&view.names, &next.names), "names are reused");
+        // A new user re-renders it.
+        s.user("Dave");
+        let grown = s.epoch().unwrap();
+        assert!(!Arc::ptr_eq(&view.names, &grown.names));
+        assert!(grown.names().find_user("Dave").is_some());
+    }
+
+    #[test]
+    fn skeptic_epochs_decode_signed_state() {
+        let (net, [alice, bob, charlie]) = indus_network();
+        let mut s = Session::new(net);
+        let jar = s.value("jar");
+        let cow = s.value("cow");
+        s.believe(charlie, jar).unwrap();
+        s.reject(bob, NegSet::of([cow])).unwrap();
+        let view = s.epoch().unwrap();
+        assert!(view.is_skeptic());
+        assert_eq!(view.cert(alice), Some(jar));
+        assert_eq!(view.poss(alice), vec![jar]);
+        assert!(view.cert_beliefs(bob).neg.contains(cow));
+        assert!(view.basic_resolution().is_none());
+        assert!(view.skeptic_resolution().is_some());
+    }
+
+    #[test]
+    fn readers_cache_until_the_epoch_advances() {
+        let (net, [_, _, charlie]) = indus_network();
+        let mut s = Session::new(net);
+        let jar = s.value("jar");
+        s.believe(charlie, jar).unwrap();
+        s.epoch().unwrap();
+
+        let slot = s.epoch_slot();
+        let mut r = slot.reader();
+        let e1 = r.current().epoch();
+        let _ = r.current();
+        let (fast, slow) = r.load_stats();
+        assert!(fast >= 2, "unchanged epoch reads stay on the fast path");
+        assert_eq!(slow, 1, "only the initial load touched the slot lock");
+
+        let cow = s.value("cow");
+        s.believe(charlie, cow).unwrap();
+        s.epoch().unwrap();
+        assert!(r.current().epoch() > e1);
+        let (_, slow) = r.load_stats();
+        assert_eq!(slow, 2, "one refresh for the new epoch");
+    }
+
+    #[test]
+    fn wait_for_lsn_times_out_and_completes() {
+        let slot = Arc::new(EpochSlot::new());
+        assert!(slot.wait_for_lsn(5, Duration::from_millis(10)).is_none());
+        // Publication from another thread unblocks the wait.
+        let publisher = Arc::clone(&slot);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let (net, _) = indus_network();
+            let mut s = Session::new(net);
+            let view = s.epoch().unwrap();
+            // Re-stamp with an LSN for the test (sessions without a sink
+            // publish lsn 0): build a view directly.
+            publisher.publish(Arc::new(EpochView {
+                epoch: view.epoch() + 1,
+                lsn: 7,
+                state: EpochState::Basic(UserResolution {
+                    poss: Vec::new(),
+                    cert: Vec::new(),
+                }),
+                names: Arc::new(EpochNames::default()),
+            }));
+        });
+        let got = slot.wait_for_lsn(5, Duration::from_secs(5));
+        handle.join().unwrap();
+        assert_eq!(got.expect("published").lsn(), 7);
+        // Already-covered tokens return immediately.
+        assert!(slot.wait_for_lsn(7, Duration::from_millis(1)).is_some());
+    }
+
+    #[test]
+    fn cloned_sessions_get_their_own_slot() {
+        let (net, [_, _, charlie]) = indus_network();
+        let mut s = Session::new(net);
+        let jar = s.value("jar");
+        s.believe(charlie, jar).unwrap();
+        s.epoch().unwrap();
+        let slot = s.epoch_slot();
+
+        let mut copy = s.clone();
+        let cow = copy.value("cow");
+        copy.believe(charlie, cow).unwrap();
+        copy.epoch().unwrap();
+        // The original's readers never see the clone's history.
+        assert!(!Arc::ptr_eq(&slot, &copy.epoch_slot()));
+        assert_eq!(slot.load().cert(charlie), Some(jar));
+    }
+}

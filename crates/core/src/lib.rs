@@ -44,6 +44,11 @@
 //!   an attached [`Durability`] sink sees every typed edit and commit
 //!   boundary, so a persistence layer (the `trustmap-store` crate) can
 //!   recover a byte-identical session after a crash;
+//! * [`epoch`] — MVCC epoch snapshots for concurrent serving: each
+//!   committed resolution publishes as an immutable [`EpochView`]
+//!   (`Arc`-swapped through an [`EpochSlot`]) that readers clone
+//!   lock-free, so reads never block on the writer and never observe a
+//!   torn mid-batch state;
 //! * [`mod@format`] — the line-oriented text format for networks (id-exact
 //!   round trips), shared by the CLI, fixtures, and the snapshot text
 //!   flavor;
@@ -103,6 +108,7 @@ pub mod bulk_skeptic;
 pub(crate) mod compact;
 pub(crate) mod deltabtn;
 pub mod durability;
+pub mod epoch;
 pub mod error;
 pub mod format;
 pub mod gates;
@@ -126,6 +132,7 @@ pub mod value;
 
 pub use binary::{binarize, Btn, Parents};
 pub use durability::Durability;
+pub use epoch::{EpochNames, EpochReader, EpochSlot, EpochView};
 pub use error::{Error, Result};
 pub use format::{parse_network, render_network, FormatError};
 pub use incremental::{DeltaStats, Edit, IncrementalResolver};

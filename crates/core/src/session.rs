@@ -46,6 +46,7 @@
 //! session after a crash.
 
 use crate::durability::Durability;
+use crate::epoch::{EpochNames, EpochSlot, EpochView};
 use crate::error::{Error, Result};
 use crate::incremental::{DeltaStats, Edit, IncrementalResolver};
 use crate::lineage::Lineage;
@@ -57,6 +58,7 @@ use crate::skeptic::{RepPoss, SkepticUserResolution};
 use crate::skeptic_incremental::{SignedEdit, SkepticIncremental};
 use crate::user::User;
 use crate::value::Value;
+use std::sync::Arc;
 
 pub use crate::incremental::BeliefChange;
 
@@ -131,12 +133,22 @@ pub struct Session {
     policy: ParallelPolicy,
     /// Optional write-ahead sink; see [`crate::durability`]. Not cloned.
     durability: Option<Box<dyn Durability>>,
+    /// Publication point for epoch snapshots ([`Session::epoch`]);
+    /// readers hold their own `Arc` and never touch the session.
+    epochs: Arc<EpochSlot>,
+    /// The view published for the current state, reused verbatim while no
+    /// edits intervene (publishing a quiet session is O(1), not O(users)).
+    published: Option<Arc<EpochView>>,
+    /// Name tables shared across epochs until a new user/value interns.
+    names_cache: Option<Arc<EpochNames>>,
 }
 
 impl Clone for Session {
     /// Clones the in-memory state only: the durability sink stays with the
     /// original (`None` in the copy), because two sessions interleaving
-    /// commits in one write-ahead log would corrupt the edit history.
+    /// commits in one write-ahead log would corrupt the edit history. The
+    /// epoch slot is fresh for the same reason — two publishers on one
+    /// slot would interleave two divergent histories under its readers.
     fn clone(&self) -> Self {
         Session {
             net: self.net.clone(),
@@ -149,6 +161,9 @@ impl Clone for Session {
             traced: self.traced,
             policy: self.policy,
             durability: None,
+            epochs: Arc::new(EpochSlot::new()),
+            published: None,
+            names_cache: self.names_cache.clone(),
         }
     }
 }
@@ -167,6 +182,9 @@ impl Session {
             traced: false,
             policy: ParallelPolicy::default(),
             durability: None,
+            epochs: Arc::new(EpochSlot::new()),
+            published: None,
+            names_cache: None,
         }
     }
 
@@ -631,6 +649,67 @@ impl Session {
         changes
     }
 
+    /// Publishes (and returns) the epoch snapshot of the current committed
+    /// state: an immutable [`EpochView`] readers clone lock-free through
+    /// the session's [`EpochSlot`] — the MVCC read path of a serving
+    /// deployment (see [`crate::epoch`]).
+    ///
+    /// When no edits intervened since the last publication the published
+    /// handle is returned as-is (pointer-equal) instead of re-rendering
+    /// the O(users) view. The view's LSN is the durability sink's last
+    /// committed LSN (0 without a sink), so acknowledged writes can be
+    /// located in epochs via [`EpochSlot::wait_for_lsn`].
+    pub fn epoch(&mut self) -> Result<Arc<EpochView>> {
+        self.refresh()?;
+        if let Some(view) = &self.published {
+            return Ok(Arc::clone(view));
+        }
+        let lsn = self
+            .durability
+            .as_ref()
+            .map(|d| d.last_committed_lsn())
+            .unwrap_or(0);
+        let names = match self.names_cache.as_ref() {
+            Some(n)
+                if n.user_count() == self.net.user_count()
+                    && n.value_count() == self.net.domain().len() =>
+            {
+                Arc::clone(n)
+            }
+            _ => {
+                let n = Arc::new(EpochNames::of(&self.net));
+                self.names_cache = Some(Arc::clone(&n));
+                n
+            }
+        };
+        let epoch = self.epochs.epoch() + 1;
+        let view = Arc::new(match self.engine.as_ref() {
+            Some(LiveEngine::Skeptic(_)) => EpochView::skeptic(
+                epoch,
+                lsn,
+                self.sk_snapshot.as_ref().expect("skeptic keeps a snapshot"),
+                names,
+            ),
+            _ => EpochView::basic(
+                epoch,
+                lsn,
+                self.snapshot.as_ref().expect("basic keeps a snapshot"),
+                names,
+            ),
+        });
+        self.epochs.publish(Arc::clone(&view));
+        self.published = Some(Arc::clone(&view));
+        Ok(view)
+    }
+
+    /// The session's epoch publication slot. Hand clones of this to
+    /// reader threads (or build [`crate::epoch::EpochReader`]s from it);
+    /// they read the latest published epoch without ever blocking on the
+    /// session.
+    pub fn epoch_slot(&self) -> Arc<EpochSlot> {
+        Arc::clone(&self.epochs)
+    }
+
     /// Evaluates `edit` on a copy of the network and returns the resulting
     /// snapshot without committing anything.
     pub fn what_if(
@@ -656,6 +735,7 @@ impl Session {
         self.snapshot = None;
         self.sk_snapshot = None;
         self.pending.clear();
+        self.published = None;
     }
 
     /// Brings engine and snapshot in sync with the network. Inside an
@@ -726,6 +806,9 @@ impl Session {
     /// skeptic mode) the stale engine is dropped and the next snapshot
     /// rebuilds from scratch.
     fn drain(&mut self, edits: &[SignedEdit]) -> Result<Vec<BeliefChange>> {
+        // The state is about to change (edits, or engine growth for new
+        // users/values): the next `epoch()` must render a fresh view.
+        self.published = None;
         let result = match self.engine.as_mut().expect("drain requires an engine") {
             LiveEngine::Basic(engine) => {
                 let converted: Vec<Edit> = edits

@@ -59,9 +59,12 @@
 //! # Ok::<(), trustmap_core::Error>(())
 //! ```
 
+pub mod group;
 pub mod record;
 pub mod snapshot;
 pub mod wal;
+
+pub use group::{GroupCommitWindow, HubStats, Ticket, WriteAck, WriteHub, WriteOp};
 
 use record::{encode_into, Payload, Record};
 use std::fs::{File, OpenOptions};
@@ -112,6 +115,28 @@ struct Inner {
     /// store); every further commit is refused until a fresh
     /// [`Store::open`] re-anchors on what actually reached disk.
     poisoned: Option<String>,
+    /// Write-path counters (see [`StoreCounters`]).
+    counters: StoreCounters,
+}
+
+/// Algorithmic write-path counters of a [`Store`], for benches and tests
+/// that gate on counts instead of 1-core wall-clock: how many fsyncs the
+/// log paid, how many durable units and operation records they bought.
+///
+/// `records_appended / fsync_count` is the group-commit amortization
+/// factor (1.0 when every edit commits alone; the window size when edit
+/// groups coalesce).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Write-path `fsync` (`sync_data`) calls — one per committed unit
+    /// (recovery-time truncation syncs are not counted; they are not part
+    /// of the acknowledged write path).
+    pub fsync_count: u64,
+    /// Durable units committed (commit frames appended).
+    pub units_committed: u64,
+    /// Operation records (edits, interns, rewrites) inside those units —
+    /// commit frames themselves are not counted.
+    pub records_appended: u64,
 }
 
 /// A durable store directory: WAL + snapshots.
@@ -234,6 +259,7 @@ impl Store {
                 buf_records: 0,
                 unit_error: None,
                 poisoned: None,
+                counters: StoreCounters::default(),
             })),
         };
         // The log physically ends before the snapshot's watermark only if
@@ -294,6 +320,13 @@ impl Store {
     /// The store directory.
     pub fn dir(&self) -> PathBuf {
         self.inner.lock().expect("store mutex").dir.clone()
+    }
+
+    /// Write-path counters since this handle was opened (fsyncs, units,
+    /// records). Counts, not clocks: the group-commit acceptance gates
+    /// divide these instead of trusting 1-core wall time.
+    pub fn counters(&self) -> StoreCounters {
+        self.inner.lock().expect("store mutex").counters
     }
 
     fn buffer(&self, payload: &Payload) {
@@ -382,6 +415,9 @@ impl Durability for Store {
             Ok(()) => {
                 g.wal_len += buf.len() as u64;
                 g.last_committed = lsn;
+                g.counters.fsync_count += 1;
+                g.counters.units_committed += 1;
+                g.counters.records_appended += records as u64;
                 Ok(lsn)
             }
             Err(e) => {

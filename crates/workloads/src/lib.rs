@@ -28,7 +28,11 @@
 //! * [`power_law_signed`] / [`signed_edit_stream`] — the constraint-laden
 //!   variants: a fraction of believers assert negative beliefs, and edit
 //!   streams mix in constraint assertions — the inputs of the
-//!   `skeptic_bench` benchmark and the skeptic oracle.
+//!   `skeptic_bench` benchmark and the skeptic oracle;
+//! * [`serve_stream`] — mixed read/write request streams with a
+//!   configurable read:write ratio and [`Zipf`]-skewed key popularity,
+//!   the input of the concurrent-serving benchmark (`serve_bench`) and
+//!   the snapshot-isolation oracle.
 //!
 //! Every generator takes an explicit seed and is fully deterministic.
 
@@ -477,6 +481,127 @@ pub fn signed_edit_stream(
         .collect()
 }
 
+/// A Zipf(`s`) sampler over ranks `0..n`: rank `k` is drawn with weight
+/// `1/(k+1)^s`, the canonical model of key popularity in serving
+/// workloads (a few hot keys absorb most traffic). `s = 0` degenerates
+/// to uniform. Sampling is a cumulative-weight binary search, O(log n)
+/// per draw, built only on the integer entropy the seeded RNG provides.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precomputes cumulative weights for ranks `0..n` (`n ≥ 1`).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "empty Zipf domain");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty domain");
+        // 53 uniform bits → f64 in [0, 1): the same construction the RNG
+        // uses internally for `gen_bool`.
+        const BITS: u64 = 1 << 53;
+        let u = (rng.gen_range(0..BITS) as f64 / BITS as f64) * total;
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+/// One request in a mixed serving stream: point reads (certain value /
+/// possible set) or a write edit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOp {
+    /// Read the user's certain value.
+    Cert(User),
+    /// Read the user's possible set.
+    Poss(User),
+    /// Apply a write edit (routed through the single writer).
+    Write(Edit),
+}
+
+/// Tuning knobs for [`serve_stream`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeMix {
+    /// Fraction of requests that are reads.
+    pub read_fraction: f64,
+    /// Fraction of *reads* that ask for the possible set instead of the
+    /// certain value.
+    pub poss_fraction: f64,
+    /// Zipf skew exponent for key popularity (0 = uniform).
+    pub zipf_s: f64,
+    /// Mix of edit kinds within the write fraction.
+    pub writes: EditMix,
+}
+
+impl Default for ServeMix {
+    /// A read-heavy community database: 90% reads (a quarter of them
+    /// possible-set queries), Zipf(1.1) key skew — the usual power-law
+    /// popularity of serving caches.
+    fn default() -> Self {
+        ServeMix {
+            read_fraction: 0.9,
+            poss_fraction: 0.25,
+            zipf_s: 1.1,
+            writes: EditMix::default(),
+        }
+    }
+}
+
+/// A seeded mixed read/write request stream over an existing workload's
+/// users and values: `read_fraction` point reads and the rest write
+/// edits, all targets drawn from a [`Zipf`]-skewed popularity order (a
+/// seeded permutation of the user set, so hot keys are not simply the
+/// lowest ids). The input of the `serve_bench` many-readers/one-writer
+/// benchmark and the snapshot-isolation oracle; like every generator
+/// here it is fully deterministic in `seed`.
+pub fn serve_stream(w: &Workload, steps: usize, mix: ServeMix, seed: u64) -> Vec<ServeOp> {
+    let users = w.net.user_count();
+    let values = w.net.domain().len();
+    assert!(users >= 2 && values >= 1, "workload too small to serve");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<u32> = (0..users as u32).collect();
+    order.shuffle(&mut rng);
+    let zipf = Zipf::new(users, mix.zipf_s);
+    (0..steps)
+        .map(|_| {
+            let user = User(order[zipf.sample(&mut rng)]);
+            if rng.gen_bool(mix.read_fraction) {
+                if rng.gen_bool(mix.poss_fraction) {
+                    ServeOp::Poss(user)
+                } else {
+                    ServeOp::Cert(user)
+                }
+            } else if rng.gen_bool(mix.writes.trust_fraction) {
+                let parent = loop {
+                    let p = User(order[zipf.sample(&mut rng)]);
+                    if p != user {
+                        break p;
+                    }
+                };
+                ServeOp::Write(Edit::Trust {
+                    child: user,
+                    parent,
+                    priority: rng.gen_range(1..=100),
+                })
+            } else if rng.gen_bool(mix.writes.revoke_fraction) {
+                ServeOp::Write(Edit::Revoke(user))
+            } else {
+                ServeOp::Write(Edit::Believe(user, Value(rng.gen_range(0..values) as u32)))
+            }
+        })
+        .collect()
+}
+
 /// Applies one generated signed edit to a plain network (the "simply
 /// re-run Algorithm 2" baseline path; [`trustmap_core::SkepticIncremental`]
 /// applies the same edit incrementally).
@@ -657,6 +782,66 @@ mod tests {
         let btn = trustmap_core::binarize(&net);
         assert!(!btn.has_ties(), "streams never introduce ties");
         trustmap_core::skeptic::resolve_skeptic(&btn).expect("edited network resolves");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_uniform_at_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let zipf = Zipf::new(1000, 1.1);
+        let mut hits = vec![0usize; 1000];
+        for _ in 0..20_000 {
+            hits[zipf.sample(&mut rng)] += 1;
+        }
+        // Rank 0 carries far more than the uniform expectation (20).
+        assert!(hits[0] > 1000, "hot rank got {}", hits[0]);
+        assert!(hits[0] > 10 * hits[100].max(1));
+
+        let uniform = Zipf::new(1000, 0.0);
+        let mut hits = vec![0usize; 1000];
+        for _ in 0..20_000 {
+            hits[uniform.sample(&mut rng)] += 1;
+        }
+        let max = *hits.iter().max().unwrap();
+        assert!(max < 60, "uniform max bucket {max}");
+    }
+
+    #[test]
+    fn serve_streams_are_deterministic_skewed_and_applicable() {
+        let w = power_law(300, 2, 3, 0.3, 17);
+        let s1 = serve_stream(&w, 2000, ServeMix::default(), 9);
+        let s2 = serve_stream(&w, 2000, ServeMix::default(), 9);
+        assert_eq!(s1, s2, "same seed, same stream");
+        assert_ne!(s1, serve_stream(&w, 2000, ServeMix::default(), 10));
+
+        // Read-heavy per the default mix.
+        let reads = s1
+            .iter()
+            .filter(|op| matches!(op, ServeOp::Cert(_) | ServeOp::Poss(_)))
+            .count();
+        assert!(reads > s1.len() * 8 / 10 && reads < s1.len());
+
+        // Key popularity is skewed: the hottest user absorbs far more
+        // than the uniform share (2000/300 ≈ 7).
+        let mut per_user = vec![0usize; w.net.user_count()];
+        for op in &s1 {
+            let u = match op {
+                ServeOp::Cert(u) | ServeOp::Poss(u) => *u,
+                ServeOp::Write(Edit::Believe(u, _)) | ServeOp::Write(Edit::Revoke(u)) => *u,
+                ServeOp::Write(Edit::Trust { child, .. }) => *child,
+            };
+            per_user[u.index()] += 1;
+        }
+        let max = *per_user.iter().max().unwrap();
+        assert!(max > 100, "hottest key got {max}");
+
+        // Writes apply cleanly and the network stays resolvable.
+        let mut net = w.net.clone();
+        for op in &s1 {
+            if let ServeOp::Write(e) = op {
+                apply_edit(&mut net, *e);
+            }
+        }
+        resolve_network(&net).expect("edited network resolves");
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! trustmap snapshot <dir> [file]      # write a snapshot (optionally after
 //!                                     # importing <file> as the network)
 //! trustmap recover  <dir>             # recover the store, print how it went
+//! trustmap serve    <dir> [addr] [threads] [window]
+//!                                     # serve the store over the line
+//!                                     # protocol (default 127.0.0.1:4270,
+//!                                     # 4 threads, 16-edit commit window)
 //! ```
 //!
 //! Files use the format of [`trustmap::format`] (see `examples/indus.tn`);
@@ -34,7 +38,7 @@ fn main() -> ExitCode {
             eprintln!("error: {message}");
             eprintln!(
                 "usage: trustmap <resolve|skeptic|paradigm|agree|lineage|lp|stats> <file> [args]\n\
-                 \x20      trustmap <log|snapshot|recover> <store-dir> [args]"
+                 \x20      trustmap <log|snapshot|recover|serve> <store-dir> [args]"
             );
             ExitCode::FAILURE
         }
@@ -54,6 +58,12 @@ fn run(args: &[String]) -> std::result::Result<(), String> {
             )
         }
         "recover" => return cmd_recover(args.get(1).ok_or("recover needs a store directory")?),
+        "serve" => {
+            return cmd_serve(
+                args.get(1).ok_or("serve needs a store directory")?,
+                &args[2..],
+            )
+        }
         _ => {}
     }
 
@@ -189,6 +199,44 @@ fn cmd_recover(dir: &str) -> std::result::Result<(), String> {
         "state:              {} user(s): {certain} certain, {open} open, {bottom} inconsistent",
         users.len()
     );
+    Ok(())
+}
+
+fn cmd_serve(dir: &str, rest: &[String]) -> std::result::Result<(), String> {
+    use trustmap::serve::{Frontend, ServeConfig, Server};
+    use trustmap::store::GroupCommitWindow;
+
+    let addr = rest.first().map(String::as_str).unwrap_or("127.0.0.1:4270");
+    let mut config = ServeConfig::default();
+    if let Some(threads) = rest.get(1) {
+        config.threads = threads
+            .parse()
+            .map_err(|_| format!("bad thread count `{threads}`"))?;
+    }
+    if let Some(window) = rest.get(2) {
+        config.window = GroupCommitWindow::of(
+            window
+                .parse()
+                .map_err(|_| format!("bad window size `{window}`"))?,
+        );
+    }
+
+    let recovered = Store::open(dir).map_err(|e| e.to_string())?;
+    println!(
+        "recovered {dir}: {} user(s), lsn {}",
+        recovered.session.network().user_count(),
+        recovered.stats.last_lsn
+    );
+    let store = recovered.store.clone();
+    let frontend = std::sync::Arc::new(Frontend::new(recovered.session, Some(store), &config));
+    let server = Server::start(frontend, addr, &config).map_err(|e| format!("{addr}: {e}"))?;
+    println!(
+        "serving on {} ({} thread(s), {}-edit commit window); ^C to stop",
+        server.addr(),
+        config.threads,
+        config.window.max_edits
+    );
+    server.join();
     Ok(())
 }
 

@@ -17,7 +17,9 @@
 //! This facade crate re-exports the subsystem crates and adds the
 //! [`bridge`] between trust networks and logic programs (the paper's
 //! Theorem 2.9 equivalence, used both for testing and as the DLV-substitute
-//! baseline of the experiments):
+//! baseline of the experiments) plus [`serve`], the concurrent serving
+//! frontend (lock-free epoch-snapshot reads, group-commit writes, a
+//! line-protocol TCP layer — `trustmap serve <dir>`):
 //!
 //! * `trustmap_core` — the trust-network model and all resolution
 //!   algorithms;
@@ -53,6 +55,7 @@
 //! ```
 
 pub mod bridge;
+pub mod serve;
 
 pub use trustmap_core::format;
 pub use trustmap_core::{

@@ -1,0 +1,499 @@
+//! The `trustmap serve` frontend: concurrent serving over MVCC epochs and
+//! group commit.
+//!
+//! This module turns a recovered durable session into a many-clients
+//! service with the classic one-writer/many-readers split:
+//!
+//! * **Reads** never touch the writer. Each connection holds an
+//!   [`EpochReader`] over the hub's [`EpochSlot`]; a query resolves
+//!   against the immutable epoch snapshot current at arrival (one atomic
+//!   load in the steady state, no locks), so reads never block on writes
+//!   and never observe a torn mid-batch state.
+//! * **Writes** route to the single writer through the group-commit
+//!   [`WriteHub`]: concurrent writes coalesce into one WAL unit and one
+//!   fsync per window, and every acknowledgement carries the durable LSN
+//!   and the epoch that first reflects it.
+//! * **Read-your-writes** is a token, not a session property: a client
+//!   pins a read to its last write's LSN (`CERT alice @17`) and the
+//!   server serves it from the first epoch at or past that LSN
+//!   ([`EpochReader::wait_for_lsn`]).
+//!
+//! The protocol is line-oriented text — one request per line, one reply
+//! line per request (names therefore cannot contain whitespace):
+//!
+//! ```text
+//! CERT <user> [@<lsn>]            → OK <value|-> epoch=<e> lsn=<l>
+//! POSS <user> [@<lsn>]            → OK <v1,v2,...|-> epoch=<e> lsn=<l>
+//! BELIEVE <user> <value>          → OK lsn=<l> epoch=<e> group=<n>
+//! TRUST <child> <parent> <prio>   → OK lsn=<l> epoch=<e> group=<n>
+//! REVOKE <user>                   → OK lsn=<l> epoch=<e> group=<n>
+//! REJECT <user> <value>           → OK lsn=<l> epoch=<e> group=<n>
+//! EPOCH                           → OK epoch=<e> lsn=<l> users=<n>
+//! STATS                           → OK fsyncs=… units=… records=… groups=… acked=… failed=…
+//! PING                            → OK pong
+//! QUIT                            → OK bye (connection closes)
+//! ```
+//!
+//! Failures reply `ERR <message>` and keep the connection open. The
+//! request logic lives in [`Frontend::handle`], a pure function of
+//! (frontend, per-connection reader, line) — the protocol is fully
+//! testable without sockets; [`Server`] adds the thread-pool TCP layer
+//! on top.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use trustmap_core::epoch::{EpochReader, EpochSlot, EpochView};
+use trustmap_core::Session;
+use trustmap_store::{GroupCommitWindow, Store, WriteAck, WriteHub, WriteOp};
+
+/// Tuning for [`Frontend`] / [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Group-commit window for the write path.
+    pub window: GroupCommitWindow,
+    /// How long a pinned read (`@<lsn>`) may wait for its epoch before
+    /// replying `ERR`.
+    pub pin_timeout: Duration,
+    /// Worker threads for the TCP layer (each serves one connection at a
+    /// time; readers scale with threads, writes serialize in the hub).
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            window: GroupCommitWindow::default(),
+            pin_timeout: Duration::from_secs(5),
+            threads: 4,
+        }
+    }
+}
+
+/// One reply from [`Frontend::handle`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Send this line and keep the connection open.
+    Line(String),
+    /// Send `OK bye` and close the connection.
+    Bye,
+}
+
+/// The serving brain: epoch-snapshot reads + group-commit writes, no
+/// transport attached. Share it via `Arc` across however many
+/// connection handlers the transport runs.
+#[derive(Debug)]
+pub struct Frontend {
+    hub: WriteHub,
+    slot: Arc<EpochSlot>,
+    store: Option<Store>,
+    pin_timeout: Duration,
+}
+
+impl Frontend {
+    /// Starts the single writer over `session` with `config`'s window.
+    /// Pass the session's [`Store`] handle to expose durability counters
+    /// via `STATS` (reads `fsyncs=0 units=0 records=0` otherwise).
+    pub fn new(session: Session, store: Option<Store>, config: &ServeConfig) -> Self {
+        let hub = WriteHub::new(session, config.window);
+        let slot = hub.epochs();
+        Frontend {
+            hub,
+            slot,
+            store,
+            pin_timeout: config.pin_timeout,
+        }
+    }
+
+    /// A fresh per-connection epoch reader.
+    pub fn reader(&self) -> EpochReader {
+        self.slot.reader()
+    }
+
+    /// The epoch slot (for out-of-band readers, e.g. benchmarks).
+    pub fn epochs(&self) -> Arc<EpochSlot> {
+        Arc::clone(&self.slot)
+    }
+
+    /// Routes one write through the group-commit hub (blocking until the
+    /// group's fsync).
+    pub fn write(&self, op: WriteOp) -> trustmap_core::Result<WriteAck> {
+        self.hub.submit(op)
+    }
+
+    /// Stops the writer (flushing pending groups) and returns the
+    /// session, e.g. to snapshot before exit.
+    pub fn shutdown(&self) -> Option<Session> {
+        self.hub.shutdown()
+    }
+
+    /// Handles one request line against this connection's `reader`.
+    pub fn handle(&self, reader: &mut EpochReader, line: &str) -> Reply {
+        let mut tokens: Vec<&str> = line.split_whitespace().collect();
+        // A trailing `@<lsn>` token pins reads to that write's epoch.
+        let pin: Option<u64> = match tokens.last() {
+            Some(last) if last.starts_with('@') => match last[1..].parse() {
+                Ok(lsn) => {
+                    tokens.pop();
+                    Some(lsn)
+                }
+                Err(_) => return Reply::Line(format!("ERR bad lsn token `{last}`")),
+            },
+            _ => None,
+        };
+        let verb = match tokens.first() {
+            Some(v) => v.to_ascii_uppercase(),
+            None => return Reply::Line("ERR empty request".into()),
+        };
+        let reply = match (verb.as_str(), &tokens[1..]) {
+            ("CERT", [user]) => self.read_at(reader, pin, |view| {
+                let u = view
+                    .names()
+                    .find_user(user)
+                    .ok_or_else(|| format!("unknown user `{user}`"))?;
+                let value = view
+                    .cert(u)
+                    .and_then(|v| view.names().value_name(v))
+                    .unwrap_or("-");
+                Ok(format!(
+                    "OK {value} epoch={} lsn={}",
+                    view.epoch(),
+                    view.lsn()
+                ))
+            }),
+            ("POSS", [user]) => self.read_at(reader, pin, |view| {
+                let u = view
+                    .names()
+                    .find_user(user)
+                    .ok_or_else(|| format!("unknown user `{user}`"))?;
+                let poss = view.poss(u);
+                let names: Vec<&str> = poss
+                    .iter()
+                    .filter_map(|&v| view.names().value_name(v))
+                    .collect();
+                let list = if names.is_empty() {
+                    "-".to_string()
+                } else {
+                    names.join(",")
+                };
+                Ok(format!(
+                    "OK {list} epoch={} lsn={}",
+                    view.epoch(),
+                    view.lsn()
+                ))
+            }),
+            ("BELIEVE", [user, value]) => self.write_op(WriteOp::Believe {
+                user: (*user).into(),
+                value: (*value).into(),
+            }),
+            ("TRUST", [child, parent, priority]) => match priority.parse() {
+                Ok(priority) => self.write_op(WriteOp::Trust {
+                    child: (*child).into(),
+                    parent: (*parent).into(),
+                    priority,
+                }),
+                Err(_) => Err(format!("bad priority `{priority}`")),
+            },
+            ("REVOKE", [user]) => self.write_op(WriteOp::Revoke {
+                user: (*user).into(),
+            }),
+            ("REJECT", [user, value]) => self.write_op(WriteOp::Reject {
+                user: (*user).into(),
+                value: (*value).into(),
+            }),
+            ("EPOCH", []) => {
+                let view = reader.current();
+                Ok(format!(
+                    "OK epoch={} lsn={} users={}",
+                    view.epoch(),
+                    view.lsn(),
+                    view.user_count()
+                ))
+            }
+            ("STATS", []) => {
+                let counters = self
+                    .store
+                    .as_ref()
+                    .map(|s| s.counters())
+                    .unwrap_or_default();
+                let stats = self.hub.stats();
+                Ok(format!(
+                    "OK fsyncs={} units={} records={} groups={} acked={} failed={}",
+                    counters.fsync_count,
+                    counters.units_committed,
+                    counters.records_appended,
+                    stats.groups,
+                    stats.ops_acked,
+                    stats.ops_failed
+                ))
+            }
+            ("PING", []) => Ok("OK pong".into()),
+            ("QUIT", []) => return Reply::Bye,
+            _ => Err(format!("bad request `{}`", line.trim())),
+        };
+        Reply::Line(reply.unwrap_or_else(|e| format!("ERR {e}")))
+    }
+
+    fn read_at(
+        &self,
+        reader: &mut EpochReader,
+        pin: Option<u64>,
+        query: impl FnOnce(&EpochView) -> Result<String, String>,
+    ) -> Result<String, String> {
+        let view = match pin {
+            Some(lsn) => reader
+                .wait_for_lsn(lsn, self.pin_timeout)
+                .ok_or_else(|| format!("timed out waiting for lsn {lsn}"))?,
+            None => reader.current(),
+        };
+        query(view)
+    }
+
+    fn write_op(&self, op: WriteOp) -> Result<String, String> {
+        match self.hub.submit(op) {
+            Ok(ack) => Ok(format!(
+                "OK lsn={} epoch={} group={}",
+                ack.lsn, ack.epoch, ack.group_size
+            )),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}
+
+/// The TCP layer: a fixed pool of worker threads sharing one listener,
+/// each serving one connection at a time through [`Frontend::handle`].
+#[derive(Debug)]
+pub struct Server {
+    frontend: Arc<Frontend>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// `config.threads` accept workers over `frontend`.
+    pub fn start(
+        frontend: Arc<Frontend>,
+        addr: &str,
+        config: &ServeConfig,
+    ) -> std::io::Result<Server> {
+        let listener = Arc::new(TcpListener::bind(addr)?);
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = (0..config.threads.max(1))
+            .map(|i| {
+                let listener = Arc::clone(&listener);
+                let frontend = Arc::clone(&frontend);
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("trustmap-serve-{i}"))
+                    .spawn(move || loop {
+                        let (stream, _) = match listener.accept() {
+                            Ok(conn) => conn,
+                            Err(_) => return,
+                        };
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let _ = serve_connection(&frontend, stream);
+                    })
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Ok(Server {
+            frontend,
+            addr,
+            stop,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The frontend behind this server.
+    pub fn frontend(&self) -> &Arc<Frontend> {
+        &self.frontend
+    }
+
+    /// Blocks until every worker exits (i.e. forever, absent
+    /// [`Server::stop`] from another thread).
+    pub fn join(self) {
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// Stops accepting, wakes idle workers, and joins them. Workers busy
+    /// with a live connection finish when that client disconnects.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::Release);
+        for _ in 0..self.workers.len() {
+            // Wake each blocked accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One connection: read request lines, write one reply line each.
+fn serve_connection(frontend: &Frontend, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = frontend.reader();
+    let input = BufReader::new(stream.try_clone()?);
+    let mut output = BufWriter::new(stream);
+    for line in input.lines() {
+        match frontend.handle(&mut reader, &line?) {
+            Reply::Line(reply) => {
+                writeln!(output, "{reply}")?;
+                output.flush()?;
+            }
+            Reply::Bye => {
+                writeln!(output, "OK bye")?;
+                output.flush()?;
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("trustmap-serve-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn frontend(dir: &PathBuf) -> Frontend {
+        let recovered = Store::open(dir).expect("fresh store");
+        let store = recovered.store.clone();
+        Frontend::new(
+            recovered.session,
+            Some(store),
+            &ServeConfig {
+                window: GroupCommitWindow::per_edit(),
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn protocol_round_trips_without_sockets() {
+        let dir = fresh_dir("protocol");
+        let f = frontend(&dir);
+        let mut r = f.reader();
+        let line = |f: &Frontend, r: &mut EpochReader, s: &str| match f.handle(r, s) {
+            Reply::Line(l) => l,
+            Reply::Bye => "BYE".into(),
+        };
+
+        assert_eq!(line(&f, &mut r, "PING"), "OK pong");
+        assert!(line(&f, &mut r, "CERT nobody").starts_with("ERR unknown user"));
+
+        let ack = line(&f, &mut r, "BELIEVE alice fish");
+        assert!(ack.starts_with("OK lsn="), "{ack}");
+        assert!(line(&f, &mut r, "TRUST bob alice 100").starts_with("OK lsn="));
+        assert!(line(&f, &mut r, "believe carol knot").starts_with("OK lsn="));
+        assert!(line(&f, &mut r, "TRUST bob carol 50").starts_with("OK lsn="));
+
+        // Reads resolve through the published epoch: bob follows alice.
+        assert!(line(&f, &mut r, "CERT bob").starts_with("OK fish "));
+        assert!(line(&f, &mut r, "POSS bob").starts_with("OK fish "));
+
+        // Validation failures keep the connection usable.
+        assert!(line(&f, &mut r, "TRUST dave dave 5").starts_with("ERR "));
+        assert!(line(&f, &mut r, "NOSUCH thing").starts_with("ERR bad request"));
+        assert!(line(&f, &mut r, "TRUST a b zillion").starts_with("ERR bad priority"));
+        assert!(line(&f, &mut r, "CERT alice @nope").starts_with("ERR bad lsn"));
+
+        let epoch = line(&f, &mut r, "EPOCH");
+        assert!(epoch.contains("users=4"), "{epoch}");
+        let stats = line(&f, &mut r, "STATS");
+        // 4 successful writes + the self-trust group (which still durably
+        // interned `dave` before validation rejected the mapping).
+        assert!(stats.contains("fsyncs=5"), "{stats}");
+        assert!(stats.contains("acked=4 failed=1"), "{stats}");
+        assert_eq!(f.handle(&mut r, "QUIT"), Reply::Bye);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pinned_reads_are_read_your_writes() {
+        let dir = fresh_dir("pin");
+        let f = frontend(&dir);
+        let mut r = f.reader();
+        let ack = f.write(WriteOp::Believe {
+            user: "alice".into(),
+            value: "vase".into(),
+        });
+        let ack = ack.expect("durable");
+        // A reader that pins to the ack's LSN always sees the write, even
+        // though it never read before.
+        let reply = match f.handle(&mut r, &format!("CERT alice @{}", ack.lsn)) {
+            Reply::Line(l) => l,
+            Reply::Bye => unreachable!(),
+        };
+        assert!(reply.starts_with("OK vase "), "{reply}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tcp_server_serves_concurrent_clients() {
+        let dir = fresh_dir("tcp");
+        let recovered = Store::open(&dir).expect("fresh store");
+        let store = recovered.store.clone();
+        let config = ServeConfig {
+            threads: 3,
+            ..Default::default()
+        };
+        let f = Arc::new(Frontend::new(recovered.session, Some(store), &config));
+        let server = Server::start(Arc::clone(&f), "127.0.0.1:0", &config).expect("bind");
+        let addr = server.addr();
+
+        let clients: Vec<_> = (0..3)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut input = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut output = stream;
+                    let mut ask = |req: &str| {
+                        writeln!(output, "{req}").expect("send");
+                        let mut reply = String::new();
+                        input.read_line(&mut reply).expect("reply");
+                        reply.trim_end().to_string()
+                    };
+                    let ack = ask(&format!("BELIEVE user{i} v{i}"));
+                    assert!(ack.starts_with("OK lsn="), "{ack}");
+                    let lsn: u64 = ack
+                        .split_whitespace()
+                        .find_map(|t| t.strip_prefix("lsn="))
+                        .expect("lsn field")
+                        .parse()
+                        .expect("numeric lsn");
+                    // Read-your-writes through the LSN token.
+                    let read = ask(&format!("CERT user{i} @{lsn}"));
+                    assert!(read.starts_with(&format!("OK v{i} ")), "{read}");
+                    assert_eq!(ask("QUIT"), "OK bye");
+                })
+            })
+            .collect();
+        for client in clients {
+            client.join().expect("client");
+        }
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -34,7 +34,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
-use trustmap::store::{cold_replay, Store};
+use trustmap::store::{cold_replay, Store, StoreOptions};
 use trustmap::workloads::power_law;
 use trustmap_core::signed::ExplicitBelief;
 use trustmap_core::{resolve_network, Session, TrustNetwork, User, Value};
@@ -110,7 +110,13 @@ fn measure(cfg: &Config) -> Row {
     let w = power_law(cfg.users, 2, 4, 0.2, 8 + cfg.users as u64);
     let values: Vec<Value> = w.net.domain().values().collect();
 
-    let mut live = Store::open(&dir).expect("fresh store");
+    // Retention off: the cold-replay baselines below need the full log
+    // back to genesis, which the snapshot would otherwise retire.
+    let opts = StoreOptions {
+        retain_on_snapshot: false,
+        ..StoreOptions::default()
+    };
+    let mut live = Store::open_with(&dir, opts).expect("fresh store");
     let t = Instant::now();
     construct(&mut live.session, &w.net);
     let construction_us = t.elapsed().as_secs_f64() * 1e6;

@@ -660,15 +660,31 @@ impl Session {
     /// committed LSN (0 without a sink), so acknowledged writes can be
     /// located in epochs via [`EpochSlot::wait_for_lsn`].
     pub fn epoch(&mut self) -> Result<Arc<EpochView>> {
-        self.refresh()?;
-        if let Some(view) = &self.published {
-            return Ok(Arc::clone(view));
-        }
         let lsn = self
             .durability
             .as_ref()
             .map(|d| d.last_committed_lsn())
             .unwrap_or(0);
+        self.epoch_at(lsn)
+    }
+
+    /// [`Session::epoch`] with an explicit LSN stamp, for sessions whose
+    /// durable position is tracked outside a durability sink — a
+    /// replication follower replays shipped log units and stamps each
+    /// published view with the watermark it has durably applied, so
+    /// `CERT/POSS @<lsn>` reads against the follower get read-your-writes
+    /// semantics through [`EpochSlot::wait_for_lsn`].
+    ///
+    /// The cached publication is reused only when its LSN already matches
+    /// `lsn`; publishing the same state under a new watermark re-renders
+    /// (and re-publishes) so waiters keyed on the new LSN wake up.
+    pub fn epoch_at(&mut self, lsn: u64) -> Result<Arc<EpochView>> {
+        self.refresh()?;
+        if let Some(view) = &self.published {
+            if view.lsn() == lsn {
+                return Ok(Arc::clone(view));
+            }
+        }
         let names = match self.names_cache.as_ref() {
             Some(n)
                 if n.user_count() == self.net.user_count()
@@ -708,6 +724,18 @@ impl Session {
     /// session.
     pub fn epoch_slot(&self) -> Arc<EpochSlot> {
         Arc::clone(&self.epochs)
+    }
+
+    /// Replaces this session's publication slot with `slot`, so readers
+    /// holding clones of an *earlier* session's slot keep receiving
+    /// epochs after the session is rebuilt wholesale (a replication
+    /// follower re-anchoring on a bootstrap snapshot). The previous
+    /// session must already be retired — an epoch slot tolerates exactly
+    /// one publisher — and published epochs must keep advancing (the next
+    /// publication continues the slot's epoch counter).
+    pub fn adopt_epoch_slot(&mut self, slot: Arc<EpochSlot>) {
+        self.epochs = slot;
+        self.published = None;
     }
 
     /// Evaluates `edit` on a copy of the network and returns the resulting

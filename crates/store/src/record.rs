@@ -64,6 +64,39 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !c
 }
 
+/// Streaming [`crc32`]: the same digest fed incrementally, so the store
+/// and a replication follower can maintain a segment's running data CRC
+/// across appends without re-reading the file at seal time.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh digest (equals `crc32(b"")` when finished immediately).
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Feeds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = CRC_TABLE[((self.state ^ b as u32) & 0xff) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// The CRC of everything fed so far (the digest stays usable).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Payloads
 // ---------------------------------------------------------------------------
@@ -368,6 +401,17 @@ mod tests {
         // IEEE CRC32 of "123456789" is the classic check value.
         assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_crc_matches_one_shot_at_every_split() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..=data.len() {
+            let mut d = Crc32::new();
+            d.update(&data[..split]);
+            d.update(&data[split..]);
+            assert_eq!(d.finish(), crc32(data), "split at {split}");
+        }
     }
 
     fn roundtrip(payload: Payload) {

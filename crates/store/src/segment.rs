@@ -1,0 +1,382 @@
+//! WAL segments: sealed, CRC-footered slices of the log, plus the
+//! manifest that indexes them.
+//!
+//! The log is a chain of files `wal-<first_lsn>.seg` (the LSN is
+//! zero-padded so lexicographic order is log order). Exactly one segment
+//! — the one with the highest `first_lsn` — is *live*: the store appends
+//! commit units to it. When the live segment crosses the rotation
+//! threshold it is **sealed**: a fixed-size footer is appended,
+//!
+//! ```text
+//! ┌───────────┬───────────────┬──────────────┬───────────────┬───────────────┬────────────────┐
+//! │ magic (8) │ first_lsn: u64│ last_lsn: u64│ data_len: u64 │ data_crc: u32 │ footer_crc: u32│
+//! └───────────┴───────────────┴──────────────┴───────────────┴───────────────┴────────────────┘
+//! ```
+//!
+//! (`data_crc` covers the `data_len` record bytes preceding the footer,
+//! `footer_crc` covers the 36 footer bytes before it; all integers
+//! little-endian), and a fresh live segment opens at `last_lsn + 1`.
+//! LSNs are dense — every record, commit frames included, consumes one —
+//! so segment boundaries are self-describing: a chain is intact iff each
+//! segment's `first_lsn` is its predecessor's `last_lsn + 1`.
+//!
+//! Sealed segments are immutable, which is what makes them shippable: a
+//! follower that pulls the same bytes and appends the same deterministic
+//! footer ends up with a byte-identical file. It is also what makes
+//! corruption in one unforgivable — recovery truncates torn tails only in
+//! the live segment; a sealed segment that fails its CRC is a disk lying
+//! about immutable history, and recovery fails loudly rather than
+//! guessing.
+//!
+//! The **manifest** (`manifest.tm`) is a small CRC-trailed text file
+//! listing the sealed segments. It is a rebuildable index, not the source
+//! of truth: recovery cross-checks it against the directory and footers,
+//! and a corrupt or missing manifest is repaired from the segments
+//! themselves (with a warning), never trusted over them.
+
+use crate::record::crc32;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use trustmap_core::{Error, Result};
+
+/// Magic bytes opening a segment footer (trailing byte = format version).
+pub const FOOTER_MAGIC: &[u8; 8] = b"TMSEGF\x00\x01";
+
+/// Size of the sealed-segment footer in bytes.
+pub const FOOTER_LEN: usize = 40;
+
+/// File name of the segment manifest inside a store directory.
+pub const MANIFEST_FILE: &str = "manifest.tm";
+
+/// First line of the manifest.
+pub const MANIFEST_HEADER: &str = "#!trustmap-manifest v1";
+
+/// Metadata of one sealed segment — what the footer and the manifest
+/// record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// LSN of the first record in the segment.
+    pub first_lsn: u64,
+    /// LSN of the commit frame the segment ends on (segments are sealed
+    /// only at commit boundaries).
+    pub last_lsn: u64,
+    /// Bytes of record data preceding the footer.
+    pub data_len: u64,
+    /// CRC32 (IEEE) of those data bytes.
+    pub data_crc: u32,
+}
+
+/// The file name of the segment whose first record is `first_lsn`.
+pub fn file_name(first_lsn: u64) -> String {
+    format!("wal-{first_lsn:020}.seg")
+}
+
+/// The path of the segment whose first record is `first_lsn`.
+pub fn path(dir: &Path, first_lsn: u64) -> PathBuf {
+    dir.join(file_name(first_lsn))
+}
+
+/// Parses a segment file name back into its `first_lsn`.
+pub fn parse_file_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+/// Encodes the sealed footer for `meta`. Deterministic: a follower that
+/// appends this to the same data bytes produces a byte-identical file.
+pub fn encode_footer(meta: &SegmentMeta) -> [u8; FOOTER_LEN] {
+    let mut out = [0u8; FOOTER_LEN];
+    out[0..8].copy_from_slice(FOOTER_MAGIC);
+    out[8..16].copy_from_slice(&meta.first_lsn.to_le_bytes());
+    out[16..24].copy_from_slice(&meta.last_lsn.to_le_bytes());
+    out[24..32].copy_from_slice(&meta.data_len.to_le_bytes());
+    out[32..36].copy_from_slice(&meta.data_crc.to_le_bytes());
+    let crc = crc32(&out[..36]);
+    out[36..40].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes a 40-byte footer; `None` on bad magic or CRC.
+pub fn decode_footer(bytes: &[u8]) -> Option<SegmentMeta> {
+    if bytes.len() != FOOTER_LEN || &bytes[0..8] != FOOTER_MAGIC {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[36..40].try_into().expect("4 bytes"));
+    if crc32(&bytes[..36]) != crc {
+        return None;
+    }
+    Some(SegmentMeta {
+        first_lsn: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+        last_lsn: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
+        data_len: u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")),
+        data_crc: u32::from_le_bytes(bytes[32..36].try_into().expect("4 bytes")),
+    })
+}
+
+/// One segment file read back: its record data and, if sealed, the
+/// decoded footer. A footer is only recognized when its `data_len`
+/// matches the bytes actually preceding it, so record data can never
+/// masquerade as a seal.
+#[derive(Debug)]
+pub struct SegmentData {
+    /// The record bytes (footer excluded).
+    pub data: Vec<u8>,
+    /// The footer, when the segment is sealed.
+    pub footer: Option<SegmentMeta>,
+}
+
+/// Reads a segment file, splitting off the sealed footer if present.
+/// Does **not** verify `data_crc` — callers that are about to trust the
+/// data (recovery above the snapshot watermark, shipping) must.
+pub fn read(path: &Path) -> std::io::Result<SegmentData> {
+    let bytes = fs::read(path)?;
+    Ok(split_footer(bytes))
+}
+
+/// Splits raw segment bytes into data + footer (see [`read`]).
+pub fn split_footer(mut bytes: Vec<u8>) -> SegmentData {
+    if bytes.len() >= FOOTER_LEN {
+        let split = bytes.len() - FOOTER_LEN;
+        if let Some(meta) = decode_footer(&bytes[split..]) {
+            if meta.data_len == split as u64 {
+                bytes.truncate(split);
+                return SegmentData {
+                    data: bytes,
+                    footer: Some(meta),
+                };
+            }
+        }
+    }
+    SegmentData {
+        data: bytes,
+        footer: None,
+    }
+}
+
+/// Probes just the tail of a segment file (its last [`FOOTER_LEN`]
+/// bytes): returns the file length and the decoded footer when the
+/// segment is sealed. Recovery uses this to skip segments wholly below
+/// the snapshot watermark without reading their data — keeping recovery
+/// O(snapshot + tail), never O(history).
+pub fn read_meta(path: &Path) -> std::io::Result<(u64, Option<SegmentMeta>)> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = fs::File::open(path)?;
+    let len = f.metadata()?.len();
+    if len < FOOTER_LEN as u64 {
+        return Ok((len, None));
+    }
+    f.seek(SeekFrom::End(-(FOOTER_LEN as i64)))?;
+    let mut buf = [0u8; FOOTER_LEN];
+    f.read_exact(&mut buf)?;
+    let meta = decode_footer(&buf).filter(|m| m.data_len == len - FOOTER_LEN as u64);
+    Ok((len, meta))
+}
+
+/// All segment files in `dir`, ascending by `first_lsn`.
+pub fn list_files(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(first) = entry.file_name().to_str().and_then(parse_file_name) {
+            out.push((first, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|(first, _)| *first);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// The manifest as found on disk.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ManifestState {
+    /// No manifest file (fresh store, or pre-segment layout).
+    Missing,
+    /// Present but unreadable/corrupt — must be rebuilt from footers.
+    Corrupt(String),
+    /// The sealed segments it lists, ascending.
+    Sealed(Vec<SegmentMeta>),
+}
+
+fn render_manifest(sealed: &[SegmentMeta]) -> String {
+    let mut body = String::from(MANIFEST_HEADER);
+    body.push('\n');
+    for m in sealed {
+        body.push_str(&format!(
+            "seg {} {} {} {:08x}\n",
+            m.first_lsn, m.last_lsn, m.data_len, m.data_crc
+        ));
+    }
+    let crc = crc32(body.as_bytes());
+    body.push_str(&format!("crc {crc:08x}\n"));
+    body
+}
+
+fn parse_manifest(text: &str) -> std::result::Result<Vec<SegmentMeta>, String> {
+    let Some((body, crc_line)) = text
+        .strip_suffix('\n')
+        .and_then(|t| t.rsplit_once('\n'))
+        .map(|(body, crc)| (format!("{body}\n"), crc))
+    else {
+        return Err("manifest has no CRC trailer".into());
+    };
+    let crc: u32 = crc_line
+        .strip_prefix("crc ")
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or("manifest CRC line is malformed")?;
+    if crc32(body.as_bytes()) != crc {
+        return Err("manifest CRC mismatch".into());
+    }
+    let mut lines = body.lines();
+    if lines.next() != Some(MANIFEST_HEADER) {
+        return Err("manifest header mismatch".into());
+    }
+    let mut sealed = Vec::new();
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("seg") {
+            return Err(format!("manifest: unexpected line {line:?}"));
+        }
+        let mut num = || -> std::result::Result<u64, String> {
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("manifest: bad seg line {line:?}"))
+        };
+        let (first_lsn, last_lsn, data_len) = (num()?, num()?, num()?);
+        let data_crc = parts
+            .next()
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| format!("manifest: bad seg line {line:?}"))?;
+        sealed.push(SegmentMeta {
+            first_lsn,
+            last_lsn,
+            data_len,
+            data_crc,
+        });
+    }
+    if !sealed.windows(2).all(|w| w[0].first_lsn < w[1].first_lsn) {
+        return Err("manifest segments out of order".into());
+    }
+    Ok(sealed)
+}
+
+/// Reads the manifest of `dir`. Corruption is reported, never fatal —
+/// the caller rebuilds from footers ([`ManifestState::Corrupt`]).
+pub fn read_manifest(dir: &Path) -> ManifestState {
+    match fs::read_to_string(dir.join(MANIFEST_FILE)) {
+        Ok(text) => match parse_manifest(&text) {
+            Ok(sealed) => ManifestState::Sealed(sealed),
+            Err(why) => ManifestState::Corrupt(why),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => ManifestState::Missing,
+        Err(e) => ManifestState::Corrupt(e.to_string()),
+    }
+}
+
+/// Atomically replaces the manifest (tmp + rename + directory fsync), so
+/// a crash mid-update leaves either the old or the new index, never a
+/// torn one.
+pub fn write_manifest(dir: &Path, sealed: &[SegmentMeta]) -> Result<()> {
+    let path = dir.join(MANIFEST_FILE);
+    let tmp = dir.join("manifest.tmp");
+    let text = render_manifest(sealed);
+    let mut f =
+        fs::File::create(&tmp).map_err(|e| Error::Io(format!("create {}: {e}", tmp.display())))?;
+    f.write_all(text.as_bytes())
+        .and_then(|()| f.sync_data())
+        .map_err(|e| Error::Io(format!("write {}: {e}", tmp.display())))?;
+    drop(f);
+    fs::rename(&tmp, &path)
+        .map_err(|e| Error::Io(format!("rename into {}: {e}", path.display())))?;
+    crate::sync_dir(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(first: u64, last: u64) -> SegmentMeta {
+        SegmentMeta {
+            first_lsn: first,
+            last_lsn: last,
+            data_len: 128,
+            data_crc: 0xdead_beef,
+        }
+    }
+
+    #[test]
+    fn footer_round_trips_and_rejects_every_bit_flip() {
+        let m = meta(17, 42);
+        let bytes = encode_footer(&m);
+        assert_eq!(decode_footer(&bytes), Some(m));
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut copy = bytes;
+                copy[byte] ^= 1 << bit;
+                assert_eq!(decode_footer(&copy), None, "flip at {byte}.{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn file_names_round_trip_in_log_order() {
+        assert_eq!(parse_file_name(&file_name(1)), Some(1));
+        assert_eq!(parse_file_name(&file_name(u64::MAX)), Some(u64::MAX));
+        assert!(file_name(9) < file_name(10), "zero-padding keeps order");
+        assert_eq!(parse_file_name("wal.log"), None);
+        assert_eq!(parse_file_name("snapshot-1.bin"), None);
+    }
+
+    #[test]
+    fn split_footer_requires_matching_data_len() {
+        let m = SegmentMeta {
+            data_len: 3,
+            ..meta(1, 5)
+        };
+        let mut bytes = vec![1, 2, 3];
+        bytes.extend_from_slice(&encode_footer(&m));
+        let seg = split_footer(bytes.clone());
+        assert_eq!(seg.footer, Some(m));
+        assert_eq!(seg.data, vec![1, 2, 3]);
+        // Same bytes with an extra data byte: data_len no longer matches,
+        // so the trailing 40 bytes are just data (an unsealed segment).
+        bytes.insert(0, 0);
+        let seg = split_footer(bytes);
+        assert_eq!(seg.footer, None);
+        assert_eq!(seg.data.len(), 44);
+    }
+
+    #[test]
+    fn manifest_round_trips_and_detects_corruption() {
+        let dir = std::env::temp_dir().join(format!("tm-seg-manifest-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(read_manifest(&dir), ManifestState::Missing);
+        let sealed = vec![meta(1, 9), meta(10, 20)];
+        write_manifest(&dir, &sealed).unwrap();
+        assert_eq!(read_manifest(&dir), ManifestState::Sealed(sealed.clone()));
+        // Flip one bit anywhere: the CRC trailer catches it. (Bit 0, not
+        // 0x20: hex parsing is case-insensitive, so a case flip inside
+        // the CRC line itself would read back as the same value.)
+        let path = dir.join(MANIFEST_FILE);
+        let good = fs::read(&path).unwrap();
+        for byte in 0..good.len() {
+            let mut copy = good.clone();
+            copy[byte] ^= 0x01;
+            fs::write(&path, &copy).unwrap();
+            assert!(
+                matches!(read_manifest(&dir), ManifestState::Corrupt(_)),
+                "flip at byte {byte} went undetected"
+            );
+        }
+        fs::write(&path, good).unwrap();
+        assert_eq!(read_manifest(&dir), ManifestState::Sealed(sealed));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

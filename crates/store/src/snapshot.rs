@@ -129,7 +129,7 @@ pub(crate) fn decode_net(r: &mut Reader<'_>) -> Option<TrustNetwork> {
     Some(net)
 }
 
-fn encode(net: &TrustNetwork, lsn: u64, wal_offset: u64) -> Vec<u8> {
+pub(crate) fn encode(net: &TrustNetwork, lsn: u64, wal_offset: u64) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64 + 32 * net.user_count());
     buf.extend_from_slice(MAGIC);
     put_u64(&mut buf, lsn);
@@ -140,7 +140,7 @@ fn encode(net: &TrustNetwork, lsn: u64, wal_offset: u64) -> Vec<u8> {
     buf
 }
 
-fn decode(bytes: &[u8]) -> Option<Snapshot> {
+pub(crate) fn decode(bytes: &[u8]) -> Option<Snapshot> {
     let body = bytes.strip_prefix(MAGIC.as_slice())?;
     if body.len() < 4 {
         return None;

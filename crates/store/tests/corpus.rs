@@ -2,15 +2,24 @@
 //!
 //! Builds a small corpus of store directories through the real durable
 //! `Session` API — positive-only histories, signed histories with a
-//! mid-stream snapshot, closure rewrites — then attacks each WAL:
+//! mid-stream snapshot, closure rewrites, and a **multi-segment chain**
+//! (small rotation threshold, snapshot mid-chain) — then attacks the
+//! on-disk log:
 //!
-//! * **truncation at every byte offset**, and
-//! * **a bit flip at every byte offset**,
+//! * **truncation at every byte offset** of the live segment,
+//! * **a bit flip at every byte offset** of every file (live segment,
+//!   sealed segments above and below the snapshot watermark, manifest),
+//! * **a missing segment** anywhere in the chain,
 //!
 //! asserting that recovery (a) never panics, (b) lands exactly on the
-//! last committed LSN reachable from the damaged file, and (c) serves the
-//! byte-identical network state recorded at that commit point — never a
-//! half batch.
+//! last committed LSN reachable from the damaged directory — or fails
+//! loudly when damage hits *sealed* history it still needs — and
+//! (c) serves the byte-identical network state recorded at that commit
+//! point; never a half batch, never garbage.
+//!
+//! Single-segment fixtures are attacked in both layouts: as the segment
+//! file `wal-…0001.seg` and as a legacy `wal.log` (exercising the
+//! migration path on every damaged input).
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -18,7 +27,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use trustmap_core::{format, NegSet, Session};
 use trustmap_store::record::{decode_frame, Framed};
-use trustmap_store::{snapshot, Store, WAL_FILE};
+use trustmap_store::{segment, snapshot, wal, SegmentMeta, Store, StoreOptions, WAL_FILE};
 
 static DIRS: AtomicUsize = AtomicUsize::new(0);
 
@@ -33,10 +42,21 @@ fn fresh_dir(tag: &str) -> PathBuf {
     dir
 }
 
+/// How a single-segment fixture's damaged log bytes are laid on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    /// As the segment `wal-…0001.seg` (the modern layout).
+    Segment,
+    /// As a legacy `wal.log` — recovery must migrate it first and then
+    /// land on the same commit point.
+    Legacy,
+}
+
 /// One corpus entry: the clean files plus the ground truth per commit
 /// point.
 struct Fixture {
     name: &'static str,
+    /// Bytes of the (single, unsealed) segment.
     wal: Vec<u8>,
     /// Snapshot files (name → bytes) present in the clean store.
     snapshots: Vec<(String, Vec<u8>)>,
@@ -60,7 +80,7 @@ fn checkpoint(store: &Store, session: &Session, recorded: &mut BTreeMap<u64, Str
 }
 
 fn seal(name: &'static str, dir: &Path, recorded: BTreeMap<u64, String>) -> Fixture {
-    let wal = fs::read(dir.join(WAL_FILE)).expect("wal exists");
+    let wal = fs::read(segment::path(dir, 1)).expect("live segment exists");
     let mut snapshots = Vec::new();
     for entry in fs::read_dir(dir).expect("store dir") {
         let entry = entry.expect("dir entry");
@@ -214,14 +234,18 @@ impl Fixture {
         self.expected_after_cut(record_start)
     }
 
-    /// Materializes a damaged copy and checks recovery against the ground
-    /// truth.
-    fn check(&self, wal: &[u8], expected_lsn: u64, what: &str) {
+    /// Materializes a damaged copy in the given layout and checks
+    /// recovery against the ground truth.
+    fn check(&self, wal: &[u8], expected_lsn: u64, layout: Layout, what: &str) {
         let dir = fresh_dir("trial");
         for (file, bytes) in &self.snapshots {
             fs::write(dir.join(file), bytes).expect("copy snapshot");
         }
-        fs::write(dir.join(WAL_FILE), wal).expect("write damaged wal");
+        let target = match layout {
+            Layout::Segment => segment::path(&dir, 1),
+            Layout::Legacy => dir.join(WAL_FILE),
+        };
+        fs::write(target, wal).expect("write damaged wal");
         let mut recovered = Store::open(&dir)
             .unwrap_or_else(|e| panic!("{}: {what}: recovery errored: {e}", self.name));
         assert_eq!(
@@ -260,7 +284,14 @@ fn truncation_at_every_byte_offset_recovers_to_last_commit() {
     for fix in corpus() {
         for cut in 0..=fix.wal.len() {
             let expected = fix.expected_after_cut(cut as u64);
-            fix.check(&fix.wal[..cut], expected, &format!("truncated at {cut}"));
+            for layout in [Layout::Segment, Layout::Legacy] {
+                fix.check(
+                    &fix.wal[..cut],
+                    expected,
+                    layout,
+                    &format!("truncated at {cut} ({layout:?})"),
+                );
+            }
         }
     }
 }
@@ -272,9 +303,347 @@ fn bit_flip_at_every_byte_offset_recovers_to_a_commit_point() {
             let mut damaged = fix.wal.clone();
             damaged[offset] ^= 1 << (offset % 8);
             let expected = fix.expected_after_flip(offset as u64);
-            fix.check(&damaged, expected, &format!("bit flip at {offset}"));
+            for layout in [Layout::Segment, Layout::Legacy] {
+                fix.check(
+                    &damaged,
+                    expected,
+                    layout,
+                    &format!("bit flip at {offset} ({layout:?})"),
+                );
+            }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Multi-segment chain attacks
+// ---------------------------------------------------------------------
+
+/// One file of the chain fixture.
+struct ChainSeg {
+    name: String,
+    bytes: Vec<u8>,
+    /// `None` for the live (unsealed) segment.
+    sealed: Option<SegmentMeta>,
+}
+
+/// A store directory with several sealed segments, a manifest, and a
+/// snapshot taken mid-chain — so the chain has sealed segments wholly
+/// below the watermark (recovery skips their data), sealed segments it
+/// still needs, and a live tail.
+struct ChainFixture {
+    segs: Vec<ChainSeg>,
+    manifest: Vec<u8>,
+    snapshots: Vec<(String, Vec<u8>)>,
+    recorded: BTreeMap<u64, String>,
+    snapshot_lsn: u64,
+    top_lsn: u64,
+    /// Commit frames of the live segment: `(end_offset, lsn)`.
+    live_frames: Vec<(u64, u64)>,
+    /// Record spans of the live segment.
+    live_spans: Vec<(u64, u64)>,
+    /// Highest sealed LSN (the floor any live-segment damage recovers to).
+    sealed_top: u64,
+}
+
+fn fixture_chain() -> ChainFixture {
+    let dir = fresh_dir("chain");
+    let opts = StoreOptions {
+        rotate_bytes: 220,
+        // Keep every sealed segment on disk: the mid-chain snapshot must
+        // not retire the below-watermark history this fixture attacks.
+        retain_on_snapshot: false,
+    };
+    let mut r = Store::open_with(&dir, opts).expect("open empty");
+    let mut recorded = BTreeMap::new();
+    recorded.insert(0, String::new());
+    let users: Vec<_> = (0..4).map(|i| r.session.user(&format!("u{i}"))).collect();
+    let vals: Vec<_> = (0..2).map(|i| r.session.value(&format!("v{i}"))).collect();
+    r.session.commit().expect("seal the seed");
+    checkpoint(&r.store, &r.session, &mut recorded);
+    let mut snapshot_lsn = 0;
+    for i in 0..36 {
+        let u = users[i % users.len()];
+        let v = vals[i % vals.len()];
+        if i % 5 == 4 {
+            let p = users[(i + 1) % users.len()];
+            r.session.trust(u, p, 10 + i as i64).expect("edit");
+        } else {
+            r.session.believe(u, v).expect("edit");
+        }
+        checkpoint(&r.store, &r.session, &mut recorded);
+        if i == 17 {
+            snapshot_lsn = r.store.snapshot_now(&r.session).expect("snapshot");
+        }
+    }
+    let top_lsn = r.store.last_committed_lsn();
+    let layout = r.store.layout();
+    // The attacks below need all three segment classes present.
+    assert!(
+        layout
+            .sealed
+            .iter()
+            .filter(|m| m.last_lsn <= snapshot_lsn)
+            .count()
+            >= 2,
+        "fixture needs ≥2 sealed segments below the watermark: {layout:?}"
+    );
+    assert!(
+        layout.sealed.iter().any(|m| m.last_lsn > snapshot_lsn),
+        "fixture needs a sealed segment above the watermark: {layout:?}"
+    );
+    assert!(layout.live_len > 0, "fixture needs a non-empty live tail");
+    drop(r);
+
+    let mut segs = Vec::new();
+    for (first, path) in segment::list_files(&dir).expect("list") {
+        let bytes = fs::read(&path).expect("segment bytes");
+        let sealed = layout.sealed.iter().find(|m| m.first_lsn == first).copied();
+        segs.push(ChainSeg {
+            name: segment::file_name(first),
+            bytes,
+            sealed,
+        });
+    }
+    let live = segs.last().expect("live segment");
+    assert!(live.sealed.is_none(), "last segment is live");
+    let scan = wal::scan_bytes(&live.bytes, 0);
+    assert!(scan.stop.is_none() && scan.uncommitted == 0);
+    let live_frames = scan.units.iter().map(|u| (u.end_offset, u.lsn)).collect();
+    let mut live_spans = Vec::new();
+    let mut pos = 0usize;
+    while let Framed::Ok { end, .. } = decode_frame(&live.bytes, pos) {
+        live_spans.push((pos as u64, end as u64));
+        pos = end;
+    }
+    assert_eq!(pos, live.bytes.len());
+    let sealed_top = layout.sealed.last().expect("sealed").last_lsn;
+    let manifest = fs::read(dir.join(trustmap_store::MANIFEST_FILE)).expect("manifest");
+    let mut snapshots = Vec::new();
+    for entry in fs::read_dir(&dir).expect("store dir") {
+        let entry = entry.expect("dir entry");
+        let file = entry.file_name().to_string_lossy().into_owned();
+        if file.starts_with("snapshot-") {
+            snapshots.push((file, fs::read(entry.path()).expect("snapshot bytes")));
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+    ChainFixture {
+        segs,
+        manifest,
+        snapshots,
+        recorded,
+        snapshot_lsn,
+        top_lsn,
+        live_frames,
+        live_spans,
+        sealed_top,
+    }
+}
+
+impl ChainFixture {
+    /// Writes the clean fixture into a fresh dir, then lets `mutate`
+    /// damage it (receives the dir).
+    fn materialize(&self, mutate: impl FnOnce(&Path)) -> PathBuf {
+        let dir = fresh_dir("chain-trial");
+        for (file, bytes) in &self.snapshots {
+            fs::write(dir.join(file), bytes).expect("copy snapshot");
+        }
+        for seg in &self.segs {
+            fs::write(dir.join(&seg.name), &seg.bytes).expect("copy segment");
+        }
+        fs::write(dir.join(trustmap_store::MANIFEST_FILE), &self.manifest).expect("copy manifest");
+        mutate(&dir);
+        dir
+    }
+
+    /// Recovery must land on `expected_lsn` with its recorded state.
+    fn check_recovers(&self, dir: &Path, expected_lsn: u64, what: &str) {
+        let recovered =
+            Store::open(dir).unwrap_or_else(|e| panic!("chain: {what}: recovery errored: {e}"));
+        assert_eq!(
+            recovered.stats.last_lsn, expected_lsn,
+            "chain: {what}: wrong commit point"
+        );
+        assert_eq!(
+            &format::render_network(recovered.session.network()),
+            &self.recorded[&expected_lsn],
+            "chain: {what}: state is not the lsn-{expected_lsn} commit image"
+        );
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    /// Recovery must refuse — damaged sealed history it still needs.
+    fn check_fails_loudly(&self, dir: &Path, what: &str) {
+        match Store::open(dir) {
+            Err(_) => {}
+            Ok(r) => panic!(
+                "chain: {what}: damage to needed sealed history must fail loudly, \
+                 but recovery landed on lsn {}",
+                r.stats.last_lsn
+            ),
+        }
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    /// The commit point a cut of the live segment at `cut` recovers to.
+    fn expected_live_cut(&self, cut: u64) -> u64 {
+        self.live_frames
+            .iter()
+            .filter(|&&(end, _)| end <= cut)
+            .map(|&(_, lsn)| lsn)
+            .max()
+            .unwrap_or(0)
+            .max(self.sealed_top)
+    }
+}
+
+#[test]
+fn chain_live_segment_truncation_at_every_offset() {
+    let fix = fixture_chain();
+    let live = fix.segs.last().unwrap();
+    for cut in 0..=live.bytes.len() {
+        let dir = fix.materialize(|d| {
+            fs::write(d.join(&live.name), &live.bytes[..cut]).expect("truncate live");
+        });
+        fix.check_recovers(
+            &dir,
+            fix.expected_live_cut(cut as u64),
+            &format!("live truncated at {cut}"),
+        );
+    }
+}
+
+#[test]
+fn chain_bit_flip_at_every_offset_of_every_file() {
+    let fix = fixture_chain();
+    for seg in &fix.segs {
+        for offset in 0..seg.bytes.len() {
+            let mut damaged = seg.bytes.clone();
+            damaged[offset] ^= 1 << (offset % 8);
+            let dir = fix.materialize(|d| {
+                fs::write(d.join(&seg.name), &damaged).expect("flip");
+            });
+            let what = format!("bit flip at {offset} of {}", seg.name);
+            match seg.sealed {
+                // Sealed history recovery still needs: any flipped bit —
+                // data or footer — must refuse, never guess.
+                Some(m) if m.last_lsn > fix.snapshot_lsn => fix.check_fails_loudly(&dir, &what),
+                // Sealed wholly below the watermark: data bytes are never
+                // read (footer-only probe), and a damaged footer retires
+                // the file under the snapshot. Either way: full recovery.
+                Some(_) => fix.check_recovers(&dir, fix.top_lsn, &what),
+                // Live segment: everything from the damaged record on is
+                // lost, back to the last sealed LSN at worst.
+                None => {
+                    let record_start = fix
+                        .live_spans
+                        .iter()
+                        .find(|&&(start, end)| start <= offset as u64 && (offset as u64) < end)
+                        .map(|&(start, _)| start)
+                        .expect("offset inside some record");
+                    fix.check_recovers(&dir, fix.expected_live_cut(record_start), &what);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chain_sealed_segment_truncation() {
+    let fix = fixture_chain();
+    for seg in &fix.segs {
+        let Some(m) = seg.sealed else { continue };
+        // Truncation destroys the footer (it no longer sits at EOF), so
+        // the manifest's word is the last evidence the segment was
+        // sealed: needed history → fail loudly; superseded history →
+        // retire and recover fully.
+        for cut in [0, seg.bytes.len() / 2, seg.bytes.len() - 1] {
+            let dir = fix.materialize(|d| {
+                fs::write(d.join(&seg.name), &seg.bytes[..cut]).expect("truncate sealed");
+            });
+            let what = format!("sealed {} truncated at {cut}", seg.name);
+            if m.last_lsn > fix.snapshot_lsn {
+                fix.check_fails_loudly(&dir, &what);
+            } else {
+                fix.check_recovers(&dir, fix.top_lsn, &what);
+            }
+        }
+    }
+}
+
+#[test]
+fn chain_missing_segment() {
+    let fix = fixture_chain();
+    for seg in &fix.segs {
+        let dir = fix.materialize(|d| {
+            fs::remove_file(d.join(&seg.name)).expect("remove segment");
+        });
+        let what = format!("missing {}", seg.name);
+        match seg.sealed {
+            // A hole in history recovery still needs: refuse.
+            Some(m) if m.last_lsn > fix.snapshot_lsn => fix.check_fails_loudly(&dir, &what),
+            // Wholly below the watermark: the snapshot supersedes it.
+            Some(_) => fix.check_recovers(&dir, fix.top_lsn, &what),
+            // The live tail vanished: recovery lands on the sealed chain.
+            None => fix.check_recovers(&dir, fix.sealed_top, &what),
+        }
+    }
+}
+
+#[test]
+fn chain_manifest_damage_never_changes_the_outcome() {
+    let fix = fixture_chain();
+    // The manifest is a rebuildable index: no damage to it may change
+    // what recovery lands on (the footers are the source of truth). Most
+    // flips are detected (body CRC) and rebuild the manifest with a
+    // warning; flips that happen to parse identically (e.g. hex-case in
+    // the trailer) are indistinguishable from a clean manifest — either
+    // way the outcome is pinned.
+    let mut rebuilds = 0;
+    for offset in 0..fix.manifest.len() {
+        let mut damaged = fix.manifest.clone();
+        damaged[offset] ^= 1 << (offset % 8);
+        let dir = fix.materialize(|d| {
+            fs::write(d.join(trustmap_store::MANIFEST_FILE), &damaged).expect("flip manifest");
+        });
+        let what = format!("manifest bit flip at {offset}");
+        let recovered =
+            Store::open(&dir).unwrap_or_else(|e| panic!("chain: {what}: recovery errored: {e}"));
+        assert_eq!(recovered.stats.last_lsn, fix.top_lsn, "chain: {what}");
+        assert_eq!(
+            &format::render_network(recovered.session.network()),
+            &fix.recorded[&fix.top_lsn],
+            "chain: {what}: state diverged"
+        );
+        if recovered
+            .stats
+            .warnings
+            .iter()
+            .any(|w| w.contains("manifest"))
+        {
+            rebuilds += 1;
+            // The rebuilt manifest must be clean: a second open sees no
+            // manifest warnings at all.
+            drop(recovered);
+            let again = Store::open(&dir).expect("reopen after rebuild");
+            assert!(
+                !again.stats.warnings.iter().any(|w| w.contains("manifest")),
+                "chain: {what}: rebuild left a dirty manifest"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+    assert!(
+        rebuilds > 0,
+        "at least some manifest flips must trigger the corrupt-rebuild path"
+    );
+
+    // A deleted manifest is rebuilt from footers the same way.
+    let dir = fix.materialize(|d| {
+        fs::remove_file(d.join(trustmap_store::MANIFEST_FILE)).expect("remove manifest");
+    });
+    fix.check_recovers(&dir, fix.top_lsn, "manifest removed");
 }
 
 #[test]
@@ -328,7 +697,7 @@ fn recovery_after_a_torn_tail_keeps_accepting_edits() {
     let (last_start, last_end) = *fix.spans.last().expect("records");
     let cut = ((last_start + last_end) / 2) as usize;
     let dir = fresh_dir("continue");
-    fs::write(dir.join(WAL_FILE), &fix.wal[..cut]).expect("torn wal");
+    fs::write(segment::path(&dir, 1), &fix.wal[..cut]).expect("torn wal");
     let mut r = Store::open(&dir).expect("recovers");
     assert!(r.stats.dropped_bytes > 0, "the torn tail was truncated");
     // New edits append cleanly after the truncation point…

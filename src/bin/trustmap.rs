@@ -11,6 +11,7 @@
 //! trustmap stats    <file>            # network and binarization statistics
 //!
 //! trustmap log      <dir>             # dump a store's write-ahead log
+//! trustmap segments <dir>             # list the store's log segments
 //! trustmap snapshot <dir> [file]      # write a snapshot (optionally after
 //!                                     # importing <file> as the network)
 //! trustmap recover  <dir>             # recover the store, print how it went
@@ -18,6 +19,10 @@
 //!                                     # serve the store over the line
 //!                                     # protocol (default 127.0.0.1:4270,
 //!                                     # 4 threads, 16-edit commit window)
+//! trustmap follow   <dir> <leader-addr> [serve-addr]
+//!                                     # replicate a remote leader into
+//!                                     # <dir>; optionally serve replica
+//!                                     # reads on <serve-addr>
 //! ```
 //!
 //! Files use the format of [`trustmap::format`] (see `examples/indus.tn`);
@@ -38,7 +43,7 @@ fn main() -> ExitCode {
             eprintln!("error: {message}");
             eprintln!(
                 "usage: trustmap <resolve|skeptic|paradigm|agree|lineage|lp|stats> <file> [args]\n\
-                 \x20      trustmap <log|snapshot|recover|serve> <store-dir> [args]"
+                 \x20      trustmap <log|segments|snapshot|recover|serve|follow> <store-dir> [args]"
             );
             ExitCode::FAILURE
         }
@@ -58,9 +63,16 @@ fn run(args: &[String]) -> std::result::Result<(), String> {
             )
         }
         "recover" => return cmd_recover(args.get(1).ok_or("recover needs a store directory")?),
+        "segments" => return cmd_segments(args.get(1).ok_or("segments needs a store directory")?),
         "serve" => {
             return cmd_serve(
                 args.get(1).ok_or("serve needs a store directory")?,
+                &args[2..],
+            )
+        }
+        "follow" => {
+            return cmd_follow(
+                args.get(1).ok_or("follow needs a store directory")?,
                 &args[2..],
             )
         }
@@ -132,6 +144,62 @@ fn describe(payload: &Payload) -> String {
         Payload::Rewrite(text) => format!("full network image ({} bytes)", text.len()),
         Payload::Commit { records } => format!("{records} record(s)"),
     }
+}
+
+/// Lists the segmented log without opening (or locking) the store:
+/// every `wal-*.seg` file with its LSN span, size, seal state, and —
+/// against the newest snapshot watermark — whether the next retention
+/// pass may reclaim it.
+fn cmd_segments(dir: &str) -> std::result::Result<(), String> {
+    use trustmap::store::{segment, snapshot};
+    let path = std::path::Path::new(dir);
+    let files = segment::list_files(path).map_err(|e| format!("{dir}: {e}"))?;
+    if files.is_empty() {
+        println!("no log segments in {dir}");
+        return Ok(());
+    }
+    let watermark = snapshot::list(path).first().copied().unwrap_or(0);
+    let manifest = match segment::read_manifest(path) {
+        segment::ManifestState::Missing => "missing (will be rebuilt from footers)".to_owned(),
+        segment::ManifestState::Corrupt(why) => format!("corrupt ({why}); footers win"),
+        segment::ManifestState::Sealed(list) => format!("{} sealed segment(s)", list.len()),
+    };
+    println!(
+        "{:<24} {:>12} {:>12} {:>10}  state",
+        "segment", "first", "last", "bytes"
+    );
+    let (mut total, mut retirable) = (0u64, 0u64);
+    for (first, file) in &files {
+        let name = segment::file_name(*first);
+        let (len, meta) = segment::read_meta(file).map_err(|e| format!("{name}: {e}"))?;
+        total += len;
+        match meta {
+            Some(m) => {
+                let state = if m.last_lsn <= watermark {
+                    retirable += len;
+                    "sealed, retirable"
+                } else {
+                    "sealed"
+                };
+                println!(
+                    "{:<24} {:>12} {:>12} {:>10}  {state} (crc {:08x})",
+                    name, m.first_lsn, m.last_lsn, len, m.data_crc
+                );
+            }
+            None => println!("{:<24} {:>12} {:>12} {:>10}  live", name, first, "-", len),
+        }
+    }
+    println!("manifest:           {manifest}");
+    println!(
+        "snapshot watermark: {}",
+        if watermark > 0 {
+            format!("lsn {watermark}")
+        } else {
+            "none".into()
+        }
+    );
+    println!("on disk:            {total} byte(s), {retirable} retirable at the next snapshot");
+    Ok(())
 }
 
 fn cmd_snapshot(dir: &str, import: Option<&str>) -> std::result::Result<(), String> {
@@ -237,6 +305,38 @@ fn cmd_serve(dir: &str, rest: &[String]) -> std::result::Result<(), String> {
         config.window.max_edits
     );
     server.join();
+    Ok(())
+}
+
+/// Replicates a remote leader into `dir` over the line protocol's `SHIP`
+/// verb, optionally serving read-only replica queries (`CERT/POSS/EPOCH`,
+/// including `@<lsn>` pins) while it follows.
+fn cmd_follow(dir: &str, rest: &[String]) -> std::result::Result<(), String> {
+    use trustmap::serve::{Frontend, ServeConfig, Server, TcpTransport};
+    use trustmap::store::{FollowConfig, Follower};
+
+    let leader = rest.first().ok_or("follow needs the leader's address")?;
+    let mut follower = Follower::open(dir).map_err(|e| e.to_string())?;
+    println!(
+        "follower {dir}: {} user(s), resuming at watermark lsn {}",
+        follower.network().user_count(),
+        follower.watermark()
+    );
+    let config = ServeConfig::default();
+    let _server = match rest.get(1) {
+        Some(addr) => {
+            let frontend = std::sync::Arc::new(Frontend::replica(follower.epoch_slot(), &config));
+            let server =
+                Server::start(frontend, addr, &config).map_err(|e| format!("{addr}: {e}"))?;
+            println!("replica reads on {} (read-only)", server.addr());
+            Some(server)
+        }
+        None => None,
+    };
+    println!("pulling from {leader}; ^C to stop");
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let mut transport = TcpTransport::new(leader.clone());
+    follower.run(&mut transport, &FollowConfig::default(), &stop);
     Ok(())
 }
 

@@ -32,13 +32,27 @@
 //! STATS                           → OK fsyncs=… units=… records=… groups=… acked=… failed=…
 //! PING                            → OK pong
 //! QUIT                            → OK bye (connection closes)
+//! SHIP <wm> [<seg> <off> <max>]   → OK chunk …\n<raw bytes> | OK caughtup … | OK behind …
+//! SNAPSHOT                        → OK snapshot lsn=<l> len=<n>\n<raw bytes>
 //! ```
+//!
+//! `SHIP`/`SNAPSHOT` are the log-shipping verbs replication followers
+//! speak (see [`trustmap_store::replica`]): the reply is a parseable
+//! header line followed by exactly `len=` raw bytes — the only place the
+//! protocol goes binary, and the bytes are CRC'd end-to-end. A follower
+//! process drives them through [`TcpTransport`].
 //!
 //! Failures reply `ERR <message>` and keep the connection open. The
 //! request logic lives in [`Frontend::handle`], a pure function of
 //! (frontend, per-connection reader, line) — the protocol is fully
 //! testable without sockets; [`Server`] adds the thread-pool TCP layer
 //! on top.
+//!
+//! A **replica frontend** ([`Frontend::replica`]) serves the same read
+//! verbs from a follower's epoch slot — `CERT/POSS @<lsn>` pin to the
+//! shipped watermark exactly as on the leader — and answers every write
+//! verb with `ERR read-only replica`, so clients discover the topology
+//! instead of silently forking history.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -48,7 +62,10 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 use trustmap_core::epoch::{EpochReader, EpochSlot, EpochView};
 use trustmap_core::Session;
-use trustmap_store::{GroupCommitWindow, Store, WriteAck, WriteHub, WriteOp};
+use trustmap_store::{
+    GroupCommitWindow, ShipChunk, ShipRequest, ShipResponse, ShipTransport, SnapshotBlob, Store,
+    WriteAck, WriteHub, WriteOp,
+};
 
 /// Tuning for [`Frontend`] / [`Server`].
 #[derive(Debug, Clone, Copy)]
@@ -78,6 +95,15 @@ impl Default for ServeConfig {
 pub enum Reply {
     /// Send this line and keep the connection open.
     Line(String),
+    /// Send the header line, then exactly the raw payload bytes
+    /// (log-shipping chunks and snapshot blobs; the header's `len=` field
+    /// tells the peer how many bytes follow).
+    Chunk {
+        /// The parseable header line.
+        line: String,
+        /// The raw payload that follows it on the wire.
+        bytes: Vec<u8>,
+    },
     /// Send `OK bye` and close the connection.
     Bye,
 }
@@ -87,7 +113,9 @@ pub enum Reply {
 /// connection handlers the transport runs.
 #[derive(Debug)]
 pub struct Frontend {
-    hub: WriteHub,
+    /// `None` on a replica: reads serve from the follower's epoch slot,
+    /// writes are refused.
+    hub: Option<WriteHub>,
     slot: Arc<EpochSlot>,
     store: Option<Store>,
     pin_timeout: Duration,
@@ -96,14 +124,28 @@ pub struct Frontend {
 impl Frontend {
     /// Starts the single writer over `session` with `config`'s window.
     /// Pass the session's [`Store`] handle to expose durability counters
-    /// via `STATS` (reads `fsyncs=0 units=0 records=0` otherwise).
+    /// via `STATS` (reads `fsyncs=0 units=0 records=0` otherwise) and to
+    /// serve the `SHIP`/`SNAPSHOT` replication verbs.
     pub fn new(session: Session, store: Option<Store>, config: &ServeConfig) -> Self {
         let hub = WriteHub::new(session, config.window);
         let slot = hub.epochs();
         Frontend {
-            hub,
+            hub: Some(hub),
             slot,
             store,
+            pin_timeout: config.pin_timeout,
+        }
+    }
+
+    /// A read-only frontend over a replication follower's epoch slot:
+    /// `CERT/POSS/EPOCH` (including `@<lsn>` pins against the shipped
+    /// watermark) work exactly as on the leader; every write verb answers
+    /// `ERR read-only replica`.
+    pub fn replica(slot: Arc<EpochSlot>, config: &ServeConfig) -> Self {
+        Frontend {
+            hub: None,
+            slot,
+            store: None,
             pin_timeout: config.pin_timeout,
         }
     }
@@ -119,15 +161,20 @@ impl Frontend {
     }
 
     /// Routes one write through the group-commit hub (blocking until the
-    /// group's fsync).
+    /// group's fsync). Errors on a replica frontend.
     pub fn write(&self, op: WriteOp) -> trustmap_core::Result<WriteAck> {
-        self.hub.submit(op)
+        match &self.hub {
+            Some(hub) => hub.submit(op),
+            None => Err(trustmap_core::Error::Io(
+                "read-only replica (writes go to the leader)".into(),
+            )),
+        }
     }
 
     /// Stops the writer (flushing pending groups) and returns the
-    /// session, e.g. to snapshot before exit.
+    /// session, e.g. to snapshot before exit. `None` on a replica.
     pub fn shutdown(&self) -> Option<Session> {
-        self.hub.shutdown()
+        self.hub.as_ref().and_then(|hub| hub.shutdown())
     }
 
     /// Handles one request line against this connection's `reader`.
@@ -219,7 +266,7 @@ impl Frontend {
                     .as_ref()
                     .map(|s| s.counters())
                     .unwrap_or_default();
-                let stats = self.hub.stats();
+                let stats = self.hub.as_ref().map(|h| h.stats()).unwrap_or_default();
                 Ok(format!(
                     "OK fsyncs={} units={} records={} groups={} acked={} failed={}",
                     counters.fsync_count,
@@ -232,9 +279,79 @@ impl Frontend {
             }
             ("PING", []) => Ok("OK pong".into()),
             ("QUIT", []) => return Reply::Bye,
+            ("SHIP", rest) => return self.ship(rest),
+            ("SNAPSHOT", []) => return self.ship_snapshot(),
             _ => Err(format!("bad request `{}`", line.trim())),
         };
         Reply::Line(reply.unwrap_or_else(|e| format!("ERR {e}")))
+    }
+
+    /// Serves one `SHIP <watermark> [<seg_first> <offset> <max_bytes>]`
+    /// request (the short form lets the leader resolve the segment from
+    /// the watermark — what a fresh follower sends).
+    fn ship(&self, args: &[&str]) -> Reply {
+        let Some(store) = &self.store else {
+            return Reply::Line("ERR shipping needs a store (replicas do not re-ship)".into());
+        };
+        let nums: Result<Vec<u64>, _> = args.iter().map(|a| a.parse::<u64>()).collect();
+        let req = match nums.as_deref() {
+            Ok([watermark]) => ShipRequest {
+                watermark: *watermark,
+                seg_first: 0,
+                offset: 0,
+                max_bytes: 0,
+            },
+            Ok([watermark, seg_first, offset, max_bytes]) => ShipRequest {
+                watermark: *watermark,
+                seg_first: *seg_first,
+                offset: *offset,
+                max_bytes: (*max_bytes).min(u32::MAX as u64) as u32,
+            },
+            _ => return Reply::Line("ERR usage: SHIP <wm> [<seg> <off> <max>]".into()),
+        };
+        match store.ship(&req) {
+            Ok(ShipResponse::Chunk(c)) => {
+                let seal = c
+                    .seal
+                    .map(|s| format!(" seal={}:{}:{:08x}", s.last_lsn, s.data_len, s.data_crc))
+                    .unwrap_or_default();
+                Reply::Chunk {
+                    line: format!(
+                        "OK chunk seg={} off={} len={} crc={:08x} leader={}{seal}",
+                        c.seg_first,
+                        c.offset,
+                        c.bytes.len(),
+                        c.crc,
+                        c.leader_lsn
+                    ),
+                    bytes: c.bytes,
+                }
+            }
+            Ok(ShipResponse::CaughtUp { lsn }) => Reply::Line(format!("OK caughtup lsn={lsn}")),
+            Ok(ShipResponse::Behind {
+                first_available,
+                snapshot_lsn,
+            }) => Reply::Line(format!(
+                "OK behind first={first_available} snapshot={snapshot_lsn}"
+            )),
+            Err(e) => Reply::Line(format!("ERR {e}")),
+        }
+    }
+
+    /// Serves the newest snapshot as a raw blob (`SNAPSHOT`), for
+    /// follower bootstrap.
+    fn ship_snapshot(&self) -> Reply {
+        let Some(store) = &self.store else {
+            return Reply::Line("ERR shipping needs a store (replicas do not re-ship)".into());
+        };
+        match store.snapshot_blob() {
+            Ok(Some(blob)) => Reply::Chunk {
+                line: format!("OK snapshot lsn={} len={}", blob.lsn, blob.bytes.len()),
+                bytes: blob.bytes,
+            },
+            Ok(None) => Reply::Line("ERR leader has no snapshot yet".into()),
+            Err(e) => Reply::Line(format!("ERR {e}")),
+        }
     }
 
     fn read_at(
@@ -253,7 +370,10 @@ impl Frontend {
     }
 
     fn write_op(&self, op: WriteOp) -> Result<String, String> {
-        match self.hub.submit(op) {
+        let Some(hub) = &self.hub else {
+            return Err("read-only replica (writes go to the leader)".into());
+        };
+        match hub.submit(op) {
             Ok(ack) => Ok(format!(
                 "OK lsn={} epoch={} group={}",
                 ack.lsn, ack.epoch, ack.group_size
@@ -356,6 +476,11 @@ fn serve_connection(frontend: &Frontend, stream: TcpStream) -> std::io::Result<(
                 writeln!(output, "{reply}")?;
                 output.flush()?;
             }
+            Reply::Chunk { line, bytes } => {
+                writeln!(output, "{line}")?;
+                output.write_all(&bytes)?;
+                output.flush()?;
+            }
             Reply::Bye => {
                 writeln!(output, "OK bye")?;
                 output.flush()?;
@@ -364,6 +489,166 @@ fn serve_connection(frontend: &Frontend, stream: TcpStream) -> std::io::Result<(
         }
     }
     Ok(())
+}
+
+/// [`ShipTransport`] over the line protocol: what a follower process uses
+/// to pull the log from a remote leader (`trustmap follow <dir> <addr>`).
+///
+/// The connection is established lazily and dropped on any error, so
+/// every [`ShipTransport::ship`] call after a failure transparently
+/// reconnects — [`trustmap_store::Follower::run`] supplies the backoff.
+#[derive(Debug)]
+pub struct TcpTransport {
+    addr: String,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl TcpTransport {
+    /// A transport to the leader at `addr` (e.g. `127.0.0.1:7171`). Does
+    /// not connect yet.
+    pub fn new(addr: impl Into<String>) -> Self {
+        TcpTransport {
+            addr: addr.into(),
+            conn: None,
+        }
+    }
+
+    fn io(e: std::io::Error) -> trustmap_core::Error {
+        trustmap_core::Error::Io(format!("ship transport: {e}"))
+    }
+
+    /// Sends one request line and reads the reply header line, (re-)
+    /// connecting as needed. On any error the connection is dropped so
+    /// the next call starts fresh.
+    fn round_trip(&mut self, request: &str) -> trustmap_core::Result<String> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr).map_err(Self::io)?;
+            stream.set_nodelay(true).map_err(Self::io)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        let conn = self.conn.as_mut().expect("connected above");
+        let outcome = (|| {
+            let stream = conn.get_mut();
+            stream.write_all(request.as_bytes())?;
+            stream.write_all(b"\n")?;
+            let mut line = String::new();
+            if conn.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "leader closed the connection",
+                ));
+            }
+            Ok(line.trim_end().to_string())
+        })();
+        match outcome {
+            Ok(line) => Ok(line),
+            Err(e) => {
+                self.conn = None;
+                Err(Self::io(e))
+            }
+        }
+    }
+
+    /// Reads exactly `len` payload bytes following a chunk header.
+    fn read_payload(&mut self, len: usize) -> trustmap_core::Result<Vec<u8>> {
+        let conn = self.conn.as_mut().ok_or_else(|| {
+            trustmap_core::Error::Io("ship transport: connection lost mid-reply".into())
+        })?;
+        let mut bytes = vec![0u8; len];
+        match std::io::Read::read_exact(conn, &mut bytes) {
+            Ok(()) => Ok(bytes),
+            Err(e) => {
+                self.conn = None;
+                Err(Self::io(e))
+            }
+        }
+    }
+}
+
+/// Pulls `key=` fields out of a reply header line.
+fn header_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace()
+        .find_map(|t| t.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+}
+
+fn parse_u64(line: &str, key: &str) -> trustmap_core::Result<u64> {
+    header_field(line, key)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| trustmap_core::Error::Io(format!("ship reply missing `{key}=`: {line}")))
+}
+
+fn parse_crc(line: &str, key: &str) -> trustmap_core::Result<u32> {
+    header_field(line, key)
+        .and_then(|v| u32::from_str_radix(v, 16).ok())
+        .ok_or_else(|| trustmap_core::Error::Io(format!("ship reply missing `{key}=`: {line}")))
+}
+
+impl ShipTransport for TcpTransport {
+    fn ship(&mut self, req: &ShipRequest) -> trustmap_core::Result<ShipResponse> {
+        let line = self.round_trip(&format!(
+            "SHIP {} {} {} {}",
+            req.watermark, req.seg_first, req.offset, req.max_bytes
+        ))?;
+        if line.starts_with("OK caughtup") {
+            return Ok(ShipResponse::CaughtUp {
+                lsn: parse_u64(&line, "lsn")?,
+            });
+        }
+        if line.starts_with("OK behind") {
+            return Ok(ShipResponse::Behind {
+                first_available: parse_u64(&line, "first")?,
+                snapshot_lsn: parse_u64(&line, "snapshot")?,
+            });
+        }
+        if line.starts_with("OK chunk") {
+            let len = parse_u64(&line, "len")? as usize;
+            let seal = match header_field(&line, "seal") {
+                Some(spec) => {
+                    let parts: Vec<&str> = spec.split(':').collect();
+                    let [last, dlen, crc] = parts.as_slice() else {
+                        return Err(trustmap_core::Error::Io(format!(
+                            "malformed seal field: {line}"
+                        )));
+                    };
+                    Some(trustmap_store::SegmentSeal {
+                        last_lsn: last.parse().map_err(|_| {
+                            trustmap_core::Error::Io(format!("malformed seal field: {line}"))
+                        })?,
+                        data_len: dlen.parse().map_err(|_| {
+                            trustmap_core::Error::Io(format!("malformed seal field: {line}"))
+                        })?,
+                        data_crc: u32::from_str_radix(crc, 16).map_err(|_| {
+                            trustmap_core::Error::Io(format!("malformed seal field: {line}"))
+                        })?,
+                    })
+                }
+                None => None,
+            };
+            let chunk = ShipChunk {
+                seg_first: parse_u64(&line, "seg")?,
+                offset: parse_u64(&line, "off")?,
+                crc: parse_crc(&line, "crc")?,
+                leader_lsn: parse_u64(&line, "leader")?,
+                bytes: self.read_payload(len)?,
+                seal,
+            };
+            return Ok(ShipResponse::Chunk(chunk));
+        }
+        Err(trustmap_core::Error::Io(format!("leader replied: {line}")))
+    }
+
+    fn fetch_snapshot(&mut self) -> trustmap_core::Result<SnapshotBlob> {
+        let line = self.round_trip("SNAPSHOT")?;
+        if !line.starts_with("OK snapshot") {
+            return Err(trustmap_core::Error::Io(format!("leader replied: {line}")));
+        }
+        let lsn = parse_u64(&line, "lsn")?;
+        let len = parse_u64(&line, "len")? as usize;
+        Ok(SnapshotBlob {
+            lsn,
+            bytes: self.read_payload(len)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -397,6 +682,7 @@ mod tests {
         let mut r = f.reader();
         let line = |f: &Frontend, r: &mut EpochReader, s: &str| match f.handle(r, s) {
             Reply::Line(l) => l,
+            Reply::Chunk { line, .. } => line,
             Reply::Bye => "BYE".into(),
         };
 
@@ -444,7 +730,7 @@ mod tests {
         // though it never read before.
         let reply = match f.handle(&mut r, &format!("CERT alice @{}", ack.lsn)) {
             Reply::Line(l) => l,
-            Reply::Bye => unreachable!(),
+            other => panic!("unexpected reply {other:?}"),
         };
         assert!(reply.starts_with("OK vase "), "{reply}");
         let _ = std::fs::remove_dir_all(&dir);
@@ -495,5 +781,80 @@ mod tests {
         }
         server.stop();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Full replication vertical: leader behind a TCP server, follower
+    /// pulling over [`TcpTransport`], replica frontend serving pinned
+    /// reads from the follower's epoch slot and refusing writes.
+    #[test]
+    fn tcp_log_shipping_end_to_end() {
+        use trustmap_store::{Follower, Step};
+
+        let ldir = fresh_dir("ship-leader");
+        let fdir = fresh_dir("ship-follower");
+        let recovered = Store::open(&ldir).expect("fresh store");
+        let store = recovered.store.clone();
+        let config = ServeConfig {
+            window: GroupCommitWindow::per_edit(),
+            ..Default::default()
+        };
+        let f = Arc::new(Frontend::new(recovered.session, Some(store), &config));
+        let server = Server::start(Arc::clone(&f), "127.0.0.1:0", &config).expect("bind");
+        let addr = server.addr();
+
+        let last = {
+            let mut last = 0;
+            for i in 0..10 {
+                let ack = f
+                    .write(WriteOp::Believe {
+                        user: format!("user{i}"),
+                        value: format!("v{}", i % 3),
+                    })
+                    .expect("durable write");
+                last = ack.lsn;
+            }
+            last
+        };
+
+        let mut transport = TcpTransport::new(addr.to_string());
+        let mut follower = Follower::open(&fdir).expect("open follower");
+        loop {
+            match follower.step(&mut transport).expect("step") {
+                Step::CaughtUp { leader_lsn } => {
+                    assert_eq!(leader_lsn, last);
+                    break;
+                }
+                Step::Rejected { reason } => panic!("clean TCP transport rejected: {reason}"),
+                _ => {}
+            }
+        }
+        assert_eq!(follower.watermark(), last);
+
+        // Replica-side reads: pinned to the shipped watermark, identical
+        // answers; writes refused with a pointer to the leader.
+        let replica = Frontend::replica(follower.epoch_slot(), &config);
+        let mut r = replica.reader();
+        let read = match replica.handle(&mut r, &format!("CERT user3 @{last}")) {
+            Reply::Line(l) => l,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert!(read.starts_with("OK v0 "), "{read}");
+        let write = match replica.handle(&mut r, "BELIEVE mallory x") {
+            Reply::Line(l) => l,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert_eq!(write, "ERR read-only replica (writes go to the leader)");
+        let ship = match replica.handle(&mut r, "SHIP 0") {
+            Reply::Line(l) => l,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert!(ship.starts_with("ERR shipping needs a store"), "{ship}");
+
+        // Close the follower's connection before stopping: a worker
+        // serving a live connection only exits when the client hangs up.
+        drop(transport);
+        server.stop();
+        let _ = std::fs::remove_dir_all(&ldir);
+        let _ = std::fs::remove_dir_all(&fdir);
     }
 }

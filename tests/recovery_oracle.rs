@@ -16,7 +16,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use trustmap::format::render_network;
-use trustmap::store::{Store, WAL_FILE};
+use trustmap::store::{segment, Store};
 use trustmap::{NegSet, Session, SignedEdit, User, Value};
 
 static DIRS: AtomicUsize = AtomicUsize::new(0);
@@ -241,10 +241,16 @@ proptest! {
         let store_dir = r.store.dir();
         drop(r);
 
-        // Tear the WAL at a pseudo-random offset and recover.
-        let wal = fs::read(store_dir.join(WAL_FILE)).expect("wal");
+        // Tear the live segment (the chain's last file) at a
+        // pseudo-random offset and recover.
+        let (_, live_path) = segment::list_files(&store_dir)
+            .expect("list segments")
+            .into_iter()
+            .next_back()
+            .expect("a live segment exists");
+        let wal = fs::read(&live_path).expect("wal");
         let cut = cut_seed % (wal.len() + 1);
-        fs::write(store_dir.join(WAL_FILE), &wal[..cut]).expect("tear");
+        fs::write(&live_path, &wal[..cut]).expect("tear");
         let recovered = Store::open(&store_dir).expect("recovers, never panics");
         let lsn = recovered.stats.last_lsn;
         let expected = recorded.get(&lsn).unwrap_or_else(|| {

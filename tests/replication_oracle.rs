@@ -1,0 +1,420 @@
+//! Replication oracle: under random edit streams with interleaved
+//! segment rotations, snapshots (leader *and* follower retention),
+//! leader/follower restarts, and injected transport faults, the follower
+//! must always be a **byte-identical committed prefix** of the leader —
+//! and its session must equal the leader's state at its shipped
+//! watermark, at every step.
+//!
+//! Two entry points share one deterministic schedule harness:
+//!
+//! * a proptest drawing random seeds/lengths (shrinks to a minimal
+//!   schedule on failure), and
+//! * the `replication-chaos` CI gate: a fixed seed matrix of ≥200
+//!   kill/restart/fault schedules (`TRUSTMAP_CHAOS_SCHEDULES` overrides
+//!   the count).
+//!
+//! The byte-identity witness is a **grow-only history map** of the
+//! leader's committed segment bytes, fed from its directory after every
+//! leader op. Because leader retention unlinks segments the follower may
+//! still legitimately hold, the follower is checked against the history,
+//! not the leader's current directory — which also re-checks the
+//! *leader* for regressions (committed bytes may only grow, never
+//! change).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use trustmap::format::render_network;
+use trustmap::store::{
+    committed_log, FaultPlan, FaultyTransport, Follower, LocalTransport, Recovered, Step, Store,
+    StoreOptions,
+};
+use trustmap::{NegSet, SignedEdit, TrustNetwork, User, Value};
+
+static DIRS: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "trustmap-replication-oracle-{}-{tag}-{}",
+        std::process::id(),
+        DIRS.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// SplitMix64 — the schedule driver. Seed-deterministic so every chaos
+/// schedule replays exactly from its number.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+const NUM_USERS: usize = 6;
+const NUM_VALUES: usize = 3;
+
+/// Leader + follower + the two ground truths: network image per
+/// committed LSN, and the grow-only committed-bytes history.
+struct Harness {
+    ldir: PathBuf,
+    fdir: PathBuf,
+    opts: StoreOptions,
+    leader: Recovered,
+    follower: Follower,
+    users: Vec<User>,
+    values: Vec<Value>,
+    /// Rendered network per committed LSN (0 = genesis).
+    ground: BTreeMap<u64, String>,
+    /// Committed bytes per segment `first_lsn`, grow-only.
+    history: BTreeMap<u64, Vec<u8>>,
+    /// Monotone counter making trust priorities tie-free.
+    edit_no: i64,
+    /// Injected transport faults survived (telemetry).
+    faults: u64,
+}
+
+impl Harness {
+    fn new(tag: &str) -> Harness {
+        let ldir = fresh_dir(&format!("{tag}-leader"));
+        let fdir = fresh_dir(&format!("{tag}-follower"));
+        let opts = StoreOptions {
+            // Small threshold: rotations every few edits, so every
+            // schedule crosses segment boundaries.
+            rotate_bytes: 300,
+            retain_on_snapshot: true,
+        };
+        let mut leader = Store::open_with(&ldir, opts).expect("open leader");
+        let users: Vec<User> = (0..NUM_USERS)
+            .map(|i| leader.session.user(&format!("u{i}")))
+            .collect();
+        let values: Vec<Value> = (0..NUM_VALUES)
+            .map(|i| leader.session.value(&format!("v{i}")))
+            .collect();
+        leader.session.commit().expect("seal the seed");
+        let mut ground = BTreeMap::new();
+        ground.insert(0, render_network(&TrustNetwork::default()));
+        ground.insert(
+            leader.store.last_committed_lsn(),
+            render_network(leader.session.network()),
+        );
+        let follower = Follower::open(&fdir).expect("open follower");
+        let mut h = Harness {
+            ldir,
+            fdir,
+            opts,
+            leader,
+            follower,
+            users,
+            values,
+            ground,
+            history: BTreeMap::new(),
+            edit_no: 0,
+            faults: 0,
+        };
+        h.absorb_leader();
+        h
+    }
+
+    /// One tie-free signed edit from the schedule stream.
+    fn make_edit(&mut self, rng: &mut Rng) -> SignedEdit {
+        let user = self.users[rng.below(NUM_USERS as u64) as usize];
+        let value = self.values[rng.below(NUM_VALUES as u64) as usize];
+        self.edit_no += 1;
+        match rng.below(10) {
+            0..=3 => SignedEdit::Believe(user, value),
+            4 | 5 => SignedEdit::Reject(user, NegSet::of([value])),
+            6 => SignedEdit::Revoke(user),
+            _ => {
+                let parent = self.users[rng.below(NUM_USERS as u64) as usize];
+                if parent == user {
+                    SignedEdit::Believe(user, value)
+                } else {
+                    SignedEdit::Trust {
+                        child: user,
+                        parent,
+                        priority: 1_000 + self.edit_no,
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_ground(&mut self) {
+        self.ground.insert(
+            self.leader.store.last_committed_lsn(),
+            render_network(self.leader.session.network()),
+        );
+    }
+
+    /// Folds the leader's current committed bytes into the grow-only
+    /// history — asserting on the way that the leader itself never
+    /// rewrote a committed byte.
+    fn absorb_leader(&mut self) {
+        for (first, bytes) in committed_log(&self.ldir).expect("leader committed log") {
+            let entry = self.history.entry(first).or_default();
+            let common = entry.len().min(bytes.len());
+            assert_eq!(
+                &entry[..common],
+                &bytes[..common],
+                "leader rewrote committed bytes of segment {first}"
+            );
+            if bytes.len() > entry.len() {
+                *entry = bytes;
+            }
+        }
+    }
+
+    /// The chaos invariant: every follower segment is a byte prefix of
+    /// the leader's history for that segment, and the follower's session
+    /// is exactly the leader's recorded state at the follower watermark.
+    fn check_follower(&mut self, context: &str) {
+        for (first, bytes) in committed_log(&self.fdir).expect("follower committed log") {
+            let Some(hist) = self.history.get(&first) else {
+                panic!("{context}: follower holds segment {first} the leader never committed");
+            };
+            assert!(
+                bytes.len() <= hist.len() && hist[..bytes.len()] == bytes[..],
+                "{context}: follower segment {first} is not a byte prefix of the leader's \
+                 ({} vs {} bytes)",
+                bytes.len(),
+                hist.len()
+            );
+        }
+        let w = self.follower.watermark();
+        let expected = self
+            .ground
+            .get(&w)
+            .unwrap_or_else(|| panic!("{context}: follower watermark {w} is not a commit point"));
+        assert_eq!(
+            &render_network(self.follower.network()),
+            expected,
+            "{context}: follower state is not the leader's lsn-{w} commit image"
+        );
+    }
+
+    /// Full read parity once caught up: certain beliefs must agree
+    /// between leader and follower for every user at the same LSN.
+    fn check_cert_parity(&mut self, context: &str) {
+        assert_eq!(
+            self.follower.watermark(),
+            self.leader.store.last_committed_lsn(),
+            "{context}: cert parity needs a caught-up follower"
+        );
+        for &u in &self.users.clone() {
+            let l = self.leader.session.skeptic_cert(u).ok();
+            let f = self.follower.session_mut().skeptic_cert(u).ok();
+            assert_eq!(l, f, "{context}: certain beliefs diverged for user {u}");
+        }
+    }
+
+    fn leader_restart(&mut self) {
+        // Drop-and-reopen = kill: everything acknowledged must be on
+        // disk. The old store handle (and any transport wrapping it)
+        // dies with it.
+        let dir = self.ldir.clone();
+        let opts = self.opts;
+        replace_leader(&mut self.leader, || {
+            Store::open_with(&dir, opts).expect("leader restart")
+        });
+    }
+
+    fn follower_restart(&mut self) {
+        let dir = self.fdir.clone();
+        replace_follower(&mut self.follower, || {
+            Follower::open(&dir).expect("follower restart")
+        });
+    }
+
+    /// Runs `n` follower steps over a fresh transport to the current
+    /// leader, optionally behind the fault injector.
+    fn follower_steps(&mut self, n: usize, plan: Option<FaultPlan>) {
+        let local = LocalTransport::new(self.leader.store.clone());
+        match plan {
+            None => {
+                let mut t = local;
+                for _ in 0..n {
+                    match self.follower.step(&mut t) {
+                        Ok(Step::Rejected { reason }) => {
+                            panic!("clean transport must never be rejected: {reason}")
+                        }
+                        Ok(_) => {}
+                        Err(e) => panic!("clean transport must never error: {e}"),
+                    }
+                }
+            }
+            Some(plan) => {
+                let mut t = FaultyTransport::new(local, plan);
+                for _ in 0..n {
+                    // Errors and rejections are the point: the follower
+                    // must survive them without applying anything.
+                    let _ = self.follower.step(&mut t);
+                }
+                self.faults += t.faults_injected;
+            }
+        }
+    }
+
+    /// Clean steps until caught up (bounded), then full parity.
+    fn converge(&mut self, context: &str) {
+        let mut t = LocalTransport::new(self.leader.store.clone());
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            assert!(steps < 10_000, "{context}: convergence must terminate");
+            match self.follower.step(&mut t).expect("clean step") {
+                Step::CaughtUp { .. } => break,
+                Step::Rejected { reason } => {
+                    panic!("{context}: clean transport rejected: {reason}")
+                }
+                _ => {}
+            }
+        }
+        self.check_follower(context);
+        self.check_cert_parity(context);
+    }
+}
+
+/// Swap-in-place helpers: the old value must drop *before* the new one
+/// opens (two live handles to one directory would race the log).
+fn replace_leader(slot: &mut Recovered, open: impl FnOnce() -> Recovered) {
+    // A placeholder open in a scratch dir keeps the slot valid while the
+    // real directory is closed.
+    let scratch = fresh_dir("scratch-leader");
+    let placeholder = Store::open(&scratch).expect("scratch");
+    let old = std::mem::replace(slot, placeholder);
+    drop(old);
+    *slot = open();
+    let _ = fs::remove_dir_all(&scratch);
+}
+
+fn replace_follower(slot: &mut Follower, open: impl FnOnce() -> Follower) {
+    let scratch = fresh_dir("scratch-follower");
+    let placeholder = Follower::open(&scratch).expect("scratch");
+    let old = std::mem::replace(slot, placeholder);
+    drop(old);
+    *slot = open();
+    let _ = fs::remove_dir_all(&scratch);
+}
+
+/// One deterministic schedule: `ops` weighted random operations, each
+/// followed by the prefix + state-parity invariant, then convergence to
+/// caught-up with full cert parity. Returns the number of transport
+/// faults injected (proof the schedule exercised the failure paths).
+fn run_schedule(seed: u64, ops: usize, tag: &str) -> u64 {
+    let mut rng = Rng(seed);
+    let mut h = Harness::new(tag);
+    for op in 0..ops {
+        let context = format!("{tag} seed {seed} op {op}");
+        match rng.below(12) {
+            // Leader single edit (each is one durable commit unit).
+            0..=3 => {
+                let edit = h.make_edit(&mut rng);
+                h.leader.session.apply_signed_edit(edit).expect("tie-free");
+                h.record_ground();
+            }
+            // Leader batch: several edits, one commit frame.
+            4 => {
+                let k = 2 + rng.below(3) as usize;
+                h.leader.session.begin_batch().expect("batch opens");
+                for _ in 0..k {
+                    let edit = h.make_edit(&mut rng);
+                    h.leader.session.apply_signed_edit(edit).expect("tie-free");
+                }
+                h.leader.session.commit().expect("commit");
+                h.record_ground();
+            }
+            // Leader snapshot + retention (may outrun the follower and
+            // force a bootstrap later).
+            5 => {
+                h.leader
+                    .store
+                    .snapshot_now(&h.leader.session)
+                    .expect("leader snapshot");
+            }
+            // Leader kill + restart (mid-ship from the follower's view).
+            6 => h.leader_restart(),
+            // Follower pulls over a clean transport.
+            7 | 8 => {
+                let n = 1 + rng.below(3) as usize;
+                h.follower_steps(n, None);
+            }
+            // Follower pulls through the fault injector.
+            9 => {
+                let n = 1 + rng.below(4) as usize;
+                let plan = FaultPlan {
+                    error_prob: 0.3,
+                    corrupt_prob: 0.3,
+                    truncate_prob: 0.3,
+                    seed: rng.next_u64(),
+                };
+                h.follower_steps(n, Some(plan));
+            }
+            // Follower kill + restart: resumes from its durable
+            // watermark.
+            10 => h.follower_restart(),
+            // Follower snapshot + local retention (its disk stays
+            // bounded independently of the leader's).
+            _ => {
+                h.follower.snapshot_now().expect("follower snapshot");
+            }
+        }
+        h.absorb_leader();
+        h.check_follower(&context);
+    }
+    h.converge(&format!("{tag} seed {seed} convergence"));
+    let _ = fs::remove_dir_all(&h.ldir);
+    let _ = fs::remove_dir_all(&h.fdir);
+    h.faults
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random schedules (seed + length drawn by proptest): the follower
+    /// is a byte-identical committed prefix of the leader at every step,
+    /// its state equals the leader's at every shipped watermark, and its
+    /// certain-belief answers equal the leader's once caught up.
+    #[test]
+    fn follower_is_a_committed_prefix_under_random_schedules(
+        seed in 0u64..1_000_000,
+        ops in 24usize..64,
+    ) {
+        run_schedule(seed, ops, "prop");
+    }
+}
+
+/// The `replication-chaos` CI gate: a fixed matrix of ≥200 deterministic
+/// kill/restart/fault schedules. `TRUSTMAP_CHAOS_SCHEDULES` scales the
+/// matrix (e.g. locally for quick runs); the default meets the
+/// acceptance bar.
+#[test]
+fn chaos_matrix_follower_always_a_committed_prefix() {
+    let schedules: u64 = std::env::var("TRUSTMAP_CHAOS_SCHEDULES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let mut total_faults = 0;
+    for seed in 0..schedules {
+        let mut rng = Rng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1));
+        let ops = 24 + rng.below(40) as usize;
+        total_faults += run_schedule(seed, ops, "chaos");
+    }
+    assert!(
+        total_faults > 0,
+        "the matrix must actually inject transport faults"
+    );
+}

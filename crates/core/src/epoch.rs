@@ -31,6 +31,7 @@
 //! epoch publication per group, thousands of concurrent readers riding
 //! the slot.
 
+use crate::exact::ExactUserResolution;
 use crate::network::TrustNetwork;
 use crate::resolution::UserResolution;
 use crate::signed::BeliefSet;
@@ -139,6 +140,10 @@ pub struct EpochView {
     lsn: u64,
     state: EpochState,
     names: Arc<EpochNames>,
+    /// Exact certain/possible positives, published when the session has
+    /// exact mode enabled ([`crate::Session::enable_exact`]) — the table
+    /// behind `CERT <user> EXACT` reads on leaders and replicas.
+    exact: Option<Arc<ExactUserResolution>>,
 }
 
 impl EpochView {
@@ -149,6 +154,7 @@ impl EpochView {
         lsn: u64,
         snap: &UserResolution,
         names: Arc<EpochNames>,
+        exact: Option<Arc<ExactUserResolution>>,
     ) -> Self {
         EpochView {
             epoch,
@@ -158,6 +164,7 @@ impl EpochView {
                 cert: snap.cert.clone(),
             }),
             names,
+            exact,
         }
     }
 
@@ -167,12 +174,14 @@ impl EpochView {
         lsn: u64,
         snap: &SkepticUserResolution,
         names: Arc<EpochNames>,
+        exact: Option<Arc<ExactUserResolution>>,
     ) -> Self {
         EpochView {
             epoch,
             lsn,
             state: EpochState::Skeptic(snap.clone()),
             names,
+            exact,
         }
     }
 
@@ -276,6 +285,26 @@ impl EpochView {
             EpochState::Basic(_) => None,
         }
     }
+
+    /// The exact certain/possible table, when the publishing session had
+    /// exact mode enabled (and the state fit the enumeration caps).
+    pub fn exact(&self) -> Option<&ExactUserResolution> {
+        self.exact.as_deref()
+    }
+
+    /// The **exact** certain positive value of `user` from the published
+    /// exact table: `Ok(None)` means exactly "no certain value";
+    /// `Err(())`-free by design — `None` at the outer level means this
+    /// epoch carries no exact table at all (exact mode off, or the state
+    /// overflowed the enumeration caps at publication time).
+    pub fn cert_exact(&self, user: User) -> Option<Option<Value>> {
+        let table = self.exact.as_deref()?;
+        Some(if user.index() < table.user_count() {
+            table.cert(user)
+        } else {
+            None
+        })
+    }
 }
 
 /// Genesis view: epoch 0 over an empty network (what readers see before
@@ -289,6 +318,7 @@ fn genesis() -> Arc<EpochView> {
             cert: Vec::new(),
         }),
         names: Arc::new(EpochNames::default()),
+        exact: None,
     })
 }
 
@@ -581,6 +611,7 @@ mod tests {
                     cert: Vec::new(),
                 }),
                 names: Arc::new(EpochNames::default()),
+                exact: None,
             }));
         });
         let got = slot.wait_for_lsn(5, Duration::from_secs(5));

@@ -24,6 +24,10 @@ pub enum Error {
         /// Estimated log2 of the number of candidate assignments.
         log2_candidates: u32,
     },
+    /// An exact-mode read was issued on a session that never enabled
+    /// exact certain-belief maintenance
+    /// ([`crate::Session::enable_exact`]).
+    ExactModeDisabled,
     /// A durability sink failed to persist or recover session state (the
     /// message carries the underlying I/O or corruption detail).
     Io(String),
@@ -48,6 +52,11 @@ impl fmt::Display for Error {
             Error::EnumerationTooLarge { log2_candidates } => write!(
                 f,
                 "exhaustive enumeration would explore ~2^{log2_candidates} assignments"
+            ),
+            Error::ExactModeDisabled => write!(
+                f,
+                "exact certain-belief mode is not enabled on this session \
+                 (call enable_exact first)"
             ),
             Error::Io(message) => write!(f, "durability: {message}"),
         }

@@ -302,6 +302,13 @@ impl IncrementalResolver {
         self.dirty_list.len()
     }
 
+    /// The BTN nodes of the most recent dirty region (forward-closed over
+    /// trust edges; retained until the next batch). Exact-mode maintenance
+    /// ([`crate::exact`]) re-solves exactly this region.
+    pub fn last_dirty_nodes(&self) -> &[NodeId] {
+        &self.dirty_list
+    }
+
     /// Extracts a full per-user snapshot (O(users) refcount bumps).
     pub fn user_resolution(&self) -> UserResolution {
         let users = self.delta.btn.user_count;
@@ -364,8 +371,15 @@ impl IncrementalResolver {
                     parent,
                     priority,
                 } => {
+                    // Mirror the network layer's upsert: re-declaring an
+                    // existing (child, parent) edge updates the priority
+                    // in place instead of duplicating the entry.
                     let parent_node = self.delta.btn.node_of(parent);
-                    self.delta.plists[child.index()].push((parent_node, priority));
+                    let plist = &mut self.delta.plists[child.index()];
+                    match plist.iter_mut().find(|(p, _)| *p == parent_node) {
+                        Some(slot) => slot.1 = priority,
+                        None => plist.push((parent_node, priority)),
+                    }
                     self.reconcile_user(net, child, &mut seeds);
                 }
             }

@@ -66,6 +66,10 @@
 //!   (Proposition 3.6);
 //! * [`stable_signed`] — ground-truth enumeration of constraint stable
 //!   solutions (Definition 3.3 / B.3);
+//! * [`exact`] — exact certain beliefs maintained per dirty region:
+//!   purely topological on DAG regions, bounded region-local enumeration
+//!   on cyclic residues, closing the `repPoss` over-approximation
+//!   (`docs/FIDELITY.md` F1) for consumers that cannot tolerate it;
 //! * [`gates`] / [`sat`] — the NP-hardness gadgets of Theorem 3.4 and a
 //!   small DPLL solver to cross-check them;
 //! * [`bulk`] / [`bulk_skeptic`] — the bulk-resolution schedules of
@@ -110,6 +114,7 @@ pub(crate) mod deltabtn;
 pub mod durability;
 pub mod epoch;
 pub mod error;
+pub mod exact;
 pub mod format;
 pub mod gates;
 pub mod incremental;
@@ -134,6 +139,7 @@ pub use binary::{binarize, Btn, Parents};
 pub use durability::Durability;
 pub use epoch::{EpochNames, EpochReader, EpochSlot, EpochView};
 pub use error::{Error, Result};
+pub use exact::{ExactCounters, ExactEngine, ExactUserResolution};
 pub use format::{parse_network, render_network, FormatError};
 pub use incremental::{DeltaStats, Edit, IncrementalResolver};
 pub use network::{Mapping, TrustNetwork};

@@ -36,6 +36,10 @@ pub struct TrustNetwork {
     user_names: Vec<String>,
     user_index: HashMap<String, User>,
     mappings: Vec<Mapping>,
+    /// Position of each (child, parent) edge in `mappings`, so re-declaring
+    /// a mapping updates its priority in place instead of accumulating
+    /// duplicates (trust re-weighting loops re-declare every round).
+    mapping_index: HashMap<(User, User), usize>,
     beliefs: Vec<ExplicitBelief>,
     /// Number of users whose explicit belief is a constraint (`Negs`),
     /// maintained O(1) per belief write so the sign-state checks on the
@@ -82,18 +86,29 @@ impl TrustNetwork {
     }
 
     /// Declares that `child` trusts `parent` with `priority`
-    /// (larger = stronger).
+    /// (larger = stronger). Declaring an existing (child, parent) edge
+    /// again is an upsert: the priority is updated in place, so
+    /// re-weighting loops (e.g. truth-discovery fusion rounds) never
+    /// accumulate duplicate mappings.
     pub fn trust(&mut self, child: User, parent: User, priority: i64) -> Result<()> {
         self.check_user(child)?;
         self.check_user(parent)?;
         if child == parent {
             return Err(Error::SelfTrust(child));
         }
-        self.mappings.push(Mapping {
-            parent,
-            child,
-            priority,
-        });
+        match self.mapping_index.entry((child, parent)) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                self.mappings[*slot.get()].priority = priority;
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(self.mappings.len());
+                self.mappings.push(Mapping {
+                    parent,
+                    child,
+                    priority,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -150,6 +165,16 @@ impl TrustNetwork {
     /// All mappings.
     pub fn mappings(&self) -> &[Mapping] {
         &self.mappings
+    }
+
+    /// The declared priority of the `child → parent` mapping, or `None`
+    /// when no such mapping exists. O(1): the lookup the trust-reweighting
+    /// loops use to diff desired against current priorities before each
+    /// round's edit stream.
+    pub fn priority_of(&self, child: User, parent: User) -> Option<i64> {
+        self.mapping_index
+            .get(&(child, parent))
+            .map(|&i| self.mappings[i].priority)
     }
 
     /// All users.
@@ -269,6 +294,23 @@ mod tests {
         assert_eq!(net.find_user("a"), Some(a));
         assert_eq!(net.find_user("zzz"), None);
         assert_eq!(net.user_name(a), "a");
+    }
+
+    #[test]
+    fn trust_upserts_priority() {
+        let mut net = TrustNetwork::new();
+        let a = net.user("a");
+        let b = net.user("b");
+        let c = net.user("c");
+        net.trust(a, b, 10).unwrap();
+        net.trust(a, c, 5).unwrap();
+        net.trust(a, b, 3).unwrap();
+        assert_eq!(net.mapping_count(), 2);
+        let got: Vec<_> = net.parents_of(a).map(|m| (m.parent, m.priority)).collect();
+        assert_eq!(got, vec![(b, 3), (c, 5)]);
+        // Opposite direction is a distinct edge, not an upsert target.
+        net.trust(b, a, 7).unwrap();
+        assert_eq!(net.mapping_count(), 3);
     }
 
     #[test]

@@ -48,6 +48,7 @@
 use crate::durability::Durability;
 use crate::epoch::{EpochNames, EpochSlot, EpochView};
 use crate::error::{Error, Result};
+use crate::exact::{ExactCounters, ExactEngine, ExactUserResolution};
 use crate::incremental::{DeltaStats, Edit, IncrementalResolver};
 use crate::lineage::Lineage;
 use crate::network::TrustNetwork;
@@ -99,6 +100,13 @@ impl LiveEngine {
         }
     }
 
+    fn last_dirty_nodes(&self) -> &[trustmap_graph::NodeId] {
+        match self {
+            LiveEngine::Basic(e) => e.last_dirty_nodes(),
+            LiveEngine::Skeptic(e) => e.last_dirty_nodes(),
+        }
+    }
+
     fn user_count(&self) -> usize {
         match self {
             LiveEngine::Basic(e) => e.user_count(),
@@ -112,6 +120,25 @@ impl LiveEngine {
             LiveEngine::Skeptic(e) => e.set_parallel_policy(policy),
         }
     }
+}
+
+/// Exact certain-belief maintenance state of a session (see
+/// [`Session::enable_exact`]).
+#[derive(Debug, Clone, Default)]
+enum ExactSlot {
+    /// Exact mode is off (the default).
+    #[default]
+    Off,
+    /// Enabled but not built against the current engine yet (fresh enable,
+    /// or invalidated by a rebuild); the next refresh builds it.
+    Pending,
+    /// Live and patched per dirty region alongside the main engine
+    /// (boxed: the engine dwarfs every other variant).
+    Live(Box<ExactEngine>),
+    /// The last build or update overflowed the enumeration caps
+    /// (carries the reported `log2_candidates`); exact reads error until
+    /// an edit shrinks the offending region or the session rebuilds.
+    Failed(u32),
 }
 
 /// An editable trust network with an incrementally maintained snapshot.
@@ -141,6 +168,9 @@ pub struct Session {
     published: Option<Arc<EpochView>>,
     /// Name tables shared across epochs until a new user/value interns.
     names_cache: Option<Arc<EpochNames>>,
+    /// Exact certain-belief maintenance ([`Session::enable_exact`]),
+    /// patched per dirty region alongside the live engine.
+    exact: ExactSlot,
 }
 
 impl Clone for Session {
@@ -164,6 +194,7 @@ impl Clone for Session {
             epochs: Arc::new(EpochSlot::new()),
             published: None,
             names_cache: self.names_cache.clone(),
+            exact: self.exact.clone(),
         }
     }
 }
@@ -185,6 +216,7 @@ impl Session {
             epochs: Arc::new(EpochSlot::new()),
             published: None,
             names_cache: None,
+            exact: ExactSlot::Off,
         }
     }
 
@@ -357,6 +389,117 @@ impl Session {
             Some(LiveEngine::Basic(e)) => e.lineage(),
             _ => None,
         })
+    }
+
+    /// Enables exact certain-belief maintenance ([`crate::exact`]): every
+    /// drained edit batch re-solves its dirty region *exactly* alongside
+    /// the approximate engine, making [`Session::cert_exact`] /
+    /// [`Session::poss_exact`] reads available and publishing an exact
+    /// table on every epoch view (so serve/replica `CERT <user> EXACT`
+    /// reads work at pinned LSNs). Costs one exact full build now —
+    /// errors with [`Error::EnumerationTooLarge`] if the network's cyclic
+    /// residues exceed the enumeration caps (exact `cert` is NP-hard on
+    /// cyclic signed networks, Theorem 3.4) — and an O(region) exact
+    /// solve per edit afterwards. Batch-aware: mid-batch exact reads see
+    /// the pre-batch state, like every other session read. Exact state is
+    /// derived, never persisted: a recovered or cloned-for-replica
+    /// session re-enables it explicitly.
+    pub fn enable_exact(&mut self) -> Result<()> {
+        if matches!(self.exact, ExactSlot::Off) {
+            self.exact = ExactSlot::Pending;
+            self.published = None;
+        }
+        self.refresh()?;
+        if let ExactSlot::Failed(log2_candidates) = self.exact {
+            return Err(Error::EnumerationTooLarge { log2_candidates });
+        }
+        Ok(())
+    }
+
+    /// Disables exact maintenance and drops its state (subsequent epoch
+    /// views publish no exact table).
+    pub fn disable_exact(&mut self) {
+        self.exact = ExactSlot::Off;
+        self.published = None;
+    }
+
+    /// Whether exact maintenance is enabled (true even while the current
+    /// state has overflowed the enumeration caps).
+    pub fn exact_enabled(&self) -> bool {
+        !matches!(self.exact, ExactSlot::Off)
+    }
+
+    /// The **exact** certain positive value of `user`: the value they hold
+    /// in every stable solution of the current network — ground truth
+    /// where the Algorithm-2 `cert` decode can under-report
+    /// (`docs/FIDELITY.md` F1). `None` means ambiguous, negative-only, or
+    /// no stable solution. Errors with [`Error::ExactModeDisabled`] until
+    /// [`Session::enable_exact`] is called, and with
+    /// [`Error::EnumerationTooLarge`] while the live state exceeds the
+    /// enumeration caps.
+    pub fn cert_exact(&mut self, user: User) -> Result<Option<Value>> {
+        self.refresh()?;
+        match &self.exact {
+            ExactSlot::Off => Err(Error::ExactModeDisabled),
+            ExactSlot::Pending => unreachable!("refresh syncs the exact slot"),
+            ExactSlot::Failed(log2) => Err(Error::EnumerationTooLarge {
+                log2_candidates: *log2,
+            }),
+            ExactSlot::Live(exact) => {
+                let btn = self
+                    .engine
+                    .as_ref()
+                    .expect("refresh built the engine")
+                    .btn();
+                if user.index() >= btn.user_count {
+                    // Created mid-batch: undefined until commit.
+                    return Ok(None);
+                }
+                Ok(exact.cert(btn.node_of(user)))
+            }
+        }
+    }
+
+    /// The exact possible positive values of `user`, sorted — same
+    /// availability rules as [`Session::cert_exact`].
+    pub fn poss_exact(&mut self, user: User) -> Result<Vec<Value>> {
+        self.refresh()?;
+        match &self.exact {
+            ExactSlot::Off => Err(Error::ExactModeDisabled),
+            ExactSlot::Pending => unreachable!("refresh syncs the exact slot"),
+            ExactSlot::Failed(log2) => Err(Error::EnumerationTooLarge {
+                log2_candidates: *log2,
+            }),
+            ExactSlot::Live(exact) => {
+                let btn = self
+                    .engine
+                    .as_ref()
+                    .expect("refresh built the engine")
+                    .btn();
+                if user.index() >= btn.user_count {
+                    return Ok(Vec::new());
+                }
+                Ok(exact.poss(btn.node_of(user)))
+            }
+        }
+    }
+
+    /// Work counters of the live exact engine (`None` while exact mode is
+    /// off, pending, or failed) — the counter-arithmetic surface the
+    /// O(region) bench gates read.
+    pub fn exact_counters(&self) -> Option<ExactCounters> {
+        match &self.exact {
+            ExactSlot::Live(exact) => Some(exact.counters()),
+            _ => None,
+        }
+    }
+
+    /// Bytes of region-scaled scratch retained by the live exact engine.
+    pub fn exact_region_scratch_bytes(&self) -> Option<usize> {
+        match &self.exact {
+            ExactSlot::Live(exact) => Some(exact.region_scratch_bytes()),
+            _ => None,
+        }
     }
 
     /// Routes dirty regions of at least `min_region` nodes through the
@@ -698,6 +841,15 @@ impl Session {
                 n
             }
         };
+        // Exact mode publishes its user-indexed table alongside the
+        // approximate snapshot, so `CERT … EXACT` reads serve from the
+        // same immutable view (leader and replica alike).
+        let exact = match (&self.exact, self.engine.as_ref()) {
+            (ExactSlot::Live(exact), Some(engine)) => {
+                Some(Arc::new(ExactUserResolution::snapshot(exact, engine.btn())))
+            }
+            _ => None,
+        };
         let epoch = self.epochs.epoch() + 1;
         let view = Arc::new(match self.engine.as_ref() {
             Some(LiveEngine::Skeptic(_)) => EpochView::skeptic(
@@ -705,12 +857,14 @@ impl Session {
                 lsn,
                 self.sk_snapshot.as_ref().expect("skeptic keeps a snapshot"),
                 names,
+                exact,
             ),
             _ => EpochView::basic(
                 epoch,
                 lsn,
                 self.snapshot.as_ref().expect("basic keeps a snapshot"),
                 names,
+                exact,
             ),
         });
         self.epochs.publish(Arc::clone(&view));
@@ -764,6 +918,12 @@ impl Session {
         self.sk_snapshot = None;
         self.pending.clear();
         self.published = None;
+        // Exact state is derived from the engine's BTN; a rebuild (which
+        // may re-layout nodes) demotes it to Pending — including Failed
+        // slots, since the rebuilt network may enumerate fine.
+        if !matches!(self.exact, ExactSlot::Off) {
+            self.exact = ExactSlot::Pending;
+        }
     }
 
     /// Brings engine and snapshot in sync with the network. Inside an
@@ -821,7 +981,27 @@ impl Session {
                 }
             }
         }
+        self.sync_exact();
         Ok(())
+    }
+
+    /// Builds a Pending exact engine against the (now synced) live engine.
+    /// An oversized network lands in `Failed` — recorded, not raised, so
+    /// `repPoss` reads keep working and only exact reads error.
+    fn sync_exact(&mut self) {
+        if !matches!(self.exact, ExactSlot::Pending) {
+            return;
+        }
+        let Some(engine) = self.engine.as_ref() else {
+            return;
+        };
+        self.exact = match ExactEngine::new(engine.btn()) {
+            Ok(exact) => ExactSlot::Live(Box::new(exact)),
+            Err(Error::EnumerationTooLarge { log2_candidates }) => {
+                ExactSlot::Failed(log2_candidates)
+            }
+            Err(_) => ExactSlot::Failed(0),
+        };
     }
 
     /// Routes `edits` through the live engine and patches the cached
@@ -899,12 +1079,33 @@ impl Session {
             Ok(changes) => {
                 self.stats.incremental_edits += edits.len() as u64;
                 self.stats.dirty_nodes += self.stats.last_dirty_nodes as u64;
+                self.patch_exact();
                 Ok(changes)
             }
             Err(err) => {
                 self.invalidate();
                 Err(err)
             }
+        }
+    }
+
+    /// Re-solves the exact engine over the dirty region the live engine
+    /// just patched. An enumeration overflow demotes the slot to `Failed`
+    /// without disturbing the main (approximate) pipeline.
+    fn patch_exact(&mut self) {
+        let Session { engine, exact, .. } = self;
+        let ExactSlot::Live(ex) = exact else {
+            return;
+        };
+        let engine = engine.as_ref().expect("drain requires an engine");
+        let btn = engine.btn();
+        ex.grow(btn.node_count());
+        if let Err(err) = ex.update(btn, engine.last_dirty_nodes()) {
+            let log2 = match err {
+                Error::EnumerationTooLarge { log2_candidates } => log2_candidates,
+                _ => 0,
+            };
+            self.exact = ExactSlot::Failed(log2);
         }
     }
 }

@@ -209,6 +209,13 @@ impl SkepticIncremental {
         self.dirty_list.len()
     }
 
+    /// The BTN nodes of the most recent dirty region (forward-closed over
+    /// trust edges; retained until the next batch). Exact-mode maintenance
+    /// ([`crate::exact`]) re-solves exactly this region.
+    pub fn last_dirty_nodes(&self) -> &[NodeId] {
+        &self.dirty_list
+    }
+
     /// Enables the condensation-sharded parallel solve for dirty regions
     /// of at least `min_region` nodes — a pure work threshold, exactly as
     /// in [`crate::incremental::IncrementalResolver::set_parallelism`]
@@ -306,8 +313,15 @@ impl SkepticIncremental {
                     parent,
                     priority,
                 } => {
+                    // Mirror the network layer's upsert: re-declaring an
+                    // existing (child, parent) edge updates the priority
+                    // in place instead of duplicating the entry.
                     let parent_node = self.delta.btn.node_of(*parent);
-                    self.delta.plists[child.index()].push((parent_node, *priority));
+                    let plist = &mut self.delta.plists[child.index()];
+                    match plist.iter_mut().find(|(p, _)| *p == parent_node) {
+                        Some(slot) => slot.1 = *priority,
+                        None => plist.push((parent_node, *priority)),
+                    }
                     self.reconcile_user(net, *child, &mut seeds);
                 }
             }

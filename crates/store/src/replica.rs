@@ -531,6 +531,16 @@ impl Follower {
         &mut self.session
     }
 
+    /// Enables exact certain-belief maintenance on the replayed session
+    /// and republishes the current epoch so replica-side `CERT <user>
+    /// EXACT` reads resolve immediately. The mode is derived state (never
+    /// shipped or persisted) and survives snapshot bootstraps.
+    pub fn enable_exact(&mut self) -> Result<()> {
+        self.session.enable_exact()?;
+        self.session.epoch_at(self.watermark)?;
+        Ok(())
+    }
+
     /// Counters since open.
     pub fn counters(&self) -> FollowerCounters {
         self.counters
@@ -801,8 +811,16 @@ impl Follower {
         }
         segment::write_manifest(&self.dir, &[])?;
         snapshot::write(&self.dir, &snap.net, snap.lsn, 0)?;
+        let exact = self.session.exact_enabled();
         let mut session = Session::new(snap.net);
         session.adopt_epoch_slot(Arc::clone(&self.slot));
+        if exact {
+            // Exact mode is derived, not persisted: carry it across the
+            // wholesale session replacement so EXACT reads keep resolving
+            // (best effort — an oversized snapshot parks the slot Failed
+            // and exact reads degrade loudly while cert/poss keep serving).
+            let _ = session.enable_exact();
+        }
         self.session = session;
         self.watermark = snap.lsn;
         self.counters.bootstraps += 1;
@@ -1086,6 +1104,47 @@ mod tests {
             view.user_count() > 0,
             "slot still serves the pre-rewrite empty network"
         );
+        let _ = std::fs::remove_dir_all(&ldir);
+        let _ = std::fs::remove_dir_all(&fdir);
+    }
+
+    /// Exact mode is derived replica-side state: enabling it on a
+    /// follower publishes the exact table with every epoch, and a
+    /// snapshot bootstrap (which replaces the session wholesale) must
+    /// carry it across instead of silently dropping EXACT reads.
+    #[test]
+    fn exact_table_survives_snapshot_bootstrap() {
+        let ldir = fresh_dir("exact-boot-l");
+        let fdir = fresh_dir("exact-boot-f");
+        let leader = seed_leader(&ldir, 40);
+        leader.store.snapshot_now(&leader.session).expect("snap");
+        assert!(
+            leader.store.counters().segments_retired > 0,
+            "precondition: retention must force a bootstrap"
+        );
+        let mut t = LocalTransport::new(leader.store.clone());
+        let mut f = Follower::open(&fdir).expect("open follower");
+        f.enable_exact().expect("enable exact");
+        assert!(
+            f.epoch_slot().load().exact().is_some(),
+            "enable_exact must republish with the exact table"
+        );
+        let mut bootstrapped = false;
+        loop {
+            match f.step(&mut t).expect("step") {
+                Step::Bootstrapped { .. } => bootstrapped = true,
+                Step::CaughtUp { .. } => break,
+                Step::Rejected { reason } => panic!("clean transport rejected: {reason}"),
+                _ => {}
+            }
+        }
+        assert!(bootstrapped, "follower below retention must bootstrap");
+        let view = f.epoch_slot().load();
+        assert!(
+            view.exact().is_some(),
+            "exact table must survive the bootstrap"
+        );
+        assert_eq!(view.lsn(), f.watermark());
         let _ = std::fs::remove_dir_all(&ldir);
         let _ = std::fs::remove_dir_all(&fdir);
     }

@@ -1,0 +1,294 @@
+//! Data-fusion claim networks with an outer trust-reweighting loop — the
+//! paper's motivating scenario (conflicting source claims resolved
+//! through trust) turned into a workload.
+//!
+//! The network is bipartite and acyclic: one *claim user* per
+//! (source, object) pair holds the source's claimed value as its explicit
+//! belief, and each *object user* trusts the claim users of its claims
+//! with distinct rank-based priorities. Resolving the network therefore
+//! assigns every object the certain value of its highest-ranked claim
+//! chain — per-object dirty regions are exactly `object + its claims`,
+//! which is what makes the exact engine O(region) on this family.
+//!
+//! The outer loop is a classic fusion fixed point (TruthFinder-style
+//! iteration expressed as trust edits):
+//!
+//! 1. score every source by how many of its claims agree with the
+//!    current certain values;
+//! 2. re-rank each object's claim users by source score and emit a
+//!    [`trustmap_core::Edit::Trust`] for every priority that changed
+//!    (re-declaring a mapping upserts its priority in place);
+//! 3. apply the edit stream, re-resolve, repeat until a round emits no
+//!    edits.
+//!
+//! [`FusionSim::round_edits`] is **stateless**: scores are recomputed
+//! from the supplied certain values and diffed against the *live*
+//! network's priorities, so a loop interrupted anywhere — including a
+//! crash-restart that recovers the network from the WAL — resumes at the
+//! exact same fixed point (`tests/fusion_oracle.rs` proves it).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use trustmap_core::{Edit, TrustNetwork, User, Value};
+
+/// Shape and seed of a [`FusionSim`].
+#[derive(Debug, Clone, Copy)]
+pub struct FusionConfig {
+    /// Number of claim sources (not themselves network users).
+    pub sources: usize,
+    /// Number of objects, each resolved to one certain value.
+    pub objects: usize,
+    /// Claims per object (distinct sources; clamped to `sources`).
+    pub claims_per_object: usize,
+    /// Size of the value domain.
+    pub values: usize,
+    /// Seed for truths, source accuracies, and claim draws.
+    pub seed: u64,
+}
+
+impl Default for FusionConfig {
+    /// A small but conflict-rich instance: every object attracts several
+    /// disagreeing claims, and source accuracies spread wide enough that
+    /// re-weighting visibly reorders the rankings.
+    fn default() -> Self {
+        FusionConfig {
+            sources: 12,
+            objects: 40,
+            claims_per_object: 4,
+            values: 3,
+            seed: 0,
+        }
+    }
+}
+
+/// One claim inside a [`FusionSim`]: `source` asserted `value` for the
+/// owning object, through the claim user `claimer`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionClaim {
+    /// Index of the asserting source.
+    pub source: usize,
+    /// The claim user holding `value` as its explicit belief.
+    pub claimer: User,
+    /// The claimed value.
+    pub value: Value,
+}
+
+/// A generated claim network plus the latent ground truth, with the
+/// round generator of the trust-reweighting loop.
+#[derive(Debug, Clone)]
+pub struct FusionSim {
+    /// The initial network (round-0 priorities: all sources tied, ranked
+    /// by index). Clone it into a session to start a loop.
+    pub net: TrustNetwork,
+    /// Object users, indexed by object.
+    pub objects: Vec<User>,
+    /// Claims per object (same indexing as `objects`).
+    pub claims: Vec<Vec<FusionClaim>>,
+    /// Latent true value per object (for accuracy assertions; the loop
+    /// itself never reads it).
+    pub truths: Vec<Value>,
+    /// Number of sources.
+    pub source_count: usize,
+}
+
+impl FusionSim {
+    /// Builds the claim network deterministically from `cfg`: latent
+    /// truths and per-source accuracies are seeded draws, each claim is
+    /// correct with its source's accuracy, and round-0 priorities rank
+    /// every object's claims by source index (all scores start equal).
+    pub fn new(cfg: &FusionConfig) -> FusionSim {
+        assert!(
+            cfg.sources >= 1 && cfg.objects >= 1 && cfg.values >= 1,
+            "degenerate fusion config"
+        );
+        let claims_per_object = cfg.claims_per_object.clamp(1, cfg.sources);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut net = TrustNetwork::new();
+        let values: Vec<Value> = (0..cfg.values)
+            .map(|i| net.value(&format!("v{i}")))
+            .collect();
+        // Accuracies spread over [0.25, 0.95]: some near-oracles, some
+        // mostly-noise sources, so re-weighting has an ordering to find.
+        let accuracy: Vec<f64> = (0..cfg.sources)
+            .map(|_| 0.25 + 0.70 * (rng.gen_range(0..1024) as f64 / 1024.0))
+            .collect();
+        let truths: Vec<Value> = (0..cfg.objects)
+            .map(|_| values[rng.gen_range(0..values.len())])
+            .collect();
+        let objects: Vec<User> = (0..cfg.objects)
+            .map(|j| net.user(&format!("o{j}")))
+            .collect();
+        let mut claims = Vec::with_capacity(cfg.objects);
+        let mut source_pool: Vec<usize> = (0..cfg.sources).collect();
+        for (j, &object) in objects.iter().enumerate() {
+            source_pool.shuffle(&mut rng);
+            let mut object_claims: Vec<FusionClaim> = source_pool[..claims_per_object]
+                .iter()
+                .map(|&source| {
+                    let value = if rng.gen_bool(accuracy[source]) || values.len() == 1 {
+                        truths[j]
+                    } else {
+                        // A wrong claim: uniform over the other values.
+                        let mut v = values[rng.gen_range(0..values.len())];
+                        while v == truths[j] {
+                            v = values[rng.gen_range(0..values.len())];
+                        }
+                        v
+                    };
+                    let claimer = net.user(&format!("c{source}_o{j}"));
+                    net.believe(claimer, value).expect("fresh claim user");
+                    FusionClaim {
+                        source,
+                        claimer,
+                        value,
+                    }
+                })
+                .collect();
+            // Round-0 ranking: all scores equal, tie-broken by source
+            // index — the same rule `round_edits` uses, so a loop's first
+            // round only emits edits once scores actually diverge.
+            object_claims.sort_unstable_by_key(|c| c.source);
+            let k = object_claims.len() as i64;
+            for (rank, claim) in object_claims.iter().enumerate() {
+                net.trust(object, claim.claimer, k - rank as i64)
+                    .expect("fresh bipartite edge");
+            }
+            claims.push(object_claims);
+        }
+        FusionSim {
+            net,
+            objects,
+            claims,
+            truths,
+            source_count: cfg.sources,
+        }
+    }
+
+    /// Scores every source against the supplied certain values: one point
+    /// per claim that agrees with its object's certain value.
+    pub fn scores(&self, mut cert_of: impl FnMut(User) -> Option<Value>) -> Vec<usize> {
+        let mut scores = vec![0usize; self.source_count];
+        for (j, object_claims) in self.claims.iter().enumerate() {
+            let Some(cert) = cert_of(self.objects[j]) else {
+                continue;
+            };
+            for claim in object_claims {
+                if claim.value == cert {
+                    scores[claim.source] += 1;
+                }
+            }
+        }
+        scores
+    }
+
+    /// One re-weighting round: recompute source scores from `cert_of`,
+    /// re-rank every object's claims by (score desc, source index asc),
+    /// and return a Trust edit for each priority that differs from what
+    /// `net` currently declares. An empty return is the fixed point.
+    ///
+    /// Stateless by construction — pass the *live* network (e.g.
+    /// `session.network()`) and the loop survives arbitrary restarts.
+    pub fn round_edits(
+        &self,
+        net: &TrustNetwork,
+        cert_of: impl FnMut(User) -> Option<Value>,
+    ) -> Vec<Edit> {
+        let scores = self.scores(cert_of);
+        let mut edits = Vec::new();
+        for (j, object_claims) in self.claims.iter().enumerate() {
+            let object = self.objects[j];
+            let mut ranked: Vec<&FusionClaim> = object_claims.iter().collect();
+            ranked.sort_unstable_by_key(|c| (std::cmp::Reverse(scores[c.source]), c.source));
+            let k = ranked.len() as i64;
+            for (rank, claim) in ranked.iter().enumerate() {
+                let priority = k - rank as i64;
+                if net.priority_of(object, claim.claimer) != Some(priority) {
+                    edits.push(Edit::Trust {
+                        child: object,
+                        parent: claim.claimer,
+                        priority,
+                    });
+                }
+            }
+        }
+        edits
+    }
+
+    /// Fraction of objects whose certain value equals the latent truth.
+    pub fn accuracy(&self, mut cert_of: impl FnMut(User) -> Option<Value>) -> f64 {
+        let right = self
+            .objects
+            .iter()
+            .zip(&self.truths)
+            .filter(|&(&o, &t)| cert_of(o) == Some(t))
+            .count();
+        right as f64 / self.objects.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustmap_core::resolution::resolve_network;
+
+    fn cert_table(net: &TrustNetwork) -> impl Fn(User) -> Option<Value> + '_ {
+        let r = resolve_network(net).expect("claim networks resolve");
+        move |u| r.cert(u)
+    }
+
+    #[test]
+    fn sim_is_deterministic_and_acyclic() {
+        let cfg = FusionConfig::default();
+        let a = FusionSim::new(&cfg);
+        let b = FusionSim::new(&cfg);
+        assert_eq!(a.claims, b.claims, "same seed, same claims");
+        assert_eq!(a.truths, b.truths);
+        let c = FusionSim::new(&FusionConfig { seed: 1, ..cfg });
+        assert_ne!(a.claims, c.claims, "different seed, different draw");
+
+        // Bipartite claim networks are DAGs: every paradigm evaluates.
+        let btn = trustmap_core::binarize(&a.net);
+        assert!(!btn.has_ties(), "rank priorities are distinct per object");
+        trustmap_core::acyclic::evaluate_acyclic(&btn, trustmap_core::Paradigm::Skeptic)
+            .expect("bipartite claim network is acyclic");
+        let expected_users = cfg.objects + a.claims.iter().map(Vec::len).sum::<usize>();
+        assert_eq!(a.net.user_count(), expected_users);
+    }
+
+    #[test]
+    fn round_zero_is_stable_under_equal_scores() {
+        let sim = FusionSim::new(&FusionConfig::default());
+        // With every score forced equal, the round-0 ranking (by source
+        // index) is already what `round_edits` wants: no edits.
+        let edits = sim.round_edits(&sim.net, |_| None);
+        assert!(edits.is_empty(), "{} spurious edits", edits.len());
+    }
+
+    #[test]
+    fn reweighting_converges_and_does_not_lose_accuracy() {
+        let sim = FusionSim::new(&FusionConfig::default());
+        let mut net = sim.net.clone();
+        let initial = sim.accuracy(cert_table(&net));
+        let mut rounds = 0;
+        loop {
+            let edits = sim.round_edits(&net, cert_table(&net));
+            if edits.is_empty() {
+                break;
+            }
+            rounds += 1;
+            assert!(rounds <= 32, "reweighting failed to converge");
+            for &e in &edits {
+                crate::apply_edit(&mut net, e);
+            }
+        }
+        assert!(rounds >= 1, "scores must diverge at least once");
+        let converged = sim.accuracy(cert_table(&net));
+        assert!(
+            converged >= initial,
+            "reweighting lost accuracy: {initial} -> {converged}"
+        );
+        // The fixed point is a fixed point: one more round is empty.
+        assert!(sim.round_edits(&net, cert_table(&net)).is_empty());
+    }
+}

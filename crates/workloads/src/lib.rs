@@ -32,9 +32,15 @@
 //! * [`serve_stream`] — mixed read/write request streams with a
 //!   configurable read:write ratio and [`Zipf`]-skewed key popularity,
 //!   the input of the concurrent-serving benchmark (`serve_bench`) and
-//!   the snapshot-isolation oracle.
+//!   the snapshot-isolation oracle;
+//! * [`fusion`] — bipartite source→object claim networks with an outer
+//!   trust-reweighting fixed-point loop where each round is an edit
+//!   stream, the input of the exact-mode benchmark (`fusion_bench`) and
+//!   the fusion-convergence oracle.
 //!
 //! Every generator takes an explicit seed and is fully deterministic.
+
+pub mod fusion;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

@@ -4,6 +4,9 @@
 //! ```text
 //! trustmap resolve  <file>            # per-user certain/possible beliefs
 //! trustmap skeptic  <file>            # Algorithm 2 with constraints
+//! trustmap cert     <file> [--exact]  # certain beliefs; --exact solves the
+//!                                     # per-region enumeration instead of
+//!                                     # Algorithm 2's approximation
 //! trustmap paradigm <file> <A|E|S>    # acyclic evaluation under a paradigm
 //! trustmap agree    <file>            # pairs of users who always agree
 //! trustmap lineage  <file> <user> <value>
@@ -15,11 +18,12 @@
 //! trustmap snapshot <dir> [file]      # write a snapshot (optionally after
 //!                                     # importing <file> as the network)
 //! trustmap recover  <dir>             # recover the store, print how it went
-//! trustmap serve    <dir> [addr] [threads] [window]
+//! trustmap serve    <dir> [addr] [threads] [window] [--exact]
 //!                                     # serve the store over the line
 //!                                     # protocol (default 127.0.0.1:4270,
-//!                                     # 4 threads, 16-edit commit window)
-//! trustmap follow   <dir> <leader-addr> [serve-addr]
+//!                                     # 4 threads, 16-edit commit window);
+//!                                     # --exact answers `CERT <u> EXACT`
+//! trustmap follow   <dir> <leader-addr> [serve-addr] [--exact]
 //!                                     # replicate a remote leader into
 //!                                     # <dir>; optionally serve replica
 //!                                     # reads on <serve-addr>
@@ -42,7 +46,7 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: trustmap <resolve|skeptic|paradigm|agree|lineage|lp|stats> <file> [args]\n\
+                "usage: trustmap <resolve|skeptic|cert|paradigm|agree|lineage|lp|stats> <file> [args]\n\
                  \x20      trustmap <log|segments|snapshot|recover|serve|follow> <store-dir> [args]"
             );
             ExitCode::FAILURE
@@ -86,6 +90,7 @@ fn run(args: &[String]) -> std::result::Result<(), String> {
     match command.as_str() {
         "resolve" => cmd_resolve(&net),
         "skeptic" => cmd_skeptic(&net),
+        "cert" => cmd_cert(&net, args.iter().any(|a| a == "--exact")),
         "paradigm" => cmd_paradigm(&net, args.get(2).map(String::as_str)),
         "agree" => cmd_agree(&net),
         "lineage" => cmd_lineage(
@@ -274,14 +279,25 @@ fn cmd_serve(dir: &str, rest: &[String]) -> std::result::Result<(), String> {
     use trustmap::serve::{Frontend, ServeConfig, Server};
     use trustmap::store::GroupCommitWindow;
 
-    let addr = rest.first().map(String::as_str).unwrap_or("127.0.0.1:4270");
     let mut config = ServeConfig::default();
-    if let Some(threads) = rest.get(1) {
+    let mut positional: Vec<&String> = Vec::new();
+    for arg in rest {
+        if arg == "--exact" {
+            config.exact = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let addr = positional
+        .first()
+        .map(|s| s.as_str())
+        .unwrap_or("127.0.0.1:4270");
+    if let Some(threads) = positional.get(1) {
         config.threads = threads
             .parse()
             .map_err(|_| format!("bad thread count `{threads}`"))?;
     }
-    if let Some(window) = rest.get(2) {
+    if let Some(window) = positional.get(2) {
         config.window = GroupCommitWindow::of(
             window
                 .parse()
@@ -299,10 +315,15 @@ fn cmd_serve(dir: &str, rest: &[String]) -> std::result::Result<(), String> {
     let frontend = std::sync::Arc::new(Frontend::new(recovered.session, Some(store), &config));
     let server = Server::start(frontend, addr, &config).map_err(|e| format!("{addr}: {e}"))?;
     println!(
-        "serving on {} ({} thread(s), {}-edit commit window); ^C to stop",
+        "serving on {} ({} thread(s), {}-edit commit window{}); ^C to stop",
         server.addr(),
         config.threads,
-        config.window.max_edits
+        config.window.max_edits,
+        if config.exact {
+            ", exact cert enabled"
+        } else {
+            ""
+        }
     );
     server.join();
     Ok(())
@@ -315,15 +336,30 @@ fn cmd_follow(dir: &str, rest: &[String]) -> std::result::Result<(), String> {
     use trustmap::serve::{Frontend, ServeConfig, Server, TcpTransport};
     use trustmap::store::{FollowConfig, Follower};
 
-    let leader = rest.first().ok_or("follow needs the leader's address")?;
+    let mut exact = false;
+    let mut positional: Vec<&String> = Vec::new();
+    for arg in rest {
+        if arg == "--exact" {
+            exact = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let leader = positional
+        .first()
+        .ok_or("follow needs the leader's address")?;
     let mut follower = Follower::open(dir).map_err(|e| e.to_string())?;
+    if exact {
+        follower.enable_exact().map_err(|e| e.to_string())?;
+        println!("exact cert enabled (replica answers `CERT <user> EXACT`)");
+    }
     println!(
         "follower {dir}: {} user(s), resuming at watermark lsn {}",
         follower.network().user_count(),
         follower.watermark()
     );
     let config = ServeConfig::default();
-    let _server = match rest.get(1) {
+    let _server = match positional.get(1) {
         Some(addr) => {
             let frontend = std::sync::Arc::new(Frontend::replica(follower.epoch_slot(), &config));
             let server =
@@ -335,7 +371,7 @@ fn cmd_follow(dir: &str, rest: &[String]) -> std::result::Result<(), String> {
     };
     println!("pulling from {leader}; ^C to stop");
     let stop = std::sync::atomic::AtomicBool::new(false);
-    let mut transport = TcpTransport::new(leader.clone());
+    let mut transport = TcpTransport::new(leader.as_str());
     follower.run(&mut transport, &FollowConfig::default(), &stop);
     Ok(())
 }
@@ -382,6 +418,50 @@ fn cmd_skeptic(net: &TrustNetwork) -> std::result::Result<(), String> {
             cert.display(net.domain()).to_string(),
             pos
         );
+    }
+    Ok(())
+}
+
+/// Certain beliefs per user. The default path is Algorithm 2 (sound but
+/// possibly over-approximating the possible set on cyclic constraint
+/// networks); `--exact` runs the per-region exact evaluator instead, so
+/// the printed possible sets are tight (see `docs/FIDELITY.md`, F1).
+fn cmd_cert(net: &TrustNetwork, exact: bool) -> std::result::Result<(), String> {
+    let btn = binarize(net);
+    if exact {
+        let engine = trustmap::ExactEngine::new(&btn).map_err(|e| e.to_string())?;
+        println!("{:<16} {:<14} exact possible", "user", "exact certain");
+        for u in net.users() {
+            let node = btn.node_of(u);
+            let cert = engine
+                .cert(node)
+                .map(|v| net.domain().name(v).to_owned())
+                .unwrap_or_else(|| "-".into());
+            let poss: Vec<&str> = engine
+                .poss(node)
+                .iter()
+                .map(|&v| net.domain().name(v))
+                .collect();
+            println!("{:<16} {:<14} {:?}", net.user_name(u), cert, poss);
+        }
+    } else {
+        let sk = resolve_skeptic(&btn).map_err(|e| e.to_string())?;
+        println!("{:<16} {:<14} possible positives", "user", "certain");
+        for u in net.users() {
+            let node = btn.node_of(u);
+            let cert = sk
+                .cert(node)
+                .pos
+                .map(|v| net.domain().name(v).to_owned())
+                .unwrap_or_else(|| "-".into());
+            let pos: Vec<&str> = sk
+                .rep_poss(node)
+                .pos
+                .iter()
+                .map(|&v| net.domain().name(v))
+                .collect();
+            println!("{:<16} {:<14} {:?}", net.user_name(u), cert, pos);
+        }
     }
     Ok(())
 }

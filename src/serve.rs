@@ -23,6 +23,7 @@
 //!
 //! ```text
 //! CERT <user> [@<lsn>]            → OK <value|-> epoch=<e> lsn=<l>
+//! CERT <user> EXACT [@<lsn>]      → OK <value|-> epoch=<e> lsn=<l>
 //! POSS <user> [@<lsn>]            → OK <v1,v2,...|-> epoch=<e> lsn=<l>
 //! BELIEVE <user> <value>          → OK lsn=<l> epoch=<e> group=<n>
 //! TRUST <child> <parent> <prio>   → OK lsn=<l> epoch=<e> group=<n>
@@ -78,6 +79,10 @@ pub struct ServeConfig {
     /// Worker threads for the TCP layer (each serves one connection at a
     /// time; readers scale with threads, writes serialize in the hub).
     pub threads: usize,
+    /// Maintain the exact certain-belief table on the writer session and
+    /// publish it with every epoch, so `CERT <user> EXACT` reads resolve
+    /// here (and on replicas shipping from this leader).
+    pub exact: bool,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +91,7 @@ impl Default for ServeConfig {
             window: GroupCommitWindow::default(),
             pin_timeout: Duration::from_secs(5),
             threads: 4,
+            exact: false,
         }
     }
 }
@@ -127,6 +133,13 @@ impl Frontend {
     /// via `STATS` (reads `fsyncs=0 units=0 records=0` otherwise) and to
     /// serve the `SHIP`/`SNAPSHOT` replication verbs.
     pub fn new(session: Session, store: Option<Store>, config: &ServeConfig) -> Self {
+        let mut session = session;
+        if config.exact {
+            // Best effort: if the recovered state already overflows the
+            // enumeration caps the slot parks as Failed and exact reads
+            // reply ERR, while plain CERT/POSS keep serving.
+            let _ = session.enable_exact();
+        }
         let hub = WriteHub::new(session, config.window);
         let slot = hub.epochs();
         Frontend {
@@ -211,6 +224,23 @@ impl Frontend {
                     view.lsn()
                 ))
             }),
+            ("CERT", [user, mode]) if mode.eq_ignore_ascii_case("EXACT") => {
+                self.read_at(reader, pin, |view| {
+                    let u = view
+                        .names()
+                        .find_user(user)
+                        .ok_or_else(|| format!("unknown user `{user}`"))?;
+                    let cert = view.cert_exact(u).ok_or_else(|| {
+                        "no exact table in this epoch (start the leader with --exact)".to_string()
+                    })?;
+                    let value = cert.and_then(|v| view.names().value_name(v)).unwrap_or("-");
+                    Ok(format!(
+                        "OK {value} epoch={} lsn={}",
+                        view.epoch(),
+                        view.lsn()
+                    ))
+                })
+            }
             ("POSS", [user]) => self.read_at(reader, pin, |view| {
                 let u = view
                     .names()
@@ -713,6 +743,46 @@ mod tests {
         assert!(stats.contains("fsyncs=5"), "{stats}");
         assert!(stats.contains("acked=4 failed=1"), "{stats}");
         assert_eq!(f.handle(&mut r, "QUIT"), Reply::Bye);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exact_reads_need_the_exact_table() {
+        let line = |f: &Frontend, r: &mut EpochReader, s: &str| match f.handle(r, s) {
+            Reply::Line(l) => l,
+            other => panic!("unexpected reply {other:?}"),
+        };
+
+        // Without `exact: true` the epoch carries no exact table and the
+        // read fails loudly instead of silently downgrading.
+        let dir = fresh_dir("exact-off");
+        let f = frontend(&dir);
+        let mut r = f.reader();
+        assert!(line(&f, &mut r, "BELIEVE alice fish").starts_with("OK lsn="));
+        assert!(line(&f, &mut r, "CERT alice EXACT").starts_with("ERR no exact table"));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // With it, exact reads resolve through the published table (and
+        // the mode token is case-insensitive like the verb).
+        let dir = fresh_dir("exact-on");
+        let recovered = Store::open(&dir).expect("fresh store");
+        let store = recovered.store.clone();
+        let f = Frontend::new(
+            recovered.session,
+            Some(store),
+            &ServeConfig {
+                window: GroupCommitWindow::per_edit(),
+                exact: true,
+                ..Default::default()
+            },
+        );
+        let mut r = f.reader();
+        assert!(line(&f, &mut r, "BELIEVE alice fish").starts_with("OK lsn="));
+        assert!(line(&f, &mut r, "TRUST bob alice 10").starts_with("OK lsn="));
+        assert!(line(&f, &mut r, "CERT bob EXACT").starts_with("OK fish "));
+        assert!(line(&f, &mut r, "cert bob exact").starts_with("OK fish "));
+        // Unknown users still answer the same way as plain CERT.
+        assert!(line(&f, &mut r, "CERT ghost EXACT").starts_with("ERR unknown user"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

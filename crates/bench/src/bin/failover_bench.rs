@@ -1,0 +1,406 @@
+//! Measures leader failover: follower promotion cost, stale-term
+//! refusal, and commit fencing of a resurrected leader. Writes the
+//! machine-readable `BENCH_failover.json` consumed by the cross-PR perf
+//! tracker.
+//!
+//! ```text
+//! cargo run --release -p trustmap-bench --bin failover_bench [--quick] [out.json]
+//! ```
+//!
+//! The scenario: a power-law community is churned through a durable
+//! leader with a tiny rotation threshold (a real multi-segment chain),
+//! two followers converge, the leader is killed, and one follower is
+//! promoted into the next term. The deposed leader is then resurrected
+//! and must be refused on both paths. Reported and **gated by counters,
+//! not clocks** (the 1-core container makes wall-clock gates
+//! unreliable; promotion time is reported for trend-watching only):
+//!
+//! * **promotion is O(1) in segments** — the tip snapshot written
+//!   during promotion means the reopen replays zero units
+//!   (`replayed_units == 0`) and seals at most the one live segment,
+//!   regardless of chain length;
+//! * **zero chunks from stale terms** — a current-term follower polled
+//!   by the resurrected old leader rejects the response
+//!   (`stale_term_rejects`) and neither its watermark nor its
+//!   `chunks_applied` moves;
+//! * **fenced commits** — one current-term ship request deposes the
+//!   zombie, whose next commit fails with `Error::Fenced`
+//!   (`fenced_commits > 0`), while the old node still re-joins the new
+//!   era as a follower and lands byte-identical.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use trustmap::format::render_network;
+use trustmap::store::{
+    committed_log, segment, Follower, LocalTransport, Recovered, ShipRequest, Step, Store,
+    StoreOptions,
+};
+use trustmap::workloads::power_law;
+use trustmap_core::signed::ExplicitBelief;
+use trustmap_core::{Error, Session, TrustNetwork, User, Value};
+
+struct Config {
+    users: usize,
+    edits: usize,
+    rotate: u64,
+}
+
+struct Row {
+    users: usize,
+    edits: usize,
+    rotate: u64,
+    segments_before: usize,
+    promotion_micros: u64,
+    promotion_replayed_units: usize,
+    promotion_new_seals: usize,
+    new_term: u64,
+    stale_term_rejects: u64,
+    stale_chunks_applied: u64,
+    fenced_commits: u64,
+    terms_adopted: u64,
+    rejoin_edits_applied: u64,
+    byte_identical: bool,
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "trustmap-failover-bench-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Mirrors `net` into the durable session as one construction batch.
+fn construct(session: &mut Session, net: &TrustNetwork) {
+    session.begin_batch().expect("batch");
+    for u in net.users() {
+        session.user(net.user_name(u));
+    }
+    for v in net.domain().values() {
+        session.value(net.domain().name(v));
+    }
+    for m in net.mappings() {
+        session.trust(m.child, m.parent, m.priority).expect("valid");
+    }
+    for u in net.users() {
+        if let ExplicitBelief::Pos(v) = net.belief(u) {
+            session.believe(u, *v).expect("valid");
+        }
+    }
+    session.commit().expect("construction commits");
+}
+
+/// Deterministic belief-flip stream over the workload's believers.
+fn flips(believers: &[User], values: &[Value], n: usize) -> Vec<(User, Value)> {
+    (0..n)
+        .map(|i| {
+            let u = believers[(i * 7919) % believers.len()];
+            let v = values[(i * 104_729) % values.len()];
+            (u, v)
+        })
+        .collect()
+}
+
+/// Sealed segments on disk in `dir` (footer present), counted from the
+/// files themselves so it works on leaders and followers alike.
+fn sealed_on_disk(dir: &Path) -> usize {
+    segment::list_files(dir)
+        .expect("list segments")
+        .iter()
+        .filter(|(_, path)| matches!(segment::read_meta(path), Ok((_, Some(_)))))
+        .count()
+}
+
+/// Drives `follower` to `CaughtUp` over a clean transport.
+fn catch_up(follower: &mut Follower, leader: &Recovered, tag: &str) {
+    let mut t = LocalTransport::new(leader.store.clone());
+    let mut steps = 0u64;
+    loop {
+        steps += 1;
+        assert!(steps < 100_000, "{tag}: catch-up did not converge");
+        match follower.step(&mut t).expect("clean transport") {
+            Step::CaughtUp { .. } => return,
+            Step::Rejected { reason } => panic!("{tag}: clean transport rejected: {reason}"),
+            _ => {}
+        }
+    }
+}
+
+fn assert_byte_identical(leader_dir: &Path, follower_dir: &Path, tag: &str) {
+    let llog = committed_log(leader_dir).expect("leader committed log");
+    for (first, bytes) in committed_log(follower_dir).expect("follower committed log") {
+        let leader_bytes = llog
+            .iter()
+            .find(|(f, _)| *f == first)
+            .map(|(_, b)| b)
+            .unwrap_or_else(|| panic!("{tag}: leader has no segment starting at lsn {first}"));
+        assert!(
+            &bytes == leader_bytes,
+            "{tag}: segment at lsn {first} diverges from the leader's"
+        );
+    }
+}
+
+fn measure(cfg: &Config) -> Row {
+    let adir = fresh_dir(&format!("a-{}", cfg.users));
+    let bdir = fresh_dir(&format!("b-{}", cfg.users));
+    let cdir = fresh_dir(&format!("c-{}", cfg.users));
+    let w = power_law(cfg.users, 2, 4, 0.2, 8 + cfg.users as u64);
+    let values: Vec<Value> = w.net.domain().values().collect();
+    let opts = StoreOptions {
+        rotate_bytes: cfg.rotate,
+        // Keep the full chain: the deposed node re-follows it later.
+        retain_on_snapshot: false,
+    };
+
+    // Era 0: leader A builds a real multi-segment chain; B and C follow.
+    let mut a: Recovered = Store::open_with(&adir, opts).expect("fresh leader");
+    construct(&mut a.session, &w.net);
+    for (u, v) in flips(&w.believers, &values, cfg.edits) {
+        a.session.believe(u, v).expect("edit");
+    }
+    let acked = a.store.last_committed_lsn();
+    let acked_image = render_network(a.session.network());
+    let mut b = Follower::open(&bdir).expect("follower b");
+    let mut c = Follower::open(&cdir).expect("follower c");
+    catch_up(&mut b, &a, "b era 0");
+    catch_up(&mut c, &a, "c era 0");
+    let segments_before = sealed_on_disk(&bdir);
+
+    // Failover: kill A, promote B. The gate is structural, not timed —
+    // the tip snapshot makes the reopen replay nothing and seal at most
+    // the live segment, however long the chain grew.
+    drop(a);
+    let t = Instant::now();
+    let promoted = b.promote().expect("promotion");
+    let promotion_micros = t.elapsed().as_micros() as u64;
+    let promotion_replayed_units = promoted.stats.replayed_units;
+    let promotion_new_seals = sealed_on_disk(&bdir) - segments_before;
+    let new_term = promoted.store.term();
+    assert_eq!(
+        promoted.store.last_committed_lsn(),
+        acked,
+        "promotion lost acknowledged commits"
+    );
+    assert_eq!(
+        render_network(promoted.session.network()),
+        acked_image,
+        "promotion changed the acked state image"
+    );
+
+    // C adopts the new term, then polls the resurrected old leader:
+    // zero chunks may come out of a stale term.
+    catch_up(&mut c, &promoted, "c adopts the new term");
+    let zombie: Recovered = Store::open_with(&adir, opts).expect("resurrect old leader");
+    let before = c.counters();
+    let wm_before = c.watermark();
+    let mut stale = LocalTransport::new(zombie.store.clone());
+    match c
+        .step(&mut stale)
+        .expect("stale response is a clean rejection")
+    {
+        Step::Rejected { .. } => {}
+        other => panic!("stale-term response must be rejected, got {other:?}"),
+    }
+    let after = c.counters();
+    let stale_term_rejects = after.stale_term_rejects - before.stale_term_rejects;
+    let stale_chunks_applied = after.chunks_applied - before.chunks_applied;
+    assert_eq!(c.watermark(), wm_before, "a stale term moved the watermark");
+
+    // Commit fencing: one current-term request deposes the zombie; its
+    // next commit must fail closed while reads keep serving.
+    let _ = zombie.store.ship(&ShipRequest {
+        watermark: 0,
+        seg_first: 0,
+        offset: 0,
+        max_bytes: 0,
+        term: new_term,
+    });
+    let mut zombie = zombie;
+    match zombie.session.believe(w.believers[0], values[0]) {
+        Err(Error::Fenced { observed, .. }) => assert_eq!(observed, new_term),
+        other => panic!("zombie commit must fence, got {other:?}"),
+    }
+    let fenced_commits = zombie.store.counters().fenced_commits;
+    drop(zombie);
+
+    // The old node re-joins the new era as a follower and lands
+    // byte-identical to the new leader.
+    let mut promoted = promoted;
+    for (u, v) in flips(&w.believers, &values, cfg.edits / 4) {
+        promoted.session.believe(u, v).expect("new-era edit");
+    }
+    let mut a2 = Follower::open(&adir).expect("rejoin as follower");
+    catch_up(&mut a2, &promoted, "a rejoins era 1");
+    catch_up(&mut c, &promoted, "c era 1");
+    let terms_adopted = a2.counters().terms_adopted + c.counters().terms_adopted;
+    let rejoin_edits_applied = a2.counters().edits_applied;
+    assert_eq!(
+        render_network(a2.network()),
+        render_network(promoted.session.network()),
+        "rejoined node diverged from the new leader"
+    );
+    assert_byte_identical(&bdir, &adir, "a rejoin");
+    assert_byte_identical(&bdir, &cdir, "c era 1");
+
+    let row = Row {
+        users: cfg.users,
+        edits: cfg.edits,
+        rotate: cfg.rotate,
+        segments_before,
+        promotion_micros,
+        promotion_replayed_units,
+        promotion_new_seals,
+        new_term,
+        stale_term_rejects,
+        stale_chunks_applied,
+        fenced_commits,
+        terms_adopted,
+        rejoin_edits_applied,
+        byte_identical: true,
+    };
+
+    // Acceptance gates — pure counter arithmetic.
+    assert!(
+        row.segments_before > 2,
+        "the workload must build a real multi-segment chain (got {})",
+        row.segments_before
+    );
+    assert_eq!(
+        row.promotion_replayed_units, 0,
+        "promotion must be O(1): the tip snapshot replays nothing"
+    );
+    assert!(
+        row.promotion_new_seals <= 1,
+        "promotion may seal at most the live segment (sealed {} new)",
+        row.promotion_new_seals
+    );
+    assert_eq!(
+        row.new_term, 1,
+        "promotion must claim exactly the next term"
+    );
+    assert!(
+        row.stale_term_rejects > 0 && row.stale_chunks_applied == 0,
+        "stale terms must yield rejections ({}) and zero chunks ({})",
+        row.stale_term_rejects,
+        row.stale_chunks_applied
+    );
+    assert!(
+        row.fenced_commits > 0,
+        "the resurrect schedule must fence at least one commit"
+    );
+    assert!(
+        row.terms_adopted >= 2,
+        "both surviving followers must durably adopt the new term (got {})",
+        row.terms_adopted
+    );
+
+    let _ = std::fs::remove_dir_all(&adir);
+    let _ = std::fs::remove_dir_all(&bdir);
+    let _ = std::fs::remove_dir_all(&cdir);
+    row
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_failover.json".to_owned());
+
+    let configs: Vec<Config> = if quick {
+        vec![Config {
+            users: 800,
+            edits: 1200,
+            rotate: 4096,
+        }]
+    } else {
+        vec![
+            Config {
+                users: 800,
+                edits: 1200,
+                rotate: 4096,
+            },
+            Config {
+                users: 5000,
+                edits: 4800,
+                rotate: 8192,
+            },
+        ]
+    };
+
+    println!("# leader failover: promotion cost, stale-term refusal, commit fencing\n");
+    let mut table = trustmap_bench::Table::new(&[
+        "users",
+        "edits",
+        "rotate B",
+        "segs before",
+        "promote µs",
+        "replayed",
+        "new seals",
+        "term",
+        "stale rejects",
+        "stale chunks",
+        "fenced",
+        "adopted",
+    ]);
+
+    let mut rows = Vec::new();
+    for cfg in &configs {
+        let row = measure(cfg);
+        table.row(vec![
+            row.users.to_string(),
+            row.edits.to_string(),
+            row.rotate.to_string(),
+            row.segments_before.to_string(),
+            row.promotion_micros.to_string(),
+            row.promotion_replayed_units.to_string(),
+            row.promotion_new_seals.to_string(),
+            row.new_term.to_string(),
+            row.stale_term_rejects.to_string(),
+            row.stale_chunks_applied.to_string(),
+            row.fenced_commits.to_string(),
+            row.terms_adopted.to_string(),
+        ]);
+        rows.push(row);
+    }
+    println!("{}", table.render());
+
+    let mut json = String::new();
+    json.push_str("{\n  \"benchmark\": \"failover\",\n  \"networks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"users\": {}, \"edits\": {}, \"rotate_bytes\": {}, \
+             \"segments_before\": {}, \"promotion_micros\": {}, \
+             \"promotion_replayed_units\": {}, \"promotion_new_seals\": {}, \
+             \"new_term\": {}, \"stale_term_rejects\": {}, \
+             \"stale_chunks_applied\": {}, \"fenced_commits\": {}, \
+             \"terms_adopted\": {}, \"rejoin_edits_applied\": {}, \
+             \"byte_identical\": {}}}",
+            r.users,
+            r.edits,
+            r.rotate,
+            r.segments_before,
+            r.promotion_micros,
+            r.promotion_replayed_units,
+            r.promotion_new_seals,
+            r.new_term,
+            r.stale_term_rejects,
+            r.stale_chunks_applied,
+            r.fenced_commits,
+            r.terms_adopted,
+            r.rejoin_edits_applied,
+            r.byte_identical,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_failover.json");
+    println!("wrote {out_path}");
+    println!("acceptance gates passed");
+}

@@ -31,6 +31,17 @@ pub enum Error {
     /// A durability sink failed to persist or recover session state (the
     /// message carries the underlying I/O or corruption detail).
     Io(String),
+    /// A commit was refused because this store has observed a higher
+    /// leadership term than its own: some follower has been promoted and
+    /// this (deposed) leader must not extend the log. The store keeps
+    /// serving reads but wedges every write until it is reopened or
+    /// re-follows the new leader.
+    Fenced {
+        /// The higher term this store has observed.
+        observed: u64,
+        /// The term this store itself holds.
+        ours: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -59,6 +70,11 @@ impl fmt::Display for Error {
                  (call enable_exact first)"
             ),
             Error::Io(message) => write!(f, "durability: {message}"),
+            Error::Fenced { observed, ours } => write!(
+                f,
+                "fenced: a leader at term {observed} has been observed \
+                 (this store holds term {ours}); writes are wedged"
+            ),
         }
     }
 }

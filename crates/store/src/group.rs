@@ -31,6 +31,11 @@
 //! Acknowledged writes are durable: the ack is sent only after the
 //! group's commit frame is fsynced. A validation failure (unknown user,
 //! self-trust) fails only that op's ack; the rest of the group commits.
+//! A *fenced* store (a newer leadership term has been observed, see
+//! [`trustmap_core::Error::Fenced`]) fails the group's commit itself, so
+//! every op in the window — not just one — is acknowledged with the
+//! fencing error through the WAL-failure path below: a deposed leader
+//! never half-acks a group.
 //!
 //! The fsync arithmetic is counter-checked, not clock-checked: the
 //! store's [`crate::StoreCounters`] report `fsync_count` /

@@ -89,7 +89,7 @@ pub use replica::{
     FaultPlan, FaultyTransport, FollowConfig, Follower, FollowerCounters, LocalTransport,
     SegmentSeal, ShipChunk, ShipRequest, ShipResponse, ShipTransport, SnapshotBlob, Step,
 };
-pub use segment::{SegmentMeta, MANIFEST_FILE};
+pub use segment::{SegmentMeta, MANIFEST_FILE, TERM_FILE};
 
 use record::{encode_into, Crc32, Payload, Record};
 use std::fs::{File, OpenOptions};
@@ -177,6 +177,14 @@ struct Inner {
     /// store); every further commit is refused until a fresh
     /// [`Store::open`] re-anchors on what actually reached disk.
     poisoned: Option<String>,
+    /// Leadership term this store commits under (stamped into every
+    /// footer it seals; see [`segment::read_term`]).
+    term: u64,
+    /// Highest term above our own observed on the ship path: some
+    /// follower has been promoted, this store is a deposed leader, and
+    /// every commit is refused with [`Error::Fenced`] until reopen.
+    /// Unlike `poisoned` this is not damage — reads keep serving.
+    fenced: Option<u64>,
     /// Write-path counters (see [`StoreCounters`]).
     counters: StoreCounters,
 }
@@ -207,6 +215,10 @@ pub struct StoreCounters {
     pub segments_retired: u64,
     /// Bytes those retired segments occupied on disk (data + footer).
     pub bytes_retired: u64,
+    /// Commits refused with [`Error::Fenced`] after a higher leadership
+    /// term was observed — the no-split-brain witness: a deposed leader
+    /// never extends its chain once it has learned of its deposal.
+    pub fenced_commits: u64,
 }
 
 /// A durable store directory: segmented WAL + manifest + snapshots.
@@ -279,6 +291,8 @@ pub(crate) struct RecoveredDir {
     pub(crate) sealed: Vec<segment::SegmentMeta>,
     pub(crate) live: Option<LiveState>,
     pub(crate) last_lsn: u64,
+    /// Leadership term of the directory (`term.tm`, 0 for legacy stores).
+    pub(crate) term: u64,
     pub(crate) stats: RecoveryStats,
 }
 
@@ -322,6 +336,10 @@ pub(crate) fn recover_dir(dir: &Path) -> Result<RecoveredDir> {
             segment::file_name(1)
         ));
     }
+
+    // The leadership term fences writes; a corrupt term file is a hard
+    // error (read_term), never a silent reset to term 0.
+    let mut term = segment::read_term(dir)?;
 
     let t0 = Instant::now();
     let (snap, mut snap_warnings) = snapshot::load_latest(dir);
@@ -466,6 +484,19 @@ pub(crate) fn recover_dir(dir: &Path) -> Result<RecoveredDir> {
                         replayed_units += 1;
                     }
                 }
+                if meta.term > term {
+                    // Promotion writes term.tm *before* the first write
+                    // under the new term, so a footer above the term file
+                    // means the file was lost or rolled back. The footer
+                    // is the floor — never re-commit under an older term.
+                    warnings.push(format!(
+                        "{}: sealed under term {} but term.tm says {term}; adopting the higher \
+                         term",
+                        segment::file_name(*first),
+                        meta.term
+                    ));
+                    term = meta.term;
+                }
                 last_lsn = last_lsn.max(meta.last_lsn);
                 sealed.push(meta);
                 expected_first = Some(meta.last_lsn + 1);
@@ -573,6 +604,7 @@ pub(crate) fn recover_dir(dir: &Path) -> Result<RecoveredDir> {
         sealed: sealed.clone(),
         live,
         last_lsn,
+        term,
         stats: RecoveryStats {
             snapshot_lsn,
             last_lsn,
@@ -609,6 +641,7 @@ impl Store {
             sealed,
             live,
             last_lsn,
+            term,
             stats,
             ..
         } = r;
@@ -665,6 +698,8 @@ impl Store {
                 buf_records: 0,
                 unit_error: None,
                 poisoned: None,
+                term,
+                fenced: None,
                 counters: StoreCounters::default(),
             })),
         };
@@ -713,6 +748,19 @@ impl Store {
         self.inner.lock().expect("store mutex").last_committed
     }
 
+    /// The leadership term this store commits under (0 for stores that
+    /// have never been through a promotion).
+    pub fn term(&self) -> u64 {
+        self.inner.lock().expect("store mutex").term
+    }
+
+    /// The higher term observed on the ship path, if any: `Some` means
+    /// this store is a deposed leader — every commit fails with
+    /// [`Error::Fenced`] while reads keep serving.
+    pub fn fenced(&self) -> Option<u64> {
+        self.inner.lock().expect("store mutex").fenced
+    }
+
     /// Bytes of committed log on disk: sealed segments (data + footers)
     /// plus the live segment's committed prefix.
     pub fn wal_len(&self) -> u64 {
@@ -757,21 +805,33 @@ impl Store {
     /// snapshot). Also records the follower's watermark as the ship
     /// floor, so retention keeps everything an active follower still
     /// needs.
+    ///
+    /// The request carries the follower's leadership term, and this is
+    /// where a deposed leader learns of its deposal: a request from a
+    /// higher term means some follower has been promoted, so the store
+    /// fences itself — every later commit fails with [`Error::Fenced`] —
+    /// while continuing to serve reads and ship requests. Every response
+    /// carries this store's own term, so a follower can likewise reject
+    /// bytes offered by a stale-term leader.
     pub fn ship(&self, req: &ShipRequest) -> Result<ShipResponse> {
         let max_bytes = if req.max_bytes == 0 {
             replica::DEFAULT_SHIP_BYTES
         } else {
             req.max_bytes as u64
         };
-        let (dir, sealed, live_first, live_len, last_committed) = {
+        let (dir, sealed, live_first, live_len, last_committed, term) = {
             let mut g = self.inner.lock().expect("store mutex");
             g.ship_floor = Some(req.watermark);
+            if req.term > g.term && g.fenced.is_none_or(|t| t < req.term) {
+                g.fenced = Some(req.term);
+            }
             (
                 g.dir.clone(),
                 g.sealed.clone(),
                 g.seg_first,
                 g.seg_len,
                 g.last_committed,
+                g.term,
             )
         };
         let first_available = sealed.first().map(|m| m.first_lsn).unwrap_or(live_first);
@@ -789,6 +849,7 @@ impl Store {
             Ok(ShipResponse::Behind {
                 first_available,
                 snapshot_lsn,
+                term,
             })
         };
 
@@ -813,6 +874,7 @@ impl Store {
             if req.seg_first == 0 {
                 return Ok(ShipResponse::CaughtUp {
                     lsn: last_committed,
+                    term,
                 });
             }
             if req.seg_first < first_available {
@@ -844,11 +906,14 @@ impl Store {
                         last_lsn: m.last_lsn,
                         data_len: m.data_len,
                         data_crc: m.data_crc,
+                        term: m.term,
                     }),
                     leader_lsn: last_committed,
+                    term,
                 }),
                 None => ShipResponse::CaughtUp {
                     lsn: last_committed,
+                    term,
                 },
             });
         }
@@ -898,6 +963,7 @@ impl Store {
             last_lsn: m.last_lsn,
             data_len: m.data_len,
             data_crc: m.data_crc,
+            term: m.term,
         });
         Ok(ShipResponse::Chunk(ShipChunk {
             seg_first: first,
@@ -906,6 +972,7 @@ impl Store {
             crc,
             seal,
             leader_lsn: last_committed,
+            term,
         }))
     }
 
@@ -1026,6 +1093,7 @@ fn rotate_locked(g: &mut Inner) -> std::result::Result<(), String> {
         last_lsn: g.last_committed,
         data_len: g.seg_len,
         data_crc: g.seg_crc.finish(),
+        term: g.term,
     };
     let footer = segment::encode_footer(&meta);
     if let Err(e) = g.seg.write_all(&footer).and_then(|()| g.seg.sync_data()) {
@@ -1081,6 +1149,21 @@ impl Durability for Store {
 
     fn commit(&mut self) -> Result<u64> {
         let mut g = self.inner.lock().expect("store mutex");
+        if let Some(observed) = g.fenced {
+            // A deposed leader must never extend its chain: the promoted
+            // follower owns every term above ours. Like the poisoned
+            // path, the buffered unit is dropped (it can never reach
+            // disk) and the commit is refused; unlike poisoning, the
+            // store keeps serving reads and ship requests.
+            g.buf.clear();
+            g.buf_records = 0;
+            g.unit_error = None;
+            g.counters.fenced_commits += 1;
+            return Err(Error::Fenced {
+                observed,
+                ours: g.term,
+            });
+        }
         if let Some(why) = g.poisoned.clone() {
             g.buf.clear();
             g.buf_records = 0;

@@ -24,6 +24,16 @@
 //! the chaos oracle (`tests/replication_oracle.rs`) hammers with random
 //! kills, restarts, and transport faults.
 //!
+//! **Leadership terms.** Every request and response carries its sender's
+//! term. A follower refuses responses from a *lower* term wholesale (a
+//! resurrected deposed leader whose chain may have diverged) and durably
+//! adopts any higher term it observes before applying a byte committed
+//! under it. [`Follower::promote`] turns a follower into the leader of
+//! the next term: it seals the live segment under the *old* term and
+//! bumps `term.tm` before the promoted store can accept its first write,
+//! so two leaders can never both extend the same term — the no-split-brain
+//! invariant `tests/failover_oracle.rs` proves under chaos.
+//!
 //! Every failure path is first-class and deterministic to test:
 //!
 //! * torn/bit-flipped chunks fail their CRC (or the structural scan, if
@@ -40,7 +50,7 @@
 //! benches wrap around any real transport.
 
 use crate::record::{self, Crc32};
-use crate::{io_err, recover_dir, replay_unit, segment, snapshot, wal, Store};
+use crate::{io_err, recover_dir, replay_unit, segment, snapshot, wal, Store, StoreOptions};
 use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -69,6 +79,10 @@ pub struct ShipRequest {
     /// cut at commit-frame boundaries, so at least one whole unit is
     /// shipped even when it exceeds the cap.
     pub max_bytes: u32,
+    /// Highest leadership term the follower has durably observed. A
+    /// leader seeing a term above its own learns it has been deposed
+    /// and fences its write path ([`Error::Fenced`]).
+    pub term: u64,
 }
 
 /// The seal of a completed segment, shipped with its final chunk so the
@@ -82,6 +96,9 @@ pub struct SegmentSeal {
     pub data_len: u64,
     /// CRC32 of those data bytes.
     pub data_crc: u32,
+    /// Leadership term the segment was sealed under (stamped into the
+    /// footer, so the follower's copy stays byte-identical).
+    pub term: u64,
 }
 
 /// A window of committed log bytes, cut at a commit-frame boundary.
@@ -99,6 +116,8 @@ pub struct ShipChunk {
     pub seal: Option<SegmentSeal>,
     /// The leader's last committed LSN at response time (lag telemetry).
     pub leader_lsn: u64,
+    /// The leader's current term — the follower's fencing input.
+    pub term: u64,
 }
 
 /// The leader's answer to a [`ShipRequest`].
@@ -110,6 +129,8 @@ pub enum ShipResponse {
     CaughtUp {
         /// The leader's last committed LSN.
         lsn: u64,
+        /// The leader's current term.
+        term: u64,
     },
     /// Retention outran the follower — its position predates the oldest
     /// segment still on disk. Bootstrap from the leader's snapshot, then
@@ -120,6 +141,8 @@ pub enum ShipResponse {
         /// Watermark of the leader's newest snapshot (always bridges to
         /// `first_available`).
         snapshot_lsn: u64,
+        /// The leader's current term.
+        term: u64,
     },
 }
 
@@ -328,6 +351,11 @@ pub struct FollowerCounters {
     pub segments_sealed: u64,
     /// Times the follower polled at the leader's committed end.
     pub caught_up: u64,
+    /// Responses refused wholesale because they came from a leader at a
+    /// stale (deposed) term — the no-split-brain witness follower-side.
+    pub stale_term_rejects: u64,
+    /// Times a higher leadership term was observed and durably adopted.
+    pub terms_adopted: u64,
 }
 
 /// What one [`Follower::step`] did.
@@ -448,6 +476,9 @@ pub struct Follower {
     sealed: Vec<segment::SegmentMeta>,
     live: Option<LiveSeg>,
     counters: FollowerCounters,
+    /// Highest leadership term durably observed (`term.tm`). Responses
+    /// from lower terms are refused wholesale.
+    term: u64,
     /// Soft chunk-size cap sent with each request (0 = leader default).
     max_bytes: u32,
     /// Set when a durably appended chunk failed to replay: the disk is
@@ -465,6 +496,7 @@ impl Follower {
     pub fn open(dir: impl AsRef<Path>) -> Result<Follower> {
         let dir = dir.as_ref().to_path_buf();
         let r = recover_dir(&dir)?;
+        let term = r.term;
         let mut session = r.session;
         let slot = session.epoch_slot();
         let watermark = r.last_lsn;
@@ -498,6 +530,7 @@ impl Follower {
             sealed: r.sealed,
             live,
             counters: FollowerCounters::default(),
+            term,
             max_bytes: 0,
             broken: None,
         })
@@ -506,6 +539,11 @@ impl Follower {
     /// Highest LSN durably applied.
     pub fn watermark(&self) -> u64 {
         self.watermark
+    }
+
+    /// Highest leadership term durably observed.
+    pub fn term(&self) -> u64 {
+        self.term
     }
 
     /// The follower's store directory.
@@ -572,6 +610,96 @@ impl Follower {
         Ok(self.watermark)
     }
 
+    /// Promotes this follower to be the leader of the next term, with
+    /// default store options.
+    ///
+    /// See [`Follower::promote_with`] for the sequence and guarantees.
+    pub fn promote(self) -> Result<crate::Recovered> {
+        self.promote_with(StoreOptions::default())
+    }
+
+    /// Promotes this follower to be the leader of term `current + 1`.
+    ///
+    /// The sequence is crash-safe and O(1) in the length of history:
+    ///
+    /// 1. the live segment (if any) is sealed under the *current* term —
+    ///    the promoted chain never extends a segment of the old era, so
+    ///    a segment belongs to exactly one term by construction;
+    /// 2. a snapshot is written at the watermark, so the reopen below
+    ///    replays nothing ([`crate::RecoveryStats::replayed_units`] is 0
+    ///    — the counter the failover bench gates on);
+    /// 3. the term is bumped durably in `term.tm` *before* the store can
+    ///    accept its first write — a crash anywhere in this sequence
+    ///    leaves a directory that reopens cleanly at the old or the new
+    ///    term, never a writable store under a stale term;
+    /// 4. the directory reopens as a [`Store`]; the first write starts a
+    ///    fresh live segment whose eventual footer carries the new term.
+    ///
+    /// The epoch slot is carried across the role flip, so reader handles
+    /// served by this follower keep resolving, and exact mode (when
+    /// enabled) is re-derived on the promoted session.
+    ///
+    /// On error the follower is consumed; reopen the directory with
+    /// [`Follower::open`] or [`Store::open`] to recover — no step here
+    /// loses committed bytes.
+    pub fn promote_with(mut self, opts: StoreOptions) -> Result<crate::Recovered> {
+        if let Some(why) = &self.broken {
+            return Err(Error::Io(format!(
+                "cannot promote a wedged follower: {why}"
+            )));
+        }
+        let new_term = self.term + 1;
+        if let Some(mut live) = self.live.take() {
+            if live.len == 0 {
+                // No committed bytes: remove the empty file instead of
+                // sealing a zero-length segment into the chain.
+                drop(live.file);
+                let path = segment::path(&self.dir, live.first);
+                std::fs::remove_file(&path)
+                    .map_err(|e| io_err(&format!("remove empty {}", path.display()), e))?;
+                crate::sync_dir(&self.dir)?;
+            } else {
+                let meta = segment::SegmentMeta {
+                    first_lsn: live.first,
+                    last_lsn: self.watermark,
+                    data_len: live.len,
+                    data_crc: live.crc.finish(),
+                    term: self.term,
+                };
+                let footer = segment::encode_footer(&meta);
+                live.file
+                    .write_all(&footer)
+                    .and_then(|()| live.file.sync_data())
+                    .map_err(|e| io_err("seal live segment for promotion", e))?;
+                self.sealed.push(meta);
+                segment::write_manifest(&self.dir, &self.sealed)?;
+            }
+        }
+        if self.watermark > 0 {
+            // Tip snapshot: the reopen below replays zero units.
+            snapshot::write(&self.dir, self.session.network(), self.watermark, 0)?;
+        }
+        // The fence itself: durable before the first write of the new
+        // era, so no byte is ever committed under an unpersisted term.
+        segment::write_term(&self.dir, new_term)?;
+        let Follower {
+            dir,
+            session,
+            slot,
+            watermark,
+            ..
+        } = self;
+        let exact = session.exact_enabled();
+        drop(session);
+        let mut r = Store::open_with(&dir, opts)?;
+        r.session.adopt_epoch_slot(slot);
+        if exact {
+            r.session.enable_exact()?;
+        }
+        r.session.epoch_at(watermark)?;
+        Ok(r)
+    }
+
     /// One pull-verify-fsync-replay round. Never applies damaged or
     /// misaligned data: anything suspicious is [`Step::Rejected`] and the
     /// next step re-fetches from the same durable position.
@@ -584,9 +712,35 @@ impl Follower {
             seg_first: self.live.as_ref().map(|l| l.first).unwrap_or(0),
             offset: self.live.as_ref().map(|l| l.len).unwrap_or(0),
             max_bytes: self.max_bytes,
+            term: self.term,
         };
-        match transport.ship(&req)? {
-            ShipResponse::CaughtUp { lsn } => {
+        let resp = transport.ship(&req)?;
+        let resp_term = match &resp {
+            ShipResponse::Chunk(c) => c.term,
+            ShipResponse::CaughtUp { term, .. } | ShipResponse::Behind { term, .. } => *term,
+        };
+        if resp_term < self.term {
+            // A deposed leader still answering. Refuse everything it
+            // says — its chain may have diverged past our watermark —
+            // on a dedicated counter (this is fencing, not damage).
+            self.counters.stale_term_rejects += 1;
+            return Ok(Step::Rejected {
+                reason: format!(
+                    "response from stale term {resp_term} (term {} has been observed)",
+                    self.term
+                ),
+            });
+        }
+        if resp_term > self.term {
+            // A new leadership era: persist the term *before* applying
+            // anything committed under it, so a crash cannot roll this
+            // follower back into trusting the old leader.
+            segment::write_term(&self.dir, resp_term)?;
+            self.term = resp_term;
+            self.counters.terms_adopted += 1;
+        }
+        match resp {
+            ShipResponse::CaughtUp { lsn, .. } => {
                 self.counters.caught_up += 1;
                 Ok(Step::CaughtUp { leader_lsn: lsn })
             }
@@ -753,6 +907,7 @@ impl Follower {
                 last_lsn: seal.last_lsn,
                 data_len: seal.data_len,
                 data_crc: seal.data_crc,
+                term: seal.term,
             };
             let footer = segment::encode_footer(&meta);
             live.file
@@ -795,12 +950,19 @@ impl Follower {
         let Some(snap) = snapshot::decode(&blob.bytes) else {
             return self.reject("bootstrap snapshot blob fails its CRC".into());
         };
-        if snap.lsn <= self.watermark {
+        if snap.lsn < self.watermark {
             return self.reject(format!(
-                "bootstrap snapshot at lsn {} does not advance watermark {}",
+                "bootstrap snapshot at lsn {} regresses watermark {}",
                 snap.lsn, self.watermark
             ));
         }
+        // `snap.lsn == self.watermark` is NOT rejected: a data-complete
+        // follower can be stranded mid-segment when retention retires the
+        // segment whose seal it never received (likeliest right after a
+        // promotion, whose tip snapshot sits at exactly the acked
+        // watermark). The equal-lsn bootstrap changes no state and loses
+        // no ack — it re-anchors the log position past the retired
+        // segment so shipping can resume.
         // Drop the local log (it is below the leader's retention horizon
         // anyway) and re-anchor on the snapshot.
         self.live = None;
@@ -1147,6 +1309,94 @@ mod tests {
         assert_eq!(view.lsn(), f.watermark());
         let _ = std::fs::remove_dir_all(&ldir);
         let _ = std::fs::remove_dir_all(&fdir);
+    }
+
+    /// The full failover story in one process: a caught-up follower
+    /// promotes into term 1 without replaying history, a second follower
+    /// adopts the new term durably, the resurrected old leader is
+    /// refused by that follower *and* fenced on its own commit path by
+    /// the follower's request.
+    #[test]
+    fn promotion_bumps_the_term_and_fences_the_old_leader() {
+        let ldir = fresh_dir("promote-l");
+        let fdir = fresh_dir("promote-f");
+        let gdir = fresh_dir("promote-g");
+        let leader = seed_leader(&ldir, 40);
+        let acked = leader.store.last_committed_lsn();
+        let mut t = LocalTransport::new(leader.store.clone());
+        let mut g = Follower::open(&gdir).expect("open g");
+        let mut f = Follower::open(&fdir).expect("open f");
+        for fol in [&mut g, &mut f] {
+            loop {
+                match fol.step(&mut t).expect("step") {
+                    Step::CaughtUp { .. } => break,
+                    Step::Rejected { reason } => panic!("clean transport rejected: {reason}"),
+                    _ => {}
+                }
+            }
+        }
+
+        // Promote f: term 0 -> 1, no replay, nothing acked is lost.
+        let mut promoted = f.promote().expect("promote");
+        assert_eq!(promoted.store.term(), 1);
+        assert_eq!(
+            promoted.stats.replayed_units, 0,
+            "promotion must not replay history"
+        );
+        assert_eq!(promoted.store.last_committed_lsn(), acked);
+
+        // g re-follows the new leader and durably adopts term 1. Its
+        // live segment is byte-identical to the one promotion sealed, so
+        // the seal ships as an empty chunk.
+        let mut tn = LocalTransport::new(promoted.store.clone());
+        loop {
+            match g.step(&mut tn).expect("step") {
+                Step::CaughtUp { .. } => break,
+                Step::Rejected { reason } => panic!("clean transport rejected: {reason}"),
+                _ => {}
+            }
+        }
+        assert_eq!(g.term(), 1);
+        assert!(g.counters().terms_adopted > 0);
+        assert_eq!(g.watermark(), promoted.store.last_committed_lsn());
+
+        // The new leader accepts writes under term 1.
+        let u = promoted.session.user("after-failover");
+        let v = promoted.session.value("w");
+        promoted.session.believe(u, v).expect("write under term 1");
+
+        // The resurrected old leader answers with term 0: g refuses the
+        // response wholesale, and the old leader learns of its deposal
+        // from g's request — its next commit is fenced.
+        let mut told = LocalTransport::new(leader.store.clone());
+        match g
+            .step(&mut told)
+            .expect("stale response is a clean rejection")
+        {
+            Step::Rejected { .. } => {}
+            other => panic!("stale-term response must be rejected: {other:?}"),
+        }
+        assert!(g.counters().stale_term_rejects > 0);
+        assert_eq!(leader.store.fenced(), Some(1));
+        let mut old = leader.session;
+        let u2 = old.user("rogue");
+        let v2 = old.value("x");
+        match old.believe(u2, v2) {
+            Err(Error::Fenced {
+                observed: 1,
+                ours: 0,
+            }) => {}
+            other => panic!("deposed leader commit must fence, got {other:?}"),
+        }
+        assert!(leader.store.counters().fenced_commits > 0);
+
+        // g's term survives its own restart.
+        drop(g);
+        let g = Follower::open(&gdir).expect("reopen g");
+        assert_eq!(g.term(), 1, "adopted term must be durable");
+        let _ = std::fs::remove_dir_all(&ldir);
+        let _ = std::fs::remove_dir_all(&fdir);
+        let _ = std::fs::remove_dir_all(&gdir);
     }
 
     /// Backoff grows exponentially to the cap and jitter stays within

@@ -8,17 +8,32 @@
 //! threshold it is **sealed**: a fixed-size footer is appended,
 //!
 //! ```text
-//! ┌───────────┬───────────────┬──────────────┬───────────────┬───────────────┬────────────────┐
-//! │ magic (8) │ first_lsn: u64│ last_lsn: u64│ data_len: u64 │ data_crc: u32 │ footer_crc: u32│
-//! └───────────┴───────────────┴──────────────┴───────────────┴───────────────┴────────────────┘
+//! ┌───────────┬───────────────┬──────────────┬───────────────┬───────────┬───────────────┬────────────────┐
+//! │ magic (8) │ first_lsn: u64│ last_lsn: u64│ data_len: u64 │ term: u64 │ data_crc: u32 │ footer_crc: u32│
+//! └───────────┴───────────────┴──────────────┴───────────────┴───────────┴───────────────┴────────────────┘
 //! ```
 //!
 //! (`data_crc` covers the `data_len` record bytes preceding the footer,
-//! `footer_crc` covers the 36 footer bytes before it; all integers
+//! `footer_crc` covers the 44 footer bytes before it; all integers
 //! little-endian), and a fresh live segment opens at `last_lsn + 1`.
 //! LSNs are dense — every record, commit frames included, consumes one —
 //! so segment boundaries are self-describing: a chain is intact iff each
 //! segment's `first_lsn` is its predecessor's `last_lsn + 1`.
+//!
+//! The `term` is the **leadership term** the segment's bytes were
+//! committed under (see the `term.tm` file below): every committed byte
+//! is attributable to exactly one leadership era. Version-1 footers
+//! (40 bytes, magic trailer `\x01`, no term field) are still decoded —
+//! legacy chains read back as term 0 and re-seal under the current
+//! format on rotation.
+//!
+//! **`term.tm`** is a tiny CRC-trailed file holding the store
+//! directory's current leadership term. It is bumped durably (tmp +
+//! rename + dir fsync) by [`crate::Follower::promote`] *before* the
+//! promoted store accepts its first write, so a crash anywhere in the
+//! promotion sequence can never yield two directories committing under
+//! the same term. A missing file means term 0 (every pre-term store);
+//! a corrupt one is a hard error — fencing must not silently reset.
 //!
 //! Sealed segments are immutable, which is what makes them shippable: a
 //! follower that pulls the same bytes and appends the same deterministic
@@ -41,16 +56,25 @@ use std::path::{Path, PathBuf};
 use trustmap_core::{Error, Result};
 
 /// Magic bytes opening a segment footer (trailing byte = format version).
-pub const FOOTER_MAGIC: &[u8; 8] = b"TMSEGF\x00\x01";
+pub const FOOTER_MAGIC: &[u8; 8] = b"TMSEGF\x00\x02";
 
-/// Size of the sealed-segment footer in bytes.
-pub const FOOTER_LEN: usize = 40;
+/// Magic bytes of the legacy version-1 footer (no term field).
+pub const FOOTER_MAGIC_V1: &[u8; 8] = b"TMSEGF\x00\x01";
+
+/// Size of the sealed-segment footer in bytes (current format).
+pub const FOOTER_LEN: usize = 48;
+
+/// Size of the legacy version-1 footer in bytes.
+pub const FOOTER_LEN_V1: usize = 40;
 
 /// File name of the segment manifest inside a store directory.
 pub const MANIFEST_FILE: &str = "manifest.tm";
 
 /// First line of the manifest.
 pub const MANIFEST_HEADER: &str = "#!trustmap-manifest v1";
+
+/// File name of the leadership-term file inside a store directory.
+pub const TERM_FILE: &str = "term.tm";
 
 /// Metadata of one sealed segment — what the footer and the manifest
 /// record.
@@ -65,6 +89,9 @@ pub struct SegmentMeta {
     pub data_len: u64,
     /// CRC32 (IEEE) of those data bytes.
     pub data_crc: u32,
+    /// Leadership term the segment's bytes were committed under
+    /// (0 for legacy pre-term chains).
+    pub term: u64,
 }
 
 /// The file name of the segment whose first record is `first_lsn`.
@@ -93,27 +120,46 @@ pub fn encode_footer(meta: &SegmentMeta) -> [u8; FOOTER_LEN] {
     out[8..16].copy_from_slice(&meta.first_lsn.to_le_bytes());
     out[16..24].copy_from_slice(&meta.last_lsn.to_le_bytes());
     out[24..32].copy_from_slice(&meta.data_len.to_le_bytes());
-    out[32..36].copy_from_slice(&meta.data_crc.to_le_bytes());
-    let crc = crc32(&out[..36]);
-    out[36..40].copy_from_slice(&crc.to_le_bytes());
+    out[32..40].copy_from_slice(&meta.term.to_le_bytes());
+    out[40..44].copy_from_slice(&meta.data_crc.to_le_bytes());
+    let crc = crc32(&out[..44]);
+    out[44..48].copy_from_slice(&crc.to_le_bytes());
     out
 }
 
-/// Decodes a 40-byte footer; `None` on bad magic or CRC.
+/// Decodes a footer in either format — 48-byte current or 40-byte legacy
+/// version 1 (which carries no term and reads back as term 0); `None` on
+/// bad length, magic, or CRC.
 pub fn decode_footer(bytes: &[u8]) -> Option<SegmentMeta> {
-    if bytes.len() != FOOTER_LEN || &bytes[0..8] != FOOTER_MAGIC {
-        return None;
+    match bytes.len() {
+        FOOTER_LEN if &bytes[0..8] == FOOTER_MAGIC => {
+            let crc = u32::from_le_bytes(bytes[44..48].try_into().expect("4 bytes"));
+            if crc32(&bytes[..44]) != crc {
+                return None;
+            }
+            Some(SegmentMeta {
+                first_lsn: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+                last_lsn: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
+                data_len: u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")),
+                term: u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes")),
+                data_crc: u32::from_le_bytes(bytes[40..44].try_into().expect("4 bytes")),
+            })
+        }
+        FOOTER_LEN_V1 if &bytes[0..8] == FOOTER_MAGIC_V1 => {
+            let crc = u32::from_le_bytes(bytes[36..40].try_into().expect("4 bytes"));
+            if crc32(&bytes[..36]) != crc {
+                return None;
+            }
+            Some(SegmentMeta {
+                first_lsn: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+                last_lsn: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
+                data_len: u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")),
+                data_crc: u32::from_le_bytes(bytes[32..36].try_into().expect("4 bytes")),
+                term: 0,
+            })
+        }
+        _ => None,
     }
-    let crc = u32::from_le_bytes(bytes[36..40].try_into().expect("4 bytes"));
-    if crc32(&bytes[..36]) != crc {
-        return None;
-    }
-    Some(SegmentMeta {
-        first_lsn: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
-        last_lsn: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
-        data_len: u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")),
-        data_crc: u32::from_le_bytes(bytes[32..36].try_into().expect("4 bytes")),
-    })
 }
 
 /// One segment file read back: its record data and, if sealed, the
@@ -136,10 +182,14 @@ pub fn read(path: &Path) -> std::io::Result<SegmentData> {
     Ok(split_footer(bytes))
 }
 
-/// Splits raw segment bytes into data + footer (see [`read`]).
+/// Splits raw segment bytes into data + footer (see [`read`]). Probes
+/// the current 48-byte footer first, then the legacy 40-byte one.
 pub fn split_footer(mut bytes: Vec<u8>) -> SegmentData {
-    if bytes.len() >= FOOTER_LEN {
-        let split = bytes.len() - FOOTER_LEN;
+    for footer_len in [FOOTER_LEN, FOOTER_LEN_V1] {
+        if bytes.len() < footer_len {
+            continue;
+        }
+        let split = bytes.len() - footer_len;
         if let Some(meta) = decode_footer(&bytes[split..]) {
             if meta.data_len == split as u64 {
                 bytes.truncate(split);
@@ -165,14 +215,20 @@ pub fn read_meta(path: &Path) -> std::io::Result<(u64, Option<SegmentMeta>)> {
     use std::io::{Read, Seek, SeekFrom};
     let mut f = fs::File::open(path)?;
     let len = f.metadata()?.len();
-    if len < FOOTER_LEN as u64 {
-        return Ok((len, None));
+    for footer_len in [FOOTER_LEN, FOOTER_LEN_V1] {
+        if len < footer_len as u64 {
+            continue;
+        }
+        f.seek(SeekFrom::End(-(footer_len as i64)))?;
+        let mut buf = [0u8; FOOTER_LEN];
+        f.read_exact(&mut buf[..footer_len])?;
+        let meta =
+            decode_footer(&buf[..footer_len]).filter(|m| m.data_len == len - footer_len as u64);
+        if meta.is_some() {
+            return Ok((len, meta));
+        }
     }
-    f.seek(SeekFrom::End(-(FOOTER_LEN as i64)))?;
-    let mut buf = [0u8; FOOTER_LEN];
-    f.read_exact(&mut buf)?;
-    let meta = decode_footer(&buf).filter(|m| m.data_len == len - FOOTER_LEN as u64);
-    Ok((len, meta))
+    Ok((len, None))
 }
 
 /// All segment files in `dir`, ascending by `first_lsn`.
@@ -208,8 +264,8 @@ fn render_manifest(sealed: &[SegmentMeta]) -> String {
     body.push('\n');
     for m in sealed {
         body.push_str(&format!(
-            "seg {} {} {} {:08x}\n",
-            m.first_lsn, m.last_lsn, m.data_len, m.data_crc
+            "seg {} {} {} {:08x} {}\n",
+            m.first_lsn, m.last_lsn, m.data_len, m.data_crc, m.term
         ));
     }
     let crc = crc32(body.as_bytes());
@@ -253,11 +309,20 @@ fn parse_manifest(text: &str) -> std::result::Result<Vec<SegmentMeta>, String> {
             .next()
             .and_then(|h| u32::from_str_radix(h, 16).ok())
             .ok_or_else(|| format!("manifest: bad seg line {line:?}"))?;
+        // The 5th field (leadership term) was added later: 4-field lines
+        // from pre-term manifests parse as term 0.
+        let term = match parts.next() {
+            Some(t) => t
+                .parse()
+                .map_err(|_| format!("manifest: bad seg line {line:?}"))?,
+            None => 0,
+        };
         sealed.push(SegmentMeta {
             first_lsn,
             last_lsn,
             data_len,
             data_crc,
+            term,
         });
     }
     if !sealed.windows(2).all(|w| w[0].first_lsn < w[1].first_lsn) {
@@ -297,6 +362,58 @@ pub fn write_manifest(dir: &Path, sealed: &[SegmentMeta]) -> Result<()> {
     crate::sync_dir(dir)
 }
 
+// ---------------------------------------------------------------------------
+// Leadership term file
+// ---------------------------------------------------------------------------
+
+/// Magic bytes opening the term file (trailing byte = format version).
+const TERM_MAGIC: &[u8; 8] = b"TMTERM\x00\x01";
+
+/// Reads the leadership term of `dir`. A missing file is term 0 (every
+/// pre-term store); a corrupt one is a hard error — the term fences
+/// writes, and a fence that silently resets is no fence at all.
+pub fn read_term(dir: &Path) -> Result<u64> {
+    let path = dir.join(TERM_FILE);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(Error::Io(format!("read {}: {e}", path.display()))),
+    };
+    let corrupt = || Error::Io(format!("{}: corrupt term file", path.display()));
+    if bytes.len() != 20 || &bytes[0..8] != TERM_MAGIC {
+        return Err(corrupt());
+    }
+    let crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    if crc32(&bytes[..16]) != crc {
+        return Err(corrupt());
+    }
+    Ok(u64::from_le_bytes(
+        bytes[8..16].try_into().expect("8 bytes"),
+    ))
+}
+
+/// Durably writes the leadership term of `dir` (tmp + rename + directory
+/// fsync): after this returns, a crash at any point leaves either the old
+/// or the new term on disk, never a torn file.
+pub fn write_term(dir: &Path, term: u64) -> Result<()> {
+    let mut out = [0u8; 20];
+    out[0..8].copy_from_slice(TERM_MAGIC);
+    out[8..16].copy_from_slice(&term.to_le_bytes());
+    let crc = crc32(&out[..16]);
+    out[16..20].copy_from_slice(&crc.to_le_bytes());
+    let path = dir.join(TERM_FILE);
+    let tmp = dir.join("term.tmp");
+    let mut f =
+        fs::File::create(&tmp).map_err(|e| Error::Io(format!("create {}: {e}", tmp.display())))?;
+    f.write_all(&out)
+        .and_then(|()| f.sync_data())
+        .map_err(|e| Error::Io(format!("write {}: {e}", tmp.display())))?;
+    drop(f);
+    fs::rename(&tmp, &path)
+        .map_err(|e| Error::Io(format!("rename into {}: {e}", path.display())))?;
+    crate::sync_dir(dir)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +424,7 @@ mod tests {
             last_lsn: last,
             data_len: 128,
             data_crc: 0xdead_beef,
+            term: 3,
         }
     }
 
@@ -345,11 +463,90 @@ mod tests {
         assert_eq!(seg.footer, Some(m));
         assert_eq!(seg.data, vec![1, 2, 3]);
         // Same bytes with an extra data byte: data_len no longer matches,
-        // so the trailing 40 bytes are just data (an unsealed segment).
+        // so the trailing bytes are just data (an unsealed segment).
         bytes.insert(0, 0);
         let seg = split_footer(bytes);
         assert_eq!(seg.footer, None);
-        assert_eq!(seg.data.len(), 44);
+        assert_eq!(seg.data.len(), 3 + FOOTER_LEN + 1);
+    }
+
+    #[test]
+    fn legacy_v1_footers_decode_as_term_zero() {
+        // A hand-built 40-byte version-1 footer (pre-term chains).
+        let m = meta(17, 42);
+        let mut v1 = [0u8; FOOTER_LEN_V1];
+        v1[0..8].copy_from_slice(FOOTER_MAGIC_V1);
+        v1[8..16].copy_from_slice(&m.first_lsn.to_le_bytes());
+        v1[16..24].copy_from_slice(&m.last_lsn.to_le_bytes());
+        v1[24..32].copy_from_slice(&m.data_len.to_le_bytes());
+        v1[32..36].copy_from_slice(&m.data_crc.to_le_bytes());
+        let crc = crc32(&v1[..36]);
+        v1[36..40].copy_from_slice(&crc.to_le_bytes());
+        let expect = SegmentMeta { term: 0, ..m };
+        assert_eq!(decode_footer(&v1), Some(expect));
+        // Every bit flip is still rejected in the legacy format.
+        for byte in 0..v1.len() {
+            for bit in 0..8 {
+                let mut copy = v1;
+                copy[byte] ^= 1 << bit;
+                assert_eq!(decode_footer(&copy), None, "v1 flip at {byte}.{bit}");
+            }
+        }
+        // And split_footer recognizes it at the end of a data run.
+        let mut bytes = vec![0u8; m.data_len as usize];
+        bytes.extend_from_slice(&v1);
+        let seg = split_footer(bytes);
+        assert_eq!(seg.footer, Some(expect));
+        assert_eq!(seg.data.len(), m.data_len as usize);
+    }
+
+    #[test]
+    fn legacy_four_field_manifest_lines_parse_as_term_zero() {
+        let body = format!("{MANIFEST_HEADER}\nseg 1 9 128 deadbeef\n");
+        let crc = crc32(body.as_bytes());
+        let text = format!("{body}crc {crc:08x}\n");
+        let sealed = parse_manifest(&text).expect("legacy manifest parses");
+        assert_eq!(
+            sealed,
+            vec![SegmentMeta {
+                first_lsn: 1,
+                last_lsn: 9,
+                data_len: 128,
+                data_crc: 0xdead_beef,
+                term: 0,
+            }]
+        );
+    }
+
+    #[test]
+    fn term_file_round_trips_and_rejects_corruption() {
+        let dir = std::env::temp_dir().join(format!("tm-seg-term-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // Missing file = term 0 (legacy store).
+        assert_eq!(read_term(&dir).unwrap(), 0);
+        write_term(&dir, 7).unwrap();
+        assert_eq!(read_term(&dir).unwrap(), 7);
+        write_term(&dir, 8).unwrap();
+        assert_eq!(read_term(&dir).unwrap(), 8);
+        // Any bit flip is a hard error, never a silent term reset.
+        let path = dir.join(TERM_FILE);
+        let good = fs::read(&path).unwrap();
+        for byte in 0..good.len() {
+            let mut copy = good.clone();
+            copy[byte] ^= 1 << (byte % 8);
+            fs::write(&path, &copy).unwrap();
+            assert!(
+                read_term(&dir).is_err(),
+                "flip at byte {byte} went undetected"
+            );
+        }
+        // A truncated file is rejected too.
+        fs::write(&path, &good[..10]).unwrap();
+        assert!(read_term(&dir).is_err());
+        fs::write(&path, &good).unwrap();
+        assert_eq!(read_term(&dir).unwrap(), 8);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

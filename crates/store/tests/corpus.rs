@@ -711,3 +711,72 @@ fn recovery_after_a_torn_tail_keeps_accepting_edits() {
     assert_eq!(format::render_network(r2.session.network()), expect);
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// The leadership term file is hard state: a *missing* `term.tm` is a
+/// legitimate pre-failover store (term 0), but a *damaged* one must fail
+/// recovery loudly — guessing a term could let a deposed leader re-claim
+/// a chain it no longer owns. Attacked like every other file: a bit flip
+/// at every byte offset, plus truncation at every length.
+#[test]
+fn term_file_damage_fails_loudly_and_absence_means_term_zero() {
+    let seed = fresh_dir("term-seed");
+    {
+        let mut r = Store::open(&seed).expect("fresh store");
+        let u = r.session.user("alice");
+        let v = r.session.value("v0");
+        r.session.believe(u, v).expect("edit");
+    }
+    segment::write_term(&seed, 3).expect("write term");
+    let clean = fs::read(seed.join(trustmap_store::TERM_FILE)).expect("term bytes");
+    let reopened = Store::open(&seed).expect("clean term file recovers");
+    assert_eq!(reopened.store.term(), 3, "term must round-trip recovery");
+    drop(reopened);
+
+    let copy_store = |tag: &str| {
+        let dir = fresh_dir(tag);
+        for entry in fs::read_dir(&seed).expect("read seed") {
+            let entry = entry.expect("entry");
+            fs::copy(entry.path(), dir.join(entry.file_name())).expect("copy");
+        }
+        dir
+    };
+
+    // Every single-bit flip — in the magic, the term word, or the CRC —
+    // must refuse recovery rather than invent a term.
+    for offset in 0..clean.len() {
+        let dir = copy_store("term-flip");
+        let mut damaged = clean.clone();
+        damaged[offset] ^= 1 << (offset % 8);
+        fs::write(dir.join(trustmap_store::TERM_FILE), &damaged).expect("flip term");
+        match Store::open(&dir) {
+            Err(_) => {}
+            Ok(r) => panic!(
+                "term file bit flip at {offset} must fail loudly, but recovery \
+                 opened at term {}",
+                r.store.term()
+            ),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // Every truncation (a torn write never survives the tmp+rename
+    // protocol, but a damaged filesystem could still shorten the file).
+    for cut in 0..clean.len() {
+        let dir = copy_store("term-cut");
+        fs::write(dir.join(trustmap_store::TERM_FILE), &clean[..cut]).expect("cut term");
+        assert!(
+            Store::open(&dir).is_err(),
+            "term file truncated to {cut} bytes must fail loudly"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // Absence is not damage: deleting the file yields a pre-failover
+    // term-0 store (the legacy-migration path).
+    let dir = copy_store("term-missing");
+    fs::remove_file(dir.join(trustmap_store::TERM_FILE)).expect("remove term");
+    let r = Store::open(&dir).expect("missing term file is term 0");
+    assert_eq!(r.store.term(), 0);
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&seed);
+}

@@ -27,6 +27,10 @@
 //!                                     # replicate a remote leader into
 //!                                     # <dir>; optionally serve replica
 //!                                     # reads on <serve-addr>
+//! trustmap promote  <dir>             # promote a follower store to be
+//!                                     # the leader of the next term
+//!                                     # (seals the live segment, bumps
+//!                                     # term.tm, reopens writable)
 //! ```
 //!
 //! Files use the format of [`trustmap::format`] (see `examples/indus.tn`);
@@ -47,7 +51,7 @@ fn main() -> ExitCode {
             eprintln!("error: {message}");
             eprintln!(
                 "usage: trustmap <resolve|skeptic|cert|paradigm|agree|lineage|lp|stats> <file> [args]\n\
-                 \x20      trustmap <log|segments|snapshot|recover|serve|follow> <store-dir> [args]"
+                 \x20      trustmap <log|segments|snapshot|recover|serve|follow|promote> <store-dir> [args]"
             );
             ExitCode::FAILURE
         }
@@ -80,6 +84,7 @@ fn run(args: &[String]) -> std::result::Result<(), String> {
                 &args[2..],
             )
         }
+        "promote" => return cmd_promote(args.get(1).ok_or("promote needs a store directory")?),
         _ => {}
     }
 
@@ -152,15 +157,17 @@ fn describe(payload: &Payload) -> String {
 }
 
 /// Lists the segmented log without opening (or locking) the store:
-/// every `wal-*.seg` file with its LSN span, size, seal state, and —
-/// against the newest snapshot watermark — whether the next retention
-/// pass may reclaim it.
+/// every `wal-*.seg` file with its LSN span, size, leadership term,
+/// seal state, and — against the newest snapshot watermark — whether
+/// the next retention pass may reclaim it. Cross-term seams (where a
+/// failover sealed one era and the next began) are flagged inline.
 fn cmd_segments(dir: &str) -> std::result::Result<(), String> {
     use trustmap::store::{segment, snapshot};
     let path = std::path::Path::new(dir);
     let files = segment::list_files(path).map_err(|e| format!("{dir}: {e}"))?;
+    let store_term = segment::read_term(path).map_err(|e| format!("{dir}: {e}"))?;
     if files.is_empty() {
-        println!("no log segments in {dir}");
+        println!("no log segments in {dir} (store term {store_term})");
         return Ok(());
     }
     let watermark = snapshot::list(path).first().copied().unwrap_or(0);
@@ -170,10 +177,11 @@ fn cmd_segments(dir: &str) -> std::result::Result<(), String> {
         segment::ManifestState::Sealed(list) => format!("{} sealed segment(s)", list.len()),
     };
     println!(
-        "{:<24} {:>12} {:>12} {:>10}  state",
-        "segment", "first", "last", "bytes"
+        "{:<24} {:>12} {:>12} {:>10} {:>6}  state",
+        "segment", "first", "last", "bytes", "term"
     );
-    let (mut total, mut retirable) = (0u64, 0u64);
+    let (mut total, mut retirable, mut seams) = (0u64, 0u64, 0u64);
+    let mut prev_term: Option<u64> = None;
     for (first, file) in &files {
         let name = segment::file_name(*first);
         let (len, meta) = segment::read_meta(file).map_err(|e| format!("{name}: {e}"))?;
@@ -186,15 +194,41 @@ fn cmd_segments(dir: &str) -> std::result::Result<(), String> {
                 } else {
                     "sealed"
                 };
+                let seam = match prev_term {
+                    Some(p) if p != m.term => {
+                        seams += 1;
+                        " ← term seam"
+                    }
+                    _ => "",
+                };
+                prev_term = Some(m.term);
                 println!(
-                    "{:<24} {:>12} {:>12} {:>10}  {state} (crc {:08x})",
-                    name, m.first_lsn, m.last_lsn, len, m.data_crc
+                    "{:<24} {:>12} {:>12} {:>10} {:>6}  {state} (crc {:08x}){seam}",
+                    name, m.first_lsn, m.last_lsn, len, m.term, m.data_crc
                 );
             }
-            None => println!("{:<24} {:>12} {:>12} {:>10}  live", name, first, "-", len),
+            None => {
+                // The live segment has no footer yet; its eventual seal
+                // carries the store's current term.
+                let seam = match prev_term {
+                    Some(p) if p != store_term => {
+                        seams += 1;
+                        " ← term seam"
+                    }
+                    _ => "",
+                };
+                println!(
+                    "{:<24} {:>12} {:>12} {:>10} {:>6}  live{seam}",
+                    name, first, "-", len, store_term
+                );
+            }
         }
     }
     println!("manifest:           {manifest}");
+    println!("store term:         {store_term}");
+    if seams > 0 {
+        println!("term seams:         {seams} (leadership changed mid-chain)");
+    }
     println!(
         "snapshot watermark: {}",
         if watermark > 0 {
@@ -204,6 +238,33 @@ fn cmd_segments(dir: &str) -> std::result::Result<(), String> {
         }
     );
     println!("on disk:            {total} byte(s), {retirable} retirable at the next snapshot");
+    Ok(())
+}
+
+/// Promotes the follower store in `dir` to lead the next term: seals
+/// the live segment under the old term, writes a tip snapshot, durably
+/// bumps `term.tm`, and reopens the directory as a writable store —
+/// verifying the reopen replayed nothing (promotion is O(1) in
+/// history). Run this on the chosen survivor after a leader dies, then
+/// point the remaining followers (and writing clients) at it.
+fn cmd_promote(dir: &str) -> std::result::Result<(), String> {
+    use trustmap::store::Follower;
+    let follower = Follower::open(dir).map_err(|e| e.to_string())?;
+    let (old_term, watermark) = (follower.term(), follower.watermark());
+    let promoted = follower.promote().map_err(|e| e.to_string())?;
+    println!(
+        "promoted {dir}: term {old_term} → {}",
+        promoted.store.term()
+    );
+    println!("watermark lsn:      {watermark}");
+    println!(
+        "replayed on reopen: {} unit(s) (tip snapshot keeps promotion O(1))",
+        promoted.stats.replayed_units
+    );
+    println!(
+        "the store now accepts writes under term {}; re-point followers here",
+        promoted.store.term()
+    );
     Ok(())
 }
 

@@ -1,0 +1,639 @@
+//! Failover oracle: under kill-leader / promote-follower /
+//! resurrect-old-leader interleavings (on top of the usual edit streams,
+//! rotations, snapshots, restarts, and transport faults), the cluster
+//! must keep three promises:
+//!
+//! * **no lost ack** — every LSN the leader of any era acknowledged is
+//!   on the winning chain after failover, with the exact state image it
+//!   was acknowledged against;
+//! * **no split brain** — two chains never both extend the same
+//!   leadership term: promotion seals the old era before the new one
+//!   writes, a resurrected stale leader is fenced at its commit path
+//!   ([`Error::Fenced`], witnessed by `fenced_commits`) and refused at
+//!   the ship path (witnessed by the followers' `stale_term_rejects`),
+//!   and every byte a rogue writes stays attributable to its own stale
+//!   term;
+//! * **convergence** — all survivors end byte-prefix-identical to the
+//!   new leader's grow-only committed history and answer certain-belief
+//!   queries identically once caught up.
+//!
+//! Two entry points share one deterministic schedule harness, exactly
+//! like `tests/replication_oracle.rs`: a proptest (shrinks to a minimal
+//! schedule) and the `failover-chaos` CI gate — a fixed matrix of ≥200
+//! schedules (`TRUSTMAP_CHAOS_SCHEDULES` overrides the count). Every
+//! gate is counter arithmetic; none rests on wall-clock.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use trustmap::format::render_network;
+use trustmap::store::{
+    committed_log, segment, FaultPlan, FaultyTransport, Follower, LocalTransport, Recovered,
+    ShipRequest, Step, Store, StoreOptions,
+};
+use trustmap::{Error, NegSet, SignedEdit, TrustNetwork, User, Value};
+
+static DIRS: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "trustmap-failover-oracle-{}-{tag}-{}",
+        std::process::id(),
+        DIRS.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// SplitMix64 — the schedule driver (seed-deterministic replays).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+const NUM_USERS: usize = 6;
+const NUM_VALUES: usize = 3;
+const NODES: usize = 3;
+
+/// Counter totals one schedule produced — the matrix sums these and
+/// gates on the sums, proving the interesting paths actually ran.
+#[derive(Debug, Default, Clone, Copy)]
+struct Witness {
+    faults: u64,
+    fenced_commits: u64,
+    stale_term_rejects: u64,
+    terms_adopted: u64,
+    promotions: u64,
+    rogue_divergences: u64,
+}
+
+/// A three-node cluster: one leader (a [`Recovered`] store) and two
+/// followers, with the role assignment rotating at each failover.
+///
+/// Ground truths carried across eras:
+/// * `acked` — rendered network per acknowledged LSN (the no-lost-ack
+///   ledger; rogue writes of a deposed leader are never recorded);
+/// * `history` — committed bytes per segment of the **legitimate**
+///   chain, grow-only (sealing appends a footer, so the legitimate
+///   chain only ever extends byte-wise, even across promotions).
+struct Cluster {
+    dirs: Vec<PathBuf>,
+    opts: StoreOptions,
+    leader_idx: usize,
+    leader: Option<Recovered>,
+    followers: BTreeMap<usize, Follower>,
+    users: Vec<User>,
+    values: Vec<Value>,
+    term: u64,
+    acked: BTreeMap<u64, String>,
+    history: BTreeMap<u64, Vec<u8>>,
+    edit_no: i64,
+    witness: Witness,
+}
+
+impl Cluster {
+    fn new(tag: &str) -> Cluster {
+        let dirs: Vec<PathBuf> = (0..NODES)
+            .map(|i| fresh_dir(&format!("{tag}-n{i}")))
+            .collect();
+        let opts = StoreOptions {
+            // Small threshold: every schedule crosses segment boundaries.
+            rotate_bytes: 300,
+            retain_on_snapshot: true,
+        };
+        let mut leader = Store::open_with(&dirs[0], opts).expect("open leader");
+        let users: Vec<User> = (0..NUM_USERS)
+            .map(|i| leader.session.user(&format!("u{i}")))
+            .collect();
+        let values: Vec<Value> = (0..NUM_VALUES)
+            .map(|i| leader.session.value(&format!("v{i}")))
+            .collect();
+        leader.session.commit().expect("seal the seed");
+        let mut acked = BTreeMap::new();
+        acked.insert(0, render_network(&TrustNetwork::default()));
+        acked.insert(
+            leader.store.last_committed_lsn(),
+            render_network(leader.session.network()),
+        );
+        let mut followers = BTreeMap::new();
+        for (i, dir) in dirs.iter().enumerate().skip(1) {
+            followers.insert(i, Follower::open(dir).expect("open follower"));
+        }
+        let mut c = Cluster {
+            dirs,
+            opts,
+            leader_idx: 0,
+            leader: Some(leader),
+            followers,
+            users,
+            values,
+            term: 0,
+            acked,
+            history: BTreeMap::new(),
+            edit_no: 0,
+            witness: Witness::default(),
+        };
+        c.absorb_leader();
+        c
+    }
+
+    fn leader(&self) -> &Recovered {
+        self.leader.as_ref().expect("leader alive")
+    }
+
+    fn leader_mut(&mut self) -> &mut Recovered {
+        self.leader.as_mut().expect("leader alive")
+    }
+
+    /// One tie-free signed edit from the schedule stream.
+    fn make_edit(&mut self, rng: &mut Rng) -> SignedEdit {
+        let user = self.users[rng.below(NUM_USERS as u64) as usize];
+        let value = self.values[rng.below(NUM_VALUES as u64) as usize];
+        self.edit_no += 1;
+        match rng.below(10) {
+            0..=3 => SignedEdit::Believe(user, value),
+            4 | 5 => SignedEdit::Reject(user, NegSet::of([value])),
+            6 => SignedEdit::Revoke(user),
+            _ => {
+                let parent = self.users[rng.below(NUM_USERS as u64) as usize];
+                if parent == user {
+                    SignedEdit::Believe(user, value)
+                } else {
+                    SignedEdit::Trust {
+                        child: user,
+                        parent,
+                        priority: 1_000 + self.edit_no,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies one acknowledged edit on the current leader and records
+    /// it in the no-lost-ack ledger.
+    fn leader_edit(&mut self, rng: &mut Rng) {
+        let edit = self.make_edit(rng);
+        self.leader_mut()
+            .session
+            .apply_signed_edit(edit)
+            .expect("tie-free edit");
+        let lsn = self.leader().store.last_committed_lsn();
+        let image = render_network(self.leader().session.network());
+        self.acked.insert(lsn, image);
+    }
+
+    /// Folds the legitimate leader's committed bytes into the grow-only
+    /// history, asserting no committed byte was ever rewritten.
+    fn absorb_leader(&mut self) {
+        let dir = self.dirs[self.leader_idx].clone();
+        for (first, bytes) in committed_log(&dir).expect("leader committed log") {
+            let entry = self.history.entry(first).or_default();
+            let common = entry.len().min(bytes.len());
+            assert_eq!(
+                &entry[..common],
+                &bytes[..common],
+                "legitimate chain rewrote committed bytes of segment {first}"
+            );
+            if bytes.len() > entry.len() {
+                *entry = bytes;
+            }
+        }
+    }
+
+    /// Byte-prefix + ledger invariant for one follower.
+    fn check_follower(&mut self, idx: usize, context: &str) {
+        for (first, bytes) in committed_log(&self.dirs[idx]).expect("follower committed log") {
+            let Some(hist) = self.history.get(&first) else {
+                panic!("{context}: node {idx} holds segment {first} no leader ever committed");
+            };
+            assert!(
+                bytes.len() <= hist.len() && hist[..bytes.len()] == bytes[..],
+                "{context}: node {idx} segment {first} is not a byte prefix of the chain \
+                 ({} vs {} bytes)",
+                bytes.len(),
+                hist.len()
+            );
+        }
+        let f = self.followers.get(&idx).expect("follower present");
+        let w = f.watermark();
+        let expected = self
+            .acked
+            .get(&w)
+            .unwrap_or_else(|| panic!("{context}: node {idx} watermark {w} was never acked"));
+        assert_eq!(
+            &render_network(f.network()),
+            expected,
+            "{context}: node {idx} state is not the acked lsn-{w} image"
+        );
+    }
+
+    /// Runs `n` steps of follower `idx` against the current leader,
+    /// optionally behind the fault injector.
+    fn follower_steps(&mut self, idx: usize, n: usize, plan: Option<FaultPlan>) {
+        let local = LocalTransport::new(self.leader().store.clone());
+        let f = self.followers.get_mut(&idx).expect("follower present");
+        match plan {
+            None => {
+                let mut t = local;
+                for _ in 0..n {
+                    match f.step(&mut t) {
+                        Ok(Step::Rejected { reason }) => {
+                            panic!("clean transport must never be rejected: {reason}")
+                        }
+                        Ok(_) => {}
+                        Err(e) => panic!("clean transport must never error: {e}"),
+                    }
+                }
+            }
+            Some(plan) => {
+                let mut t = FaultyTransport::new(local, plan);
+                for _ in 0..n {
+                    let _ = f.step(&mut t);
+                }
+                self.witness.faults += t.faults_injected;
+            }
+        }
+    }
+
+    /// Clean steps of follower `idx` until caught up (bounded).
+    fn converge_follower(&mut self, idx: usize, context: &str) {
+        let mut t = LocalTransport::new(self.leader().store.clone());
+        let f = self.followers.get_mut(&idx).expect("follower present");
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            assert!(steps < 10_000, "{context}: convergence must terminate");
+            match f.step(&mut t).expect("clean step") {
+                Step::CaughtUp { .. } => break,
+                Step::Rejected { reason } => {
+                    panic!("{context}: clean transport rejected: {reason}")
+                }
+                _ => {}
+            }
+        }
+        self.check_follower(idx, context);
+    }
+
+    /// Cert parity of a caught-up follower against the leader.
+    fn check_cert_parity(&mut self, idx: usize, context: &str) {
+        let last = self.leader().store.last_committed_lsn();
+        let f = self.followers.get_mut(&idx).expect("follower present");
+        assert_eq!(
+            f.watermark(),
+            last,
+            "{context}: cert parity needs a caught-up follower"
+        );
+        for &u in &self.users.clone() {
+            let f = self.followers.get_mut(&idx).expect("follower present");
+            let fc = f.session_mut().skeptic_cert(u).ok();
+            let lc = self.leader_mut().session.skeptic_cert(u).ok();
+            assert_eq!(lc, fc, "{context}: certain beliefs diverged for user {u}");
+        }
+    }
+
+    fn leader_restart(&mut self) {
+        let dir = self.dirs[self.leader_idx].clone();
+        let opts = self.opts;
+        self.leader = None; // kill: everything acked must be on disk
+        self.leader = Some(Store::open_with(&dir, opts).expect("leader restart"));
+    }
+
+    fn follower_restart(&mut self, idx: usize) {
+        let dir = self.dirs[idx].clone();
+        self.followers.remove(&idx); // drop before reopening the dir
+        self.followers
+            .insert(idx, Follower::open(&dir).expect("follower restart"));
+    }
+
+    /// Kill the leader, promote follower `target` into the next term
+    /// (only ever a caught-up follower — the runbook move; a quorumless
+    /// cluster that promotes a lagging follower chooses to lose acks),
+    /// and verify the no-lost-ack guarantee at the handover point.
+    fn failover(&mut self, target: usize, context: &str) {
+        self.converge_follower(target, &format!("{context}: pre-promotion catch-up"));
+        let acked_max = *self.acked.keys().next_back().expect("seeded ledger");
+        let old_idx = self.leader_idx;
+        let old_term = self.term;
+        self.leader = None; // the leader dies with the dir intact
+
+        let f = self.followers.remove(&target).expect("promote target");
+        assert_eq!(f.term(), old_term, "{context}: target saw a newer term?");
+        let promoted = f.promote_with(self.opts).expect("promotion");
+        assert_eq!(
+            promoted.stats.replayed_units, 0,
+            "{context}: promotion must be O(1) — the tip snapshot replays nothing"
+        );
+        assert_eq!(
+            promoted.store.term(),
+            old_term + 1,
+            "{context}: promotion must claim exactly the next term"
+        );
+        // No lost ack: the winning chain starts exactly at the highest
+        // acknowledged LSN, with the exact acknowledged image.
+        assert_eq!(
+            promoted.store.last_committed_lsn(),
+            acked_max,
+            "{context}: the winning chain lost acknowledged commits"
+        );
+        assert_eq!(
+            &render_network(promoted.session.network()),
+            self.acked.get(&acked_max).expect("ledger image"),
+            "{context}: the winning chain's state differs from the acked image"
+        );
+        assert_eq!(
+            segment::read_term(&self.dirs[old_idx]).expect("old term file"),
+            old_term,
+            "{context}: the deposed directory must still hold its own term"
+        );
+        self.leader_idx = target;
+        self.leader = Some(promoted);
+        self.term = old_term + 1;
+        self.witness.promotions += 1;
+        self.absorb_leader();
+    }
+
+    /// Resurrect the deposed leader's directory as a writable store and
+    /// prove both fencing points, in one of two flavors:
+    ///
+    /// * `rogue = false`: the resurrected store is fenced *before* it
+    ///   writes — a current-term follower's request deposes it, its
+    ///   commit fails with [`Error::Fenced`], and the follower refuses
+    ///   its stale-term response (`stale_term_rejects`);
+    /// * `rogue = true`: the resurrected store commits under its stale
+    ///   term first (a real divergence), which must stay attributable to
+    ///   that term alone; then it is fenced the same way. Its directory
+    ///   is wiped before re-joining (the diverged suffix is
+    ///   unrecoverable by design — it was never acknowledged by the
+    ///   winning chain's era).
+    ///
+    /// Either way the old node re-joins as a follower of the new leader.
+    fn resurrect(&mut self, old_idx: usize, rogue: bool, rng: &mut Rng, context: &str) {
+        let old_term = segment::read_term(&self.dirs[old_idx]).expect("old term");
+        assert!(old_term < self.term, "{context}: resurrectee must be stale");
+        let mut zombie = Store::open_with(&self.dirs[old_idx], self.opts).expect("resurrect");
+
+        if rogue {
+            // The zombie extends its own stale chain before anyone can
+            // fence it. These commits are acked by nobody's ledger.
+            let before = zombie.store.last_committed_lsn();
+            for _ in 0..(1 + rng.below(3)) {
+                let edit = self.make_edit(rng);
+                zombie.session.apply_signed_edit(edit).expect("rogue edit");
+            }
+            assert!(zombie.store.last_committed_lsn() > before);
+            // Attribution: every byte it wrote is under its own stale
+            // term — the two chains never extend the same term.
+            assert_eq!(
+                segment::read_term(&self.dirs[old_idx]).expect("zombie term"),
+                old_term,
+                "{context}: rogue writes must stay in the stale term"
+            );
+            for (first, file) in segment::list_files(&self.dirs[old_idx]).expect("zombie segs") {
+                if let (_, Some(meta)) = segment::read_meta(&file).expect("zombie meta") {
+                    assert!(
+                        meta.term <= old_term,
+                        "{context}: zombie sealed segment {first} under term {} > {old_term}",
+                        meta.term
+                    );
+                }
+            }
+            assert_eq!(
+                segment::read_term(&self.dirs[self.leader_idx]).expect("winner term"),
+                self.term,
+                "{context}: the winning chain must hold the new term"
+            );
+            self.witness.rogue_divergences += 1;
+        } else {
+            // Ship-path fencing, follower side: a caught-up current-term
+            // follower polls the zombie and refuses its stale response.
+            let other = (0..NODES)
+                .find(|i| self.followers.contains_key(i))
+                .expect("a live follower");
+            self.converge_follower(other, &format!("{context}: fence witness catch-up"));
+            let f = self.followers.get_mut(&other).expect("witness");
+            assert_eq!(f.term(), self.term, "{context}: witness must be current");
+            let rejects_before = f.counters().stale_term_rejects;
+            let mut t = LocalTransport::new(zombie.store.clone());
+            match f.step(&mut t).expect("stale response is a clean rejection") {
+                Step::Rejected { .. } => {}
+                other => panic!("{context}: stale-term response must be rejected: {other:?}"),
+            }
+            assert_eq!(f.counters().stale_term_rejects, rejects_before + 1);
+            self.witness.stale_term_rejects += 1;
+        }
+
+        // Commit-path fencing: one request carrying the current term
+        // (every follower of the new leader sends it) deposes the
+        // zombie; its next commit must fail closed.
+        let _ = zombie.store.ship(&ShipRequest {
+            watermark: 0,
+            seg_first: 0,
+            offset: 0,
+            max_bytes: 0,
+            term: self.term,
+        });
+        assert_eq!(zombie.store.fenced(), Some(self.term));
+        let edit = self.make_edit(rng);
+        match zombie.session.apply_signed_edit(edit) {
+            Err(Error::Fenced { observed, ours }) => {
+                assert_eq!((observed, ours), (self.term, old_term));
+            }
+            other => panic!("{context}: zombie commit must fence, got {other:?}"),
+        }
+        let fenced = zombie.store.counters().fenced_commits;
+        assert!(
+            fenced > 0,
+            "{context}: fenced_commits must witness the refusal"
+        );
+        self.witness.fenced_commits += fenced;
+        drop(zombie);
+
+        if rogue {
+            // The diverged suffix cannot re-follow (its bytes conflict
+            // with the winning chain); the node re-joins from scratch
+            // and bootstraps or re-ships the legitimate history.
+            fs::remove_dir_all(&self.dirs[old_idx]).expect("wipe rogue dir");
+        }
+        self.followers.insert(
+            old_idx,
+            Follower::open(&self.dirs[old_idx]).expect("rejoin as follower"),
+        );
+    }
+
+    /// Absorb + converge every follower and check full parity.
+    fn converge_all(&mut self, context: &str) {
+        self.absorb_leader();
+        let idxs: Vec<usize> = self.followers.keys().copied().collect();
+        for idx in idxs {
+            self.converge_follower(idx, context);
+            self.check_cert_parity(idx, context);
+            let adopted = self.followers.get(&idx).expect("follower").term();
+            assert_eq!(
+                adopted, self.term,
+                "{context}: node {idx} did not adopt the current term"
+            );
+            self.witness.terms_adopted += self
+                .followers
+                .get(&idx)
+                .expect("follower")
+                .counters()
+                .terms_adopted;
+        }
+    }
+}
+
+/// One deterministic schedule: a chaos preamble in the current era, then
+/// 1–2 failover rounds (kill → promote → resurrect-and-fence → re-join →
+/// new-era writes), then cluster-wide convergence. Returns the witness
+/// counters for the matrix gates.
+fn run_schedule(seed: u64, ops: usize, tag: &str) -> Witness {
+    let mut rng = Rng(seed);
+    let mut c = Cluster::new(tag);
+
+    let rounds = 1 + rng.below(2);
+    for round in 0..=rounds {
+        // Chaos preamble: edits, snapshots, restarts, faulty pulls.
+        for op in 0..ops {
+            let context = format!("{tag} seed {seed} round {round} op {op}");
+            let follower_idx = {
+                let idxs: Vec<usize> = c.followers.keys().copied().collect();
+                idxs[rng.below(idxs.len() as u64) as usize]
+            };
+            match rng.below(12) {
+                0..=4 => c.leader_edit(&mut rng),
+                5 => {
+                    let leader = c.leader_mut();
+                    leader
+                        .store
+                        .snapshot_now(&leader.session)
+                        .expect("leader snapshot");
+                }
+                6 => c.leader_restart(),
+                7 | 8 => {
+                    let n = 1 + rng.below(3) as usize;
+                    c.follower_steps(follower_idx, n, None);
+                }
+                9 => {
+                    let n = 1 + rng.below(4) as usize;
+                    let plan = FaultPlan {
+                        error_prob: 0.3,
+                        corrupt_prob: 0.3,
+                        truncate_prob: 0.3,
+                        seed: rng.next_u64(),
+                    };
+                    c.follower_steps(follower_idx, n, Some(plan));
+                }
+                10 => c.follower_restart(follower_idx),
+                _ => {
+                    c.followers
+                        .get_mut(&follower_idx)
+                        .expect("follower present")
+                        .snapshot_now()
+                        .expect("follower snapshot");
+                }
+            }
+            c.absorb_leader();
+            c.check_follower(follower_idx, &context);
+        }
+
+        if round == rounds {
+            break; // last era ends with convergence, not another failover
+        }
+        let context = format!("{tag} seed {seed} round {round}");
+        let target = {
+            let idxs: Vec<usize> = c.followers.keys().copied().collect();
+            idxs[rng.below(idxs.len() as u64) as usize]
+        };
+        let old_idx = c.leader_idx;
+        c.failover(target, &context);
+        let rogue = rng.below(2) == 1;
+        c.resurrect(old_idx, rogue, &mut rng, &context);
+        // The new era must actually commit — terms with zero writes
+        // would make the no-same-term-extension claim vacuous.
+        for _ in 0..(1 + rng.below(4)) {
+            c.leader_edit(&mut rng);
+        }
+    }
+
+    c.converge_all(&format!("{tag} seed {seed} final convergence"));
+    for dir in &c.dirs {
+        let _ = fs::remove_dir_all(dir);
+    }
+    c.witness
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random schedules (seed + preamble length drawn by proptest, which
+    /// shrinks to a minimal failing schedule): every acked LSN survives
+    /// failover, stale leaders fence at both paths, and the cluster
+    /// converges byte-prefix-identical across 1–2 leadership changes.
+    #[test]
+    fn failover_keeps_every_ack_under_random_schedules(
+        seed in 0u64..1_000_000,
+        ops in 8usize..24,
+    ) {
+        run_schedule(seed, ops, "prop");
+    }
+}
+
+/// The `failover-chaos` CI gate: a fixed matrix of ≥200 deterministic
+/// kill/promote/resurrect schedules. Gates are sums of counters — the
+/// matrix must have injected faults, fenced real commit attempts,
+/// refused real stale-term responses, diverged (and contained) real
+/// rogue chains, and promoted through real terms.
+#[test]
+fn chaos_matrix_failover_never_splits_or_loses_acks() {
+    let schedules: u64 = std::env::var("TRUSTMAP_CHAOS_SCHEDULES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let mut total = Witness::default();
+    for seed in 0..schedules {
+        let mut rng = Rng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1));
+        let ops = 8 + rng.below(16) as usize;
+        let w = run_schedule(seed, ops, "chaos");
+        total.faults += w.faults;
+        total.fenced_commits += w.fenced_commits;
+        total.stale_term_rejects += w.stale_term_rejects;
+        total.terms_adopted += w.terms_adopted;
+        total.promotions += w.promotions;
+        total.rogue_divergences += w.rogue_divergences;
+    }
+    assert!(total.faults > 0, "matrix must inject transport faults");
+    assert!(
+        total.promotions >= schedules,
+        "every schedule must fail over at least once: {total:?}"
+    );
+    assert!(
+        total.fenced_commits > 0,
+        "matrix must fence real commit attempts: {total:?}"
+    );
+    assert!(
+        total.stale_term_rejects > 0,
+        "matrix must refuse real stale-term responses: {total:?}"
+    );
+    assert!(
+        total.rogue_divergences > 0,
+        "matrix must contain real rogue divergences: {total:?}"
+    );
+    assert!(
+        total.terms_adopted > 0,
+        "followers must durably adopt promoted terms: {total:?}"
+    );
+}

@@ -18,6 +18,7 @@
 
 use crate::binary::{Btn, Parents};
 use crate::error::{Error, Result};
+use crate::plan::CostModel;
 use crate::signed::{ExplicitBelief, NegSet};
 use crate::skeptic::RepPoss;
 use crate::user::User;
@@ -344,6 +345,11 @@ pub fn execute_skeptic_native(
 /// (it depends only on the trust structure) and every reseeded object
 /// spreads its network across all `threads` workers.
 ///
+/// The routing decision is [`CostModel::bulk_sharded`] — the same work
+/// threshold the incremental engines use, replacing this module's former
+/// local `num_objects < threads` copy. Either route returns bit-identical
+/// tables.
+///
 /// # Panics
 /// Panics if a positive believer lacks seed values.
 pub fn execute_skeptic_parallel(
@@ -355,7 +361,7 @@ pub fn execute_skeptic_parallel(
     assert!(threads > 0, "need at least one thread");
     let mut rows: Vec<Vec<RepPoss>> = vec![vec![RepPoss::default(); num_objects]; btn.node_count()];
 
-    if threads > 1 && num_objects < threads {
+    if CostModel::bulk_sharded(threads, num_objects, btn.node_count()) {
         let planned = crate::skeptic::SkepticPlannedResolver::new(btn, Default::default())?;
         let mut work = btn.clone();
         // `rows[node][k]` is written per node while `k` drives reseeding.

@@ -31,6 +31,11 @@ pub enum Error {
     /// A durability sink failed to persist or recover session state (the
     /// message carries the underlying I/O or corruption detail).
     Io(String),
+    /// The query planner could not produce a plan — an unknown user or
+    /// strategy name, or a forced strategy that cannot answer the query
+    /// (e.g. forcing the basic Algorithm-1 solve on a constraint-carrying
+    /// network).
+    Plan(String),
     /// A commit was refused because this store has observed a higher
     /// leadership term than its own: some follower has been promoted and
     /// this (deposed) leader must not extend the log. The store keeps
@@ -70,6 +75,7 @@ impl fmt::Display for Error {
                  (call enable_exact first)"
             ),
             Error::Io(message) => write!(f, "durability: {message}"),
+            Error::Plan(message) => write!(f, "plan: {message}"),
             Error::Fenced { observed, ours } => write!(
                 f,
                 "fenced: a leader at term {observed} has been observed \

@@ -123,6 +123,7 @@ pub mod network;
 pub mod pairs;
 pub mod paradigm;
 pub mod parallel;
+pub mod plan;
 pub mod policy;
 pub mod resolution;
 pub mod sat;
@@ -132,6 +133,7 @@ pub mod skeptic;
 pub mod skeptic_incremental;
 pub mod stable;
 pub mod stable_signed;
+pub mod stats;
 pub mod user;
 pub mod value;
 
@@ -145,6 +147,10 @@ pub use incremental::{DeltaStats, Edit, IncrementalResolver};
 pub use network::{Mapping, TrustNetwork};
 pub use paradigm::Paradigm;
 pub use parallel::{resolve_network_parallel, resolve_parallel, ParOptions, PlannedResolver};
+pub use plan::{
+    CostModel, PlanContext, PlanReport, Planner, Query, QueryResult, QueryRow, QueryTarget,
+    ReadKind, Strategy,
+};
 pub use policy::ParallelPolicy;
 pub use resolution::{resolve, resolve_network, resolve_with, Options, Resolution, SccMode};
 pub use session::{BatchReport, BeliefChange, Session};
@@ -154,5 +160,6 @@ pub use skeptic::{
     SkepticUserResolution,
 };
 pub use skeptic_incremental::{SignedEdit, SkepticIncremental};
+pub use stats::{PlannerStats, SharedPlannerStats, StrategyCost};
 pub use user::User;
 pub use value::{Domain, Value};

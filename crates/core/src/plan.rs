@@ -1,0 +1,803 @@
+//! The cost-based query planner: one routing authority for every read.
+//!
+//! The repo grew five execution strategies for the same semantic question
+//! ("what does this user believe?"): incremental dirty-region patching,
+//! the sequential compact solve, the condensation-sharded parallel solve,
+//! the Skeptic pipeline, and the set-oriented bulk executor. The choice
+//! between them used to live in ad-hoc heuristics scattered across
+//! [`crate::policy::ParallelPolicy`], `relstore`'s bulk executor, and
+//! [`crate::Session`]'s sign routing. This module replaces those sites
+//! with one pipeline:
+//!
+//! ```text
+//! query text ──lexer/parser──▶ Query (AST)
+//!     Query ──analyze──▶ LogicalPlan          (what to read)
+//!     LogicalPlan + PlanContext + PlannerStats
+//!           ──Planner::plan──▶ PlanReport      (how to read it)
+//! ```
+//!
+//! The lexer/parser live in `trustmap-relstore` (`trustq`); `Session`,
+//! the serve protocol's `CERT`/`POSS` verbs, and the CLI all consume the
+//! same [`Query`] AST and route through [`Planner::plan`].
+//!
+//! Costing is **counter arithmetic over persisted statistics**
+//! ([`crate::stats::PlannerStats`]) — expected dirty-region size,
+//! network size, condensation depth, thread budget — never wall-clock.
+//! Planning chooses among physically identical plans: every strategy
+//! returns bit-identical results for the queries it is applicable to
+//! (enforced by `tests/plan_oracle.rs`), so the planner can never change
+//! semantics, only cost (see `docs/FIDELITY.md`).
+
+use crate::error::{Error, Result};
+use crate::stats::{PlannerStats, STRATEGY_COUNT};
+use crate::user::User;
+use crate::value::Value;
+use std::fmt;
+
+/// The physical execution strategies the planner chooses among.
+///
+/// Keep [`Strategy::ALL`] in sync with
+/// [`crate::stats::STRATEGY_COUNT`]; [`Strategy::index`] is the
+/// per-strategy slot in [`PlannerStats::strategies`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Serve from the live incremental engine's patched snapshot
+    /// (Algorithm 1 or 2 deltas; the warm path).
+    IncrementalPatch,
+    /// Sequential from-scratch solve through the region-compact layer
+    /// (Algorithm 1 over the whole network as one region).
+    CompactRegionSolve,
+    /// Condensation-sharded parallel whole-network solve
+    /// ([`crate::parallel::PlannedResolver`] /
+    /// [`crate::skeptic::SkepticPlannedResolver`]).
+    ShardedWholeSolve,
+    /// Sequential Algorithm 2 with the Skeptic decode — the only
+    /// sequential full solve on constraint-carrying networks; on positive
+    /// networks it coincides with the basic model (Section 3.3).
+    SkepticResolve,
+    /// The set-oriented bulk executor of Section 4
+    /// ([`crate::bulk::plan_bulk`] + `execute_native`): plan the flood
+    /// schedule once, then seed any number of objects through it.
+    BulkFewObjects,
+}
+
+impl Strategy {
+    /// Every strategy, in planning (and tie-breaking) order.
+    pub const ALL: [Strategy; STRATEGY_COUNT] = [
+        Strategy::IncrementalPatch,
+        Strategy::CompactRegionSolve,
+        Strategy::ShardedWholeSolve,
+        Strategy::SkepticResolve,
+        Strategy::BulkFewObjects,
+    ];
+
+    /// Stable display / protocol name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::IncrementalPatch => "incremental-patch",
+            Strategy::CompactRegionSolve => "compact-region-solve",
+            Strategy::ShardedWholeSolve => "sharded-whole-solve",
+            Strategy::SkepticResolve => "skeptic-resolve",
+            Strategy::BulkFewObjects => "bulk-few-objects",
+        }
+    }
+
+    /// The strategy's slot in [`PlannerStats::strategies`].
+    pub fn index(self) -> usize {
+        match self {
+            Strategy::IncrementalPatch => 0,
+            Strategy::CompactRegionSolve => 1,
+            Strategy::ShardedWholeSolve => 2,
+            Strategy::SkepticResolve => 3,
+            Strategy::BulkFewObjects => 4,
+        }
+    }
+
+    /// Parses a protocol name (case-insensitive; `_` and `-` both
+    /// accepted) — the `FORCE <strategy>` query modifier.
+    pub fn parse(s: &str) -> Option<Strategy> {
+        let norm = s.to_ascii_lowercase().replace('_', "-");
+        Strategy::ALL.into_iter().find(|st| st.name() == norm)
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a read asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadKind {
+    /// The certain belief (singleton possible set / Figure 18 decode).
+    Cert,
+    /// The possible beliefs.
+    Poss,
+}
+
+impl ReadKind {
+    /// The protocol verb.
+    pub fn verb(self) -> &'static str {
+        match self {
+            ReadKind::Cert => "CERT",
+            ReadKind::Poss => "POSS",
+        }
+    }
+}
+
+/// Whose beliefs a query reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryTarget {
+    /// A user by name (resolved against the network / epoch name table).
+    Named(String),
+    /// A user by interned handle (typed in-process callers).
+    Handle(User),
+    /// Every user (`*`).
+    All,
+}
+
+impl fmt::Display for QueryTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryTarget::Named(name) => f.write_str(name),
+            QueryTarget::Handle(u) => write!(f, "#{}", u.0),
+            QueryTarget::All => f.write_str("*"),
+        }
+    }
+}
+
+/// The query AST — what `trustq` parses, `Session::query` executes, and
+/// the serve protocol's read verbs desugar to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Certain or possible beliefs.
+    pub kind: ReadKind,
+    /// Whose beliefs.
+    pub target: QueryTarget,
+    /// Read the exact (ground-truth) beliefs instead of the Algorithm-2
+    /// approximation — a semantic mode, never a planner choice.
+    pub exact: bool,
+    /// Serve-protocol LSN pin (`@<lsn>`): don't answer before the view
+    /// reaches this LSN. Ignored by in-process sessions (always current).
+    pub pin: Option<u64>,
+    /// Bypass costing and force one strategy (oracle/debug surface);
+    /// errors if the strategy is inapplicable to this query.
+    pub force: Option<Strategy>,
+    /// Render the plan instead of executing it (`EXPLAIN`).
+    pub explain: bool,
+}
+
+impl Query {
+    /// A `CERT` query of `target`.
+    pub fn cert(target: QueryTarget) -> Query {
+        Query {
+            kind: ReadKind::Cert,
+            target,
+            exact: false,
+            pin: None,
+            force: None,
+            explain: false,
+        }
+    }
+
+    /// A `POSS` query of `target`.
+    pub fn poss(target: QueryTarget) -> Query {
+        Query {
+            kind: ReadKind::Poss,
+            ..Query::cert(target)
+        }
+    }
+
+    /// Requests exact (ground-truth) beliefs.
+    pub fn exact(mut self) -> Query {
+        self.exact = true;
+        self
+    }
+
+    /// Pins the read at `lsn`.
+    pub fn at(mut self, lsn: u64) -> Query {
+        self.pin = Some(lsn);
+        self
+    }
+
+    /// Forces `strategy` instead of cost-based choice.
+    pub fn force(mut self, strategy: Strategy) -> Query {
+        self.force = Some(strategy);
+        self
+    }
+
+    /// Marks the query as `EXPLAIN` (render the plan, don't execute).
+    pub fn explain(mut self) -> Query {
+        self.explain = true;
+        self
+    }
+}
+
+impl fmt::Display for Query {
+    /// Renders back to the protocol's query syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.explain {
+            f.write_str("EXPLAIN ")?;
+        }
+        write!(f, "{} {}", self.kind.verb(), self.target)?;
+        if self.exact {
+            f.write_str(" EXACT")?;
+        }
+        if let Some(s) = self.force {
+            write!(f, " FORCE {}", s.name())?;
+        }
+        if let Some(lsn) = self.pin {
+            write!(f, " @{lsn}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The analyzed (logical) form of a [`Query`]: *what* to read, with the
+/// physical how left to [`Planner::plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalPlan {
+    /// Certain or possible beliefs.
+    pub kind: ReadKind,
+    /// Whether the read spans every user (`*`) or one.
+    pub all_users: bool,
+    /// Exact (ground-truth) mode.
+    pub exact: bool,
+}
+
+impl LogicalPlan {
+    /// Analyzes `query` into its logical plan.
+    pub fn analyze(query: &Query) -> LogicalPlan {
+        LogicalPlan {
+            kind: query.kind,
+            all_users: matches!(query.target, QueryTarget::All),
+            exact: query.exact,
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "read {} of {}{}",
+            match self.kind {
+                ReadKind::Cert => "cert",
+                ReadKind::Poss => "poss",
+            },
+            if self.all_users {
+                "all users"
+            } else {
+                "one user"
+            },
+            if self.exact { " (exact)" } else { "" }
+        )
+    }
+}
+
+/// The consolidated cost constants — previously duplicated as
+/// `ParallelPolicy::DEFAULT_MIN_REGION` and `bulkexec`'s implicit
+/// `num_objects < threads` few-objects route, which disagreed on
+/// overlapping inputs (a small network with few objects parallelized
+/// intra-object even though the same region size would have stayed
+/// sequential on the edit path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostModel;
+
+impl CostModel {
+    /// Minimum work (BTN nodes) before a parallel plan pays for its
+    /// plan-build and thread-spawn overhead — the single threshold behind
+    /// both [`crate::policy::ParallelPolicy`]'s region routing and the
+    /// bulk executors' few-objects routing.
+    pub const MIN_PARALLEL_WORK: usize = 4096;
+
+    /// Whether `work` BTN nodes across `threads` workers should take a
+    /// parallel path.
+    #[inline]
+    pub fn wants_parallel(threads: usize, work: usize) -> bool {
+        threads > 1 && work >= Self::MIN_PARALLEL_WORK
+    }
+
+    /// Whether a bulk workload of `num_objects` objects over a
+    /// `node_count`-node network should resolve each object through the
+    /// sharded whole-network solver (too few objects to fill the
+    /// hardware with per-object fan-out) instead of fanning objects out
+    /// across threads.
+    #[inline]
+    pub fn bulk_sharded(threads: usize, num_objects: usize, node_count: usize) -> bool {
+        num_objects < threads && Self::wants_parallel(threads, node_count)
+    }
+}
+
+/// Everything the planner knows about the current session/network —
+/// captured by the caller, consumed read-only at plan time.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanContext {
+    /// BTN node count of the network (0 if unknown — a cold session).
+    pub node_count: usize,
+    /// Worker-thread budget ([`crate::policy::ParallelPolicy::threads`]).
+    pub threads: usize,
+    /// Whether the network carries constraints (Skeptic pipeline).
+    pub skeptic: bool,
+    /// Whether a live incremental engine (warm snapshot) exists.
+    pub engine_live: bool,
+    /// Bulk width: how many independent belief assignments (objects) the
+    /// query resolves. Point/all reads are 1.
+    pub objects: usize,
+}
+
+/// One candidate strategy's costing outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostEstimate {
+    /// The candidate.
+    pub strategy: Strategy,
+    /// Estimated cost in BTN node visits (`u64::MAX` if inapplicable).
+    pub cost: u64,
+    /// Whether the strategy can answer this query at all.
+    pub applicable: bool,
+    /// Why it is (in)applicable or what dominates its cost.
+    pub detail: &'static str,
+}
+
+/// The statistics the planner consulted — recorded on the report so
+/// `EXPLAIN` can show *why* the choice fell where it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsultedStats {
+    /// Mean observed dirty-region size (`None` = no observations yet).
+    pub expected_region: Option<u64>,
+    /// Dirty regions observed so far.
+    pub regions_observed: u64,
+    /// Last observed BTN node count.
+    pub node_count: u64,
+    /// Last observed condensation level depth.
+    pub condensation_levels: u64,
+    /// Per-strategy runs so far (cost counters).
+    pub strategy_runs: [u64; STRATEGY_COUNT],
+}
+
+/// The chosen physical plan plus the evidence that justified it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanReport {
+    /// The chosen strategy.
+    pub strategy: Strategy,
+    /// The logical plan the choice implements.
+    pub logical: LogicalPlan,
+    /// Whether the query forced the strategy (no costing).
+    pub forced: bool,
+    /// Every candidate considered, in [`Strategy::ALL`] order.
+    pub candidates: Vec<CostEstimate>,
+    /// The statistics consulted.
+    pub consulted: ConsultedStats,
+    /// Plan nodes visited planning this query (one per candidate
+    /// considered) — the planner-overhead counter `plan_bench` gates.
+    pub plan_nodes: u64,
+}
+
+impl PlanReport {
+    /// The chosen candidate's estimated cost.
+    pub fn chosen_cost(&self) -> u64 {
+        self.candidates
+            .iter()
+            .find(|c| c.strategy == self.strategy)
+            .map(|c| c.cost)
+            .unwrap_or(0)
+    }
+
+    /// Renders the `EXPLAIN` text: the chosen physical strategy, the
+    /// logical plan, every candidate's cost, and the statistics that
+    /// justified the choice. One field per line, machine-greppable.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "plan: {}{} cost={}",
+            self.strategy.name(),
+            if self.forced { " (forced)" } else { "" },
+            self.chosen_cost()
+        );
+        let _ = writeln!(out, "logical: {}", self.logical);
+        for c in &self.candidates {
+            if c.applicable {
+                let _ = writeln!(
+                    out,
+                    "candidate: {} cost={} ({})",
+                    c.strategy.name(),
+                    c.cost,
+                    c.detail
+                );
+            } else {
+                let _ = writeln!(out, "candidate: {} n/a ({})", c.strategy.name(), c.detail);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "stats: expected_region={} regions_observed={} node_count={} \
+             condensation_levels={}",
+            self.consulted
+                .expected_region
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "none".to_owned()),
+            self.consulted.regions_observed,
+            self.consulted.node_count,
+            self.consulted.condensation_levels,
+        );
+        let runs: Vec<String> = Strategy::ALL
+            .iter()
+            .map(|s| format!("{}={}", s.name(), self.consulted.strategy_runs[s.index()]))
+            .collect();
+        let _ = writeln!(out, "runs: {}", runs.join(" "));
+        let _ = write!(out, "plan_nodes: {}", self.plan_nodes);
+        out
+    }
+}
+
+/// The cost-based planner. Stateless — all state lives in the
+/// [`PlannerStats`] record passed per plan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Planner;
+
+impl Planner {
+    /// Chooses the physical strategy for `query` in `ctx`, consulting
+    /// (and counting the plan in) `stats`.
+    ///
+    /// Pure counter arithmetic: cost is estimated BTN node visits. The
+    /// query's `force` bypasses costing but still validates
+    /// applicability; an inapplicable forced strategy is
+    /// [`Error::Plan`].
+    pub fn plan(query: &Query, ctx: &PlanContext, stats: &mut PlannerStats) -> Result<PlanReport> {
+        let logical = LogicalPlan::analyze(query);
+        let consulted = ConsultedStats {
+            expected_region: stats.expected_region(),
+            regions_observed: stats.regions_observed,
+            node_count: stats.node_count.max(ctx.node_count as u64),
+            condensation_levels: stats.condensation_levels,
+            strategy_runs: {
+                let mut runs = [0u64; STRATEGY_COUNT];
+                for (i, s) in stats.strategies.iter().enumerate() {
+                    runs[i] = s.runs;
+                }
+                runs
+            },
+        };
+
+        // Exact mode is a semantic choice, not a cost choice: ground-truth
+        // beliefs are maintained incrementally by the exact engine, so the
+        // only physical plan is the warm patched path.
+        if logical.exact {
+            if let Some(f) = query.force {
+                if f != Strategy::IncrementalPatch {
+                    return Err(Error::Plan(format!(
+                        "cannot force {} on an EXACT query: exact beliefs are \
+                         served from the incrementally maintained exact engine",
+                        f.name()
+                    )));
+                }
+            }
+            stats.observe_plan(1);
+            return Ok(PlanReport {
+                strategy: Strategy::IncrementalPatch,
+                logical,
+                forced: query.force.is_some(),
+                candidates: vec![CostEstimate {
+                    strategy: Strategy::IncrementalPatch,
+                    cost: consulted.expected_region.unwrap_or(1),
+                    applicable: true,
+                    detail: "exact mode: only the maintained exact engine answers",
+                }],
+                consulted,
+                plan_nodes: 1,
+            });
+        }
+
+        let n = (ctx.node_count as u64).max(1);
+        let k = (ctx.objects as u64).max(1);
+        // Cold sessions have no region history: assume a full solve.
+        let region = consulted.expected_region.unwrap_or(n).clamp(1, n);
+        let overhead = CostModel::MIN_PARALLEL_WORK as u64;
+
+        let mut candidates = Vec::with_capacity(Strategy::ALL.len());
+        let mut plan_nodes = 0u64;
+        for strategy in Strategy::ALL {
+            plan_nodes += 1;
+            let est = match strategy {
+                Strategy::IncrementalPatch => {
+                    if !ctx.engine_live {
+                        CostEstimate {
+                            strategy,
+                            cost: u64::MAX,
+                            applicable: false,
+                            detail: "no live engine to patch",
+                        }
+                    } else if ctx.objects > 1 {
+                        CostEstimate {
+                            strategy,
+                            cost: u64::MAX,
+                            applicable: false,
+                            detail: "engines patch one belief assignment, not bulk objects",
+                        }
+                    } else {
+                        CostEstimate {
+                            strategy,
+                            cost: region,
+                            applicable: true,
+                            detail: "drain pending region, read patched snapshot",
+                        }
+                    }
+                }
+                Strategy::CompactRegionSolve => {
+                    if ctx.skeptic {
+                        CostEstimate {
+                            strategy,
+                            cost: u64::MAX,
+                            applicable: false,
+                            detail: "Algorithm 1 cannot represent constraints",
+                        }
+                    } else {
+                        CostEstimate {
+                            strategy,
+                            cost: 2 * n * k,
+                            applicable: true,
+                            detail: "sequential whole-network solve per object",
+                        }
+                    }
+                }
+                Strategy::ShardedWholeSolve => {
+                    if ctx.threads <= 1 {
+                        CostEstimate {
+                            strategy,
+                            cost: u64::MAX,
+                            applicable: false,
+                            detail: "one thread: sharding cannot help",
+                        }
+                    } else {
+                        CostEstimate {
+                            strategy,
+                            cost: k * (2 * n / ctx.threads as u64) + overhead,
+                            applicable: true,
+                            detail: "condensation-sharded solve + plan overhead",
+                        }
+                    }
+                }
+                Strategy::SkepticResolve => {
+                    let cost = if ctx.skeptic { 2 * n * k } else { 3 * n * k };
+                    CostEstimate {
+                        strategy,
+                        cost,
+                        applicable: true,
+                        detail: if ctx.skeptic {
+                            "sequential Algorithm 2"
+                        } else {
+                            "Algorithm 2 coincides with basic here, plus decode"
+                        },
+                    }
+                }
+                Strategy::BulkFewObjects => {
+                    if ctx.skeptic {
+                        CostEstimate {
+                            strategy,
+                            cost: u64::MAX,
+                            applicable: false,
+                            detail: "the POSS table cannot represent constraints",
+                        }
+                    } else {
+                        CostEstimate {
+                            strategy,
+                            cost: 2 * n + k * (n / 4) + 1,
+                            applicable: true,
+                            detail: "plan flood schedule once, seed objects through it",
+                        }
+                    }
+                }
+            };
+            candidates.push(est);
+        }
+        stats.observe_plan(plan_nodes);
+
+        let chosen = match query.force {
+            Some(f) => {
+                let est = &candidates[f.index()];
+                if !est.applicable {
+                    return Err(Error::Plan(format!(
+                        "forced strategy {} is inapplicable: {}",
+                        f.name(),
+                        est.detail
+                    )));
+                }
+                f
+            }
+            None => {
+                candidates
+                    .iter()
+                    .filter(|c| c.applicable)
+                    .min_by_key(|c| c.cost)
+                    .ok_or_else(|| Error::Plan("no applicable execution strategy".to_owned()))?
+                    .strategy
+            }
+        };
+
+        Ok(PlanReport {
+            strategy: chosen,
+            logical,
+            forced: query.force.is_some(),
+            candidates,
+            consulted,
+            plan_nodes,
+        })
+    }
+}
+
+/// One row of a query result: a user and their beliefs under the query's
+/// read kind. Both columns are always filled (`cert` is the certain
+/// positive value; `poss` the sorted possible positive values) so
+/// differential oracles can compare rows bit-for-bit across strategies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRow {
+    /// The user.
+    pub user: User,
+    /// Their certain positive value (`None` = ambiguous or no belief).
+    pub cert: Option<Value>,
+    /// Their sorted possible positive values.
+    pub poss: Vec<Value>,
+}
+
+/// The result of [`crate::Session::query`]: the rows plus the plan that
+/// produced them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// One row per queried user (one, or all in user order).
+    pub rows: Vec<QueryRow>,
+    /// The physical plan and its justification.
+    pub report: PlanReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> PlanContext {
+        PlanContext {
+            node_count: 10_000,
+            threads: 1,
+            skeptic: false,
+            engine_live: false,
+            objects: 1,
+        }
+    }
+
+    fn plan(query: &Query, ctx: &PlanContext) -> PlanReport {
+        let mut stats = PlannerStats::default();
+        Planner::plan(query, ctx, &mut stats).unwrap()
+    }
+
+    #[test]
+    fn warm_sessions_prefer_the_patched_snapshot() {
+        let mut stats = PlannerStats::default();
+        stats.observe_region(8);
+        stats.observe_build(10_000);
+        let q = Query::cert(QueryTarget::All);
+        let ctx = PlanContext {
+            engine_live: true,
+            ..ctx()
+        };
+        let report = Planner::plan(&q, &ctx, &mut stats).unwrap();
+        assert_eq!(report.strategy, Strategy::IncrementalPatch);
+        assert_eq!(report.plan_nodes, STRATEGY_COUNT as u64);
+    }
+
+    #[test]
+    fn cold_sequential_positive_takes_the_compact_solve() {
+        let report = plan(&Query::cert(QueryTarget::All), &ctx());
+        assert_eq!(report.strategy, Strategy::CompactRegionSolve);
+    }
+
+    #[test]
+    fn cold_threaded_large_networks_shard() {
+        let c = PlanContext {
+            threads: 4,
+            ..ctx()
+        };
+        let report = plan(&Query::cert(QueryTarget::All), &c);
+        assert_eq!(report.strategy, Strategy::ShardedWholeSolve);
+        // Tiny networks stay sequential even with threads: overhead wins.
+        let small = PlanContext {
+            node_count: 64,
+            ..c
+        };
+        let report = plan(&Query::cert(QueryTarget::All), &small);
+        assert_eq!(report.strategy, Strategy::CompactRegionSolve);
+    }
+
+    #[test]
+    fn constraint_networks_route_to_skeptic() {
+        let c = PlanContext {
+            skeptic: true,
+            ..ctx()
+        };
+        let report = plan(&Query::cert(QueryTarget::All), &c);
+        assert_eq!(report.strategy, Strategy::SkepticResolve);
+    }
+
+    #[test]
+    fn bulk_objects_route_to_the_set_oriented_executor() {
+        let c = PlanContext {
+            objects: 8,
+            ..ctx()
+        };
+        let report = plan(&Query::poss(QueryTarget::All), &c);
+        assert_eq!(report.strategy, Strategy::BulkFewObjects);
+    }
+
+    #[test]
+    fn forcing_an_inapplicable_strategy_errors() {
+        let err = Planner::plan(
+            &Query::cert(QueryTarget::All).force(Strategy::IncrementalPatch),
+            &ctx(),
+            &mut PlannerStats::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Plan(_)));
+    }
+
+    #[test]
+    fn exact_mode_is_never_a_cost_choice() {
+        let q = Query::cert(QueryTarget::Named("alice".into())).exact();
+        let report = plan(&q, &ctx());
+        assert_eq!(report.strategy, Strategy::IncrementalPatch);
+        assert_eq!(report.plan_nodes, 1);
+        let err = Planner::plan(
+            &q.clone().force(Strategy::CompactRegionSolve),
+            &ctx(),
+            &mut PlannerStats::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Plan(_)));
+    }
+
+    #[test]
+    fn render_names_strategy_and_stats() {
+        let report = plan(&Query::cert(QueryTarget::Named("alice".into())), &ctx());
+        let text = report.render();
+        assert!(text.contains("plan: compact-region-solve"));
+        assert!(text.contains("stats: expected_region=none"));
+        assert!(text.contains("candidate: sharded-whole-solve n/a"));
+        assert!(text.contains("plan_nodes: 5"));
+    }
+
+    #[test]
+    fn query_round_trips_through_display() {
+        let q = Query::cert(QueryTarget::Named("alice".into()))
+            .exact()
+            .at(42);
+        assert_eq!(q.to_string(), "CERT alice EXACT @42");
+        let q = Query::poss(QueryTarget::All)
+            .force(Strategy::BulkFewObjects)
+            .explain();
+        assert_eq!(q.to_string(), "EXPLAIN POSS * FORCE bulk-few-objects");
+    }
+
+    #[test]
+    fn strategy_names_parse_back() {
+        for s in Strategy::ALL {
+            assert_eq!(Strategy::parse(s.name()), Some(s));
+            assert_eq!(Strategy::parse(&s.name().to_uppercase()), Some(s));
+            assert_eq!(Strategy::parse(&s.name().replace('-', "_")), Some(s));
+        }
+        assert_eq!(Strategy::parse("nope"), None);
+    }
+
+    #[test]
+    fn planning_mutates_only_plan_counters() {
+        // The planner must do counter arithmetic only: no solver work, no
+        // observation of regions/builds/runs.
+        let mut stats = PlannerStats::default();
+        let q = Query::cert(QueryTarget::All);
+        Planner::plan(&q, &ctx(), &mut stats).unwrap();
+        assert_eq!(stats.plans, 1);
+        assert_eq!(stats.plan_nodes_visited, STRATEGY_COUNT as u64);
+        assert_eq!(stats.regions_observed, 0);
+        assert_eq!(stats.full_builds, 0);
+        assert!(stats.strategies.iter().all(|s| s.runs == 0));
+    }
+}

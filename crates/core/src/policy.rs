@@ -12,6 +12,13 @@
 //! proportional to the region — the old requirement that a region also
 //! span at least 1/32 of the whole BTN (which existed solely because
 //! node-indexed scratch was sized by the network) is gone.
+//!
+//! The default threshold itself lives in the query planner's
+//! [`CostModel`] — one constant shared with the bulk executors' routing,
+//! which used to carry its own copy that disagreed with this one on
+//! overlapping inputs.
+
+use crate::plan::CostModel;
 
 /// When and how an incremental engine hands a dirty region to the
 /// condensation-sharded parallel solver.
@@ -30,8 +37,6 @@ pub struct ParallelPolicy {
 }
 
 impl ParallelPolicy {
-    /// Default minimum region size before parallelizing.
-    pub const DEFAULT_MIN_REGION: usize = 4096;
     /// Default shard granularity of regional plans.
     pub const DEFAULT_SHARD_TARGET: usize = 4096;
 
@@ -47,7 +52,10 @@ impl ParallelPolicy {
     }
 
     /// Whether a dirty region of `region_len` nodes should take the
-    /// parallel path under this policy.
+    /// parallel path under this policy. With the default `min_region`
+    /// this is exactly [`CostModel::wants_parallel`]; an explicit
+    /// `min_region` overrides the cost model's constant (test and tuning
+    /// surface).
     #[inline]
     pub fn wants_parallel(&self, region_len: usize) -> bool {
         self.threads > 1 && region_len >= self.min_region
@@ -55,11 +63,12 @@ impl ParallelPolicy {
 }
 
 impl Default for ParallelPolicy {
-    /// Sequential: one thread, default thresholds.
+    /// Sequential: one thread, the cost model's work threshold, default
+    /// shard granularity.
     fn default() -> ParallelPolicy {
         ParallelPolicy {
             threads: 1,
-            min_region: ParallelPolicy::DEFAULT_MIN_REGION,
+            min_region: CostModel::MIN_PARALLEL_WORK,
             shard_target: ParallelPolicy::DEFAULT_SHARD_TARGET,
         }
     }
@@ -68,6 +77,17 @@ impl Default for ParallelPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_threshold_is_the_cost_models() {
+        let p = ParallelPolicy::default();
+        assert_eq!(p.min_region, CostModel::MIN_PARALLEL_WORK);
+        // The two routing sites agree by construction now.
+        assert_eq!(
+            ParallelPolicy::new(4, CostModel::MIN_PARALLEL_WORK).wants_parallel(4096),
+            CostModel::wants_parallel(4, 4096)
+        );
+    }
 
     #[test]
     fn threshold_is_pure_work_based() {

@@ -52,11 +52,15 @@ use crate::exact::{ExactCounters, ExactEngine, ExactUserResolution};
 use crate::incremental::{DeltaStats, Edit, IncrementalResolver};
 use crate::lineage::Lineage;
 use crate::network::TrustNetwork;
+use crate::plan::{
+    PlanContext, PlanReport, Planner, Query, QueryResult, QueryRow, QueryTarget, Strategy,
+};
 use crate::policy::ParallelPolicy;
 use crate::resolution::UserResolution;
-use crate::signed::{BeliefSet, NegSet};
+use crate::signed::{BeliefSet, ExplicitBelief, NegSet};
 use crate::skeptic::{RepPoss, SkepticUserResolution};
 use crate::skeptic_incremental::{SignedEdit, SkepticIncremental};
+use crate::stats::{PlannerStats, SharedPlannerStats};
 use crate::user::User;
 use crate::value::Value;
 use std::sync::Arc;
@@ -171,6 +175,10 @@ pub struct Session {
     /// Exact certain-belief maintenance ([`Session::enable_exact`]),
     /// patched per dirty region alongside the live engine.
     exact: ExactSlot,
+    /// Planner statistics observed by the edit/solve paths and consulted
+    /// by [`Session::query`]; shared so serve-side `EXPLAIN` renders from
+    /// the same record ([`Session::planner_stats_handle`]).
+    planner: SharedPlannerStats,
 }
 
 impl Clone for Session {
@@ -179,6 +187,9 @@ impl Clone for Session {
     /// commits in one write-ahead log would corrupt the edit history. The
     /// epoch slot is fresh for the same reason — two publishers on one
     /// slot would interleave two divergent histories under its readers.
+    /// Planner statistics stay **shared** (same record): they are
+    /// advisory monotone counters, and a clone serving the same network
+    /// should keep planning from the same observed workload.
     fn clone(&self) -> Self {
         Session {
             net: self.net.clone(),
@@ -195,6 +206,7 @@ impl Clone for Session {
             published: None,
             names_cache: self.names_cache.clone(),
             exact: self.exact.clone(),
+            planner: self.planner.clone(),
         }
     }
 }
@@ -217,6 +229,7 @@ impl Session {
             published: None,
             names_cache: None,
             exact: ExactSlot::Off,
+            planner: SharedPlannerStats::new(),
         }
     }
 
@@ -437,51 +450,27 @@ impl Session {
     /// [`Session::enable_exact`] is called, and with
     /// [`Error::EnumerationTooLarge`] while the live state exceeds the
     /// enumeration caps.
+    ///
+    /// Thin wrapper over [`Session::query`] (an `EXACT` point read) —
+    /// prefer the query API at new call sites.
     pub fn cert_exact(&mut self, user: User) -> Result<Option<Value>> {
-        self.refresh()?;
-        match &self.exact {
-            ExactSlot::Off => Err(Error::ExactModeDisabled),
-            ExactSlot::Pending => unreachable!("refresh syncs the exact slot"),
-            ExactSlot::Failed(log2) => Err(Error::EnumerationTooLarge {
-                log2_candidates: *log2,
-            }),
-            ExactSlot::Live(exact) => {
-                let btn = self
-                    .engine
-                    .as_ref()
-                    .expect("refresh built the engine")
-                    .btn();
-                if user.index() >= btn.user_count {
-                    // Created mid-batch: undefined until commit.
-                    return Ok(None);
-                }
-                Ok(exact.cert(btn.node_of(user)))
-            }
-        }
+        let result = self.query(&Query::cert(QueryTarget::Handle(user)).exact())?;
+        Ok(result.rows.into_iter().next().and_then(|r| r.cert))
     }
 
     /// The exact possible positive values of `user`, sorted — same
     /// availability rules as [`Session::cert_exact`].
+    ///
+    /// Thin wrapper over [`Session::query`] — prefer the query API at new
+    /// call sites.
     pub fn poss_exact(&mut self, user: User) -> Result<Vec<Value>> {
-        self.refresh()?;
-        match &self.exact {
-            ExactSlot::Off => Err(Error::ExactModeDisabled),
-            ExactSlot::Pending => unreachable!("refresh syncs the exact slot"),
-            ExactSlot::Failed(log2) => Err(Error::EnumerationTooLarge {
-                log2_candidates: *log2,
-            }),
-            ExactSlot::Live(exact) => {
-                let btn = self
-                    .engine
-                    .as_ref()
-                    .expect("refresh built the engine")
-                    .btn();
-                if user.index() >= btn.user_count {
-                    return Ok(Vec::new());
-                }
-                Ok(exact.poss(btn.node_of(user)))
-            }
-        }
+        let result = self.query(&Query::poss(QueryTarget::Handle(user)).exact())?;
+        Ok(result
+            .rows
+            .into_iter()
+            .next()
+            .map(|r| r.poss)
+            .unwrap_or_default())
     }
 
     /// Work counters of the live exact engine (`None` while exact mode is
@@ -650,6 +639,389 @@ impl Session {
         } else {
             BeliefSet::empty()
         })
+    }
+
+    // ------------------------------------------------------------------
+    // The unified query API: every read routes through the cost-based
+    // planner ([`crate::plan`]). The older `cert_exact`/`poss_exact`/
+    // `skeptic_cert` surface survives as thin wrappers.
+    // ------------------------------------------------------------------
+
+    /// Executes `query` through the cost-based planner — the single
+    /// routing authority over the five physical execution strategies
+    /// ([`Strategy`]). The planner consults the session's persisted
+    /// statistics ([`Session::planner_stats`]) and pure counter
+    /// arithmetic to choose; every applicable strategy returns
+    /// bit-identical rows (`tests/plan_oracle.rs`), so the choice can
+    /// never change semantics.
+    ///
+    /// `EXPLAIN` queries ([`Query::explain`]) plan without executing and
+    /// return empty rows — render the plan with
+    /// [`crate::plan::PlanReport::render`]. `FORCE` ([`Query::force`])
+    /// bypasses costing but still validates applicability
+    /// ([`Error::Plan`] otherwise). Inside an open batch every read is
+    /// isolated at the pre-batch snapshot, which only the live engine
+    /// holds: queries silently plan as [`Strategy::IncrementalPatch`],
+    /// and forcing any other strategy is [`Error::Plan`]. The query's
+    /// LSN pin is a serve-protocol concern and is ignored here — an
+    /// in-process session is always current.
+    pub fn query(&mut self, query: &Query) -> Result<QueryResult> {
+        let mut query = query.clone();
+        if self.batching {
+            match query.force {
+                None | Some(Strategy::IncrementalPatch) => {
+                    query.force = Some(Strategy::IncrementalPatch);
+                }
+                Some(other) => {
+                    return Err(Error::Plan(format!(
+                        "cannot force {} inside an open batch: mid-batch reads \
+                         are isolated at the pre-batch snapshot, which only the \
+                         incremental engine holds",
+                        other.name()
+                    )));
+                }
+            }
+        }
+        let report = self.plan_query(&query)?;
+        if query.explain {
+            return Ok(QueryResult {
+                rows: Vec::new(),
+                report,
+            });
+        }
+        let users = self.target_users(&query.target)?;
+        let rows = if query.exact {
+            self.rows_exact(&users)?
+        } else {
+            match report.strategy {
+                Strategy::IncrementalPatch => self.rows_incremental(&users)?,
+                Strategy::CompactRegionSolve => self.rows_compact(&users)?,
+                Strategy::ShardedWholeSolve => self.rows_sharded(&users)?,
+                Strategy::SkepticResolve => self.rows_skeptic(&users)?,
+                Strategy::BulkFewObjects => self.rows_bulk(&users)?,
+            }
+        };
+        Ok(QueryResult { rows, report })
+    }
+
+    /// Plans `query` and renders the `EXPLAIN` text (chosen strategy,
+    /// every candidate's cost, the statistics that justified the choice)
+    /// without executing anything — pure counter arithmetic, no solver
+    /// work.
+    pub fn explain(&self, query: &Query) -> Result<String> {
+        Ok(self.plan_query(query)?.render())
+    }
+
+    /// The planning context the session hands to [`Planner::plan`]: node
+    /// count (live BTN if warm; otherwise the larger of the persisted
+    /// statistics' last build and the network's user count), thread
+    /// budget, pipeline sign, and engine liveness.
+    pub fn plan_context(&self) -> PlanContext {
+        let node_count = match self.engine.as_ref() {
+            Some(engine) => engine.btn().node_count(),
+            None => (self.planner.snapshot().node_count as usize).max(self.net.user_count()),
+        };
+        PlanContext {
+            node_count,
+            threads: self.policy.threads,
+            skeptic: self.net.has_constraints(),
+            engine_live: self.engine.is_some(),
+            objects: 1,
+        }
+    }
+
+    /// A copy of the session's planner statistics (region size
+    /// distribution, per-strategy cost counters, plan counters) — what
+    /// `trustmap-store` persists alongside snapshots.
+    pub fn planner_stats(&self) -> PlannerStats {
+        self.planner.snapshot()
+    }
+
+    /// The shared handle behind [`Session::planner_stats`]. Clones (and
+    /// [`Session::clone`]d sessions) observe and consult the same record
+    /// — hand one to serve-side `EXPLAIN` readers.
+    pub fn planner_stats_handle(&self) -> SharedPlannerStats {
+        self.planner.clone()
+    }
+
+    /// Replaces the planner statistics wholesale — store recovery adopts
+    /// the persisted record so a freshly opened session plans with its
+    /// history instead of cold defaults.
+    pub fn adopt_planner_stats(&self, stats: PlannerStats) {
+        self.planner.replace(stats);
+    }
+
+    /// Plans without executing: captures the context, then runs the
+    /// planner under the stats lock (counting the plan).
+    fn plan_query(&self, query: &Query) -> Result<PlanReport> {
+        let ctx = self.plan_context();
+        self.planner
+            .update(|stats| Planner::plan(query, &ctx, stats))
+    }
+
+    /// Resolves a query target to concrete user handles, in user order
+    /// for `*`.
+    fn target_users(&self, target: &QueryTarget) -> Result<Vec<User>> {
+        Ok(match target {
+            QueryTarget::Named(name) => vec![self
+                .net
+                .find_user(name)
+                .ok_or_else(|| Error::Plan(format!("unknown user {name}")))?],
+            QueryTarget::Handle(u) => vec![*u],
+            QueryTarget::All => (0..self.net.user_count() as u32).map(User).collect(),
+        })
+    }
+
+    /// Records one strategy execution with the shared statistics.
+    fn observe_run(&self, strategy: Strategy, nodes: u64) {
+        self.planner
+            .update(|s| s.observe_run(strategy.index(), nodes));
+    }
+
+    /// [`Strategy::IncrementalPatch`]: drain pending edits (charging the
+    /// actual dirty region) and read the patched snapshot.
+    fn rows_incremental(&mut self, users: &[User]) -> Result<Vec<QueryRow>> {
+        let pending = !self.pending.is_empty();
+        self.refresh()?;
+        let dirty = if pending {
+            self.stats.last_dirty_nodes
+        } else {
+            0
+        };
+        self.observe_run(Strategy::IncrementalPatch, dirty as u64);
+        if let Some(snap) = self.snapshot.as_ref() {
+            return Ok(users
+                .iter()
+                .map(|&u| {
+                    if u.index() < snap.cert.len() {
+                        QueryRow {
+                            user: u,
+                            cert: snap.cert(u),
+                            poss: snap.poss(u).to_vec(),
+                        }
+                    } else {
+                        // Created mid-batch: undefined until commit.
+                        QueryRow {
+                            user: u,
+                            cert: None,
+                            poss: Vec::new(),
+                        }
+                    }
+                })
+                .collect());
+        }
+        let snap = self
+            .sk_snapshot
+            .as_ref()
+            .expect("refresh always fills one of the snapshots");
+        Ok(users
+            .iter()
+            .map(|&u| {
+                if u.index() < snap.user_count() {
+                    let rep = snap.rep_poss(u);
+                    QueryRow {
+                        user: u,
+                        cert: rep.cert_positive(),
+                        poss: rep.pos.iter().copied().collect(),
+                    }
+                } else {
+                    QueryRow {
+                        user: u,
+                        cert: None,
+                        poss: Vec::new(),
+                    }
+                }
+            })
+            .collect())
+    }
+
+    /// [`Strategy::CompactRegionSolve`]: sequential Algorithm 1 from
+    /// scratch through the region-compact layer.
+    fn rows_compact(&mut self, users: &[User]) -> Result<Vec<QueryRow>> {
+        let btn = crate::binary::binarize(&self.net);
+        let res = crate::resolution::resolve(&btn)?;
+        self.observe_run(Strategy::CompactRegionSolve, btn.node_count() as u64);
+        Ok(users
+            .iter()
+            .map(|&u| {
+                if u.index() >= btn.user_count {
+                    return QueryRow {
+                        user: u,
+                        cert: None,
+                        poss: Vec::new(),
+                    };
+                }
+                let node = btn.node_of(u);
+                QueryRow {
+                    user: u,
+                    cert: res.cert(node),
+                    poss: res.poss(node).to_vec(),
+                }
+            })
+            .collect())
+    }
+
+    /// [`Strategy::ShardedWholeSolve`]: the condensation-sharded parallel
+    /// solve of whichever pipeline the network's sign demands.
+    fn rows_sharded(&mut self, users: &[User]) -> Result<Vec<QueryRow>> {
+        let btn = crate::binary::binarize(&self.net);
+        let opts = crate::parallel::ParOptions {
+            threads: self.policy.threads,
+            shard_target: self.policy.shard_target,
+            ..Default::default()
+        };
+        let rows = if self.net.has_constraints() {
+            let res = crate::skeptic::SkepticPlannedResolver::new(&btn, opts)?
+                .resolve(&btn, self.policy.threads)?;
+            users
+                .iter()
+                .map(|&u| {
+                    if u.index() >= btn.user_count {
+                        return QueryRow {
+                            user: u,
+                            cert: None,
+                            poss: Vec::new(),
+                        };
+                    }
+                    let rep = res.rep_poss(btn.node_of(u));
+                    QueryRow {
+                        user: u,
+                        cert: rep.cert_positive(),
+                        poss: rep.pos.iter().copied().collect(),
+                    }
+                })
+                .collect()
+        } else {
+            let res = crate::parallel::PlannedResolver::new(&btn, opts)
+                .resolve(&btn, self.policy.threads)?;
+            self.planner.update(|s| s.observe_levels(res.rounds()));
+            users
+                .iter()
+                .map(|&u| {
+                    if u.index() >= btn.user_count {
+                        return QueryRow {
+                            user: u,
+                            cert: None,
+                            poss: Vec::new(),
+                        };
+                    }
+                    let node = btn.node_of(u);
+                    QueryRow {
+                        user: u,
+                        cert: res.cert(node),
+                        poss: res.poss(node).to_vec(),
+                    }
+                })
+                .collect()
+        };
+        self.observe_run(Strategy::ShardedWholeSolve, btn.node_count() as u64);
+        Ok(rows)
+    }
+
+    /// [`Strategy::SkepticResolve`]: sequential Algorithm 2 plus the
+    /// Figure 18 decode — on positive networks it coincides with the
+    /// basic model (Section 3.3), so the rows stay bit-identical.
+    fn rows_skeptic(&mut self, users: &[User]) -> Result<Vec<QueryRow>> {
+        let btn = crate::binary::binarize(&self.net);
+        let res = crate::skeptic::resolve_skeptic(&btn)?;
+        self.observe_run(Strategy::SkepticResolve, btn.node_count() as u64);
+        Ok(users
+            .iter()
+            .map(|&u| {
+                if u.index() >= btn.user_count {
+                    return QueryRow {
+                        user: u,
+                        cert: None,
+                        poss: Vec::new(),
+                    };
+                }
+                let rep = res.rep_poss(btn.node_of(u));
+                QueryRow {
+                    user: u,
+                    cert: rep.cert_positive(),
+                    poss: rep.pos.iter().copied().collect(),
+                }
+            })
+            .collect())
+    }
+
+    /// [`Strategy::BulkFewObjects`]: plan the Section-4 flood schedule
+    /// once and push the current explicit beliefs through it as a
+    /// one-object workload.
+    fn rows_bulk(&mut self, users: &[User]) -> Result<Vec<QueryRow>> {
+        let btn = crate::binary::binarize(&self.net);
+        let plan = crate::bulk::plan_bulk(&btn)?;
+        let seeds: Vec<crate::bulk::SeedValues> = plan
+            .seeds
+            .iter()
+            .filter_map(|&(user, node)| match btn.belief(node) {
+                ExplicitBelief::Pos(v) => Some(crate::bulk::SeedValues {
+                    user,
+                    values: vec![*v],
+                }),
+                _ => None,
+            })
+            .collect();
+        let table = crate::bulk::execute_native(&plan, &seeds, 1);
+        self.observe_run(Strategy::BulkFewObjects, btn.node_count() as u64);
+        Ok(users
+            .iter()
+            .map(|&u| {
+                if u.index() >= btn.user_count {
+                    return QueryRow {
+                        user: u,
+                        cert: None,
+                        poss: Vec::new(),
+                    };
+                }
+                let node = btn.node_of(u);
+                QueryRow {
+                    user: u,
+                    cert: table.cert(node, 0),
+                    poss: table.poss(node, 0).to_vec(),
+                }
+            })
+            .collect())
+    }
+
+    /// The exact read path behind `EXACT` queries (and the
+    /// [`Session::cert_exact`] / [`Session::poss_exact`] wrappers):
+    /// always the maintained exact engine, never a cost choice.
+    fn rows_exact(&mut self, users: &[User]) -> Result<Vec<QueryRow>> {
+        self.refresh()?;
+        match &self.exact {
+            ExactSlot::Off => Err(Error::ExactModeDisabled),
+            ExactSlot::Pending => unreachable!("refresh syncs the exact slot"),
+            ExactSlot::Failed(log2) => Err(Error::EnumerationTooLarge {
+                log2_candidates: *log2,
+            }),
+            ExactSlot::Live(exact) => {
+                let btn = self
+                    .engine
+                    .as_ref()
+                    .expect("refresh built the engine")
+                    .btn();
+                Ok(users
+                    .iter()
+                    .map(|&u| {
+                        if u.index() >= btn.user_count {
+                            // Created mid-batch: undefined until commit.
+                            return QueryRow {
+                                user: u,
+                                cert: None,
+                                poss: Vec::new(),
+                            };
+                        }
+                        let node = btn.node_of(u);
+                        QueryRow {
+                            user: u,
+                            cert: exact.cert(node),
+                            poss: exact.poss(node),
+                        }
+                    })
+                    .collect())
+            }
+        }
     }
 
     /// The live binarized form backing the snapshot.
@@ -965,6 +1337,13 @@ impl Session {
                     self.engine = Some(LiveEngine::Basic(engine));
                 }
                 self.stats.full_rebuilds += 1;
+                let nodes = self
+                    .engine
+                    .as_ref()
+                    .expect("engine just built")
+                    .btn()
+                    .node_count();
+                self.planner.update(|s| s.observe_build(nodes));
             }
             Some(_) => {
                 // Users or values created through `user()`/`value()` arrive
@@ -1079,6 +1458,8 @@ impl Session {
             Ok(changes) => {
                 self.stats.incremental_edits += edits.len() as u64;
                 self.stats.dirty_nodes += self.stats.last_dirty_nodes as u64;
+                let dirty = self.stats.last_dirty_nodes;
+                self.planner.update(|s| s.observe_region(dirty));
                 self.patch_exact();
                 Ok(changes)
             }
@@ -1548,5 +1929,124 @@ mod tests {
             .iter()
             .any(|c| c.user == dave && c.before.is_none() && c.after == Some(jar)));
         assert_eq!(s.snapshot().unwrap().cert(dave), Some(jar));
+    }
+
+    #[test]
+    fn query_routes_all_forced_strategies_to_identical_rows() {
+        let (mut s, _, jar, _) = session();
+        let charlie = s.user("Charlie");
+        s.believe(charlie, jar).unwrap();
+        s.snapshot().unwrap(); // warm engine → incremental applicable
+        s.set_parallelism(2, 1);
+        let q = Query::poss(QueryTarget::All);
+        let baseline = s.query(&q).unwrap().rows;
+        assert!(!baseline.is_empty());
+        for strategy in Strategy::ALL {
+            let forced = s.query(&q.clone().force(strategy)).unwrap();
+            assert_eq!(forced.rows, baseline, "{strategy} diverged");
+            assert_eq!(forced.report.strategy, strategy);
+            assert!(forced.report.forced);
+        }
+        // Every strategy ran at least once (the cost counters saw them).
+        let stats = s.planner_stats();
+        assert!(stats.strategies.iter().all(|c| c.runs >= 1));
+    }
+
+    #[test]
+    fn query_by_name_and_unknown_name() {
+        let (mut s, [_, _, charlie], jar, _) = session();
+        s.believe(charlie, jar).unwrap();
+        let rows = s
+            .query(&Query::cert(QueryTarget::Named("Alice".into())))
+            .unwrap()
+            .rows;
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].cert, Some(jar));
+        let err = s
+            .query(&Query::cert(QueryTarget::Named("nobody".into())))
+            .unwrap_err();
+        assert!(matches!(err, Error::Plan(_)));
+    }
+
+    #[test]
+    fn explain_does_no_solver_work_and_names_the_strategy() {
+        let (mut s, [_, _, charlie], jar, _) = session();
+        s.believe(charlie, jar).unwrap();
+        let text = s.explain(&Query::cert(QueryTarget::All)).unwrap();
+        assert!(text.contains("plan: "));
+        assert!(text.contains("stats: "));
+        // Planning alone never builds an engine or runs a strategy.
+        assert_eq!(s.stats().full_rebuilds, 0);
+        assert!(s.planner_stats().strategies.iter().all(|c| c.runs == 0));
+        // An EXPLAIN query through query() returns the report, no rows.
+        let result = s.query(&Query::cert(QueryTarget::All).explain()).unwrap();
+        assert!(result.rows.is_empty());
+        assert_eq!(s.stats().full_rebuilds, 0);
+    }
+
+    #[test]
+    fn mid_batch_queries_read_the_pre_batch_snapshot() {
+        let (mut s, [alice, _, charlie], jar, cow) = session();
+        s.believe(charlie, jar).unwrap();
+        s.snapshot().unwrap();
+        s.begin_batch().unwrap();
+        s.believe(charlie, cow).unwrap();
+        let result = s.query(&Query::cert(QueryTarget::Handle(alice))).unwrap();
+        assert_eq!(result.report.strategy, Strategy::IncrementalPatch);
+        assert_eq!(result.rows[0].cert, Some(jar), "isolated at pre-batch");
+        // Forcing a from-scratch solve mid-batch would leak the dirty state.
+        let err = s
+            .query(&Query::cert(QueryTarget::Handle(alice)).force(Strategy::CompactRegionSolve))
+            .unwrap_err();
+        assert!(matches!(err, Error::Plan(_)));
+        s.commit().unwrap();
+        let result = s.query(&Query::cert(QueryTarget::Handle(alice))).unwrap();
+        assert_eq!(result.rows[0].cert, Some(cow));
+    }
+
+    #[test]
+    fn exact_wrappers_route_through_the_query_api() {
+        let (mut s, [alice, bob, charlie], jar, cow) = session();
+        s.believe(charlie, jar).unwrap();
+        s.reject(bob, NegSet::of([jar])).unwrap();
+        s.enable_exact().unwrap();
+        let q = Query::poss(QueryTarget::Handle(alice)).exact();
+        let result = s.query(&q).unwrap();
+        assert_eq!(result.report.strategy, Strategy::IncrementalPatch);
+        assert_eq!(result.rows[0].poss, s.poss_exact(alice).unwrap());
+        // Exact mode refuses other strategies outright.
+        let err = s
+            .query(&q.clone().force(Strategy::SkepticResolve))
+            .unwrap_err();
+        assert!(matches!(err, Error::Plan(_)));
+        let _ = cow;
+    }
+
+    #[test]
+    fn skeptic_networks_plan_onto_the_skeptic_pipeline() {
+        let (mut s, [alice, bob, charlie], jar, _) = session();
+        s.believe(charlie, jar).unwrap();
+        s.reject(bob, NegSet::of([jar])).unwrap();
+        // Cold session, one thread: the sequential skeptic solve wins.
+        let result = s.query(&Query::cert(QueryTarget::Handle(alice))).unwrap();
+        assert_eq!(result.report.strategy, Strategy::SkepticResolve);
+        // Warm session (an engine-building read happened): patching wins.
+        s.skeptic_snapshot().unwrap();
+        let result = s.query(&Query::cert(QueryTarget::Handle(alice))).unwrap();
+        assert_eq!(result.report.strategy, Strategy::IncrementalPatch);
+        // Forcing Algorithm 1 on a constraint network is inapplicable.
+        let err = s
+            .query(&Query::cert(QueryTarget::Handle(alice)).force(Strategy::CompactRegionSolve))
+            .unwrap_err();
+        assert!(matches!(err, Error::Plan(_)));
+    }
+
+    #[test]
+    fn cloned_sessions_share_planner_statistics() {
+        let (mut s, [_, _, charlie], jar, _) = session();
+        s.believe(charlie, jar).unwrap();
+        let clone = s.clone();
+        s.query(&Query::cert(QueryTarget::All)).unwrap();
+        assert!(clone.planner_stats().plans >= 1, "stats handle is shared");
     }
 }

@@ -19,7 +19,7 @@
 use crate::engine::{Database, EngineError};
 use crate::relation::SqlValue;
 use trustmap_core::bulk::{BulkPlan, BulkStep, PossTable, SeedValues};
-use trustmap_core::{Btn, ExplicitBelief, Value};
+use trustmap_core::{Btn, CostModel, ExplicitBelief, Value};
 
 /// The `X`-column name of a BTN node.
 pub fn node_name(node: u32) -> String {
@@ -169,6 +169,13 @@ pub fn resolve_objects_sequential(
 /// through the condensation-sharded resolver instead: objects resolve one
 /// after another, each spreading its trust network across all `threads`
 /// workers ([`trustmap_core::parallel::resolve_parallel`]).
+///
+/// The routing decision is the planner's
+/// [`CostModel::bulk_sharded`] — the same work threshold that routes
+/// incremental dirty regions, so a network too small to parallelize on
+/// the edit path no longer intra-object-parallelizes here (this module
+/// used to carry its own `num_objects < threads` copy that disagreed).
+/// Either route returns bit-identical tables.
 pub fn resolve_objects_parallel(
     btn: &Btn,
     seeds: &[SeedValues],
@@ -176,7 +183,7 @@ pub fn resolve_objects_parallel(
     threads: usize,
 ) -> PossTable {
     assert!(threads > 0, "need at least one thread");
-    if threads > 1 && num_objects < threads {
+    if CostModel::bulk_sharded(threads, num_objects, btn.node_count()) {
         let mut rows: Vec<Vec<Vec<Value>>> = vec![vec![Vec::new(); num_objects]; btn.node_count()];
         let mut work = btn.clone();
         // The trust structure is identical across objects — only the root
@@ -326,10 +333,13 @@ mod tests {
     }
 
     #[test]
-    fn few_objects_route_through_sharded_resolver() {
-        // 2 objects on 4 threads: the intra-object sharded path must give
-        // byte-identical tables to the sequential baseline.
+    fn few_objects_stay_on_fan_out_below_the_work_threshold() {
+        // 2 objects on 4 threads, but a 6-node network: the consolidated
+        // cost model keeps this tiny workload on object fan-out (the old
+        // local `num_objects < threads` copy would have intra-object
+        // parallelized it, disagreeing with the edit path's threshold).
         let (btn, _, seeds) = setup(2);
+        assert!(!CostModel::bulk_sharded(4, 2, btn.node_count()));
         let seq = resolve_objects_sequential(&btn, &seeds, 2);
         let par = resolve_objects_parallel(&btn, &seeds, 2, 4);
         assert_eq!(seq, par);
@@ -337,6 +347,31 @@ mod tests {
         let (btn, _, seeds) = setup(1);
         let seq = resolve_objects_sequential(&btn, &seeds, 1);
         let par = resolve_objects_parallel(&btn, &seeds, 1, 8);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn few_objects_route_through_sharded_resolver_above_threshold() {
+        // A chain long enough to clear CostModel::MIN_PARALLEL_WORK, one
+        // object on 4 threads: the intra-object sharded path engages and
+        // must give byte-identical tables to the sequential baseline.
+        let mut net = TrustNetwork::new();
+        let v0 = net.value("v0");
+        let users: Vec<User> = (0..CostModel::MIN_PARALLEL_WORK + 1)
+            .map(|i| net.user(&format!("u{i}")))
+            .collect();
+        for pair in users.windows(2) {
+            net.trust(pair[0], pair[1], 1).unwrap();
+        }
+        net.believe(*users.last().unwrap(), v0).unwrap();
+        let btn = trustmap_core::binarize(&net);
+        assert!(CostModel::bulk_sharded(4, 1, btn.node_count()));
+        let seeds = vec![SeedValues {
+            user: *users.last().unwrap(),
+            values: vec![v0],
+        }];
+        let seq = resolve_objects_sequential(&btn, &seeds, 1);
+        let par = resolve_objects_parallel(&btn, &seeds, 1, 4);
         assert_eq!(seq, par);
     }
 

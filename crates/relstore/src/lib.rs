@@ -45,6 +45,7 @@ pub mod expr;
 pub mod parser;
 pub mod relation;
 pub mod stmt;
+pub mod trustq;
 
 #[cfg(test)]
 mod proptests;
@@ -53,3 +54,4 @@ pub use engine::{Database, EngineError, QueryResult};
 pub use expr::Expr;
 pub use relation::{ColumnType, Relation, Schema, SqlValue};
 pub use stmt::Statement;
+pub use trustq::{parse_query, ParseError};

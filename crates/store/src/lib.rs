@@ -703,6 +703,12 @@ impl Store {
                 counters: StoreCounters::default(),
             })),
         };
+        // Adopt the persisted planner statistics, if a valid record
+        // exists — advisory: damage or absence just means cold-start
+        // planning defaults, never a failed recovery.
+        if let Some(planner) = snapshot::load_stats(dir) {
+            session.adopt_planner_stats(planner);
+        }
         session.set_durability(Box::new(store.clone()));
         Ok(Recovered {
             session,
@@ -727,6 +733,10 @@ impl Store {
         }
         let mut g = self.inner.lock().expect("store mutex");
         snapshot::write(&g.dir, session.network(), g.last_committed, g.seg_len)?;
+        // The planner's statistics ride along (one advisory file,
+        // overwritten in place) so a recovered session plans with its
+        // history instead of cold defaults.
+        snapshot::write_stats(&g.dir, &session.planner_stats())?;
         if g.retain_on_snapshot {
             let watermark = g.last_committed;
             retire_locked(&mut g, watermark)?;
@@ -1603,6 +1613,49 @@ mod tests {
         );
         assert!(!dir.join(WAL_FILE).exists());
         assert!(seg1.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Planner statistics ride snapshots and survive recovery; a damaged
+    /// record degrades to cold defaults instead of failing the open.
+    #[test]
+    fn planner_stats_survive_reopen_and_damage_degrades() {
+        use trustmap_core::{Query, QueryTarget};
+        let dir = fresh_dir("planner-stats");
+        {
+            let mut r = Store::open(&dir).expect("open empty");
+            let alice = r.session.user("alice");
+            let bob = r.session.user("bob");
+            let v = r.session.value("v");
+            r.session.trust(alice, bob, 10).expect("edit");
+            r.session.believe(bob, v).expect("edit");
+            // Warm the engine and run a few planned queries so the stats
+            // record has observations worth persisting.
+            r.session.snapshot().expect("snapshot read");
+            r.session.believe(bob, v).expect("edit");
+            r.session
+                .query(&Query::cert(QueryTarget::All))
+                .expect("query");
+            r.store.snapshot_now(&r.session).expect("snapshot");
+            assert!(dir.join(snapshot::STATS_FILE).exists());
+            let persisted = r.session.planner_stats();
+            assert!(persisted.plans >= 1);
+            drop(r);
+
+            let back = Store::open(&dir).expect("recovers");
+            let recovered = back.session.planner_stats();
+            assert_eq!(recovered.plans, persisted.plans);
+            assert_eq!(recovered.node_count, persisted.node_count);
+            assert_eq!(recovered.regions_observed, persisted.regions_observed);
+            assert_eq!(
+                recovered.strategies[0].runs, persisted.strategies[0].runs,
+                "per-strategy counters persist"
+            );
+        }
+        // Damage the record: recovery still succeeds, with cold defaults.
+        std::fs::write(dir.join(snapshot::STATS_FILE), b"garbage").unwrap();
+        let back = Store::open(&dir).expect("damage is advisory");
+        assert_eq!(back.session.planner_stats().plans, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -12,6 +12,12 @@
 //! trustmap lineage  <file> <user> <value>
 //! trustmap lp       <file>            # print the logic-program translation
 //! trustmap stats    <file>            # network and binarization statistics
+//! trustmap query    <file> <query…>   # run one unified-language query,
+//!                                     # e.g. `CERT alice`, `POSS * EXACT`,
+//!                                     # `CERT bob FORCE skeptic-resolve`
+//! trustmap explain  <file> <query…>   # plan (don't run) the query: show
+//!                                     # the chosen strategy, the candidate
+//!                                     # costs, and the statistics consulted
 //!
 //! trustmap log      <dir>             # dump a store's write-ahead log
 //! trustmap segments <dir>             # list the store's log segments
@@ -40,8 +46,9 @@
 use std::process::ExitCode;
 use trustmap::format::parse_network;
 use trustmap::prelude::*;
+use trustmap::relstore::parse_query;
 use trustmap::store::{record::Payload, scan_store_wal, Store};
-use trustmap::TrustNetwork;
+use trustmap::{Query, QueryTarget, TrustNetwork};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,7 +57,7 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: trustmap <resolve|skeptic|cert|paradigm|agree|lineage|lp|stats> <file> [args]\n\
+                "usage: trustmap <resolve|skeptic|cert|paradigm|agree|lineage|lp|stats|query|explain> <file> [args]\n\
                  \x20      trustmap <log|segments|snapshot|recover|serve|follow|promote> <store-dir> [args]"
             );
             ExitCode::FAILURE
@@ -105,8 +112,61 @@ fn run(args: &[String]) -> std::result::Result<(), String> {
         ),
         "lp" => cmd_lp(&net),
         "stats" => cmd_stats(&net),
+        "query" => cmd_query(&net, &args[2..], false),
+        "explain" => cmd_query(&net, &args[2..], true),
         other => Err(format!("unknown command `{other}`")),
     }
+}
+
+/// `trustmap query <file> <query…>` and `trustmap explain <file>
+/// <query…>`: the CLI face of the unified query language. The words
+/// after the file join into one query line, parse through the same
+/// `trustq` grammar the serve protocol uses, and run through
+/// [`Session::query`] — so the cost-based planner picks the strategy
+/// here exactly as it does in-process and behind the protocol.
+fn cmd_query(
+    net: &TrustNetwork,
+    rest: &[String],
+    explain: bool,
+) -> std::result::Result<(), String> {
+    let text = rest.join(" ");
+    if text.trim().is_empty() {
+        return Err("query needs a query string, e.g. `CERT alice` or `POSS *`".into());
+    }
+    let mut query = parse_query(&text).map_err(|e| e.to_string())?;
+    query.explain = query.explain || explain;
+    if query.pin.is_some() {
+        return Err("`@<lsn>` pins only apply to the serve protocol (a file has no log)".into());
+    }
+    let mut session = Session::new(net.clone());
+    if query.exact {
+        session.enable_exact().map_err(|e| e.to_string())?;
+    }
+    if query.explain {
+        println!("{}", session.explain(&query).map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    let result = session.query(&query).map_err(|e| e.to_string())?;
+    println!("{:<16} {:<14} possible", "user", "certain");
+    for row in &result.rows {
+        let cert = row
+            .cert
+            .map(|v| net.domain().name(v).to_owned())
+            .unwrap_or_else(|| "-".into());
+        let poss: Vec<&str> = row.poss.iter().map(|&v| net.domain().name(v)).collect();
+        println!("{:<16} {:<14} {:?}", net.user_name(row.user), cert, poss);
+    }
+    println!(
+        "plan: {}{} ({} est. node visits)",
+        result.report.strategy,
+        if result.report.forced {
+            " (forced)"
+        } else {
+            ""
+        },
+        result.report.chosen_cost()
+    );
+    Ok(())
 }
 
 fn cmd_log(dir: &str) -> std::result::Result<(), String> {
@@ -483,46 +543,34 @@ fn cmd_skeptic(net: &TrustNetwork) -> std::result::Result<(), String> {
     Ok(())
 }
 
-/// Certain beliefs per user. The default path is Algorithm 2 (sound but
-/// possibly over-approximating the possible set on cyclic constraint
-/// networks); `--exact` runs the per-region exact evaluator instead, so
-/// the printed possible sets are tight (see `docs/FIDELITY.md`, F1).
+/// Certain beliefs per user, routed through [`Session::query`] so the
+/// cost-based planner picks the strategy (use `trustmap explain` to see
+/// which). The default path answers with Algorithm 2 semantics (sound
+/// but possibly over-approximating the possible set on cyclic
+/// constraint networks); `--exact` runs the per-region exact evaluator
+/// instead, so the printed possible sets are tight (see
+/// `docs/FIDELITY.md`, F1).
 fn cmd_cert(net: &TrustNetwork, exact: bool) -> std::result::Result<(), String> {
-    let btn = binarize(net);
+    let mut session = Session::new(net.clone());
+    let mut query = Query::cert(QueryTarget::All);
     if exact {
-        let engine = trustmap::ExactEngine::new(&btn).map_err(|e| e.to_string())?;
-        println!("{:<16} {:<14} exact possible", "user", "exact certain");
-        for u in net.users() {
-            let node = btn.node_of(u);
-            let cert = engine
-                .cert(node)
-                .map(|v| net.domain().name(v).to_owned())
-                .unwrap_or_else(|| "-".into());
-            let poss: Vec<&str> = engine
-                .poss(node)
-                .iter()
-                .map(|&v| net.domain().name(v))
-                .collect();
-            println!("{:<16} {:<14} {:?}", net.user_name(u), cert, poss);
-        }
+        session.enable_exact().map_err(|e| e.to_string())?;
+        query = query.exact();
+    }
+    let result = session.query(&query).map_err(|e| e.to_string())?;
+    let (cert_head, poss_head) = if exact {
+        ("exact certain", "exact possible")
     } else {
-        let sk = resolve_skeptic(&btn).map_err(|e| e.to_string())?;
-        println!("{:<16} {:<14} possible positives", "user", "certain");
-        for u in net.users() {
-            let node = btn.node_of(u);
-            let cert = sk
-                .cert(node)
-                .pos
-                .map(|v| net.domain().name(v).to_owned())
-                .unwrap_or_else(|| "-".into());
-            let pos: Vec<&str> = sk
-                .rep_poss(node)
-                .pos
-                .iter()
-                .map(|&v| net.domain().name(v))
-                .collect();
-            println!("{:<16} {:<14} {:?}", net.user_name(u), cert, pos);
-        }
+        ("certain", "possible positives")
+    };
+    println!("{:<16} {:<14} {poss_head}", "user", cert_head);
+    for row in &result.rows {
+        let cert = row
+            .cert
+            .map(|v| net.domain().name(v).to_owned())
+            .unwrap_or_else(|| "-".into());
+        let poss: Vec<&str> = row.poss.iter().map(|&v| net.domain().name(v)).collect();
+        println!("{:<16} {:<14} {:?}", net.user_name(row.user), cert, poss);
     }
     Ok(())
 }

@@ -70,6 +70,10 @@ pub use trustmap_core::{
     Result, SccMode, Session, SignedEdit, SkepticIncremental, SkepticPlannedResolver,
     SkepticResolution, SkepticUserResolution, TrustNetwork, User, Value,
 };
+pub use trustmap_core::{
+    plan, stats, PlanContext, PlanReport, Planner, PlannerStats, Query, QueryResult, QueryTarget,
+    ReadKind, SharedPlannerStats, Strategy,
+};
 
 pub use trustmap_store as store;
 

@@ -22,9 +22,9 @@
 //! line per request (names therefore cannot contain whitespace):
 //!
 //! ```text
-//! CERT <user> [@<lsn>]            → OK <value|-> epoch=<e> lsn=<l>
-//! CERT <user> EXACT [@<lsn>]      → OK <value|-> epoch=<e> lsn=<l>
-//! POSS <user> [@<lsn>]            → OK <v1,v2,...|-> epoch=<e> lsn=<l>
+//! CERT <user> [EXACT] [@<lsn>]    → OK <value|-> epoch=<e> lsn=<l>
+//! POSS <user> [EXACT] [@<lsn>]    → OK <v1,v2,...|-> epoch=<e> lsn=<l>
+//! EXPLAIN <query>                 → OK plan: … | candidate: … | stats: …
 //! BELIEVE <user> <value>          → OK lsn=<l> epoch=<e> group=<n>
 //! TRUST <child> <parent> <prio>   → OK lsn=<l> epoch=<e> group=<n>
 //! REVOKE <user>                   → OK lsn=<l> epoch=<e> group=<n>
@@ -37,6 +37,21 @@
 //!                                 → OK chunk …\n<raw bytes> | OK caughtup … | OK behind …
 //! SNAPSHOT                        → OK snapshot lsn=<l> len=<n>\n<raw bytes>
 //! ```
+//!
+//! The read verbs are not ad-hoc string matches: `CERT`/`POSS`/`EXPLAIN`
+//! lines parse through the unified `trustq` grammar
+//! ([`trustmap_relstore::trustq`]) into the same
+//! [`trustmap_core::Query`] AST the in-process `Session::query` API and
+//! the CLI consume — one query language, three surfaces. A user target
+//! may also be an interned handle (`CERT #3`). `EXPLAIN <query>` plans
+//! the query against the leader's live planner statistics and renders
+//! the chosen physical strategy, every candidate's cost, and the
+//! statistics that justified the choice — newlines of the canonical
+//! report joined with ` | ` to stay one reply line. Planning is counter
+//! arithmetic only; `EXPLAIN` never executes the query. `FORCE` is
+//! honored inside `EXPLAIN` (costing is bypassed, applicability still
+//! checked); on a *serving* read it is refused, because serve reads come
+//! from the published epoch snapshot, not a strategy dispatch.
 //!
 //! `SHIP`/`SNAPSHOT` are the log-shipping verbs replication followers
 //! speak (see [`trustmap_store::replica`]): the reply is a parseable
@@ -69,7 +84,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use trustmap_core::epoch::{EpochReader, EpochSlot, EpochView};
-use trustmap_core::Session;
+use trustmap_core::{
+    PlanContext, Planner, Query, QueryTarget, ReadKind, Session, SharedPlannerStats, Value,
+};
+use trustmap_relstore::trustq;
 use trustmap_store::{
     GroupCommitWindow, ShipChunk, ShipRequest, ShipResponse, ShipTransport, SnapshotBlob, Store,
     WriteAck, WriteHub, WriteOp,
@@ -136,6 +154,20 @@ pub enum Reply {
     Bye,
 }
 
+/// Renders a possible-value list as the protocol's comma-joined form
+/// (`-` for an empty set).
+fn render_values(view: &EpochView, values: &[Value]) -> String {
+    let names: Vec<&str> = values
+        .iter()
+        .filter_map(|&v| view.names().value_name(v))
+        .collect();
+    if names.is_empty() {
+        "-".to_string()
+    } else {
+        names.join(",")
+    }
+}
+
 /// The serving brain: epoch-snapshot reads + group-commit writes, no
 /// transport attached. Share it via `Arc` across however many
 /// connection handlers the transport runs.
@@ -147,6 +179,14 @@ pub struct Frontend {
     slot: Arc<EpochSlot>,
     store: Option<Store>,
     pin_timeout: Duration,
+    /// The writer session's shared planner-statistics handle (`None` on
+    /// a replica): the writer keeps observing into it from inside the
+    /// hub, and `EXPLAIN` renders plans from the same live record.
+    planner: Option<SharedPlannerStats>,
+    /// Planning context captured when the writer session was handed
+    /// over (thread budget, pipeline sign); the node count refreshes
+    /// from the shared statistics at `EXPLAIN` time.
+    plan_ctx: PlanContext,
 }
 
 impl Frontend {
@@ -162,6 +202,10 @@ impl Frontend {
             // reply ERR, while plain CERT/POSS keep serving.
             let _ = session.enable_exact();
         }
+        // Captured before the session moves into the hub: the handle is
+        // shared with the writer, so EXPLAIN always sees current counters.
+        let planner = session.planner_stats_handle();
+        let plan_ctx = session.plan_context();
         let hub = WriteHub::new(session, config.window);
         let slot = hub.epochs();
         Frontend {
@@ -169,6 +213,8 @@ impl Frontend {
             slot,
             store,
             pin_timeout: config.pin_timeout,
+            planner: Some(planner),
+            plan_ctx,
         }
     }
 
@@ -182,6 +228,14 @@ impl Frontend {
             slot,
             store: None,
             pin_timeout: config.pin_timeout,
+            planner: None,
+            plan_ctx: PlanContext {
+                node_count: 0,
+                threads: 1,
+                skeptic: false,
+                engine_live: false,
+                objects: 1,
+            },
         }
     }
 
@@ -215,75 +269,25 @@ impl Frontend {
     /// Handles one request line against this connection's `reader`.
     pub fn handle(&self, reader: &mut EpochReader, line: &str) -> Reply {
         let mut tokens: Vec<&str> = line.split_whitespace().collect();
-        // A trailing `@<lsn>` token pins reads to that write's epoch.
-        let pin: Option<u64> = match tokens.last() {
-            Some(last) if last.starts_with('@') => match last[1..].parse() {
-                Ok(lsn) => {
-                    tokens.pop();
-                    Some(lsn)
-                }
-                Err(_) => return Reply::Line(format!("ERR bad lsn token `{last}`")),
-            },
-            _ => None,
-        };
+        // The read verbs speak the unified query language; everything
+        // else stays on the simple verb grammar below.
+        if let Some("CERT" | "POSS" | "EXPLAIN") =
+            tokens.first().map(|v| v.to_ascii_uppercase()).as_deref()
+        {
+            return self.query_line(reader, line);
+        }
+        // Write verbs tolerate (and ignore) a trailing `@<lsn>` token so
+        // old clients that pinned every request keep working.
+        if let Some(last) = tokens.last() {
+            if last.starts_with('@') && last[1..].parse::<u64>().is_ok() {
+                tokens.pop();
+            }
+        }
         let verb = match tokens.first() {
             Some(v) => v.to_ascii_uppercase(),
             None => return Reply::Line("ERR empty request".into()),
         };
         let reply = match (verb.as_str(), &tokens[1..]) {
-            ("CERT", [user]) => self.read_at(reader, pin, |view| {
-                let u = view
-                    .names()
-                    .find_user(user)
-                    .ok_or_else(|| format!("unknown user `{user}`"))?;
-                let value = view
-                    .cert(u)
-                    .and_then(|v| view.names().value_name(v))
-                    .unwrap_or("-");
-                Ok(format!(
-                    "OK {value} epoch={} lsn={}",
-                    view.epoch(),
-                    view.lsn()
-                ))
-            }),
-            ("CERT", [user, mode]) if mode.eq_ignore_ascii_case("EXACT") => {
-                self.read_at(reader, pin, |view| {
-                    let u = view
-                        .names()
-                        .find_user(user)
-                        .ok_or_else(|| format!("unknown user `{user}`"))?;
-                    let cert = view.cert_exact(u).ok_or_else(|| {
-                        "no exact table in this epoch (start the leader with --exact)".to_string()
-                    })?;
-                    let value = cert.and_then(|v| view.names().value_name(v)).unwrap_or("-");
-                    Ok(format!(
-                        "OK {value} epoch={} lsn={}",
-                        view.epoch(),
-                        view.lsn()
-                    ))
-                })
-            }
-            ("POSS", [user]) => self.read_at(reader, pin, |view| {
-                let u = view
-                    .names()
-                    .find_user(user)
-                    .ok_or_else(|| format!("unknown user `{user}`"))?;
-                let poss = view.poss(u);
-                let names: Vec<&str> = poss
-                    .iter()
-                    .filter_map(|&v| view.names().value_name(v))
-                    .collect();
-                let list = if names.is_empty() {
-                    "-".to_string()
-                } else {
-                    names.join(",")
-                };
-                Ok(format!(
-                    "OK {list} epoch={} lsn={}",
-                    view.epoch(),
-                    view.lsn()
-                ))
-            }),
             ("BELIEVE", [user, value]) => self.write_op(WriteOp::Believe {
                 user: (*user).into(),
                 value: (*value).into(),
@@ -336,6 +340,94 @@ impl Frontend {
             _ => Err(format!("bad request `{}`", line.trim())),
         };
         Reply::Line(reply.unwrap_or_else(|e| format!("ERR {e}")))
+    }
+
+    /// Handles one line of the unified query language (`CERT`, `POSS`,
+    /// `EXPLAIN` — see [`trustmap_relstore::trustq`]). Parsing, planning,
+    /// and rendering are shared with `Session::query` and the CLI; only
+    /// the execution differs — serving reads come straight from the
+    /// published epoch snapshot instead of dispatching a strategy.
+    fn query_line(&self, reader: &mut EpochReader, line: &str) -> Reply {
+        let query = match trustq::parse_query(line) {
+            Ok(q) => q,
+            Err(e) => return Reply::Line(format!("ERR {e}")),
+        };
+        if query.explain {
+            return Reply::Line(match self.explain(reader, &query) {
+                Ok(line) => line,
+                Err(e) => format!("ERR {e}"),
+            });
+        }
+        if query.force.is_some() {
+            return Reply::Line(
+                "ERR FORCE is an EXPLAIN/CLI modifier (serving reads come from the \
+                 published epoch snapshot, not a strategy dispatch)"
+                    .into(),
+            );
+        }
+        let reply = self.read_at(reader, query.pin, |view| {
+            let user = match &query.target {
+                QueryTarget::Named(name) => view
+                    .names()
+                    .find_user(name)
+                    .ok_or_else(|| format!("unknown user `{name}`"))?,
+                QueryTarget::Handle(u) if u.index() < view.user_count() => *u,
+                QueryTarget::Handle(u) => return Err(format!("unknown user `#{}`", u.index())),
+                QueryTarget::All => {
+                    return Err("`*` spans every user — use `trustmap query` in the CLI \
+                         (the protocol replies one line per request)"
+                        .into())
+                }
+            };
+            let no_exact =
+                || "no exact table in this epoch (start the leader with --exact)".to_string();
+            let text = match (query.kind, query.exact) {
+                (ReadKind::Cert, false) => view
+                    .cert(user)
+                    .and_then(|v| view.names().value_name(v))
+                    .unwrap_or("-")
+                    .to_string(),
+                (ReadKind::Cert, true) => view
+                    .cert_exact(user)
+                    .ok_or_else(no_exact)?
+                    .and_then(|v| view.names().value_name(v))
+                    .unwrap_or("-")
+                    .to_string(),
+                (ReadKind::Poss, false) => render_values(view, &view.poss(user)),
+                (ReadKind::Poss, true) => {
+                    let exact = view.exact().ok_or_else(no_exact)?;
+                    render_values(view, exact.poss(user))
+                }
+            };
+            Ok(format!(
+                "OK {text} epoch={} lsn={}",
+                view.epoch(),
+                view.lsn()
+            ))
+        });
+        Reply::Line(reply.unwrap_or_else(|e| format!("ERR {e}")))
+    }
+
+    /// Plans (but does not execute) `query` against the leader's live
+    /// planner statistics and renders the report on one line.
+    fn explain(&self, reader: &mut EpochReader, query: &Query) -> Result<String, String> {
+        let Some(planner) = &self.planner else {
+            return Err(
+                "EXPLAIN serves from the leader's planner statistics (read-only replica)".into(),
+            );
+        };
+        // The captured context predates any writes this process served;
+        // refresh the network size from the shared statistics record
+        // (the writer keeps it current) and the published epoch.
+        let mut ctx = self.plan_ctx;
+        ctx.node_count = ctx
+            .node_count
+            .max(reader.current().user_count())
+            .max(planner.snapshot().node_count as usize);
+        let report = planner
+            .update(|stats| Planner::plan(query, &ctx, stats))
+            .map_err(|e| e.to_string())?;
+        Ok(format!("OK {}", report.render().replace('\n', " | ")))
     }
 
     /// Serves one `SHIP <watermark> [<seg_first> <offset> <max_bytes>
@@ -910,6 +1002,74 @@ mod tests {
         // Unknown users still answer the same way as plain CERT.
         assert!(line(&f, &mut r, "CERT ghost EXACT").starts_with("ERR unknown user"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The read verbs are the unified query language: `#handle` targets,
+    /// `POSS … EXACT`, and `EXPLAIN` all resolve through the same parser
+    /// and planner the `Session` API uses.
+    #[test]
+    fn read_verbs_speak_the_unified_query_language() {
+        let line = |f: &Frontend, r: &mut EpochReader, s: &str| match f.handle(r, s) {
+            Reply::Line(l) => l,
+            other => panic!("unexpected reply {other:?}"),
+        };
+
+        let dir = fresh_dir("trustq");
+        let recovered = Store::open(&dir).expect("fresh store");
+        let store = recovered.store.clone();
+        let f = Frontend::new(
+            recovered.session,
+            Some(store),
+            &ServeConfig {
+                window: GroupCommitWindow::per_edit(),
+                exact: true,
+                ..Default::default()
+            },
+        );
+        let mut r = f.reader();
+        assert!(line(&f, &mut r, "BELIEVE alice fish").starts_with("OK lsn="));
+        assert!(line(&f, &mut r, "TRUST bob alice 10").starts_with("OK lsn="));
+
+        // `#handle` targets: alice interned first, so she is `#0`.
+        assert!(line(&f, &mut r, "CERT #0").starts_with("OK fish "));
+        assert!(line(&f, &mut r, "CERT #99").starts_with("ERR unknown user `#99`"));
+
+        // POSS composes with EXACT through the published exact table.
+        assert!(line(&f, &mut r, "POSS bob EXACT").starts_with("OK fish "));
+
+        // EXPLAIN plans without executing and names the chosen strategy
+        // plus the statistics consulted, on one line.
+        let explain = line(&f, &mut r, "EXPLAIN CERT bob");
+        assert!(explain.starts_with("OK plan: "), "{explain}");
+        assert!(explain.contains(" | stats: "), "{explain}");
+        let forced = line(&f, &mut r, "EXPLAIN CERT bob FORCE skeptic-resolve");
+        assert!(forced.contains("skeptic-resolve (forced)"), "{forced}");
+
+        // FORCE on an executing read is refused: serving reads come from
+        // the epoch snapshot, never a strategy dispatch.
+        assert!(line(&f, &mut r, "CERT bob FORCE skeptic-resolve").starts_with("ERR FORCE"));
+        // `*` spans every user — pointed at the CLI, not silently truncated.
+        assert!(line(&f, &mut r, "POSS *").starts_with("ERR `*`"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Replicas serve the same query language for reads but have no
+    /// planner statistics, so `EXPLAIN` is refused with a pointer to the
+    /// leader.
+    #[test]
+    fn replica_refuses_explain() {
+        use trustmap_core::epoch::EpochSlot;
+        let config = ServeConfig::default();
+        let replica = Frontend::replica(Arc::new(EpochSlot::new()), &config);
+        let mut r = replica.reader();
+        let reply = match replica.handle(&mut r, "EXPLAIN CERT alice") {
+            Reply::Line(l) => l,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert!(
+            reply.starts_with("ERR EXPLAIN serves from the leader"),
+            "{reply}"
+        );
     }
 
     #[test]

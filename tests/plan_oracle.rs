@@ -1,0 +1,268 @@
+//! Differential oracle for the cost-based query planner (PR 10).
+//!
+//! The planner is a *routing* decision, never a semantic one: whatever
+//! strategy it picks, the rows must be bit-for-bit what every other
+//! applicable strategy would have produced. Three layers of evidence:
+//!
+//! 1. Proptest: on random positive and signed networks, the
+//!    planner-chosen result equals each forced strategy byte-identically
+//!    (inapplicable forces error with `Error::Plan`, they never
+//!    silently reroute).
+//! 2. Fixed fixtures: the planner reaches *all five* strategies — four
+//!    through real `Session::query` calls, the bulk strategy through the
+//!    multi-object context the bulk executors cost with.
+//! 3. Counter gates: planning visits at most one plan node per
+//!    candidate strategy, and `EXPLAIN` does zero solver work.
+
+mod common;
+
+use common::{random_network, NetSpec};
+use proptest::prelude::*;
+use trustmap::{
+    Error, NegSet, PlanContext, Planner, PlannerStats, Query, QueryTarget, Session, Strategy,
+    TrustNetwork, User,
+};
+
+/// Verifies every forced strategy against the planner's own choice on
+/// one query: applicable forces must agree bit-for-bit, inapplicable
+/// ones must refuse with a plan error.
+fn check_forced_agree(s: &mut Session, q: &Query) -> Result<(), TestCaseError> {
+    let baseline = s.query(q).expect("planner-chosen query");
+    prop_assert!(!baseline.report.forced);
+    for strategy in Strategy::ALL {
+        match s.query(&q.clone().force(strategy)) {
+            Ok(forced) => {
+                prop_assert_eq!(
+                    &forced.rows,
+                    &baseline.rows,
+                    "{} diverged from planner choice {}",
+                    strategy,
+                    baseline.report.strategy
+                );
+                prop_assert_eq!(forced.report.strategy, strategy);
+                prop_assert!(forced.report.forced);
+            }
+            Err(Error::Plan(_)) => {} // inapplicable here — refusal, not reroute
+            Err(e) => prop_assert!(false, "forcing {} failed oddly: {}", strategy, e),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Positive networks: planner-chosen CERT/POSS over all users equals
+    /// every applicable forced strategy, warm or cold, serial or
+    /// parallel.
+    #[test]
+    fn forced_strategies_agree_on_positive_networks(
+        seed in any::<u64>(),
+        users in 2usize..12,
+        mappings in 0usize..24,
+        warm in any::<bool>(),
+        threads in 1usize..4,
+    ) {
+        let net = random_network(
+            NetSpec { users, values: 3, mappings, believer_p: 0.5, tie_free: true },
+            seed,
+        );
+        let mut s = Session::new(net);
+        s.set_parallelism(threads, 1);
+        if warm {
+            s.snapshot().expect("positive network resolves");
+        }
+        check_forced_agree(&mut s, &Query::cert(QueryTarget::All))?;
+        check_forced_agree(&mut s, &Query::poss(QueryTarget::All))?;
+    }
+
+    /// Signed (constraint) networks: same contract on the skeptic
+    /// pipeline, where Compact and Bulk must refuse and the rest agree.
+    #[test]
+    fn forced_strategies_agree_on_signed_networks(
+        seed in any::<u64>(),
+        users in 2usize..10,
+        mappings in 0usize..20,
+        rejects in proptest::collection::vec((0usize..16, 0usize..3), 1..4),
+        warm in any::<bool>(),
+        threads in 1usize..4,
+    ) {
+        let mut net = random_network(
+            NetSpec { users, values: 3, mappings, believer_p: 0.4, tie_free: true },
+            seed,
+        );
+        let values: Vec<_> = (0..3)
+            .map(|i| net.domain().get(&format!("v{i}")).expect("interned"))
+            .collect();
+        for (u, v) in rejects {
+            // Rejections replace positive beliefs; collisions are fine.
+            let _ = net.reject(User((u % users) as u32), NegSet::of([values[v]]));
+        }
+        let mut s = Session::new(net);
+        s.set_parallelism(threads, 1);
+        if warm {
+            s.skeptic_snapshot().expect("tie-free network resolves");
+        }
+        check_forced_agree(&mut s, &Query::cert(QueryTarget::All))?;
+        check_forced_agree(&mut s, &Query::poss(QueryTarget::All))?;
+    }
+}
+
+/// Fixed fixtures where the planner (not a FORCE) picks each strategy.
+///
+/// Four strategies route through real sessions; [`Strategy::BulkFewObjects`]
+/// is costed the way the bulk executors call the planner — with a
+/// multi-object context — because a single-object session read is
+/// exactly the workload bulk seeding cannot beat.
+#[test]
+fn planner_reaches_all_five_strategies() {
+    // IncrementalPatch: warm engine, point read — the dirty region (here
+    // empty) is always cheaper than any whole-network solve.
+    let warm = random_network(
+        NetSpec {
+            users: 8,
+            values: 3,
+            mappings: 12,
+            believer_p: 0.5,
+            tie_free: true,
+        },
+        7,
+    );
+    let mut s = Session::new(warm);
+    s.snapshot().expect("resolves");
+    let r = s.query(&Query::cert(QueryTarget::Handle(User(0)))).unwrap();
+    assert_eq!(r.report.strategy, Strategy::IncrementalPatch);
+
+    // CompactRegionSolve: cold positive session, one thread — the
+    // sequential Algorithm 1 solve undercuts skeptic decode and bulk
+    // seeding for one object.
+    let cold = random_network(
+        NetSpec {
+            users: 8,
+            values: 3,
+            mappings: 12,
+            believer_p: 0.5,
+            tie_free: true,
+        },
+        7,
+    );
+    let mut s = Session::new(cold);
+    s.set_parallelism(1, 1);
+    let r = s.query(&Query::poss(QueryTarget::All)).unwrap();
+    assert_eq!(r.report.strategy, Strategy::CompactRegionSolve);
+
+    // ShardedWholeSolve: cold, parallel, and big enough that splitting
+    // the solve across threads amortizes the planning overhead.
+    let mut chain = TrustNetwork::new();
+    let head = chain.user("u0");
+    let v = chain.value("v");
+    chain.believe(head, v).expect("fresh user");
+    for i in 1..3000 {
+        let child = chain.user(&format!("u{i}"));
+        let parent = chain.find_user(&format!("u{}", i - 1)).unwrap();
+        chain.trust(child, parent, 1).expect("distinct users");
+    }
+    let mut s = Session::new(chain);
+    s.set_parallelism(4, 1);
+    let r = s.query(&Query::cert(QueryTarget::All)).unwrap();
+    assert_eq!(r.report.strategy, Strategy::ShardedWholeSolve);
+    // Routing-only: the sharded answer equals the sequential ones.
+    for forced in [Strategy::CompactRegionSolve, Strategy::SkepticResolve] {
+        let alt = s
+            .query(&Query::cert(QueryTarget::All).force(forced))
+            .unwrap();
+        assert_eq!(alt.rows, r.rows, "{forced} diverged on the chain");
+    }
+
+    // SkepticResolve: constraints rule out Algorithm 1 and the POSS
+    // table; one thread rules out sharding; a cold session rules out
+    // patching. Algorithm 2 is the only candidate left.
+    let mut signed = TrustNetwork::new();
+    let a = signed.user("a");
+    let b = signed.user("b");
+    let jar = signed.value("jar");
+    signed.believe(a, jar).expect("fresh user");
+    signed.reject(b, NegSet::of([jar])).expect("fresh user");
+    signed.trust(b, a, 1).expect("distinct users");
+    let mut s = Session::new(signed);
+    s.set_parallelism(1, 1);
+    let r = s.query(&Query::cert(QueryTarget::All)).unwrap();
+    assert_eq!(r.report.strategy, Strategy::SkepticResolve);
+
+    // BulkFewObjects: the context the bulk executors plan with — many
+    // independent belief assignments over one flood schedule.
+    let mut stats = PlannerStats::default();
+    let bulk_ctx = PlanContext {
+        node_count: 1_000,
+        threads: 1,
+        skeptic: false,
+        engine_live: false,
+        objects: 16,
+    };
+    let report = Planner::plan(&Query::poss(QueryTarget::All), &bulk_ctx, &mut stats).unwrap();
+    assert_eq!(report.strategy, Strategy::BulkFewObjects);
+}
+
+/// Planner overhead is bounded counter arithmetic: at most one plan node
+/// per candidate strategy per query, and the per-query average the bench
+/// gates stays at that bound.
+#[test]
+fn planning_visits_at_most_one_node_per_candidate() {
+    let net = random_network(
+        NetSpec {
+            users: 6,
+            values: 3,
+            mappings: 8,
+            believer_p: 0.5,
+            tie_free: true,
+        },
+        11,
+    );
+    let mut s = Session::new(net);
+    let queries = [
+        Query::cert(QueryTarget::All),
+        Query::poss(QueryTarget::All),
+        Query::cert(QueryTarget::Handle(User(0))),
+        Query::poss(QueryTarget::Handle(User(1))),
+    ];
+    for q in &queries {
+        let r = s.query(q).unwrap();
+        assert!(
+            r.report.plan_nodes <= Strategy::ALL.len() as u64,
+            "query {q} visited {} plan nodes",
+            r.report.plan_nodes
+        );
+    }
+    let stats = s.planner_stats();
+    assert_eq!(stats.plans, queries.len() as u64);
+    assert!(stats.plan_nodes_visited <= stats.plans * Strategy::ALL.len() as u64);
+}
+
+/// `EXPLAIN` costs planning only: no strategy runs, no engine build, no
+/// solver node visits — just the plan-node counters moving.
+#[test]
+fn explain_does_no_solver_work() {
+    let net = random_network(
+        NetSpec {
+            users: 10,
+            values: 3,
+            mappings: 14,
+            believer_p: 0.5,
+            tie_free: true,
+        },
+        23,
+    );
+    let s = Session::new(net);
+    let before = s.planner_stats();
+    let text = s.explain(&Query::poss(QueryTarget::All)).unwrap();
+    assert!(text.contains("plan: "), "{text}");
+    assert!(text.contains("stats: "), "{text}");
+    let after = s.planner_stats();
+    assert_eq!(after.plans, before.plans + 1);
+    for (b, a) in before.strategies.iter().zip(after.strategies.iter()) {
+        assert_eq!(b.runs, a.runs, "EXPLAIN executed a strategy");
+        assert_eq!(b.nodes, a.nodes, "EXPLAIN visited solver nodes");
+    }
+    assert_eq!(before.full_builds, after.full_builds);
+    assert_eq!(before.regions_observed, after.regions_observed);
+}
